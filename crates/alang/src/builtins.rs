@@ -1,0 +1,543 @@
+//! Builtin functions registered into every interpreter's root
+//! environment.
+
+use crate::env::Env;
+use crate::eval::Ctx;
+use crate::value::Value;
+use crate::AlangError;
+
+fn err(msg: impl Into<String>) -> AlangError {
+    AlangError::new(msg)
+}
+
+fn want(args: &[Value], n: usize, who: &str) -> Result<(), AlangError> {
+    if args.len() == n {
+        Ok(())
+    } else {
+        Err(err(format!("{who}: expected {n} args, got {}", args.len())))
+    }
+}
+
+fn num2(args: &[Value], who: &str) -> Result<(f64, f64, bool), AlangError> {
+    want(args, 2, who)?;
+    let both_int = matches!((&args[0], &args[1]), (Value::Int(_), Value::Int(_)));
+    let a = args[0]
+        .as_f64()
+        .ok_or_else(|| err(format!("{who}: non-numeric {}", args[0])))?;
+    let b = args[1]
+        .as_f64()
+        .ok_or_else(|| err(format!("{who}: non-numeric {}", args[1])))?;
+    Ok((a, b, both_int))
+}
+
+fn str1<'a>(args: &'a [Value], who: &str) -> Result<&'a str, AlangError> {
+    want(args, 1, who)?;
+    args[0]
+        .as_str()
+        .ok_or_else(|| err(format!("{who}: expected string, got {}", args[0])))
+}
+
+// --- arithmetic ---
+
+fn add(_: &mut Ctx<'_>, args: &[Value]) -> Result<Value, AlangError> {
+    fold_arith(args, "+", 0.0, |a, b| a + b)
+}
+
+fn sub(_: &mut Ctx<'_>, args: &[Value]) -> Result<Value, AlangError> {
+    if args.len() == 1 {
+        return match &args[0] {
+            Value::Int(i) => Ok(Value::Int(-i)),
+            Value::Real(r) => Ok(Value::Real(-r)),
+            other => Err(err(format!("-: non-numeric {other}"))),
+        };
+    }
+    let (a, b, ints) = num2(args, "-")?;
+    Ok(mknum(a - b, ints))
+}
+
+fn mul(_: &mut Ctx<'_>, args: &[Value]) -> Result<Value, AlangError> {
+    fold_arith(args, "*", 1.0, |a, b| a * b)
+}
+
+fn div(_: &mut Ctx<'_>, args: &[Value]) -> Result<Value, AlangError> {
+    let (a, b, ints) = num2(args, "/")?;
+    if b == 0.0 {
+        return Err(err("/: division by zero"));
+    }
+    if ints && (a as i64) % (b as i64) == 0 {
+        Ok(Value::Int(a as i64 / b as i64))
+    } else {
+        Ok(Value::Real(a / b))
+    }
+}
+
+fn modulo(_: &mut Ctx<'_>, args: &[Value]) -> Result<Value, AlangError> {
+    want(args, 2, "mod")?;
+    let (Some(a), Some(b)) = (args[0].as_int(), args[1].as_int()) else {
+        return Err(err("mod: integer arguments required"));
+    };
+    if b == 0 {
+        return Err(err("mod: division by zero"));
+    }
+    Ok(Value::Int(a.rem_euclid(b)))
+}
+
+fn fold_arith(
+    args: &[Value],
+    who: &str,
+    unit: f64,
+    f: fn(f64, f64) -> f64,
+) -> Result<Value, AlangError> {
+    let mut acc = unit;
+    let mut all_int = true;
+    for a in args {
+        if !matches!(a, Value::Int(_)) {
+            all_int = false;
+        }
+        acc = f(
+            acc,
+            a.as_f64()
+                .ok_or_else(|| err(format!("{who}: non-numeric {a}")))?,
+        );
+    }
+    Ok(mknum(acc, all_int))
+}
+
+fn mknum(v: f64, int: bool) -> Value {
+    if int {
+        Value::Int(v as i64)
+    } else {
+        Value::Real(v)
+    }
+}
+
+// --- comparison ---
+
+fn eq(_: &mut Ctx<'_>, args: &[Value]) -> Result<Value, AlangError> {
+    want(args, 2, "=")?;
+    Ok(Value::Bool(args[0].equals(&args[1])))
+}
+
+fn cmp(args: &[Value], who: &str, f: fn(f64, f64) -> bool) -> Result<Value, AlangError> {
+    let (a, b, _) = num2(args, who)?;
+    Ok(Value::Bool(f(a, b)))
+}
+
+fn lt(_: &mut Ctx<'_>, a: &[Value]) -> Result<Value, AlangError> {
+    cmp(a, "<", |x, y| x < y)
+}
+fn gt(_: &mut Ctx<'_>, a: &[Value]) -> Result<Value, AlangError> {
+    cmp(a, ">", |x, y| x > y)
+}
+fn le(_: &mut Ctx<'_>, a: &[Value]) -> Result<Value, AlangError> {
+    cmp(a, "<=", |x, y| x <= y)
+}
+fn ge(_: &mut Ctx<'_>, a: &[Value]) -> Result<Value, AlangError> {
+    cmp(a, ">=", |x, y| x >= y)
+}
+
+fn not_fn(_: &mut Ctx<'_>, args: &[Value]) -> Result<Value, AlangError> {
+    want(args, 1, "not")?;
+    Ok(Value::Bool(!args[0].is_truthy()))
+}
+
+// --- lists ---
+
+fn list_fn(_: &mut Ctx<'_>, args: &[Value]) -> Result<Value, AlangError> {
+    Ok(Value::List(args.to_vec()))
+}
+
+fn car(_: &mut Ctx<'_>, args: &[Value]) -> Result<Value, AlangError> {
+    want(args, 1, "car")?;
+    match &args[0] {
+        Value::List(items) if !items.is_empty() => Ok(items[0].clone()),
+        _ => Err(err("car: empty or non-list")),
+    }
+}
+
+fn cdr(_: &mut Ctx<'_>, args: &[Value]) -> Result<Value, AlangError> {
+    want(args, 1, "cdr")?;
+    match &args[0] {
+        Value::List(items) if !items.is_empty() => Ok(Value::List(items[1..].to_vec())),
+        _ => Err(err("cdr: empty or non-list")),
+    }
+}
+
+fn cons(_: &mut Ctx<'_>, args: &[Value]) -> Result<Value, AlangError> {
+    want(args, 2, "cons")?;
+    match &args[1] {
+        Value::List(items) => {
+            let mut out = Vec::with_capacity(items.len() + 1);
+            out.push(args[0].clone());
+            out.extend(items.iter().cloned());
+            Ok(Value::List(out))
+        }
+        Value::Nil => Ok(Value::List(vec![args[0].clone()])),
+        other => Err(err(format!("cons: tail must be a list, got {other}"))),
+    }
+}
+
+fn length(_: &mut Ctx<'_>, args: &[Value]) -> Result<Value, AlangError> {
+    want(args, 1, "length")?;
+    match &args[0] {
+        Value::List(items) => Ok(Value::Int(items.len() as i64)),
+        Value::Str(s) => Ok(Value::Int(s.chars().count() as i64)),
+        Value::Nil => Ok(Value::Int(0)),
+        other => Err(err(format!("length: {other} has no length"))),
+    }
+}
+
+fn nth(_: &mut Ctx<'_>, args: &[Value]) -> Result<Value, AlangError> {
+    want(args, 2, "nth")?;
+    let i = args[0].as_int().ok_or_else(|| err("nth: bad index"))?;
+    match &args[1] {
+        Value::List(items) => Ok(items.get(i as usize).cloned().unwrap_or(Value::Nil)),
+        other => Err(err(format!("nth: not a list: {other}"))),
+    }
+}
+
+fn append(_: &mut Ctx<'_>, args: &[Value]) -> Result<Value, AlangError> {
+    let mut out = Vec::new();
+    for a in args {
+        match a {
+            Value::List(items) => out.extend(items.iter().cloned()),
+            Value::Nil => {}
+            other => return Err(err(format!("append: not a list: {other}"))),
+        }
+    }
+    Ok(Value::List(out))
+}
+
+fn reverse(_: &mut Ctx<'_>, args: &[Value]) -> Result<Value, AlangError> {
+    want(args, 1, "reverse")?;
+    match &args[0] {
+        Value::List(items) => Ok(Value::List(items.iter().rev().cloned().collect())),
+        other => Err(err(format!("reverse: not a list: {other}"))),
+    }
+}
+
+fn map_fn(ctx: &mut Ctx<'_>, args: &[Value]) -> Result<Value, AlangError> {
+    want(args, 2, "map")?;
+    let Value::List(items) = &args[1] else {
+        return Err(err("map: second argument must be a list"));
+    };
+    let mut out = Vec::with_capacity(items.len());
+    for item in items {
+        out.push(crate::eval::apply(&args[0], std::slice::from_ref(item), ctx)?);
+    }
+    Ok(Value::List(out))
+}
+
+fn filter_fn(ctx: &mut Ctx<'_>, args: &[Value]) -> Result<Value, AlangError> {
+    want(args, 2, "filter")?;
+    let Value::List(items) = &args[1] else {
+        return Err(err("filter: second argument must be a list"));
+    };
+    let mut out = Vec::new();
+    for item in items {
+        if crate::eval::apply(&args[0], std::slice::from_ref(item), ctx)?.is_truthy() {
+            out.push(item.clone());
+        }
+    }
+    Ok(Value::List(out))
+}
+
+// --- strings ---
+
+fn string_append(_: &mut Ctx<'_>, args: &[Value]) -> Result<Value, AlangError> {
+    let mut out = String::new();
+    for a in args {
+        match a {
+            Value::Str(s) => out.push_str(s),
+            other => out.push_str(&other.to_string()),
+        }
+    }
+    Ok(Value::Str(out))
+}
+
+fn substring(_: &mut Ctx<'_>, args: &[Value]) -> Result<Value, AlangError> {
+    want(args, 3, "substring")?;
+    let s = args[0]
+        .as_str()
+        .ok_or_else(|| err("substring: first arg must be a string"))?;
+    let from = args[1].as_int().ok_or_else(|| err("substring: bad start"))? as usize;
+    let to = args[2].as_int().ok_or_else(|| err("substring: bad end"))? as usize;
+    let chars: Vec<char> = s.chars().collect();
+    if from > to || to > chars.len() {
+        return Err(err(format!(
+            "substring: range {from}..{to} out of bounds for length {}",
+            chars.len()
+        )));
+    }
+    Ok(Value::Str(chars[from..to].iter().collect()))
+}
+
+fn string_index(_: &mut Ctx<'_>, args: &[Value]) -> Result<Value, AlangError> {
+    want(args, 2, "string-index")?;
+    let s = args[0]
+        .as_str()
+        .ok_or_else(|| err("string-index: haystack must be a string"))?;
+    let needle = args[1]
+        .as_str()
+        .ok_or_else(|| err("string-index: needle must be a string"))?;
+    match s.find(needle) {
+        Some(byte_pos) => Ok(Value::Int(s[..byte_pos].chars().count() as i64)),
+        None => Ok(Value::Int(-1)),
+    }
+}
+
+fn string_split(_: &mut Ctx<'_>, args: &[Value]) -> Result<Value, AlangError> {
+    want(args, 2, "string-split")?;
+    let s = args[0]
+        .as_str()
+        .ok_or_else(|| err("string-split: first arg must be a string"))?;
+    let sep = args[1]
+        .as_str()
+        .ok_or_else(|| err("string-split: separator must be a string"))?;
+    let parts: Vec<Value> = if sep.is_empty() {
+        s.split_whitespace().map(|p| Value::Str(p.into())).collect()
+    } else {
+        s.split(sep).map(|p| Value::Str(p.into())).collect()
+    };
+    Ok(Value::List(parts))
+}
+
+fn string_replace(_: &mut Ctx<'_>, args: &[Value]) -> Result<Value, AlangError> {
+    want(args, 3, "string-replace")?;
+    let s = args[0]
+        .as_str()
+        .ok_or_else(|| err("string-replace: first arg must be a string"))?;
+    let from = args[1]
+        .as_str()
+        .ok_or_else(|| err("string-replace: pattern must be a string"))?;
+    let to = args[2]
+        .as_str()
+        .ok_or_else(|| err("string-replace: replacement must be a string"))?;
+    Ok(Value::Str(s.replace(from, to)))
+}
+
+fn string_upcase(_: &mut Ctx<'_>, args: &[Value]) -> Result<Value, AlangError> {
+    Ok(Value::Str(str1(args, "string-upcase")?.to_uppercase()))
+}
+
+fn string_downcase(_: &mut Ctx<'_>, args: &[Value]) -> Result<Value, AlangError> {
+    Ok(Value::Str(str1(args, "string-downcase")?.to_lowercase()))
+}
+
+fn string_to_number(_: &mut Ctx<'_>, args: &[Value]) -> Result<Value, AlangError> {
+    let s = str1(args, "string->number")?.trim();
+    if let Ok(i) = s.parse::<i64>() {
+        return Ok(Value::Int(i));
+    }
+    match s.parse::<f64>() {
+        Ok(r) => Ok(Value::Real(r)),
+        Err(_) => Ok(Value::Nil),
+    }
+}
+
+fn number_to_string(_: &mut Ctx<'_>, args: &[Value]) -> Result<Value, AlangError> {
+    want(args, 1, "number->string")?;
+    match &args[0] {
+        Value::Int(i) => Ok(Value::Str(i.to_string())),
+        Value::Real(r) => Ok(Value::Str(r.to_string())),
+        other => Err(err(format!("number->string: not a number: {other}"))),
+    }
+}
+
+fn symbol_to_string(_: &mut Ctx<'_>, args: &[Value]) -> Result<Value, AlangError> {
+    want(args, 1, "symbol->string")?;
+    match &args[0] {
+        Value::Sym(s) => Ok(Value::Str(s.clone())),
+        other => Err(err(format!("symbol->string: not a symbol: {other}"))),
+    }
+}
+
+fn min_fn(_: &mut Ctx<'_>, args: &[Value]) -> Result<Value, AlangError> {
+    fold_extremum(args, "min", |a, b| a < b)
+}
+
+fn max_fn(_: &mut Ctx<'_>, args: &[Value]) -> Result<Value, AlangError> {
+    fold_extremum(args, "max", |a, b| a > b)
+}
+
+fn fold_extremum(
+    args: &[Value],
+    who: &str,
+    better: fn(f64, f64) -> bool,
+) -> Result<Value, AlangError> {
+    let mut best: Option<&Value> = None;
+    for a in args {
+        let x = a
+            .as_f64()
+            .ok_or_else(|| err(format!("{who}: non-numeric {a}")))?;
+        let replace = match best {
+            Some(b) => better(x, b.as_f64().expect("checked numeric")),
+            None => true,
+        };
+        if replace {
+            best = Some(a);
+        }
+    }
+    best.cloned()
+        .ok_or_else(|| err(format!("{who}: needs at least one argument")))
+}
+
+fn abs_fn(_: &mut Ctx<'_>, args: &[Value]) -> Result<Value, AlangError> {
+    want(args, 1, "abs")?;
+    match &args[0] {
+        Value::Int(i) => Ok(Value::Int(i.abs())),
+        Value::Real(r) => Ok(Value::Real(r.abs())),
+        other => Err(err(format!("abs: non-numeric {other}"))),
+    }
+}
+
+fn assoc(_: &mut Ctx<'_>, args: &[Value]) -> Result<Value, AlangError> {
+    want(args, 2, "assoc")?;
+    let Value::List(pairs) = &args[1] else {
+        return Err(err("assoc: second argument must be a list of pairs"));
+    };
+    for pair in pairs {
+        if let Value::List(kv) = pair {
+            if let Some(k) = kv.first() {
+                if k.equals(&args[0]) {
+                    return Ok(pair.clone());
+                }
+            }
+        }
+    }
+    Ok(Value::Nil)
+}
+
+// --- predicates ---
+
+fn is_null(_: &mut Ctx<'_>, args: &[Value]) -> Result<Value, AlangError> {
+    want(args, 1, "null?")?;
+    let empty = match &args[0] {
+        Value::Nil => true,
+        Value::List(items) => items.is_empty(),
+        _ => false,
+    };
+    Ok(Value::Bool(empty))
+}
+
+fn is_list(_: &mut Ctx<'_>, args: &[Value]) -> Result<Value, AlangError> {
+    want(args, 1, "list?")?;
+    Ok(Value::Bool(matches!(&args[0], Value::List(_))))
+}
+
+fn is_string(_: &mut Ctx<'_>, args: &[Value]) -> Result<Value, AlangError> {
+    want(args, 1, "string?")?;
+    Ok(Value::Bool(matches!(&args[0], Value::Str(_))))
+}
+
+fn is_number(_: &mut Ctx<'_>, args: &[Value]) -> Result<Value, AlangError> {
+    want(args, 1, "number?")?;
+    Ok(Value::Bool(matches!(
+        &args[0],
+        Value::Int(_) | Value::Real(_)
+    )))
+}
+
+// --- output ---
+
+fn print_fn(ctx: &mut Ctx<'_>, args: &[Value]) -> Result<Value, AlangError> {
+    let line = args
+        .iter()
+        .map(|a| match a {
+            Value::Str(s) => s.clone(),
+            other => other.to_string(),
+        })
+        .collect::<Vec<_>>()
+        .join(" ");
+    ctx.output.push(line);
+    Ok(Value::Nil)
+}
+
+// --- host access ---
+
+fn prop_get(ctx: &mut Ctx<'_>, args: &[Value]) -> Result<Value, AlangError> {
+    let key = str1(args, "prop-get")?;
+    Ok(ctx.host.get(key).unwrap_or(Value::Nil))
+}
+
+fn prop_set(ctx: &mut Ctx<'_>, args: &[Value]) -> Result<Value, AlangError> {
+    want(args, 2, "prop-set!")?;
+    let key = args[0]
+        .as_str()
+        .ok_or_else(|| err("prop-set!: key must be a string"))?;
+    ctx.host
+        .set(key, args[1].clone())
+        .map_err(AlangError::new)?;
+    Ok(args[1].clone())
+}
+
+fn prop_remove(ctx: &mut Ctx<'_>, args: &[Value]) -> Result<Value, AlangError> {
+    let key = str1(args, "prop-remove!")?;
+    Ok(ctx.host.remove(key).unwrap_or(Value::Nil))
+}
+
+fn prop_names(ctx: &mut Ctx<'_>, args: &[Value]) -> Result<Value, AlangError> {
+    want(args, 0, "prop-names")?;
+    Ok(Value::List(
+        ctx.host.keys().into_iter().map(Value::Str).collect(),
+    ))
+}
+
+fn ctx_get(ctx: &mut Ctx<'_>, args: &[Value]) -> Result<Value, AlangError> {
+    let key = str1(args, "ctx")?;
+    Ok(ctx.host.context(key).unwrap_or(Value::Nil))
+}
+
+/// Installs every builtin into `env`.
+pub fn install(env: &Env) {
+    let defs: &[(&'static str, crate::value::NativeFn)] = &[
+        ("+", add),
+        ("-", sub),
+        ("*", mul),
+        ("/", div),
+        ("mod", modulo),
+        ("=", eq),
+        ("<", lt),
+        (">", gt),
+        ("<=", le),
+        (">=", ge),
+        ("not", not_fn),
+        ("list", list_fn),
+        ("car", car),
+        ("cdr", cdr),
+        ("cons", cons),
+        ("length", length),
+        ("nth", nth),
+        ("append", append),
+        ("reverse", reverse),
+        ("min", min_fn),
+        ("max", max_fn),
+        ("abs", abs_fn),
+        ("assoc", assoc),
+        ("map", map_fn),
+        ("filter", filter_fn),
+        ("string-append", string_append),
+        ("substring", substring),
+        ("string-index", string_index),
+        ("string-split", string_split),
+        ("string-replace", string_replace),
+        ("string-upcase", string_upcase),
+        ("string-downcase", string_downcase),
+        ("string->number", string_to_number),
+        ("number->string", number_to_string),
+        ("symbol->string", symbol_to_string),
+        ("null?", is_null),
+        ("list?", is_list),
+        ("string?", is_string),
+        ("number?", is_number),
+        ("print", print_fn),
+        ("prop-get", prop_get),
+        ("prop-set!", prop_set),
+        ("prop-remove!", prop_remove),
+        ("prop-names", prop_names),
+        ("ctx", ctx_get),
+    ];
+    for (name, f) in defs {
+        env.define(*name, Value::Native(name, *f));
+    }
+}

@@ -1,0 +1,267 @@
+//! The a/L evaluator.
+
+use std::rc::Rc;
+
+use crate::env::Env;
+use crate::host::Host;
+use crate::value::{LambdaDef, Value};
+use crate::AlangError;
+
+/// Evaluation context threaded through every call: the design host plus
+/// collected `print` output.
+pub struct Ctx<'a> {
+    /// The design-side host.
+    pub host: &'a mut dyn Host,
+    /// Lines produced by `(print ...)`.
+    pub output: &'a mut Vec<String>,
+    /// Remaining evaluation steps; guards against runaway scripts.
+    pub fuel: u64,
+}
+
+impl Ctx<'_> {
+    fn spend(&mut self) -> Result<(), AlangError> {
+        if self.fuel == 0 {
+            return Err(AlangError::new("evaluation fuel exhausted"));
+        }
+        self.fuel -= 1;
+        Ok(())
+    }
+}
+
+/// Evaluates one form in `env`.
+///
+/// # Errors
+///
+/// Returns [`AlangError`] for unbound symbols, malformed special forms,
+/// arity/type errors from builtins, and fuel exhaustion.
+pub fn eval(form: &Value, env: &Env, ctx: &mut Ctx<'_>) -> Result<Value, AlangError> {
+    ctx.spend()?;
+    match form {
+        Value::Nil
+        | Value::Bool(_)
+        | Value::Int(_)
+        | Value::Real(_)
+        | Value::Str(_)
+        | Value::Native(_, _)
+        | Value::Lambda(_) => Ok(form.clone()),
+        Value::Sym(name) => env
+            .lookup(name)
+            .ok_or_else(|| AlangError::new(format!("unbound symbol `{name}`"))),
+        Value::List(items) => {
+            let Some(head) = items.first() else {
+                return Ok(Value::List(Vec::new()));
+            };
+            if let Value::Sym(s) = head {
+                match s.as_str() {
+                    "quote" => {
+                        return items
+                            .get(1)
+                            .cloned()
+                            .ok_or_else(|| AlangError::new("quote needs one argument"));
+                    }
+                    "if" => {
+                        if items.len() < 3 || items.len() > 4 {
+                            return Err(AlangError::new("if needs 2 or 3 arguments"));
+                        }
+                        let cond = eval(&items[1], env, ctx)?;
+                        return if cond.is_truthy() {
+                            eval(&items[2], env, ctx)
+                        } else if let Some(alt) = items.get(3) {
+                            eval(alt, env, ctx)
+                        } else {
+                            Ok(Value::Nil)
+                        };
+                    }
+                    "cond" => {
+                        for clause in &items[1..] {
+                            let Value::List(cl) = clause else {
+                                return Err(AlangError::new("cond clause must be a list"));
+                            };
+                            if cl.is_empty() {
+                                return Err(AlangError::new("empty cond clause"));
+                            }
+                            let test = if matches!(&cl[0], Value::Sym(s) if s == "else") {
+                                Value::Bool(true)
+                            } else {
+                                eval(&cl[0], env, ctx)?
+                            };
+                            if test.is_truthy() {
+                                let mut result = test;
+                                for body in &cl[1..] {
+                                    result = eval(body, env, ctx)?;
+                                }
+                                return Ok(result);
+                            }
+                        }
+                        return Ok(Value::Nil);
+                    }
+                    "define" => {
+                        match items.get(1) {
+                            // (define (f a b) body...)
+                            Some(Value::List(sig)) => {
+                                let Some(Value::Sym(fname)) = sig.first() else {
+                                    return Err(AlangError::new("define: bad function name"));
+                                };
+                                let params = param_names(&sig[1..])?;
+                                let lambda = Value::Lambda(Rc::new(LambdaDef {
+                                    params,
+                                    body: items[2..].to_vec(),
+                                    env: env.clone(),
+                                }));
+                                env.define(fname.clone(), lambda);
+                                return Ok(Value::Sym(fname.clone()));
+                            }
+                            // (define x expr)
+                            Some(Value::Sym(name)) => {
+                                if items.len() != 3 {
+                                    return Err(AlangError::new("define needs a value"));
+                                }
+                                let v = eval(&items[2], env, ctx)?;
+                                env.define(name.clone(), v);
+                                return Ok(Value::Sym(name.clone()));
+                            }
+                            _ => return Err(AlangError::new("define: bad target")),
+                        }
+                    }
+                    "set!" => {
+                        if items.len() != 3 {
+                            return Err(AlangError::new("set! needs a name and a value"));
+                        }
+                        let Value::Sym(name) = &items[1] else {
+                            return Err(AlangError::new("set!: target must be a symbol"));
+                        };
+                        let v = eval(&items[2], env, ctx)?;
+                        if !env.assign(name, v.clone()) {
+                            return Err(AlangError::new(format!("set!: unbound `{name}`")));
+                        }
+                        return Ok(v);
+                    }
+                    "lambda" => {
+                        let Some(Value::List(params)) = items.get(1) else {
+                            return Err(AlangError::new("lambda: missing parameter list"));
+                        };
+                        let params = param_names(params)?;
+                        return Ok(Value::Lambda(Rc::new(LambdaDef {
+                            params,
+                            body: items[2..].to_vec(),
+                            env: env.clone(),
+                        })));
+                    }
+                    "let" => {
+                        let Some(Value::List(bindings)) = items.get(1) else {
+                            return Err(AlangError::new("let: missing bindings"));
+                        };
+                        let child = env.child();
+                        for b in bindings {
+                            let Value::List(pair) = b else {
+                                return Err(AlangError::new("let: binding must be (name expr)"));
+                            };
+                            let [Value::Sym(name), expr] = pair.as_slice() else {
+                                return Err(AlangError::new("let: binding must be (name expr)"));
+                            };
+                            let v = eval(expr, env, ctx)?;
+                            child.define(name.clone(), v);
+                        }
+                        let mut result = Value::Nil;
+                        for body in &items[2..] {
+                            result = eval(body, &child, ctx)?;
+                        }
+                        return Ok(result);
+                    }
+                    "begin" => {
+                        let mut result = Value::Nil;
+                        for body in &items[1..] {
+                            result = eval(body, env, ctx)?;
+                        }
+                        return Ok(result);
+                    }
+                    "and" => {
+                        let mut result = Value::Bool(true);
+                        for e in &items[1..] {
+                            result = eval(e, env, ctx)?;
+                            if !result.is_truthy() {
+                                return Ok(result);
+                            }
+                        }
+                        return Ok(result);
+                    }
+                    "or" => {
+                        for e in &items[1..] {
+                            let result = eval(e, env, ctx)?;
+                            if result.is_truthy() {
+                                return Ok(result);
+                            }
+                        }
+                        return Ok(Value::Bool(false));
+                    }
+                    "while" => {
+                        if items.len() < 2 {
+                            return Err(AlangError::new("while needs a condition"));
+                        }
+                        let mut result = Value::Nil;
+                        while eval(&items[1], env, ctx)?.is_truthy() {
+                            for body in &items[2..] {
+                                result = eval(body, env, ctx)?;
+                            }
+                        }
+                        return Ok(result);
+                    }
+                    _ => {}
+                }
+            }
+            // Function application.
+            let func = eval(head, env, ctx)?;
+            let mut args = Vec::with_capacity(items.len() - 1);
+            for a in &items[1..] {
+                args.push(eval(a, env, ctx)?);
+            }
+            apply(&func, &args, ctx)
+        }
+    }
+}
+
+fn param_names(params: &[Value]) -> Result<Vec<String>, AlangError> {
+    params
+        .iter()
+        .map(|p| match p {
+            Value::Sym(s) => Ok(s.clone()),
+            other => Err(AlangError::new(format!(
+                "parameter must be a symbol, got {other}"
+            ))),
+        })
+        .collect()
+}
+
+/// Applies a function value to already-evaluated arguments.
+///
+/// # Errors
+///
+/// Fails when `func` is not callable or the body fails.
+pub fn apply(func: &Value, args: &[Value], ctx: &mut Ctx<'_>) -> Result<Value, AlangError> {
+    match func {
+        Value::Native(_, f) => f(ctx, args),
+        Value::Lambda(def) => {
+            if args.len() != def.params.len() {
+                return Err(AlangError::new(format!(
+                    "arity mismatch: expected {} args, got {}",
+                    def.params.len(),
+                    args.len()
+                )));
+            }
+            let frame = def.env.child();
+            for (p, a) in def.params.iter().zip(args) {
+                frame.define(p.clone(), a.clone());
+            }
+            let mut result = Value::Nil;
+            for body in &def.body {
+                result = eval(body, &frame, ctx)?;
+            }
+            Ok(result)
+        }
+        other => Err(AlangError::new(format!(
+            "not callable: {} ({})",
+            other,
+            other.type_name()
+        ))),
+    }
+}

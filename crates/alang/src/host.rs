@@ -1,0 +1,139 @@
+//! The host interface: how a/L scripts reach into the design hierarchy.
+//!
+//! The paper: "Concurrent CAE Solution's a/L is a Lisp dialect and is set
+//! up so that a user can interact with the entire design hierarchy during
+//! the migration process." The [`Host`] trait is that hook — the
+//! migration engine implements it over the object currently being
+//! translated, and scripts use the `prop-*` and `ctx` builtins to read
+//! and rewrite properties.
+
+use std::collections::BTreeMap;
+
+use crate::value::Value;
+
+/// Design-side state exposed to a running script.
+pub trait Host {
+    /// Reads a property value.
+    fn get(&self, key: &str) -> Option<Value>;
+
+    /// Writes a property value.
+    ///
+    /// # Errors
+    ///
+    /// Implementations may reject writes (e.g. read-only hosts) with a
+    /// message.
+    fn set(&mut self, key: &str, value: Value) -> Result<(), String>;
+
+    /// Removes a property, returning its old value.
+    fn remove(&mut self, key: &str) -> Option<Value>;
+
+    /// All property names, sorted.
+    fn keys(&self) -> Vec<String>;
+
+    /// Contextual metadata (e.g. `"inst"`, `"cell"`, `"library"`,
+    /// `"path"`).
+    fn context(&self, what: &str) -> Option<Value>;
+}
+
+/// A simple map-backed host, useful for tests and standalone scripting.
+#[derive(Debug, Clone, Default)]
+pub struct MapHost {
+    /// Property map.
+    pub props: BTreeMap<String, Value>,
+    /// Context map.
+    pub ctx: BTreeMap<String, Value>,
+}
+
+impl MapHost {
+    /// Creates an empty host.
+    pub fn new() -> Self {
+        MapHost::default()
+    }
+
+    /// Inserts a property, builder style.
+    pub fn with_prop(mut self, key: impl Into<String>, value: impl Into<Value>) -> Self {
+        self.props.insert(key.into(), value.into());
+        self
+    }
+
+    /// Inserts a context entry, builder style.
+    pub fn with_context(mut self, key: impl Into<String>, value: impl Into<Value>) -> Self {
+        self.ctx.insert(key.into(), value.into());
+        self
+    }
+}
+
+impl Host for MapHost {
+    fn get(&self, key: &str) -> Option<Value> {
+        self.props.get(key).cloned()
+    }
+
+    fn set(&mut self, key: &str, value: Value) -> Result<(), String> {
+        self.props.insert(key.to_string(), value);
+        Ok(())
+    }
+
+    fn remove(&mut self, key: &str) -> Option<Value> {
+        self.props.remove(key)
+    }
+
+    fn keys(&self) -> Vec<String> {
+        self.props.keys().cloned().collect()
+    }
+
+    fn context(&self, what: &str) -> Option<Value> {
+        self.ctx.get(what).cloned()
+    }
+}
+
+/// A host with no design attached: every `prop-*` access fails softly
+/// (`get` returns `None`, `set` errors). Used when evaluating pure
+/// scripts.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NoHost;
+
+impl Host for NoHost {
+    fn get(&self, _key: &str) -> Option<Value> {
+        None
+    }
+
+    fn set(&mut self, key: &str, _value: Value) -> Result<(), String> {
+        Err(format!("no design attached; cannot set `{key}`"))
+    }
+
+    fn remove(&mut self, _key: &str) -> Option<Value> {
+        None
+    }
+
+    fn keys(&self) -> Vec<String> {
+        Vec::new()
+    }
+
+    fn context(&self, _what: &str) -> Option<Value> {
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn map_host_round_trip() {
+        let mut h = MapHost::new().with_prop("W", 4i64).with_context("inst", "I1");
+        assert_eq!(h.get("W").unwrap().as_int(), Some(4));
+        h.set("L", Value::Int(2)).unwrap();
+        assert_eq!(h.keys(), vec!["L".to_string(), "W".to_string()]);
+        assert_eq!(h.remove("W").unwrap().as_int(), Some(4));
+        assert_eq!(h.context("inst").unwrap().as_str(), Some("I1"));
+        assert!(h.context("nope").is_none());
+    }
+
+    #[test]
+    fn no_host_rejects_writes() {
+        let mut h = NoHost;
+        assert!(h.get("x").is_none());
+        assert!(h.set("x", Value::Int(1)).is_err());
+        assert!(h.keys().is_empty());
+    }
+}

@@ -1,0 +1,196 @@
+//! The a/L reader: source text to [`Value`] forms.
+
+use crate::value::Value;
+use crate::AlangError;
+
+struct Reader<'a> {
+    chars: std::iter::Peekable<std::str::Chars<'a>>,
+    line: usize,
+}
+
+impl<'a> Reader<'a> {
+    fn err(&self, msg: impl Into<String>) -> AlangError {
+        AlangError::new(format!("line {}: {}", self.line, msg.into()))
+    }
+
+    fn skip_ws(&mut self) {
+        while let Some(&c) = self.chars.peek() {
+            if c == ';' {
+                for ch in self.chars.by_ref() {
+                    if ch == '\n' {
+                        self.line += 1;
+                        break;
+                    }
+                }
+            } else if c.is_whitespace() {
+                if c == '\n' {
+                    self.line += 1;
+                }
+                self.chars.next();
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn read_form(&mut self) -> Result<Option<Value>, AlangError> {
+        self.skip_ws();
+        let Some(&c) = self.chars.peek() else {
+            return Ok(None);
+        };
+        match c {
+            '(' => {
+                self.chars.next();
+                let mut items = Vec::new();
+                loop {
+                    self.skip_ws();
+                    match self.chars.peek() {
+                        Some(')') => {
+                            self.chars.next();
+                            return Ok(Some(Value::List(items)));
+                        }
+                        Some(_) => match self.read_form()? {
+                            Some(v) => items.push(v),
+                            None => return Err(self.err("unterminated list")),
+                        },
+                        None => return Err(self.err("unterminated list")),
+                    }
+                }
+            }
+            ')' => Err(self.err("unexpected `)`")),
+            '\'' => {
+                self.chars.next();
+                match self.read_form()? {
+                    Some(v) => Ok(Some(Value::List(vec![Value::Sym("quote".into()), v]))),
+                    None => Err(self.err("nothing to quote")),
+                }
+            }
+            '"' => {
+                self.chars.next();
+                let mut s = String::new();
+                loop {
+                    match self.chars.next() {
+                        Some('\\') => match self.chars.next() {
+                            Some('n') => s.push('\n'),
+                            Some('t') => s.push('\t'),
+                            Some(ch) => s.push(ch),
+                            None => return Err(self.err("unterminated string")),
+                        },
+                        Some('"') => break,
+                        Some(ch) => {
+                            if ch == '\n' {
+                                self.line += 1;
+                            }
+                            s.push(ch);
+                        }
+                        None => return Err(self.err("unterminated string")),
+                    }
+                }
+                Ok(Some(Value::Str(s)))
+            }
+            _ => {
+                let mut tok = String::new();
+                while let Some(&ch) = self.chars.peek() {
+                    if ch.is_whitespace() || ch == '(' || ch == ')' || ch == '"' || ch == ';' {
+                        break;
+                    }
+                    tok.push(ch);
+                    self.chars.next();
+                }
+                Ok(Some(Self::atom(tok)))
+            }
+        }
+    }
+
+    fn atom(tok: String) -> Value {
+        match tok.as_str() {
+            "#t" => return Value::Bool(true),
+            "#f" => return Value::Bool(false),
+            "nil" => return Value::Nil,
+            _ => {}
+        }
+        if let Ok(i) = tok.parse::<i64>() {
+            return Value::Int(i);
+        }
+        if let Ok(r) = tok.parse::<f64>() {
+            return Value::Real(r);
+        }
+        Value::Sym(tok)
+    }
+}
+
+/// Reads every top-level form from `src`.
+///
+/// # Errors
+///
+/// Returns an [`AlangError`] with the line number for unterminated
+/// lists/strings and stray closing parens.
+pub fn read_all(src: &str) -> Result<Vec<Value>, AlangError> {
+    let mut r = Reader {
+        chars: src.chars().peekable(),
+        line: 1,
+    };
+    let mut out = Vec::new();
+    while let Some(form) = r.read_form()? {
+        out.push(form);
+    }
+    Ok(out)
+}
+
+/// Reads exactly one form.
+///
+/// # Errors
+///
+/// Fails when `src` holds zero or more than one top-level form, or on
+/// any syntax error.
+pub fn read_one(src: &str) -> Result<Value, AlangError> {
+    let forms = read_all(src)?;
+    match forms.len() {
+        1 => Ok(forms.into_iter().next().expect("len checked")),
+        0 => Err(AlangError::new("no form in input")),
+        n => Err(AlangError::new(format!("expected one form, found {n}"))),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn atoms_parse_by_type() {
+        assert!(matches!(read_one("42").unwrap(), Value::Int(42)));
+        assert!(matches!(read_one("-7").unwrap(), Value::Int(-7)));
+        assert!(matches!(read_one("2.5").unwrap(), Value::Real(_)));
+        assert!(matches!(read_one("#t").unwrap(), Value::Bool(true)));
+        assert!(matches!(read_one("nil").unwrap(), Value::Nil));
+        assert!(matches!(read_one("foo-bar!").unwrap(), Value::Sym(_)));
+        assert!(matches!(read_one("\"hi\\n\"").unwrap(), Value::Str(_)));
+    }
+
+    #[test]
+    fn nested_lists() {
+        let v = read_one("(a (b 1) \"s\")").unwrap();
+        assert_eq!(v.to_string(), "(a (b 1) \"s\")");
+    }
+
+    #[test]
+    fn quote_sugar() {
+        let v = read_one("'(1 2)").unwrap();
+        assert_eq!(v.to_string(), "(quote (1 2))");
+    }
+
+    #[test]
+    fn comments_are_skipped() {
+        let forms = read_all("; header\n1 ; trailing\n2").unwrap();
+        assert_eq!(forms.len(), 2);
+    }
+
+    #[test]
+    fn errors_carry_line_numbers() {
+        let err = read_all("(a\n(b").unwrap_err();
+        assert!(err.to_string().contains("line 2"));
+        assert!(read_all(")").is_err());
+        assert!(read_one("1 2").is_err());
+        assert!(read_one("").is_err());
+    }
+}

@@ -1,0 +1,211 @@
+//! a/L runtime values.
+
+use std::fmt;
+use std::rc::Rc;
+
+use crate::env::Env;
+
+/// A native (Rust-implemented) builtin function.
+pub type NativeFn = fn(&mut crate::eval::Ctx<'_>, &[Value]) -> Result<Value, crate::AlangError>;
+
+/// An a/L value. Code is data: the reader produces `Value`s and the
+/// evaluator consumes them.
+#[derive(Clone)]
+pub enum Value {
+    /// The empty value, also the empty list terminator in predicates.
+    Nil,
+    /// Boolean.
+    Bool(bool),
+    /// Integer.
+    Int(i64),
+    /// Real number.
+    Real(f64),
+    /// String.
+    Str(String),
+    /// Symbol (identifier).
+    Sym(String),
+    /// Proper list.
+    List(Vec<Value>),
+    /// Builtin function.
+    Native(&'static str, NativeFn),
+    /// User-defined function.
+    Lambda(Rc<LambdaDef>),
+}
+
+/// A user lambda: parameter names, body forms, and the captured
+/// environment.
+pub struct LambdaDef {
+    /// Parameter names.
+    pub params: Vec<String>,
+    /// Body forms, evaluated in order; the last is the result.
+    pub body: Vec<Value>,
+    /// Captured lexical environment.
+    pub env: Env,
+}
+
+impl Value {
+    /// Truthiness: everything except `#f` and `nil` is true.
+    pub fn is_truthy(&self) -> bool {
+        !matches!(self, Value::Bool(false) | Value::Nil)
+    }
+
+    /// Type name for error messages.
+    pub fn type_name(&self) -> &'static str {
+        match self {
+            Value::Nil => "nil",
+            Value::Bool(_) => "bool",
+            Value::Int(_) => "int",
+            Value::Real(_) => "real",
+            Value::Str(_) => "string",
+            Value::Sym(_) => "symbol",
+            Value::List(_) => "list",
+            Value::Native(_, _) => "native",
+            Value::Lambda(_) => "lambda",
+        }
+    }
+
+    /// The string content, if this is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Numeric coercion to f64 for `Int` and `Real`.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::Int(i) => Some(*i as f64),
+            Value::Real(r) => Some(*r),
+            _ => None,
+        }
+    }
+
+    /// The integer content, if this is an integer.
+    pub fn as_int(&self) -> Option<i64> {
+        match self {
+            Value::Int(i) => Some(*i),
+            _ => None,
+        }
+    }
+
+    /// Structural equality (functions compare by identity name only).
+    pub fn equals(&self, other: &Value) -> bool {
+        match (self, other) {
+            (Value::Nil, Value::Nil) => true,
+            (Value::Bool(a), Value::Bool(b)) => a == b,
+            (Value::Int(a), Value::Int(b)) => a == b,
+            (Value::Real(a), Value::Real(b)) => a == b,
+            (Value::Int(a), Value::Real(b)) | (Value::Real(b), Value::Int(a)) => {
+                *a as f64 == *b
+            }
+            (Value::Str(a), Value::Str(b)) => a == b,
+            (Value::Sym(a), Value::Sym(b)) => a == b,
+            (Value::List(a), Value::List(b)) => {
+                a.len() == b.len() && a.iter().zip(b).all(|(x, y)| x.equals(y))
+            }
+            (Value::Native(a, _), Value::Native(b, _)) => a == b,
+            _ => false,
+        }
+    }
+}
+
+impl fmt::Debug for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{self}")
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Nil => write!(f, "nil"),
+            Value::Bool(true) => write!(f, "#t"),
+            Value::Bool(false) => write!(f, "#f"),
+            Value::Int(i) => write!(f, "{i}"),
+            Value::Real(r) => write!(f, "{r}"),
+            Value::Str(s) => write!(f, "{s:?}"),
+            Value::Sym(s) => write!(f, "{s}"),
+            Value::List(items) => {
+                write!(f, "(")?;
+                for (i, v) in items.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, " ")?;
+                    }
+                    write!(f, "{v}")?;
+                }
+                write!(f, ")")
+            }
+            Value::Native(name, _) => write!(f, "#<native {name}>"),
+            Value::Lambda(_) => write!(f, "#<lambda>"),
+        }
+    }
+}
+
+impl From<i64> for Value {
+    fn from(i: i64) -> Self {
+        Value::Int(i)
+    }
+}
+
+impl From<f64> for Value {
+    fn from(r: f64) -> Self {
+        Value::Real(r)
+    }
+}
+
+impl From<bool> for Value {
+    fn from(b: bool) -> Self {
+        Value::Bool(b)
+    }
+}
+
+impl From<&str> for Value {
+    fn from(s: &str) -> Self {
+        Value::Str(s.to_string())
+    }
+}
+
+impl From<String> for Value {
+    fn from(s: String) -> Self {
+        Value::Str(s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn truthiness() {
+        assert!(!Value::Nil.is_truthy());
+        assert!(!Value::Bool(false).is_truthy());
+        assert!(Value::Bool(true).is_truthy());
+        assert!(Value::Int(0).is_truthy());
+        assert!(Value::Str(String::new()).is_truthy());
+    }
+
+    #[test]
+    fn display_forms() {
+        let v = Value::List(vec![
+            Value::Sym("a".into()),
+            Value::Int(1),
+            Value::Str("s".into()),
+        ]);
+        assert_eq!(v.to_string(), "(a 1 \"s\")");
+        assert_eq!(Value::Bool(true).to_string(), "#t");
+    }
+
+    #[test]
+    fn numeric_equality_crosses_int_and_real() {
+        assert!(Value::Int(2).equals(&Value::Real(2.0)));
+        assert!(!Value::Int(2).equals(&Value::Real(2.5)));
+    }
+
+    #[test]
+    fn list_equality_is_deep() {
+        let a = Value::List(vec![Value::Int(1), Value::List(vec![Value::Int(2)])]);
+        let b = Value::List(vec![Value::Int(1), Value::List(vec![Value::Int(2)])]);
+        assert!(a.equals(&b));
+    }
+}

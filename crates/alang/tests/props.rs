@@ -1,0 +1,155 @@
+//! Property-based tests for the a/L interpreter.
+
+use alang::host::{MapHost, NoHost};
+use alang::value::Value;
+use alang::Interpreter;
+use proptest::prelude::*;
+
+fn run(src: &str) -> Result<Value, alang::AlangError> {
+    Interpreter::new().eval_src(src, &mut NoHost)
+}
+
+proptest! {
+    #[test]
+    fn integer_arithmetic_matches_rust(a in -10_000i64..10_000, b in -10_000i64..10_000) {
+        let sum = run(&format!("(+ {a} {b})")).expect("eval");
+        prop_assert!(sum.equals(&Value::Int(a + b)));
+        let diff = run(&format!("(- {a} {b})")).expect("eval");
+        prop_assert!(diff.equals(&Value::Int(a - b)));
+        let prod = run(&format!("(* {a} {b})")).expect("eval");
+        prop_assert!(prod.equals(&Value::Int(a.wrapping_mul(b))));
+        if b != 0 {
+            let m = run(&format!("(mod {a} {b})")).expect("eval");
+            prop_assert!(m.equals(&Value::Int(a.rem_euclid(b))));
+        }
+    }
+
+    #[test]
+    fn comparisons_match_rust(a in -1000i64..1000, b in -1000i64..1000) {
+        for (op, expect) in [
+            ("<", a < b),
+            (">", a > b),
+            ("<=", a <= b),
+            (">=", a >= b),
+            ("=", a == b),
+        ] {
+            let v = run(&format!("({op} {a} {b})")).expect("eval");
+            prop_assert!(v.equals(&Value::Bool(expect)), "{op} {a} {b}");
+        }
+    }
+
+    #[test]
+    fn reader_round_trips_integer_lists(items in prop::collection::vec(-100i64..100, 0..12)) {
+        let src = format!(
+            "'({})",
+            items.iter().map(|i| i.to_string()).collect::<Vec<_>>().join(" ")
+        );
+        let v = run(&src).expect("eval");
+        let expect = Value::List(items.into_iter().map(Value::Int).collect());
+        prop_assert!(v.equals(&expect));
+    }
+
+    #[test]
+    fn list_ops_are_consistent(items in prop::collection::vec(-100i64..100, 1..12)) {
+        let list = format!(
+            "'({})",
+            items.iter().map(|i| i.to_string()).collect::<Vec<_>>().join(" ")
+        );
+        let len = run(&format!("(length {list})")).expect("eval");
+        prop_assert!(len.equals(&Value::Int(items.len() as i64)));
+        let car = run(&format!("(car {list})")).expect("eval");
+        prop_assert!(car.equals(&Value::Int(items[0])));
+        // (reverse (reverse x)) == x
+        let rr = run(&format!("(reverse (reverse {list}))")).expect("eval");
+        let expect = Value::List(items.iter().map(|&i| Value::Int(i)).collect());
+        prop_assert!(rr.equals(&expect));
+        // cons . car/cdr round trip.
+        let rebuilt = run(&format!("(cons (car {list}) (cdr {list}))")).expect("eval");
+        prop_assert!(rebuilt.equals(&expect));
+    }
+
+    #[test]
+    fn string_split_and_append_invert(parts in prop::collection::vec("[a-z]{1,6}", 1..6)) {
+        let joined = parts.join(",");
+        let v = run(&format!("(string-split \"{joined}\" \",\")")).expect("eval");
+        let expect = Value::List(parts.iter().map(|p| Value::Str(p.clone())).collect());
+        prop_assert!(v.equals(&expect));
+        // substring recovers a prefix.
+        let first = &parts[0];
+        let sub = run(&format!(
+            "(substring \"{joined}\" 0 {})",
+            first.chars().count()
+        ))
+        .expect("eval");
+        prop_assert!(sub.equals(&Value::Str(first.clone())));
+    }
+
+    #[test]
+    fn prop_set_get_round_trips_through_host(key in "[A-Z]{1,8}", val in -1000i64..1000) {
+        let mut interp = Interpreter::new();
+        let mut host = MapHost::new();
+        interp
+            .eval_src(&format!("(prop-set! \"{key}\" {val})"), &mut host)
+            .expect("set");
+        let got = interp
+            .eval_src(&format!("(prop-get \"{key}\")"), &mut host)
+            .expect("get");
+        prop_assert!(got.equals(&Value::Int(val)));
+        let removed = interp
+            .eval_src(&format!("(prop-remove! \"{key}\")"), &mut host)
+            .expect("remove");
+        prop_assert!(removed.equals(&Value::Int(val)));
+        prop_assert!(host.props.is_empty());
+    }
+
+    #[test]
+    fn user_functions_compute(n in 0i64..18) {
+        // Factorial via recursion agrees with an iterative Rust fold.
+        let mut interp = Interpreter::new();
+        interp
+            .eval_src(
+                "(define (fact n) (if (<= n 1) 1 (* n (fact (- n 1)))))",
+                &mut NoHost,
+            )
+            .expect("define");
+        let v = interp
+            .call("fact", &[Value::Int(n)], &mut NoHost)
+            .expect("call");
+        let expect: i64 = (1..=n.max(1)).product();
+        prop_assert!(v.equals(&Value::Int(expect)));
+    }
+}
+
+mod fuzz_safety {
+    use super::*;
+    use alang::host::NoHost;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(256))]
+
+        /// Reader and evaluator never panic on arbitrary input; the
+        /// fuel guard bounds evaluation.
+        #[test]
+        fn interpreter_is_panic_free(src in ".{0,160}") {
+            let mut interp = Interpreter::new();
+            interp.fuel = 20_000;
+            let _ = interp.eval_src(&src, &mut NoHost);
+        }
+
+        #[test]
+        fn interpreter_survives_paren_soup(
+            toks in prop::collection::vec(
+                prop::sample::select(vec![
+                    "(", ")", "+", "define", "lambda", "if", "let", "x", "1",
+                    "\"s\"", "'", "car", "list", "while", "#t",
+                ]),
+                0..30,
+            )
+        ) {
+            let src: String = toks.join(" ");
+            let mut interp = Interpreter::new();
+            interp.fuel = 20_000;
+            let _ = interp.eval_src(&src, &mut NoHost);
+        }
+    }
+}

@@ -1,0 +1,18 @@
+//! E-FIG1: component replacement with rip-up minimization.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use interop_bench::schematic_exp::fig1_component_replacement;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig1_component_replacement");
+    g.sample_size(10);
+    for gates in [12usize, 48, 120] {
+        g.bench_with_input(BenchmarkId::from_parameter(gates), &gates, |b, &gates| {
+            b.iter(|| fig1_component_replacement(gates, 10));
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,25 @@
+//! E-S2-MIG: the full migration pipeline plus per-stage ablation.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use interop_bench::schematic_exp::{migration_ablation, migration_pipeline};
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("s2_migration_pipeline");
+    g.sample_size(10);
+    for (gates, pages, depth) in [(8usize, 2u32, 0usize), (12, 2, 1), (24, 3, 2)] {
+        g.bench_with_input(
+            BenchmarkId::from_parameter(format!("g{gates}p{pages}d{depth}")),
+            &(gates, pages, depth),
+            |b, &(g_, p, d)| b.iter(|| migration_pipeline(g_, p, d)),
+        );
+    }
+    g.finish();
+
+    let mut g = c.benchmark_group("s2_migration_ablation");
+    g.sample_size(10);
+    g.bench_function("all-stage-skips", |b| b.iter(|| migration_ablation(8)));
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

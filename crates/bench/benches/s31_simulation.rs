@@ -1,0 +1,21 @@
+//! E-S31-RACE / E-S31-COMPAT / E-S31-COSIM: simulator phenomena.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use interop_bench::sim_exp::{compat_mode, cosim_value_sets, race_detection};
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("s31_race_detection");
+    g.sample_size(10);
+    for cycles in [4u64, 16, 64] {
+        g.bench_with_input(BenchmarkId::from_parameter(cycles), &cycles, |b, &n| {
+            b.iter(|| race_detection(n));
+        });
+    }
+    g.finish();
+
+    c.bench_function("s31_compat_mode", |b| b.iter(compat_mode));
+    c.bench_function("s31_cosim", |b| b.iter(cosim_value_sets));
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,29 @@
+//! E-S32-SUBSET / E-S32-SENS / E-S33-NAMES / E-S33-FLAT: HDL analyses.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use interop_bench::hdl_exp::{flatten_round_trip, name_truncation, subset_matrix};
+use interop_bench::sim_exp::sensitivity_mismatch;
+
+fn bench(c: &mut Criterion) {
+    c.bench_function("s32_subset_matrix", |b| b.iter(subset_matrix));
+    c.bench_function("s32_sensitivity_mismatch", |b| b.iter(sensitivity_mismatch));
+
+    let mut g = c.benchmark_group("s33_name_truncation");
+    for n in [60usize, 240, 960] {
+        g.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
+            b.iter(|| name_truncation(n, 8));
+        });
+    }
+    g.finish();
+
+    let mut g = c.benchmark_group("s33_flatten_round_trip");
+    for depth in [2usize, 8, 32] {
+        g.bench_with_input(BenchmarkId::from_parameter(depth), &depth, |b, &d| {
+            b.iter(|| flatten_round_trip(d));
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,29 @@
+//! E-S4-BACKPLANE / E-S4-ROUTE: backplane coverage and constraint
+//! feed-forward routing.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use interop_bench::pnr_exp::{backplane_coverage, route_topology};
+use pnr::gen::PnrGenConfig;
+
+fn bench(c: &mut Criterion) {
+    c.bench_function("s4_backplane_coverage", |b| {
+        b.iter(|| backplane_coverage(&PnrGenConfig::default()))
+    });
+
+    let mut g = c.benchmark_group("s4_route_topology");
+    g.sample_size(10);
+    for cells in [12usize, 24] {
+        g.bench_with_input(BenchmarkId::from_parameter(cells), &cells, |b, &cells| {
+            b.iter(|| {
+                route_topology(&PnrGenConfig {
+                    cells,
+                    ..PnrGenConfig::default()
+                })
+            });
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

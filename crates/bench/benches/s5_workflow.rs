@@ -1,0 +1,20 @@
+//! E-S5-FLOW: the workflow engine at methodology scale.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use interop_bench::workflow_exp::workflow_at_scale;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("s5_workflow");
+    g.sample_size(10);
+    for (depth, width, label) in [(1usize, 4usize, "50-steps"), (2, 4, "210-steps")] {
+        g.bench_with_input(
+            BenchmarkId::from_parameter(label),
+            &(depth, width),
+            |b, &(d, w)| b.iter(|| workflow_at_scale(d, w)),
+        );
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

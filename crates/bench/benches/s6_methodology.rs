@@ -1,0 +1,16 @@
+//! E-S6-TASKS / E-S6-ANALYZE / E-S6-OPT: the Section 6 methodology.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use interop_bench::core_exp::{analysis_recall, optimization_passes, task_graph_and_scenarios};
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("s6_methodology");
+    g.sample_size(10);
+    g.bench_function("tasks_and_scenarios", |b| b.iter(task_graph_and_scenarios));
+    g.bench_function("analysis_recall", |b| b.iter(analysis_recall));
+    g.bench_function("optimization_passes", |b| b.iter(optimization_passes));
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

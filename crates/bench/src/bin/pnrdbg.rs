@@ -1,0 +1,21 @@
+use pnr::gen::{generate, PnrGenConfig};
+use pnr::place::place;
+use pnr::route::{route, RouteConfig};
+use std::collections::BTreeMap;
+
+fn main() {
+    let (mut nl, fp) = generate(&PnrGenConfig::default());
+    place(&mut nl, &fp);
+    let r = route(&nl, &fp, &BTreeMap::new(), RouteConfig::default());
+    println!("routed {} failed {:?}", r.routed, r.failed);
+    for net in &nl.nets {
+        if r.failed.contains(&net.name) {
+            for pin in &net.pins {
+                let cell = &nl.cells[pin.0];
+                println!("net {} pin {}.{} cell {} abs {} loc {:?}",
+                    net.name, cell.name, pin.1, cell.name, nl.lib[cell.abs].name, cell.loc);
+                println!("   pinloc {:?}", nl.pin_location(pin));
+            }
+        }
+    }
+}

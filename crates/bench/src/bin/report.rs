@@ -1,0 +1,5 @@
+//! Regenerates every experiment table recorded in EXPERIMENTS.md.
+
+fn main() {
+    print!("{}", interop_bench::full_report());
+}

@@ -1,0 +1,319 @@
+//! Experiments E-S6-TASKS, E-S6-ANALYZE, E-S6-OPT: the Section 6
+//! methodology — specification, analysis, optimization.
+
+use interop_core::analysis::analyze;
+use interop_core::flow;
+use interop_core::methodology::{
+    asic_scenario, cell_based_methodology, fpga_prototype_scenario, ip_provider_scenario,
+    seeded_problems, tool_catalog, MethodologyConfig,
+};
+use interop_core::optimize;
+use interop_core::scenario::prune;
+use interop_core::task::{Task, TaskKind};
+use interop_core::toolmodel::{Persistence, TaskToolMap, ToolModel};
+
+/// Task-graph and scenario statistics.
+#[derive(Debug, Clone)]
+pub struct TasksRow {
+    /// Scenario name (`full graph` for the unpruned baseline).
+    pub scenario: String,
+    /// Tasks.
+    pub tasks: usize,
+    /// Edges.
+    pub edges: usize,
+    /// Fraction of the full graph's tasks retained.
+    pub task_fraction: f64,
+}
+
+/// Builds the 200-task methodology and applies each scenario.
+pub fn task_graph_and_scenarios() -> Vec<TasksRow> {
+    let g = cell_based_methodology(&MethodologyConfig::default());
+    let (tasks, edges, _, _) = g.stats();
+    let mut rows = vec![TasksRow {
+        scenario: "full graph".into(),
+        tasks,
+        edges,
+        task_fraction: 1.0,
+    }];
+    for s in [asic_scenario(), fpga_prototype_scenario(), ip_provider_scenario()] {
+        let r = prune(&g, &s);
+        let (t, e, _, _) = r.graph.stats();
+        rows.push(TasksRow {
+            scenario: s.name.clone(),
+            tasks: t,
+            edges: e,
+            task_fraction: r.task_fraction,
+        });
+    }
+    rows
+}
+
+/// Renders the tasks table.
+pub fn tasks_table(rows: &[TasksRow]) -> String {
+    let mut s = String::from(
+        "E-S6-TASKS cell-based methodology and scenario pruning (~200 tasks)\n",
+    );
+    s.push_str(&format!(
+        "{:<16} {:>6} {:>6} {:>9}\n",
+        "scenario", "tasks", "edges", "fraction"
+    ));
+    for r in rows {
+        s.push_str(&format!(
+            "{:<16} {:>6} {:>6} {:>8.0}%\n",
+            r.scenario,
+            r.tasks,
+            r.edges,
+            r.task_fraction * 100.0
+        ));
+    }
+    s
+}
+
+/// Analysis recall result.
+#[derive(Debug, Clone)]
+pub struct AnalyzeRow {
+    /// Which tool-model classification was available.
+    pub config: &'static str,
+    /// Total findings.
+    pub findings: usize,
+    /// Seeded problems detected.
+    pub seeded_found: usize,
+    /// Seeded total.
+    pub seeded_total: usize,
+    /// Weighted overhead.
+    pub overhead: f64,
+}
+
+/// Runs the five-class analysis with full classification and with the
+/// ablated (unclassified) tool models.
+pub fn analysis_recall() -> Vec<AnalyzeRow> {
+    let g = cell_based_methodology(&MethodologyConfig::default());
+    let seeded = seeded_problems();
+
+    let run = |tools: &[ToolModel], label: &'static str| -> AnalyzeRow {
+        let map = TaskToolMap::build(&g, tools);
+        let diagram = flow::build(&g, tools, &map);
+        let report = analyze(&diagram);
+        let found = seeded
+            .iter()
+            .filter(|sp| {
+                report.findings.iter().any(|f| {
+                    f.class == sp.class
+                        && f.from_tool == sp.from_tool
+                        && sp
+                            .to_tool
+                            .map(|t| f.to_tool.as_deref() == Some(t))
+                            .unwrap_or(f.to_tool.is_none())
+                })
+            })
+            .count();
+        AnalyzeRow {
+            config: label,
+            findings: report.findings.len(),
+            seeded_found: found,
+            seeded_total: seeded.len(),
+            overhead: report.overhead(),
+        }
+    };
+
+    let tools = tool_catalog();
+    // Ablation: strip the four-way data classification — what analysis
+    // looks like without the paper's tool-model methodology.
+    let stripped: Vec<ToolModel> = tools
+        .iter()
+        .map(|t| {
+            let mut t = t.clone();
+            for p in t.inputs.iter_mut().chain(t.outputs.iter_mut()) {
+                p.persistence = Persistence::File("unspecified".into());
+                p.semantics = "unspecified".into();
+                p.structure = "unspecified".into();
+                p.namespace = "unspecified".into();
+            }
+            t
+        })
+        .collect();
+
+    vec![
+        run(&tools, "classified models"),
+        run(&stripped, "unclassified (ablation)"),
+    ]
+}
+
+/// Renders the analysis table, including the per-class histogram for
+/// the classified run.
+pub fn analysis_table(rows: &[AnalyzeRow]) -> String {
+    let mut s = String::from("E-S6-ANALYZE classic-problem detection (seeded ground truth)\n");
+    s.push_str(&format!(
+        "{:<26} {:>9} {:>8} {:>9}\n",
+        "tool models", "findings", "recall", "overhead"
+    ));
+    for r in rows {
+        s.push_str(&format!(
+            "{:<26} {:>9} {:>5}/{:<2} {:>9.1}\n",
+            r.config, r.findings, r.seeded_found, r.seeded_total, r.overhead
+        ));
+    }
+    // Histogram for the classified run.
+    let g = cell_based_methodology(&MethodologyConfig::default());
+    let tools = tool_catalog();
+    let map = TaskToolMap::build(&g, &tools);
+    let report = analyze(&flow::build(&g, &tools, &map));
+    s.push('\n');
+    s.push_str(&interop_core::analysis::histogram_table(&report));
+    s
+}
+
+/// One optimization-pass data point.
+#[derive(Debug, Clone)]
+pub struct OptimizeRow {
+    /// Pass description.
+    pub pass: String,
+    /// Overhead before.
+    pub before: f64,
+    /// Overhead after.
+    pub after: f64,
+    /// Fractional reduction.
+    pub reduction: f64,
+}
+
+/// Applies the paper's three improvement classes in sequence.
+pub fn optimization_passes() -> Vec<OptimizeRow> {
+    let g = cell_based_methodology(&MethodologyConfig::default());
+    let tools = tool_catalog();
+    let mut rows = Vec::new();
+
+    // Pass 1: repartition the SimStar/CovMeter boundary.
+    let (tools1, r1) = optimize::repartition(&g, &tools, "PlanAhead", "RouteMaster");
+    rows.push(OptimizeRow {
+        pass: r1.description.clone(),
+        before: r1.before.overhead(),
+        after: r1.after.overhead(),
+        reduction: r1.reduction_fraction(),
+    });
+
+    // Pass 2: company-wide naming convention.
+    let (tools2, r2) = optimize::adopt_naming_convention(&g, &tools1, "company-std");
+    rows.push(OptimizeRow {
+        pass: r2.description.clone(),
+        before: r2.before.overhead(),
+        after: r2.after.overhead(),
+        reduction: r2.reduction_fraction(),
+    });
+
+    // Pass 3: the paper's example — formal verification replaces the
+    // entire gate-level simulation regression (one simulate-gates task
+    // per unit plus the rollup).
+    let units = MethodologyConfig::default().units;
+    let mut formal_task = Task::new("formal-verify-gates", TaskKind::Validation, "verif")
+        .produces("gate-regression-report");
+    for u in &units {
+        formal_task = formal_task.consumes(format!("scan-netlist:{u}").as_str());
+    }
+    let formal_tool = ToolModel::new("FormalEq", "formal equivalence checking")
+        .reads(interop_core::toolmodel::DataPort::new(
+            "scan-netlist",
+            Persistence::File("verilog-gates".into()),
+            "4-state",
+            "flat",
+            "eight-char-upper",
+        ))
+        .writes(interop_core::toolmodel::DataPort::new(
+            "gate-regression-report",
+            Persistence::File("report".into()),
+            "prose",
+            "document",
+            "verilog-case-sensitive",
+        ));
+    let replaced: Vec<String> = units
+        .iter()
+        .map(|u| format!("simulate-gates-{u}"))
+        .chain(std::iter::once("run-gate-regressions".to_string()))
+        .collect();
+    let replaced_refs: Vec<&str> = replaced.iter().map(String::as_str).collect();
+    let (_, _, r3) = optimize::substitute_technology(
+        &g,
+        &tools2,
+        &replaced_refs,
+        formal_task,
+        formal_tool,
+    );
+    rows.push(OptimizeRow {
+        pass: r3.description.clone(),
+        before: r3.before.overhead(),
+        after: r3.after.overhead(),
+        reduction: r3.reduction_fraction(),
+    });
+
+    rows
+}
+
+/// Renders the optimization table.
+pub fn optimize_table(rows: &[OptimizeRow]) -> String {
+    let mut s = String::from("E-S6-OPT system optimization passes (weighted overhead)\n");
+    s.push_str(&format!(
+        "{:<52} {:>8} {:>8} {:>8}\n",
+        "pass", "before", "after", "cut"
+    ));
+    for r in rows {
+        s.push_str(&format!(
+            "{:<52} {:>8.1} {:>8.1} {:>7.0}%\n",
+            r.pass,
+            r.before,
+            r.after,
+            r.reduction * 100.0
+        ));
+    }
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use interop_core::analysis::ProblemClass;
+
+    #[test]
+    fn scenarios_prune_and_full_graph_is_200ish() {
+        let rows = task_graph_and_scenarios();
+        assert!(rows[0].tasks >= 180 && rows[0].tasks <= 220);
+        let fpga = rows.iter().find(|r| r.scenario == "fpga-prototype").unwrap();
+        assert!(fpga.task_fraction < 0.45);
+    }
+
+    #[test]
+    fn recall_is_total_with_classification_and_poor_without() {
+        let rows = analysis_recall();
+        let full = &rows[0];
+        assert_eq!(full.seeded_found, full.seeded_total, "100% recall");
+        let ablated = &rows[1];
+        assert!(
+            ablated.seeded_found < ablated.seeded_total,
+            "classification stripped: data-class problems invisible"
+        );
+        // Only the ToolControl seed survives (control is not stripped).
+        assert_eq!(ablated.seeded_found, 1);
+    }
+
+    #[test]
+    fn every_pass_reduces_overhead() {
+        let rows = optimization_passes();
+        assert_eq!(rows.len(), 3);
+        for r in &rows {
+            assert!(
+                r.after <= r.before,
+                "{}: {} -> {}",
+                r.pass,
+                r.before,
+                r.after
+            );
+        }
+        assert!(rows.iter().any(|r| r.reduction > 0.05));
+    }
+
+    #[test]
+    fn histogram_has_all_classes() {
+        let table = analysis_table(&analysis_recall());
+        for c in ProblemClass::ALL {
+            assert!(table.contains(c.name()), "missing {c}");
+        }
+    }
+}

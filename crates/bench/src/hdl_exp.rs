@@ -1,0 +1,312 @@
+//! Experiments E-S32-SUBSET, E-S33-NAMES, E-S33-FLAT: synthesizable
+//! subsets and the Section 3.3 naming issues.
+
+use std::collections::BTreeSet;
+
+use hdl::flatten::flatten;
+use hdl::lang::Language;
+use hdl::names::{plan_renames, truncation_aliases};
+use hdl::parser::parse;
+use hdl::synth::VendorSubset;
+
+/// A small corpus of models spanning the construct space.
+pub fn model_corpus() -> Vec<(&'static str, &'static str)> {
+    vec![
+        (
+            "comb-assign",
+            "module m(input a, input b, output w); assign w = a & b; endmodule",
+        ),
+        (
+            "sync-dff",
+            "module m(input clk, input d, output reg q);
+               always @(posedge clk) q <= d; endmodule",
+        ),
+        (
+            "async-reset",
+            "module m(input clk, input rst, input d, output reg q);
+               always @(posedge clk or negedge rst)
+                 if (!rst) q <= 0; else q <= d; endmodule",
+        ),
+        (
+            "case-mux",
+            "module m(input [1:0] s, input a, input b, output reg y);
+               always @* begin
+                 case (s) 0: y = a; 1: y = b; default: y = 0; endcase
+               end endmodule",
+        ),
+        (
+            "blocking-seq",
+            "module m(input clk, input d, output reg q);
+               always @(posedge clk) q = d; endmodule",
+        ),
+        (
+            "nb-comb",
+            "module m(input a, output reg y);
+               always @* y <= a; endmodule",
+        ),
+        (
+            "testbench-style",
+            "module m(output reg q);
+               initial begin #5 q = 1; end endmodule",
+        ),
+        (
+            "portable-mix",
+            "module m(input clk, input a, input b, output reg q, output w);
+               assign w = a | b;
+               always @(posedge clk) q <= a & b; endmodule",
+        ),
+    ]
+}
+
+/// One subset-acceptance data point.
+#[derive(Debug, Clone)]
+pub struct SubsetRow {
+    /// Model name.
+    pub model: &'static str,
+    /// Accepted by vendor A.
+    pub vendor_a: bool,
+    /// Accepted by vendor B.
+    pub vendor_b: bool,
+    /// Within the intersection (portable).
+    pub portable: bool,
+}
+
+/// Checks the corpus against both vendor subsets and the intersection.
+pub fn subset_matrix() -> Vec<SubsetRow> {
+    let a = VendorSubset::vendor_a();
+    let b = VendorSubset::vendor_b();
+    let both = VendorSubset::intersection([&a, &b]);
+    model_corpus()
+        .into_iter()
+        .map(|(name, src)| {
+            let m = parse(src).expect("corpus parses").modules.remove(0);
+            SubsetRow {
+                model: name,
+                vendor_a: a.accepts(&m),
+                vendor_b: b.accepts(&m),
+                portable: both.accepts(&m),
+            }
+        })
+        .collect()
+}
+
+/// Renders the subset matrix.
+pub fn subset_table(rows: &[SubsetRow]) -> String {
+    let mut s = String::from("E-S32-SUBSET synthesizable-subset acceptance\n");
+    s.push_str(&format!(
+        "{:<16} {:>6} {:>6} {:>9}\n",
+        "model", "SynA", "SynB", "portable"
+    ));
+    for r in rows {
+        s.push_str(&format!(
+            "{:<16} {:>6} {:>6} {:>9}\n",
+            r.model, r.vendor_a, r.vendor_b, r.portable
+        ));
+    }
+    let portable = rows.iter().filter(|r| r.portable).count();
+    s.push_str(&format!(
+        "portable fraction: {}/{} ({:.0}%)\n",
+        portable,
+        rows.len(),
+        100.0 * portable as f64 / rows.len() as f64
+    ));
+    s
+}
+
+/// One naming data point.
+#[derive(Debug, Clone)]
+pub struct NamesRow {
+    /// Identifier count generated.
+    pub identifiers: usize,
+    /// Significance window.
+    pub significant: usize,
+    /// Alias groups found.
+    pub alias_groups: usize,
+    /// Identifiers involved in a collision.
+    pub aliased_names: usize,
+    /// Collisions remaining after the rename plan.
+    pub residual: usize,
+}
+
+/// Generates `n` realistic long identifiers and measures truncation
+/// aliasing before and after the rename plan.
+pub fn name_truncation(n: usize, significant: usize) -> NamesRow {
+    let prefixes = ["cntr_reset", "data_valid", "fifo_empty", "pipeline_stall", "cache_hit"];
+    let names: BTreeSet<String> = (0..n)
+        .map(|i| format!("{}{}", prefixes[i % prefixes.len()], i / prefixes.len()))
+        .collect();
+    let issues = truncation_aliases(&names, significant);
+    let aliased: usize = issues
+        .iter()
+        .map(|i| match i {
+            hdl::names::NameIssue::TruncationAlias { originals, .. } => originals.len(),
+            _ => 0,
+        })
+        .sum();
+
+    // Build a module with those names and plan renames.
+    let decls: String = names.iter().map(|n| format!("wire {n} ;\n")).collect();
+    let src = format!("module m();\n{decls}endmodule");
+    let module = parse(&src).expect("generated module parses").modules.remove(0);
+    let plan = plan_renames(&module, Language::Verilog, significant);
+    let renamed: BTreeSet<String> = names
+        .iter()
+        .map(|n| plan.rename(n).to_string())
+        .collect();
+    let residual = truncation_aliases(&renamed, significant).len();
+
+    NamesRow {
+        identifiers: n,
+        significant,
+        alias_groups: issues.len(),
+        aliased_names: aliased,
+        residual,
+    }
+}
+
+/// Keyword-collision counts for a Verilog identifier corpus checked
+/// against VHDL.
+pub fn keyword_collisions() -> (usize, usize) {
+    let idents = [
+        "in", "out", "data", "signal", "process", "clk", "begin_addr", "range", "access",
+        "buffer", "q", "next", "state", "loop", "wait_count",
+    ];
+    let decls: String = idents.iter().map(|n| format!("wire {n} ;\n")).collect();
+    let src = format!("module m();\n{decls}endmodule");
+    let module = parse(&src).expect("parses").modules.remove(0);
+    let issues = hdl::names::language_collisions(&module, Language::Vhdl);
+    let plan = plan_renames(&module, Language::Vhdl, 64);
+    let after: usize = idents
+        .iter()
+        .filter(|n| !Language::Vhdl.is_legal_identifier(plan.rename(n)))
+        .count();
+    (issues.len(), after)
+}
+
+/// Renders the naming tables.
+pub fn names_table(rows: &[NamesRow]) -> String {
+    let mut s = String::from("E-S33-NAMES identifier-significance aliasing\n");
+    s.push_str(&format!(
+        "{:>6} {:>6} {:>8} {:>8} {:>9}\n",
+        "names", "signif", "groups", "aliased", "residual"
+    ));
+    for r in rows {
+        s.push_str(&format!(
+            "{:>6} {:>6} {:>8} {:>8} {:>9}\n",
+            r.identifiers, r.significant, r.alias_groups, r.aliased_names, r.residual
+        ));
+    }
+    let (kw_before, kw_after) = keyword_collisions();
+    s.push_str(&format!(
+        "VHDL keyword/shape collisions: {kw_before} before rename, {kw_after} after\n"
+    ));
+    s
+}
+
+/// One flattening data point.
+#[derive(Debug, Clone)]
+pub struct FlattenRow {
+    /// Hierarchy depth.
+    pub depth: usize,
+    /// Flat nets produced.
+    pub flat_nets: usize,
+    /// Mapped names.
+    pub mapped: usize,
+    /// Round-trip failures (flat → hier → flat).
+    pub round_trip_failures: usize,
+}
+
+/// Builds a chain of `depth` nested modules, flattens, and verifies the
+/// name map round-trips for every flat net.
+pub fn flatten_round_trip(depth: usize) -> FlattenRow {
+    let mut src = String::from(
+        "module l0(input i, output o); wire inner; assign inner = ~i; assign o = inner; endmodule\n",
+    );
+    for d in 1..=depth {
+        src.push_str(&format!(
+            "module l{d}(input i, output o); wire w; l{} u (.i(i), .o(w)); assign o = ~w; endmodule\n",
+            d - 1
+        ));
+    }
+    let unit = parse(&src).expect("chain parses");
+    let result = flatten(&unit, &format!("l{depth}"), "_").expect("flattens");
+    let mut failures = 0usize;
+    for net in &result.module.nets {
+        match result.name_map.to_hier(&net.name) {
+            Some(h) => {
+                if result.name_map.to_flat(h) != Some(net.name.as_str()) {
+                    failures += 1;
+                }
+            }
+            None => failures += 1,
+        }
+    }
+    FlattenRow {
+        depth,
+        flat_nets: result.module.nets.len(),
+        mapped: result.name_map.len(),
+        round_trip_failures: failures,
+    }
+}
+
+/// Renders the flatten table.
+pub fn flatten_table(rows: &[FlattenRow]) -> String {
+    let mut s = String::from("E-S33-FLAT hierarchy removal with back-mapping\n");
+    s.push_str(&format!(
+        "{:>6} {:>9} {:>7} {:>9}\n",
+        "depth", "flat-nets", "mapped", "failures"
+    ));
+    for r in rows {
+        s.push_str(&format!(
+            "{:>6} {:>9} {:>7} {:>9}\n",
+            r.depth, r.flat_nets, r.mapped, r.round_trip_failures
+        ));
+    }
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hdl::names::PC_SIGNIFICANT_CHARS;
+
+    #[test]
+    fn subset_matrix_shows_disjoint_acceptance() {
+        let rows = subset_matrix();
+        // Someone accepts what the other rejects, both ways.
+        assert!(rows.iter().any(|r| r.vendor_a && !r.vendor_b));
+        assert!(rows.iter().any(|r| !r.vendor_a && r.vendor_b));
+        // The portable set is the intersection.
+        for r in &rows {
+            assert_eq!(r.portable, r.vendor_a && r.vendor_b, "{}", r.model);
+        }
+        // The paper's advice: some models are portable.
+        assert!(rows.iter().any(|r| r.portable));
+    }
+
+    #[test]
+    fn truncation_aliasing_appears_at_8_and_vanishes_after_renames() {
+        let row = name_truncation(60, PC_SIGNIFICANT_CHARS);
+        assert!(row.alias_groups > 0);
+        assert_eq!(row.residual, 0);
+        // With full significance there is no aliasing.
+        let full = name_truncation(60, 64);
+        assert_eq!(full.alias_groups, 0);
+    }
+
+    #[test]
+    fn keyword_renames_fix_everything() {
+        let (before, after) = keyword_collisions();
+        assert!(before >= 5, "corpus includes many VHDL keywords: {before}");
+        assert_eq!(after, 0);
+    }
+
+    #[test]
+    fn flatten_round_trips_at_every_depth() {
+        for depth in [1, 3, 6] {
+            let row = flatten_round_trip(depth);
+            assert_eq!(row.round_trip_failures, 0, "depth {depth}");
+            assert!(row.flat_nets > depth);
+        }
+    }
+}

@@ -1,0 +1,88 @@
+//! # interop-bench — the experiment harness
+//!
+//! One runner per experiment in DESIGN.md's per-experiment index. Each
+//! module provides `*_table` renderers producing the rows recorded in
+//! EXPERIMENTS.md; the `report` binary regenerates the full set; the
+//! Criterion benches in `benches/` time the underlying kernels.
+
+pub mod core_exp;
+pub mod ext_exp;
+pub mod hdl_exp;
+pub mod pnr_exp;
+pub mod schematic_exp;
+pub mod sim_exp;
+pub mod workflow_exp;
+
+/// Renders every experiment table in DESIGN.md order.
+pub fn full_report() -> String {
+    let mut out = String::new();
+    let mut push = |s: String| {
+        out.push_str(&s);
+        out.push('\n');
+    };
+
+    // Figure 1 + Section 2.
+    let fig1: Vec<_> = [12usize, 48, 120]
+        .iter()
+        .map(|&g| schematic_exp::fig1_component_replacement(g, 10))
+        .collect();
+    push(schematic_exp::fig1_table(&fig1));
+    let mig: Vec<_> = [(8usize, 2u32, 0usize), (12, 2, 1), (24, 3, 2)]
+        .iter()
+        .map(|&(g, p, d)| schematic_exp::migration_pipeline(g, p, d))
+        .collect();
+    push(schematic_exp::migration_table(
+        &mig,
+        &schematic_exp::migration_ablation(12),
+    ));
+
+    // Section 3.1 / 3.2 / 3.3.
+    push(sim_exp::race_table(&sim_exp::race_detection(6)));
+    push(sim_exp::compat_table(&sim_exp::compat_mode()));
+    push(sim_exp::cosim_table(&sim_exp::cosim_value_sets()));
+    push(hdl_exp::subset_table(&hdl_exp::subset_matrix()));
+    let (sens_rows, mismatch) = sim_exp::sensitivity_mismatch();
+    push(sim_exp::sens_table(&sens_rows, mismatch));
+    let names: Vec<_> = [(60usize, 8usize), (60, 16), (60, 31)]
+        .iter()
+        .map(|&(n, s)| hdl_exp::name_truncation(n, s))
+        .collect();
+    push(hdl_exp::names_table(&names));
+    let flat: Vec<_> = [1usize, 3, 6]
+        .iter()
+        .map(|&d| hdl_exp::flatten_round_trip(d))
+        .collect();
+    push(hdl_exp::flatten_table(&flat));
+
+    // Section 4.
+    let cfg = pnr::gen::PnrGenConfig::default();
+    let (bp, bp_rows) = pnr_exp::backplane_coverage(&cfg);
+    push(pnr_exp::backplane_table(&bp, &bp_rows));
+    push(pnr_exp::route_table(&pnr_exp::route_topology(&cfg)));
+    push(pnr_exp::globals_table(&pnr_exp::global_strategies(&cfg)));
+
+    // Section 5.
+    let flows: Vec<_> = [(1usize, 4usize), (2, 4)]
+        .iter()
+        .map(|&(d, w)| workflow_exp::workflow_at_scale(d, w))
+        .collect();
+    push(workflow_exp::flow_table(&flows));
+    push(workflow_exp::metrics_snapshot());
+    push(workflow_exp::platform_table(&workflow_exp::platform_portability()));
+
+    // Section 6.
+    push(core_exp::tasks_table(&core_exp::task_graph_and_scenarios()));
+    push(core_exp::analysis_table(&core_exp::analysis_recall()));
+    push(core_exp::optimize_table(&core_exp::optimization_passes()));
+
+    // Extensions: the conclusion's "seamless interoperation" answers.
+    let neutral: Vec<_> = [8usize, 24, 60]
+        .iter()
+        .map(|&g| ext_exp::neutral_round_trip(g))
+        .collect();
+    push(ext_exp::neutral_table(&neutral));
+    push(ext_exp::vhdl_table(&ext_exp::vhdl_emission()));
+    push(ext_exp::vcd_table(&ext_exp::vcd_exchange()));
+
+    out
+}

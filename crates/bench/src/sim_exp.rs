@@ -1,0 +1,349 @@
+//! Experiments E-S31-RACE, E-S31-COMPAT, E-S31-COSIM, E-S32-SENS:
+//! the Section 3.1/3.2 simulator phenomena.
+
+use hdl::parser::parse;
+use sim::elab::compile_unit;
+use sim::kernel::{Kernel, SchedulerPolicy};
+use sim::logic::{Logic, Value};
+use sim::race::{clocked_testbench, detect, models};
+use sim::timing::{check, CompatMode, SetupHoldCheck};
+
+/// One race-detection data point.
+#[derive(Debug, Clone)]
+pub struct RaceRow {
+    /// Model name.
+    pub model: &'static str,
+    /// Cycles simulated.
+    pub cycles: u64,
+    /// Signals diverging across the four policies.
+    pub diverging: usize,
+    /// Verdict.
+    pub has_race: bool,
+}
+
+/// Runs the three canonical models under all four policies.
+pub fn race_detection(cycles: u64) -> Vec<RaceRow> {
+    let cases = [
+        ("paper-race", models::PAPER_RACE, "race"),
+        ("order-race", models::ORDER_RACE, "order"),
+        ("race-free", models::RACE_FREE, "clean"),
+    ];
+    let mut out = Vec::new();
+    for (name, src, top) in cases {
+        let circuit = compile_unit(&parse(src).expect("model parses"), top).expect("elab");
+        let report = detect(&circuit, &SchedulerPolicy::all(), |k| {
+            clocked_testbench(k, cycles)
+        })
+        .expect("simulation");
+        out.push(RaceRow {
+            model: name,
+            cycles,
+            diverging: report.diverging.len(),
+            has_race: report.has_race(),
+        });
+    }
+    out
+}
+
+/// Renders the race table.
+pub fn race_table(rows: &[RaceRow]) -> String {
+    let mut s = String::from("E-S31-RACE scheduler divergence across 4 legal policies\n");
+    s.push_str(&format!(
+        "{:<12} {:>7} {:>10} {:>6}\n",
+        "model", "cycles", "diverging", "race"
+    ));
+    for r in rows {
+        s.push_str(&format!(
+            "{:<12} {:>7} {:>10} {:>6}\n",
+            r.model, r.cycles, r.diverging, r.has_race
+        ));
+    }
+    s
+}
+
+/// One backward-compatibility data point: violation counts per mode.
+#[derive(Debug, Clone)]
+pub struct CompatRow {
+    /// Description of the stimulus.
+    pub stimulus: &'static str,
+    /// Violations under pre-1.6a semantics (`+pre_16a_path`).
+    pub pre_16a: usize,
+    /// Violations under current semantics.
+    pub post_16a: usize,
+}
+
+/// Runs the timing-check drift experiment: a DFF with data edges at
+/// interior, boundary, and safe positions relative to a setup/hold
+/// window.
+pub fn compat_mode() -> Vec<CompatRow> {
+    let src = r#"
+        module dff(input clk, input d, output reg q);
+          always @(posedge clk) q <= d;
+        endmodule
+    "#;
+    let spec_for = |k: &Kernel| SetupHoldCheck {
+        clk: k.circuit().signal("clk").expect("clk"),
+        data: k.circuit().signal("d").expect("d"),
+        setup: 3,
+        hold: 2,
+    };
+    // Stimulus: clock edge at t=10; data toggles at the listed times.
+    let run = |data_times: &[u64]| -> (usize, usize) {
+        let unit = parse(src).expect("parses");
+        let circuit = compile_unit(&unit, "dff").expect("elab");
+        let mut k = Kernel::new(circuit, SchedulerPolicy::sim_a());
+        k.poke_name("clk", Value::bit(Logic::Zero)).expect("clk");
+        k.poke_name("d", Value::bit(Logic::Zero)).expect("d");
+        k.run_until(1).expect("run");
+        let mut level = Logic::Zero;
+        for &t in data_times {
+            k.run_until(t).expect("run");
+            level = level.not();
+            k.poke_name("d", Value::bit(level)).expect("d");
+        }
+        k.run_until(10).expect("run");
+        k.poke_name("clk", Value::bit(Logic::One)).expect("clk");
+        k.run_until(20).expect("run");
+        let spec = spec_for(&k);
+        (
+            check(k.waveform(), &spec, CompatMode::Pre16a).len(),
+            check(k.waveform(), &spec, CompatMode::Post16a).len(),
+        )
+    };
+
+    let cases: [(&'static str, &[u64]); 3] = [
+        ("interior (t=9)", &[9]),
+        ("boundary (t=7, edge-setup)", &[7]),
+        ("safe (t=2)", &[2]),
+    ];
+    cases
+        .into_iter()
+        .map(|(name, times)| {
+            let (pre, post) = run(times);
+            CompatRow {
+                stimulus: name,
+                pre_16a: pre,
+                post_16a: post,
+            }
+        })
+        .collect()
+}
+
+/// Renders the compat table.
+pub fn compat_table(rows: &[CompatRow]) -> String {
+    let mut s = String::from(
+        "E-S31-COMPAT timing-check drift (violations per semantics version)\n",
+    );
+    s.push_str(&format!(
+        "{:<30} {:>10} {:>10} {:>7}\n",
+        "data stimulus", "+pre_16a", "post-16a", "drift"
+    ));
+    for r in rows {
+        s.push_str(&format!(
+            "{:<30} {:>10} {:>10} {:>7}\n",
+            r.stimulus,
+            r.pre_16a,
+            r.post_16a,
+            r.pre_16a != r.post_16a
+        ));
+    }
+    s
+}
+
+/// One co-simulation data point.
+#[derive(Debug, Clone)]
+pub struct CosimRow {
+    /// Translation mode.
+    pub translation: &'static str,
+    /// Final gated output value (`1` expected).
+    pub y: String,
+    /// Values that crossed the bridge.
+    pub bridge_events: usize,
+    /// True when the result matches the single-kernel reference.
+    pub correct: bool,
+}
+
+/// Runs the value-set translation experiment: a VHDL-side weak enable
+/// gating a Verilog-side data path, bridged with full vs naive tables.
+pub fn cosim_value_sets() -> Vec<CosimRow> {
+    use sim::cosim::{CoSim, Link, Translation};
+    let side_a = r#"
+        module side_a(input d, input en_in, output y);
+          assign y = d & en_in;
+        endmodule
+    "#;
+    let side_b = r#"
+        module side_b(input tick, output en);
+          assign en = 1;
+        endmodule
+    "#;
+    let build = |tr: Translation| {
+        let a = Kernel::new(
+            compile_unit(&parse(side_a).expect("a"), "side_a").expect("elab a"),
+            SchedulerPolicy::sim_a(),
+        );
+        let b = Kernel::new(
+            compile_unit(&parse(side_b).expect("b"), "side_b").expect("elab b"),
+            SchedulerPolicy::sim_a(),
+        );
+        let mut cs = CoSim::new(a, b, tr);
+        cs.link_b_to_a(Link::new("en", "en_in").weak());
+        cs
+    };
+    let mut out = Vec::new();
+    for (name, tr, expect) in [
+        ("full-table", Translation::Full, Logic::One),
+        ("naive-table", Translation::Naive, Logic::X),
+    ] {
+        let mut cs = build(tr);
+        cs.a.poke_name("d", Value::bit(Logic::One)).expect("d");
+        cs.run_until(10).expect("cosim run");
+        let y = cs.a.peek_name("y").expect("y").clone();
+        out.push(CosimRow {
+            translation: name,
+            y: y.to_string_msb(),
+            bridge_events: cs.trace.len(),
+            correct: y.get(0) == Logic::One && expect == Logic::One
+                || (expect == Logic::X && y.get(0) != Logic::One),
+        });
+    }
+    out
+}
+
+/// Renders the cosim table.
+pub fn cosim_table(rows: &[CosimRow]) -> String {
+    let mut s = String::from("E-S31-COSIM value-set bridge (weak `H` enable)\n");
+    s.push_str(&format!(
+        "{:<12} {:>4} {:>8} {:>14}\n",
+        "translation", "y", "events", "delivers-1"
+    ));
+    for r in rows {
+        s.push_str(&format!(
+            "{:<12} {:>4} {:>8} {:>14}\n",
+            r.translation,
+            r.y,
+            r.bridge_events,
+            r.y == "1"
+        ));
+    }
+    s
+}
+
+/// One sensitivity-mismatch data point.
+#[derive(Debug, Clone)]
+pub struct SensRow {
+    /// Which interpretation was simulated.
+    pub view: &'static str,
+    /// Output history length (distinct values seen on `out`).
+    pub out_changes: usize,
+    /// Final `out` value after the stimulus.
+    pub final_out: String,
+}
+
+/// Runs the paper's `always @(a or b) out = a & b & c` example under
+/// the simulator's interpretation (list as written) and the synthesis
+/// interpretation (list completed to the full read set), with a
+/// stimulus that toggles only `c` last.
+pub fn sensitivity_mismatch() -> (Vec<SensRow>, bool) {
+    let src = r#"
+        module s(input a, input b, input c, output reg out);
+          always @(a or b)
+            out = a & b & c;
+        endmodule
+    "#;
+    let run = |complete: bool| -> SensRow {
+        let mut unit = parse(src).expect("parses");
+        if complete {
+            hdl::sens::complete_lists(&mut unit.modules[0]);
+        }
+        let circuit = compile_unit(&unit, "s").expect("elab");
+        let mut k = Kernel::new(circuit, SchedulerPolicy::sim_a());
+        for (t, sig, v) in [
+            // c settles first so the a/b events compute out = 1.
+            (1u64, "c", Logic::One),
+            (2, "a", Logic::One),
+            (3, "b", Logic::One),
+            // Now only c toggles: simulation (as written) must NOT see it.
+            (4, "c", Logic::Zero),
+        ] {
+            k.poke_name(sig, Value::bit(v)).expect("poke");
+            k.run_until(t).expect("run");
+        }
+        let out_sig = k.circuit().signal("out").expect("out");
+        SensRow {
+            view: if complete {
+                "synthesis (completed)"
+            } else {
+                "simulation (as written)"
+            },
+            out_changes: k.waveform().history(out_sig).len(),
+            final_out: k.peek_name("out").expect("out").to_string_msb(),
+        }
+    };
+    let sim_view = run(false);
+    let synth_view = run(true);
+    let mismatch = sim_view.final_out != synth_view.final_out;
+    (vec![sim_view, synth_view], mismatch)
+}
+
+/// Renders the sensitivity table.
+pub fn sens_table(rows: &[SensRow], mismatch: bool) -> String {
+    let mut s = String::from(
+        "E-S32-SENS sensitivity reinterpretation (`always @(a or b) out = a & b & c`)\n",
+    );
+    s.push_str(&format!(
+        "{:<26} {:>12} {:>10}\n",
+        "interpretation", "out changes", "final out"
+    ));
+    for r in rows {
+        s.push_str(&format!(
+            "{:<26} {:>12} {:>10}\n",
+            r.view, r.out_changes, r.final_out
+        ));
+    }
+    s.push_str(&format!("simulation/synthesis mismatch: {mismatch}\n"));
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn races_detected_and_control_clean() {
+        let rows = race_detection(4);
+        assert!(rows.iter().find(|r| r.model == "paper-race").unwrap().has_race);
+        assert!(rows.iter().find(|r| r.model == "order-race").unwrap().has_race);
+        assert!(!rows.iter().find(|r| r.model == "race-free").unwrap().has_race);
+    }
+
+    #[test]
+    fn compat_drifts_only_on_boundary() {
+        let rows = compat_mode();
+        let interior = &rows[0];
+        assert_eq!(interior.pre_16a, interior.post_16a);
+        assert!(interior.pre_16a > 0);
+        let boundary = &rows[1];
+        assert_eq!(boundary.pre_16a, 0);
+        assert!(boundary.post_16a > 0);
+        let safe = &rows[2];
+        assert_eq!((safe.pre_16a, safe.post_16a), (0, 0));
+    }
+
+    #[test]
+    fn cosim_naive_table_corrupts() {
+        let rows = cosim_value_sets();
+        assert_eq!(rows[0].y, "1");
+        assert_ne!(rows[1].y, "1");
+    }
+
+    #[test]
+    fn sensitivity_views_disagree() {
+        let (rows, mismatch) = sensitivity_mismatch();
+        assert!(mismatch);
+        // As written: out stays 1 after c falls (list misses c).
+        assert_eq!(rows[0].final_out, "1");
+        // Completed list: out follows c down.
+        assert_eq!(rows[1].final_out, "0");
+    }
+}

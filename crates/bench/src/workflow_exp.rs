@@ -1,0 +1,242 @@
+//! Experiment E-S5-FLOW: the workflow engine at methodology scale.
+
+use workflow::action::ToolAction;
+use workflow::engine::{Engine, Trigger};
+use workflow::metrics;
+use workflow::template::{BlockTree, FlowTemplate, StepDef};
+
+/// Builds the reference RTL-to-GDS sub-flow template (10 steps).
+pub fn tapeout_template() -> FlowTemplate {
+    FlowTemplate::new("rtl2gds")
+        .with_step(StepDef::new("spec", "write_spec"))
+        .with_step(StepDef::new("rtl", "write_rtl").after("spec"))
+        .with_step(StepDef::new("lint", "lint").after("rtl"))
+        .with_step(StepDef::new("tb", "write_tb").after("spec"))
+        .with_step(StepDef::new("sim", "simulate").after("rtl").after("tb"))
+        .with_step(StepDef::new("synth", "synth").after("lint").after("sim"))
+        .with_step(StepDef::new("place", "place").after("synth"))
+        .with_step(StepDef::new("route", "route").after("place"))
+        .with_step(StepDef::new("drc", "drc").after("route"))
+        .with_step(
+            StepDef::new("assemble", "assemble")
+                .after("drc")
+                .after_children(),
+        )
+}
+
+/// Registers the simulated tools for [`tapeout_template`].
+pub fn register_tools(engine: &mut Engine) {
+    engine.register("write_spec", ToolAction::new("spec-editor", [], ["spec.doc"]));
+    engine.register("write_rtl", ToolAction::new("rtl-editor", ["spec.doc"], ["rtl.v"]));
+    engine.register("lint", ToolAction::new("lint", ["rtl.v"], ["lint.rpt"]));
+    engine.register("write_tb", ToolAction::new("tb-editor", ["spec.doc"], ["tb.v"]));
+    engine.register(
+        "simulate",
+        ToolAction::new("simulator", ["rtl.v", "tb.v"], ["sim.rpt"]),
+    );
+    engine.register(
+        "synth",
+        ToolAction::new("synthesizer", ["rtl.v", "lint.rpt", "sim.rpt"], ["netlist.v"]),
+    );
+    engine.register("place", ToolAction::new("placer", ["netlist.v"], ["place.db"]));
+    engine.register("route", ToolAction::new("router", ["place.db"], ["route.db"]));
+    engine.register("drc", ToolAction::new("drc", ["route.db"], ["drc.rpt"]));
+    engine.register(
+        "assemble",
+        ToolAction::new("assembler", ["route.db", "drc.rpt"], ["gds.db"]),
+    );
+}
+
+/// Builds a block tree with `width` children per node down to `depth`.
+pub fn block_tree(depth: usize, width: usize) -> BlockTree {
+    fn rec(name: String, depth: usize, width: usize) -> BlockTree {
+        let mut b = BlockTree::leaf(name.clone());
+        if depth > 0 {
+            for i in 0..width {
+                b.children.push(rec(format!("b{depth}{i}"), depth - 1, width));
+            }
+        }
+        b
+    }
+    rec("chip".into(), depth, width)
+}
+
+/// One workflow data point.
+#[derive(Debug, Clone)]
+pub struct FlowRow {
+    /// Blocks instantiated.
+    pub blocks: usize,
+    /// Step instances (the "200-step" scale).
+    pub steps: usize,
+    /// Ticks to quiescence.
+    pub ticks: usize,
+    /// Actions run.
+    pub runs: usize,
+    /// Fully complete?
+    pub complete: bool,
+    /// Reruns after the RTL-change trigger fired.
+    pub churn_runs: usize,
+    /// Notifications raised.
+    pub notifications: usize,
+}
+
+/// Deploys the template over a block hierarchy, runs to completion,
+/// then fires an RTL change and measures the trigger-driven rework.
+pub fn workflow_at_scale(depth: usize, width: usize) -> FlowRow {
+    let mut engine = Engine::new();
+    register_tools(&mut engine);
+    engine.add_trigger(Trigger {
+        path_contains: "rtl.v".into(),
+        mark_stale_suffix: "synth".into(),
+        note: "RTL changed; resynthesize".into(),
+    });
+    let tree = block_tree(depth, width);
+    let blocks = tree.count();
+    engine
+        .deploy(&tapeout_template(), &tree)
+        .expect("deploy succeeds");
+    let steps = engine.steps().len();
+    let (ticks, runs) = engine.run_to_quiescence(steps * 3 + 10);
+    let complete = engine.is_complete();
+
+    // Out-of-band RTL edit on the deepest first block: trigger-driven
+    // staleness propagates.
+    let victim = engine
+        .steps()
+        .iter()
+        .map(|s| s.block.clone())
+        .max_by_key(|b| b.matches('/').count())
+        .expect("some block");
+    engine.store.write(format!("{victim}/rtl.v"), "edited rtl");
+    let (_, churn_runs) = engine.run_to_quiescence(steps * 3 + 10);
+
+    FlowRow {
+        blocks,
+        steps,
+        ticks,
+        runs,
+        complete,
+        churn_runs,
+        notifications: engine.notifications.len(),
+    }
+}
+
+/// Renders the workflow table.
+pub fn flow_table(rows: &[FlowRow]) -> String {
+    let mut s = String::from("E-S5-FLOW workflow engine at methodology scale\n");
+    s.push_str(&format!(
+        "{:>7} {:>6} {:>6} {:>6} {:>9} {:>11} {:>7}\n",
+        "blocks", "steps", "ticks", "runs", "complete", "churn-runs", "notifs"
+    ));
+    for r in rows {
+        s.push_str(&format!(
+            "{:>7} {:>6} {:>6} {:>6} {:>9} {:>11} {:>7}\n",
+            r.blocks, r.steps, r.ticks, r.runs, r.complete, r.churn_runs, r.notifications
+        ));
+    }
+    s
+}
+
+/// Collects the metrics table for one medium run (for the report).
+pub fn metrics_snapshot() -> String {
+    let mut engine = Engine::new();
+    register_tools(&mut engine);
+    engine
+        .deploy(&tapeout_template(), &block_tree(1, 4))
+        .expect("deploy succeeds");
+    engine.run_to_quiescence(200);
+    metrics::status_table(&metrics::collect(&engine))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn two_hundred_step_flow_completes() {
+        // depth 2, width 4: 1 + 4 + 16 = 21 blocks x 10 steps = 210.
+        let row = workflow_at_scale(2, 4);
+        assert_eq!(row.blocks, 21);
+        assert_eq!(row.steps, 210);
+        assert!(row.complete, "flow must complete");
+        assert_eq!(row.runs, 210, "each step runs exactly once");
+        assert!(row.churn_runs >= 1, "trigger must cause rework");
+        assert!(row.notifications >= 1);
+    }
+
+    #[test]
+    fn metrics_render() {
+        let table = metrics_snapshot();
+        assert!(table.contains("completion=100%"), "{table}");
+    }
+}
+
+/// One platform-portability data point (Section 3.4).
+#[derive(Debug, Clone)]
+pub struct PlatformRow {
+    /// Platform name.
+    pub platform: &'static str,
+    /// Steps runnable / total.
+    pub runnable: usize,
+    /// Total steps needing a tool.
+    pub total: usize,
+    /// Worst version lag.
+    pub max_skew: u32,
+    /// Missing tools.
+    pub missing: usize,
+}
+
+/// Measures how the reference tapeout flow ports across platforms.
+pub fn platform_portability() -> Vec<PlatformRow> {
+    use workflow::platform::{reference_matrix, Platform};
+    let flow = [
+        "rtl-editor", "lint", "simulator", "synthesizer", "placer", "router", "drc",
+    ];
+    let report = reference_matrix().portability(flow);
+    Platform::ALL
+        .iter()
+        .map(|&p| {
+            let row = &report[&p];
+            PlatformRow {
+                platform: p.name(),
+                runnable: row.runnable,
+                total: row.total,
+                max_skew: row.max_skew,
+                missing: row.missing_tools.len(),
+            }
+        })
+        .collect()
+}
+
+/// Renders the platform table.
+pub fn platform_table(rows: &[PlatformRow]) -> String {
+    let mut s = String::from(
+        "E-S34-PLATFORM tool ports and version skew across platforms\n",
+    );
+    s.push_str(&format!(
+        "{:<10} {:>9} {:>9} {:>8}\n",
+        "platform", "runnable", "max-skew", "missing"
+    ));
+    for r in rows {
+        s.push_str(&format!(
+            "{:<10} {:>5}/{:<3} {:>9} {:>8}\n",
+            r.platform, r.runnable, r.total, r.max_skew, r.missing
+        ));
+    }
+    s
+}
+
+#[cfg(test)]
+mod platform_tests {
+    use super::*;
+
+    #[test]
+    fn workstation_is_complete_and_home_is_not() {
+        let rows = platform_portability();
+        let ws = rows.iter().find(|r| r.platform == "unix-ws").unwrap();
+        assert_eq!(ws.runnable, ws.total);
+        assert_eq!(ws.max_skew, 0);
+        let pc = rows.iter().find(|r| r.platform == "home-pc").unwrap();
+        assert!(pc.missing > 0);
+    }
+}

@@ -1,0 +1,274 @@
+//! Flow analysis: the five classic interoperability problems.
+//!
+//! "In our experience, this analysis clearly identifies the classic
+//! interoperability problems (performance, name mapping, structure
+//! mapping, semantic interpretation errors, and tool control)."
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use crate::flow::FlowDiagram;
+
+/// The five classic problem classes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum ProblemClass {
+    /// Format/persistence mismatch forcing conversions.
+    Performance,
+    /// Namespace convention mismatch.
+    NameMapping,
+    /// Structural-model mismatch (e.g. hierarchical vs flat).
+    StructureMapping,
+    /// Behavioural-semantics mismatch (e.g. value-set differences).
+    SemanticInterpretation,
+    /// The tool cannot be driven by the integration environment.
+    ToolControl,
+}
+
+impl ProblemClass {
+    /// All classes, in display order.
+    pub const ALL: [ProblemClass; 5] = [
+        ProblemClass::Performance,
+        ProblemClass::NameMapping,
+        ProblemClass::StructureMapping,
+        ProblemClass::SemanticInterpretation,
+        ProblemClass::ToolControl,
+    ];
+
+    /// Display name.
+    pub fn name(self) -> &'static str {
+        match self {
+            ProblemClass::Performance => "performance",
+            ProblemClass::NameMapping => "name-mapping",
+            ProblemClass::StructureMapping => "structure-mapping",
+            ProblemClass::SemanticInterpretation => "semantic-interpretation",
+            ProblemClass::ToolControl => "tool-control",
+        }
+    }
+
+    /// Relative severity weight used by the overhead metric.
+    pub fn weight(self) -> f64 {
+        match self {
+            ProblemClass::Performance => 1.0,
+            ProblemClass::NameMapping => 2.0,
+            ProblemClass::StructureMapping => 3.0,
+            ProblemClass::SemanticInterpretation => 4.0,
+            ProblemClass::ToolControl => 2.5,
+        }
+    }
+}
+
+impl fmt::Display for ProblemClass {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// One analysis finding.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Finding {
+    /// Problem class.
+    pub class: ProblemClass,
+    /// The tool on the producing side (or the uncontrollable tool).
+    pub from_tool: String,
+    /// The consuming tool, when the finding sits on a data edge.
+    pub to_tool: Option<String>,
+    /// The information kind involved, when applicable.
+    pub info: Option<String>,
+    /// Human-readable detail.
+    pub detail: String,
+}
+
+impl fmt::Display for Finding {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match (&self.to_tool, &self.info) {
+            (Some(to), Some(info)) => write!(
+                f,
+                "[{}] {} -> {} ({info}): {}",
+                self.class, self.from_tool, to, self.detail
+            ),
+            _ => write!(f, "[{}] {}: {}", self.class, self.from_tool, self.detail),
+        }
+    }
+}
+
+/// The analysis result.
+#[derive(Debug, Clone, Default)]
+pub struct AnalysisReport {
+    /// All findings.
+    pub findings: Vec<Finding>,
+}
+
+impl AnalysisReport {
+    /// Findings of one class.
+    pub fn of_class(&self, class: ProblemClass) -> Vec<&Finding> {
+        self.findings.iter().filter(|f| f.class == class).collect()
+    }
+
+    /// Histogram by class.
+    pub fn histogram(&self) -> BTreeMap<ProblemClass, usize> {
+        let mut h = BTreeMap::new();
+        for f in &self.findings {
+            *h.entry(f.class).or_insert(0) += 1;
+        }
+        h
+    }
+
+    /// The weighted interface-overhead metric the optimization step
+    /// minimizes.
+    pub fn overhead(&self) -> f64 {
+        self.findings.iter().map(|f| f.class.weight()).sum()
+    }
+}
+
+/// Analyzes a flow diagram for the five classic problems.
+pub fn analyze(diagram: &FlowDiagram) -> AnalysisReport {
+    let mut report = AnalysisReport::default();
+
+    for e in &diagram.data {
+        if e.out_port.persistence != e.in_port.persistence {
+            report.findings.push(Finding {
+                class: ProblemClass::Performance,
+                from_tool: e.from_tool.clone(),
+                to_tool: Some(e.to_tool.clone()),
+                info: Some(e.info.name().to_string()),
+                detail: format!(
+                    "conversion required: {} -> {}",
+                    e.out_port.persistence, e.in_port.persistence
+                ),
+            });
+        }
+        if e.out_port.namespace != e.in_port.namespace {
+            report.findings.push(Finding {
+                class: ProblemClass::NameMapping,
+                from_tool: e.from_tool.clone(),
+                to_tool: Some(e.to_tool.clone()),
+                info: Some(e.info.name().to_string()),
+                detail: format!(
+                    "namespace `{}` vs `{}`",
+                    e.out_port.namespace, e.in_port.namespace
+                ),
+            });
+        }
+        if e.out_port.structure != e.in_port.structure {
+            report.findings.push(Finding {
+                class: ProblemClass::StructureMapping,
+                from_tool: e.from_tool.clone(),
+                to_tool: Some(e.to_tool.clone()),
+                info: Some(e.info.name().to_string()),
+                detail: format!(
+                    "structure `{}` vs `{}`",
+                    e.out_port.structure, e.in_port.structure
+                ),
+            });
+        }
+        if e.out_port.semantics != e.in_port.semantics {
+            report.findings.push(Finding {
+                class: ProblemClass::SemanticInterpretation,
+                from_tool: e.from_tool.clone(),
+                to_tool: Some(e.to_tool.clone()),
+                info: Some(e.info.name().to_string()),
+                detail: format!(
+                    "semantics `{}` vs `{}`",
+                    e.out_port.semantics, e.in_port.semantics
+                ),
+            });
+        }
+    }
+
+    for c in &diagram.control {
+        if c.usable.is_empty() {
+            report.findings.push(Finding {
+                class: ProblemClass::ToolControl,
+                from_tool: c.tool.clone(),
+                to_tool: None,
+                info: None,
+                detail: "no batch-controllable interface (GUI only)".into(),
+            });
+        }
+    }
+
+    report
+}
+
+/// Renders the histogram as an aligned table.
+pub fn histogram_table(report: &AnalysisReport) -> String {
+    let h = report.histogram();
+    let mut s = String::new();
+    s.push_str(&format!("{:<26} {:>6}\n", "problem class", "count"));
+    for c in ProblemClass::ALL {
+        s.push_str(&format!(
+            "{:<26} {:>6}\n",
+            c.name(),
+            h.get(&c).copied().unwrap_or(0)
+        ));
+    }
+    s.push_str(&format!("weighted overhead: {:.1}\n", report.overhead()));
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::flow::{ControlEdge, FlowEdge};
+    use crate::task::Info;
+    use crate::toolmodel::{DataPort, Persistence};
+
+    fn edge(out: DataPort, inp: DataPort) -> FlowEdge {
+        FlowEdge {
+            from_task: "a".into(),
+            to_task: "b".into(),
+            from_tool: "T1".into(),
+            to_tool: "T2".into(),
+            info: Info::new("x"),
+            out_port: out,
+            in_port: inp,
+        }
+    }
+
+    fn port(fmt: &str, sem: &str, st: &str, ns: &str) -> DataPort {
+        DataPort::new("x", Persistence::File(fmt.into()), sem, st, ns)
+    }
+
+    #[test]
+    fn each_mismatch_maps_to_its_class() {
+        let d = FlowDiagram {
+            data: vec![
+                edge(port("a", "s", "h", "n"), port("b", "s", "h", "n")),
+                edge(port("a", "s", "h", "n1"), port("a", "s", "h", "n2")),
+                edge(port("a", "s", "hier", "n"), port("a", "s", "flat", "n")),
+                edge(port("a", "4st", "h", "n"), port("a", "9st", "h", "n")),
+            ],
+            control: vec![ControlEdge {
+                tool: "GuiTool".into(),
+                usable: vec![],
+            }],
+            unmapped_tasks: vec![],
+        };
+        let r = analyze(&d);
+        let h = r.histogram();
+        assert_eq!(h[&ProblemClass::Performance], 1);
+        assert_eq!(h[&ProblemClass::NameMapping], 1);
+        assert_eq!(h[&ProblemClass::StructureMapping], 1);
+        assert_eq!(h[&ProblemClass::SemanticInterpretation], 1);
+        assert_eq!(h[&ProblemClass::ToolControl], 1);
+        assert!(r.overhead() > 0.0);
+        let table = histogram_table(&r);
+        assert!(table.contains("semantic-interpretation"));
+    }
+
+    #[test]
+    fn clean_diagram_has_no_findings() {
+        let p = port("edif", "4st", "hier", "upper32");
+        let d = FlowDiagram {
+            data: vec![edge(p.clone(), p)],
+            control: vec![ControlEdge {
+                tool: "T".into(),
+                usable: vec![crate::toolmodel::Interface::CommandLine],
+            }],
+            unmapped_tasks: vec![],
+        };
+        let r = analyze(&d);
+        assert!(r.findings.is_empty());
+        assert_eq!(r.overhead(), 0.0);
+    }
+}

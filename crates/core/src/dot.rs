@@ -1,0 +1,136 @@
+//! Graphviz (DOT) export for task graphs and flow diagrams.
+//!
+//! Section 6 describes the methodology as producing "data flow and
+//! control flow diagrams" that are "then analyzed" — these exporters
+//! make the diagrams visible. Render with `dot -Tsvg`.
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+use crate::analysis::{AnalysisReport, ProblemClass};
+use crate::flow::FlowDiagram;
+use crate::graph::TaskGraph;
+
+fn esc(s: &str) -> String {
+    s.replace('"', "\\\"")
+}
+
+/// Exports a task graph as DOT: one node per task (clustered by
+/// phase), one edge per information link.
+pub fn task_graph_dot(graph: &TaskGraph) -> String {
+    let mut o = String::from("digraph tasks {\n  rankdir=LR;\n  node [shape=box];\n");
+    // Cluster per phase.
+    let mut by_phase: BTreeMap<&str, Vec<&str>> = BTreeMap::new();
+    for t in graph.tasks() {
+        by_phase.entry(&t.phase).or_default().push(&t.name);
+    }
+    for (i, (phase, tasks)) in by_phase.iter().enumerate() {
+        let _ = writeln!(o, "  subgraph cluster_{i} {{");
+        let _ = writeln!(o, "    label=\"{}\";", esc(phase));
+        for t in tasks {
+            let _ = writeln!(o, "    \"{}\";", esc(t));
+        }
+        let _ = writeln!(o, "  }}");
+    }
+    for e in graph.edges() {
+        let _ = writeln!(
+            o,
+            "  \"{}\" -> \"{}\" [label=\"{}\"];",
+            esc(&e.from),
+            esc(&e.to),
+            esc(e.info.name())
+        );
+    }
+    o.push_str("}\n");
+    o
+}
+
+/// Exports a flow diagram as DOT: one node per tool, data edges
+/// labelled with the information carried, coloured red where the
+/// analysis found problems.
+pub fn flow_diagram_dot(diagram: &FlowDiagram, report: &AnalysisReport) -> String {
+    let mut o = String::from("digraph flow {\n  rankdir=LR;\n  node [shape=component];\n");
+    // Nodes: every tool; GUI-only (uncontrollable) tools drawn dashed.
+    for c in &diagram.control {
+        let style = if c.usable.is_empty() {
+            " [style=dashed, color=red]"
+        } else {
+            ""
+        };
+        let _ = writeln!(o, "  \"{}\"{};", esc(&c.tool), style);
+    }
+    // Edge problem index.
+    let problem_on = |from: &str, to: &str, info: &str| -> Vec<ProblemClass> {
+        report
+            .findings
+            .iter()
+            .filter(|f| {
+                f.from_tool == from
+                    && f.to_tool.as_deref() == Some(to)
+                    && f.info.as_deref() == Some(info)
+            })
+            .map(|f| f.class)
+            .collect()
+    };
+    // Dedup edges between tool pairs carrying the same info.
+    let mut seen = std::collections::BTreeSet::new();
+    for e in &diagram.data {
+        let key = (e.from_tool.clone(), e.to_tool.clone(), e.info.name().to_string());
+        if !seen.insert(key) {
+            continue;
+        }
+        let problems = problem_on(&e.from_tool, &e.to_tool, e.info.name());
+        let attrs = if problems.is_empty() {
+            format!("label=\"{}\"", esc(e.info.base()))
+        } else {
+            let names: Vec<&str> = problems.iter().map(|p| p.name()).collect();
+            format!(
+                "label=\"{}\\n[{}]\", color=red, penwidth=2",
+                esc(e.info.base()),
+                names.join(", ")
+            )
+        };
+        let _ = writeln!(
+            o,
+            "  \"{}\" -> \"{}\" [{attrs}];",
+            esc(&e.from_tool),
+            esc(&e.to_tool)
+        );
+    }
+    o.push_str("}\n");
+    o
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::analysis::analyze;
+    use crate::methodology::{cell_based_methodology, tool_catalog, MethodologyConfig};
+    use crate::toolmodel::TaskToolMap;
+
+    #[test]
+    fn task_graph_dot_contains_every_task_and_edge() {
+        let g = cell_based_methodology(&MethodologyConfig::default());
+        let dot = task_graph_dot(&g);
+        assert!(dot.starts_with("digraph tasks {"));
+        for t in g.tasks().iter().take(10) {
+            assert!(dot.contains(&format!("\"{}\"", t.name)), "{}", t.name);
+        }
+        // Balanced braces.
+        assert_eq!(dot.matches('{').count(), dot.matches('}').count());
+    }
+
+    #[test]
+    fn flow_dot_highlights_problem_edges_and_gui_tools() {
+        let g = cell_based_methodology(&MethodologyConfig::default());
+        let tools = tool_catalog();
+        let map = TaskToolMap::build(&g, &tools);
+        let diagram = crate::flow::build(&g, &tools, &map);
+        let report = analyze(&diagram);
+        let dot = flow_diagram_dot(&diagram, &report);
+        assert!(dot.contains("color=red"), "problems are highlighted");
+        assert!(dot.contains("style=dashed"), "GUI-only SimStar is dashed");
+        assert!(dot.contains("name-mapping") || dot.contains("performance"));
+        assert_eq!(dot.matches('{').count(), dot.matches('}').count());
+    }
+}

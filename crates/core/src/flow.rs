@@ -1,0 +1,204 @@
+//! Data- and control-flow diagrams over a task/tool map.
+//!
+//! "Once models have been developed, then data flow and control flow
+//! diagrams are created for the entire task/tool map. These diagrams
+//! are then analyzed."
+
+use crate::graph::TaskGraph;
+use crate::task::Info;
+use crate::toolmodel::{DataPort, Interface, TaskToolMap, ToolModel};
+
+/// One data-flow edge between two tool invocations.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FlowEdge {
+    /// Producing task.
+    pub from_task: String,
+    /// Consuming task.
+    pub to_task: String,
+    /// Producing tool.
+    pub from_tool: String,
+    /// Consuming tool.
+    pub to_tool: String,
+    /// The information carried.
+    pub info: Info,
+    /// The producer's output port classification.
+    pub out_port: DataPort,
+    /// The consumer's input port classification.
+    pub in_port: DataPort,
+}
+
+/// One control relationship: who can invoke the tool.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ControlEdge {
+    /// The tool being controlled.
+    pub tool: String,
+    /// Interfaces the integration environment shares with the tool
+    /// (empty = uncontrollable).
+    pub usable: Vec<Interface>,
+}
+
+/// The complete flow diagram.
+#[derive(Debug, Clone, Default)]
+pub struct FlowDiagram {
+    /// Data edges.
+    pub data: Vec<FlowEdge>,
+    /// Control edges (one per distinct tool in use).
+    pub control: Vec<ControlEdge>,
+    /// Tasks with no covering tool (excluded from the diagram).
+    pub unmapped_tasks: Vec<String>,
+}
+
+/// Interfaces the integration environment can drive (a batch flow
+/// manager: command lines and APIs, not GUIs).
+pub const ENVIRONMENT_INTERFACES: [Interface; 3] =
+    [Interface::CommandLine, Interface::Api, Interface::Ipc];
+
+/// Chooses the `(output, input)` port pair for `info` with the fewest
+/// classification mismatches.
+fn best_port_pair<'a>(
+    ft: &'a ToolModel,
+    tt: &'a ToolModel,
+    info: &Info,
+) -> Option<(&'a DataPort, &'a DataPort)> {
+    let outs: Vec<&DataPort> = ft
+        .outputs
+        .iter()
+        .filter(|p| p.info.base() == info.base())
+        .collect();
+    let ins: Vec<&DataPort> = tt
+        .inputs
+        .iter()
+        .filter(|p| p.info.base() == info.base())
+        .collect();
+    let mut best: Option<(usize, (&DataPort, &DataPort))> = None;
+    for o in &outs {
+        for i in &ins {
+            let mismatches = usize::from(o.persistence != i.persistence)
+                + usize::from(o.namespace != i.namespace)
+                + usize::from(o.structure != i.structure)
+                + usize::from(o.semantics != i.semantics);
+            if best.as_ref().map(|(m, _)| mismatches < *m).unwrap_or(true) {
+                best = Some((mismatches, (o, i)));
+            }
+        }
+    }
+    best.map(|(_, pair)| pair)
+}
+
+/// Builds the data/control-flow diagram for a task graph under a
+/// task→tool mapping.
+pub fn build(graph: &TaskGraph, tools: &[ToolModel], map: &TaskToolMap) -> FlowDiagram {
+    let chosen = map.chosen();
+    let tool_of = |name: &str| tools.iter().find(|t| t.name == name);
+
+    let mut diagram = FlowDiagram {
+        unmapped_tasks: map.holes().iter().map(|s| s.to_string()).collect(),
+        ..FlowDiagram::default()
+    };
+
+    for edge in graph.edges() {
+        let (Some(&from_tool), Some(&to_tool)) =
+            (chosen.get(edge.from.as_str()), chosen.get(edge.to.as_str()))
+        else {
+            continue;
+        };
+        let (Some(ft), Some(tt)) = (tool_of(from_tool), tool_of(to_tool)) else {
+            continue;
+        };
+        // Tools may expose several ports for one information kind
+        // (e.g. a general file interface plus a repartitioned shared
+        // database). The flow uses the best-matching pair.
+        let Some((out_port, in_port)) = best_port_pair(ft, tt, &edge.info) else {
+            continue;
+        };
+        diagram.data.push(FlowEdge {
+            from_task: edge.from.clone(),
+            to_task: edge.to.clone(),
+            from_tool: from_tool.to_string(),
+            to_tool: to_tool.to_string(),
+            info: edge.info.clone(),
+            out_port: out_port.clone(),
+            in_port: in_port.clone(),
+        });
+    }
+
+    // Control: every distinct tool in use.
+    let mut used: Vec<&str> = chosen.values().copied().collect();
+    used.sort_unstable();
+    used.dedup();
+    for name in used {
+        let Some(tool) = tool_of(name) else { continue };
+        let usable: Vec<Interface> = tool
+            .control_in
+            .iter()
+            .copied()
+            .filter(|i| ENVIRONMENT_INTERFACES.contains(i))
+            .collect();
+        diagram.control.push(ControlEdge {
+            tool: name.to_string(),
+            usable,
+        });
+    }
+
+    diagram
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::task::{Task, TaskKind};
+    use crate::toolmodel::Persistence;
+
+    fn port(info: &str, fmt: &str) -> DataPort {
+        DataPort::new(
+            info,
+            Persistence::File(fmt.into()),
+            "4-state",
+            "hierarchical",
+            "verilog-names",
+        )
+    }
+
+    #[test]
+    fn diagram_links_tools_through_ports() {
+        let graph: TaskGraph = [
+            Task::new("write-rtl", TaskKind::Creation, "rtl").produces("rtl-model"),
+            Task::new("simulate", TaskKind::Validation, "verif")
+                .consumes("rtl-model")
+                .produces("sim-results"),
+        ]
+        .into_iter()
+        .collect();
+        let tools = vec![
+            ToolModel::new("Editor", "entry").writes(port("rtl-model", "verilog")),
+            ToolModel::new("SimA", "simulation")
+                .reads(port("rtl-model", "verilog-1995"))
+                .writes(port("sim-results", "vcd"))
+                .controlled_by([Interface::Gui]),
+        ];
+        let map = TaskToolMap::build(&graph, &tools);
+        let d = build(&graph, &tools, &map);
+        assert_eq!(d.data.len(), 1);
+        let e = &d.data[0];
+        assert_eq!(e.from_tool, "Editor");
+        assert_eq!(e.to_tool, "SimA");
+        assert_ne!(e.out_port.persistence, e.in_port.persistence);
+        // SimA is GUI-only: no usable control interface.
+        let sim_ctl = d.control.iter().find(|c| c.tool == "SimA").unwrap();
+        assert!(sim_ctl.usable.is_empty());
+        assert!(d.unmapped_tasks.is_empty());
+    }
+
+    #[test]
+    fn holes_are_reported_not_linked() {
+        let graph: TaskGraph = [Task::new("orphan", TaskKind::Analysis, "x")
+            .consumes("nothing")
+            .produces("void")]
+        .into_iter()
+        .collect();
+        let map = TaskToolMap::build(&graph, &[]);
+        let d = build(&graph, &[], &map);
+        assert_eq!(d.unmapped_tasks, vec!["orphan"]);
+        assert!(d.data.is_empty());
+    }
+}

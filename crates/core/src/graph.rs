@@ -1,0 +1,274 @@
+//! The task graph.
+//!
+//! "Tasks are represented as nodes in a directed graph which are linked
+//! together through the specified inputs and outputs. Interestingly,
+//! task graphs more faithfully represent the designer's choices in what
+//! steps to do next at a given point in the design process" — unlike
+//! linear tool-specific flow descriptions.
+
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
+
+use crate::task::{Info, Task};
+
+/// An edge: producer task → consumer task, carrying an information
+/// kind.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+pub struct Edge {
+    /// Producing task name.
+    pub from: String,
+    /// Consuming task name.
+    pub to: String,
+    /// The information carried.
+    pub info: Info,
+}
+
+/// A directed task graph linked through normalized information.
+#[derive(Debug, Clone, Default)]
+pub struct TaskGraph {
+    tasks: Vec<Task>,
+    by_name: BTreeMap<String, usize>,
+}
+
+impl TaskGraph {
+    /// Creates an empty graph.
+    pub fn new() -> Self {
+        TaskGraph::default()
+    }
+
+    /// Adds a task. Replaces any existing task of the same name.
+    pub fn add(&mut self, task: Task) {
+        match self.by_name.get(&task.name) {
+            Some(&i) => self.tasks[i] = task,
+            None => {
+                self.by_name.insert(task.name.clone(), self.tasks.len());
+                self.tasks.push(task);
+            }
+        }
+    }
+
+    /// All tasks in insertion order.
+    pub fn tasks(&self) -> &[Task] {
+        &self.tasks
+    }
+
+    /// Task lookup by name.
+    pub fn task(&self, name: &str) -> Option<&Task> {
+        self.by_name.get(name).map(|&i| &self.tasks[i])
+    }
+
+    /// Task count.
+    pub fn len(&self) -> usize {
+        self.tasks.len()
+    }
+
+    /// True when empty.
+    pub fn is_empty(&self) -> bool {
+        self.tasks.is_empty()
+    }
+
+    /// Every producer of an information kind.
+    pub fn producers_of(&self, info: &Info) -> Vec<&Task> {
+        self.tasks
+            .iter()
+            .filter(|t| t.outputs.contains(info))
+            .collect()
+    }
+
+    /// Every consumer of an information kind.
+    pub fn consumers_of(&self, info: &Info) -> Vec<&Task> {
+        self.tasks
+            .iter()
+            .filter(|t| t.inputs.contains(info))
+            .collect()
+    }
+
+    /// All edges, derived from shared information kinds.
+    pub fn edges(&self) -> Vec<Edge> {
+        let mut out = Vec::new();
+        let mut producers: BTreeMap<&Info, Vec<&str>> = BTreeMap::new();
+        for t in &self.tasks {
+            for o in &t.outputs {
+                producers.entry(o).or_default().push(&t.name);
+            }
+        }
+        for t in &self.tasks {
+            for i in &t.inputs {
+                if let Some(ps) = producers.get(i) {
+                    for p in ps {
+                        if *p != t.name {
+                            out.push(Edge {
+                                from: p.to_string(),
+                                to: t.name.clone(),
+                                info: i.clone(),
+                            });
+                        }
+                    }
+                }
+            }
+        }
+        out.sort();
+        out.dedup();
+        out
+    }
+
+    /// Information kinds consumed but never produced — the
+    /// methodology's external inputs.
+    pub fn external_inputs(&self) -> BTreeSet<Info> {
+        let produced: BTreeSet<&Info> = self.tasks.iter().flat_map(|t| &t.outputs).collect();
+        self.tasks
+            .iter()
+            .flat_map(|t| &t.inputs)
+            .filter(|i| !produced.contains(i))
+            .cloned()
+            .collect()
+    }
+
+    /// Information kinds produced but never consumed — the
+    /// methodology's deliverables.
+    pub fn deliverables(&self) -> BTreeSet<Info> {
+        let consumed: BTreeSet<&Info> = self.tasks.iter().flat_map(|t| &t.inputs).collect();
+        self.tasks
+            .iter()
+            .flat_map(|t| &t.outputs)
+            .filter(|i| !consumed.contains(i))
+            .cloned()
+            .collect()
+    }
+
+    /// Tasks needed (transitively) to produce the given outputs:
+    /// backward reachability over edges.
+    pub fn needed_for(&self, outputs: &[Info]) -> BTreeSet<String> {
+        let mut needed: BTreeSet<String> = BTreeSet::new();
+        let mut frontier: VecDeque<Info> = outputs.iter().cloned().collect();
+        let mut seen_info: BTreeSet<Info> = BTreeSet::new();
+        while let Some(info) = frontier.pop_front() {
+            if !seen_info.insert(info.clone()) {
+                continue;
+            }
+            for p in self.producers_of(&info) {
+                if needed.insert(p.name.clone()) {
+                    for i in &p.inputs {
+                        frontier.push_back(i.clone());
+                    }
+                }
+            }
+        }
+        needed
+    }
+
+    /// A subgraph containing only the named tasks.
+    pub fn subgraph(&self, keep: &BTreeSet<String>) -> TaskGraph {
+        let mut g = TaskGraph::new();
+        for t in &self.tasks {
+            if keep.contains(&t.name) {
+                g.add(t.clone());
+            }
+        }
+        g
+    }
+
+    /// Removes a task by name; true when it existed.
+    pub fn remove(&mut self, name: &str) -> bool {
+        let Some(&idx) = self.by_name.get(name) else {
+            return false;
+        };
+        self.tasks.remove(idx);
+        self.by_name.clear();
+        for (i, t) in self.tasks.iter().enumerate() {
+            self.by_name.insert(t.name.clone(), i);
+        }
+        true
+    }
+
+    /// `(tasks, edges, external inputs, deliverables)` counts.
+    pub fn stats(&self) -> (usize, usize, usize, usize) {
+        (
+            self.len(),
+            self.edges().len(),
+            self.external_inputs().len(),
+            self.deliverables().len(),
+        )
+    }
+}
+
+impl FromIterator<Task> for TaskGraph {
+    fn from_iter<I: IntoIterator<Item = Task>>(iter: I) -> Self {
+        let mut g = TaskGraph::new();
+        for t in iter {
+            g.add(t);
+        }
+        g
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::task::TaskKind;
+
+    fn three_task_graph() -> TaskGraph {
+        [
+            Task::new("write-spec", TaskKind::Creation, "spec").produces("spec"),
+            Task::new("write-rtl", TaskKind::Creation, "rtl")
+                .consumes("spec")
+                .produces("rtl-model"),
+            Task::new("simulate", TaskKind::Validation, "verif")
+                .consumes("rtl-model")
+                .consumes("testbench")
+                .produces("sim-results"),
+        ]
+        .into_iter()
+        .collect()
+    }
+
+    #[test]
+    fn edges_derive_from_shared_info() {
+        let g = three_task_graph();
+        let edges = g.edges();
+        assert_eq!(edges.len(), 2);
+        assert!(edges.iter().any(|e| e.from == "write-spec" && e.to == "write-rtl"));
+        assert!(edges.iter().any(|e| e.from == "write-rtl" && e.to == "simulate"));
+    }
+
+    #[test]
+    fn externals_and_deliverables() {
+        let g = three_task_graph();
+        assert!(g.external_inputs().contains(&Info::new("testbench")));
+        assert!(g.deliverables().contains(&Info::new("sim-results")));
+        assert!(!g.deliverables().contains(&Info::new("rtl-model")));
+    }
+
+    #[test]
+    fn backward_reachability() {
+        let g = three_task_graph();
+        let needed = g.needed_for(&[Info::new("sim-results")]);
+        assert_eq!(needed.len(), 3);
+        let needed_rtl = g.needed_for(&[Info::new("rtl-model")]);
+        assert_eq!(needed_rtl.len(), 2);
+        assert!(!needed_rtl.contains("simulate"));
+    }
+
+    #[test]
+    fn subgraph_and_remove() {
+        let g = three_task_graph();
+        let keep: BTreeSet<String> = ["write-spec", "write-rtl"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+        let sub = g.subgraph(&keep);
+        assert_eq!(sub.len(), 2);
+        let mut g2 = g.clone();
+        assert!(g2.remove("simulate"));
+        assert!(!g2.remove("simulate"));
+        assert_eq!(g2.len(), 2);
+        assert!(g2.task("write-rtl").is_some());
+    }
+
+    #[test]
+    fn replacing_a_task_keeps_count() {
+        let mut g = three_task_graph();
+        g.add(Task::new("write-rtl", TaskKind::Creation, "rtl").produces("rtl-model"));
+        assert_eq!(g.len(), 3);
+        assert!(g.task("write-rtl").unwrap().inputs.is_empty());
+    }
+}

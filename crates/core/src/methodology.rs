@@ -1,0 +1,931 @@
+//! The reference cell-based methodology and tool catalog.
+//!
+//! "In our experience, we found that it takes approximately 200 tasks
+//! to describe a cell based design methodology that spans from product
+//! specification to final mask tapeout." [`cell_based_methodology`]
+//! builds exactly such a graph; [`tool_catalog`] supplies tool models
+//! whose classifications deliberately disagree in the specific,
+//! documented places listed by [`seeded_problems`] — the ground truth
+//! the analysis detectors are measured against.
+
+use crate::analysis::ProblemClass;
+use crate::graph::TaskGraph;
+use crate::scenario::Scenario;
+use crate::task::{Info, Task, TaskKind};
+use crate::toolmodel::{DataPort, Interface, Persistence, ToolModel};
+
+/// Parameters of the generated methodology.
+#[derive(Debug, Clone)]
+pub struct MethodologyConfig {
+    /// Design units (each gets its own front-end and implementation
+    /// tasks).
+    pub units: Vec<String>,
+    /// Signoff corners (each gets extraction and timing tasks).
+    pub corners: Vec<String>,
+}
+
+impl Default for MethodologyConfig {
+    fn default() -> Self {
+        MethodologyConfig {
+            units: ["datapath", "control", "memory", "io", "clocking"]
+                .iter()
+                .map(|s| s.to_string())
+                .collect(),
+            corners: ["typical", "worst", "best"]
+                .iter()
+                .map(|s| s.to_string())
+                .collect(),
+        }
+    }
+}
+
+fn per_unit(info: &str, unit: &str) -> Info {
+    Info::new(format!("{info}:{unit}"))
+}
+
+/// Builds the spec-to-tapeout cell-based task graph (~200 tasks with
+/// the default configuration).
+pub fn cell_based_methodology(cfg: &MethodologyConfig) -> TaskGraph {
+    use TaskKind::*;
+    let mut g = TaskGraph::new();
+    let mut add = |t: Task| g.add(t);
+
+    // --- product specification (8) ---
+    add(Task::new("gather-requirements", Creation, "spec")
+        .consumes("market-input")
+        .produces("requirements"));
+    add(Task::new("write-product-spec", Creation, "spec")
+        .consumes("requirements")
+        .produces("product-spec"));
+    add(Task::new("define-architecture", Creation, "spec")
+        .consumes("product-spec")
+        .produces("architecture-spec"));
+    add(Task::new("partition-design", Creation, "spec")
+        .consumes("architecture-spec")
+        .produces("partition"));
+    add(Task::new("define-power-budget", Creation, "spec")
+        .consumes("architecture-spec")
+        .produces("power-budget"));
+    add(Task::new("select-package", Creation, "spec")
+        .consumes("architecture-spec")
+        .produces("package-spec"));
+    add(Task::new("define-test-strategy", Creation, "spec")
+        .consumes("architecture-spec")
+        .produces("test-strategy"));
+    add(Task::new("review-architecture", Validation, "spec")
+        .consumes("architecture-spec")
+        .produces("architecture-review"));
+
+    // --- library qualification (6) ---
+    add(Task::new("select-technology", Creation, "library")
+        .consumes("product-spec")
+        .produces("technology-choice"));
+    add(Task::new("install-cell-library", Creation, "library")
+        .consumes("technology-choice")
+        .produces("cell-library"));
+    add(Task::new("characterize-library", Analysis, "library")
+        .consumes("cell-library")
+        .produces("timing-library"));
+    add(Task::new("qualify-library", Validation, "library")
+        .consumes("timing-library")
+        .produces("library-qualification"));
+    add(Task::new("install-memory-compiler", Creation, "library")
+        .consumes("technology-choice")
+        .produces("memory-models"));
+    add(Task::new("build-pad-library", Creation, "library")
+        .consumes("package-spec")
+        .produces("pad-library"));
+
+    // --- per-unit front end (units x 9) ---
+    for u in &cfg.units {
+        add(Task::new(format!("write-unit-spec-{u}"), Creation, "rtl")
+            .consumes("partition")
+            .produces(per_unit("unit-spec", u)));
+        add(Task::new(format!("write-rtl-{u}"), Creation, "rtl")
+            .consumes(per_unit("unit-spec", u))
+            .produces(per_unit("rtl-model", u)));
+        add(Task::new(format!("lint-rtl-{u}"), Analysis, "rtl")
+            .consumes(per_unit("rtl-model", u))
+            .produces(per_unit("lint-report", u)));
+        add(Task::new(format!("write-testbench-{u}"), Creation, "verif")
+            .consumes(per_unit("unit-spec", u))
+            .produces(per_unit("testbench", u)));
+        add(Task::new(format!("simulate-unit-{u}"), Validation, "verif")
+            .consumes(per_unit("rtl-model", u))
+            .consumes(per_unit("testbench", u))
+            .produces(per_unit("sim-results", u)));
+        add(Task::new(format!("measure-coverage-{u}"), Analysis, "verif")
+            .consumes(per_unit("sim-results", u))
+            .produces(per_unit("coverage-report", u)));
+        add(Task::new(format!("review-rtl-{u}"), Validation, "rtl")
+            .consumes(per_unit("rtl-model", u))
+            .consumes(per_unit("lint-report", u))
+            .produces(per_unit("rtl-review", u)));
+        add(Task::new(format!("estimate-power-{u}"), Analysis, "rtl")
+            .consumes(per_unit("rtl-model", u))
+            .produces(per_unit("power-estimate", u)));
+        add(Task::new(format!("debug-unit-{u}"), Validation, "verif")
+            .consumes(per_unit("sim-results", u))
+            .produces(per_unit("debug-notes", u)));
+    }
+
+    // --- chip-level verification (9) ---
+    add(Task::new("integrate-rtl", Creation, "verif")
+        .consumes_all(cfg.units.iter().map(|u| per_unit("rtl-model", u)))
+        .produces("chip-rtl"));
+    add(Task::new("write-chip-testbench", Creation, "verif")
+        .consumes("architecture-spec")
+        .produces("chip-testbench"));
+    add(Task::new("simulate-chip", Validation, "verif")
+        .consumes("chip-rtl")
+        .consumes("chip-testbench")
+        .produces("chip-sim-results"));
+    add(Task::new("run-regressions", Validation, "verif")
+        .consumes("chip-sim-results")
+        .produces("regression-report"));
+    add(Task::new("close-coverage", Analysis, "verif")
+        .consumes("regression-report")
+        .produces("coverage-closure"));
+    add(Task::new("simulate-performance", Analysis, "verif")
+        .consumes("chip-sim-results")
+        .produces("performance-report"));
+    add(Task::new("estimate-chip-power", Analysis, "verif")
+        .consumes("chip-sim-results")
+        .consumes("power-budget")
+        .produces("chip-power-estimate"));
+    add(Task::new("debug-chip-failures", Validation, "verif")
+        .consumes("regression-report")
+        .produces("chip-debug-notes"));
+    add(Task::new("signoff-verification", Validation, "verif")
+        .consumes("coverage-closure")
+        .produces("verification-signoff"));
+
+    // --- per-unit synthesis (units x 5) ---
+    for u in &cfg.units {
+        add(Task::new(format!("write-constraints-{u}"), Creation, "synth")
+            .consumes(per_unit("unit-spec", u))
+            .produces(per_unit("constraints", u)));
+        add(Task::new(format!("synthesize-{u}"), Creation, "synth")
+            .consumes(per_unit("rtl-model", u))
+            .consumes(per_unit("constraints", u))
+            .consumes("timing-library")
+            .produces(per_unit("netlist", u)));
+        add(Task::new(format!("insert-scan-{u}"), Creation, "dft")
+            .consumes(per_unit("netlist", u))
+            .consumes("test-strategy")
+            .produces(per_unit("scan-netlist", u)));
+        add(Task::new(format!("simulate-gates-{u}"), Validation, "verif")
+            .consumes(per_unit("scan-netlist", u))
+            .consumes(per_unit("testbench", u))
+            .produces(per_unit("gate-sim-results", u)));
+        add(Task::new(format!("sta-unit-{u}"), Analysis, "timing")
+            .consumes(per_unit("netlist", u))
+            .consumes(per_unit("constraints", u))
+            .produces(per_unit("unit-timing-report", u)));
+    }
+
+    // --- floorplanning (8) ---
+    add(Task::new("initial-floorplan", Creation, "floorplan")
+        .consumes("partition")
+        .consumes_all(cfg.units.iter().map(|u| per_unit("netlist", u)))
+        .produces("floorplan"));
+    add(Task::new("assign-pins", Creation, "floorplan")
+        .consumes("floorplan")
+        .consumes("package-spec")
+        .produces("pin-assignment"));
+    add(Task::new("plan-power-grid", Creation, "floorplan")
+        .consumes("floorplan")
+        .consumes("power-budget")
+        .produces("power-plan"));
+    add(Task::new("plan-clocks", Creation, "floorplan")
+        .consumes("floorplan")
+        .produces("clock-plan"));
+    add(Task::new("place-macros", Creation, "floorplan")
+        .consumes("floorplan")
+        .consumes("memory-models")
+        .produces("macro-placement"));
+    add(Task::new("define-keepouts", Creation, "floorplan")
+        .consumes("macro-placement")
+        .produces("keepout-zones"));
+    add(Task::new("review-floorplan", Validation, "floorplan")
+        .consumes("floorplan")
+        .consumes("pin-assignment")
+        .produces("floorplan-review"));
+    add(Task::new("feed-forward-constraints", Creation, "floorplan")
+        .consumes("floorplan")
+        .consumes("clock-plan")
+        .produces("pnr-constraints"));
+
+    // --- per-unit place and route (units x 6) ---
+    for u in &cfg.units {
+        add(Task::new(format!("place-{u}"), Creation, "pnr")
+            .consumes(per_unit("scan-netlist", u))
+            .consumes("pnr-constraints")
+            .produces(per_unit("placement", u)));
+        add(Task::new(format!("build-clock-tree-{u}"), Creation, "pnr")
+            .consumes(per_unit("placement", u))
+            .consumes("clock-plan")
+            .produces(per_unit("clocked-placement", u)));
+        add(Task::new(format!("route-{u}"), Creation, "pnr")
+            .consumes(per_unit("clocked-placement", u))
+            .produces(per_unit("routed-layout", u)));
+        add(Task::new(format!("optimize-route-{u}"), Creation, "pnr")
+            .consumes(per_unit("routed-layout", u))
+            .produces(per_unit("final-layout", u)));
+        add(Task::new(format!("check-unit-drc-{u}"), Validation, "physver")
+            .consumes(per_unit("final-layout", u))
+            .produces(per_unit("unit-drc-report", u)));
+        add(Task::new(format!("check-unit-lvs-{u}"), Validation, "physver")
+            .consumes(per_unit("final-layout", u))
+            .consumes(per_unit("scan-netlist", u))
+            .produces(per_unit("unit-lvs-report", u)));
+    }
+
+    // --- chip assembly (7) ---
+    add(Task::new("assemble-chip", Creation, "pnr")
+        .consumes_all(cfg.units.iter().map(|u| per_unit("final-layout", u)))
+        .consumes("macro-placement")
+        .produces("chip-layout"));
+    add(Task::new("route-top-level", Creation, "pnr")
+        .consumes("chip-layout")
+        .consumes("pin-assignment")
+        .produces("routed-chip"));
+    add(Task::new("route-power", Creation, "pnr")
+        .consumes("routed-chip")
+        .consumes("power-plan")
+        .produces("powered-chip"));
+    add(Task::new("insert-io-ring", Creation, "pnr")
+        .consumes("powered-chip")
+        .consumes("pad-library")
+        .produces("chip-with-io"));
+    add(Task::new("finalize-layout", Creation, "pnr")
+        .consumes("chip-with-io")
+        .produces("final-chip-layout"));
+    add(Task::new("extract-chip-netlist", Analysis, "pnr")
+        .consumes("final-chip-layout")
+        .produces("extracted-netlist"));
+    add(Task::new("verify-chip-lvs", Validation, "physver")
+        .consumes("extracted-netlist")
+        .consumes("chip-rtl")
+        .produces("chip-lvs-report"));
+
+    // --- signoff per corner (corners x 4) ---
+    for c in &cfg.corners {
+        add(Task::new(format!("extract-parasitics-{c}"), Analysis, "signoff")
+            .consumes("final-chip-layout")
+            .produces(per_unit("parasitics", c)));
+        add(Task::new(format!("run-sta-{c}"), Analysis, "signoff")
+            .consumes(per_unit("parasitics", c))
+            .consumes("extracted-netlist")
+            .produces(per_unit("sta-report", c)));
+        add(Task::new(format!("check-signal-integrity-{c}"), Analysis, "signoff")
+            .consumes(per_unit("parasitics", c))
+            .produces(per_unit("si-report", c)));
+        add(Task::new(format!("simulate-spice-{c}"), Validation, "signoff")
+            .consumes(per_unit("parasitics", c))
+            .produces(per_unit("spice-results", c)));
+    }
+
+    // --- signoff rollup (6) ---
+    add(Task::new("close-timing", Analysis, "signoff")
+        .consumes_all(cfg.corners.iter().map(|c| per_unit("sta-report", c)))
+        .produces("timing-closure"));
+    add(Task::new("check-ir-drop", Analysis, "signoff")
+        .consumes("final-chip-layout")
+        .consumes("power-plan")
+        .produces("ir-drop-report"));
+    add(Task::new("check-electromigration", Analysis, "signoff")
+        .consumes("final-chip-layout")
+        .produces("em-report"));
+    add(Task::new("signoff-power", Validation, "signoff")
+        .consumes("ir-drop-report")
+        .consumes("chip-power-estimate")
+        .produces("power-signoff"));
+    add(Task::new("review-signal-integrity", Validation, "signoff")
+        .consumes_all(cfg.corners.iter().map(|c| per_unit("si-report", c)))
+        .produces("si-signoff"));
+    add(Task::new("signoff-timing", Validation, "signoff")
+        .consumes("timing-closure")
+        .produces("timing-signoff"));
+
+    // --- physical verification (6) ---
+    add(Task::new("check-chip-drc", Validation, "physver")
+        .consumes("final-chip-layout")
+        .produces("chip-drc-report"));
+    add(Task::new("check-antenna", Validation, "physver")
+        .consumes("final-chip-layout")
+        .produces("antenna-report"));
+    add(Task::new("check-density", Validation, "physver")
+        .consumes("final-chip-layout")
+        .produces("density-report"));
+    add(Task::new("check-erc", Validation, "physver")
+        .consumes("extracted-netlist")
+        .produces("erc-report"));
+    add(Task::new("waive-violations", Validation, "physver")
+        .consumes("chip-drc-report")
+        .produces("waiver-list"));
+    add(Task::new("signoff-physical", Validation, "physver")
+        .consumes("chip-drc-report")
+        .consumes("chip-lvs-report")
+        .consumes("waiver-list")
+        .produces("physical-signoff"));
+
+    // --- test (7) ---
+    add(Task::new("generate-patterns", Creation, "test")
+        .consumes_all(cfg.units.iter().map(|u| per_unit("scan-netlist", u)))
+        .consumes("test-strategy")
+        .produces("test-patterns"));
+    add(Task::new("simulate-faults", Analysis, "test")
+        .consumes("test-patterns")
+        .produces("fault-coverage"));
+    add(Task::new("grade-patterns", Analysis, "test")
+        .consumes("fault-coverage")
+        .produces("pattern-grades"));
+    add(Task::new("write-test-program", Creation, "test")
+        .consumes("test-patterns")
+        .consumes("package-spec")
+        .produces("test-program"));
+    add(Task::new("verify-test-program", Validation, "test")
+        .consumes("test-program")
+        .produces("test-program-report"));
+    add(Task::new("plan-burn-in", Creation, "test")
+        .consumes("test-strategy")
+        .produces("burn-in-plan"));
+    add(Task::new("signoff-test", Validation, "test")
+        .consumes("pattern-grades")
+        .consumes("test-program-report")
+        .produces("test-signoff"));
+
+    // --- tapeout (7) ---
+    add(Task::new("insert-fill", Creation, "tapeout")
+        .consumes("final-chip-layout")
+        .consumes("density-report")
+        .produces("filled-layout"));
+    add(Task::new("generate-mask-data", Creation, "tapeout")
+        .consumes("filled-layout")
+        .produces("mask-data"));
+    add(Task::new("audit-tapeout", Validation, "tapeout")
+        .consumes("timing-signoff")
+        .consumes("physical-signoff")
+        .consumes("verification-signoff")
+        .consumes("power-signoff")
+        .consumes("test-signoff")
+        .produces("tapeout-audit"));
+    add(Task::new("release-to-fab", Validation, "tapeout")
+        .consumes("mask-data")
+        .consumes("tapeout-audit")
+        .produces("fab-release"));
+    add(Task::new("archive-design", Creation, "tapeout")
+        .consumes("fab-release")
+        .produces("design-archive"));
+    add(Task::new("write-errata", Creation, "tapeout")
+        .consumes("tapeout-audit")
+        .produces("errata-document"));
+    add(Task::new("plan-silicon-bringup", Creation, "tapeout")
+        .consumes("test-program")
+        .consumes("fab-release")
+        .produces("bringup-plan"));
+
+    // --- per-unit timing closure (units x 1) ---
+    for u in &cfg.units {
+        add(Task::new(format!("close-unit-timing-{u}"), Analysis, "timing")
+            .consumes(per_unit("unit-timing-report", u))
+            .produces(per_unit("unit-timing-closure", u)));
+    }
+
+    // --- gate-level regression (1) ---
+    add(Task::new("run-gate-regressions", Validation, "verif")
+        .consumes_all(cfg.units.iter().map(|u| per_unit("gate-sim-results", u)))
+        .produces("gate-regression-report"));
+
+    // --- documentation (3) ---
+    add(Task::new("write-user-docs", Creation, "docs")
+        .consumes("product-spec")
+        .produces("user-docs"));
+    add(Task::new("write-datasheet", Creation, "docs")
+        .consumes("product-spec")
+        .consumes("timing-closure")
+        .produces("datasheet"));
+    add(Task::new("review-docs", Validation, "docs")
+        .consumes("user-docs")
+        .consumes("datasheet")
+        .produces("docs-review"));
+
+    // --- ECO loop (3) ---
+    add(Task::new("collect-eco-requests", Creation, "eco")
+        .consumes("chip-debug-notes")
+        .produces("eco-list"));
+    add(Task::new("implement-eco", Creation, "eco")
+        .consumes("eco-list")
+        .consumes("final-chip-layout")
+        .produces("eco-layout"));
+    add(Task::new("verify-eco", Validation, "eco")
+        .consumes("eco-layout")
+        .produces("eco-report"));
+
+    g
+}
+
+trait ConsumesAll {
+    fn consumes_all(self, infos: impl IntoIterator<Item = Info>) -> Self;
+}
+
+impl ConsumesAll for Task {
+    fn consumes_all(mut self, infos: impl IntoIterator<Item = Info>) -> Self {
+        for i in infos {
+            self.inputs.push(i);
+        }
+        self
+    }
+}
+
+// Namespace conventions per tool family — deliberately inconsistent.
+const NS_V: &str = "verilog-case-sensitive";
+const NS_8: &str = "eight-char-upper";
+const NS_DB: &str = "oa-style";
+
+fn fport(info: &str, fmt: &str, sem: &str, st: &str, ns: &str) -> DataPort {
+    DataPort::new(info, Persistence::File(fmt.into()), sem, st, ns)
+}
+
+/// The reference tool catalog. The classification mismatches are
+/// intentional and enumerated by [`seeded_problems`].
+pub fn tool_catalog() -> Vec<ToolModel> {
+    let doc = |info: &str| fport(info, "document", "prose", "document", NS_V);
+    let report = |info: &str| fport(info, "report", "prose", "document", NS_V);
+
+    let mut tools = Vec::new();
+
+    // Manual/documentation work (specs, reviews, plans).
+    let mut manual = ToolModel::new("DocSys", "documentation and review capture")
+        .controlled_by([Interface::CommandLine, Interface::Api]);
+    for info in [
+        "market-input", "requirements", "product-spec", "architecture-spec", "partition",
+        "power-budget", "package-spec", "test-strategy", "architecture-review", "unit-spec",
+        "rtl-review", "debug-notes", "chip-debug-notes", "floorplan-review", "waiver-list",
+        "burn-in-plan", "errata-document", "bringup-plan", "design-archive", "fab-release",
+        "tapeout-audit", "user-docs", "datasheet", "docs-review", "eco-list",
+    ] {
+        manual.inputs.push(doc(info));
+        manual.outputs.push(doc(info));
+    }
+    // Mirrored read ports for the design data that manual review and
+    // debug tasks consume: classifications copied from the producing
+    // tool so manual boundaries introduce no classification noise.
+    manual.inputs.push(fport("rtl-model", "verilog", "4-state", "hierarchical", NS_V));
+    manual.inputs.push(fport("lint-report", "report", "prose", "document", NS_V));
+    manual.inputs.push(fport("sim-results", "vcd", "4-state", "flat", NS_8));
+    manual.inputs.push(fport("regression-report", "report", "prose", "document", NS_V));
+    manual.inputs.push(fport("floorplan", "plan-db", "polygons", "hierarchical", NS_DB));
+    manual.inputs.push(fport("pin-assignment", "plan-db", "polygons", "hierarchical", NS_DB));
+    manual.inputs.push(fport("chip-drc-report", "report", "prose", "document", NS_V));
+    manual.inputs.push(fport("mask-data", "gdsii", "polygons", "flat", NS_DB));
+    manual.inputs.push(fport("test-program", "tester-binary", "test-vectors", "flat", NS_8));
+    manual.inputs.push(fport("timing-closure", "report", "prose", "document", NS_V));
+    for signoff in [
+        "timing-signoff", "physical-signoff", "verification-signoff", "power-signoff",
+        "test-signoff",
+    ] {
+        manual.inputs.push(report(signoff));
+    }
+    tools.push(manual);
+
+    // Library management.
+    tools.push(
+        ToolModel::new("LibMan", "library installation and qualification")
+            .reads(doc("technology-choice"))
+            .reads(doc("product-spec"))
+            .reads(doc("package-spec"))
+            .reads(fport("cell-library", "lib-db", "cell-views", "hierarchical", NS_DB))
+            .reads(fport("timing-library", "liberty", "timing-arcs", "flat", NS_DB))
+            .writes(doc("technology-choice"))
+            .writes(fport("cell-library", "lib-db", "cell-views", "hierarchical", NS_DB))
+            .writes(fport("timing-library", "liberty", "timing-arcs", "flat", NS_DB))
+            .writes(report("library-qualification"))
+            .writes(fport("memory-models", "lib-db", "cell-views", "hierarchical", NS_DB))
+            .writes(fport("pad-library", "lib-db", "cell-views", "hierarchical", NS_DB)),
+    );
+
+    // RTL entry.
+    tools.push(
+        ToolModel::new("RtlEd", "RTL entry")
+            .reads(doc("unit-spec"))
+            .reads(doc("partition"))
+            .writes(fport("rtl-model", "verilog", "4-state", "hierarchical", NS_V))
+            .controlled_by([Interface::CommandLine, Interface::Api]),
+    );
+
+    // Lint.
+    tools.push(
+        ToolModel::new("LintPro", "RTL lint")
+            // SEEDED(Performance): reads a different RTL format.
+            .reads(fport("rtl-model", "verilog-1995", "4-state", "hierarchical", NS_V))
+            .writes(report("lint-report")),
+    );
+
+    // Simulator A: GUI-only, 4-state.
+    tools.push(
+        ToolModel::new("SimStar", "event-driven simulation")
+            .reads(fport("rtl-model", "verilog", "4-state", "hierarchical", NS_V))
+            .reads(fport("chip-rtl", "verilog", "4-state", "hierarchical", NS_V))
+            .reads(fport("testbench", "verilog", "4-state", "hierarchical", NS_V))
+            .reads(fport("chip-testbench", "verilog", "4-state", "hierarchical", NS_V))
+            .reads(fport("scan-netlist", "verilog-gates", "4-state", "flat", NS_8))
+            .writes(fport("sim-results", "vcd", "4-state", "flat", NS_8))
+            .writes(fport("chip-sim-results", "vcd", "4-state", "flat", NS_8))
+            .writes(fport("gate-sim-results", "vcd", "4-state", "flat", NS_8))
+            // SEEDED(ToolControl): GUI only.
+            .controlled_by([Interface::Gui]),
+    );
+
+    // Testbench authoring.
+    tools.push(
+        ToolModel::new("TbGen", "testbench development")
+            .reads(doc("unit-spec"))
+            .reads(doc("architecture-spec"))
+            .writes(fport("testbench", "verilog", "4-state", "hierarchical", NS_V))
+            .writes(fport("chip-testbench", "verilog", "4-state", "hierarchical", NS_V)),
+    );
+
+    // Coverage/regression analysis: 9-state semantics (VHDL heritage).
+    tools.push(
+        ToolModel::new("CovMeter", "coverage and regression analysis")
+            // SEEDED(SemanticInterpretation): 9-state reader of 4-state
+            // results. SEEDED(NameMapping): verilog names vs 8-char.
+            .reads(fport("sim-results", "vcd", "9-state", "flat", NS_V))
+            .reads(fport("chip-sim-results", "vcd", "9-state", "flat", NS_V))
+            .reads(fport("regression-report", "report", "prose", "document", NS_V))
+            .reads(fport("coverage-closure", "report", "prose", "document", NS_V))
+            .reads(fport("gate-sim-results", "vcd", "9-state", "flat", NS_V))
+            .writes(report("coverage-report"))
+            .writes(report("gate-regression-report"))
+            .writes(report("regression-report"))
+            .writes(report("coverage-closure"))
+            .writes(report("performance-report"))
+            .writes(report("verification-signoff")),
+    );
+
+    // RTL integration.
+    tools.push(
+        ToolModel::new("Integrate", "RTL integration")
+            .reads(fport("rtl-model", "verilog", "4-state", "hierarchical", NS_V))
+            .writes(fport("chip-rtl", "verilog", "4-state", "hierarchical", NS_V)),
+    );
+
+    // Power estimation.
+    tools.push(
+        ToolModel::new("PowerScope", "power estimation")
+            .reads(fport("rtl-model", "verilog", "4-state", "hierarchical", NS_V))
+            .reads(fport("chip-sim-results", "vcd", "4-state", "flat", NS_8))
+            .reads(doc("power-budget"))
+            .reads(fport("final-chip-layout", "layout-db", "polygons", "hierarchical", NS_DB))
+            .reads(fport("power-plan", "plan-db", "polygons", "hierarchical", NS_DB))
+            .reads(report("ir-drop-report"))
+            .reads(report("chip-power-estimate"))
+            .writes(report("power-estimate"))
+            .writes(report("chip-power-estimate"))
+            .writes(report("ir-drop-report"))
+            .writes(report("em-report"))
+            .writes(report("power-signoff")),
+    );
+
+    // Synthesis.
+    tools.push(
+        ToolModel::new("SynMax", "logic synthesis")
+            .reads(fport("rtl-model", "verilog", "4-state", "hierarchical", NS_V))
+            .reads(fport("constraints", "sdc", "timing-intent", "flat", NS_8))
+            .reads(fport("timing-library", "liberty", "timing-arcs", "flat", NS_DB))
+            .reads(doc("unit-spec"))
+            .writes(fport("constraints", "sdc", "timing-intent", "flat", NS_8))
+            // SEEDED(NameMapping): netlist written with 8-char names,
+            // consumed downstream by OA-style tools.
+            .writes(fport("netlist", "verilog-gates", "4-state", "hierarchical", NS_8)),
+    );
+
+    // Scan insertion.
+    tools.push(
+        ToolModel::new("ScanWeave", "scan insertion")
+            .reads(fport("netlist", "verilog-gates", "4-state", "hierarchical", NS_8))
+            .reads(doc("test-strategy"))
+            .writes(fport("scan-netlist", "verilog-gates", "4-state", "flat", NS_8)),
+    );
+
+    // Static timing.
+    tools.push(
+        ToolModel::new("TimeKeeper", "static timing analysis")
+            // SEEDED(StructureMapping): wants a flat netlist; SynMax
+            // writes hierarchical.
+            .reads(fport("netlist", "verilog-gates", "4-state", "flat", NS_8))
+            .reads(fport("constraints", "sdc", "timing-intent", "flat", NS_8))
+            .reads(fport("extracted-netlist", "spice", "transistors", "flat", NS_DB))
+            .reads(fport("parasitics", "spef", "rc-networks", "flat", NS_DB))
+            .reads(fport("sta-report", "report", "prose", "document", NS_V))
+            .reads(fport("unit-timing-report", "report", "prose", "document", NS_V))
+            .reads(fport("timing-closure", "report", "prose", "document", NS_V))
+            .writes(report("unit-timing-report"))
+            .writes(report("unit-timing-closure"))
+            .writes(report("sta-report"))
+            .writes(report("timing-closure"))
+            .writes(report("timing-signoff")),
+    );
+
+    // Floorplanner.
+    tools.push(
+        ToolModel::new("PlanAhead", "floorplanning")
+            .reads(doc("partition"))
+            .reads(fport("netlist", "verilog-gates", "4-state", "hierarchical", NS_DB))
+            .reads(doc("package-spec"))
+            .reads(doc("power-budget"))
+            .reads(fport("memory-models", "lib-db", "cell-views", "hierarchical", NS_DB))
+            .reads(fport("floorplan", "plan-db", "polygons", "hierarchical", NS_DB))
+            .reads(fport("macro-placement", "plan-db", "polygons", "hierarchical", NS_DB))
+            .reads(fport("clock-plan", "plan-db", "polygons", "hierarchical", NS_DB))
+            .reads(fport("pin-assignment", "plan-db", "polygons", "hierarchical", NS_DB))
+            .writes(fport("floorplan", "plan-db", "polygons", "hierarchical", NS_DB))
+            .writes(fport("pin-assignment", "plan-db", "polygons", "hierarchical", NS_DB))
+            .writes(fport("power-plan", "plan-db", "polygons", "hierarchical", NS_DB))
+            .writes(fport("clock-plan", "plan-db", "polygons", "hierarchical", NS_DB))
+            .writes(fport("macro-placement", "plan-db", "polygons", "hierarchical", NS_DB))
+            .writes(fport("keepout-zones", "plan-db", "polygons", "hierarchical", NS_DB))
+            .writes(fport("pnr-constraints", "ctl-file", "timing-intent", "hierarchical", NS_DB))
+            .controlled_by([Interface::Gui, Interface::Api]),
+    );
+
+    // Place and route.
+    tools.push(
+        ToolModel::new("RouteMaster", "place and route")
+            .reads(fport("scan-netlist", "verilog-gates", "4-state", "flat", NS_8))
+            // SEEDED(Performance): constraints arrive as ctl-file from
+            // PlanAhead but RouteMaster wants its own cmd format.
+            .reads(fport("pnr-constraints", "rm-cmd", "timing-intent", "hierarchical", NS_DB))
+            .reads(fport("clock-plan", "plan-db", "polygons", "hierarchical", NS_DB))
+            .reads(fport("placement", "layout-db", "polygons", "hierarchical", NS_DB))
+            .reads(fport("clocked-placement", "layout-db", "polygons", "hierarchical", NS_DB))
+            .reads(fport("routed-layout", "layout-db", "polygons", "hierarchical", NS_DB))
+            .reads(fport("final-layout", "layout-db", "polygons", "hierarchical", NS_DB))
+            .reads(fport("macro-placement", "plan-db", "polygons", "hierarchical", NS_DB))
+            .reads(fport("chip-layout", "layout-db", "polygons", "hierarchical", NS_DB))
+            .reads(fport("routed-chip", "layout-db", "polygons", "hierarchical", NS_DB))
+            .reads(fport("powered-chip", "layout-db", "polygons", "hierarchical", NS_DB))
+            .reads(fport("chip-with-io", "layout-db", "polygons", "hierarchical", NS_DB))
+            .reads(fport("power-plan", "plan-db", "polygons", "hierarchical", NS_DB))
+            .reads(fport("pad-library", "lib-db", "cell-views", "hierarchical", NS_DB))
+            .reads(fport("pin-assignment", "plan-db", "polygons", "hierarchical", NS_DB))
+            .writes(fport("placement", "layout-db", "polygons", "hierarchical", NS_DB))
+            .writes(fport("clocked-placement", "layout-db", "polygons", "hierarchical", NS_DB))
+            .writes(fport("routed-layout", "layout-db", "polygons", "hierarchical", NS_DB))
+            .writes(fport("final-layout", "layout-db", "polygons", "hierarchical", NS_DB))
+            .writes(fport("chip-layout", "layout-db", "polygons", "hierarchical", NS_DB))
+            .writes(fport("routed-chip", "layout-db", "polygons", "hierarchical", NS_DB))
+            .writes(fport("powered-chip", "layout-db", "polygons", "hierarchical", NS_DB))
+            .writes(fport("chip-with-io", "layout-db", "polygons", "hierarchical", NS_DB))
+            .reads(fport("eco-list", "document", "prose", "document", NS_V))
+            .writes(fport("final-chip-layout", "layout-db", "polygons", "hierarchical", NS_DB))
+            .writes(fport("eco-layout", "layout-db", "polygons", "hierarchical", NS_DB)),
+    );
+
+    // Extraction.
+    tools.push(
+        ToolModel::new("XtractRC", "parasitic extraction")
+            .reads(fport("final-chip-layout", "layout-db", "polygons", "hierarchical", NS_DB))
+            .writes(fport("parasitics", "spef", "rc-networks", "flat", NS_DB))
+            .writes(fport("extracted-netlist", "spice", "transistors", "flat", NS_DB)),
+    );
+
+    // Signal integrity + SPICE.
+    tools.push(
+        ToolModel::new("WaveSI", "signal integrity and circuit simulation")
+            .reads(fport("parasitics", "spef", "rc-networks", "flat", NS_DB))
+            .reads(fport("si-report", "report", "prose", "document", NS_V))
+            .writes(report("si-report"))
+            .writes(fport("spice-results", "tr0", "analog-waveforms", "flat", NS_DB))
+            .writes(report("si-signoff")),
+    );
+
+    // Physical verification.
+    tools.push(
+        ToolModel::new("VeriPhys", "DRC/LVS/ERC")
+            .reads(fport("final-layout", "layout-db", "polygons", "hierarchical", NS_DB))
+            .reads(fport("final-chip-layout", "layout-db", "polygons", "hierarchical", NS_DB))
+            .reads(fport("scan-netlist", "verilog-gates", "4-state", "flat", NS_8))
+            .reads(fport("extracted-netlist", "spice", "transistors", "flat", NS_DB))
+            .reads(fport("chip-rtl", "verilog", "4-state", "hierarchical", NS_V))
+            .reads(report("chip-drc-report"))
+            .reads(report("chip-lvs-report"))
+            .reads(doc("waiver-list"))
+            .writes(report("unit-drc-report"))
+            .writes(report("unit-lvs-report"))
+            .writes(report("chip-drc-report"))
+            .writes(report("chip-lvs-report"))
+            .writes(report("antenna-report"))
+            .writes(report("density-report"))
+            .writes(report("erc-report"))
+            .reads(fport("eco-layout", "layout-db", "polygons", "hierarchical", NS_DB))
+            .writes(report("physical-signoff"))
+            .writes(report("eco-report")),
+    );
+
+    // Test generation.
+    tools.push(
+        ToolModel::new("TestGen", "ATPG and test programs")
+            .reads(fport("scan-netlist", "verilog-gates", "4-state", "flat", NS_8))
+            .reads(doc("test-strategy"))
+            .reads(doc("package-spec"))
+            .reads(fport("test-patterns", "stil", "test-vectors", "flat", NS_8))
+            .reads(fport("fault-coverage", "report", "prose", "document", NS_V))
+            .reads(fport("pattern-grades", "report", "prose", "document", NS_V))
+            .reads(fport("test-program-report", "report", "prose", "document", NS_V))
+            .reads(fport("test-program", "tester-binary", "test-vectors", "flat", NS_8))
+            .writes(fport("test-patterns", "stil", "test-vectors", "flat", NS_8))
+            .writes(report("fault-coverage"))
+            .writes(report("pattern-grades"))
+            .writes(fport("test-program", "tester-binary", "test-vectors", "flat", NS_8))
+            .writes(report("test-program-report"))
+            .writes(report("test-signoff")),
+    );
+
+    // Mask preparation.
+    tools.push(
+        ToolModel::new("MaskForge", "fill and mask data preparation")
+            .reads(fport("final-chip-layout", "layout-db", "polygons", "hierarchical", NS_DB))
+            .reads(report("density-report"))
+            .reads(fport("filled-layout", "gdsii", "polygons", "flat", NS_DB))
+            .writes(fport("filled-layout", "gdsii", "polygons", "flat", NS_DB))
+            .writes(fport("mask-data", "gdsii", "polygons", "flat", NS_DB)),
+    );
+
+    tools
+}
+
+/// One deliberately seeded mismatch (ground truth for the detectors).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SeededProblem {
+    /// Problem class.
+    pub class: ProblemClass,
+    /// Producing/offending tool.
+    pub from_tool: &'static str,
+    /// Consuming tool, for data-edge problems.
+    pub to_tool: Option<&'static str>,
+}
+
+/// The seeded-problem ground truth for [`tool_catalog`] under
+/// [`cell_based_methodology`].
+pub fn seeded_problems() -> Vec<SeededProblem> {
+    vec![
+        // RtlEd writes `verilog`; LintPro reads `verilog-1995`.
+        SeededProblem {
+            class: ProblemClass::Performance,
+            from_tool: "RtlEd",
+            to_tool: Some("LintPro"),
+        },
+        // PlanAhead writes ctl-file constraints; RouteMaster reads rm-cmd.
+        SeededProblem {
+            class: ProblemClass::Performance,
+            from_tool: "PlanAhead",
+            to_tool: Some("RouteMaster"),
+        },
+        // SimStar emits 8-char VCD names; CovMeter expects Verilog names.
+        SeededProblem {
+            class: ProblemClass::NameMapping,
+            from_tool: "SimStar",
+            to_tool: Some("CovMeter"),
+        },
+        // SynMax nets are 8-char; PlanAhead wants OA-style names.
+        SeededProblem {
+            class: ProblemClass::NameMapping,
+            from_tool: "SynMax",
+            to_tool: Some("PlanAhead"),
+        },
+        // SynMax writes hierarchical netlists; TimeKeeper wants flat.
+        SeededProblem {
+            class: ProblemClass::StructureMapping,
+            from_tool: "SynMax",
+            to_tool: Some("TimeKeeper"),
+        },
+        // SimStar 4-state results read as 9-state by CovMeter.
+        SeededProblem {
+            class: ProblemClass::SemanticInterpretation,
+            from_tool: "SimStar",
+            to_tool: Some("CovMeter"),
+        },
+        // SimStar is GUI-only.
+        SeededProblem {
+            class: ProblemClass::ToolControl,
+            from_tool: "SimStar",
+            to_tool: None,
+        },
+    ]
+}
+
+/// The full-ASIC scenario: everything needed for fab release.
+pub fn asic_scenario() -> Scenario {
+    Scenario::new(
+        "full-asic",
+        vec![Info::new("fab-release"), Info::new("bringup-plan")],
+    )
+}
+
+/// An FPGA-prototype scenario: stop at verified RTL, skip dft/backend.
+pub fn fpga_prototype_scenario() -> Scenario {
+    Scenario::new("fpga-prototype", vec![Info::new("verification-signoff")])
+        .without_phase("dft")
+        .without_phase("floorplan")
+        .without_phase("pnr")
+        .without_phase("signoff")
+        .without_phase("physver")
+        .without_phase("test")
+        .without_phase("tapeout")
+}
+
+/// An IP-provider scenario: deliver qualified RTL plus unit netlists.
+pub fn ip_provider_scenario() -> Scenario {
+    let cfg = MethodologyConfig::default();
+    let mut outputs: Vec<Info> = cfg
+        .units
+        .iter()
+        .map(|u| per_unit("unit-timing-report", u))
+        .collect();
+    outputs.push(Info::new("verification-signoff"));
+    Scenario::new("ip-provider", outputs)
+        .without_phase("tapeout")
+        .without_phase("test")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::analysis::analyze;
+    use crate::flow::build;
+    use crate::scenario::prune;
+    use crate::toolmodel::TaskToolMap;
+
+    #[test]
+    fn methodology_has_approximately_200_tasks() {
+        let g = cell_based_methodology(&MethodologyConfig::default());
+        let n = g.len();
+        assert!(
+            (180..=220).contains(&n),
+            "expected ~200 tasks, got {n}"
+        );
+        let (_, edges, ext, deliv) = g.stats();
+        assert!(edges > n, "a real methodology is densely linked: {edges}");
+        assert!(ext >= 1, "market-input comes from outside");
+        assert!(deliv >= 2, "fab release and archive leave the flow");
+    }
+
+    #[test]
+    fn catalog_covers_all_but_intentional_holes() {
+        let g = cell_based_methodology(&MethodologyConfig::default());
+        let tools = tool_catalog();
+        let map = TaskToolMap::build(&g, &tools);
+        let holes = map.holes();
+        // Every hole is a deliberate manual/planning task.
+        assert!(
+            holes.len() <= 6,
+            "too many holes: {holes:?}"
+        );
+        // Overlaps exist (multiple tools can do some tasks).
+        let frac_covered = (g.len() - holes.len()) as f64 / g.len() as f64;
+        assert!(frac_covered > 0.9, "coverage {frac_covered}");
+    }
+
+    #[test]
+    fn analysis_finds_every_seeded_problem() {
+        let g = cell_based_methodology(&MethodologyConfig::default());
+        let tools = tool_catalog();
+        let map = TaskToolMap::build(&g, &tools);
+        let diagram = build(&g, &tools, &map);
+        let report = analyze(&diagram);
+        for seeded in seeded_problems() {
+            let found = report.findings.iter().any(|f| {
+                f.class == seeded.class
+                    && f.from_tool == seeded.from_tool
+                    && seeded
+                        .to_tool
+                        .map(|t| f.to_tool.as_deref() == Some(t))
+                        .unwrap_or(f.to_tool.is_none())
+            });
+            assert!(found, "seeded problem not detected: {seeded:?}");
+        }
+        // Every one of the five classes appears.
+        let h = report.histogram();
+        for c in ProblemClass::ALL {
+            assert!(h.get(&c).copied().unwrap_or(0) > 0, "no {c} findings");
+        }
+    }
+
+    #[test]
+    fn scenarios_prune_substantially() {
+        let g = cell_based_methodology(&MethodologyConfig::default());
+        let fpga = prune(&g, &fpga_prototype_scenario());
+        assert!(
+            fpga.task_fraction < 0.45,
+            "fpga fraction {}",
+            fpga.task_fraction
+        );
+        let asic = prune(&g, &asic_scenario());
+        assert!(asic.task_fraction > fpga.task_fraction);
+        let ip = prune(&g, &ip_provider_scenario());
+        assert!(ip.task_fraction < asic.task_fraction);
+    }
+}

@@ -1,0 +1,269 @@
+//! System optimization: the three improvement classes.
+//!
+//! "The first way is to repartition the boundaries of tools... by
+//! peeling back the tool's general purpose interface, there is
+//! typically a level where a lower overhead interchange of data and
+//! control can take place. The second type of improvement comes from
+//! improvements in data interoperability ... things like internal
+//! naming conventions, bus usage conventions, etc. The final type of
+//! improvement is through technological innovation ... new technologies
+//! (such as formal logic verification) replace a large number of tasks
+//! with a single task in the overall flow."
+
+use crate::analysis::{analyze, AnalysisReport};
+use crate::flow::{build, FlowDiagram};
+use crate::graph::TaskGraph;
+use crate::task::Task;
+use crate::toolmodel::{Persistence, TaskToolMap, ToolModel};
+
+/// Before/after comparison of one optimization pass.
+#[derive(Debug, Clone)]
+pub struct OptimizationReport {
+    /// What the pass did.
+    pub description: String,
+    /// Findings before.
+    pub before: AnalysisReport,
+    /// Findings after.
+    pub after: AnalysisReport,
+}
+
+impl OptimizationReport {
+    /// Overhead reduction (positive = improvement).
+    pub fn reduction(&self) -> f64 {
+        self.before.overhead() - self.after.overhead()
+    }
+
+    /// Reduction as a fraction of the starting overhead.
+    pub fn reduction_fraction(&self) -> f64 {
+        let b = self.before.overhead();
+        if b == 0.0 {
+            0.0
+        } else {
+            self.reduction() / b
+        }
+    }
+}
+
+fn diagram_for(graph: &TaskGraph, tools: &[ToolModel]) -> FlowDiagram {
+    let map = TaskToolMap::build(graph, tools);
+    build(graph, tools, &map)
+}
+
+/// Pass 1 — repartition: give tools `a` and `b` a shared in-memory
+/// database on every boundary they exchange, replacing file interchange
+/// ("a lower overhead interchange of data and control").
+///
+/// Returns the modified tool list and the before/after report.
+pub fn repartition(
+    graph: &TaskGraph,
+    tools: &[ToolModel],
+    a: &str,
+    b: &str,
+) -> (Vec<ToolModel>, OptimizationReport) {
+    let before = analyze(&diagram_for(graph, tools));
+    let shared = Persistence::Database(format!("{a}+{b}-shared"));
+    let mut out = tools.to_vec();
+
+    // Information kinds flowing between the two tools (either way).
+    let diagram = diagram_for(graph, tools);
+    let boundary: Vec<String> = diagram
+        .data
+        .iter()
+        .filter(|e| {
+            (e.from_tool == a && e.to_tool == b) || (e.from_tool == b && e.to_tool == a)
+        })
+        .map(|e| e.info.name().to_string())
+        .collect();
+
+    // Add a second, tighter port alongside the general-purpose one
+    // (the file interface remains for every other consumer).
+    for tool in &mut out {
+        if tool.name != a && tool.name != b {
+            continue;
+        }
+        let extra_in: Vec<_> = tool
+            .inputs
+            .iter()
+            .filter(|p| boundary.contains(&p.info.0))
+            .map(|p| {
+                let mut p = p.clone();
+                p.persistence = shared.clone();
+                p
+            })
+            .collect();
+        let extra_out: Vec<_> = tool
+            .outputs
+            .iter()
+            .filter(|p| boundary.contains(&p.info.0))
+            .map(|p| {
+                let mut p = p.clone();
+                p.persistence = shared.clone();
+                p
+            })
+            .collect();
+        tool.inputs.extend(extra_in);
+        tool.outputs.extend(extra_out);
+    }
+    let after = analyze(&diagram_for(graph, &out));
+    (
+        out,
+        OptimizationReport {
+            description: format!("repartition boundary between {a} and {b}"),
+            before,
+            after,
+        },
+    )
+}
+
+/// Pass 2 — data-interoperability conventions: adopt one naming
+/// convention everywhere ("internal naming conventions, bus usage
+/// conventions, etc.").
+pub fn adopt_naming_convention(
+    graph: &TaskGraph,
+    tools: &[ToolModel],
+    convention: &str,
+) -> (Vec<ToolModel>, OptimizationReport) {
+    let before = analyze(&diagram_for(graph, tools));
+    let mut out = tools.to_vec();
+    for tool in &mut out {
+        for port in tool.inputs.iter_mut().chain(tool.outputs.iter_mut()) {
+            port.namespace = convention.to_string();
+        }
+    }
+    let after = analyze(&diagram_for(graph, &out));
+    (
+        out,
+        OptimizationReport {
+            description: format!("adopt naming convention `{convention}`"),
+            before,
+            after,
+        },
+    )
+}
+
+/// Pass 3 — technology substitution: replace a set of tasks with a
+/// single new task performed by a new tool (the paper's formal-
+/// verification example).
+pub fn substitute_technology(
+    graph: &TaskGraph,
+    tools: &[ToolModel],
+    replaced_tasks: &[&str],
+    new_task: Task,
+    new_tool: ToolModel,
+) -> (TaskGraph, Vec<ToolModel>, OptimizationReport) {
+    let before = analyze(&diagram_for(graph, tools));
+    let mut new_graph = graph.clone();
+    for t in replaced_tasks {
+        new_graph.remove(t);
+    }
+    new_graph.add(new_task);
+    let mut new_tools = tools.to_vec();
+    new_tools.push(new_tool);
+    let after = analyze(&diagram_for(&new_graph, &new_tools));
+    (
+        new_graph,
+        new_tools,
+        OptimizationReport {
+            description: format!(
+                "replace {} tasks with one (technology substitution)",
+                replaced_tasks.len()
+            ),
+            before,
+            after,
+        },
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::analysis::ProblemClass;
+    use crate::task::TaskKind;
+    use crate::toolmodel::DataPort;
+
+    fn port(info: &str, fmt: &str, ns: &str) -> DataPort {
+        DataPort::new(info, Persistence::File(fmt.into()), "4st", "hier", ns)
+    }
+
+    fn setup() -> (TaskGraph, Vec<ToolModel>) {
+        let graph: TaskGraph = [
+            Task::new("write-rtl", TaskKind::Creation, "rtl").produces("rtl-model"),
+            Task::new("synthesize", TaskKind::Creation, "synth")
+                .consumes("rtl-model")
+                .produces("netlist"),
+            Task::new("gate-sim", TaskKind::Validation, "verif")
+                .consumes("netlist")
+                .produces("gate-sim-results"),
+            Task::new("compare-sim", TaskKind::Validation, "verif")
+                .consumes("gate-sim-results")
+                .produces("equivalence-verdict"),
+        ]
+        .into_iter()
+        .collect();
+        let tools = vec![
+            ToolModel::new("Editor", "entry").writes(port("rtl-model", "verilog", "vnames")),
+            ToolModel::new("Syn", "synthesis")
+                .reads(port("rtl-model", "verilog95", "snames"))
+                .writes(port("netlist", "edif", "snames")),
+            ToolModel::new("GateSim", "gate simulation")
+                .reads(port("netlist", "vlog-gates", "gnames"))
+                .writes(port("gate-sim-results", "vcd", "gnames")),
+            ToolModel::new("Compare", "waveform compare")
+                .reads(port("gate-sim-results", "vcd", "cnames"))
+                .writes(port("equivalence-verdict", "report", "cnames")),
+        ];
+        (graph, tools)
+    }
+
+    #[test]
+    fn repartition_removes_boundary_conversions() {
+        let (graph, tools) = setup();
+        let (new_tools, report) = repartition(&graph, &tools, "Syn", "GateSim");
+        assert!(report.reduction() > 0.0, "{}", report.reduction());
+        // The Syn->GateSim performance finding is gone.
+        let perf_after = report.after.of_class(ProblemClass::Performance);
+        assert!(perf_after
+            .iter()
+            .all(|f| !(f.from_tool == "Syn" && f.to_tool.as_deref() == Some("GateSim"))));
+        // Other boundaries still convert.
+        assert!(!perf_after.is_empty());
+        let _ = new_tools;
+    }
+
+    #[test]
+    fn conventions_eliminate_name_mapping() {
+        let (graph, tools) = setup();
+        let before = analyze(&diagram_for(&graph, &tools));
+        assert!(!before.of_class(ProblemClass::NameMapping).is_empty());
+        let (_, report) = adopt_naming_convention(&graph, &tools, "company-standard");
+        assert!(report.after.of_class(ProblemClass::NameMapping).is_empty());
+        assert!(report.reduction() > 0.0);
+    }
+
+    #[test]
+    fn technology_substitution_shrinks_the_flow() {
+        let (graph, tools) = setup();
+        // Formal verification replaces gate simulation + comparison.
+        let formal_task = Task::new("formal-verify", TaskKind::Validation, "verif")
+            .consumes("netlist")
+            .produces("equivalence-verdict");
+        let formal_tool = ToolModel::new("Formal", "formal equivalence")
+            .reads(port("netlist", "edif", "snames"))
+            .writes(port("equivalence-verdict", "report", "snames"));
+        let (new_graph, _, report) = substitute_technology(
+            &graph,
+            &tools,
+            &["gate-sim", "compare-sim"],
+            formal_task,
+            formal_tool,
+        );
+        assert_eq!(new_graph.len(), 3);
+        assert!(new_graph.task("formal-verify").is_some());
+        assert!(
+            report.reduction() > 0.0,
+            "overhead {} -> {}",
+            report.before.overhead(),
+            report.after.overhead()
+        );
+    }
+}

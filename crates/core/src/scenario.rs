@@ -1,0 +1,209 @@
+//! Scenarios: boundary conditions that prune the task graph.
+//!
+//! "A scenario is a set of boundary conditions to be applied to the set
+//! of tasks previously defined. A scenario typically includes: end user
+//! profile (team size, experience, etc.), tools that must be used
+//! (already purchased or developed), and end user driving functions
+//! (product cost, size, performance, and technology to be used)...
+//! The purpose of the scenarios is to prune the task graph, and reduce
+//! the number of interactions the tasks have with each other to a
+//! practical subset."
+
+use std::collections::BTreeSet;
+
+use crate::graph::TaskGraph;
+use crate::task::Info;
+
+/// Experience level of the end-user team.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Experience {
+    /// First design in this methodology.
+    Novice,
+    /// A few designs completed.
+    Intermediate,
+    /// Routine production work.
+    Expert,
+}
+
+/// The user-side driving functions.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DrivingFunctions {
+    /// Cost pressure (0..1, higher = cheaper flow preferred).
+    pub cost: f64,
+    /// Performance pressure (0..1).
+    pub performance: f64,
+    /// Schedule pressure (0..1).
+    pub schedule: f64,
+}
+
+impl Default for DrivingFunctions {
+    fn default() -> Self {
+        DrivingFunctions {
+            cost: 0.5,
+            performance: 0.5,
+            schedule: 0.5,
+        }
+    }
+}
+
+/// A complete scenario.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Scenario {
+    /// Scenario name.
+    pub name: String,
+    /// Team size.
+    pub team_size: usize,
+    /// Team experience.
+    pub experience: Experience,
+    /// Tools that must be used (already purchased or developed).
+    pub mandated_tools: Vec<String>,
+    /// Driving functions.
+    pub driving: DrivingFunctions,
+    /// The deliverables this scenario actually needs.
+    pub required_outputs: Vec<Info>,
+    /// Phases explicitly out of scope (e.g. no `dft` for an FPGA
+    /// prototype).
+    pub excluded_phases: Vec<String>,
+}
+
+impl Scenario {
+    /// Creates a scenario requiring the given outputs.
+    pub fn new(name: impl Into<String>, required_outputs: Vec<Info>) -> Self {
+        Scenario {
+            name: name.into(),
+            team_size: 10,
+            experience: Experience::Intermediate,
+            mandated_tools: Vec::new(),
+            driving: DrivingFunctions::default(),
+            required_outputs,
+            excluded_phases: Vec::new(),
+        }
+    }
+
+    /// Excludes a phase, builder style.
+    pub fn without_phase(mut self, phase: impl Into<String>) -> Self {
+        self.excluded_phases.push(phase.into());
+        self
+    }
+
+    /// Mandates a tool, builder style.
+    pub fn with_tool(mut self, tool: impl Into<String>) -> Self {
+        self.mandated_tools.push(tool.into());
+        self
+    }
+}
+
+/// Result of applying a scenario.
+#[derive(Debug, Clone)]
+pub struct PruneResult {
+    /// The pruned graph.
+    pub graph: TaskGraph,
+    /// Task-count reduction factor (`pruned / original`).
+    pub task_fraction: f64,
+    /// Edge-count reduction factor.
+    pub edge_fraction: f64,
+    /// Tasks removed.
+    pub removed: BTreeSet<String>,
+}
+
+/// Applies a scenario to a task graph: keeps only tasks needed for the
+/// required outputs, minus excluded phases.
+pub fn prune(graph: &TaskGraph, scenario: &Scenario) -> PruneResult {
+    let (orig_tasks, orig_edges, _, _) = graph.stats();
+    let mut keep = graph.needed_for(&scenario.required_outputs);
+    keep.retain(|name| {
+        graph
+            .task(name)
+            .map(|t| !scenario.excluded_phases.contains(&t.phase))
+            .unwrap_or(false)
+    });
+    let pruned = graph.subgraph(&keep);
+    let (new_tasks, new_edges, _, _) = pruned.stats();
+    let removed: BTreeSet<String> = graph
+        .tasks()
+        .iter()
+        .map(|t| t.name.clone())
+        .filter(|n| !keep.contains(n))
+        .collect();
+    PruneResult {
+        task_fraction: if orig_tasks == 0 {
+            1.0
+        } else {
+            new_tasks as f64 / orig_tasks as f64
+        },
+        edge_fraction: if orig_edges == 0 {
+            1.0
+        } else {
+            new_edges as f64 / orig_edges as f64
+        },
+        graph: pruned,
+        removed,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::task::{Task, TaskKind};
+
+    fn graph() -> TaskGraph {
+        [
+            Task::new("write-spec", TaskKind::Creation, "spec").produces("spec"),
+            Task::new("write-rtl", TaskKind::Creation, "rtl")
+                .consumes("spec")
+                .produces("rtl-model"),
+            Task::new("simulate", TaskKind::Validation, "verif")
+                .consumes("rtl-model")
+                .produces("sim-results"),
+            Task::new("synthesize", TaskKind::Creation, "synth")
+                .consumes("rtl-model")
+                .produces("netlist"),
+            Task::new("insert-scan", TaskKind::Creation, "dft")
+                .consumes("netlist")
+                .produces("scan-netlist"),
+            Task::new("tapeout", TaskKind::Validation, "tapeout")
+                .consumes("scan-netlist")
+                .produces("mask-data"),
+        ]
+        .into_iter()
+        .collect()
+    }
+
+    #[test]
+    fn pruning_to_simulation_drops_backend() {
+        let g = graph();
+        let s = Scenario::new("verif-only", vec![Info::new("sim-results")]);
+        let r = prune(&g, &s);
+        assert_eq!(r.graph.len(), 3);
+        assert!(r.removed.contains("tapeout"));
+        assert!(r.task_fraction < 1.0);
+        assert!(r.edge_fraction < 1.0);
+    }
+
+    #[test]
+    fn full_tapeout_keeps_everything_on_path() {
+        let g = graph();
+        let s = Scenario::new("asic", vec![Info::new("mask-data")]);
+        let r = prune(&g, &s);
+        // simulate is not on the mask-data cone.
+        assert!(r.graph.task("simulate").is_none());
+        assert_eq!(r.graph.len(), 5);
+    }
+
+    #[test]
+    fn excluded_phases_are_dropped() {
+        let g = graph();
+        let s = Scenario::new("fpga", vec![Info::new("mask-data")]).without_phase("dft");
+        let r = prune(&g, &s);
+        assert!(r.graph.task("insert-scan").is_none());
+    }
+
+    #[test]
+    fn scenario_builder() {
+        let s = Scenario::new("x", vec![])
+            .with_tool("SimA")
+            .without_phase("dft");
+        assert_eq!(s.mandated_tools, vec!["SimA"]);
+        assert_eq!(s.excluded_phases, vec!["dft"]);
+    }
+}

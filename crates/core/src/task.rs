@@ -1,0 +1,140 @@
+//! Tasks and normalized information.
+//!
+//! Section 6: "The basic approach is to model the CAD user's design
+//! methodology as a set of well defined tasks. A task consists of a
+//! textual description of what work is performed, the set of inputs
+//! required in order to perform the task, and the set of outputs
+//! produced by the task. Note that tasks are defined in a tool
+//! independent way... it is important that task inputs and outputs be
+//! normalized. Normalization means that the fundamental information
+//! being consumed or produced is identified, rather than the file
+//! format which some tool may use to represent it."
+
+use std::fmt;
+
+/// A normalized information kind — "the fundamental information being
+/// consumed or produced", independent of any file format.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Info(pub String);
+
+impl Info {
+    /// Creates an information kind.
+    pub fn new(name: impl Into<String>) -> Self {
+        Info(name.into())
+    }
+
+    /// The name.
+    pub fn name(&self) -> &str {
+        &self.0
+    }
+
+    /// The base kind, stripping any `:instance` suffix: per-unit
+    /// information like `rtl-model:datapath` normalizes to `rtl-model`
+    /// when matching tool ports.
+    pub fn base(&self) -> &str {
+        self.0.split(':').next().unwrap_or(&self.0)
+    }
+}
+
+impl fmt::Display for Info {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl From<&str> for Info {
+    fn from(s: &str) -> Self {
+        Info::new(s)
+    }
+}
+
+/// The major step categories of a methodology.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum TaskKind {
+    /// Design creation ("major design creation steps").
+    Creation,
+    /// Analysis.
+    Analysis,
+    /// Validation.
+    Validation,
+}
+
+impl fmt::Display for TaskKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            TaskKind::Creation => "creation",
+            TaskKind::Analysis => "analysis",
+            TaskKind::Validation => "validation",
+        })
+    }
+}
+
+/// A tool-independent task.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Task {
+    /// Unique task name (e.g. `develop-rtl-models`).
+    pub name: String,
+    /// Textual description of the work performed.
+    pub description: String,
+    /// Step category.
+    pub kind: TaskKind,
+    /// Methodology phase (e.g. `rtl`, `synthesis`).
+    pub phase: String,
+    /// Normalized inputs.
+    pub inputs: Vec<Info>,
+    /// Normalized outputs.
+    pub outputs: Vec<Info>,
+}
+
+impl Task {
+    /// Creates a task.
+    pub fn new(
+        name: impl Into<String>,
+        kind: TaskKind,
+        phase: impl Into<String>,
+    ) -> Self {
+        let name = name.into();
+        Task {
+            description: format!("perform {name}"),
+            name,
+            kind,
+            phase: phase.into(),
+            inputs: Vec::new(),
+            outputs: Vec::new(),
+        }
+    }
+
+    /// Sets the description, builder style.
+    pub fn describe(mut self, text: impl Into<String>) -> Self {
+        self.description = text.into();
+        self
+    }
+
+    /// Adds an input, builder style.
+    pub fn consumes(mut self, info: impl Into<Info>) -> Self {
+        self.inputs.push(info.into());
+        self
+    }
+
+    /// Adds an output, builder style.
+    pub fn produces(mut self, info: impl Into<Info>) -> Self {
+        self.outputs.push(info.into());
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn task_builder() {
+        let t = Task::new("develop-rtl-models", TaskKind::Creation, "rtl")
+            .describe("write synthesizable RTL for every block")
+            .consumes("microarchitecture-spec")
+            .produces("rtl-model");
+        assert_eq!(t.inputs.len(), 1);
+        assert_eq!(t.outputs[0], Info::new("rtl-model"));
+        assert_eq!(t.kind.to_string(), "creation");
+    }
+}

@@ -1,0 +1,285 @@
+//! Tool models and the task→tool mapping.
+//!
+//! "A tool model is similar in structure to the user task. It contains
+//! a description of the function, data inputs, data outputs, control
+//! inputs, and control outputs. Data input and output is classified
+//! into four parts, persistence, behavioral semantics, structural
+//! model, and namespace. Control is defined as a set of interfaces.
+//! This interface model is analogous to the software component models
+//! like Corba and Com."
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use crate::graph::TaskGraph;
+use crate::task::Info;
+
+/// How data persists at a tool boundary.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Persistence {
+    /// A file in a named format.
+    File(String),
+    /// An in-memory database with a named schema.
+    Database(String),
+    /// A live stream / pipe protocol.
+    Stream(String),
+}
+
+impl fmt::Display for Persistence {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Persistence::File(s) => write!(f, "file:{s}"),
+            Persistence::Database(s) => write!(f, "db:{s}"),
+            Persistence::Stream(s) => write!(f, "stream:{s}"),
+        }
+    }
+}
+
+/// Control interfaces a tool exposes or requires.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Interface {
+    /// Batch command line.
+    CommandLine,
+    /// Programmatic API (the Corba/Com analogue).
+    Api,
+    /// Interactive GUI only.
+    Gui,
+    /// Inter-process messaging.
+    Ipc,
+}
+
+/// One classified data port of a tool.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DataPort {
+    /// The normalized information carried.
+    pub info: Info,
+    /// Persistence class.
+    pub persistence: Persistence,
+    /// Behavioural-semantics tag (e.g. `4-state-logic`).
+    pub semantics: String,
+    /// Structural-model tag (e.g. `hierarchical` / `flat`).
+    pub structure: String,
+    /// Namespace convention tag (e.g. `case-sensitive-32`).
+    pub namespace: String,
+}
+
+impl DataPort {
+    /// Creates a port with the given classification.
+    pub fn new(
+        info: impl Into<Info>,
+        persistence: Persistence,
+        semantics: impl Into<String>,
+        structure: impl Into<String>,
+        namespace: impl Into<String>,
+    ) -> Self {
+        DataPort {
+            info: info.into(),
+            persistence,
+            semantics: semantics.into(),
+            structure: structure.into(),
+            namespace: namespace.into(),
+        }
+    }
+}
+
+/// A tool model.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ToolModel {
+    /// Tool name.
+    pub name: String,
+    /// Description of the function.
+    pub function: String,
+    /// Data inputs.
+    pub inputs: Vec<DataPort>,
+    /// Data outputs.
+    pub outputs: Vec<DataPort>,
+    /// Control interfaces the tool offers.
+    pub control_in: Vec<Interface>,
+    /// Control interfaces the tool can drive on others.
+    pub control_out: Vec<Interface>,
+    /// Relative runtime cost of one invocation (arbitrary units).
+    pub run_cost: f64,
+}
+
+impl ToolModel {
+    /// Creates a tool model.
+    pub fn new(name: impl Into<String>, function: impl Into<String>) -> Self {
+        ToolModel {
+            name: name.into(),
+            function: function.into(),
+            inputs: Vec::new(),
+            outputs: Vec::new(),
+            control_in: vec![Interface::CommandLine],
+            control_out: Vec::new(),
+            run_cost: 1.0,
+        }
+    }
+
+    /// Adds an input port, builder style.
+    pub fn reads(mut self, port: DataPort) -> Self {
+        self.inputs.push(port);
+        self
+    }
+
+    /// Adds an output port, builder style.
+    pub fn writes(mut self, port: DataPort) -> Self {
+        self.outputs.push(port);
+        self
+    }
+
+    /// Sets the control interfaces, builder style.
+    pub fn controlled_by(mut self, ifaces: impl IntoIterator<Item = Interface>) -> Self {
+        self.control_in = ifaces.into_iter().collect();
+        self
+    }
+
+    /// The output port carrying `info`, if any. Ports match on the
+    /// information's *base* kind, so one `rtl-model` port covers every
+    /// per-unit `rtl-model:<unit>` instance.
+    pub fn output_port(&self, info: &Info) -> Option<&DataPort> {
+        self.outputs.iter().find(|p| p.info.base() == info.base())
+    }
+
+    /// The input port carrying `info`, if any (base-kind matching).
+    pub fn input_port(&self, info: &Info) -> Option<&DataPort> {
+        self.inputs.iter().find(|p| p.info.base() == info.base())
+    }
+
+    /// True when the tool can perform a task: it consumes every task
+    /// input and produces every task output.
+    pub fn covers(&self, task: &crate::task::Task) -> bool {
+        task.inputs.iter().all(|i| self.input_port(i).is_some())
+            && task.outputs.iter().all(|o| self.output_port(o).is_some())
+    }
+}
+
+/// The task → tool mapping of one analysis pass.
+///
+/// "The result of this step is a mapping of tools to tasks. Typically,
+/// this is the first point where holes and overlaps of functionality
+/// are identified."
+#[derive(Debug, Clone, Default)]
+pub struct TaskToolMap {
+    /// Task name → tool names that cover it.
+    pub assignments: BTreeMap<String, Vec<String>>,
+}
+
+impl TaskToolMap {
+    /// Builds the mapping by matching every tool against every task.
+    pub fn build(graph: &TaskGraph, tools: &[ToolModel]) -> Self {
+        let mut map = TaskToolMap::default();
+        for task in graph.tasks() {
+            let covering: Vec<String> = tools
+                .iter()
+                .filter(|t| t.covers(task))
+                .map(|t| t.name.clone())
+                .collect();
+            map.assignments.insert(task.name.clone(), covering);
+        }
+        map
+    }
+
+    /// Tasks no tool covers — the holes.
+    pub fn holes(&self) -> Vec<&str> {
+        self.assignments
+            .iter()
+            .filter(|(_, v)| v.is_empty())
+            .map(|(k, _)| k.as_str())
+            .collect()
+    }
+
+    /// Tasks more than one tool covers — the overlaps.
+    pub fn overlaps(&self) -> Vec<(&str, &[String])> {
+        self.assignments
+            .iter()
+            .filter(|(_, v)| v.len() > 1)
+            .map(|(k, v)| (k.as_str(), v.as_slice()))
+            .collect()
+    }
+
+    /// The chosen tool per task (first assignment wins; holes absent).
+    pub fn chosen(&self) -> BTreeMap<&str, &str> {
+        self.assignments
+            .iter()
+            .filter_map(|(k, v)| v.first().map(|t| (k.as_str(), t.as_str())))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::task::{Task, TaskKind};
+
+    fn port(info: &str) -> DataPort {
+        DataPort::new(
+            info,
+            Persistence::File("generic".into()),
+            "4-state",
+            "hierarchical",
+            "verilog-names",
+        )
+    }
+
+    fn tools() -> Vec<ToolModel> {
+        vec![
+            ToolModel::new("SimA", "event simulation")
+                .reads(port("rtl-model"))
+                .writes(port("sim-results")),
+            ToolModel::new("SimB", "event simulation")
+                .reads(port("rtl-model"))
+                .writes(port("sim-results")),
+            ToolModel::new("SynA", "synthesis")
+                .reads(port("rtl-model"))
+                .writes(port("netlist")),
+        ]
+    }
+
+    fn graph() -> TaskGraph {
+        [
+            Task::new("simulate", TaskKind::Validation, "verif")
+                .consumes("rtl-model")
+                .produces("sim-results"),
+            Task::new("synthesize", TaskKind::Creation, "synth")
+                .consumes("rtl-model")
+                .produces("netlist"),
+            Task::new("extract-parasitics", TaskKind::Analysis, "signoff")
+                .consumes("layout")
+                .produces("parasitics"),
+        ]
+        .into_iter()
+        .collect()
+    }
+
+    #[test]
+    fn mapping_finds_holes_and_overlaps() {
+        let map = TaskToolMap::build(&graph(), &tools());
+        assert_eq!(map.holes(), vec!["extract-parasitics"]);
+        let overlaps = map.overlaps();
+        assert_eq!(overlaps.len(), 1);
+        assert_eq!(overlaps[0].0, "simulate");
+        assert_eq!(map.chosen()["synthesize"], "SynA");
+    }
+
+    #[test]
+    fn coverage_requires_all_ports() {
+        let t = &tools()[2];
+        let full = Task::new("synthesize", TaskKind::Creation, "synth")
+            .consumes("rtl-model")
+            .produces("netlist");
+        assert!(t.covers(&full));
+        let extra = full.clone().consumes("constraints");
+        assert!(!t.covers(&extra));
+    }
+
+    #[test]
+    fn port_lookup() {
+        let t = &tools()[0];
+        assert!(t.input_port(&Info::new("rtl-model")).is_some());
+        assert!(t.output_port(&Info::new("netlist")).is_none());
+        assert_eq!(
+            t.inputs[0].persistence.to_string(),
+            "file:generic"
+        );
+    }
+}

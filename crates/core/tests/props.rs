@@ -1,0 +1,145 @@
+//! Property-based tests for task-graph and analysis invariants.
+
+use std::collections::BTreeSet;
+
+use interop_core::analysis::analyze;
+use interop_core::flow;
+use interop_core::graph::TaskGraph;
+use interop_core::scenario::{prune, Scenario};
+use interop_core::task::{Info, Task, TaskKind};
+use interop_core::toolmodel::{DataPort, Persistence, TaskToolMap, ToolModel};
+use proptest::prelude::*;
+
+/// A random layered task graph: `layers` of up to `width` tasks, each
+/// consuming outputs of the previous layer.
+fn arb_graph() -> impl Strategy<Value = TaskGraph> {
+    (1usize..5, 1usize..4).prop_flat_map(|(layers, width)| {
+        let picks = prop::collection::vec(
+            prop::collection::vec(any::<prop::sample::Index>(), 1..3),
+            layers * width,
+        );
+        picks.prop_map(move |raw| {
+            let mut g = TaskGraph::new();
+            for layer in 0..layers {
+                for w in 0..width {
+                    let idx = layer * width + w;
+                    let mut t = Task::new(
+                        format!("t{layer}_{w}"),
+                        TaskKind::Creation,
+                        format!("phase{layer}"),
+                    )
+                    .produces(format!("info{layer}_{w}").as_str());
+                    if layer == 0 {
+                        t = t.consumes("external");
+                    } else {
+                        for pick in &raw[idx] {
+                            let src = pick.index(width);
+                            t = t.consumes(format!("info{}_{}", layer - 1, src).as_str());
+                        }
+                    }
+                    g.add(t);
+                }
+            }
+            g
+        })
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn edges_only_link_real_producers_to_real_consumers(g in arb_graph()) {
+        for e in g.edges() {
+            let from = g.task(&e.from).expect("producer exists");
+            let to = g.task(&e.to).expect("consumer exists");
+            prop_assert!(from.outputs.contains(&e.info));
+            prop_assert!(to.inputs.contains(&e.info));
+        }
+        // External inputs and deliverables are disjoint from linked infos.
+        let ext = g.external_inputs();
+        for e in g.edges() {
+            prop_assert!(!ext.contains(&e.info));
+        }
+    }
+
+    #[test]
+    fn pruning_is_sound_and_monotone(g in arb_graph()) {
+        // Prune to all deliverables: result is backward-closed.
+        let deliverables: Vec<Info> = g.deliverables().into_iter().collect();
+        let s = Scenario::new("all", deliverables);
+        let r = prune(&g, &s);
+        prop_assert!(r.graph.len() <= g.len());
+        prop_assert!(r.task_fraction <= 1.0);
+        // Every kept task's producing inputs are kept too (closure).
+        let kept: BTreeSet<&str> = r.graph.tasks().iter().map(|t| t.name.as_str()).collect();
+        for t in r.graph.tasks() {
+            for input in &t.inputs {
+                for p in g.producers_of(input) {
+                    prop_assert!(
+                        kept.contains(p.name.as_str()),
+                        "{} kept but its producer {} dropped", t.name, p.name
+                    );
+                }
+            }
+        }
+        // Pruning twice is a fixpoint.
+        let s2 = Scenario::new("again", r.graph.deliverables().into_iter().collect());
+        let r2 = prune(&r.graph, &s2);
+        prop_assert_eq!(r2.graph.len(), r.graph.len());
+    }
+}
+
+// Tools whose ports share one classification are finding-free; skewing
+// one classification axis produces findings on exactly that axis.
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn analysis_findings_match_injected_skew(
+        g in arb_graph(),
+        skew_ns in any::<bool>(),
+        skew_sem in any::<bool>(),
+        skew_fmt in any::<bool>(),
+    ) {
+        // One tool per task; consumers' input ports optionally skewed.
+        let mut tools = Vec::new();
+        for t in g.tasks() {
+            let mut tool = ToolModel::new(format!("T-{}", t.name), "auto");
+            for i in &t.inputs {
+                tool.inputs.push(DataPort::new(
+                    i.name(),
+                    Persistence::File(if skew_fmt { "fmt-b" } else { "fmt-a" }.into()),
+                    if skew_sem { "sem-b" } else { "sem-a" },
+                    "struct-a",
+                    if skew_ns { "ns-b" } else { "ns-a" },
+                ));
+            }
+            for o in &t.outputs {
+                tool.outputs.push(DataPort::new(
+                    o.name(),
+                    Persistence::File("fmt-a".into()),
+                    "sem-a",
+                    "struct-a",
+                    "ns-a",
+                ));
+            }
+            tools.push(tool);
+        }
+        let map = TaskToolMap::build(&g, &tools);
+        let diagram = flow::build(&g, &tools, &map);
+        let report = analyze(&diagram);
+        let h = report.histogram();
+        use interop_core::analysis::ProblemClass as P;
+        let edges = diagram.data.len();
+        let expect = |on: bool| if on { edges } else { 0 };
+        prop_assert_eq!(h.get(&P::NameMapping).copied().unwrap_or(0), expect(skew_ns));
+        prop_assert_eq!(
+            h.get(&P::SemanticInterpretation).copied().unwrap_or(0),
+            expect(skew_sem)
+        );
+        prop_assert_eq!(h.get(&P::Performance).copied().unwrap_or(0), expect(skew_fmt));
+        prop_assert_eq!(h.get(&P::StructureMapping).copied().unwrap_or(0), 0);
+        prop_assert_eq!(h.get(&P::ToolControl).copied().unwrap_or(0), 0);
+    }
+}

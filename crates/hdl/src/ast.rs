@@ -1,0 +1,532 @@
+//! Abstract syntax for the Verilog-like HDL.
+
+use std::collections::BTreeSet;
+use std::fmt;
+
+/// A parsed source file: one or more modules.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct SourceUnit {
+    /// Modules in declaration order.
+    pub modules: Vec<Module>,
+}
+
+impl SourceUnit {
+    /// Finds a module by name.
+    pub fn module(&self, name: &str) -> Option<&Module> {
+        self.modules.iter().find(|m| m.name == name)
+    }
+}
+
+/// Port direction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PortDir {
+    /// `input`.
+    Input,
+    /// `output`.
+    Output,
+    /// `inout`.
+    Inout,
+}
+
+/// A module port.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Port {
+    /// Port name.
+    pub name: String,
+    /// Direction.
+    pub dir: PortDir,
+    /// Vector range `(msb, lsb)`; `None` for scalars.
+    pub range: Option<(i64, i64)>,
+}
+
+/// Net kind.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum NetKind {
+    /// `wire`.
+    Wire,
+    /// `reg`.
+    Reg,
+}
+
+/// A net or variable declaration.
+#[derive(Debug, Clone, PartialEq)]
+pub struct NetDecl {
+    /// Declared name.
+    pub name: String,
+    /// Wire or reg.
+    pub kind: NetKind,
+    /// Vector range `(msb, lsb)`; `None` for scalars.
+    pub range: Option<(i64, i64)>,
+}
+
+impl NetDecl {
+    /// Bit width of the declaration.
+    pub fn width(&self) -> u32 {
+        match self.range {
+            Some((m, l)) => ((m - l).unsigned_abs() + 1) as u32,
+            None => 1,
+        }
+    }
+}
+
+/// Edge qualifier in an event expression.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Edge {
+    /// Any value change.
+    Any,
+    /// `posedge`.
+    Pos,
+    /// `negedge`.
+    Neg,
+}
+
+/// One term of a sensitivity list.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EventExpr {
+    /// Edge qualifier.
+    pub edge: Edge,
+    /// Watched signal.
+    pub signal: String,
+}
+
+/// An always block's trigger.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Sensitivity {
+    /// `@(a or posedge b)`.
+    List(Vec<EventExpr>),
+    /// `@*` — implicit full sensitivity.
+    Star,
+    /// Free-running `always begin ... end` (no event control).
+    FreeRunning,
+}
+
+/// Unary operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum UnOp {
+    /// Bitwise not `~`.
+    Not,
+    /// Logical not `!`.
+    LNot,
+    /// Negation `-`.
+    Neg,
+    /// Reduction and `&`.
+    RedAnd,
+    /// Reduction or `|`.
+    RedOr,
+}
+
+/// Binary operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BinOp {
+    /// `&`
+    And,
+    /// `|`
+    Or,
+    /// `^`
+    Xor,
+    /// `&&`
+    LAnd,
+    /// `||`
+    LOr,
+    /// `==`
+    Eq,
+    /// `!=`
+    Ne,
+    /// `<`
+    Lt,
+    /// `>`
+    Gt,
+    /// `<=`
+    Le,
+    /// `>=`
+    Ge,
+    /// `+`
+    Add,
+    /// `-`
+    Sub,
+    /// `*`
+    Mul,
+    /// `/`
+    Div,
+    /// `%`
+    Mod,
+    /// `<<`
+    Shl,
+    /// `>>`
+    Shr,
+}
+
+/// An expression.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Expr {
+    /// Signal reference.
+    Ident(String),
+    /// Bit select `sig[expr]`.
+    Index(String, Box<Expr>),
+    /// Plain integer literal.
+    Int(u64),
+    /// Based literal `4'b10x0`.
+    Based {
+        /// Declared width.
+        width: u32,
+        /// Digit characters (lowercase).
+        digits: String,
+        /// `b`, `d`, or `h`.
+        base: char,
+    },
+    /// Unary operation.
+    Unary(UnOp, Box<Expr>),
+    /// Binary operation.
+    Binary(BinOp, Box<Expr>, Box<Expr>),
+    /// Conditional `c ? a : b`.
+    Ternary(Box<Expr>, Box<Expr>, Box<Expr>),
+    /// Concatenation `{a, b, c}`.
+    Concat(Vec<Expr>),
+}
+
+impl Expr {
+    /// Collects every signal name the expression reads into `out`.
+    pub fn collect_reads(&self, out: &mut BTreeSet<String>) {
+        match self {
+            Expr::Ident(s) => {
+                out.insert(s.clone());
+            }
+            Expr::Index(s, idx) => {
+                out.insert(s.clone());
+                idx.collect_reads(out);
+            }
+            Expr::Int(_) | Expr::Based { .. } => {}
+            Expr::Unary(_, e) => e.collect_reads(out),
+            Expr::Binary(_, a, b) => {
+                a.collect_reads(out);
+                b.collect_reads(out);
+            }
+            Expr::Ternary(c, a, b) => {
+                c.collect_reads(out);
+                a.collect_reads(out);
+                b.collect_reads(out);
+            }
+            Expr::Concat(items) => {
+                for e in items {
+                    e.collect_reads(out);
+                }
+            }
+        }
+    }
+
+    /// The set of signals the expression reads.
+    pub fn reads(&self) -> BTreeSet<String> {
+        let mut s = BTreeSet::new();
+        self.collect_reads(&mut s);
+        s
+    }
+}
+
+/// Assignment target: a signal or one bit of it.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LValue {
+    /// Target signal.
+    pub name: String,
+    /// Bit select, if any.
+    pub index: Option<Expr>,
+}
+
+/// A procedural statement.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Stmt {
+    /// `begin ... end`.
+    Block(Vec<Stmt>),
+    /// `if (c) s else s`.
+    If {
+        /// Condition.
+        cond: Expr,
+        /// Then branch.
+        then_s: Box<Stmt>,
+        /// Optional else branch.
+        else_s: Option<Box<Stmt>>,
+    },
+    /// Blocking (`=`) or non-blocking (`<=`) assignment.
+    Assign {
+        /// Target.
+        lhs: LValue,
+        /// Source expression.
+        rhs: Expr,
+        /// `true` for `=`, `false` for `<=`.
+        blocking: bool,
+        /// Source line.
+        line: usize,
+    },
+    /// `#n stmt`.
+    Delay {
+        /// Delay amount in time units.
+        amount: u64,
+        /// Delayed statement.
+        stmt: Box<Stmt>,
+    },
+    /// `case (subject) v: s; ... default: s; endcase`.
+    Case {
+        /// Switch subject.
+        subject: Expr,
+        /// `(match values, body)` arms.
+        arms: Vec<(Vec<Expr>, Stmt)>,
+        /// Optional default arm.
+        default: Option<Box<Stmt>>,
+    },
+    /// Empty statement (`;`).
+    Nop,
+}
+
+impl Stmt {
+    /// Signals read anywhere in the statement (conditions and
+    /// right-hand sides, including index expressions on the left).
+    pub fn reads(&self) -> BTreeSet<String> {
+        let mut out = BTreeSet::new();
+        self.collect_reads(&mut out);
+        out
+    }
+
+    fn collect_reads(&self, out: &mut BTreeSet<String>) {
+        match self {
+            Stmt::Block(items) => {
+                for s in items {
+                    s.collect_reads(out);
+                }
+            }
+            Stmt::If {
+                cond,
+                then_s,
+                else_s,
+            } => {
+                cond.collect_reads(out);
+                then_s.collect_reads(out);
+                if let Some(e) = else_s {
+                    e.collect_reads(out);
+                }
+            }
+            Stmt::Assign { lhs, rhs, .. } => {
+                rhs.collect_reads(out);
+                if let Some(idx) = &lhs.index {
+                    idx.collect_reads(out);
+                }
+            }
+            Stmt::Delay { stmt, .. } => stmt.collect_reads(out),
+            Stmt::Case {
+                subject,
+                arms,
+                default,
+            } => {
+                subject.collect_reads(out);
+                for (vals, body) in arms {
+                    for v in vals {
+                        v.collect_reads(out);
+                    }
+                    body.collect_reads(out);
+                }
+                if let Some(d) = default {
+                    d.collect_reads(out);
+                }
+            }
+            Stmt::Nop => {}
+        }
+    }
+
+    /// Signals written anywhere in the statement.
+    pub fn writes(&self) -> BTreeSet<String> {
+        let mut out = BTreeSet::new();
+        self.collect_writes(&mut out);
+        out
+    }
+
+    fn collect_writes(&self, out: &mut BTreeSet<String>) {
+        match self {
+            Stmt::Block(items) => {
+                for s in items {
+                    s.collect_writes(out);
+                }
+            }
+            Stmt::If {
+                then_s, else_s, ..
+            } => {
+                then_s.collect_writes(out);
+                if let Some(e) = else_s {
+                    e.collect_writes(out);
+                }
+            }
+            Stmt::Assign { lhs, .. } => {
+                out.insert(lhs.name.clone());
+            }
+            Stmt::Delay { stmt, .. } => stmt.collect_writes(out),
+            Stmt::Case { arms, default, .. } => {
+                for (_, body) in arms {
+                    body.collect_writes(out);
+                }
+                if let Some(d) = default {
+                    d.collect_writes(out);
+                }
+            }
+            Stmt::Nop => {}
+        }
+    }
+}
+
+/// A module-level item.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Item {
+    /// Continuous assignment.
+    Assign {
+        /// Target.
+        lhs: LValue,
+        /// Source expression.
+        rhs: Expr,
+        /// Source line.
+        line: usize,
+    },
+    /// `always` process.
+    Always {
+        /// Trigger.
+        trigger: Sensitivity,
+        /// Body.
+        body: Stmt,
+        /// Source line.
+        line: usize,
+    },
+    /// `initial` process.
+    Initial {
+        /// Body.
+        body: Stmt,
+        /// Source line.
+        line: usize,
+    },
+    /// Module instantiation with named connections.
+    Instance {
+        /// Instantiated module name.
+        module: String,
+        /// Instance name.
+        name: String,
+        /// `(.port(expr))` connections.
+        conns: Vec<(String, Expr)>,
+        /// Source line.
+        line: usize,
+    },
+}
+
+/// A module definition.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Module {
+    /// Module name.
+    pub name: String,
+    /// Ports in declaration order.
+    pub ports: Vec<Port>,
+    /// Net/variable declarations (ports are also mirrored here).
+    pub nets: Vec<NetDecl>,
+    /// Body items.
+    pub items: Vec<Item>,
+}
+
+impl Module {
+    /// Finds a declaration by name.
+    pub fn net(&self, name: &str) -> Option<&NetDecl> {
+        self.nets.iter().find(|n| n.name == name)
+    }
+
+    /// Finds a port by name.
+    pub fn port(&self, name: &str) -> Option<&Port> {
+        self.ports.iter().find(|p| p.name == name)
+    }
+
+    /// Every identifier declared in the module (ports + nets +
+    /// instance names).
+    pub fn declared_names(&self) -> BTreeSet<String> {
+        let mut out: BTreeSet<String> = self.nets.iter().map(|n| n.name.clone()).collect();
+        out.extend(self.ports.iter().map(|p| p.name.clone()));
+        for item in &self.items {
+            if let Item::Instance { name, .. } = item {
+                out.insert(name.clone());
+            }
+        }
+        out
+    }
+
+    /// Names of modules instantiated by this module.
+    pub fn children(&self) -> BTreeSet<&str> {
+        self.items
+            .iter()
+            .filter_map(|i| match i {
+                Item::Instance { module, .. } => Some(module.as_str()),
+                _ => None,
+            })
+            .collect()
+    }
+}
+
+impl fmt::Display for Module {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "module {} ({} ports, {} nets, {} items)",
+            self.name,
+            self.ports.len(),
+            self.nets.len(),
+            self.items.len()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn expr_reads_are_complete() {
+        // a & b & c — the paper's sensitivity example RHS.
+        let e = Expr::Binary(
+            BinOp::And,
+            Box::new(Expr::Binary(
+                BinOp::And,
+                Box::new(Expr::Ident("a".into())),
+                Box::new(Expr::Ident("b".into())),
+            )),
+            Box::new(Expr::Ident("c".into())),
+        );
+        let reads = e.reads();
+        assert_eq!(reads.len(), 3);
+        assert!(reads.contains("c"));
+    }
+
+    #[test]
+    fn stmt_reads_and_writes() {
+        let s = Stmt::If {
+            cond: Expr::Ident("sel".into()),
+            then_s: Box::new(Stmt::Assign {
+                lhs: LValue {
+                    name: "q".into(),
+                    index: Some(Expr::Ident("i".into())),
+                },
+                rhs: Expr::Ident("d".into()),
+                blocking: true,
+                line: 1,
+            }),
+            else_s: None,
+        };
+        let reads = s.reads();
+        assert!(reads.contains("sel") && reads.contains("d") && reads.contains("i"));
+        assert!(!reads.contains("q"));
+        assert_eq!(s.writes().into_iter().collect::<Vec<_>>(), vec!["q"]);
+    }
+
+    #[test]
+    fn net_width() {
+        let scalar = NetDecl {
+            name: "a".into(),
+            kind: NetKind::Wire,
+            range: None,
+        };
+        assert_eq!(scalar.width(), 1);
+        let vec = NetDecl {
+            name: "v".into(),
+            kind: NetKind::Reg,
+            range: Some((7, 0)),
+        };
+        assert_eq!(vec.width(), 8);
+    }
+}

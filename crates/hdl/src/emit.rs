@@ -1,0 +1,483 @@
+//! VHDL emission: cross-language model translation.
+//!
+//! Section 3.3: "Even if a translation tool can rename Verilog
+//! identifiers so that VHDL syntax errors are avoided, the identifier
+//! names will no longer match between models, and simulation analysis
+//! scripts may need to be modified." This emitter performs exactly that
+//! translation — applying a [`crate::names::RenamePlan`] so the output
+//! is keyword- and shape-safe — and reports every name that no longer
+//! matches, the cost the paper warns about.
+
+use std::fmt::Write as _;
+
+use crate::ast::*;
+use crate::lang::Language;
+use crate::names::{plan_renames, RenamePlan};
+
+/// Result of emitting one module.
+#[derive(Debug, Clone)]
+pub struct VhdlEmit {
+    /// The VHDL source text.
+    pub text: String,
+    /// `(verilog name, vhdl name)` pairs that differ — the analysis
+    /// scripts that reference them "may need to be modified".
+    pub renamed: Vec<(String, String)>,
+    /// Constructs that could not be translated (emitted as comments).
+    pub warnings: Vec<String>,
+}
+
+/// A translation failure (only raised for malformed modules).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EmitError {
+    /// Problem description.
+    pub message: String,
+}
+
+impl std::fmt::Display for EmitError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "vhdl emit: {}", self.message)
+    }
+}
+
+impl std::error::Error for EmitError {}
+
+struct Emitter<'a> {
+    plan: &'a RenamePlan,
+    warnings: Vec<String>,
+}
+
+impl Emitter<'_> {
+    fn name(&self, n: &str) -> String {
+        self.plan.rename(n).to_string()
+    }
+
+    fn vhdl_type(range: Option<(i64, i64)>) -> String {
+        match range {
+            None => "std_logic".to_string(),
+            Some((m, l)) => format!("std_logic_vector({} downto {})", m.max(l), m.min(l)),
+        }
+    }
+
+    fn expr(&mut self, e: &Expr) -> String {
+        match e {
+            Expr::Ident(n) => self.name(n),
+            Expr::Index(n, i) => {
+                let idx = self.expr(i);
+                format!("{}({})", self.name(n), idx)
+            }
+            Expr::Int(v) => {
+                // Scalar literal context: '0'/'1' for 0/1, numeric otherwise.
+                match v {
+                    0 => "'0'".into(),
+                    1 => "'1'".into(),
+                    other => other.to_string(),
+                }
+            }
+            Expr::Based { width, digits, base } => match base {
+                'b' => format!("\"{digits:0>width$}\"", width = *width as usize),
+                'h' => format!("x\"{digits}\""),
+                _ => digits.clone(),
+            },
+            Expr::Unary(op, x) => {
+                let inner = self.expr(x);
+                match op {
+                    UnOp::Not | UnOp::LNot => format!("not ({inner})"),
+                    UnOp::Neg => format!("-({inner})"),
+                    UnOp::RedAnd => {
+                        self.warnings
+                            .push("reduction-and approximated with and_reduce".into());
+                        format!("and_reduce({inner})")
+                    }
+                    UnOp::RedOr => {
+                        self.warnings
+                            .push("reduction-or approximated with or_reduce".into());
+                        format!("or_reduce({inner})")
+                    }
+                }
+            }
+            Expr::Binary(op, a, b) => {
+                let (l, r) = (self.expr(a), self.expr(b));
+                let sym = match op {
+                    BinOp::And | BinOp::LAnd => "and",
+                    BinOp::Or | BinOp::LOr => "or",
+                    BinOp::Xor => "xor",
+                    BinOp::Eq => "=",
+                    BinOp::Ne => "/=",
+                    BinOp::Lt => "<",
+                    BinOp::Gt => ">",
+                    BinOp::Le => "<=",
+                    BinOp::Ge => ">=",
+                    BinOp::Add => "+",
+                    BinOp::Sub => "-",
+                    BinOp::Mul => "*",
+                    BinOp::Div => "/",
+                    BinOp::Mod => "mod",
+                    BinOp::Shl => "sll",
+                    BinOp::Shr => "srl",
+                };
+                format!("({l} {sym} {r})")
+            }
+            Expr::Ternary(c, a, b) => {
+                let (cc, aa, bb) = (self.expr(c), self.expr(a), self.expr(b));
+                format!("{aa} when ({cc}) = '1' else {bb}")
+            }
+            Expr::Concat(items) => {
+                let parts: Vec<String> = items.iter().map(|x| self.expr(x)).collect();
+                parts.join(" & ")
+            }
+        }
+    }
+
+    fn stmt(&mut self, s: &Stmt, indent: usize, out: &mut String) {
+        let pad = "  ".repeat(indent);
+        match s {
+            Stmt::Block(items) => {
+                for i in items {
+                    self.stmt(i, indent, out);
+                }
+            }
+            Stmt::If {
+                cond,
+                then_s,
+                else_s,
+            } => {
+                let c = self.expr(cond);
+                let _ = writeln!(out, "{pad}if ({c}) = '1' then");
+                self.stmt(then_s, indent + 1, out);
+                if let Some(e) = else_s {
+                    let _ = writeln!(out, "{pad}else");
+                    self.stmt(e, indent + 1, out);
+                }
+                let _ = writeln!(out, "{pad}end if;");
+            }
+            Stmt::Assign { lhs, rhs, .. } => {
+                let r = self.expr(rhs);
+                let l = match &lhs.index {
+                    Some(i) => {
+                        let idx = self.expr(i);
+                        format!("{}({})", self.name(&lhs.name), idx)
+                    }
+                    None => self.name(&lhs.name),
+                };
+                let _ = writeln!(out, "{pad}{l} <= {r};");
+            }
+            Stmt::Delay { stmt, amount } => {
+                self.warnings
+                    .push(format!("# {amount} delay dropped inside process"));
+                self.stmt(stmt, indent, out);
+            }
+            Stmt::Case {
+                subject,
+                arms,
+                default,
+            } => {
+                let subj = self.expr(subject);
+                let _ = writeln!(out, "{pad}case {subj} is");
+                for (vals, body) in arms {
+                    let labels: Vec<String> = vals.iter().map(|v| self.expr(v)).collect();
+                    let _ = writeln!(out, "{pad}  when {} =>", labels.join(" | "));
+                    self.stmt(body, indent + 2, out);
+                }
+                let _ = writeln!(out, "{pad}  when others =>");
+                match default {
+                    Some(d) => self.stmt(d, indent + 2, out),
+                    None => {
+                        let _ = writeln!(out, "{pad}    null;");
+                    }
+                }
+                let _ = writeln!(out, "{pad}end case;");
+            }
+            Stmt::Nop => {
+                let _ = writeln!(out, "{pad}null;");
+            }
+        }
+    }
+}
+
+/// Emits a module as a VHDL entity/architecture pair, renaming every
+/// identifier that is not legal VHDL.
+///
+/// # Errors
+///
+/// Fails when the module contains instances (flatten first).
+pub fn to_vhdl(module: &Module) -> Result<VhdlEmit, EmitError> {
+    if module.items.iter().any(|i| matches!(i, Item::Instance { .. })) {
+        return Err(EmitError {
+            message: format!("module `{}` contains instances; flatten first", module.name),
+        });
+    }
+    let plan = plan_renames(module, Language::Vhdl, 64);
+    let mut em = Emitter {
+        plan: &plan,
+        warnings: Vec::new(),
+    };
+
+    let entity = {
+        // Module names face the same keyword rules.
+        let n = module.name.clone();
+        if Language::Vhdl.is_legal_identifier(&n) {
+            n
+        } else {
+            format!("{n}_e")
+        }
+    };
+
+    let mut text = String::new();
+    let _ = writeln!(text, "library ieee;");
+    let _ = writeln!(text, "use ieee.std_logic_1164.all;");
+    let _ = writeln!(text);
+    let _ = writeln!(text, "entity {entity} is");
+    if !module.ports.is_empty() {
+        let _ = writeln!(text, "  port (");
+        for (k, p) in module.ports.iter().enumerate() {
+            let dir = match p.dir {
+                PortDir::Input => "in",
+                PortDir::Output => "out",
+                PortDir::Inout => "inout",
+            };
+            let sep = if k + 1 == module.ports.len() { "" } else { ";" };
+            let _ = writeln!(
+                text,
+                "    {} : {} {}{}",
+                em.name(&p.name),
+                dir,
+                Emitter::vhdl_type(p.range),
+                sep
+            );
+        }
+        let _ = writeln!(text, "  );");
+    }
+    let _ = writeln!(text, "end entity {entity};");
+    let _ = writeln!(text);
+    let _ = writeln!(text, "architecture rtl of {entity} is");
+    for net in &module.nets {
+        if module.port(&net.name).is_some() {
+            continue;
+        }
+        let _ = writeln!(
+            text,
+            "  signal {} : {};",
+            em.name(&net.name),
+            Emitter::vhdl_type(net.range)
+        );
+    }
+    let _ = writeln!(text, "begin");
+
+    let mut proc_count = 0usize;
+    for item in &module.items {
+        match item {
+            Item::Assign { lhs, rhs, .. } => {
+                let r = em.expr(rhs);
+                let l = match &lhs.index {
+                    Some(i) => {
+                        let idx = em.expr(i);
+                        format!("{}({})", em.name(&lhs.name), idx)
+                    }
+                    None => em.name(&lhs.name),
+                };
+                let _ = writeln!(text, "  {l} <= {r};");
+            }
+            Item::Always {
+                trigger,
+                body,
+                ..
+            } => {
+                proc_count += 1;
+                match trigger {
+                    Sensitivity::List(events)
+                        if events.iter().any(|e| e.edge != Edge::Any) =>
+                    {
+                        // Sequential process: clock + optional async reset.
+                        let clk = events
+                            .iter()
+                            .find(|e| e.edge == Edge::Pos)
+                            .or_else(|| events.iter().find(|e| e.edge == Edge::Neg))
+                            .expect("edge-triggered");
+                        let sens: Vec<String> =
+                            events.iter().map(|e| em.name(&e.signal)).collect();
+                        let _ = writeln!(
+                            text,
+                            "  p{proc_count} : process ({})",
+                            sens.join(", ")
+                        );
+                        let _ = writeln!(text, "  begin");
+                        let edge_fn = if clk.edge == Edge::Pos {
+                            "rising_edge"
+                        } else {
+                            "falling_edge"
+                        };
+                        let _ = writeln!(
+                            text,
+                            "    if {edge_fn}({}) then",
+                            em.name(&clk.signal)
+                        );
+                        let mut body_text = String::new();
+                        em.stmt(body, 3, &mut body_text);
+                        text.push_str(&body_text);
+                        let _ = writeln!(text, "    end if;");
+                        let _ = writeln!(text, "  end process;");
+                    }
+                    Sensitivity::List(events) => {
+                        let sens: Vec<String> =
+                            events.iter().map(|e| em.name(&e.signal)).collect();
+                        let _ = writeln!(
+                            text,
+                            "  p{proc_count} : process ({})",
+                            sens.join(", ")
+                        );
+                        let _ = writeln!(text, "  begin");
+                        let mut body_text = String::new();
+                        em.stmt(body, 2, &mut body_text);
+                        text.push_str(&body_text);
+                        let _ = writeln!(text, "  end process;");
+                    }
+                    Sensitivity::Star => {
+                        let sens: Vec<String> =
+                            body.reads().iter().map(|s| em.name(s)).collect();
+                        let _ = writeln!(
+                            text,
+                            "  p{proc_count} : process ({})",
+                            sens.join(", ")
+                        );
+                        let _ = writeln!(text, "  begin");
+                        let mut body_text = String::new();
+                        em.stmt(body, 2, &mut body_text);
+                        text.push_str(&body_text);
+                        let _ = writeln!(text, "  end process;");
+                    }
+                    Sensitivity::FreeRunning => {
+                        em.warnings
+                            .push("free-running always has no VHDL equivalent".into());
+                        let _ = writeln!(text, "  -- free-running always dropped");
+                    }
+                }
+            }
+            Item::Initial { .. } => {
+                em.warnings
+                    .push("initial block dropped (testbench construct)".into());
+                let _ = writeln!(text, "  -- initial block dropped");
+            }
+            Item::Instance { .. } => unreachable!("checked above"),
+        }
+    }
+    let _ = writeln!(text, "end architecture rtl;");
+
+    let renamed: Vec<(String, String)> = module
+        .declared_names()
+        .into_iter()
+        .filter_map(|n| {
+            let r = plan.rename(&n);
+            if r != n {
+                Some((n.clone(), r.to_string()))
+            } else {
+                None
+            }
+        })
+        .collect();
+
+    Ok(VhdlEmit {
+        text,
+        renamed,
+        warnings: em.warnings,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse;
+
+    fn module(src: &str) -> Module {
+        parse(src).expect("parses").modules.remove(0)
+    }
+
+    #[test]
+    fn keyword_identifiers_are_renamed_and_reported() {
+        // The paper's `in`/`out` example.
+        let m = module(
+            "module m(input clk, input in, output reg out);
+               always @(posedge clk) out <= in;
+             endmodule",
+        );
+        let emit = to_vhdl(&m).expect("emits");
+        assert!(emit.renamed.iter().any(|(v, _)| v == "in"));
+        assert!(emit.renamed.iter().any(|(v, _)| v == "out"));
+        assert!(!emit.text.contains(" in : in std_logic"));
+        assert!(emit.text.contains("rising_edge(clk)"));
+        // No raw VHDL keywords remain as identifiers.
+        for (_, vhdl) in &emit.renamed {
+            assert!(Language::Vhdl.is_legal_identifier(vhdl));
+        }
+    }
+
+    #[test]
+    fn combinational_logic_translates_operators() {
+        let m = module(
+            "module g(input a, input b, input c, output y);
+               assign y = (a & b) | ~c;
+             endmodule",
+        );
+        let emit = to_vhdl(&m).expect("emits");
+        assert!(emit.text.contains("and"));
+        assert!(emit.text.contains("or"));
+        assert!(emit.text.contains("not"));
+        assert!(!emit.text.contains('&') || emit.text.contains("& "), "no verilog ops left");
+        assert!(emit.warnings.is_empty());
+    }
+
+    #[test]
+    fn vectors_become_std_logic_vector() {
+        let m = module(
+            "module v(input [7:0] d, output reg [7:0] q, input clk);
+               always @(posedge clk) q <= d;
+             endmodule",
+        );
+        let emit = to_vhdl(&m).expect("emits");
+        assert!(emit.text.contains("std_logic_vector(7 downto 0)"));
+    }
+
+    #[test]
+    fn case_and_ternary_translate() {
+        let m = module(
+            "module c(input [1:0] s, input a, input b, output reg y, output w);
+               assign w = s[0] ? a : b;
+               always @* begin
+                 case (s)
+                   0: y = a;
+                   default: y = b;
+                 endcase
+               end
+             endmodule",
+        );
+        let emit = to_vhdl(&m).expect("emits");
+        assert!(emit.text.contains("when ("));
+        assert!(emit.text.contains("case "));
+        assert!(emit.text.contains("when others =>"));
+    }
+
+    #[test]
+    fn initial_blocks_warn_and_instances_error() {
+        let m = module(
+            "module t(output reg q);
+               initial begin #5 q = 1; end
+             endmodule",
+        );
+        let emit = to_vhdl(&m).expect("emits");
+        assert!(emit
+            .warnings
+            .iter()
+            .any(|w| w.contains("initial block")));
+
+        let unit = parse(
+            "module leaf(input i, output o); assign o = ~i; endmodule
+             module top(input x, output y);
+               leaf u (.i(x), .o(y));
+             endmodule",
+        )
+        .expect("parses");
+        assert!(to_vhdl(unit.module("top").expect("top")).is_err());
+        // But flattening first makes it emittable.
+        let flat = crate::flatten(&unit, "top", "_").expect("flattens");
+        assert!(to_vhdl(&flat.module).is_ok());
+    }
+}

@@ -1,0 +1,633 @@
+//! Hierarchy removal with systematic renaming and back-mapping —
+//! Section 3.3 "Hierarchy removal".
+//!
+//! "Certain HDL based tools work only on a flat design description...
+//! New names get derived in some systematic way, such as joining the
+//! names in a hierarchical path using an underscore. However, the
+//! design process is often iterative, and if a problem is found in the
+//! flat representation, the user must map back to the name used in the
+//! hierarchical representation." — [`NameMap`] is that reverse map.
+
+use std::collections::{BTreeMap, BTreeSet};
+use std::fmt;
+
+use crate::ast::*;
+
+/// A flattening failure.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FlattenError {
+    /// The requested top module does not exist.
+    MissingModule(String),
+    /// An instantiated module is undefined.
+    UndefinedChild {
+        /// Parent module.
+        parent: String,
+        /// Missing child name.
+        child: String,
+    },
+    /// Module instantiation recursion (or depth beyond any real
+    /// design).
+    RecursionLimit(String),
+    /// An output port is connected to a non-identifier expression.
+    OutputToExpression {
+        /// Instance path.
+        path: String,
+        /// Port name.
+        port: String,
+    },
+    /// An instance connection names a port the child does not have.
+    NoSuchPort {
+        /// Instance path.
+        path: String,
+        /// Port name.
+        port: String,
+    },
+}
+
+impl fmt::Display for FlattenError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FlattenError::MissingModule(m) => write!(f, "no module named `{m}`"),
+            FlattenError::UndefinedChild { parent, child } => {
+                write!(f, "`{parent}` instantiates undefined module `{child}`")
+            }
+            FlattenError::RecursionLimit(m) => {
+                write!(f, "recursion limit flattening `{m}`")
+            }
+            FlattenError::OutputToExpression { path, port } => {
+                write!(f, "{path}: output port `{port}` wired to an expression")
+            }
+            FlattenError::NoSuchPort { path, port } => {
+                write!(f, "{path}: connection to unknown port `{port}`")
+            }
+        }
+    }
+}
+
+impl std::error::Error for FlattenError {}
+
+/// Bidirectional flat ↔ hierarchical name map.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct NameMap {
+    flat_to_hier: BTreeMap<String, String>,
+    hier_to_flat: BTreeMap<String, String>,
+}
+
+impl NameMap {
+    fn insert(&mut self, flat: String, hier: String) {
+        self.flat_to_hier.insert(flat.clone(), hier.clone());
+        self.hier_to_flat.insert(hier, flat);
+    }
+
+    /// Records an additional hierarchical alias for an existing flat
+    /// name (a child port bound to a parent signal). The flat name's
+    /// canonical hierarchical mapping is kept if already present.
+    fn insert_alias(&mut self, flat: String, hier: String) {
+        self.flat_to_hier.entry(flat.clone()).or_insert_with(|| hier.clone());
+        self.hier_to_flat.insert(hier, flat);
+    }
+
+    /// Maps a flat name back to its hierarchical path (`u1/u2/n`).
+    pub fn to_hier(&self, flat: &str) -> Option<&str> {
+        self.flat_to_hier.get(flat).map(String::as_str)
+    }
+
+    /// Maps a hierarchical path to its flat name.
+    pub fn to_flat(&self, hier: &str) -> Option<&str> {
+        self.hier_to_flat.get(hier).map(String::as_str)
+    }
+
+    /// Number of mapped names.
+    pub fn len(&self) -> usize {
+        self.flat_to_hier.len()
+    }
+
+    /// True when no names are mapped.
+    pub fn is_empty(&self) -> bool {
+        self.flat_to_hier.is_empty()
+    }
+
+    /// Iterates `(flat, hier)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (&str, &str)> {
+        self.flat_to_hier
+            .iter()
+            .map(|(f, h)| (f.as_str(), h.as_str()))
+    }
+}
+
+/// Result of flattening.
+#[derive(Debug, Clone)]
+pub struct FlattenResult {
+    /// The fully flat module (no instances remain).
+    pub module: Module,
+    /// The flat ↔ hierarchical name map.
+    pub name_map: NameMap,
+}
+
+struct Flattener<'a> {
+    unit: &'a SourceUnit,
+    sep: &'a str,
+    flat: Module,
+    map: NameMap,
+    used: BTreeSet<String>,
+}
+
+impl<'a> Flattener<'a> {
+    fn unique(&mut self, candidate: String) -> String {
+        if self.used.insert(candidate.clone()) {
+            return candidate;
+        }
+        let mut k = 1usize;
+        loop {
+            let c = format!("{candidate}{}{k}", self.sep);
+            if self.used.insert(c.clone()) {
+                return c;
+            }
+            k += 1;
+        }
+    }
+
+    fn expand(
+        &mut self,
+        module_name: &str,
+        path: &[String],
+        bindings: &BTreeMap<String, String>,
+    ) -> Result<(), FlattenError> {
+        if path.len() > 64 {
+            return Err(FlattenError::RecursionLimit(module_name.to_string()));
+        }
+        let module = self
+            .unit
+            .module(module_name)
+            .ok_or_else(|| FlattenError::MissingModule(module_name.to_string()))?;
+
+        // Local rename table for this instance context.
+        let mut rename: BTreeMap<String, String> = BTreeMap::new();
+        let prefix = if path.is_empty() {
+            String::new()
+        } else {
+            format!("{}{}", path.join(self.sep), self.sep)
+        };
+        let hier_prefix = if path.is_empty() {
+            String::new()
+        } else {
+            format!("{}/", path.join("/"))
+        };
+
+        for net in &module.nets {
+            if let Some(flat_name) = bindings.get(&net.name) {
+                rename.insert(net.name.clone(), flat_name.clone());
+                // The bound port is an alias of the parent signal.
+                self.map.insert_alias(
+                    flat_name.clone(),
+                    format!("{hier_prefix}{}", net.name),
+                );
+                continue;
+            }
+            let flat_name = self.unique(format!("{prefix}{}", net.name));
+            self.map
+                .insert(flat_name.clone(), format!("{hier_prefix}{}", net.name));
+            self.flat.nets.push(NetDecl {
+                name: flat_name.clone(),
+                kind: net.kind,
+                range: net.range,
+            });
+            rename.insert(net.name.clone(), flat_name);
+        }
+
+        for item in &module.items {
+            match item {
+                Item::Assign { lhs, rhs, line } => {
+                    self.flat.items.push(Item::Assign {
+                        lhs: rename_lvalue(lhs, &rename),
+                        rhs: rename_expr(rhs, &rename),
+                        line: *line,
+                    });
+                }
+                Item::Always {
+                    trigger,
+                    body,
+                    line,
+                } => {
+                    self.flat.items.push(Item::Always {
+                        trigger: rename_sens(trigger, &rename),
+                        body: rename_stmt(body, &rename),
+                        line: *line,
+                    });
+                }
+                Item::Initial { body, line } => {
+                    self.flat.items.push(Item::Initial {
+                        body: rename_stmt(body, &rename),
+                        line: *line,
+                    });
+                }
+                Item::Instance {
+                    module: child_name,
+                    name: inst_name,
+                    conns,
+                    line,
+                } => {
+                    let child = self.unit.module(child_name).ok_or_else(|| {
+                        FlattenError::UndefinedChild {
+                            parent: module_name.to_string(),
+                            child: child_name.clone(),
+                        }
+                    })?;
+                    let mut child_path = path.to_vec();
+                    child_path.push(inst_name.clone());
+                    let path_str = child_path.join("/");
+
+                    let mut child_bindings: BTreeMap<String, String> = BTreeMap::new();
+                    for (port, expr) in conns {
+                        let pdef = child.port(port).ok_or_else(|| {
+                            FlattenError::NoSuchPort {
+                                path: path_str.clone(),
+                                port: port.clone(),
+                            }
+                        })?;
+                        let renamed = rename_expr(expr, &rename);
+                        match renamed {
+                            Expr::Ident(sig) => {
+                                child_bindings.insert(port.clone(), sig);
+                            }
+                            other => {
+                                if pdef.dir != PortDir::Input {
+                                    return Err(FlattenError::OutputToExpression {
+                                        path: path_str.clone(),
+                                        port: port.clone(),
+                                    });
+                                }
+                                // Materialize the expression into an
+                                // intermediate wire.
+                                let wire = self.unique(format!(
+                                    "{prefix}{}{}{}",
+                                    inst_name, self.sep, port
+                                ));
+                                self.map.insert(
+                                    wire.clone(),
+                                    format!("{hier_prefix}{inst_name}/{port}"),
+                                );
+                                self.flat.nets.push(NetDecl {
+                                    name: wire.clone(),
+                                    kind: NetKind::Wire,
+                                    range: pdef.range,
+                                });
+                                self.flat.items.push(Item::Assign {
+                                    lhs: LValue {
+                                        name: wire.clone(),
+                                        index: None,
+                                    },
+                                    rhs: other,
+                                    line: *line,
+                                });
+                                child_bindings.insert(port.clone(), wire);
+                            }
+                        }
+                    }
+                    // Unconnected child ports get fresh dangling nets.
+                    for port in &child.ports {
+                        if !child_bindings.contains_key(&port.name) {
+                            let wire =
+                                self.unique(format!("{prefix}{inst_name}{}{}", self.sep, port.name));
+                            self.map.insert(
+                                wire.clone(),
+                                format!("{hier_prefix}{inst_name}/{}", port.name),
+                            );
+                            self.flat.nets.push(NetDecl {
+                                name: wire.clone(),
+                                kind: NetKind::Wire,
+                                range: port.range,
+                            });
+                            child_bindings.insert(port.name.clone(), wire);
+                        }
+                    }
+                    self.expand(child_name, &child_path, &child_bindings)?;
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+fn rename_name(name: &str, table: &BTreeMap<String, String>) -> String {
+    table.get(name).cloned().unwrap_or_else(|| name.to_string())
+}
+
+fn rename_expr(e: &Expr, table: &BTreeMap<String, String>) -> Expr {
+    match e {
+        Expr::Ident(s) => Expr::Ident(rename_name(s, table)),
+        Expr::Index(s, i) => Expr::Index(rename_name(s, table), Box::new(rename_expr(i, table))),
+        Expr::Int(_) | Expr::Based { .. } => e.clone(),
+        Expr::Unary(op, x) => Expr::Unary(*op, Box::new(rename_expr(x, table))),
+        Expr::Binary(op, a, b) => Expr::Binary(
+            *op,
+            Box::new(rename_expr(a, table)),
+            Box::new(rename_expr(b, table)),
+        ),
+        Expr::Ternary(c, a, b) => Expr::Ternary(
+            Box::new(rename_expr(c, table)),
+            Box::new(rename_expr(a, table)),
+            Box::new(rename_expr(b, table)),
+        ),
+        Expr::Concat(items) => {
+            Expr::Concat(items.iter().map(|x| rename_expr(x, table)).collect())
+        }
+    }
+}
+
+fn rename_lvalue(l: &LValue, table: &BTreeMap<String, String>) -> LValue {
+    LValue {
+        name: rename_name(&l.name, table),
+        index: l.index.as_ref().map(|i| rename_expr(i, table)),
+    }
+}
+
+fn rename_sens(s: &Sensitivity, table: &BTreeMap<String, String>) -> Sensitivity {
+    match s {
+        Sensitivity::List(events) => Sensitivity::List(
+            events
+                .iter()
+                .map(|e| EventExpr {
+                    edge: e.edge,
+                    signal: rename_name(&e.signal, table),
+                })
+                .collect(),
+        ),
+        other => other.clone(),
+    }
+}
+
+fn rename_stmt(s: &Stmt, table: &BTreeMap<String, String>) -> Stmt {
+    match s {
+        Stmt::Block(items) => Stmt::Block(items.iter().map(|x| rename_stmt(x, table)).collect()),
+        Stmt::If {
+            cond,
+            then_s,
+            else_s,
+        } => Stmt::If {
+            cond: rename_expr(cond, table),
+            then_s: Box::new(rename_stmt(then_s, table)),
+            else_s: else_s.as_ref().map(|e| Box::new(rename_stmt(e, table))),
+        },
+        Stmt::Assign {
+            lhs,
+            rhs,
+            blocking,
+            line,
+        } => Stmt::Assign {
+            lhs: rename_lvalue(lhs, table),
+            rhs: rename_expr(rhs, table),
+            blocking: *blocking,
+            line: *line,
+        },
+        Stmt::Delay { amount, stmt } => Stmt::Delay {
+            amount: *amount,
+            stmt: Box::new(rename_stmt(stmt, table)),
+        },
+        Stmt::Case {
+            subject,
+            arms,
+            default,
+        } => Stmt::Case {
+            subject: rename_expr(subject, table),
+            arms: arms
+                .iter()
+                .map(|(vals, body)| {
+                    (
+                        vals.iter().map(|v| rename_expr(v, table)).collect(),
+                        rename_stmt(body, table),
+                    )
+                })
+                .collect(),
+            default: default.as_ref().map(|d| Box::new(rename_stmt(d, table))),
+        },
+        Stmt::Nop => Stmt::Nop,
+    }
+}
+
+/// Flattens `top` into a single instance-free module, joining
+/// hierarchical paths with `separator`.
+///
+/// # Errors
+///
+/// Returns a [`FlattenError`] for missing modules, bad connections, or
+/// runaway recursion.
+pub fn flatten(
+    unit: &SourceUnit,
+    top: &str,
+    separator: &str,
+) -> Result<FlattenResult, FlattenError> {
+    let top_module = unit
+        .module(top)
+        .ok_or_else(|| FlattenError::MissingModule(top.to_string()))?;
+    let mut fl = Flattener {
+        unit,
+        sep: separator,
+        flat: Module {
+            name: format!("{top}{separator}flat"),
+            ports: top_module.ports.clone(),
+            ..Module::default()
+        },
+        map: NameMap::default(),
+        used: BTreeSet::new(),
+    };
+    // Top-level names map to themselves.
+    let bindings = BTreeMap::new();
+    fl.expand(top, &[], &bindings)?;
+    for net in &fl.flat.nets.clone() {
+        if fl.map.to_hier(&net.name).is_none() {
+            fl.map.insert(net.name.clone(), net.name.clone());
+        }
+    }
+    Ok(FlattenResult {
+        module: fl.flat,
+        name_map: fl.map,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse;
+
+    const TWO_LEVEL: &str = r#"
+        module leaf(input i, output o);
+          wire mid;
+          assign mid = ~i;
+          assign o = mid;
+        endmodule
+        module top(input x, output y);
+          wire m;
+          leaf u1 (.i(x), .o(m));
+          leaf u2 (.i(m), .o(y));
+        endmodule
+    "#;
+
+    #[test]
+    fn flattening_removes_all_instances() {
+        let unit = parse(TWO_LEVEL).unwrap();
+        let r = flatten(&unit, "top", "_").unwrap();
+        assert!(r
+            .module
+            .items
+            .iter()
+            .all(|i| !matches!(i, Item::Instance { .. })));
+        // 2 leaves x 2 assigns = 4 assigns.
+        assert_eq!(r.module.items.len(), 4);
+        assert!(r.module.net("u1_mid").is_some());
+        assert!(r.module.net("u2_mid").is_some());
+    }
+
+    #[test]
+    fn back_mapping_round_trips() {
+        let unit = parse(TWO_LEVEL).unwrap();
+        let r = flatten(&unit, "top", "_").unwrap();
+        assert_eq!(r.name_map.to_hier("u1_mid"), Some("u1/mid"));
+        assert_eq!(r.name_map.to_flat("u1/mid"), Some("u1_mid"));
+        assert_eq!(r.name_map.to_hier("m"), Some("m"));
+        // Every flat net maps back, and the round trip is exact.
+        for net in &r.module.nets {
+            let hier = r.name_map.to_hier(&net.name).expect("mapped");
+            assert_eq!(r.name_map.to_flat(hier), Some(net.name.as_str()));
+        }
+    }
+
+    #[test]
+    fn port_aliasing_preserves_connectivity() {
+        let unit = parse(TWO_LEVEL).unwrap();
+        let r = flatten(&unit, "top", "_").unwrap();
+        // u1's output o was bound to m: some assign writes m.
+        let writes_m = r.module.items.iter().any(|i| {
+            matches!(i, Item::Assign { lhs, .. } if lhs.name == "m")
+        });
+        assert!(writes_m);
+        // u2's input i was bound to m: some assign reads m.
+        let reads_m = r.module.items.iter().any(|i| {
+            matches!(i, Item::Assign { rhs, .. } if rhs.reads().contains("m"))
+        });
+        assert!(reads_m);
+    }
+
+    #[test]
+    fn expression_connections_materialize_wires() {
+        let unit = parse(
+            r#"
+            module leaf(input i, output o);
+              assign o = ~i;
+            endmodule
+            module top(input a, input b, output y);
+              leaf u1 (.i(a & b), .o(y));
+            endmodule
+            "#,
+        )
+        .unwrap();
+        let r = flatten(&unit, "top", "_").unwrap();
+        assert!(r.module.net("u1_i").is_some());
+        assert_eq!(r.name_map.to_hier("u1_i"), Some("u1/i"));
+    }
+
+    #[test]
+    fn output_to_expression_is_an_error() {
+        let unit = parse(
+            r#"
+            module leaf(input i, output o);
+              assign o = ~i;
+            endmodule
+            module top(input a, output y);
+              leaf u1 (.i(a), .o(y & a));
+            endmodule
+            "#,
+        )
+        .unwrap();
+        assert!(matches!(
+            flatten(&unit, "top", "_"),
+            Err(FlattenError::OutputToExpression { .. })
+        ));
+    }
+
+    #[test]
+    fn name_collisions_get_disambiguated() {
+        // Parent declares `u1_mid`, which collides with the flat name
+        // of u1's internal `mid`.
+        let unit = parse(
+            r#"
+            module leaf(input i, output o);
+              wire mid;
+              assign mid = ~i;
+              assign o = mid;
+            endmodule
+            module top(input x, output y);
+              wire u1_mid;
+              assign u1_mid = x;
+              leaf u1 (.i(u1_mid), .o(y));
+            endmodule
+            "#,
+        )
+        .unwrap();
+        let r = flatten(&unit, "top", "_").unwrap();
+        // Two distinct declarations whose flat names differ.
+        let count = r
+            .module
+            .nets
+            .iter()
+            .filter(|n| n.name.starts_with("u1_mid"))
+            .count();
+        assert_eq!(count, 2);
+        let hier = r.name_map.to_flat("u1/mid").unwrap();
+        assert_ne!(hier, "u1_mid");
+    }
+
+    #[test]
+    fn missing_modules_and_ports_error() {
+        let unit = parse(
+            r#"
+            module top(input a);
+              ghost u1 (.p(a));
+            endmodule
+            "#,
+        )
+        .unwrap();
+        assert!(matches!(
+            flatten(&unit, "top", "_"),
+            Err(FlattenError::UndefinedChild { .. })
+        ));
+        assert!(matches!(
+            flatten(&unit, "nope", "_"),
+            Err(FlattenError::MissingModule(_))
+        ));
+        let unit2 = parse(
+            r#"
+            module leaf(input i);
+            endmodule
+            module top(input a);
+              leaf u1 (.zz(a));
+            endmodule
+            "#,
+        )
+        .unwrap();
+        assert!(matches!(
+            flatten(&unit2, "top", "_"),
+            Err(FlattenError::NoSuchPort { .. })
+        ));
+    }
+
+    #[test]
+    fn deep_chain_flattens() {
+        let src = (0..6).fold(
+            String::from("module l0(input i, output o); assign o = ~i; endmodule\n"),
+            |mut acc, d| {
+                if d > 0 {
+                    acc.push_str(&format!(
+                        "module l{d}(input i, output o); wire w; l{} u (.i(i), .o(w)); assign o = w; endmodule\n",
+                        d - 1
+                    ));
+                }
+                acc
+            },
+        );
+        let unit = parse(&src).unwrap();
+        let r = flatten(&unit, "l5", "_").unwrap();
+        // l1's internal wire sits five instances deep: u/u/u/u/w.
+        assert_eq!(r.name_map.to_flat("u/u/u/u/w"), Some("u_u_u_u_w"));
+    }
+}

@@ -1,0 +1,124 @@
+//! Language definitions: keyword sets and identifier rules for the two
+//! HDL families the paper contrasts.
+//!
+//! "VHDL and Verilog differ in their definition of keywords and legal
+//! identifier names... `in` and `out` are valid Verilog HDL identifiers
+//! that are reserved keywords in VHDL."
+
+/// The two HDL families.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Language {
+    /// The Verilog-like language this crate parses.
+    Verilog,
+    /// A VHDL-like language used as a translation target for keyword
+    /// and identifier-rule analysis.
+    Vhdl,
+}
+
+/// Verilog-family reserved words (the subset this crate's parser knows).
+pub const VERILOG_KEYWORDS: &[&str] = &[
+    "module", "endmodule", "input", "output", "inout", "wire", "reg", "assign", "always",
+    "initial", "begin", "end", "if", "else", "posedge", "negedge", "or", "and", "not", "case",
+    "endcase", "default", "parameter",
+];
+
+/// VHDL-family reserved words relevant to identifier collisions.
+pub const VHDL_KEYWORDS: &[&str] = &[
+    "abs", "access", "after", "alias", "all", "and", "architecture", "array", "assert",
+    "attribute", "begin", "block", "body", "buffer", "bus", "case", "component", "configuration",
+    "constant", "disconnect", "downto", "else", "elsif", "end", "entity", "exit", "file", "for",
+    "function", "generate", "generic", "guarded", "if", "impure", "in", "inertial", "inout",
+    "is", "label", "library", "linkage", "literal", "loop", "map", "mod", "nand", "new", "next",
+    "nor", "not", "null", "of", "on", "open", "or", "others", "out", "package", "port",
+    "postponed", "procedure", "process", "pure", "range", "record", "register", "reject", "rem",
+    "report", "return", "rol", "ror", "select", "severity", "signal", "shared", "sla", "sll",
+    "sra", "srl", "subtype", "then", "to", "transport", "type", "unaffected", "units", "until",
+    "use", "variable", "wait", "when", "while", "with", "xnor", "xor",
+];
+
+impl Language {
+    /// The language's reserved words.
+    pub fn keywords(self) -> &'static [&'static str] {
+        match self {
+            Language::Verilog => VERILOG_KEYWORDS,
+            Language::Vhdl => VHDL_KEYWORDS,
+        }
+    }
+
+    /// True when `word` is reserved in this language. VHDL is
+    /// case-insensitive; Verilog is case-sensitive.
+    pub fn is_keyword(self, word: &str) -> bool {
+        match self {
+            Language::Verilog => self.keywords().contains(&word),
+            Language::Vhdl => {
+                let lower = word.to_ascii_lowercase();
+                self.keywords().contains(&lower.as_str())
+            }
+        }
+    }
+
+    /// True when `name` is a legal *ordinary* (non-escaped) identifier:
+    /// letter or underscore first, then letters, digits, underscores
+    /// (and `$` in Verilog).
+    pub fn is_legal_identifier(self, name: &str) -> bool {
+        let mut chars = name.chars();
+        let Some(first) = chars.next() else {
+            return false;
+        };
+        if !(first.is_ascii_alphabetic() || first == '_') {
+            return false;
+        }
+        let tail_ok = match self {
+            Language::Verilog => chars.all(|c| c.is_ascii_alphanumeric() || c == '_' || c == '$'),
+            // VHDL forbids `$`, consecutive/trailing underscores.
+            Language::Vhdl => {
+                let mut prev = first;
+                for c in name.chars().skip(1) {
+                    if !(c.is_ascii_alphanumeric() || c == '_') {
+                        return false;
+                    }
+                    if c == '_' && prev == '_' {
+                        return false;
+                    }
+                    prev = c;
+                }
+                prev != '_'
+            }
+        };
+        tail_ok && !self.is_keyword(name)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn in_and_out_collide_only_in_vhdl() {
+        // The paper's exact example.
+        assert!(Language::Verilog.is_legal_identifier("in"));
+        assert!(Language::Verilog.is_legal_identifier("out"));
+        assert!(!Language::Vhdl.is_legal_identifier("in"));
+        assert!(!Language::Vhdl.is_legal_identifier("out"));
+    }
+
+    #[test]
+    fn vhdl_keywords_are_case_insensitive() {
+        assert!(Language::Vhdl.is_keyword("SIGNAL"));
+        assert!(Language::Vhdl.is_keyword("Signal"));
+        assert!(!Language::Verilog.is_keyword("MODULE"));
+        assert!(Language::Verilog.is_keyword("module"));
+    }
+
+    #[test]
+    fn identifier_shape_rules_differ() {
+        assert!(Language::Verilog.is_legal_identifier("data$bus"));
+        assert!(!Language::Vhdl.is_legal_identifier("data$bus"));
+        assert!(Language::Verilog.is_legal_identifier("a__b"));
+        assert!(!Language::Vhdl.is_legal_identifier("a__b"));
+        assert!(Language::Verilog.is_legal_identifier("tail_"));
+        assert!(!Language::Vhdl.is_legal_identifier("tail_"));
+        assert!(!Language::Verilog.is_legal_identifier("9lives"));
+        assert!(!Language::Verilog.is_legal_identifier(""));
+    }
+}

@@ -1,0 +1,51 @@
+//! # hdl — a Verilog-like HDL front end with interoperability analyses
+//!
+//! The simulation-and-synthesis substrate for the CAD-interoperability
+//! workbench reproducing *Issues and Answers in CAD Tool
+//! Interoperability* (DAC 1996). Besides a lexer/parser/AST for a
+//! Verilog-like language ([`token`], [`parser`], [`ast`]), it implements
+//! every Section 3 analysis the paper catalogues:
+//!
+//! * per-vendor synthesizable subsets and their intersection
+//!   ([`synth`]),
+//! * sensitivity-list reinterpretation — the `always @(a or b)` example
+//!   ([`sens`]),
+//! * identifier issues: 8-character significance aliasing, escaped
+//!   identifiers, cross-language keyword collisions ([`names`],
+//!   [`lang`]),
+//! * hierarchy removal with systematic renaming and back-mapping
+//!   ([`mod@flatten`]).
+//!
+//! ## Example
+//!
+//! ```
+//! use hdl::parser::parse;
+//! use hdl::sens::analyze;
+//!
+//! # fn main() -> Result<(), hdl::parser::ParseError> {
+//! let unit = parse(
+//!     "module s(input a, input b, input c, output reg o);
+//!        always @(a or b) o = a & b & c;
+//!      endmodule",
+//! )?;
+//! let reports = analyze(unit.module("s").expect("parsed"));
+//! assert_eq!(reports[0].missing.iter().collect::<Vec<_>>(), vec!["c"]);
+//! # Ok(())
+//! # }
+//! ```
+
+pub mod ast;
+pub mod emit;
+pub mod flatten;
+pub mod lang;
+pub mod names;
+pub mod parser;
+pub mod sens;
+pub mod synth;
+pub mod token;
+
+pub use ast::{Module, SourceUnit};
+pub use flatten::{flatten, FlattenResult, NameMap};
+pub use lang::Language;
+pub use parser::{parse, ParseError};
+pub use synth::VendorSubset;

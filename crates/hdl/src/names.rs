@@ -1,0 +1,357 @@
+//! Naming-issue analysis — Section 3.3 of the paper.
+//!
+//! Covers all four catalogued problems:
+//! * **Name length**: "several PC based simulators consider only the
+//!   first eight characters as significant... `cntr_reset1` and
+//!   `cntr_reset2` are treated as the same as `cntr_res`."
+//! * **Escaped identifiers**: tools that over-interpret `[]` as a bus
+//!   bit or `*` as active-low inside escaped names.
+//! * **Keywords**: Verilog identifiers that are reserved in VHDL.
+//! * (Hierarchy removal lives in [`mod@crate::flatten`].)
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use crate::ast::Module;
+use crate::lang::Language;
+
+/// One naming problem found in a module.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum NameIssue {
+    /// Two or more distinct names alias under truncation to
+    /// `significant` characters.
+    TruncationAlias {
+        /// The truncated form all of them collapse to.
+        truncated: String,
+        /// The distinct originals.
+        originals: Vec<String>,
+    },
+    /// A name is a reserved keyword in the target language.
+    KeywordCollision {
+        /// The offending name.
+        name: String,
+        /// The language it collides with.
+        language: Language,
+    },
+    /// A name is not a legal identifier in the target language (shape
+    /// rules, not keywords).
+    IllegalShape {
+        /// The offending name.
+        name: String,
+        /// The language whose rules it violates.
+        language: Language,
+    },
+    /// An escaped identifier contains characters that over-eager tools
+    /// misinterpret (`[]` as a bus bit, `*` as active-low).
+    EscapedHazard {
+        /// The escaped name (with the leading backslash).
+        name: String,
+        /// Which hazardous character triggers the misreading.
+        hazard: char,
+    },
+}
+
+impl std::fmt::Display for NameIssue {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            NameIssue::TruncationAlias {
+                truncated,
+                originals,
+            } => write!(
+                f,
+                "names {} all truncate to `{truncated}`",
+                originals.join(", ")
+            ),
+            NameIssue::KeywordCollision { name, language } => {
+                write!(f, "`{name}` is a {language:?} keyword")
+            }
+            NameIssue::IllegalShape { name, language } => {
+                write!(f, "`{name}` is not a legal {language:?} identifier")
+            }
+            NameIssue::EscapedHazard { name, hazard } => {
+                write!(f, "escaped `{name}` contains hazardous `{hazard}`")
+            }
+        }
+    }
+}
+
+/// Default identifier significance of the paper's "PC based simulators".
+pub const PC_SIGNIFICANT_CHARS: usize = 8;
+
+/// Finds truncation aliases: distinct names that collide when only the
+/// first `significant` characters matter.
+pub fn truncation_aliases(
+    names: &BTreeSet<String>,
+    significant: usize,
+) -> Vec<NameIssue> {
+    let mut groups: BTreeMap<String, Vec<String>> = BTreeMap::new();
+    for n in names {
+        let truncated: String = n.chars().take(significant).collect();
+        groups.entry(truncated).or_default().push(n.clone());
+    }
+    groups
+        .into_iter()
+        .filter(|(_, v)| v.len() > 1)
+        .map(|(truncated, originals)| NameIssue::TruncationAlias {
+            truncated,
+            originals,
+        })
+        .collect()
+}
+
+/// Checks every declared name of a module for target-language problems
+/// (keywords and identifier-shape rules).
+pub fn language_collisions(module: &Module, target: Language) -> Vec<NameIssue> {
+    let mut out = Vec::new();
+    for name in module.declared_names() {
+        if name.starts_with('\\') {
+            continue; // escaped names analyzed separately
+        }
+        if target.is_keyword(&name) {
+            out.push(NameIssue::KeywordCollision {
+                name,
+                language: target,
+            });
+        } else if !target.is_legal_identifier(&name) {
+            out.push(NameIssue::IllegalShape {
+                name,
+                language: target,
+            });
+        }
+    }
+    out
+}
+
+/// Flags escaped identifiers containing characters that specific tools
+/// over-interpret.
+pub fn escaped_hazards(module: &Module) -> Vec<NameIssue> {
+    let mut out = Vec::new();
+    for name in module.declared_names() {
+        let Some(body) = name.strip_prefix('\\') else {
+            continue;
+        };
+        for hazard in ['[', ']', '*'] {
+            if body.contains(hazard) {
+                out.push(NameIssue::EscapedHazard {
+                    name: name.clone(),
+                    hazard,
+                });
+                break;
+            }
+        }
+    }
+    out
+}
+
+/// A rename plan: old name → safe new name, plus the issues that drove
+/// each rename.
+#[derive(Debug, Clone, Default)]
+pub struct RenamePlan {
+    /// Old → new name map (identity entries omitted).
+    pub map: BTreeMap<String, String>,
+    /// Issues found during planning.
+    pub issues: Vec<NameIssue>,
+}
+
+impl RenamePlan {
+    /// The new name for `old` (itself when unrenamed).
+    pub fn rename<'a>(&'a self, old: &'a str) -> &'a str {
+        self.map.get(old).map(String::as_str).unwrap_or(old)
+    }
+}
+
+/// Builds a rename plan making every declared name of `module` safe for
+/// `target`: keyword collisions get a suffix, illegal shapes get
+/// sanitized, truncation aliases get disambiguated within the
+/// significance window.
+///
+/// The resulting names are unique, legal in `target`, and distinct even
+/// under truncation to `significant` characters.
+pub fn plan_renames(module: &Module, target: Language, significant: usize) -> RenamePlan {
+    let mut plan = RenamePlan::default();
+    plan.issues.extend(language_collisions(module, target));
+    plan.issues.extend(escaped_hazards(module));
+    let names = module.declared_names();
+    plan.issues
+        .extend(truncation_aliases(&names, significant));
+
+    let mut used_full: BTreeSet<String> = BTreeSet::new();
+    let mut used_trunc: BTreeSet<String> = BTreeSet::new();
+
+    for name in &names {
+        let mut candidate = sanitize(name, target);
+        // Resolve keyword, duplicate, and truncation collisions with a
+        // numeric suffix placed inside the significance window.
+        let mut counter = 0usize;
+        loop {
+            let trunc: String = candidate.chars().take(significant).collect();
+            let legal = !target.is_keyword(&candidate) && target.is_legal_identifier(&candidate);
+            if legal && !used_full.contains(&candidate) && !used_trunc.contains(&trunc) {
+                break;
+            }
+            counter += 1;
+            candidate = suffix_within(&sanitize(name, target), counter, significant);
+            if counter > names.len() + 16 {
+                break; // defensive: cannot happen with a finite set
+            }
+        }
+        let trunc: String = candidate.chars().take(significant).collect();
+        used_full.insert(candidate.clone());
+        used_trunc.insert(trunc);
+        if candidate != *name {
+            plan.map.insert(name.clone(), candidate);
+        }
+    }
+    plan
+}
+
+/// Makes a single name shape-legal for the target (does not guarantee
+/// uniqueness).
+fn sanitize(name: &str, target: Language) -> String {
+    let body = name.strip_prefix('\\').unwrap_or(name);
+    let mut out = String::with_capacity(body.len());
+    for c in body.chars() {
+        if c.is_ascii_alphanumeric() {
+            out.push(c);
+        } else {
+            out.push('_');
+        }
+    }
+    // Language-specific cleanups.
+    if target == Language::Vhdl {
+        while out.contains("__") {
+            out = out.replace("__", "_");
+        }
+        while out.ends_with('_') {
+            out.pop();
+        }
+    }
+    if out.is_empty() || out.chars().next().is_some_and(|c| c.is_ascii_digit()) {
+        out = format!("n{out}");
+    }
+    if target.is_keyword(&out) {
+        out = format!("{out}_sig");
+        if target == Language::Vhdl {
+            // re-clean possible artifacts
+            while out.contains("__") {
+                out = out.replace("__", "_");
+            }
+        }
+    }
+    out
+}
+
+/// Appends `_k` while keeping the name unique within the first
+/// `significant` characters: the base is clipped so the suffix lands
+/// inside the window.
+fn suffix_within(base: &str, k: usize, significant: usize) -> String {
+    let suffix = format!("_{k}");
+    let keep = significant.saturating_sub(suffix.len()).max(1);
+    let clipped: String = base.chars().take(keep).collect();
+    format!("{clipped}{suffix}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse;
+
+    fn names(list: &[&str]) -> BTreeSet<String> {
+        list.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn paper_truncation_example() {
+        // cntr_reset1 and cntr_reset2 are treated the same as cntr_res.
+        let issues = truncation_aliases(
+            &names(&["cntr_reset1", "cntr_reset2", "clk"]),
+            PC_SIGNIFICANT_CHARS,
+        );
+        assert_eq!(issues.len(), 1);
+        let NameIssue::TruncationAlias {
+            truncated,
+            originals,
+        } = &issues[0]
+        else {
+            panic!()
+        };
+        assert_eq!(truncated, "cntr_res");
+        assert_eq!(originals.len(), 2);
+    }
+
+    fn module_with(names: &[&str]) -> Module {
+        let decls: String = names
+            .iter()
+            .map(|n| format!("wire {n} ;\n"))
+            .collect();
+        let src = format!("module m();\n{decls}endmodule");
+        parse(&src).unwrap().modules.remove(0)
+    }
+
+    #[test]
+    fn keyword_collisions_found_for_vhdl() {
+        // `in` and `out` are fine in Verilog, reserved in VHDL.
+        let m = module_with(&["in", "out", "data"]);
+        let issues = language_collisions(&m, Language::Vhdl);
+        assert_eq!(issues.len(), 2);
+        assert!(language_collisions(&m, Language::Verilog).is_empty());
+    }
+
+    #[test]
+    fn escaped_hazards_flagged() {
+        let m = module_with(&["\\bus[3]", "\\q*", "\\plain-ish"]);
+        let issues = escaped_hazards(&m);
+        assert_eq!(issues.len(), 2);
+    }
+
+    #[test]
+    fn rename_plan_fixes_keywords_and_stays_consistent() {
+        let m = module_with(&["in", "out", "data"]);
+        let plan = plan_renames(&m, Language::Vhdl, PC_SIGNIFICANT_CHARS);
+        let new_in = plan.rename("in");
+        let new_out = plan.rename("out");
+        assert_ne!(new_in, "in");
+        assert_ne!(new_out, "out");
+        assert!(Language::Vhdl.is_legal_identifier(new_in));
+        assert!(Language::Vhdl.is_legal_identifier(new_out));
+        assert_eq!(plan.rename("data"), "data");
+    }
+
+    #[test]
+    fn rename_plan_disambiguates_truncation_aliases() {
+        let m = module_with(&["cntr_reset1", "cntr_reset2"]);
+        let plan = plan_renames(&m, Language::Verilog, PC_SIGNIFICANT_CHARS);
+        let a: String = plan
+            .rename("cntr_reset1")
+            .chars()
+            .take(PC_SIGNIFICANT_CHARS)
+            .collect();
+        let b: String = plan
+            .rename("cntr_reset2")
+            .chars()
+            .take(PC_SIGNIFICANT_CHARS)
+            .collect();
+        assert_ne!(a, b, "still aliased: {a} vs {b}");
+    }
+
+    #[test]
+    fn rename_plan_sanitizes_escaped_names() {
+        let m = module_with(&["\\bus[3]"]);
+        let plan = plan_renames(&m, Language::Verilog, 64);
+        let renamed = plan.rename("\\bus[3]");
+        assert!(Language::Verilog.is_legal_identifier(renamed), "{renamed}");
+    }
+
+    #[test]
+    fn renamed_names_are_unique() {
+        // Sanitizing these all collide at `bus_3`; suffixes must keep
+        // them apart.
+        let m = module_with(&["\\bus[3]", "bus_3", "\\bus*3"]);
+        let plan = plan_renames(&m, Language::Verilog, 64);
+        let outs: BTreeSet<String> = m
+            .declared_names()
+            .iter()
+            .map(|n| plan.rename(n).to_string())
+            .collect();
+        assert_eq!(outs.len(), 3);
+    }
+}

@@ -1,0 +1,808 @@
+//! Recursive-descent parser for the Verilog-like HDL.
+
+use std::fmt;
+
+use crate::ast::*;
+use crate::token::{lex, Spanned, Tok};
+
+/// A parse failure.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    /// 1-based source line.
+    pub line: usize,
+    /// Problem description.
+    pub message: String,
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "parse error line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+impl From<crate::token::LexError> for ParseError {
+    fn from(e: crate::token::LexError) -> Self {
+        ParseError {
+            line: e.line,
+            message: e.message,
+        }
+    }
+}
+
+struct Parser {
+    toks: Vec<Spanned>,
+    pos: usize,
+}
+
+impl Parser {
+    fn peek(&self) -> &Tok {
+        &self.toks[self.pos].tok
+    }
+
+    fn line(&self) -> usize {
+        self.toks[self.pos].line
+    }
+
+    fn err(&self, msg: impl Into<String>) -> ParseError {
+        ParseError {
+            line: self.line(),
+            message: msg.into(),
+        }
+    }
+
+    fn bump(&mut self) -> Tok {
+        let t = self.toks[self.pos].tok.clone();
+        if self.pos + 1 < self.toks.len() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn eat_punct(&mut self, p: &str) -> Result<(), ParseError> {
+        match self.peek() {
+            Tok::Punct(q) if *q == p => {
+                self.bump();
+                Ok(())
+            }
+            other => Err(self.err(format!("expected `{p}`, got `{other}`"))),
+        }
+    }
+
+    fn at_punct(&self, p: &str) -> bool {
+        matches!(self.peek(), Tok::Punct(q) if *q == p)
+    }
+
+    fn eat_kw(&mut self, kw: &str) -> Result<(), ParseError> {
+        match self.peek() {
+            Tok::Ident(s) if s == kw => {
+                self.bump();
+                Ok(())
+            }
+            other => Err(self.err(format!("expected `{kw}`, got `{other}`"))),
+        }
+    }
+
+    fn at_kw(&self, kw: &str) -> bool {
+        matches!(self.peek(), Tok::Ident(s) if s == kw)
+    }
+
+    fn ident(&mut self) -> Result<String, ParseError> {
+        match self.bump() {
+            Tok::Ident(s) => Ok(s),
+            // Escaped identifiers are first-class names; the backslash
+            // prefix is preserved so naming analysis can see it.
+            Tok::Escaped(s) => Ok(format!("\\{s}")),
+            other => Err(ParseError {
+                line: self.toks[self.pos.saturating_sub(1)].line,
+                message: format!("expected identifier, got `{other}`"),
+            }),
+        }
+    }
+
+    fn int(&mut self) -> Result<u64, ParseError> {
+        match self.bump() {
+            Tok::Int(i) => Ok(i),
+            other => Err(ParseError {
+                line: self.toks[self.pos.saturating_sub(1)].line,
+                message: format!("expected integer, got `{other}`"),
+            }),
+        }
+    }
+
+    // --- modules ---
+
+    fn source_unit(&mut self) -> Result<SourceUnit, ParseError> {
+        let mut unit = SourceUnit::default();
+        while !matches!(self.peek(), Tok::Eof) {
+            unit.modules.push(self.module()?);
+        }
+        Ok(unit)
+    }
+
+    fn range(&mut self) -> Result<Option<(i64, i64)>, ParseError> {
+        if !self.at_punct("[") {
+            return Ok(None);
+        }
+        self.bump();
+        let msb = self.int()? as i64;
+        self.eat_punct(":")?;
+        let lsb = self.int()? as i64;
+        self.eat_punct("]")?;
+        Ok(Some((msb, lsb)))
+    }
+
+    fn module(&mut self) -> Result<Module, ParseError> {
+        self.eat_kw("module")?;
+        let mut m = Module {
+            name: self.ident()?,
+            ..Module::default()
+        };
+        if self.at_punct("(") {
+            self.bump();
+            if !self.at_punct(")") {
+                loop {
+                    // ANSI style: input/output/inout [range] [reg] name
+                    // or plain name (classic style).
+                    let dir = if self.at_kw("input") {
+                        self.bump();
+                        Some(PortDir::Input)
+                    } else if self.at_kw("output") {
+                        self.bump();
+                        Some(PortDir::Output)
+                    } else if self.at_kw("inout") {
+                        self.bump();
+                        Some(PortDir::Inout)
+                    } else {
+                        None
+                    };
+                    let is_reg = if self.at_kw("reg") {
+                        self.bump();
+                        true
+                    } else {
+                        false
+                    };
+                    let range = self.range()?;
+                    let name = self.ident()?;
+                    match dir {
+                        Some(d) => {
+                            m.ports.push(Port {
+                                name: name.clone(),
+                                dir: d,
+                                range,
+                            });
+                            m.nets.push(NetDecl {
+                                name,
+                                kind: if is_reg { NetKind::Reg } else { NetKind::Wire },
+                                range,
+                            });
+                        }
+                        None => {
+                            // Classic header port: direction supplied by
+                            // a body declaration later.
+                            m.ports.push(Port {
+                                name,
+                                dir: PortDir::Inout,
+                                range: None,
+                            });
+                        }
+                    }
+                    if self.at_punct(",") {
+                        self.bump();
+                    } else {
+                        break;
+                    }
+                }
+            }
+            self.eat_punct(")")?;
+        }
+        self.eat_punct(";")?;
+
+        while !self.at_kw("endmodule") {
+            if matches!(self.peek(), Tok::Eof) {
+                return Err(self.err("unexpected end of file inside module"));
+            }
+            self.module_item(&mut m)?;
+        }
+        self.eat_kw("endmodule")?;
+        Ok(m)
+    }
+
+    fn module_item(&mut self, m: &mut Module) -> Result<(), ParseError> {
+        let line = self.line();
+        if self.at_kw("input") || self.at_kw("output") || self.at_kw("inout") {
+            let dir = match self.bump() {
+                Tok::Ident(s) if s == "input" => PortDir::Input,
+                Tok::Ident(s) if s == "output" => PortDir::Output,
+                _ => PortDir::Inout,
+            };
+            let is_reg = if self.at_kw("reg") {
+                self.bump();
+                true
+            } else {
+                false
+            };
+            let range = self.range()?;
+            loop {
+                let name = self.ident()?;
+                // Update the classic header port's direction/range.
+                match m.ports.iter_mut().find(|p| p.name == name) {
+                    Some(p) => {
+                        p.dir = dir;
+                        p.range = range;
+                    }
+                    None => m.ports.push(Port {
+                        name: name.clone(),
+                        dir,
+                        range,
+                    }),
+                }
+                if m.net(&name).is_none() {
+                    m.nets.push(NetDecl {
+                        name,
+                        kind: if is_reg { NetKind::Reg } else { NetKind::Wire },
+                        range,
+                    });
+                }
+                if self.at_punct(",") {
+                    self.bump();
+                } else {
+                    break;
+                }
+            }
+            self.eat_punct(";")?;
+            return Ok(());
+        }
+        if self.at_kw("wire") || self.at_kw("reg") {
+            let kind = if self.at_kw("wire") {
+                NetKind::Wire
+            } else {
+                NetKind::Reg
+            };
+            self.bump();
+            let range = self.range()?;
+            loop {
+                let name = self.ident()?;
+                // A reg declaration upgrades an existing port-mirrored
+                // wire declaration.
+                match m.nets.iter_mut().find(|n| n.name == name) {
+                    Some(n) => {
+                        n.kind = kind;
+                        if range.is_some() {
+                            n.range = range;
+                        }
+                    }
+                    None => m.nets.push(NetDecl { name, kind, range }),
+                }
+                if self.at_punct(",") {
+                    self.bump();
+                } else {
+                    break;
+                }
+            }
+            self.eat_punct(";")?;
+            return Ok(());
+        }
+        if self.at_kw("assign") {
+            self.bump();
+            let lhs = self.lvalue()?;
+            self.eat_punct("=")?;
+            let rhs = self.expr()?;
+            self.eat_punct(";")?;
+            m.items.push(Item::Assign { lhs, rhs, line });
+            return Ok(());
+        }
+        if self.at_kw("always") {
+            self.bump();
+            let trigger = if self.at_punct("@") {
+                self.bump();
+                if self.at_punct("*") {
+                    self.bump();
+                    Sensitivity::Star
+                } else {
+                    self.eat_punct("(")?;
+                    if self.at_punct("*") {
+                        self.bump();
+                        self.eat_punct(")")?;
+                        Sensitivity::Star
+                    } else {
+                        let mut events = Vec::new();
+                        loop {
+                            let edge = if self.at_kw("posedge") {
+                                self.bump();
+                                Edge::Pos
+                            } else if self.at_kw("negedge") {
+                                self.bump();
+                                Edge::Neg
+                            } else {
+                                Edge::Any
+                            };
+                            let signal = self.ident()?;
+                            events.push(EventExpr { edge, signal });
+                            if self.at_kw("or") || self.at_punct(",") {
+                                self.bump();
+                            } else {
+                                break;
+                            }
+                        }
+                        self.eat_punct(")")?;
+                        Sensitivity::List(events)
+                    }
+                }
+            } else {
+                Sensitivity::FreeRunning
+            };
+            let body = self.stmt()?;
+            m.items.push(Item::Always {
+                trigger,
+                body,
+                line,
+            });
+            return Ok(());
+        }
+        if self.at_kw("initial") {
+            self.bump();
+            let body = self.stmt()?;
+            m.items.push(Item::Initial { body, line });
+            return Ok(());
+        }
+        // Otherwise: module instantiation `modname instname (.p(e), ...)`.
+        let module = self.ident()?;
+        let name = self.ident()?;
+        self.eat_punct("(")?;
+        let mut conns = Vec::new();
+        if !self.at_punct(")") {
+            loop {
+                self.eat_punct(".")?;
+                let port = self.ident()?;
+                self.eat_punct("(")?;
+                let e = self.expr()?;
+                self.eat_punct(")")?;
+                conns.push((port, e));
+                if self.at_punct(",") {
+                    self.bump();
+                } else {
+                    break;
+                }
+            }
+        }
+        self.eat_punct(")")?;
+        self.eat_punct(";")?;
+        m.items.push(Item::Instance {
+            module,
+            name,
+            conns,
+            line,
+        });
+        Ok(())
+    }
+
+    // --- statements ---
+
+    fn stmt(&mut self) -> Result<Stmt, ParseError> {
+        if self.at_kw("begin") {
+            self.bump();
+            let mut items = Vec::new();
+            while !self.at_kw("end") {
+                if matches!(self.peek(), Tok::Eof) {
+                    return Err(self.err("unexpected end of file in block"));
+                }
+                items.push(self.stmt()?);
+            }
+            self.bump();
+            return Ok(Stmt::Block(items));
+        }
+        if self.at_kw("if") {
+            self.bump();
+            self.eat_punct("(")?;
+            let cond = self.expr()?;
+            self.eat_punct(")")?;
+            let then_s = Box::new(self.stmt()?);
+            let else_s = if self.at_kw("else") {
+                self.bump();
+                Some(Box::new(self.stmt()?))
+            } else {
+                None
+            };
+            return Ok(Stmt::If {
+                cond,
+                then_s,
+                else_s,
+            });
+        }
+        if self.at_kw("case") {
+            self.bump();
+            self.eat_punct("(")?;
+            let subject = self.expr()?;
+            self.eat_punct(")")?;
+            let mut arms = Vec::new();
+            let mut default = None;
+            while !self.at_kw("endcase") {
+                if matches!(self.peek(), Tok::Eof) {
+                    return Err(self.err("unexpected end of file in case"));
+                }
+                if self.at_kw("default") {
+                    self.bump();
+                    self.eat_punct(":")?;
+                    default = Some(Box::new(self.stmt()?));
+                } else {
+                    let mut vals = vec![self.expr()?];
+                    while self.at_punct(",") {
+                        self.bump();
+                        vals.push(self.expr()?);
+                    }
+                    self.eat_punct(":")?;
+                    let body = self.stmt()?;
+                    arms.push((vals, body));
+                }
+            }
+            self.bump();
+            return Ok(Stmt::Case {
+                subject,
+                arms,
+                default,
+            });
+        }
+        if self.at_punct("#") {
+            self.bump();
+            let amount = self.int()?;
+            let stmt = Box::new(self.stmt()?);
+            return Ok(Stmt::Delay { amount, stmt });
+        }
+        if self.at_punct(";") {
+            self.bump();
+            return Ok(Stmt::Nop);
+        }
+        // Assignment.
+        let line = self.line();
+        let lhs = self.lvalue()?;
+        let blocking = if self.at_punct("=") {
+            self.bump();
+            true
+        } else if self.at_punct("<=") {
+            self.bump();
+            false
+        } else {
+            return Err(self.err("expected `=` or `<=`"));
+        };
+        let rhs = self.expr()?;
+        self.eat_punct(";")?;
+        Ok(Stmt::Assign {
+            lhs,
+            rhs,
+            blocking,
+            line,
+        })
+    }
+
+    fn lvalue(&mut self) -> Result<LValue, ParseError> {
+        let name = self.ident()?;
+        let index = if self.at_punct("[") {
+            self.bump();
+            let e = self.expr()?;
+            self.eat_punct("]")?;
+            Some(e)
+        } else {
+            None
+        };
+        Ok(LValue { name, index })
+    }
+
+    // --- expressions, precedence climbing ---
+
+    fn expr(&mut self) -> Result<Expr, ParseError> {
+        self.ternary()
+    }
+
+    fn ternary(&mut self) -> Result<Expr, ParseError> {
+        let cond = self.logic_or()?;
+        if self.at_punct("?") {
+            self.bump();
+            let a = self.expr()?;
+            self.eat_punct(":")?;
+            let b = self.expr()?;
+            return Ok(Expr::Ternary(Box::new(cond), Box::new(a), Box::new(b)));
+        }
+        Ok(cond)
+    }
+
+    fn binary_level(
+        &mut self,
+        ops: &[(&str, BinOp)],
+        next: fn(&mut Self) -> Result<Expr, ParseError>,
+    ) -> Result<Expr, ParseError> {
+        let mut lhs = next(self)?;
+        'outer: loop {
+            for (p, op) in ops {
+                if self.at_punct(p) {
+                    self.bump();
+                    let rhs = next(self)?;
+                    lhs = Expr::Binary(*op, Box::new(lhs), Box::new(rhs));
+                    continue 'outer;
+                }
+            }
+            return Ok(lhs);
+        }
+    }
+
+    fn logic_or(&mut self) -> Result<Expr, ParseError> {
+        self.binary_level(&[("||", BinOp::LOr)], Self::logic_and)
+    }
+
+    fn logic_and(&mut self) -> Result<Expr, ParseError> {
+        self.binary_level(&[("&&", BinOp::LAnd)], Self::bitwise)
+    }
+
+    fn bitwise(&mut self) -> Result<Expr, ParseError> {
+        self.binary_level(
+            &[("&", BinOp::And), ("|", BinOp::Or), ("^", BinOp::Xor)],
+            Self::equality,
+        )
+    }
+
+    fn equality(&mut self) -> Result<Expr, ParseError> {
+        self.binary_level(&[("==", BinOp::Eq), ("!=", BinOp::Ne)], Self::relational)
+    }
+
+    fn relational(&mut self) -> Result<Expr, ParseError> {
+        self.binary_level(
+            &[
+                ("<=", BinOp::Le),
+                (">=", BinOp::Ge),
+                ("<", BinOp::Lt),
+                (">", BinOp::Gt),
+            ],
+            Self::shift,
+        )
+    }
+
+    fn shift(&mut self) -> Result<Expr, ParseError> {
+        self.binary_level(&[("<<", BinOp::Shl), (">>", BinOp::Shr)], Self::additive)
+    }
+
+    fn additive(&mut self) -> Result<Expr, ParseError> {
+        self.binary_level(&[("+", BinOp::Add), ("-", BinOp::Sub)], Self::multiplicative)
+    }
+
+    fn multiplicative(&mut self) -> Result<Expr, ParseError> {
+        self.binary_level(
+            &[("*", BinOp::Mul), ("/", BinOp::Div), ("%", BinOp::Mod)],
+            Self::unary,
+        )
+    }
+
+    fn unary(&mut self) -> Result<Expr, ParseError> {
+        for (p, op) in [
+            ("~", UnOp::Not),
+            ("!", UnOp::LNot),
+            ("-", UnOp::Neg),
+            ("&", UnOp::RedAnd),
+            ("|", UnOp::RedOr),
+        ] {
+            if self.at_punct(p) {
+                self.bump();
+                let e = self.unary()?;
+                return Ok(Expr::Unary(op, Box::new(e)));
+            }
+        }
+        self.primary()
+    }
+
+    fn primary(&mut self) -> Result<Expr, ParseError> {
+        match self.peek().clone() {
+            Tok::Int(i) => {
+                self.bump();
+                Ok(Expr::Int(i))
+            }
+            Tok::Based {
+                width,
+                digits,
+                base,
+            } => {
+                self.bump();
+                Ok(Expr::Based {
+                    width,
+                    digits,
+                    base,
+                })
+            }
+            Tok::Ident(_) | Tok::Escaped(_) => {
+                let name = self.ident()?;
+                if self.at_punct("[") {
+                    self.bump();
+                    let idx = self.expr()?;
+                    self.eat_punct("]")?;
+                    Ok(Expr::Index(name, Box::new(idx)))
+                } else {
+                    Ok(Expr::Ident(name))
+                }
+            }
+            Tok::Punct("(") => {
+                self.bump();
+                let e = self.expr()?;
+                self.eat_punct(")")?;
+                Ok(e)
+            }
+            Tok::Punct("{") => {
+                self.bump();
+                let mut items = vec![self.expr()?];
+                while self.at_punct(",") {
+                    self.bump();
+                    items.push(self.expr()?);
+                }
+                self.eat_punct("}")?;
+                Ok(Expr::Concat(items))
+            }
+            other => Err(self.err(format!("expected expression, got `{other}`"))),
+        }
+    }
+}
+
+/// Parses HDL source into a [`SourceUnit`].
+///
+/// # Errors
+///
+/// Returns the first lex or parse error with its line number.
+pub fn parse(src: &str) -> Result<SourceUnit, ParseError> {
+    let toks = lex(src)?;
+    let mut p = Parser { toks, pos: 0 };
+    p.source_unit()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ansi_module_with_gates() {
+        let unit = parse(
+            r#"
+            module top(input a, input b, output wy);
+              wire n1;
+              assign n1 = a & b;
+              assign wy = ~n1;
+            endmodule
+            "#,
+        )
+        .unwrap();
+        let m = unit.module("top").unwrap();
+        assert_eq!(m.ports.len(), 3);
+        assert_eq!(m.port("a").unwrap().dir, PortDir::Input);
+        assert_eq!(m.items.len(), 2);
+    }
+
+    #[test]
+    fn classic_port_declarations() {
+        let unit = parse(
+            r#"
+            module f(a, y);
+              input a;
+              output reg y;
+              always @(a) y = !a;
+            endmodule
+            "#,
+        )
+        .unwrap();
+        let m = unit.module("f").unwrap();
+        assert_eq!(m.port("y").unwrap().dir, PortDir::Output);
+        assert_eq!(m.net("y").unwrap().kind, NetKind::Reg);
+    }
+
+    #[test]
+    fn paper_sensitivity_example_parses() {
+        let unit = parse(
+            r#"
+            module s(input a, input b, input c, output reg out);
+              always @(a or b)
+                out = a & b & c;
+            endmodule
+            "#,
+        )
+        .unwrap();
+        let m = unit.module("s").unwrap();
+        let Item::Always { trigger, body, .. } = &m.items[0] else {
+            panic!("expected always");
+        };
+        let Sensitivity::List(events) = trigger else {
+            panic!("expected list");
+        };
+        assert_eq!(events.len(), 2);
+        assert_eq!(body.reads().len(), 3);
+    }
+
+    #[test]
+    fn edges_vectors_case_and_delay() {
+        let unit = parse(
+            r#"
+            module d(input clk, input rst, input [3:0] din, output reg [3:0] q);
+              always @(posedge clk or negedge rst)
+                if (!rst) q <= 0;
+                else q <= din;
+              reg [1:0] state;
+              always @* begin
+                case (state)
+                  0: q <= din;
+                  1, 2: q <= 0;
+                  default: q <= 4'b1010;
+                endcase
+              end
+              initial begin
+                #5 state = 1;
+                #10 state = 2;
+              end
+            endmodule
+            "#,
+        )
+        .unwrap();
+        let m = unit.module("d").unwrap();
+        assert_eq!(m.net("din").unwrap().width(), 4);
+        assert_eq!(m.items.len(), 3);
+    }
+
+    #[test]
+    fn hierarchy_with_named_connections() {
+        let unit = parse(
+            r#"
+            module leaf(input i, output o);
+              assign o = ~i;
+            endmodule
+            module top(input x, output y);
+              wire m;
+              leaf u1 (.i(x), .o(m));
+              leaf u2 (.i(m), .o(y));
+            endmodule
+            "#,
+        )
+        .unwrap();
+        let top = unit.module("top").unwrap();
+        assert_eq!(top.children().len(), 1);
+        let instances: Vec<_> = top
+            .items
+            .iter()
+            .filter(|i| matches!(i, Item::Instance { .. }))
+            .collect();
+        assert_eq!(instances.len(), 2);
+    }
+
+    #[test]
+    fn escaped_identifiers_as_names() {
+        let unit = parse(
+            r#"
+            module e(input a, output y);
+              wire \bus[3] ;
+              assign \bus[3] = a;
+              assign y = \bus[3] ;
+            endmodule
+            "#,
+        )
+        .unwrap();
+        let m = unit.module("e").unwrap();
+        assert!(m.net("\\bus[3]").is_some());
+    }
+
+    #[test]
+    fn precedence_is_sane() {
+        let unit = parse(
+            r#"
+            module p(input a, input b, input c, output y);
+              assign y = a & b == c ? a + b * c : !a;
+            endmodule
+            "#,
+        )
+        .unwrap();
+        let m = unit.module("p").unwrap();
+        let Item::Assign { rhs, .. } = &m.items[0] else {
+            panic!()
+        };
+        assert!(matches!(rhs, Expr::Ternary(_, _, _)));
+    }
+
+    #[test]
+    fn parse_errors_have_lines() {
+        let err = parse("module m(;\nendmodule").unwrap_err();
+        assert_eq!(err.line, 1);
+        assert!(parse("module m(); assign ;").is_err());
+        assert!(parse("module m(); always @(x y) z = 1; endmodule").is_err());
+    }
+}

@@ -1,0 +1,203 @@
+//! Sensitivity-list analysis — the paper's Section 3.2 "Modeling style"
+//! issue.
+//!
+//! ```text
+//! always @(a or b)
+//!   out = a & b & c;
+//! ```
+//!
+//! "You would expect the signal out to be modified when a or b changes.
+//! However, the synthesis software interprets your model as if out was
+//! sensitive to signals a, b and c." Simulation honours the written
+//! list; synthesis infers combinational logic from the complete read
+//! set — so the two disagree exactly when the list is incomplete.
+
+use std::collections::BTreeSet;
+
+use crate::ast::{Edge, EventExpr, Item, Module, Sensitivity};
+
+/// Analysis of one `always` block's sensitivity list.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SensReport {
+    /// Source line of the block.
+    pub line: usize,
+    /// Signals the body reads.
+    pub reads: BTreeSet<String>,
+    /// Signals the written list covers (empty for `@*`, which covers
+    /// everything).
+    pub listed: BTreeSet<String>,
+    /// True for edge-triggered (sequential) blocks, which are exempt.
+    pub edge_triggered: bool,
+    /// Reads missing from the list — the divergence set.
+    pub missing: BTreeSet<String>,
+}
+
+impl SensReport {
+    /// True when simulation and synthesis agree on this block.
+    pub fn is_complete(&self) -> bool {
+        self.missing.is_empty()
+    }
+}
+
+/// Analyzes every combinational `always` block of a module.
+pub fn analyze(module: &Module) -> Vec<SensReport> {
+    let mut out = Vec::new();
+    for item in &module.items {
+        let Item::Always {
+            trigger,
+            body,
+            line,
+        } = item
+        else {
+            continue;
+        };
+        let reads = body.reads();
+        match trigger {
+            Sensitivity::Star => out.push(SensReport {
+                line: *line,
+                listed: reads.clone(),
+                reads,
+                edge_triggered: false,
+                missing: BTreeSet::new(),
+            }),
+            Sensitivity::FreeRunning => {
+                // No event control: not a combinational template;
+                // synthesis rejects it, simulation free-runs. Report
+                // with everything missing so callers can flag it.
+                out.push(SensReport {
+                    line: *line,
+                    listed: BTreeSet::new(),
+                    missing: reads.clone(),
+                    reads,
+                    edge_triggered: false,
+                });
+            }
+            Sensitivity::List(events) => {
+                let edge_triggered = events.iter().any(|e| e.edge != Edge::Any);
+                let listed: BTreeSet<String> =
+                    events.iter().map(|e| e.signal.clone()).collect();
+                let missing = if edge_triggered {
+                    BTreeSet::new()
+                } else {
+                    reads.difference(&listed).cloned().collect()
+                };
+                out.push(SensReport {
+                    line: *line,
+                    reads,
+                    listed,
+                    edge_triggered,
+                    missing,
+                });
+            }
+        }
+    }
+    out
+}
+
+/// Rewrites every incomplete combinational sensitivity list to the full
+/// read set — what the synthesis tool silently assumes. Returns how
+/// many lists were completed.
+///
+/// Running a model through this *then* simulating reproduces the
+/// synthesized behaviour; simulating the original reproduces the
+/// simulator's behaviour. The difference is the paper's mismatch.
+pub fn complete_lists(module: &mut Module) -> usize {
+    let mut completed = 0usize;
+    for item in &mut module.items {
+        let Item::Always {
+            trigger,
+            body,
+            ..
+        } = item
+        else {
+            continue;
+        };
+        let reads = body.reads();
+        if let Sensitivity::List(events) = trigger {
+            let edge_triggered = events.iter().any(|e| e.edge != Edge::Any);
+            if edge_triggered {
+                continue;
+            }
+            let listed: BTreeSet<String> = events.iter().map(|e| e.signal.clone()).collect();
+            if listed.is_superset(&reads) {
+                continue;
+            }
+            *events = reads
+                .iter()
+                .map(|s| EventExpr {
+                    edge: Edge::Any,
+                    signal: s.clone(),
+                })
+                .collect();
+            completed += 1;
+        }
+    }
+    completed
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse;
+
+    const PAPER_EXAMPLE: &str = r#"
+        module s(input a, input b, input c, output reg out);
+          always @(a or b)
+            out = a & b & c;
+        endmodule
+    "#;
+
+    #[test]
+    fn paper_example_is_incomplete() {
+        let unit = parse(PAPER_EXAMPLE).unwrap();
+        let reports = analyze(unit.module("s").unwrap());
+        assert_eq!(reports.len(), 1);
+        let r = &reports[0];
+        assert!(!r.is_complete());
+        assert_eq!(r.missing.iter().collect::<Vec<_>>(), vec!["c"]);
+    }
+
+    #[test]
+    fn star_and_edge_blocks_are_complete() {
+        let unit = parse(
+            r#"
+            module m(input clk, input a, input b, output reg x, output reg y);
+              always @* x = a & b;
+              always @(posedge clk) y <= a;
+            endmodule
+            "#,
+        )
+        .unwrap();
+        let reports = analyze(unit.module("m").unwrap());
+        assert!(reports.iter().all(|r| r.is_complete()));
+        assert!(reports[1].edge_triggered);
+    }
+
+    #[test]
+    fn completion_rewrites_the_list() {
+        let mut unit = parse(PAPER_EXAMPLE).unwrap();
+        let m = &mut unit.modules[0];
+        assert_eq!(complete_lists(m), 1);
+        let reports = analyze(m);
+        assert!(reports[0].is_complete());
+        assert_eq!(reports[0].listed.len(), 3);
+        // Idempotent.
+        assert_eq!(complete_lists(m), 0);
+    }
+
+    #[test]
+    fn free_running_block_is_flagged() {
+        let unit = parse(
+            r#"
+            module f(input d, output reg b);
+              always begin
+                b = d;
+              end
+            endmodule
+            "#,
+        )
+        .unwrap();
+        let reports = analyze(unit.module("f").unwrap());
+        assert!(!reports[0].is_complete());
+    }
+}

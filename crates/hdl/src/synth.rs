@@ -1,0 +1,348 @@
+//! Synthesizable-subset checking — Section 3.2 "Language standards".
+//!
+//! "For each HDL and synthesis tool, there exists a subset of the HDL
+//! that the synthesis tool can accept. However, for a given HDL, there
+//! is no standardization of the synthesizable subset across synthesis
+//! vendors... if a model will be transported between synthesis tools,
+//! it should be written using only those HDL constructs contained in
+//! the intersection of the vendors' subsets."
+
+use std::collections::BTreeSet;
+use std::fmt;
+
+use crate::ast::{Edge, Item, Module, Sensitivity, Stmt};
+
+/// Language constructs a synthesis subset may allow or reject.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Construct {
+    /// Continuous `assign`.
+    ContinuousAssign,
+    /// Combinational `always @(list)` / `@*`.
+    CombinationalAlways,
+    /// Edge-triggered `always @(posedge ...)`.
+    SequentialAlways,
+    /// Asynchronous reset (`posedge clk or negedge rst`).
+    AsyncReset,
+    /// `initial` blocks.
+    InitialBlock,
+    /// `#` delays.
+    Delay,
+    /// Blocking assignment inside an edge-triggered block.
+    BlockingInSequential,
+    /// Non-blocking assignment inside a combinational block.
+    NonBlockingInCombinational,
+    /// `case` statements.
+    CaseStmt,
+    /// Free-running `always` without an event control.
+    FreeRunningAlways,
+    /// Module instantiation.
+    Hierarchy,
+}
+
+impl fmt::Display for Construct {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            Construct::ContinuousAssign => "continuous assign",
+            Construct::CombinationalAlways => "combinational always",
+            Construct::SequentialAlways => "sequential always",
+            Construct::AsyncReset => "asynchronous reset",
+            Construct::InitialBlock => "initial block",
+            Construct::Delay => "# delay",
+            Construct::BlockingInSequential => "blocking assign in sequential block",
+            Construct::NonBlockingInCombinational => "non-blocking assign in combinational block",
+            Construct::CaseStmt => "case statement",
+            Construct::FreeRunningAlways => "free-running always",
+            Construct::Hierarchy => "module instantiation",
+        };
+        f.write_str(s)
+    }
+}
+
+/// One subset violation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SubsetViolation {
+    /// The construct the vendor rejects.
+    pub construct: Construct,
+    /// Source line.
+    pub line: usize,
+}
+
+/// A vendor's synthesizable subset.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct VendorSubset {
+    /// Vendor name.
+    pub name: String,
+    /// Accepted constructs.
+    pub allowed: BTreeSet<Construct>,
+}
+
+impl VendorSubset {
+    /// Creates a subset from a list of allowed constructs.
+    pub fn new(name: impl Into<String>, allowed: impl IntoIterator<Item = Construct>) -> Self {
+        VendorSubset {
+            name: name.into(),
+            allowed: allowed.into_iter().collect(),
+        }
+    }
+
+    /// Vendor "SynA": a conservative tool — no asynchronous resets, no
+    /// case statements, strict blocking/non-blocking discipline.
+    pub fn vendor_a() -> Self {
+        VendorSubset::new(
+            "SynA",
+            [
+                Construct::ContinuousAssign,
+                Construct::CombinationalAlways,
+                Construct::SequentialAlways,
+                Construct::CaseStmt,
+                Construct::Hierarchy,
+            ],
+        )
+    }
+
+    /// Vendor "SynB": accepts async resets and loose assignment
+    /// discipline, but rejects `case` (demands `if` trees).
+    pub fn vendor_b() -> Self {
+        VendorSubset::new(
+            "SynB",
+            [
+                Construct::ContinuousAssign,
+                Construct::CombinationalAlways,
+                Construct::SequentialAlways,
+                Construct::AsyncReset,
+                Construct::BlockingInSequential,
+                Construct::NonBlockingInCombinational,
+                Construct::Hierarchy,
+            ],
+        )
+    }
+
+    /// The intersection of several subsets — the only safe authoring
+    /// target for portable models.
+    pub fn intersection<'a>(subsets: impl IntoIterator<Item = &'a VendorSubset>) -> VendorSubset {
+        let mut iter = subsets.into_iter();
+        let mut allowed = iter
+            .next()
+            .map(|s| s.allowed.clone())
+            .unwrap_or_default();
+        for s in iter {
+            allowed = allowed.intersection(&s.allowed).cloned().collect();
+        }
+        VendorSubset {
+            name: "intersection".into(),
+            allowed,
+        }
+    }
+
+    /// Checks a module against this subset, returning every violation.
+    pub fn check(&self, module: &Module) -> Vec<SubsetViolation> {
+        uses(module)
+            .into_iter()
+            .filter(|(c, _)| !self.allowed.contains(c))
+            .map(|(construct, line)| SubsetViolation { construct, line })
+            .collect()
+    }
+
+    /// True when the module lies entirely within the subset.
+    pub fn accepts(&self, module: &Module) -> bool {
+        self.check(module).is_empty()
+    }
+}
+
+/// Lists every `(construct, line)` use in a module.
+pub fn uses(module: &Module) -> Vec<(Construct, usize)> {
+    let mut out = Vec::new();
+    for item in &module.items {
+        match item {
+            Item::Assign { line, .. } => out.push((Construct::ContinuousAssign, *line)),
+            Item::Initial { body, line } => {
+                out.push((Construct::InitialBlock, *line));
+                scan_stmt(body, *line, None, &mut out);
+            }
+            Item::Instance { line, .. } => out.push((Construct::Hierarchy, *line)),
+            Item::Always {
+                trigger,
+                body,
+                line,
+            } => {
+                let sequential = match trigger {
+                    Sensitivity::List(events) => {
+                        let edges = events.iter().filter(|e| e.edge != Edge::Any).count();
+                        if edges > 0 {
+                            out.push((Construct::SequentialAlways, *line));
+                            if events.len() > 1 && edges == events.len() {
+                                // Multiple edge terms: clock + async reset.
+                                out.push((Construct::AsyncReset, *line));
+                            }
+                            true
+                        } else {
+                            out.push((Construct::CombinationalAlways, *line));
+                            false
+                        }
+                    }
+                    Sensitivity::Star => {
+                        out.push((Construct::CombinationalAlways, *line));
+                        false
+                    }
+                    Sensitivity::FreeRunning => {
+                        out.push((Construct::FreeRunningAlways, *line));
+                        false
+                    }
+                };
+                scan_stmt(body, *line, Some(sequential), &mut out);
+            }
+        }
+    }
+    out
+}
+
+fn scan_stmt(
+    stmt: &Stmt,
+    ctx_line: usize,
+    sequential: Option<bool>,
+    out: &mut Vec<(Construct, usize)>,
+) {
+    match stmt {
+        Stmt::Block(items) => {
+            for s in items {
+                scan_stmt(s, ctx_line, sequential, out);
+            }
+        }
+        Stmt::If {
+            then_s, else_s, ..
+        } => {
+            scan_stmt(then_s, ctx_line, sequential, out);
+            if let Some(e) = else_s {
+                scan_stmt(e, ctx_line, sequential, out);
+            }
+        }
+        Stmt::Assign {
+            blocking, line, ..
+        } => match sequential {
+            Some(true) if *blocking => out.push((Construct::BlockingInSequential, *line)),
+            Some(false) if !*blocking => {
+                out.push((Construct::NonBlockingInCombinational, *line))
+            }
+            _ => {}
+        },
+        Stmt::Delay { stmt, .. } => {
+            out.push((Construct::Delay, ctx_line));
+            scan_stmt(stmt, ctx_line, sequential, out);
+        }
+        Stmt::Case {
+            arms, default, ..
+        } => {
+            out.push((Construct::CaseStmt, ctx_line));
+            for (_, body) in arms {
+                scan_stmt(body, ctx_line, sequential, out);
+            }
+            if let Some(d) = default {
+                scan_stmt(d, ctx_line, sequential, out);
+            }
+        }
+        Stmt::Nop => {}
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse;
+
+    fn module(src: &str) -> Module {
+        parse(src).unwrap().modules.remove(0)
+    }
+
+    #[test]
+    fn async_reset_accepted_by_b_only() {
+        let m = module(
+            r#"
+            module d(input clk, input rst, input din, output reg q);
+              always @(posedge clk or negedge rst)
+                if (!rst) q <= 0; else q <= din;
+            endmodule
+            "#,
+        );
+        assert!(!VendorSubset::vendor_a().accepts(&m));
+        assert!(VendorSubset::vendor_b().accepts(&m));
+        assert!(!VendorSubset::intersection([
+            &VendorSubset::vendor_a(),
+            &VendorSubset::vendor_b()
+        ])
+        .accepts(&m));
+    }
+
+    #[test]
+    fn case_accepted_by_a_only() {
+        let m = module(
+            r#"
+            module c(input [1:0] s, input a, output reg y);
+              always @* begin
+                case (s)
+                  0: y = a;
+                  default: y = 0;
+                endcase
+              end
+            endmodule
+            "#,
+        );
+        assert!(VendorSubset::vendor_a().accepts(&m));
+        assert!(!VendorSubset::vendor_b().accepts(&m));
+    }
+
+    #[test]
+    fn portable_model_passes_both() {
+        let m = module(
+            r#"
+            module p(input clk, input a, input b, output reg q, output w);
+              assign w = a | b;
+              always @(posedge clk) q <= a & b;
+            endmodule
+            "#,
+        );
+        assert!(VendorSubset::vendor_a().accepts(&m));
+        assert!(VendorSubset::vendor_b().accepts(&m));
+        let both = VendorSubset::intersection([
+            &VendorSubset::vendor_a(),
+            &VendorSubset::vendor_b(),
+        ]);
+        assert!(both.accepts(&m));
+    }
+
+    #[test]
+    fn delays_and_initial_rejected_everywhere() {
+        let m = module(
+            r#"
+            module t(output reg q);
+              initial begin
+                #5 q = 1;
+              end
+            endmodule
+            "#,
+        );
+        let v = VendorSubset::vendor_a().check(&m);
+        let constructs: Vec<_> = v.iter().map(|x| x.construct).collect();
+        assert!(constructs.contains(&Construct::InitialBlock));
+        assert!(constructs.contains(&Construct::Delay));
+    }
+
+    #[test]
+    fn assignment_discipline_is_context_sensitive() {
+        let m = module(
+            r#"
+            module x(input clk, input a, output reg p, output reg q);
+              always @(posedge clk) p = a;
+              always @* q <= a;
+            endmodule
+            "#,
+        );
+        let all = uses(&m);
+        assert!(all.iter().any(|(c, _)| *c == Construct::BlockingInSequential));
+        assert!(all
+            .iter()
+            .any(|(c, _)| *c == Construct::NonBlockingInCombinational));
+        // Vendor B tolerates both; Vendor A rejects both.
+        assert!(!VendorSubset::vendor_a().accepts(&m));
+        assert!(VendorSubset::vendor_b().accepts(&m));
+    }
+}

@@ -1,0 +1,346 @@
+//! The HDL lexer.
+
+use std::fmt;
+
+/// A lexical token.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Tok {
+    /// Ordinary identifier or keyword.
+    Ident(String),
+    /// Escaped identifier (`\anything-goes ` in source); the payload
+    /// excludes the backslash and terminating whitespace.
+    Escaped(String),
+    /// Integer literal (plain decimal).
+    Int(u64),
+    /// Sized/based literal like `4'b1010`: `(width, bits)` where bits
+    /// holds two bits per position (to represent x/z).
+    Based {
+        /// Declared width.
+        width: u32,
+        /// Characters of the literal body, e.g. `1010` or `xz01`.
+        digits: String,
+        /// Base character: `b`, `d`, or `h`.
+        base: char,
+    },
+    /// Punctuation / operator.
+    Punct(&'static str),
+    /// End of input.
+    Eof,
+}
+
+impl fmt::Display for Tok {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Tok::Ident(s) => write!(f, "{s}"),
+            Tok::Escaped(s) => write!(f, "\\{s}"),
+            Tok::Int(i) => write!(f, "{i}"),
+            Tok::Based { width, digits, base } => write!(f, "{width}'{base}{digits}"),
+            Tok::Punct(p) => write!(f, "{p}"),
+            Tok::Eof => write!(f, "<eof>"),
+        }
+    }
+}
+
+/// A token plus its source line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Spanned {
+    /// The token.
+    pub tok: Tok,
+    /// 1-based source line.
+    pub line: usize,
+}
+
+/// A lexing failure.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LexError {
+    /// 1-based source line.
+    pub line: usize,
+    /// Problem description.
+    pub message: String,
+}
+
+impl fmt::Display for LexError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "lex error line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for LexError {}
+
+const PUNCTS: &[&str] = &[
+    "<=", "==", "!=", "&&", "||", ">=", "<<", ">>", "@", "(", ")", "[", "]", "{", "}", ";", ",",
+    ":", "=", "&", "|", "^", "~", "!", "+", "-", "*", "/", "%", "<", ">", "?", "#", ".",
+];
+
+/// Lexes HDL source into tokens.
+///
+/// # Errors
+///
+/// Returns a [`LexError`] for unterminated comments and unexpected
+/// characters.
+pub fn lex(src: &str) -> Result<Vec<Spanned>, LexError> {
+    let mut out = Vec::new();
+    let bytes: Vec<char> = src.chars().collect();
+    let mut i = 0usize;
+    let mut line = 1usize;
+
+    while i < bytes.len() {
+        let c = bytes[i];
+        if c == '\n' {
+            line += 1;
+            i += 1;
+            continue;
+        }
+        if c.is_whitespace() {
+            i += 1;
+            continue;
+        }
+        // Comments.
+        if c == '/' && i + 1 < bytes.len() {
+            if bytes[i + 1] == '/' {
+                while i < bytes.len() && bytes[i] != '\n' {
+                    i += 1;
+                }
+                continue;
+            }
+            if bytes[i + 1] == '*' {
+                let start = line;
+                i += 2;
+                loop {
+                    if i + 1 >= bytes.len() {
+                        return Err(LexError {
+                            line: start,
+                            message: "unterminated block comment".into(),
+                        });
+                    }
+                    if bytes[i] == '\n' {
+                        line += 1;
+                    }
+                    if bytes[i] == '*' && bytes[i + 1] == '/' {
+                        i += 2;
+                        break;
+                    }
+                    i += 1;
+                }
+                continue;
+            }
+        }
+        // Escaped identifier.
+        if c == '\\' {
+            let mut s = String::new();
+            i += 1;
+            while i < bytes.len() && !bytes[i].is_whitespace() {
+                s.push(bytes[i]);
+                i += 1;
+            }
+            if s.is_empty() {
+                return Err(LexError {
+                    line,
+                    message: "empty escaped identifier".into(),
+                });
+            }
+            out.push(Spanned {
+                tok: Tok::Escaped(s),
+                line,
+            });
+            continue;
+        }
+        // Identifier / keyword.
+        if c.is_ascii_alphabetic() || c == '_' {
+            let mut s = String::new();
+            while i < bytes.len()
+                && (bytes[i].is_ascii_alphanumeric() || bytes[i] == '_' || bytes[i] == '$')
+            {
+                s.push(bytes[i]);
+                i += 1;
+            }
+            out.push(Spanned {
+                tok: Tok::Ident(s),
+                line,
+            });
+            continue;
+        }
+        // Numbers, possibly based.
+        if c.is_ascii_digit() {
+            let mut s = String::new();
+            while i < bytes.len() && (bytes[i].is_ascii_digit() || bytes[i] == '_') {
+                if bytes[i] != '_' {
+                    s.push(bytes[i]);
+                }
+                i += 1;
+            }
+            let value: u64 = s.parse().map_err(|_| LexError {
+                line,
+                message: format!("bad integer `{s}`"),
+            })?;
+            // Based literal?
+            if i < bytes.len() && bytes[i] == '\'' {
+                i += 1;
+                let base = *bytes.get(i).ok_or_else(|| LexError {
+                    line,
+                    message: "truncated based literal".into(),
+                })?;
+                if !matches!(base, 'b' | 'd' | 'h' | 'B' | 'D' | 'H') {
+                    return Err(LexError {
+                        line,
+                        message: format!("unknown base `{base}`"),
+                    });
+                }
+                i += 1;
+                let mut digits = String::new();
+                while i < bytes.len()
+                    && (bytes[i].is_ascii_alphanumeric() || bytes[i] == '_')
+                {
+                    if bytes[i] != '_' {
+                        digits.push(bytes[i].to_ascii_lowercase());
+                    }
+                    i += 1;
+                }
+                if digits.is_empty() {
+                    return Err(LexError {
+                        line,
+                        message: "based literal with no digits".into(),
+                    });
+                }
+                out.push(Spanned {
+                    tok: Tok::Based {
+                        width: value as u32,
+                        digits,
+                        base: base.to_ascii_lowercase(),
+                    },
+                    line,
+                });
+            } else {
+                out.push(Spanned {
+                    tok: Tok::Int(value),
+                    line,
+                });
+            }
+            continue;
+        }
+        // Punctuation (longest match first).
+        let rest: String = bytes[i..bytes.len().min(i + 2)].iter().collect();
+        let mut matched = false;
+        for p in PUNCTS {
+            if rest.starts_with(p) {
+                out.push(Spanned {
+                    tok: Tok::Punct(p),
+                    line,
+                });
+                i += p.len();
+                matched = true;
+                break;
+            }
+        }
+        if !matched {
+            return Err(LexError {
+                line,
+                message: format!("unexpected character `{c}`"),
+            });
+        }
+    }
+    out.push(Spanned {
+        tok: Tok::Eof,
+        line,
+    });
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toks(src: &str) -> Vec<Tok> {
+        lex(src).unwrap().into_iter().map(|s| s.tok).collect()
+    }
+
+    #[test]
+    fn identifiers_numbers_puncts() {
+        assert_eq!(
+            toks("assign a_1 = b & 42;"),
+            vec![
+                Tok::Ident("assign".into()),
+                Tok::Ident("a_1".into()),
+                Tok::Punct("="),
+                Tok::Ident("b".into()),
+                Tok::Punct("&"),
+                Tok::Int(42),
+                Tok::Punct(";"),
+                Tok::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn based_literals() {
+        assert_eq!(
+            toks("4'b10_x0"),
+            vec![
+                Tok::Based {
+                    width: 4,
+                    digits: "10x0".into(),
+                    base: 'b'
+                },
+                Tok::Eof
+            ]
+        );
+        assert_eq!(
+            toks("8'hFF"),
+            vec![
+                Tok::Based {
+                    width: 8,
+                    digits: "ff".into(),
+                    base: 'h'
+                },
+                Tok::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn escaped_identifiers_consume_to_whitespace() {
+        // The paper: names that begin with \ and terminate with white
+        // space, possibly containing [] or *.
+        assert_eq!(
+            toks("\\bus[3] \\q* x"),
+            vec![
+                Tok::Escaped("bus[3]".into()),
+                Tok::Escaped("q*".into()),
+                Tok::Ident("x".into()),
+                Tok::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn comments_are_skipped_and_lines_tracked() {
+        let spanned = lex("a // c\n/* multi\nline */ b").unwrap();
+        assert_eq!(spanned[0].tok, Tok::Ident("a".into()));
+        assert_eq!(spanned[0].line, 1);
+        assert_eq!(spanned[1].tok, Tok::Ident("b".into()));
+        assert_eq!(spanned[1].line, 3);
+    }
+
+    #[test]
+    fn two_char_puncts_win() {
+        assert_eq!(
+            toks("a <= b != c"),
+            vec![
+                Tok::Ident("a".into()),
+                Tok::Punct("<="),
+                Tok::Ident("b".into()),
+                Tok::Punct("!="),
+                Tok::Ident("c".into()),
+                Tok::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn lex_errors() {
+        assert!(lex("/* open").is_err());
+        assert!(lex("\\").is_err());
+        assert!(lex("4'q0").is_err());
+        assert!(lex("`tick").is_err());
+    }
+}

@@ -1,0 +1,189 @@
+//! Property-based tests for the HDL front end and analyses.
+
+use std::collections::BTreeSet;
+
+use hdl::lang::Language;
+use hdl::names::{plan_renames, truncation_aliases};
+use hdl::parser::parse;
+use proptest::prelude::*;
+
+fn arb_ident() -> impl Strategy<Value = String> {
+    "[a-z][a-z0-9_]{0,14}".prop_filter("not a keyword", |s| {
+        !Language::Verilog.is_keyword(s)
+    })
+}
+
+proptest! {
+    #[test]
+    fn lexer_survives_identifier_soup(idents in prop::collection::vec(arb_ident(), 1..20)) {
+        let src = idents.join(" ");
+        let toks = hdl::token::lex(&src).expect("lexes");
+        // One token per identifier plus EOF.
+        prop_assert_eq!(toks.len(), idents.len() + 1);
+    }
+
+    #[test]
+    fn parsed_wire_decls_round_trip_names(names in prop::collection::btree_set(arb_ident(), 1..16)) {
+        let decls: String = names.iter().map(|n| format!("wire {n} ;\n")).collect();
+        let src = format!("module m();\n{decls}endmodule");
+        let unit = parse(&src).expect("parses");
+        let declared = unit.modules[0].declared_names();
+        let expected: BTreeSet<String> = names.iter().cloned().collect();
+        prop_assert_eq!(declared, expected);
+    }
+
+    #[test]
+    fn rename_plans_always_produce_unique_legal_names(
+        names in prop::collection::btree_set(arb_ident(), 1..24),
+        significant in 4usize..16,
+    ) {
+        let decls: String = names.iter().map(|n| format!("wire {n} ;\n")).collect();
+        let src = format!("module m();\n{decls}endmodule");
+        let module = parse(&src).expect("parses").modules.remove(0);
+        for target in [Language::Verilog, Language::Vhdl] {
+            let plan = plan_renames(&module, target, significant);
+            let renamed: Vec<String> = names.iter().map(|n| plan.rename(n).to_string()).collect();
+            // Unique.
+            let set: BTreeSet<&String> = renamed.iter().collect();
+            prop_assert_eq!(set.len(), renamed.len(), "target {:?}", target);
+            // Legal.
+            for r in &renamed {
+                prop_assert!(target.is_legal_identifier(r), "{} illegal for {:?}", r, target);
+            }
+            // Unique even under truncation.
+            let truncated: BTreeSet<String> = renamed
+                .iter()
+                .map(|r| r.chars().take(significant).collect())
+                .collect();
+            prop_assert_eq!(truncated.len(), renamed.len());
+            // Residual alias analysis agrees.
+            let as_set: BTreeSet<String> = renamed.into_iter().collect();
+            prop_assert!(truncation_aliases(&as_set, significant).is_empty());
+        }
+    }
+
+    #[test]
+    fn truncation_alias_groups_partition_correctly(
+        names in prop::collection::btree_set(arb_ident(), 1..30),
+        significant in 2usize..10,
+    ) {
+        let issues = truncation_aliases(&names, significant);
+        // Each group's members really truncate to the group key, and
+        // groups never overlap.
+        let mut seen: BTreeSet<&str> = BTreeSet::new();
+        for issue in &issues {
+            let hdl::names::NameIssue::TruncationAlias { truncated, originals } = issue else {
+                prop_assert!(false, "unexpected issue kind");
+                continue;
+            };
+            prop_assert!(originals.len() >= 2);
+            for o in originals {
+                let t: String = o.chars().take(significant).collect();
+                prop_assert_eq!(&t, truncated);
+                prop_assert!(seen.insert(o), "{} in two groups", o);
+            }
+        }
+    }
+}
+
+mod flatten_props {
+    use super::*;
+    use hdl::flatten::flatten;
+
+    /// Builds a random tree of modules: each non-leaf instantiates
+    /// between 1 and 3 children.
+    fn chain_src(arity: &[usize]) -> String {
+        let mut src = String::from(
+            "module leaf(input i, output o); wire w; assign w = ~i; assign o = w; endmodule\n",
+        );
+        let mut prev = "leaf".to_string();
+        for (level, &n) in arity.iter().enumerate() {
+            let name = format!("lvl{level}");
+            let mut body = String::new();
+            let mut wires = String::new();
+            for k in 0..n {
+                wires.push_str(&format!("wire m{k};\n"));
+                let input = if k == 0 { "i".to_string() } else { format!("m{}", k - 1) };
+                body.push_str(&format!("{prev} u{k} (.i({input}), .o(m{k}));\n"));
+            }
+            src.push_str(&format!(
+                "module {name}(input i, output o);\n{wires}{body}assign o = m{};\nendmodule\n",
+                n - 1
+            ));
+            prev = name;
+        }
+        src
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn flatten_preserves_name_map_bijection(arity in prop::collection::vec(1usize..4, 1..4)) {
+            let src = chain_src(&arity);
+            let unit = parse(&src).expect("parses");
+            let top = format!("lvl{}", arity.len() - 1);
+            let flat = flatten(&unit, &top, "_").expect("flattens");
+            // No instances remain.
+            let no_instances = flat
+                .module
+                .items
+                .iter()
+                .all(|i| !matches!(i, hdl::ast::Item::Instance { .. }));
+            prop_assert!(no_instances);
+            // Every flat net maps to a hierarchy name and back.
+            for net in &flat.module.nets {
+                let hier = flat.name_map.to_hier(&net.name);
+                prop_assert!(hier.is_some(), "unmapped {}", net.name);
+                prop_assert_eq!(
+                    flat.name_map.to_flat(hier.expect("mapped")),
+                    Some(net.name.as_str())
+                );
+            }
+            // Flat names are unique.
+            let names: BTreeSet<&str> = flat.module.nets.iter().map(|n| n.name.as_str()).collect();
+            prop_assert_eq!(names.len(), flat.module.nets.len());
+            // Leaf count: every leaf contributes one internal wire `w`.
+            let leaves: usize = arity.iter().product();
+            let leaf_wires = flat
+                .module
+                .nets
+                .iter()
+                .filter(|n| n.name.ends_with("_w"))
+                .count();
+            prop_assert_eq!(leaf_wires, leaves);
+        }
+    }
+}
+
+mod fuzz_safety {
+    use super::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(256))]
+
+        /// The lexer+parser never panic on arbitrary input — they
+        /// return errors.
+        #[test]
+        fn parser_is_panic_free(src in ".{0,200}") {
+            let _ = parse(&src);
+        }
+
+        /// Structured garbage: valid tokens in random order.
+        #[test]
+        fn parser_survives_token_soup(
+            toks in prop::collection::vec(
+                prop::sample::select(vec![
+                    "module", "endmodule", "input", "output", "wire", "reg",
+                    "assign", "always", "begin", "end", "if", "else", "(", ")",
+                    "[", "]", ";", ",", "=", "<=", "@", "posedge", "a", "b",
+                    "42", "4'b1010", "\\esc[3] ",
+                ]),
+                0..40,
+            )
+        ) {
+            let src: String = toks.join(" ");
+            let _ = parse(&src);
+        }
+    }
+}

@@ -1,0 +1,276 @@
+//! Migration configuration: the rule tables Section 2 of the paper
+//! describes being "created" and "defined" for the Exar translation.
+
+use std::collections::BTreeMap;
+
+use schematic::geom::{Orient, Point};
+use schematic::symbol::SymbolRef;
+
+/// One entry of the symbol-replacement map: "Library, name, and view
+/// mappings, along with origin offsets and rotation codes, were defined
+/// for each Viewlogic component to be replaced by a Cadence component.
+/// For situations where pin naming conventions differed, a pin name map
+/// was also created."
+#[derive(Debug, Clone, PartialEq)]
+pub struct SymbolMapEntry {
+    /// Source symbol to replace.
+    pub from: SymbolRef,
+    /// Replacement symbol.
+    pub to: SymbolRef,
+    /// Origin offset applied at replacement (target-grid units).
+    pub origin_offset: Point,
+    /// Additional rotation applied at replacement.
+    pub rotation: Orient,
+    /// Source pin name → target pin name, for pins whose names differ.
+    pub pin_map: BTreeMap<String, String>,
+}
+
+impl SymbolMapEntry {
+    /// Creates a map entry with no offset, rotation, or pin renames.
+    pub fn new(from: SymbolRef, to: SymbolRef) -> Self {
+        SymbolMapEntry {
+            from,
+            to,
+            origin_offset: Point::new(0, 0),
+            rotation: Orient::R0,
+            pin_map: BTreeMap::new(),
+        }
+    }
+
+    /// Sets the origin offset, builder style.
+    pub fn with_offset(mut self, offset: Point) -> Self {
+        self.origin_offset = offset;
+        self
+    }
+
+    /// Sets the additional rotation, builder style.
+    pub fn with_rotation(mut self, rotation: Orient) -> Self {
+        self.rotation = rotation;
+        self
+    }
+
+    /// Adds one pin rename, builder style.
+    pub fn with_pin(mut self, from: impl Into<String>, to: impl Into<String>) -> Self {
+        self.pin_map.insert(from.into(), to.into());
+        self
+    }
+
+    /// The target pin name for a source pin.
+    pub fn map_pin<'a>(&'a self, pin: &'a str) -> &'a str {
+        self.pin_map.get(pin).map(String::as_str).unwrap_or(pin)
+    }
+}
+
+/// A standard property-mapping rule: "The mapping included the addition,
+/// deletion, renaming or changing of property names, values, and text
+/// labels."
+#[derive(Debug, Clone, PartialEq)]
+pub enum PropRule {
+    /// Add a property with a fixed value (skipped when already present).
+    Add {
+        /// Property name.
+        name: String,
+        /// Value as text.
+        value: String,
+    },
+    /// Delete a property.
+    Delete {
+        /// Property name.
+        name: String,
+    },
+    /// Rename a property, keeping its value.
+    Rename {
+        /// Old name.
+        from: String,
+        /// New name.
+        to: String,
+    },
+    /// Replace a property's value when it currently equals `from`.
+    ChangeValue {
+        /// Property name.
+        name: String,
+        /// Value to match (as text).
+        from: String,
+        /// Replacement value (as text).
+        to: String,
+    },
+}
+
+/// Scope filter for a property rule.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PropScope {
+    /// Applies to every instance.
+    AllInstances,
+    /// Applies only to instances of the given source symbol cell.
+    Cell(String),
+}
+
+impl PropScope {
+    /// True when the scope covers an instance of `cell`.
+    pub fn covers(&self, cell: &str) -> bool {
+        match self {
+            PropScope::AllInstances => true,
+            PropScope::Cell(c) => c == cell,
+        }
+    }
+}
+
+/// An a/L callback registration: "These requirements were handled by the
+/// addition of Access Language (a/L) callbacks for a selected set of
+/// objects."
+#[derive(Debug, Clone, PartialEq)]
+pub struct Callback {
+    /// Which instances the callback runs on.
+    pub scope: PropScope,
+    /// Name of the a/L entry-point function (zero arguments).
+    pub entry: String,
+}
+
+/// Where synthesized off-page connectors are placed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum OffPagePlacement {
+    /// At a floating wire end when one exists, else at the sheet edge —
+    /// the strategy the paper describes.
+    #[default]
+    FloatingEndOrEdge,
+    /// Always via a stub to the sheet edge.
+    EdgeAlways,
+}
+
+/// The complete migration configuration.
+#[derive(Debug, Clone, Default)]
+pub struct MigrationConfig {
+    /// Target-system component libraries, added to the design before
+    /// symbol replacement (the paper's "existing library components from
+    /// the Cadence system").
+    pub target_libraries: Vec<schematic::Library>,
+    /// Symbol replacement map.
+    pub symbol_map: Vec<SymbolMapEntry>,
+    /// Standard property rules with their scopes, applied in order.
+    pub prop_rules: Vec<(PropScope, PropRule)>,
+    /// a/L script source defining callback functions (loaded once).
+    pub callback_script: String,
+    /// Callback registrations.
+    pub callbacks: Vec<Callback>,
+    /// Global net renames (e.g. `VDD` → `vdd!`).
+    pub globals_map: BTreeMap<String, String>,
+    /// Off-page connector placement strategy.
+    pub offpage_placement: OffPagePlacement,
+    /// Disable individual stages (for ablation studies). Empty = run
+    /// everything.
+    pub skip_stages: Vec<StageId>,
+}
+
+/// Identifies one pipeline stage (for reports and ablation).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum StageId {
+    /// Geometry scaling between grids.
+    Scale,
+    /// Symbol replacement with reroute.
+    Symbols,
+    /// Standard property mapping.
+    Props,
+    /// a/L callbacks for non-standard properties.
+    Callbacks,
+    /// Bus syntax translation.
+    Bus,
+    /// Hierarchy and off-page connector synthesis.
+    Connectors,
+    /// Global net mapping.
+    Globals,
+    /// Font and text-origin adjustment.
+    Text,
+}
+
+impl StageId {
+    /// All stages in pipeline order.
+    pub const ALL: [StageId; 8] = [
+        StageId::Scale,
+        StageId::Symbols,
+        StageId::Props,
+        StageId::Callbacks,
+        StageId::Bus,
+        StageId::Connectors,
+        StageId::Globals,
+        StageId::Text,
+    ];
+
+    /// Human-readable stage name.
+    pub fn name(self) -> &'static str {
+        match self {
+            StageId::Scale => "scale",
+            StageId::Symbols => "symbols",
+            StageId::Props => "props",
+            StageId::Callbacks => "callbacks",
+            StageId::Bus => "bus",
+            StageId::Connectors => "connectors",
+            StageId::Globals => "globals",
+            StageId::Text => "text",
+        }
+    }
+}
+
+impl std::fmt::Display for StageId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+impl MigrationConfig {
+    /// True when the stage should run.
+    pub fn runs(&self, stage: StageId) -> bool {
+        !self.skip_stages.contains(&stage)
+    }
+
+    /// Finds the symbol-map entry for a source reference.
+    pub fn symbol_entry(&self, from: &SymbolRef) -> Option<&SymbolMapEntry> {
+        self.symbol_map.iter().find(|e| &e.from == from)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn symbol_entry_builder_and_lookup() {
+        let e = SymbolMapEntry::new(
+            SymbolRef::new("primlib", "inv", "symbol"),
+            SymbolRef::new("stdlib", "inv_c", "symbol"),
+        )
+        .with_offset(Point::new(5, 0))
+        .with_rotation(Orient::R90)
+        .with_pin("A", "IN");
+        assert_eq!(e.map_pin("A"), "IN");
+        assert_eq!(e.map_pin("Y"), "Y");
+
+        let cfg = MigrationConfig {
+            symbol_map: vec![e.clone()],
+            ..MigrationConfig::default()
+        };
+        assert!(cfg
+            .symbol_entry(&SymbolRef::new("primlib", "inv", "symbol"))
+            .is_some());
+        assert!(cfg
+            .symbol_entry(&SymbolRef::new("primlib", "nand2", "symbol"))
+            .is_none());
+    }
+
+    #[test]
+    fn scopes_filter_by_cell() {
+        assert!(PropScope::AllInstances.covers("anything"));
+        assert!(PropScope::Cell("inv".into()).covers("inv"));
+        assert!(!PropScope::Cell("inv".into()).covers("nand2"));
+    }
+
+    #[test]
+    fn stage_skipping() {
+        let cfg = MigrationConfig {
+            skip_stages: vec![StageId::Bus],
+            ..MigrationConfig::default()
+        };
+        assert!(!cfg.runs(StageId::Bus));
+        assert!(cfg.runs(StageId::Scale));
+        assert_eq!(StageId::ALL.len(), 8);
+    }
+}

@@ -1,0 +1,135 @@
+//! The migration pipeline: the Section 2 translation, end to end.
+
+use schematic::design::Design;
+use schematic::dialect::{DialectId, DialectRules};
+
+use crate::config::{MigrationConfig, StageId};
+use crate::report::MigrationReport;
+use crate::stages;
+use crate::verify::{verify, VerifyReport};
+
+/// Result of a migration run.
+#[derive(Debug, Clone)]
+pub struct MigrationOutcome {
+    /// The translated design, in target-dialect conventions.
+    pub design: Design,
+    /// Per-stage statistics.
+    pub report: MigrationReport,
+}
+
+/// Drives the full Viewstar → Cascade (or any dialect-to-dialect)
+/// translation pipeline.
+///
+/// ```
+/// use migrate::{Migrator, MigrationConfig};
+/// use schematic::gen::{generate, GenConfig};
+/// use schematic::dialect::DialectId;
+///
+/// let source = generate(&GenConfig { bus_width: 0, ..GenConfig::default() });
+/// let migrator = Migrator::new(MigrationConfig::default());
+/// let outcome = migrator.migrate(&source, DialectId::Cascade);
+/// assert_eq!(outcome.design.dialect, DialectId::Cascade);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct Migrator {
+    config: MigrationConfig,
+}
+
+impl Migrator {
+    /// Creates a migrator from a configuration.
+    pub fn new(config: MigrationConfig) -> Self {
+        Migrator { config }
+    }
+
+    /// The configuration in use.
+    pub fn config(&self) -> &MigrationConfig {
+        &self.config
+    }
+
+    /// Translates `source` into the `target` dialect.
+    ///
+    /// Stage order: scale → props → callbacks → symbols → bus →
+    /// connectors → globals → text. Property stages run before symbol
+    /// replacement so rule scopes refer to *source* cell names.
+    pub fn migrate(&self, source: &Design, target: DialectId) -> MigrationOutcome {
+        let src_rules = DialectRules::for_id(source.dialect);
+        let dst_rules = DialectRules::for_id(target);
+        let mut design = source.clone();
+        let mut report = MigrationReport::default();
+
+        let run = |stage: StageId, report: &mut MigrationReport| {
+            if !self.config.runs(stage) {
+                report.skipped.push(stage);
+                return false;
+            }
+            let _ = report.stage_mut(stage);
+            true
+        };
+
+        if run(StageId::Scale, &mut report) {
+            let (num, den) = src_rules.scale_to(&dst_rules);
+            stages::scale::run(
+                &mut design,
+                num,
+                den,
+                dst_rules.grid,
+                report.stage_mut(StageId::Scale),
+            );
+        }
+        if run(StageId::Props, &mut report) {
+            stages::props::run_standard(&mut design, &self.config, report.stage_mut(StageId::Props));
+        }
+        if run(StageId::Callbacks, &mut report) {
+            stages::props::run_callbacks(
+                &mut design,
+                &self.config,
+                report.stage_mut(StageId::Callbacks),
+            );
+        }
+        if run(StageId::Symbols, &mut report) {
+            stages::symbols::run(&mut design, &self.config, report.stage_mut(StageId::Symbols));
+        }
+        if run(StageId::Bus, &mut report) {
+            stages::bus::run(
+                &mut design,
+                src_rules.bus,
+                dst_rules.bus,
+                report.stage_mut(StageId::Bus),
+            );
+        }
+        if run(StageId::Connectors, &mut report) {
+            stages::connectors::run(
+                &mut design,
+                &self.config,
+                dst_rules.grid,
+                report.stage_mut(StageId::Connectors),
+            );
+        }
+        if run(StageId::Globals, &mut report) {
+            stages::globals::run(&mut design, &self.config, report.stage_mut(StageId::Globals));
+        }
+        if run(StageId::Text, &mut report) {
+            stages::text::run(
+                &mut design,
+                dst_rules.font,
+                report.stage_mut(StageId::Text),
+            );
+        }
+
+        design.dialect = target;
+        MigrationOutcome { design, report }
+    }
+
+    /// Migrates and independently verifies in one call.
+    pub fn migrate_and_verify(
+        &self,
+        source: &Design,
+        target: DialectId,
+    ) -> (MigrationOutcome, VerifyReport) {
+        let src_rules = DialectRules::for_id(source.dialect);
+        let dst_rules = DialectRules::for_id(target);
+        let outcome = self.migrate(source, target);
+        let report = verify(source, &src_rules, &outcome.design, &dst_rules, &self.config);
+        (outcome, report)
+    }
+}

@@ -1,0 +1,144 @@
+//! Ready-made migration configurations for designs produced by
+//! [`schematic::gen`] — the repository's stand-in for Exar's qualified
+//! Cadence libraries and translation rules.
+
+use schematic::geom::Point;
+use schematic::symbol::{PinDir, SymbolDef, SymbolRef};
+use schematic::Library;
+
+use crate::config::{Callback, MigrationConfig, PropRule, PropScope, SymbolMapEntry};
+
+/// Name of the preset target (Cascade-side) library.
+pub const TARGET_LIB: &str = "stdlib";
+
+const G: i64 = 10; // Cascade grid in DBU.
+
+/// Builds the target component library on the Cascade grid.
+///
+/// `pin_shift` moves every output pin east by that many DBU relative to
+/// the scaled source symbols; a nonzero shift forces net rip-up and
+/// reroute at replacement time (Figure 1's scenario).
+pub fn target_library(bus_width: usize, pin_shift: i64) -> Library {
+    let mut lib = Library::new(TARGET_LIB);
+    lib.add(
+        SymbolDef::new(SymbolRef::new(TARGET_LIB, "inv_c", "symbol"), G)
+            .with_pin("IN", Point::new(0, 0), PinDir::Input)
+            .with_pin("OUT", Point::new(4 * G + pin_shift, 0), PinDir::Output)
+            .with_body_segment(Point::new(G, -G), Point::new(G, G))
+            .with_body_segment(Point::new(G, G), Point::new(3 * G, 0))
+            .with_body_segment(Point::new(G, -G), Point::new(3 * G, 0)),
+    );
+    lib.add(
+        SymbolDef::new(SymbolRef::new(TARGET_LIB, "nand2_c", "symbol"), G)
+            .with_pin("A", Point::new(0, 0), PinDir::Input)
+            .with_pin("B", Point::new(0, 2 * G), PinDir::Input)
+            .with_pin("Y", Point::new(4 * G + pin_shift, 0), PinDir::Output)
+            .with_body_segment(Point::new(G, -G), Point::new(G, 3 * G)),
+    );
+    lib.add(
+        SymbolDef::new(SymbolRef::new(TARGET_LIB, "nmos_c", "symbol"), G)
+            .with_pin("G", Point::new(0, 0), PinDir::Input)
+            .with_pin("D", Point::new(2 * G, 2 * G), PinDir::Passive)
+            .with_pin("S", Point::new(2 * G, -2 * G), PinDir::Passive),
+    );
+    let _ = bus_width; // registers are not replaced; kept for signature clarity
+    lib
+}
+
+/// The complete preset configuration mirroring the paper's Exar setup:
+/// symbol maps with pin-name maps, standard property rules, an a/L
+/// callback splitting compound analog properties, and global renames.
+pub fn exar_style_config(bus_width: usize, pin_shift: i64) -> MigrationConfig {
+    let prim = schematic::gen::PRIMITIVE_LIB;
+    let mut config = MigrationConfig {
+        target_libraries: vec![target_library(bus_width, pin_shift)],
+        symbol_map: vec![
+            SymbolMapEntry::new(
+                SymbolRef::new(prim, "inv", "symbol"),
+                SymbolRef::new(TARGET_LIB, "inv_c", "symbol"),
+            )
+            .with_pin("A", "IN")
+            .with_pin("Y", "OUT"),
+            SymbolMapEntry::new(
+                SymbolRef::new(prim, "nand2", "symbol"),
+                SymbolRef::new(TARGET_LIB, "nand2_c", "symbol"),
+            ),
+            SymbolMapEntry::new(
+                SymbolRef::new(prim, "nmos", "symbol"),
+                SymbolRef::new(TARGET_LIB, "nmos_c", "symbol"),
+            ),
+        ],
+        prop_rules: vec![
+            (
+                PropScope::AllInstances,
+                PropRule::Rename {
+                    from: "SIZE".into(),
+                    to: "STRENGTH".into(),
+                },
+            ),
+            (
+                PropScope::AllInstances,
+                PropRule::Add {
+                    name: "VIEW".into(),
+                    value: "schematic".into(),
+                },
+            ),
+        ],
+        callback_script: r#"
+            ; Non-standard property mapping: reformat the compound analog
+            ; SPICE property into separate W and L properties.
+            (define (split-spice)
+              (let ((s (prop-get "SPICE")))
+                (if (string? s)
+                    (let ((parts (string-split s " ")))
+                      (prop-set! "W" (substring (nth 0 parts) 2
+                                                (length (nth 0 parts))))
+                      (prop-set! "L" (substring (nth 1 parts) 2
+                                                (length (nth 1 parts))))
+                      (prop-remove! "SPICE"))
+                    nil)))
+        "#
+        .into(),
+        callbacks: vec![
+            Callback {
+                scope: PropScope::Cell("inv".into()),
+                entry: "split-spice".into(),
+            },
+            Callback {
+                scope: PropScope::Cell("nand2".into()),
+                entry: "split-spice".into(),
+            },
+        ],
+        ..MigrationConfig::default()
+    };
+    config.globals_map.insert("VDD".into(), "vdd!".into());
+    config.globals_map.insert("GND".into(), "gnd!".into());
+    config
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn target_library_is_on_cascade_grid() {
+        let lib = target_library(4, 0);
+        for sym in lib.iter() {
+            assert_eq!(sym.grid, G);
+            assert!(sym.pins_on_grid());
+        }
+        let shifted = target_library(4, 10);
+        assert_eq!(
+            shifted.symbol("inv_c", "symbol").unwrap().pin("OUT").unwrap().at,
+            Point::new(50, 0)
+        );
+    }
+
+    #[test]
+    fn preset_config_maps_all_primitives() {
+        let cfg = exar_style_config(4, 0);
+        assert_eq!(cfg.symbol_map.len(), 3);
+        assert!(!cfg.callback_script.is_empty());
+        assert_eq!(cfg.globals_map["VDD"], "vdd!");
+    }
+}

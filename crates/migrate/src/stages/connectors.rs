@@ -1,0 +1,404 @@
+//! Stage: hierarchy and off-page connector synthesis.
+//!
+//! "Viewlogic does not require the explicit use of either hierarchy or
+//! off-page connectors, however, Cadence Composer requires both... The
+//! geometrical challenge was addressed by adding off-page connectors to
+//! the end of wires if a floating wire was determined, or to the side of
+//! the schematic sheets for these internal connections."
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use schematic::design::Design;
+use schematic::geom::Point;
+use schematic::sheet::{Connector, ConnectorKind, Sheet, Wire};
+use schematic::symbol::PinDir;
+
+use crate::config::{MigrationConfig, OffPagePlacement};
+use crate::report::StageStats;
+
+/// A planned connector insertion.
+enum Addition {
+    /// Place a connector directly at a floating wire end.
+    At {
+        kind: ConnectorKind,
+        name: String,
+        at: Point,
+    },
+    /// Add a stub wire along `path` to the sheet edge, with the
+    /// connector on the edge (the first path point).
+    Stub {
+        kind: ConnectorKind,
+        name: String,
+        path: Vec<Point>,
+    },
+}
+
+/// All points on a sheet that something attaches to (other than the
+/// wire being considered).
+fn occupancy(design: &Design, sheet: &Sheet) -> BTreeSet<Point> {
+    let mut occ = BTreeSet::new();
+    for inst in &sheet.instances {
+        if let Some(sym) = design.resolve_symbol(&inst.symbol) {
+            for pin in &sym.pins {
+                occ.insert(inst.place.apply(pin.at));
+            }
+        }
+    }
+    for conn in &sheet.connectors {
+        occ.insert(conn.at);
+    }
+    occ
+}
+
+/// Finds a floating endpoint of `wire`: one touching no pin, no
+/// connector, and no *other* wire.
+fn floating_end(sheet: &Sheet, wire_idx: usize, occ: &BTreeSet<Point>) -> Option<Point> {
+    let wire = &sheet.wires[wire_idx];
+    let (a, b) = wire.endpoints();
+    'cand: for p in [b, a] {
+        if occ.contains(&p) {
+            continue;
+        }
+        for (j, other) in sheet.wires.iter().enumerate() {
+            if j != wire_idx && other.touches(p) {
+                continue 'cand;
+            }
+        }
+        return Some(p);
+    }
+    None
+}
+
+/// True when no registered attachment point (pin, connector, or wire
+/// vertex other than `from` itself) lies on any segment of `path` —
+/// i.e. adding the stub cannot short a foreign net.
+fn path_clear(sheet: &Sheet, occ: &BTreeSet<Point>, path: &[Point], from: Point) -> bool {
+    let mut points: Vec<Point> = occ.iter().copied().collect();
+    for w in &sheet.wires {
+        points.extend(w.points.iter().copied());
+    }
+    for seg in path.windows(2) {
+        for &p in &points {
+            if p != from && schematic::sheet::point_on_segment(p, seg[0], seg[1]) {
+                return false;
+            }
+        }
+        // The stub must not run along an existing wire either: check its
+        // own interior vertices against existing segments.
+        for w in &sheet.wires {
+            for &v in &[seg[0]] {
+                if v != from && w.touches(v) {
+                    return false;
+                }
+            }
+        }
+    }
+    true
+}
+
+fn plan_for_name(
+    design: &Design,
+    sheet: &Sheet,
+    name: &str,
+    kind: ConnectorKind,
+    placement: OffPagePlacement,
+    grid: i64,
+) -> Option<Addition> {
+    let occ = occupancy(design, sheet);
+    let wire_idx = sheet
+        .wires
+        .iter()
+        .position(|w| w.label.as_ref().is_some_and(|l| l.text == name))?;
+    if placement == OffPagePlacement::FloatingEndOrEdge {
+        if let Some(at) = floating_end(sheet, wire_idx, &occ) {
+            return Some(Addition::At {
+                kind,
+                name: name.to_string(),
+                at,
+            });
+        }
+    }
+    // Route a stub to the sheet edge; search vertical channels until one
+    // is free of foreign attachment points.
+    let from = sheet.wires[wire_idx].points[0];
+    let edge_x = sheet.frame.lo.x;
+    for k in 0..=16i64 {
+        for sign in [1i64, -1] {
+            if k == 0 && sign < 0 {
+                continue;
+            }
+            let y = from.y + sign * k * grid;
+            let edge = Point::new(edge_x, y);
+            if edge == from {
+                continue;
+            }
+            let path = if y == from.y {
+                vec![edge, from]
+            } else {
+                vec![edge, Point::new(from.x, y), from]
+            };
+            if path_clear(sheet, &occ, &path, from) {
+                return Some(Addition::Stub {
+                    kind,
+                    name: name.to_string(),
+                    path,
+                });
+            }
+        }
+    }
+    None
+}
+
+/// Synthesizes the off-page and hierarchy connectors the target dialect
+/// requires.
+pub fn run(design: &mut Design, config: &MigrationConfig, grid: i64, stats: &mut StageStats) {
+    let cell_names: Vec<String> = design.cells().map(|(n, _)| n.to_string()).collect();
+
+    for cell_name in &cell_names {
+        // Phase 1: plan (immutable).
+        let mut additions: Vec<(usize, Addition)> = Vec::new();
+        {
+            let cell = design.cell(cell_name).expect("cell exists");
+
+            // Net-name → pages it appears on (via labels).
+            let mut pages_of: BTreeMap<&str, BTreeSet<u32>> = BTreeMap::new();
+            let mut offpage_on: BTreeMap<&str, BTreeSet<u32>> = BTreeMap::new();
+            let mut hier_names: BTreeSet<&str> = BTreeSet::new();
+            for sheet in &cell.sheets {
+                for w in &sheet.wires {
+                    if let Some(l) = &w.label {
+                        pages_of.entry(&l.text).or_default().insert(sheet.page);
+                    }
+                }
+                for c in &sheet.connectors {
+                    match c.kind {
+                        ConnectorKind::OffPage => {
+                            offpage_on.entry(&c.name).or_default().insert(sheet.page);
+                        }
+                        k if k.is_hierarchy() => {
+                            hier_names.insert(&c.name);
+                        }
+                        _ => {}
+                    }
+                }
+            }
+
+            // Off-page connectors for multi-page, non-global nets.
+            for (name, pages) in &pages_of {
+                if pages.len() < 2 || design.globals().contains(*name) {
+                    continue;
+                }
+                for (sheet_idx, sheet) in cell.sheets.iter().enumerate() {
+                    if !pages.contains(&sheet.page) {
+                        continue;
+                    }
+                    let already = offpage_on
+                        .get(name)
+                        .is_some_and(|s| s.contains(&sheet.page));
+                    if already {
+                        continue;
+                    }
+                    match plan_for_name(
+                        design,
+                        sheet,
+                        name,
+                        ConnectorKind::OffPage,
+                        config.offpage_placement,
+                        grid,
+                    ) {
+                        Some(add) => additions.push((sheet_idx, add)),
+                        None => stats.issues.push(format!(
+                            "{cell_name} p{}: no wire labelled `{name}` to attach off-page connector",
+                            sheet.page
+                        )),
+                    }
+                }
+            }
+
+            // Hierarchy connectors for every port.
+            for port in &cell.ports {
+                if hier_names.contains(port.name.as_str()) {
+                    continue;
+                }
+                let kind = match port.dir {
+                    PinDir::Input => ConnectorKind::HierInput,
+                    PinDir::Output => ConnectorKind::HierOutput,
+                    PinDir::Bidir | PinDir::Passive => ConnectorKind::HierBidir,
+                };
+                let mut placed = false;
+                for (sheet_idx, sheet) in cell.sheets.iter().enumerate() {
+                    if let Some(add) = plan_for_name(
+                        design,
+                        sheet,
+                        &port.name,
+                        kind,
+                        config.offpage_placement,
+                        grid,
+                    ) {
+                        additions.push((sheet_idx, add));
+                        placed = true;
+                        break;
+                    }
+                }
+                if !placed {
+                    stats.issues.push(format!(
+                        "{cell_name}: port `{}` has no labelled wire for a hierarchy connector",
+                        port.name
+                    ));
+                }
+            }
+        }
+
+        // Phase 2: apply (mutable).
+        let cell = design.cell_mut(cell_name).expect("cell exists");
+        for (sheet_idx, add) in additions {
+            let sheet = &mut cell.sheets[sheet_idx];
+            match add {
+                Addition::At { kind, name, at } => {
+                    sheet.connectors.push(Connector::new(kind, name, at));
+                    stats.created += 1;
+                }
+                Addition::Stub { kind, name, path } => {
+                    let edge = path[0];
+                    sheet.wires.push(Wire::new(path));
+                    sheet.connectors.push(Connector::new(kind, name, edge));
+                    stats.created += 2;
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use schematic::design::{CellSchematic, Library};
+    use schematic::dialect::{DialectId, DialectRules};
+    use schematic::geom::Orient;
+    use schematic::property::{FontMetrics, Label};
+    use schematic::sheet::Instance;
+    use schematic::symbol::{SymbolDef, SymbolPin, SymbolRef};
+
+    fn design_two_pages() -> Design {
+        let mut d = Design::new("t", DialectId::Cascade);
+        let mut lib = Library::new("stdlib");
+        lib.add(
+            SymbolDef::new(SymbolRef::new("stdlib", "inv", "symbol"), 10)
+                .with_pin("A", Point::new(0, 0), PinDir::Input)
+                .with_pin("Y", Point::new(40, 0), PinDir::Output),
+        );
+        d.add_library(lib);
+        let mut cell = CellSchematic::new("top");
+        cell.ports
+            .push(SymbolPin::new("OUT", Point::new(0, 0), PinDir::Output));
+        for page in 1..=2u32 {
+            let mut s = Sheet::new(page);
+            s.instances.push(Instance::new(
+                format!("I{page}"),
+                SymbolRef::new("stdlib", "inv", "symbol"),
+                Point::new(100, 100),
+                Orient::R0,
+            ));
+            // Output wire with a floating east end, named `span` on both
+            // pages.
+            s.wires.push(
+                Wire::new(vec![Point::new(140, 100), Point::new(200, 100)]).with_label(
+                    Label::new("span", Point::new(150, 104), FontMetrics::CASCADE),
+                ),
+            );
+            if page == 2 {
+                // OUT net: floating end east of the wire.
+                s.wires.push(
+                    Wire::new(vec![Point::new(140, 200), Point::new(220, 200)]).with_label(
+                        Label::new("OUT", Point::new(150, 204), FontMetrics::CASCADE),
+                    ),
+                );
+            }
+            cell.sheets.push(s);
+        }
+        d.add_cell(cell);
+        d
+    }
+
+    #[test]
+    fn offpage_and_hier_connectors_are_synthesized() {
+        let mut d = design_two_pages();
+        let mut stats = StageStats::default();
+        run(&mut d, &MigrationConfig::default(), 10, &mut stats);
+        assert!(stats.issues.is_empty(), "{:?}", stats.issues);
+
+        let cell = d.cell("top").unwrap();
+        let offpage_count: usize = cell
+            .sheets
+            .iter()
+            .flat_map(|s| &s.connectors)
+            .filter(|c| c.kind == ConnectorKind::OffPage && c.name == "span")
+            .count();
+        assert_eq!(offpage_count, 2, "one off-page connector per page");
+        assert!(cell
+            .sheets
+            .iter()
+            .flat_map(|s| &s.connectors)
+            .any(|c| c.kind == ConnectorKind::HierOutput && c.name == "OUT"));
+
+        // The synthesized design now passes Cascade conformance for
+        // connector requirements.
+        let violations = schematic::dialect::check_conformance(&d, &DialectRules::cascade());
+        assert!(
+            !violations.iter().any(|v| matches!(
+                v,
+                schematic::dialect::Violation::MissingOffPage { .. }
+                    | schematic::dialect::Violation::MissingHierConnector { .. }
+            )),
+            "{violations:?}"
+        );
+    }
+
+    #[test]
+    fn connectors_idempotent_when_already_present() {
+        let mut d = design_two_pages();
+        let mut stats = StageStats::default();
+        run(&mut d, &MigrationConfig::default(), 10, &mut stats);
+        let created_first = stats.created;
+        let mut stats2 = StageStats::default();
+        run(&mut d, &MigrationConfig::default(), 10, &mut stats2);
+        assert!(created_first > 0);
+        assert_eq!(stats2.created, 0, "second run adds nothing");
+    }
+
+    #[test]
+    fn edge_stub_used_when_no_floating_end() {
+        let mut d = design_two_pages();
+        // Pin the wire ends on page 1: put a second wire touching both
+        // ends of the `span` wire so no end floats.
+        {
+            let cell = d.cell_mut("top").unwrap();
+            let s = &mut cell.sheets[0];
+            s.wires
+                .push(Wire::new(vec![Point::new(200, 100), Point::new(200, 160)]));
+            s.wires
+                .push(Wire::new(vec![Point::new(140, 100), Point::new(140, 60)]));
+        }
+        let mut stats = StageStats::default();
+        run(&mut d, &MigrationConfig::default(), 10, &mut stats);
+        let cell = d.cell("top").unwrap();
+        let edge_conn = cell.sheets[0]
+            .connectors
+            .iter()
+            .find(|c| c.name == "span")
+            .expect("connector placed");
+        assert_eq!(edge_conn.at.x, cell.sheets[0].frame.lo.x, "on the sheet edge");
+    }
+
+    #[test]
+    fn missing_port_wire_is_an_issue() {
+        let mut d = design_two_pages();
+        d.cell_mut("top")
+            .unwrap()
+            .ports
+            .push(SymbolPin::new("GHOST", Point::new(0, 0), PinDir::Input));
+        let mut stats = StageStats::default();
+        run(&mut d, &MigrationConfig::default(), 10, &mut stats);
+        assert!(stats.issues.iter().any(|i| i.contains("GHOST")));
+    }
+}

@@ -1,0 +1,327 @@
+//! Stage: standard and non-standard property mapping.
+//!
+//! Standard rules cover "the addition, deletion, renaming or changing of
+//! property names, values, and text labels"; non-standard requirements
+//! (e.g. reformatting single analog properties into multiple properties)
+//! run as a/L callbacks with full access to the object being migrated.
+
+use alang::host::Host;
+use alang::value::Value;
+use alang::Interpreter;
+use schematic::design::Design;
+use schematic::property::{PropMap, PropValue};
+
+use crate::config::{MigrationConfig, PropRule};
+use crate::report::StageStats;
+
+/// Applies the standard property rules to every instance in scope.
+pub fn run_standard(design: &mut Design, config: &MigrationConfig, stats: &mut StageStats) {
+    for cell in design.cells_mut() {
+        for sheet in &mut cell.sheets {
+            for inst in &mut sheet.instances {
+                for (scope, rule) in &config.prop_rules {
+                    if !scope.covers(&inst.symbol.cell) {
+                        continue;
+                    }
+                    let changed = match rule {
+                        PropRule::Add { name, value } => {
+                            if inst.props.contains(name) {
+                                false
+                            } else {
+                                inst.props.set(name.clone(), PropValue::from_text(value));
+                                true
+                            }
+                        }
+                        PropRule::Delete { name } => inst.props.remove(name).is_some(),
+                        PropRule::Rename { from, to } => inst.props.rename(from, to.clone()),
+                        PropRule::ChangeValue { name, from, to } => {
+                            match inst.props.get(name) {
+                                Some(v) if v.to_text() == *from => {
+                                    inst.props.set(name.clone(), PropValue::from_text(to));
+                                    true
+                                }
+                                _ => false,
+                            }
+                        }
+                    };
+                    if changed {
+                        stats.touched += 1;
+                        if matches!(rule, PropRule::Rename { .. }) {
+                            stats.renamed += 1;
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// The a/L host exposed to callbacks: the current instance's property
+/// map plus migration context.
+struct InstanceHost<'a> {
+    props: &'a mut PropMap,
+    inst: &'a str,
+    cell: &'a str,
+    library: &'a str,
+    page: u32,
+    owner_cell: &'a str,
+}
+
+fn to_value(v: &PropValue) -> Value {
+    match v {
+        PropValue::Text(s) => Value::Str(s.clone()),
+        PropValue::Int(i) => Value::Int(*i),
+        PropValue::Real(r) => Value::Real(*r),
+        PropValue::Flag(b) => Value::Bool(*b),
+    }
+}
+
+fn from_value(v: &Value) -> PropValue {
+    match v {
+        Value::Str(s) => PropValue::Text(s.clone()),
+        Value::Int(i) => PropValue::Int(*i),
+        Value::Real(r) => PropValue::Real(*r),
+        Value::Bool(b) => PropValue::Flag(*b),
+        other => PropValue::Text(other.to_string()),
+    }
+}
+
+impl Host for InstanceHost<'_> {
+    fn get(&self, key: &str) -> Option<Value> {
+        self.props.get(key).map(to_value)
+    }
+
+    fn set(&mut self, key: &str, value: Value) -> Result<(), String> {
+        self.props.set(key, from_value(&value));
+        Ok(())
+    }
+
+    fn remove(&mut self, key: &str) -> Option<Value> {
+        self.props.remove(key).map(|v| to_value(&v))
+    }
+
+    fn keys(&self) -> Vec<String> {
+        self.props.names().map(str::to_string).collect()
+    }
+
+    fn context(&self, what: &str) -> Option<Value> {
+        match what {
+            "inst" => Some(Value::Str(self.inst.to_string())),
+            "cell" => Some(Value::Str(self.cell.to_string())),
+            "library" => Some(Value::Str(self.library.to_string())),
+            "page" => Some(Value::Int(self.page as i64)),
+            "owner" => Some(Value::Str(self.owner_cell.to_string())),
+            _ => None,
+        }
+    }
+}
+
+/// Runs the registered a/L callbacks over every instance in scope.
+///
+/// The callback script is loaded once; each registered entry point is
+/// then invoked per matching instance with the instance as host.
+pub fn run_callbacks(design: &mut Design, config: &MigrationConfig, stats: &mut StageStats) {
+    if config.callbacks.is_empty() {
+        return;
+    }
+    let mut interp = Interpreter::new();
+    if !config.callback_script.is_empty() {
+        let mut nohost = alang::host::NoHost;
+        if let Err(e) = interp.eval_src(&config.callback_script, &mut nohost) {
+            stats.issues.push(format!("callback script failed to load: {e}"));
+            return;
+        }
+    }
+
+    let cell_names: Vec<String> = design.cells().map(|(n, _)| n.to_string()).collect();
+    for owner in &cell_names {
+        let cell = design.cell_mut(owner).expect("cell exists");
+        let owner_name = cell.cell.clone();
+        for sheet in &mut cell.sheets {
+            let page = sheet.page;
+            for inst in &mut sheet.instances {
+                for cb in &config.callbacks {
+                    if !cb.scope.covers(&inst.symbol.cell) {
+                        continue;
+                    }
+                    let mut host = InstanceHost {
+                        inst: &inst.name,
+                        cell: &inst.symbol.cell,
+                        library: &inst.symbol.library,
+                        page,
+                        owner_cell: &owner_name,
+                        props: &mut inst.props,
+                    };
+                    match interp.call(&cb.entry, &[], &mut host) {
+                        Ok(_) => stats.touched += 1,
+                        Err(e) => stats
+                            .issues
+                            .push(format!("callback `{}` on {}: {e}", cb.entry, host.inst)),
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::{Callback, PropScope};
+    use schematic::design::{CellSchematic, Library};
+    use schematic::dialect::DialectId;
+    use schematic::geom::{Orient, Point};
+    use schematic::sheet::{Instance, Sheet};
+    use schematic::symbol::{SymbolDef, SymbolRef};
+
+    fn design_one_inst(props: &[(&str, &str)]) -> Design {
+        let mut d = Design::new("t", DialectId::Viewstar);
+        let mut lib = Library::new("src");
+        lib.add(SymbolDef::new(SymbolRef::new("src", "nmos", "symbol"), 16));
+        d.add_library(lib);
+        let mut cell = CellSchematic::new("top");
+        let mut s = Sheet::new(1);
+        let mut inst = Instance::new(
+            "M1",
+            SymbolRef::new("src", "nmos", "symbol"),
+            Point::new(0, 0),
+            Orient::R0,
+        );
+        for (k, v) in props {
+            inst.props.set(*k, PropValue::from_text(v));
+        }
+        s.instances.push(inst);
+        cell.sheets.push(s);
+        d.add_cell(cell);
+        d
+    }
+
+    #[test]
+    fn standard_rules_apply_in_order() {
+        let mut d = design_one_inst(&[("MODEL", "nch"), ("OLD", "x")]);
+        let config = MigrationConfig {
+            prop_rules: vec![
+                (
+                    PropScope::AllInstances,
+                    PropRule::Rename {
+                        from: "MODEL".into(),
+                        to: "DEVICE".into(),
+                    },
+                ),
+                (
+                    PropScope::AllInstances,
+                    PropRule::Delete { name: "OLD".into() },
+                ),
+                (
+                    PropScope::AllInstances,
+                    PropRule::Add {
+                        name: "VIEW".into(),
+                        value: "spice".into(),
+                    },
+                ),
+                (
+                    PropScope::AllInstances,
+                    PropRule::ChangeValue {
+                        name: "DEVICE".into(),
+                        from: "nch".into(),
+                        to: "nmos_lv".into(),
+                    },
+                ),
+            ],
+            ..MigrationConfig::default()
+        };
+        let mut stats = StageStats::default();
+        run_standard(&mut d, &config, &mut stats);
+        let inst = &d.cell("top").unwrap().sheets[0].instances[0];
+        assert_eq!(inst.props.get("DEVICE").unwrap().to_text(), "nmos_lv");
+        assert!(inst.props.get("VIEW").is_some());
+        assert!(inst.props.get("OLD").is_none());
+        assert_eq!(stats.touched, 4);
+        assert_eq!(stats.renamed, 1);
+    }
+
+    #[test]
+    fn scoped_rules_skip_other_cells() {
+        let mut d = design_one_inst(&[("K", "v")]);
+        let config = MigrationConfig {
+            prop_rules: vec![(
+                PropScope::Cell("other".into()),
+                PropRule::Delete { name: "K".into() },
+            )],
+            ..MigrationConfig::default()
+        };
+        let mut stats = StageStats::default();
+        run_standard(&mut d, &config, &mut stats);
+        assert!(d.cell("top").unwrap().sheets[0].instances[0]
+            .props
+            .contains("K"));
+        assert_eq!(stats.touched, 0);
+    }
+
+    #[test]
+    fn callback_splits_compound_analog_property() {
+        let mut d = design_one_inst(&[("SPICE", "w=1.2u l=0.4u")]);
+        let config = MigrationConfig {
+            callback_script: r#"
+                (define (split-spice)
+                  (let ((s (prop-get "SPICE")))
+                    (if (string? s)
+                        (let ((parts (string-split s " ")))
+                          (prop-set! "W" (substring (nth 0 parts) 2
+                                                    (length (nth 0 parts))))
+                          (prop-set! "L" (substring (nth 1 parts) 2
+                                                    (length (nth 1 parts))))
+                          (prop-remove! "SPICE"))
+                        nil)))
+            "#
+            .into(),
+            callbacks: vec![Callback {
+                scope: PropScope::Cell("nmos".into()),
+                entry: "split-spice".into(),
+            }],
+            ..MigrationConfig::default()
+        };
+        let mut stats = StageStats::default();
+        run_callbacks(&mut d, &config, &mut stats);
+        assert!(stats.issues.is_empty(), "{:?}", stats.issues);
+        let inst = &d.cell("top").unwrap().sheets[0].instances[0];
+        assert_eq!(inst.props.get("W").unwrap().to_text(), "1.2u");
+        assert_eq!(inst.props.get("L").unwrap().to_text(), "0.4u");
+        assert!(!inst.props.contains("SPICE"));
+    }
+
+    #[test]
+    fn callback_errors_become_issues() {
+        let mut d = design_one_inst(&[]);
+        let config = MigrationConfig {
+            callback_script: "(define (boom) (car '()))".into(),
+            callbacks: vec![Callback {
+                scope: PropScope::AllInstances,
+                entry: "boom".into(),
+            }],
+            ..MigrationConfig::default()
+        };
+        let mut stats = StageStats::default();
+        run_callbacks(&mut d, &config, &mut stats);
+        assert_eq!(stats.issues.len(), 1);
+    }
+
+    #[test]
+    fn callback_context_is_visible() {
+        let mut d = design_one_inst(&[]);
+        let config = MigrationConfig {
+            callback_script: r#"(define (tag) (prop-set! "TAG"
+                (string-append (ctx "owner") "/" (ctx "inst"))))"#
+                .into(),
+            callbacks: vec![Callback {
+                scope: PropScope::AllInstances,
+                entry: "tag".into(),
+            }],
+            ..MigrationConfig::default()
+        };
+        let mut stats = StageStats::default();
+        run_callbacks(&mut d, &config, &mut stats);
+        let inst = &d.cell("top").unwrap().sheets[0].instances[0];
+        assert_eq!(inst.props.get("TAG").unwrap().to_text(), "top/M1");
+    }
+}

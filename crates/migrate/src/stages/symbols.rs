@@ -1,0 +1,26 @@
+//! Stage: symbol replacement (with reroute) — Figure 1 applied across
+//! the whole design.
+
+use schematic::design::Design;
+
+use crate::config::MigrationConfig;
+use crate::replace::{replace_components, RerouteStrategy};
+use crate::report::StageStats;
+
+/// Adds the target libraries and replaces every mapped instance,
+/// rerouting attached nets with minimal rip-up.
+pub fn run(design: &mut Design, config: &MigrationConfig, stats: &mut StageStats) {
+    for lib in &config.target_libraries {
+        design.add_library(lib.clone());
+    }
+    let outcome = replace_components(design, &config.symbol_map, RerouteStrategy::MinimalRipUp);
+    stats.touched = outcome.replaced;
+    stats.created = outcome.jogs_added;
+    stats.renamed = outcome.pins_moved;
+    if outcome.issues > 0 {
+        stats.issues.push(format!(
+            "{} pins or symbols could not be mapped",
+            outcome.issues
+        ));
+    }
+}

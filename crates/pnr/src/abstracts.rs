@@ -1,0 +1,306 @@
+//! Cell abstracts: the views P&R tools assemble.
+//!
+//! Section 4: "All P&R tools require an abstract view/definition of the
+//! design cells or blocks that they are to assemble. These abstract
+//! views consist of many parts including cell/block boundaries, site
+//! types, legal orientations, a complex (and sometimes comprehensive)
+//! set of pin data, and routing blockages."
+
+use std::collections::BTreeSet;
+
+use crate::geom::{Pt, Rect};
+
+/// A routing layer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Layer {
+    /// Horizontal-preferred metal 1.
+    M1,
+    /// Vertical-preferred metal 2.
+    M2,
+}
+
+impl Layer {
+    /// Both layers.
+    pub const ALL: [Layer; 2] = [Layer::M1, Layer::M2];
+
+    /// True when the layer prefers horizontal routing.
+    pub fn is_horizontal(self) -> bool {
+        self == Layer::M1
+    }
+
+    /// Layer name.
+    pub fn name(self) -> &'static str {
+        match self {
+            Layer::M1 => "M1",
+            Layer::M2 => "M2",
+        }
+    }
+}
+
+/// Pin access sides: "some tools read access direction as a property,
+/// while others try to determine it from the routing blockages."
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct Access {
+    /// Reachable from the north.
+    pub north: bool,
+    /// Reachable from the south.
+    pub south: bool,
+    /// Reachable from the east.
+    pub east: bool,
+    /// Reachable from the west.
+    pub west: bool,
+}
+
+impl Access {
+    /// All four sides open.
+    pub const fn all() -> Access {
+        Access {
+            north: true,
+            south: true,
+            east: true,
+            west: true,
+        }
+    }
+
+    /// No side open.
+    pub const fn none() -> Access {
+        Access {
+            north: false,
+            south: false,
+            east: false,
+            west: false,
+        }
+    }
+
+    /// Count of open sides.
+    pub fn open_count(self) -> usize {
+        [self.north, self.south, self.east, self.west]
+            .iter()
+            .filter(|b| **b)
+            .count()
+    }
+}
+
+/// Pin connection properties: "access direction, multiple connect,
+/// equivalent connect, must connect, and connect by abutment."
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct ConnProps {
+    /// The router must connect this pin (unconnected = error).
+    pub must_connect: bool,
+    /// More than one connection to this pin is allowed.
+    pub multiple_connect: bool,
+    /// Name of the equivalence group (electrically identical pins).
+    pub equivalent_group: Option<String>,
+    /// Connection happens by abutting the neighbouring cell.
+    pub connect_by_abutment: bool,
+}
+
+/// One pin of an abstract.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AbsPin {
+    /// Pin name.
+    pub name: String,
+    /// Layer the pin shape sits on.
+    pub layer: Layer,
+    /// Pin shape (cell-local tracks).
+    pub shape: Rect,
+    /// Declared access directions.
+    pub access: Access,
+    /// Connection properties.
+    pub props: ConnProps,
+}
+
+impl AbsPin {
+    /// Creates a fully-accessible pin with default properties.
+    pub fn new(name: impl Into<String>, layer: Layer, shape: Rect) -> Self {
+        AbsPin {
+            name: name.into(),
+            layer,
+            shape,
+            access: Access::all(),
+            props: ConnProps::default(),
+        }
+    }
+
+    /// Pin centre point.
+    pub fn center(&self) -> Pt {
+        Pt::new(
+            (self.shape.x0 + self.shape.x1) / 2,
+            (self.shape.y0 + self.shape.y1) / 2,
+        )
+    }
+}
+
+/// A routing blockage.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Blockage {
+    /// Blocked layer.
+    pub layer: Layer,
+    /// Blocked area (cell-local tracks).
+    pub area: Rect,
+}
+
+/// Placement site class.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum SiteType {
+    /// Standard-cell row site.
+    Core,
+    /// IO pad site.
+    Pad,
+    /// Macro block site.
+    Block,
+}
+
+/// Legal placement orientations (a subset of the 8 codes).
+pub type OrientSet = BTreeSet<&'static str>;
+
+/// A cell or block abstract.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CellAbstract {
+    /// Cell name.
+    pub name: String,
+    /// Boundary (origin at 0,0).
+    pub boundary: Rect,
+    /// Site class.
+    pub site: SiteType,
+    /// Legal orientations.
+    pub orients: OrientSet,
+    /// Pins.
+    pub pins: Vec<AbsPin>,
+    /// Routing blockages.
+    pub blockages: Vec<Blockage>,
+}
+
+impl CellAbstract {
+    /// Creates an abstract with the standard R0/MY orientations.
+    pub fn new(name: impl Into<String>, width: i32, height: i32) -> Self {
+        CellAbstract {
+            name: name.into(),
+            boundary: Rect::new(Pt::new(0, 0), Pt::new(width - 1, height - 1)),
+            site: SiteType::Core,
+            orients: ["R0", "MY"].into_iter().collect(),
+            pins: Vec::new(),
+            blockages: Vec::new(),
+        }
+    }
+
+    /// Adds a pin, builder style.
+    pub fn with_pin(mut self, pin: AbsPin) -> Self {
+        self.pins.push(pin);
+        self
+    }
+
+    /// Adds a blockage, builder style.
+    pub fn with_blockage(mut self, layer: Layer, area: Rect) -> Self {
+        self.blockages.push(Blockage { layer, area });
+        self
+    }
+
+    /// Looks up a pin by name.
+    pub fn pin(&self, name: &str) -> Option<&AbsPin> {
+        self.pins.iter().find(|p| p.name == name)
+    }
+
+    /// Derives pin access from blockages, the way tools without an
+    /// access property do: a side is open when no same-layer blockage
+    /// sits between the pin shape and that cell edge.
+    pub fn derive_access(&self, pin: &AbsPin) -> Access {
+        let mut acc = Access::all();
+        for b in &self.blockages {
+            if b.layer != pin.layer {
+                continue;
+            }
+            // Corridor from the pin to each edge.
+            let north = Rect {
+                x0: pin.shape.x0,
+                x1: pin.shape.x1,
+                y0: pin.shape.y1 + 1,
+                y1: self.boundary.y1,
+            };
+            let south = Rect {
+                x0: pin.shape.x0,
+                x1: pin.shape.x1,
+                y0: self.boundary.y0,
+                y1: pin.shape.y0 - 1,
+            };
+            let east = Rect {
+                x0: pin.shape.x1 + 1,
+                x1: self.boundary.x1,
+                y0: pin.shape.y0,
+                y1: pin.shape.y1,
+            };
+            let west = Rect {
+                x0: self.boundary.x0,
+                x1: pin.shape.x0 - 1,
+                y0: pin.shape.y0,
+                y1: pin.shape.y1,
+            };
+            if north.y0 <= north.y1 && b.area.intersects(north) {
+                acc.north = false;
+            }
+            if south.y0 <= south.y1 && b.area.intersects(south) {
+                acc.south = false;
+            }
+            if east.x0 <= east.x1 && b.area.intersects(east) {
+                acc.east = false;
+            }
+            if west.x0 <= west.x1 && b.area.intersects(west) {
+                acc.west = false;
+            }
+        }
+        acc
+    }
+
+    /// Positions of a pin centre under placement at `at` (orientation
+    /// R0 only; the placer uses R0).
+    pub fn pin_at(&self, pin_name: &str, at: Pt) -> Option<Pt> {
+        let p = self.pin(pin_name)?;
+        let c = p.center();
+        Some(Pt::new(c.x + at.x, c.y + at.y))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn nand() -> CellAbstract {
+        CellAbstract::new("nand2", 6, 8)
+            .with_pin(AbsPin::new("A", Layer::M1, Rect::new(Pt::new(1, 2), Pt::new(1, 2))))
+            .with_pin(AbsPin::new("B", Layer::M1, Rect::new(Pt::new(3, 2), Pt::new(3, 2))))
+            .with_pin(AbsPin::new("Y", Layer::M1, Rect::new(Pt::new(5, 5), Pt::new(5, 5))))
+            .with_blockage(Layer::M1, Rect::new(Pt::new(0, 3), Pt::new(5, 4)))
+    }
+
+    #[test]
+    fn pin_lookup_and_center() {
+        let c = nand();
+        assert!(c.pin("A").is_some());
+        assert!(c.pin("Q").is_none());
+        assert_eq!(c.pin("A").unwrap().center(), Pt::new(1, 2));
+        assert_eq!(c.pin_at("A", Pt::new(10, 20)), Some(Pt::new(11, 22)));
+    }
+
+    #[test]
+    fn access_derived_from_blockages() {
+        let c = nand();
+        // The M1 strap at rows 3-4 blocks A's northern corridor.
+        let a = c.pin("A").unwrap();
+        let acc = c.derive_access(a);
+        assert!(!acc.north);
+        assert!(acc.south);
+        assert!(acc.east && acc.west);
+        assert_eq!(acc.open_count(), 3);
+        // Y sits above the strap: south blocked instead.
+        let y = c.pin("Y").unwrap();
+        let acc_y = c.derive_access(y);
+        assert!(!acc_y.south);
+        assert!(acc_y.north);
+    }
+
+    #[test]
+    fn access_counts() {
+        assert_eq!(Access::all().open_count(), 4);
+        assert_eq!(Access::none().open_count(), 0);
+    }
+}

@@ -1,0 +1,449 @@
+//! The P&R backplane: one canonical constraint set, many tools.
+//!
+//! Section 4: "HLD's P&R backplane is the best attempt to at least map
+//! the semantics and controls from one tool to the next." The backplane
+//! takes the canonical [`Floorplan`] and produces, per tool, (a) the
+//! tool's input deck, (b) the *effective* routing constraints the tool
+//! will actually honour, and (c) a coverage report of everything that
+//! was emulated or lost on the way.
+
+use std::collections::BTreeMap;
+
+use crate::abstracts::CellAbstract;
+use crate::dialect::{self, Feature, Support, Tool};
+use crate::floorplan::{EdgeSide, Floorplan, GlobalStrategy, PinLoc};
+use crate::geom::{Pt, Rect};
+
+/// The midpoint of a block edge (used when converting edge constraints
+/// to literal positions).
+pub fn edge_midpoint(area: &Rect, side: EdgeSide) -> Pt {
+    match side {
+        EdgeSide::North => Pt::new((area.x0 + area.x1) / 2, area.y1),
+        EdgeSide::South => Pt::new((area.x0 + area.x1) / 2, area.y0),
+        EdgeSide::East => Pt::new(area.x1, (area.y0 + area.y1) / 2),
+        EdgeSide::West => Pt::new(area.x0, (area.y0 + area.y1) / 2),
+    }
+}
+
+/// The nearest edge of `area` to point `p` (used when snapping literal
+/// positions to edge slots).
+pub fn nearest_edge_name(area: &Rect, p: Pt) -> &'static str {
+    let d_north = (area.y1 - p.y).abs();
+    let d_south = (p.y - area.y0).abs();
+    let d_east = (area.x1 - p.x).abs();
+    let d_west = (p.x - area.x0).abs();
+    let min = d_north.min(d_south).min(d_east).min(d_west);
+    if min == d_north {
+        "north"
+    } else if min == d_south {
+        "south"
+    } else if min == d_east {
+        "east"
+    } else {
+        "west"
+    }
+}
+
+/// The constraints a specific tool will actually honour for one net.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EffectiveRule {
+    /// Net name.
+    pub net: String,
+    /// Effective width.
+    pub width: i32,
+    /// Effective spacing.
+    pub spacing: i32,
+    /// Effective shielding.
+    pub shield: bool,
+    /// Effective maximum length (0 = unlimited).
+    pub max_length: i32,
+}
+
+/// One coverage-report row.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CoverageRow {
+    /// The feature in question.
+    pub feature: Feature,
+    /// The tool.
+    pub tool: Tool,
+    /// Support level.
+    pub support: Support,
+    /// How many canonical constraints needed this feature.
+    pub demanded: usize,
+    /// Human-readable note on emulation/loss.
+    pub note: String,
+}
+
+/// The full backplane output for one tool.
+#[derive(Debug, Clone)]
+pub struct ToolJob {
+    /// Which tool.
+    pub tool: Tool,
+    /// The tool's input deck text.
+    pub deck: String,
+    /// Auxiliary file (CellPath's connect file; empty for GridRoute).
+    pub aux: String,
+    /// Effective per-net constraints the router will honour.
+    pub rules: BTreeMap<String, EffectiveRule>,
+    /// Declared-vs-derived pin access disagreements (CellPath only).
+    pub access_mismatches: Vec<String>,
+}
+
+/// The backplane result across all tools.
+#[derive(Debug, Clone)]
+pub struct BackplaneOutput {
+    /// Per-tool jobs.
+    pub jobs: Vec<ToolJob>,
+    /// Coverage report rows, feature-major.
+    pub coverage: Vec<CoverageRow>,
+}
+
+impl BackplaneOutput {
+    /// Fraction of demanded constraints a tool honours natively.
+    pub fn native_fraction(&self, tool: Tool) -> f64 {
+        let demanded: usize = self
+            .coverage
+            .iter()
+            .filter(|r| r.tool == tool && r.demanded > 0)
+            .count();
+        if demanded == 0 {
+            return 1.0;
+        }
+        let native = self
+            .coverage
+            .iter()
+            .filter(|r| r.tool == tool && r.demanded > 0 && r.support == Support::Native)
+            .count();
+        native as f64 / demanded as f64
+    }
+
+    /// Rows where a demanded constraint is lost outright.
+    pub fn losses(&self, tool: Tool) -> Vec<&CoverageRow> {
+        self.coverage
+            .iter()
+            .filter(|r| r.tool == tool && r.demanded > 0 && r.support == Support::Unsupported)
+            .collect()
+    }
+}
+
+/// Counts how many canonical constraints demand each feature.
+fn demand(fp: &Floorplan, lib: &[CellAbstract]) -> BTreeMap<Feature, usize> {
+    let mut d: BTreeMap<Feature, usize> = BTreeMap::new();
+    let mut bump = |f: Feature, n: usize| {
+        if n > 0 {
+            *d.entry(f).or_insert(0) += n;
+        }
+    };
+    let pins: Vec<_> = lib.iter().flat_map(|c| &c.pins).collect();
+    bump(Feature::PinAccessProperty, pins.len());
+    bump(
+        Feature::ConnMustConnect,
+        pins.iter().filter(|p| p.props.must_connect).count(),
+    );
+    bump(
+        Feature::ConnMultiple,
+        pins.iter().filter(|p| p.props.multiple_connect).count(),
+    );
+    bump(
+        Feature::ConnEquivalent,
+        pins.iter()
+            .filter(|p| p.props.equivalent_group.is_some())
+            .count(),
+    );
+    bump(
+        Feature::ConnByAbutment,
+        pins.iter().filter(|p| p.props.connect_by_abutment).count(),
+    );
+    bump(
+        Feature::NetWidth,
+        fp.net_rules.values().filter(|r| r.width > 1).count(),
+    );
+    bump(
+        Feature::NetSpacing,
+        fp.net_rules.values().filter(|r| r.spacing > 0).count(),
+    );
+    bump(
+        Feature::Shielding,
+        fp.net_rules.values().filter(|r| r.shield).count(),
+    );
+    bump(
+        Feature::MaxNetLength,
+        fp.net_rules.values().filter(|r| r.max_length > 0).count(),
+    );
+    bump(Feature::KeepOuts, fp.keepouts.len());
+    bump(
+        Feature::LiteralPinLocation,
+        fp.blocks
+            .iter()
+            .flat_map(|b| &b.pins)
+            .filter(|p| matches!(p.loc, PinLoc::Literal(_)))
+            .count(),
+    );
+    bump(
+        Feature::EdgePinConstraint,
+        fp.blocks
+            .iter()
+            .flat_map(|b| &b.pins)
+            .filter(|p| matches!(p.loc, PinLoc::Edge(_)))
+            .count(),
+    );
+    bump(
+        Feature::GlobalRing,
+        fp.globals
+            .values()
+            .filter(|s| **s == GlobalStrategy::Ring)
+            .count(),
+    );
+    bump(
+        Feature::GlobalStrap,
+        fp.globals
+            .values()
+            .filter(|s| **s == GlobalStrategy::Strap)
+            .count(),
+    );
+    bump(
+        Feature::GlobalTree,
+        fp.globals
+            .values()
+            .filter(|s| **s == GlobalStrategy::Tree)
+            .count(),
+    );
+    bump(
+        Feature::AspectRatio,
+        fp.blocks
+            .iter()
+            .filter(|b| b.aspect != (0.1, 10.0))
+            .count(),
+    );
+    d
+}
+
+/// Computes the effective per-net rules a tool honours.
+fn effective_rules(fp: &Floorplan, tool: Tool) -> BTreeMap<String, EffectiveRule> {
+    fp.net_rules
+        .values()
+        .map(|r| {
+            let eff = match tool {
+                Tool::GridRoute => EffectiveRule {
+                    net: r.net.clone(),
+                    width: r.width,
+                    // Shielding emulated by one extra track of spacing.
+                    spacing: r.spacing + if r.shield { 1 } else { 0 },
+                    shield: false,
+                    max_length: r.max_length,
+                },
+                Tool::CellPath => EffectiveRule {
+                    net: r.net.clone(),
+                    width: r.width,
+                    spacing: 0, // per-net spacing is lost
+                    shield: r.shield,
+                    max_length: 0, // max length is lost
+                },
+            };
+            (r.net.clone(), eff)
+        })
+        .collect()
+}
+
+/// Runs the backplane: produces per-tool decks, effective constraints,
+/// access-mismatch warnings, and the coverage report.
+pub fn run(fp: &Floorplan, lib: &[CellAbstract]) -> BackplaneOutput {
+    let demands = demand(fp, lib);
+    let mut coverage = Vec::new();
+    for f in Feature::ALL {
+        for t in Tool::ALL {
+            let demanded = demands.get(&f).copied().unwrap_or(0);
+            let support = t.support(f);
+            let note = match (t, f, support) {
+                (Tool::GridRoute, Feature::Shielding, Support::Emulated) => {
+                    "shield approximated by +1 spacing".to_string()
+                }
+                (Tool::GridRoute, Feature::EdgePinConstraint, Support::Emulated) => {
+                    "edge constraint converted to literal midpoint".to_string()
+                }
+                (Tool::CellPath, Feature::LiteralPinLocation, Support::Emulated) => {
+                    "literal position snapped to nearest edge".to_string()
+                }
+                (Tool::CellPath, Feature::NetSpacing, Support::Unsupported) => {
+                    "per-net spacing lost; expect coupling".to_string()
+                }
+                (Tool::CellPath, Feature::PinAccessProperty, Support::Unsupported) => {
+                    "access re-derived from blockages".to_string()
+                }
+                (_, _, Support::Unsupported) if demanded > 0 => "constraint lost".to_string(),
+                _ => String::new(),
+            };
+            coverage.push(CoverageRow {
+                feature: f,
+                tool: t,
+                support,
+                demanded,
+                note,
+            });
+        }
+    }
+
+    let mut jobs = Vec::new();
+    for tool in Tool::ALL {
+        let (deck, aux) = match tool {
+            Tool::GridRoute => (dialect::write_gridroute(fp, lib), String::new()),
+            Tool::CellPath => dialect::write_cellpath(fp, lib),
+        };
+        // CellPath derives access from blockages: report disagreements
+        // with the declared access properties.
+        let mut access_mismatches = Vec::new();
+        if tool == Tool::CellPath {
+            for cell in lib {
+                for pin in &cell.pins {
+                    let derived = cell.derive_access(pin);
+                    if derived != pin.access {
+                        access_mismatches.push(format!(
+                            "{}/{}: declared {:?} but blockages imply {:?}",
+                            cell.name, pin.name, pin.access, derived
+                        ));
+                    }
+                }
+            }
+        }
+        jobs.push(ToolJob {
+            tool,
+            deck,
+            aux,
+            rules: effective_rules(fp, tool),
+            access_mismatches,
+        });
+    }
+
+    BackplaneOutput { jobs, coverage }
+}
+
+/// Renders the coverage report as an aligned text table.
+pub fn coverage_table(out: &BackplaneOutput) -> String {
+    let mut s = String::new();
+    s.push_str(&format!(
+        "{:<28} {:>8} {:<12} {:<12}\n",
+        "feature", "demanded", "GridRoute", "CellPath"
+    ));
+    for f in Feature::ALL {
+        let rows: Vec<&CoverageRow> = out.coverage.iter().filter(|r| r.feature == f).collect();
+        let demanded = rows.first().map(|r| r.demanded).unwrap_or(0);
+        let sup = |t: Tool| {
+            rows.iter()
+                .find(|r| r.tool == t)
+                .map(|r| r.support.to_string())
+                .unwrap_or_default()
+        };
+        s.push_str(&format!(
+            "{:<28} {:>8} {:<12} {:<12}\n",
+            f.name(),
+            demanded,
+            sup(Tool::GridRoute),
+            sup(Tool::CellPath)
+        ));
+    }
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::abstracts::{AbsPin, Layer};
+    use crate::floorplan::{Block, NetRule};
+
+    fn workload() -> (Floorplan, Vec<CellAbstract>) {
+        let mut fp = Floorplan::new("soc", Rect::new(Pt::new(0, 0), Pt::new(99, 99)))
+            .with_rule(NetRule::new("clk").width(2).spacing(1).shielded().current(10.0))
+            .with_rule(NetRule::new("data0").width(1));
+        fp.keepouts.push(Rect::new(Pt::new(40, 40), Pt::new(49, 49)));
+        fp.globals.insert("VDD".into(), GlobalStrategy::Ring);
+        fp.globals.insert("CLK".into(), GlobalStrategy::Tree);
+        let mut b = Block::new("cpu", Rect::new(Pt::new(0, 0), Pt::new(39, 39)));
+        b.pins.push(crate::floorplan::PinConstraint {
+            pin: "clk".into(),
+            loc: PinLoc::Edge(EdgeSide::East),
+        });
+        b.pins.push(crate::floorplan::PinConstraint {
+            pin: "data0".into(),
+            loc: PinLoc::Literal(Pt::new(39, 5)),
+        });
+        fp.blocks.push(b);
+        let mut p = AbsPin::new("A", Layer::M1, Rect::new(Pt::new(1, 1), Pt::new(1, 1)));
+        p.props.must_connect = true;
+        let lib = vec![CellAbstract::new("inv", 4, 6)
+            .with_pin(p)
+            .with_blockage(Layer::M1, Rect::new(Pt::new(0, 3), Pt::new(3, 3)))];
+        (fp, lib)
+    }
+
+    #[test]
+    fn effective_rules_differ_per_tool() {
+        let (fp, lib) = workload();
+        let out = run(&fp, &lib);
+        let grid = out.jobs.iter().find(|j| j.tool == Tool::GridRoute).unwrap();
+        let cell = out.jobs.iter().find(|j| j.tool == Tool::CellPath).unwrap();
+        // GridRoute: shield → spacing 1+1=2, shield off.
+        assert_eq!(grid.rules["clk"].spacing, 2);
+        assert!(!grid.rules["clk"].shield);
+        // CellPath: spacing lost, shield kept.
+        assert_eq!(cell.rules["clk"].spacing, 0);
+        assert!(cell.rules["clk"].shield);
+    }
+
+    #[test]
+    fn coverage_report_flags_losses() {
+        let (fp, lib) = workload();
+        let out = run(&fp, &lib);
+        let losses = out.losses(Tool::CellPath);
+        assert!(losses
+            .iter()
+            .any(|r| r.feature == Feature::NetSpacing), "{losses:?}");
+        let grid_losses = out.losses(Tool::GridRoute);
+        assert!(grid_losses.iter().all(|r| r.feature != Feature::NetSpacing));
+        // Ring demanded and unsupported by CellPath.
+        assert!(out
+            .losses(Tool::CellPath)
+            .iter()
+            .any(|r| r.feature == Feature::GlobalRing));
+    }
+
+    #[test]
+    fn native_fraction_is_meaningful() {
+        let (fp, lib) = workload();
+        let out = run(&fp, &lib);
+        let g = out.native_fraction(Tool::GridRoute);
+        let c = out.native_fraction(Tool::CellPath);
+        assert!(g > 0.0 && g <= 1.0);
+        assert!(c > 0.0 && c <= 1.0);
+        assert!(g != 1.0 || c != 1.0, "someone must lose something");
+    }
+
+    #[test]
+    fn access_mismatches_reported_for_blockage_derivation() {
+        let (fp, lib) = workload();
+        let out = run(&fp, &lib);
+        let cell = out.jobs.iter().find(|j| j.tool == Tool::CellPath).unwrap();
+        // Pin A declared all-access but a blockage closes the north
+        // corridor.
+        assert_eq!(cell.access_mismatches.len(), 1, "{:?}", cell.access_mismatches);
+        let grid = out.jobs.iter().find(|j| j.tool == Tool::GridRoute).unwrap();
+        assert!(grid.access_mismatches.is_empty());
+    }
+
+    #[test]
+    fn coverage_table_renders() {
+        let (fp, lib) = workload();
+        let out = run(&fp, &lib);
+        let table = coverage_table(&out);
+        assert!(table.contains("net-spacing"));
+        assert!(table.contains("unsupported"));
+    }
+
+    #[test]
+    fn edge_helpers() {
+        let area = Rect::new(Pt::new(0, 0), Pt::new(10, 20));
+        assert_eq!(edge_midpoint(&area, EdgeSide::North), Pt::new(5, 20));
+        assert_eq!(edge_midpoint(&area, EdgeSide::West), Pt::new(0, 10));
+        assert_eq!(nearest_edge_name(&area, Pt::new(9, 10)), "east");
+        assert_eq!(nearest_edge_name(&area, Pt::new(5, 19)), "north");
+    }
+}

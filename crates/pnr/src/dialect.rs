@@ -1,0 +1,520 @@
+//! The two P&R tool dialects.
+//!
+//! Section 4: "there are no common languages, syntaxes, or semantics
+//! between these tools... Each P&R tool supports a slightly different
+//! set of input data requirements. For instance, some tools read access
+//! direction as a property, while others try to determine it from the
+//! routing blockages... Some tools read connection types as a set of
+//! literal properties on the pin, others require an external file, and
+//! a few have no predefined support for some connection types."
+//!
+//! `GridRoute` reads access as a property, connection types as literal
+//! pin properties, and supports width/spacing but not shielding.
+//! `CellPath` derives access from blockages, takes connection types in
+//! a separate connect file, and supports shielding but not per-net
+//! spacing.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use crate::abstracts::CellAbstract;
+use crate::floorplan::{Floorplan, GlobalStrategy, PinLoc};
+
+/// The features a P&R input may need to express.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Feature {
+    /// Pin access direction supplied as a property.
+    PinAccessProperty,
+    /// Pin access derived from blockages.
+    PinAccessFromBlockages,
+    /// Must-connect pins.
+    ConnMustConnect,
+    /// Multiple-connect pins.
+    ConnMultiple,
+    /// Equivalent-pin groups.
+    ConnEquivalent,
+    /// Connect-by-abutment.
+    ConnByAbutment,
+    /// Per-net trace width.
+    NetWidth,
+    /// Per-net spacing.
+    NetSpacing,
+    /// Shield routing.
+    Shielding,
+    /// Maximum net length.
+    MaxNetLength,
+    /// Keep-out zones.
+    KeepOuts,
+    /// Literal block pin locations.
+    LiteralPinLocation,
+    /// Edge-constrained block pins.
+    EdgePinConstraint,
+    /// Power/ground ring.
+    GlobalRing,
+    /// Power/ground straps.
+    GlobalStrap,
+    /// Clock tree strategy.
+    GlobalTree,
+    /// Soft-block aspect ratio ranges.
+    AspectRatio,
+}
+
+impl Feature {
+    /// All features, in display order.
+    pub const ALL: [Feature; 17] = [
+        Feature::PinAccessProperty,
+        Feature::PinAccessFromBlockages,
+        Feature::ConnMustConnect,
+        Feature::ConnMultiple,
+        Feature::ConnEquivalent,
+        Feature::ConnByAbutment,
+        Feature::NetWidth,
+        Feature::NetSpacing,
+        Feature::Shielding,
+        Feature::MaxNetLength,
+        Feature::KeepOuts,
+        Feature::LiteralPinLocation,
+        Feature::EdgePinConstraint,
+        Feature::GlobalRing,
+        Feature::GlobalStrap,
+        Feature::GlobalTree,
+        Feature::AspectRatio,
+    ];
+
+    /// Short display name.
+    pub fn name(self) -> &'static str {
+        match self {
+            Feature::PinAccessProperty => "pin-access-property",
+            Feature::PinAccessFromBlockages => "pin-access-from-blockages",
+            Feature::ConnMustConnect => "must-connect",
+            Feature::ConnMultiple => "multiple-connect",
+            Feature::ConnEquivalent => "equivalent-connect",
+            Feature::ConnByAbutment => "connect-by-abutment",
+            Feature::NetWidth => "net-width",
+            Feature::NetSpacing => "net-spacing",
+            Feature::Shielding => "shielding",
+            Feature::MaxNetLength => "max-net-length",
+            Feature::KeepOuts => "keep-outs",
+            Feature::LiteralPinLocation => "literal-pin-location",
+            Feature::EdgePinConstraint => "edge-pin-constraint",
+            Feature::GlobalRing => "global-ring",
+            Feature::GlobalStrap => "global-strap",
+            Feature::GlobalTree => "global-tree",
+            Feature::AspectRatio => "aspect-ratio",
+        }
+    }
+}
+
+impl fmt::Display for Feature {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// How a tool supports a feature.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Support {
+    /// Understood directly.
+    Native,
+    /// The backplane can approximate it through other controls.
+    Emulated,
+    /// Cannot be expressed; the constraint is lost.
+    Unsupported,
+}
+
+impl fmt::Display for Support {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            Support::Native => "native",
+            Support::Emulated => "emulated",
+            Support::Unsupported => "unsupported",
+        })
+    }
+}
+
+/// One of the two simulated P&R tools.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Tool {
+    /// Property-driven tool with per-net spacing, no shielding.
+    GridRoute,
+    /// Blockage-driven tool with shielding, no per-net spacing.
+    CellPath,
+}
+
+impl Tool {
+    /// Both tools.
+    pub const ALL: [Tool; 2] = [Tool::GridRoute, Tool::CellPath];
+
+    /// Tool name.
+    pub fn name(self) -> &'static str {
+        match self {
+            Tool::GridRoute => "GridRoute",
+            Tool::CellPath => "CellPath",
+        }
+    }
+
+    /// The tool's feature-support table.
+    pub fn support(self, feature: Feature) -> Support {
+        use Feature::*;
+        use Support::*;
+        match self {
+            Tool::GridRoute => match feature {
+                PinAccessProperty => Native,
+                PinAccessFromBlockages => Unsupported,
+                ConnMustConnect => Native,
+                ConnMultiple => Native,
+                ConnEquivalent => Native,
+                ConnByAbutment => Unsupported,
+                NetWidth => Native,
+                NetSpacing => Native,
+                Shielding => Emulated, // approximated by extra spacing
+                MaxNetLength => Native,
+                KeepOuts => Native,
+                LiteralPinLocation => Native,
+                EdgePinConstraint => Emulated, // converted to literal
+                GlobalRing => Native,
+                GlobalStrap => Unsupported,
+                GlobalTree => Emulated,
+                AspectRatio => Unsupported,
+            },
+            Tool::CellPath => match feature {
+                PinAccessProperty => Unsupported,
+                PinAccessFromBlockages => Native,
+                ConnMustConnect => Native, // via the external connect file
+                ConnMultiple => Unsupported,
+                ConnEquivalent => Unsupported,
+                ConnByAbutment => Native,
+                NetWidth => Native,
+                NetSpacing => Unsupported,
+                Shielding => Native,
+                MaxNetLength => Unsupported,
+                KeepOuts => Native,
+                LiteralPinLocation => Emulated, // snapped to nearest edge slot
+                EdgePinConstraint => Native,
+                GlobalRing => Unsupported,
+                GlobalStrap => Native,
+                GlobalTree => Native,
+                AspectRatio => Native,
+            },
+        }
+    }
+}
+
+impl fmt::Display for Tool {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Writes a GridRoute `.grd` deck: one keyword line per record, pin
+/// properties inline.
+pub fn write_gridroute(fp: &Floorplan, lib: &[CellAbstract]) -> String {
+    let mut o = String::new();
+    o.push_str(&format!("GRD 1 DESIGN {}\n", fp.name));
+    o.push_str(&format!(
+        "DIE {} {} {} {}\n",
+        fp.die.x0, fp.die.y0, fp.die.x1, fp.die.y1
+    ));
+    for cell in lib {
+        o.push_str(&format!(
+            "MACRO {} SIZE {} {}\n",
+            cell.name,
+            cell.boundary.width(),
+            cell.boundary.height()
+        ));
+        for pin in &cell.pins {
+            let mut acc = String::new();
+            if pin.access.north {
+                acc.push('N');
+            }
+            if pin.access.south {
+                acc.push('S');
+            }
+            if pin.access.east {
+                acc.push('E');
+            }
+            if pin.access.west {
+                acc.push('W');
+            }
+            o.push_str(&format!(
+                "PIN {} LAYER {} RECT {} {} {} {} ACCESS {}{}{}{}\n",
+                pin.name,
+                pin.layer.name(),
+                pin.shape.x0,
+                pin.shape.y0,
+                pin.shape.x1,
+                pin.shape.y1,
+                acc,
+                if pin.props.must_connect {
+                    " MUSTCONNECT"
+                } else {
+                    ""
+                },
+                if pin.props.multiple_connect {
+                    " MULTI"
+                } else {
+                    ""
+                },
+                pin.props
+                    .equivalent_group
+                    .as_deref()
+                    .map(|g| format!(" EQUIV {g}"))
+                    .unwrap_or_default(),
+            ));
+        }
+        for b in &cell.blockages {
+            o.push_str(&format!(
+                "OBS LAYER {} RECT {} {} {} {}\n",
+                b.layer.name(),
+                b.area.x0,
+                b.area.y0,
+                b.area.x1,
+                b.area.y1
+            ));
+        }
+        o.push_str("ENDMACRO\n");
+    }
+    for k in &fp.keepouts {
+        o.push_str(&format!("KEEPOUT {} {} {} {}\n", k.x0, k.y0, k.x1, k.y1));
+    }
+    for rule in fp.net_rules.values() {
+        // Shielding is emulated by +1 spacing.
+        let spacing = rule.spacing + if rule.shield { 1 } else { 0 };
+        o.push_str(&format!(
+            "NETRULE {} WIDTH {} SPACING {}{}\n",
+            rule.net,
+            rule.width,
+            spacing,
+            if rule.max_length > 0 {
+                format!(" MAXLEN {}", rule.max_length)
+            } else {
+                String::new()
+            }
+        ));
+    }
+    for (net, strat) in &fp.globals {
+        if *strat == GlobalStrategy::Ring {
+            o.push_str(&format!("RING {net}\n"));
+        }
+        // Straps unsupported; trees approximated by a ring comment.
+        if *strat == GlobalStrategy::Tree {
+            o.push_str(&format!("TREEAPPROX {net}\n"));
+        }
+    }
+    for block in &fp.blocks {
+        o.push_str(&format!(
+            "BLOCK {} {} {} {} {}\n",
+            block.name, block.area.x0, block.area.y0, block.area.x1, block.area.y1
+        ));
+        for pc in &block.pins {
+            match &pc.loc {
+                PinLoc::Literal(p) => {
+                    o.push_str(&format!("BPIN {} AT {} {}\n", pc.pin, p.x, p.y))
+                }
+                // Edge constraints converted to a literal midpoint.
+                PinLoc::Edge(side) => {
+                    let p = crate::backplane::edge_midpoint(&block.area, *side);
+                    o.push_str(&format!("BPIN {} AT {} {}\n", pc.pin, p.x, p.y));
+                }
+            }
+        }
+    }
+    o.push_str("END\n");
+    o
+}
+
+/// Writes a CellPath `.cpf` deck plus its external connect file.
+/// Returns `(deck, connect_file)`.
+pub fn write_cellpath(fp: &Floorplan, lib: &[CellAbstract]) -> (String, String) {
+    let mut o = String::new();
+    let mut connect = String::new();
+    o.push_str(&format!("[design]\nname = {}\n", fp.name));
+    o.push_str(&format!(
+        "die = {},{},{},{}\n",
+        fp.die.x0, fp.die.y0, fp.die.x1, fp.die.y1
+    ));
+    for cell in lib {
+        o.push_str(&format!("[macro {}]\n", cell.name));
+        o.push_str(&format!(
+            "size = {},{}\n",
+            cell.boundary.width(),
+            cell.boundary.height()
+        ));
+        for pin in &cell.pins {
+            // No access property: CellPath derives it from blockages.
+            o.push_str(&format!(
+                "pin {} = {} {},{},{},{}\n",
+                pin.name,
+                pin.layer.name(),
+                pin.shape.x0,
+                pin.shape.y0,
+                pin.shape.x1,
+                pin.shape.y1
+            ));
+            if pin.props.must_connect {
+                connect.push_str(&format!("must {} {}\n", cell.name, pin.name));
+            }
+            if pin.props.connect_by_abutment {
+                connect.push_str(&format!("abut {} {}\n", cell.name, pin.name));
+            }
+            // multiple/equivalent: no predefined support — lost.
+        }
+        for b in &cell.blockages {
+            o.push_str(&format!(
+                "obs = {} {},{},{},{}\n",
+                b.layer.name(),
+                b.area.x0,
+                b.area.y0,
+                b.area.x1,
+                b.area.y1
+            ));
+        }
+    }
+    o.push_str("[keepouts]\n");
+    for k in &fp.keepouts {
+        o.push_str(&format!("zone = {},{},{},{}\n", k.x0, k.y0, k.x1, k.y1));
+    }
+    o.push_str("[nets]\n");
+    for rule in fp.net_rules.values() {
+        // Spacing unsupported; shielding native; max length lost.
+        o.push_str(&format!(
+            "net {} width={} shield={}\n",
+            rule.net,
+            rule.width,
+            if rule.shield { "yes" } else { "no" }
+        ));
+    }
+    o.push_str("[globals]\n");
+    for (net, strat) in &fp.globals {
+        match strat {
+            GlobalStrategy::Strap => o.push_str(&format!("strap {net}\n")),
+            GlobalStrategy::Tree => o.push_str(&format!("tree {net}\n")),
+            GlobalStrategy::Ring => {} // unsupported — lost
+        }
+    }
+    o.push_str("[blocks]\n");
+    for block in &fp.blocks {
+        o.push_str(&format!(
+            "block {} = {},{},{},{} aspect={:.2},{:.2}\n",
+            block.name,
+            block.area.x0,
+            block.area.y0,
+            block.area.x1,
+            block.area.y1,
+            block.aspect.0,
+            block.aspect.1
+        ));
+        for pc in &block.pins {
+            match &pc.loc {
+                PinLoc::Edge(side) => o.push_str(&format!(
+                    "bpin {} edge={}\n",
+                    pc.pin,
+                    match side {
+                        crate::floorplan::EdgeSide::North => "north",
+                        crate::floorplan::EdgeSide::South => "south",
+                        crate::floorplan::EdgeSide::East => "east",
+                        crate::floorplan::EdgeSide::West => "west",
+                    }
+                )),
+                // Literal positions snapped to the nearest edge slot.
+                PinLoc::Literal(p) => o.push_str(&format!(
+                    "bpin {} edge={} ; snapped from {},{}\n",
+                    pc.pin,
+                    crate::backplane::nearest_edge_name(&block.area, *p),
+                    p.x,
+                    p.y
+                )),
+            }
+        }
+    }
+    (o, connect)
+}
+
+/// Per-tool, per-feature support matrix rendered as report rows.
+pub fn support_matrix() -> BTreeMap<Feature, BTreeMap<Tool, Support>> {
+    let mut m = BTreeMap::new();
+    for f in Feature::ALL {
+        let mut row = BTreeMap::new();
+        for t in Tool::ALL {
+            row.insert(t, t.support(f));
+        }
+        m.insert(f, row);
+    }
+    m
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::abstracts::{AbsPin, Layer};
+    use crate::geom::{Pt, Rect};
+
+    fn tiny() -> (Floorplan, Vec<CellAbstract>) {
+        let mut fp = Floorplan::new("t", Rect::new(Pt::new(0, 0), Pt::new(49, 49)))
+            .with_rule(crate::floorplan::NetRule::new("clk").width(2).spacing(1).shielded());
+        fp.globals
+            .insert("VDD".into(), GlobalStrategy::Ring);
+        fp.globals
+            .insert("CLK".into(), GlobalStrategy::Tree);
+        let mut pin = AbsPin::new("A", Layer::M1, Rect::new(Pt::new(1, 1), Pt::new(1, 1)));
+        pin.props.must_connect = true;
+        let lib = vec![CellAbstract::new("inv", 4, 6).with_pin(pin)];
+        (fp, lib)
+    }
+
+    #[test]
+    fn tools_disagree_on_key_features() {
+        assert_eq!(Tool::GridRoute.support(Feature::NetSpacing), Support::Native);
+        assert_eq!(Tool::CellPath.support(Feature::NetSpacing), Support::Unsupported);
+        assert_eq!(Tool::GridRoute.support(Feature::Shielding), Support::Emulated);
+        assert_eq!(Tool::CellPath.support(Feature::Shielding), Support::Native);
+        assert_eq!(
+            Tool::GridRoute.support(Feature::PinAccessProperty),
+            Support::Native
+        );
+        assert_eq!(
+            Tool::CellPath.support(Feature::PinAccessProperty),
+            Support::Unsupported
+        );
+    }
+
+    #[test]
+    fn matrix_covers_every_feature_and_tool() {
+        let m = support_matrix();
+        assert_eq!(m.len(), Feature::ALL.len());
+        for row in m.values() {
+            assert_eq!(row.len(), 2);
+        }
+        // No feature is supported identically by both tools everywhere —
+        // check at least a handful differ.
+        let differing = m
+            .values()
+            .filter(|row| row[&Tool::GridRoute] != row[&Tool::CellPath])
+            .count();
+        assert!(differing >= 8, "only {differing} features differ");
+    }
+
+    #[test]
+    fn gridroute_deck_carries_properties() {
+        let (fp, lib) = tiny();
+        let deck = write_gridroute(&fp, &lib);
+        assert!(deck.contains("ACCESS NSEW"));
+        assert!(deck.contains("MUSTCONNECT"));
+        // Shield emulated as spacing+1 = 2.
+        assert!(deck.contains("NETRULE clk WIDTH 2 SPACING 2"));
+        assert!(deck.contains("RING VDD"));
+    }
+
+    #[test]
+    fn cellpath_deck_uses_external_connect_file() {
+        let (fp, lib) = tiny();
+        let (deck, connect) = write_cellpath(&fp, &lib);
+        assert!(!deck.contains("ACCESS"), "no access properties");
+        assert!(!deck.contains("spacing"), "spacing unsupported");
+        assert!(deck.contains("shield=yes"));
+        assert!(connect.contains("must inv A"));
+        // Ring strategy is lost.
+        assert!(!deck.contains("VDD"));
+        assert!(deck.contains("tree CLK"));
+    }
+}

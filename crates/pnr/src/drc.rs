@@ -1,0 +1,301 @@
+//! Post-route checks: coupling, spacing intent, and current density.
+//!
+//! Section 4: "Coupling capacitance can cause all sorts of problems,
+//! but can be controlled by shortening wire length, increasing spacing,
+//! or even by shielding. Minimum metal widths are also only appropriate
+//! for typical drive currents; wider widths must be used for nets with
+//! larger currents."
+
+use std::collections::BTreeMap;
+
+use crate::floorplan::Floorplan;
+use crate::geom::Pt;
+use crate::route::{RouteResult, SHIELD};
+
+/// Current capacity of one track width, in mA.
+pub const MA_PER_TRACK: f64 = 4.0;
+
+/// Coupling summary for one net.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct NetCoupling {
+    /// Cells of this net adjacent to a foreign signal net.
+    pub coupled_cells: usize,
+    /// Cells adjacent to a shield trace (protected).
+    pub shielded_cells: usize,
+}
+
+/// One current-density violation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CurrentViolation {
+    /// Net name.
+    pub net: String,
+    /// Required current in mA.
+    pub required_ma: f64,
+    /// Routed capacity in mA.
+    pub capacity_ma: f64,
+}
+
+/// One spacing-intent violation: the canonical floorplan demanded
+/// spacing the routed result does not deliver.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SpacingViolation {
+    /// Net name.
+    pub net: String,
+    /// Demanded spacing.
+    pub demanded: i32,
+    /// Offending locations (layer, point) counted.
+    pub offenders: usize,
+}
+
+/// Full DRC report.
+#[derive(Debug, Clone, Default)]
+pub struct DrcReport {
+    /// Per-net coupling.
+    pub coupling: BTreeMap<String, NetCoupling>,
+    /// Current-density violations.
+    pub current: Vec<CurrentViolation>,
+    /// Spacing-intent violations.
+    pub spacing: Vec<SpacingViolation>,
+}
+
+impl DrcReport {
+    /// Total coupled cells across nets.
+    pub fn total_coupling(&self) -> usize {
+        self.coupling.values().map(|c| c.coupled_cells).sum()
+    }
+
+    /// Coupling for one net (zero when unrouted).
+    pub fn coupling_of(&self, net: &str) -> usize {
+        self.coupling.get(net).map(|c| c.coupled_cells).unwrap_or(0)
+    }
+}
+
+/// Runs the checks against a routed result and the *canonical*
+/// floorplan intent (not the tool-filtered constraints — that is the
+/// point: a tool that dropped a constraint fails the intent check).
+pub fn check(result: &RouteResult, fp: &Floorplan) -> DrcReport {
+    let grid = &result.grid;
+    let mut report = DrcReport::default();
+
+    // Coupling: same-layer 4-adjacency between different signal nets.
+    for layer in 0..2usize {
+        for y in 0..grid.height {
+            for x in 0..grid.width {
+                let p = Pt::new(x, y);
+                let v = grid.at(layer, p);
+                if v < 0 {
+                    continue;
+                }
+                let name = grid.net_names[v as usize].clone();
+                for (dx, dy) in [(1, 0), (0, 1)] {
+                    let q = Pt::new(x + dx, y + dy);
+                    let w = grid.at(layer, q);
+                    if w >= 0 && w != v {
+                        report
+                            .coupling
+                            .entry(name.clone())
+                            .or_default()
+                            .coupled_cells += 1;
+                        let other = grid.net_names[w as usize].clone();
+                        report.coupling.entry(other).or_default().coupled_cells += 1;
+                    } else if w == SHIELD {
+                        report
+                            .coupling
+                            .entry(name.clone())
+                            .or_default()
+                            .shielded_cells += 1;
+                    }
+                }
+            }
+        }
+    }
+
+    // Current density: demanded current vs routed width capacity.
+    for (net, width) in &result.widths {
+        let rule = fp.rule_for(net);
+        let capacity = *width as f64 * MA_PER_TRACK;
+        if rule.current_ma > capacity {
+            report.current.push(CurrentViolation {
+                net: net.clone(),
+                required_ma: rule.current_ma,
+                capacity_ma: capacity,
+            });
+        }
+    }
+
+    // Spacing intent: canonical rules with spacing > 0.
+    for rule in fp.net_rules.values() {
+        if rule.spacing <= 0 {
+            continue;
+        }
+        let Some(net_id) = grid.net_names.iter().position(|n| n == &rule.net) else {
+            continue;
+        };
+        let net_id = net_id as i32;
+        let mut offenders = 0usize;
+        for layer in 0..2usize {
+            for y in 0..grid.height {
+                for x in 0..grid.width {
+                    let p = Pt::new(x, y);
+                    if grid.at(layer, p) != net_id {
+                        continue;
+                    }
+                    'scan: for dx in -rule.spacing..=rule.spacing {
+                        for dy in -rule.spacing..=rule.spacing {
+                            if dx == 0 && dy == 0 {
+                                continue;
+                            }
+                            let w = grid.at(layer, Pt::new(x + dx, y + dy));
+                            if w >= 0 && w != net_id {
+                                offenders += 1;
+                                break 'scan;
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        if offenders > 0 {
+            report.spacing.push(SpacingViolation {
+                net: rule.net.clone(),
+                demanded: rule.spacing,
+                offenders,
+            });
+        }
+    }
+
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::abstracts::{AbsPin, CellAbstract, Layer};
+    use crate::backplane::EffectiveRule;
+    use crate::floorplan::NetRule;
+    use crate::geom::Rect;
+    use crate::netlist::PhysNetlist;
+    use crate::route::{route, RouteConfig};
+    use std::collections::BTreeMap;
+
+    /// Two parallel 2-pin nets forced close together. Pads are 1x1 so
+    /// hand placements can sit one track apart without overlapping.
+    fn parallel_problem() -> (PhysNetlist, Floorplan) {
+        let mut nl = PhysNetlist::default();
+        let a = nl.add_abstract(
+            CellAbstract::new("pad", 1, 1)
+                .with_pin(AbsPin::new("P", Layer::M1, Rect::new(Pt::new(0, 0), Pt::new(0, 0)))),
+        );
+        for i in 0..4 {
+            nl.add_cell(format!("p{i}"), a);
+        }
+        nl.add_net("agg", vec![(0, "P".into()), (1, "P".into())]);
+        nl.add_net("vic", vec![(2, "P".into()), (3, "P".into())]);
+        let fp = Floorplan::new("f", Rect::new(Pt::new(0, 0), Pt::new(39, 39)));
+        (nl, fp)
+    }
+
+    #[test]
+    fn coupling_counts_adjacent_foreign_nets() {
+        let (mut nl, fp) = parallel_problem();
+        // Hand placement: two horizontal nets one track apart.
+        nl.cells[0].loc = Some(Pt::new(2, 10));
+        nl.cells[1].loc = Some(Pt::new(30, 10));
+        nl.cells[2].loc = Some(Pt::new(2, 13));
+        nl.cells[3].loc = Some(Pt::new(30, 13));
+        let r = route(&nl, &fp, &BTreeMap::new(), RouteConfig::default());
+        assert_eq!(r.routed, 2);
+        let report = check(&r, &fp);
+        // Two straight wires at y=10 and y=13 don't couple (distance 3),
+        // but paths may jog; just assert symmetry of the metric.
+        assert_eq!(
+            report.coupling_of("agg") > 0,
+            report.coupling_of("vic") > 0
+        );
+    }
+
+    #[test]
+    fn spacing_rule_reduces_coupling() {
+        let (mut nl, fp0) = parallel_problem();
+        nl.cells[0].loc = Some(Pt::new(2, 10));
+        nl.cells[1].loc = Some(Pt::new(30, 10));
+        nl.cells[2].loc = Some(Pt::new(2, 11));
+        nl.cells[3].loc = Some(Pt::new(30, 11));
+        // One track apart: the minimum-rule router couples the whole
+        // run. Canonical intent: vic wants 2 tracks of spacing.
+        let fp = Floorplan::new("f", fp0.die).with_rule(NetRule::new("vic").spacing(2));
+
+        // Tool that honours spacing.
+        let mut rules = BTreeMap::new();
+        rules.insert(
+            "vic".to_string(),
+            EffectiveRule {
+                net: "vic".into(),
+                width: 1,
+                spacing: 2,
+                shield: false,
+                max_length: 0,
+            },
+        );
+        let honored = route(&nl, &fp, &rules, RouteConfig::default());
+        let honored_drc = check(&honored, &fp);
+
+        // Tool that lost the spacing constraint.
+        let ignored = route(&nl, &fp, &BTreeMap::new(), RouteConfig::default());
+        let ignored_drc = check(&ignored, &fp);
+
+        assert!(honored.routed == 2 && ignored.routed == 2);
+        // Honouring the rule strictly reduces coupling on the victim
+        // (the forced terminal adjacencies remain; the channel run is
+        // clean).
+        assert!(
+            honored_drc.coupling_of("vic") < ignored_drc.coupling_of("vic"),
+            "honored {} vs ignored {}",
+            honored_drc.coupling_of("vic"),
+            ignored_drc.coupling_of("vic")
+        );
+        // The intent check flags far more offenders on the tool that
+        // dropped the rule.
+        let off = |d: &DrcReport| d.spacing.iter().map(|v| v.offenders).sum::<usize>();
+        assert!(
+            off(&honored_drc) < off(&ignored_drc),
+            "honored {} vs ignored {}",
+            off(&honored_drc),
+            off(&ignored_drc)
+        );
+    }
+
+    #[test]
+    fn current_density_checks_routed_width() {
+        let (mut nl, fp0) = parallel_problem();
+        nl.cells[0].loc = Some(Pt::new(2, 10));
+        nl.cells[1].loc = Some(Pt::new(30, 10));
+        nl.cells[2].loc = Some(Pt::new(2, 20));
+        nl.cells[3].loc = Some(Pt::new(30, 20));
+        // agg carries 10 mA: needs width >= 3 (4 mA per track).
+        let fp = Floorplan::new("f", fp0.die)
+            .with_rule(NetRule::new("agg").width(3).current(10.0));
+
+        let mut rules = BTreeMap::new();
+        rules.insert(
+            "agg".to_string(),
+            EffectiveRule {
+                net: "agg".into(),
+                width: 3,
+                spacing: 0,
+                shield: false,
+                max_length: 0,
+            },
+        );
+        let good = check(&route(&nl, &fp, &rules, RouteConfig::default()), &fp);
+        assert!(good.current.is_empty(), "{:?}", good.current);
+
+        // A tool that lost the width constraint routes at width 1.
+        let bad = check(
+            &route(&nl, &fp, &BTreeMap::new(), RouteConfig::default()),
+            &fp,
+        );
+        assert_eq!(bad.current.len(), 1);
+        assert_eq!(bad.current[0].capacity_ma, MA_PER_TRACK);
+    }
+}

@@ -1,0 +1,257 @@
+//! Floorplans and routing constraints.
+//!
+//! Section 4, "Block floorplanning": "a designer makes decisions on
+//! block aspect ratios and size, general and literal pin locations, and
+//! special blockages marking keep out zones. He also defines the
+//! general routing strategies for global signals such as power, ground
+//! and clock." And "Interconnect topology": "routers should be able to
+//! accept width specifications for selected nets", spacing, shielding.
+
+use std::collections::BTreeMap;
+
+use crate::geom::{Pt, Rect};
+
+/// Which die edge a pin constraint refers to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EdgeSide {
+    /// Top edge.
+    North,
+    /// Bottom edge.
+    South,
+    /// Right edge.
+    East,
+    /// Left edge.
+    West,
+}
+
+/// A block pin location constraint: literal or general.
+#[derive(Debug, Clone, PartialEq)]
+pub enum PinLoc {
+    /// Exact track position ("literal pin location").
+    Literal(Pt),
+    /// Somewhere along an edge ("general pin location").
+    Edge(EdgeSide),
+}
+
+/// A pin constraint on a block.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PinConstraint {
+    /// Pin (net) name.
+    pub pin: String,
+    /// Required location.
+    pub loc: PinLoc,
+}
+
+/// A block in the floorplan.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Block {
+    /// Block name.
+    pub name: String,
+    /// Placement area.
+    pub area: Rect,
+    /// Allowed aspect-ratio range `(min, max)` for soft blocks.
+    pub aspect: (f64, f64),
+    /// Pin constraints.
+    pub pins: Vec<PinConstraint>,
+}
+
+impl Block {
+    /// Creates a hard block with fixed area.
+    pub fn new(name: impl Into<String>, area: Rect) -> Self {
+        Block {
+            name: name.into(),
+            area,
+            aspect: (0.1, 10.0),
+            pins: Vec::new(),
+        }
+    }
+
+    /// True when the block's shape satisfies its aspect constraint.
+    pub fn aspect_ok(&self) -> bool {
+        let a = self.area.aspect();
+        a >= self.aspect.0 && a <= self.aspect.1
+    }
+}
+
+/// Global-signal routing strategies.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum GlobalStrategy {
+    /// Power/ground ring around the core.
+    Ring,
+    /// Vertical straps across the core.
+    Strap,
+    /// Balanced tree (clock).
+    Tree,
+}
+
+/// Per-net routing rules: "Coupling capacitance ... can be controlled
+/// by shortening wire length, increasing spacing, or even by shielding.
+/// ... wider widths must be used for nets with larger currents."
+#[derive(Debug, Clone, PartialEq)]
+pub struct NetRule {
+    /// Net name.
+    pub net: String,
+    /// Required trace width in tracks (1 = minimum).
+    pub width: i32,
+    /// Required spacing to neighbours in tracks (0 = minimum).
+    pub spacing: i32,
+    /// Route grounded shield wires alongside.
+    pub shield: bool,
+    /// Drive current in mA (used by the current-density check).
+    pub current_ma: f64,
+    /// Maximum allowed routed length (0 = unlimited).
+    pub max_length: i32,
+}
+
+impl NetRule {
+    /// A default (minimum-rule) entry for a net.
+    pub fn new(net: impl Into<String>) -> Self {
+        NetRule {
+            net: net.into(),
+            width: 1,
+            spacing: 0,
+            shield: false,
+            current_ma: 1.0,
+            max_length: 0,
+        }
+    }
+
+    /// Sets the trace width, builder style.
+    pub fn width(mut self, w: i32) -> Self {
+        self.width = w;
+        self
+    }
+
+    /// Sets the spacing, builder style.
+    pub fn spacing(mut self, s: i32) -> Self {
+        self.spacing = s;
+        self
+    }
+
+    /// Requests shielding, builder style.
+    pub fn shielded(mut self) -> Self {
+        self.shield = true;
+        self
+    }
+
+    /// Sets the drive current, builder style.
+    pub fn current(mut self, ma: f64) -> Self {
+        self.current_ma = ma;
+        self
+    }
+}
+
+/// The canonical floorplan the backplane feeds forward.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Floorplan {
+    /// Design name.
+    pub name: String,
+    /// Die area.
+    pub die: Rect,
+    /// Placed blocks.
+    pub blocks: Vec<Block>,
+    /// Keep-out zones ("special blockages marking keep out zones").
+    pub keepouts: Vec<Rect>,
+    /// Per-net routing rules.
+    pub net_rules: BTreeMap<String, NetRule>,
+    /// Global-signal strategies (`VDD`/`GND`/`CLK` → strategy).
+    pub globals: BTreeMap<String, GlobalStrategy>,
+}
+
+impl Floorplan {
+    /// Creates an empty floorplan over a die.
+    pub fn new(name: impl Into<String>, die: Rect) -> Self {
+        Floorplan {
+            name: name.into(),
+            die,
+            blocks: Vec::new(),
+            keepouts: Vec::new(),
+            net_rules: BTreeMap::new(),
+            globals: BTreeMap::new(),
+        }
+    }
+
+    /// Adds a net rule, builder style.
+    pub fn with_rule(mut self, rule: NetRule) -> Self {
+        self.net_rules.insert(rule.net.clone(), rule);
+        self
+    }
+
+    /// The rule for a net (a default minimum rule when unspecified).
+    pub fn rule_for(&self, net: &str) -> NetRule {
+        self.net_rules
+            .get(net)
+            .cloned()
+            .unwrap_or_else(|| NetRule::new(net))
+    }
+
+    /// Sanity checks: blocks within the die, no block overlaps, aspect
+    /// constraints met. Returns human-readable problems.
+    pub fn validate(&self) -> Vec<String> {
+        let mut out = Vec::new();
+        for b in &self.blocks {
+            if !(self.die.contains(Pt::new(b.area.x0, b.area.y0))
+                && self.die.contains(Pt::new(b.area.x1, b.area.y1)))
+            {
+                out.push(format!("block `{}` exceeds the die", b.name));
+            }
+            if !b.aspect_ok() {
+                out.push(format!(
+                    "block `{}` aspect {:.2} outside [{}, {}]",
+                    b.name,
+                    b.area.aspect(),
+                    b.aspect.0,
+                    b.aspect.1
+                ));
+            }
+        }
+        for (i, a) in self.blocks.iter().enumerate() {
+            for b in &self.blocks[i + 1..] {
+                if a.area.intersects(b.area) {
+                    out.push(format!("blocks `{}` and `{}` overlap", a.name, b.name));
+                }
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn net_rule_builder() {
+        let r = NetRule::new("clk").width(2).spacing(2).shielded().current(12.0);
+        assert_eq!(r.width, 2);
+        assert_eq!(r.spacing, 2);
+        assert!(r.shield);
+        assert_eq!(r.current_ma, 12.0);
+    }
+
+    #[test]
+    fn floorplan_validation_catches_problems() {
+        let mut fp = Floorplan::new("f", Rect::new(Pt::new(0, 0), Pt::new(99, 99)));
+        fp.blocks
+            .push(Block::new("ok", Rect::new(Pt::new(0, 0), Pt::new(30, 30))));
+        fp.blocks
+            .push(Block::new("overlap", Rect::new(Pt::new(20, 20), Pt::new(50, 50))));
+        fp.blocks.push(Block::new(
+            "outside",
+            Rect::new(Pt::new(90, 90), Pt::new(120, 95)),
+        ));
+        let mut thin = Block::new("thin", Rect::new(Pt::new(60, 0), Pt::new(61, 80)));
+        thin.aspect = (0.5, 2.0);
+        fp.blocks.push(thin);
+        let problems = fp.validate();
+        assert_eq!(problems.len(), 3, "{problems:?}");
+    }
+
+    #[test]
+    fn default_rule_for_unlisted_net() {
+        let fp = Floorplan::new("f", Rect::new(Pt::new(0, 0), Pt::new(9, 9)))
+            .with_rule(NetRule::new("clk").width(3));
+        assert_eq!(fp.rule_for("clk").width, 3);
+        assert_eq!(fp.rule_for("other").width, 1);
+    }
+}

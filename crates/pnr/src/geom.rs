@@ -1,0 +1,134 @@
+//! Integer geometry for physical design (units: routing-grid tracks).
+
+/// A point on the routing grid.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Pt {
+    /// Horizontal track index.
+    pub x: i32,
+    /// Vertical track index.
+    pub y: i32,
+}
+
+impl Pt {
+    /// Creates a point.
+    pub const fn new(x: i32, y: i32) -> Self {
+        Pt { x, y }
+    }
+
+    /// Manhattan distance.
+    pub fn manhattan(self, other: Pt) -> i32 {
+        (self.x - other.x).abs() + (self.y - other.y).abs()
+    }
+}
+
+impl std::fmt::Display for Pt {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "({},{})", self.x, self.y)
+    }
+}
+
+/// An axis-aligned rectangle, inclusive of all named tracks.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Rect {
+    /// Left column.
+    pub x0: i32,
+    /// Bottom row.
+    pub y0: i32,
+    /// Right column (inclusive).
+    pub x1: i32,
+    /// Top row (inclusive).
+    pub y1: i32,
+}
+
+impl Rect {
+    /// Creates a rect from two corners (any order).
+    pub fn new(a: Pt, b: Pt) -> Self {
+        Rect {
+            x0: a.x.min(b.x),
+            y0: a.y.min(b.y),
+            x1: a.x.max(b.x),
+            y1: a.y.max(b.y),
+        }
+    }
+
+    /// Width in tracks.
+    pub fn width(self) -> i32 {
+        self.x1 - self.x0 + 1
+    }
+
+    /// Height in tracks.
+    pub fn height(self) -> i32 {
+        self.y1 - self.y0 + 1
+    }
+
+    /// Area in grid cells.
+    pub fn area(self) -> i64 {
+        self.width() as i64 * self.height() as i64
+    }
+
+    /// True when `p` is inside.
+    pub fn contains(self, p: Pt) -> bool {
+        p.x >= self.x0 && p.x <= self.x1 && p.y >= self.y0 && p.y <= self.y1
+    }
+
+    /// True when the rects share any cell.
+    pub fn intersects(self, o: Rect) -> bool {
+        self.x0 <= o.x1 && o.x0 <= self.x1 && self.y0 <= o.y1 && o.y0 <= self.y1
+    }
+
+    /// Translated copy.
+    pub fn shifted(self, dx: i32, dy: i32) -> Rect {
+        Rect {
+            x0: self.x0 + dx,
+            y0: self.y0 + dy,
+            x1: self.x1 + dx,
+            y1: self.y1 + dy,
+        }
+    }
+
+    /// Grown by `m` tracks on every side.
+    pub fn inflated(self, m: i32) -> Rect {
+        Rect {
+            x0: self.x0 - m,
+            y0: self.y0 - m,
+            x1: self.x1 + m,
+            y1: self.y1 + m,
+        }
+    }
+
+    /// Aspect ratio height/width.
+    pub fn aspect(self) -> f64 {
+        self.height() as f64 / self.width() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rect_basics() {
+        let r = Rect::new(Pt::new(5, 1), Pt::new(2, 4));
+        assert_eq!((r.x0, r.y0, r.x1, r.y1), (2, 1, 5, 4));
+        assert_eq!(r.width(), 4);
+        assert_eq!(r.height(), 4);
+        assert_eq!(r.area(), 16);
+        assert!(r.contains(Pt::new(3, 3)));
+        assert!(!r.contains(Pt::new(6, 3)));
+    }
+
+    #[test]
+    fn intersection_and_inflation() {
+        let a = Rect::new(Pt::new(0, 0), Pt::new(3, 3));
+        let b = Rect::new(Pt::new(4, 4), Pt::new(6, 6));
+        assert!(!a.intersects(b));
+        assert!(a.inflated(1).intersects(b));
+        assert!(a.shifted(4, 4).intersects(b));
+    }
+
+    #[test]
+    fn aspect_ratio() {
+        let r = Rect::new(Pt::new(0, 0), Pt::new(3, 7));
+        assert_eq!(r.aspect(), 2.0);
+    }
+}

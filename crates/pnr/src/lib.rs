@@ -1,0 +1,52 @@
+//! # pnr — floorplanning, P&R dialects, and the backplane
+//!
+//! The IC-physical-design substrate for the CAD-interoperability
+//! workbench reproducing *Issues and Answers in CAD Tool
+//! Interoperability* (DAC 1996). Section 4 of the paper describes the
+//! HLD "place and route backplane"; this crate builds the whole stack
+//! it needs:
+//!
+//! * cell **abstracts** with the full pin-data complexity the paper
+//!   lists — access directions, must/multiple/equivalent/abutment
+//!   connection properties, blockages ([`abstracts`]),
+//! * canonical **floorplans** with block aspect constraints, pin
+//!   constraints, keep-outs, per-net width/spacing/shield rules, and
+//!   global-signal strategies ([`floorplan`]),
+//! * two deliberately incompatible **tool dialects** with per-feature
+//!   support tables ([`dialect`]),
+//! * the **backplane** mapping canonical constraints into each tool and
+//!   reporting coverage and loss ([`backplane`]),
+//! * a working **placer**, **maze router**, and **DRC** so dropped
+//!   constraints have measurable consequences ([`place`], [`route`],
+//!   [`drc`]),
+//! * a workload generator ([`gen`]).
+//!
+//! ## Example
+//!
+//! ```
+//! use pnr::gen::{generate, PnrGenConfig};
+//! use pnr::backplane;
+//!
+//! let (netlist, floorplan) = generate(&PnrGenConfig::default());
+//! let out = backplane::run(&floorplan, &netlist.lib);
+//! // Every tool loses something on this workload.
+//! assert!(!out.losses(pnr::dialect::Tool::CellPath).is_empty());
+//! ```
+
+pub mod abstracts;
+pub mod backplane;
+pub mod dialect;
+pub mod drc;
+pub mod floorplan;
+pub mod gen;
+pub mod geom;
+pub mod global_route;
+pub mod netlist;
+pub mod place;
+pub mod route;
+
+pub use abstracts::CellAbstract;
+pub use backplane::BackplaneOutput;
+pub use dialect::{Feature, Support, Tool};
+pub use floorplan::{Floorplan, NetRule};
+pub use netlist::PhysNetlist;

@@ -1,0 +1,159 @@
+//! The physical netlist: cells to place, nets to route.
+
+use std::collections::BTreeMap;
+
+use crate::abstracts::CellAbstract;
+use crate::geom::Pt;
+
+/// A cell instance to place.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PhysCell {
+    /// Instance name.
+    pub name: String,
+    /// Index into the abstract library.
+    pub abs: usize,
+    /// Placement location (set by the placer).
+    pub loc: Option<Pt>,
+}
+
+/// One pin reference: `(cell index, pin name)`.
+pub type PinRef = (usize, String);
+
+/// A net connecting pins.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PhysNet {
+    /// Net name.
+    pub name: String,
+    /// Connected pins.
+    pub pins: Vec<PinRef>,
+}
+
+/// A complete placement/routing problem instance.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct PhysNetlist {
+    /// Abstract library.
+    pub lib: Vec<CellAbstract>,
+    /// Cell instances.
+    pub cells: Vec<PhysCell>,
+    /// Nets.
+    pub nets: Vec<PhysNet>,
+}
+
+impl PhysNetlist {
+    /// Adds an abstract, returning its index.
+    pub fn add_abstract(&mut self, a: CellAbstract) -> usize {
+        self.lib.push(a);
+        self.lib.len() - 1
+    }
+
+    /// Adds a cell instance, returning its index.
+    pub fn add_cell(&mut self, name: impl Into<String>, abs: usize) -> usize {
+        self.cells.push(PhysCell {
+            name: name.into(),
+            abs,
+            loc: None,
+        });
+        self.cells.len() - 1
+    }
+
+    /// Adds a net.
+    pub fn add_net(&mut self, name: impl Into<String>, pins: Vec<PinRef>) {
+        self.nets.push(PhysNet {
+            name: name.into(),
+            pins,
+        });
+    }
+
+    /// The placed location of a pin, if its cell is placed.
+    pub fn pin_location(&self, pin: &PinRef) -> Option<Pt> {
+        let cell = self.cells.get(pin.0)?;
+        let at = cell.loc?;
+        self.lib[cell.abs].pin_at(&pin.1, at)
+    }
+
+    /// Half-perimeter wirelength over all nets (placed cells only).
+    pub fn hpwl(&self) -> i64 {
+        let mut total = 0i64;
+        for net in &self.nets {
+            let pts: Vec<Pt> = net
+                .pins
+                .iter()
+                .filter_map(|p| self.pin_location(p))
+                .collect();
+            if pts.len() < 2 {
+                continue;
+            }
+            let (mut x0, mut x1, mut y0, mut y1) = (i32::MAX, i32::MIN, i32::MAX, i32::MIN);
+            for p in &pts {
+                x0 = x0.min(p.x);
+                x1 = x1.max(p.x);
+                y0 = y0.min(p.y);
+                y1 = y1.max(p.y);
+            }
+            total += (x1 - x0) as i64 + (y1 - y0) as i64;
+        }
+        total
+    }
+
+    /// Per-cell connectivity degree (number of nets touching each
+    /// cell).
+    pub fn degrees(&self) -> Vec<usize> {
+        let mut d = vec![0usize; self.cells.len()];
+        for net in &self.nets {
+            let mut seen: BTreeMap<usize, ()> = BTreeMap::new();
+            for (c, _) in &net.pins {
+                if seen.insert(*c, ()).is_none() {
+                    d[*c] += 1;
+                }
+            }
+        }
+        d
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::abstracts::{AbsPin, Layer};
+    use crate::geom::Rect;
+
+    fn problem() -> PhysNetlist {
+        let mut nl = PhysNetlist::default();
+        let a = nl.add_abstract(
+            CellAbstract::new("inv", 4, 6)
+                .with_pin(AbsPin::new("A", Layer::M1, Rect::new(Pt::new(0, 2), Pt::new(0, 2))))
+                .with_pin(AbsPin::new("Y", Layer::M1, Rect::new(Pt::new(3, 2), Pt::new(3, 2)))),
+        );
+        let c0 = nl.add_cell("u0", a);
+        let c1 = nl.add_cell("u1", a);
+        nl.add_net("n", vec![(c0, "Y".into()), (c1, "A".into())]);
+        nl
+    }
+
+    #[test]
+    fn hpwl_requires_placement() {
+        let mut nl = problem();
+        assert_eq!(nl.hpwl(), 0);
+        nl.cells[0].loc = Some(Pt::new(0, 0));
+        nl.cells[1].loc = Some(Pt::new(10, 0));
+        // Y of u0 at (3,2); A of u1 at (10,2): HPWL = 7.
+        assert_eq!(nl.hpwl(), 7);
+    }
+
+    #[test]
+    fn degrees_count_distinct_nets() {
+        let nl = problem();
+        assert_eq!(nl.degrees(), vec![1, 1]);
+    }
+
+    #[test]
+    fn pin_location_resolution() {
+        let mut nl = problem();
+        nl.cells[0].loc = Some(Pt::new(5, 5));
+        assert_eq!(
+            nl.pin_location(&(0, "Y".into())),
+            Some(Pt::new(8, 7))
+        );
+        assert_eq!(nl.pin_location(&(1, "A".into())), None);
+    }
+}

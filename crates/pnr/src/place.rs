@@ -1,0 +1,159 @@
+//! A greedy row placer.
+//!
+//! Just enough placement that floorplan constraints (keep-outs, die
+//! area) and the router have something real to act on.
+
+use crate::floorplan::Floorplan;
+use crate::geom::{Pt, Rect};
+use crate::netlist::PhysNetlist;
+
+/// Placement statistics.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PlaceStats {
+    /// Cells placed.
+    pub placed: usize,
+    /// Cells that did not fit.
+    pub unplaced: usize,
+    /// Resulting half-perimeter wirelength.
+    pub hpwl: i64,
+    /// Rows used.
+    pub rows: usize,
+}
+
+/// Places cells into rows within the die, skipping keep-outs and block
+/// areas. Cells are ordered by connectivity (highest degree first) so
+/// strongly-connected cells cluster — a cheap wirelength heuristic.
+pub fn place(nl: &mut PhysNetlist, fp: &Floorplan) -> PlaceStats {
+    let mut stats = PlaceStats::default();
+    if nl.cells.is_empty() {
+        return stats;
+    }
+    let row_height = nl
+        .lib
+        .iter()
+        .map(|a| a.boundary.height())
+        .max()
+        .unwrap_or(1);
+    let margin = 2;
+
+    // Reserved areas: keep-outs plus floorplan blocks.
+    let mut reserved: Vec<Rect> = fp.keepouts.clone();
+    reserved.extend(fp.blocks.iter().map(|b| b.area));
+
+    // Order: highest connectivity first, stable by index.
+    let degrees = nl.degrees();
+    let mut order: Vec<usize> = (0..nl.cells.len()).collect();
+    order.sort_by_key(|&i| (std::cmp::Reverse(degrees[i]), i));
+
+    let mut x = fp.die.x0 + margin;
+    let mut y = fp.die.y0 + margin;
+    stats.rows = 1;
+
+    for idx in order {
+        let width = nl.lib[nl.cells[idx].abs].boundary.width();
+        let height = nl.lib[nl.cells[idx].abs].boundary.height();
+        let gap = 4; // routing channel between cells
+        loop {
+            if y + row_height > fp.die.y1 - margin {
+                stats.unplaced += 1;
+                break;
+            }
+            if x + width > fp.die.x1 - margin {
+                x = fp.die.x0 + margin;
+                y += row_height + gap;
+                stats.rows += 1;
+                continue;
+            }
+            let footprint = Rect::new(Pt::new(x, y), Pt::new(x + width - 1, y + height - 1));
+            if reserved.iter().any(|r| r.intersects(footprint)) {
+                x += width + gap;
+                continue;
+            }
+            nl.cells[idx].loc = Some(Pt::new(x, y));
+            reserved.push(footprint);
+            stats.placed += 1;
+            x += width + gap;
+            break;
+        }
+    }
+    stats.hpwl = nl.hpwl();
+    stats
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::abstracts::{AbsPin, CellAbstract, Layer};
+
+    fn netlist(cells: usize) -> PhysNetlist {
+        let mut nl = PhysNetlist::default();
+        let a = nl.add_abstract(
+            CellAbstract::new("inv", 4, 6)
+                .with_pin(AbsPin::new("A", Layer::M1, Rect::new(Pt::new(0, 2), Pt::new(0, 2))))
+                .with_pin(AbsPin::new("Y", Layer::M1, Rect::new(Pt::new(3, 2), Pt::new(3, 2)))),
+        );
+        for i in 0..cells {
+            nl.add_cell(format!("u{i}"), a);
+        }
+        for i in 1..cells {
+            nl.add_net(format!("n{i}"), vec![(i - 1, "Y".into()), (i, "A".into())]);
+        }
+        nl
+    }
+
+    #[test]
+    fn all_cells_fit_on_a_reasonable_die() {
+        let mut nl = netlist(20);
+        let fp = Floorplan::new("f", Rect::new(Pt::new(0, 0), Pt::new(79, 79)));
+        let stats = place(&mut nl, &fp);
+        assert_eq!(stats.placed, 20);
+        assert_eq!(stats.unplaced, 0);
+        assert!(stats.hpwl > 0);
+        // No overlaps.
+        let rects: Vec<Rect> = nl
+            .cells
+            .iter()
+            .map(|c| {
+                let a = &nl.lib[c.abs].boundary;
+                let p = c.loc.unwrap();
+                Rect::new(
+                    p,
+                    Pt::new(p.x + a.width() - 1, p.y + a.height() - 1),
+                )
+            })
+            .collect();
+        for (i, a) in rects.iter().enumerate() {
+            for b in &rects[i + 1..] {
+                assert!(!a.intersects(*b));
+            }
+        }
+    }
+
+    #[test]
+    fn keepouts_are_respected() {
+        let mut nl = netlist(10);
+        let mut fp = Floorplan::new("f", Rect::new(Pt::new(0, 0), Pt::new(59, 59)));
+        let zone = Rect::new(Pt::new(0, 0), Pt::new(30, 30));
+        fp.keepouts.push(zone);
+        let stats = place(&mut nl, &fp);
+        assert_eq!(stats.placed, 10);
+        for c in &nl.cells {
+            let p = c.loc.unwrap();
+            let a = &nl.lib[c.abs].boundary;
+            let footprint = Rect::new(
+                p,
+                Pt::new(p.x + a.width() - 1, p.y + a.height() - 1),
+            );
+            assert!(!footprint.intersects(zone), "{} at {p}", c.name);
+        }
+    }
+
+    #[test]
+    fn tiny_die_leaves_cells_unplaced() {
+        let mut nl = netlist(50);
+        let fp = Floorplan::new("f", Rect::new(Pt::new(0, 0), Pt::new(19, 19)));
+        let stats = place(&mut nl, &fp);
+        assert!(stats.unplaced > 0);
+        assert_eq!(stats.placed + stats.unplaced, 50);
+    }
+}

@@ -1,0 +1,557 @@
+//! A two-layer maze router that honours (or ignores) per-net
+//! constraints.
+//!
+//! The router exists so the Section 4 claims are measurable: feeding
+//! width/spacing/shield constraints forward demonstrably changes
+//! coupling and current-density results ([`crate::drc`]); dropping them
+//! (as a tool without the feature must) demonstrably hurts.
+
+use std::collections::{BTreeMap, VecDeque};
+
+use crate::backplane::EffectiveRule;
+use crate::floorplan::Floorplan;
+use crate::geom::{Pt, Rect};
+use crate::netlist::PhysNetlist;
+
+/// Cell ownership markers in the routing grid.
+pub const FREE: i32 = -1;
+/// Obstacle (cell footprint, keep-out).
+pub const BLOCKED: i32 = -2;
+/// Shield trace.
+pub const SHIELD: i32 = -3;
+
+/// The routing grid: two layers of net-ownership cells.
+#[derive(Debug, Clone)]
+pub struct RouteGrid {
+    /// Grid width in tracks.
+    pub width: i32,
+    /// Grid height in tracks.
+    pub height: i32,
+    /// Ownership per layer (`[M1, M2]`), row-major.
+    pub cells: [Vec<i32>; 2],
+    /// Net names by id.
+    pub net_names: Vec<String>,
+    /// Effective spacing demand per net id (spacing is mutual: a net's
+    /// halo repels later routes even when those have no rule).
+    pub net_spacing: Vec<i32>,
+    /// Pin-access reservations per layer: a cell reserved for one net
+    /// may not be entered by any other (keeps early routes from walling
+    /// in a later net's only pin escape).
+    pub reserve: [Vec<i32>; 2],
+}
+
+impl RouteGrid {
+    /// Creates an empty grid of the given size (all cells free) —
+    /// used by global routing and tests.
+    pub fn empty(width: i32, height: i32) -> Self {
+        Self::new(width, height)
+    }
+
+    /// Claims a cell for a global structure (see
+    /// [`crate::global_route`]).
+    pub fn set_global(&mut self, layer: usize, p: Pt) {
+        self.set(layer, p, crate::global_route::GLOBAL);
+    }
+
+    fn new(width: i32, height: i32) -> Self {
+        let n = (width as usize) * (height as usize);
+        RouteGrid {
+            width,
+            height,
+            cells: [vec![FREE; n], vec![FREE; n]],
+            net_names: Vec::new(),
+            net_spacing: Vec::new(),
+            reserve: [vec![FREE; n], vec![FREE; n]],
+        }
+    }
+
+    fn idx(&self, p: Pt) -> Option<usize> {
+        if p.x < 0 || p.y < 0 || p.x >= self.width || p.y >= self.height {
+            return None;
+        }
+        Some((p.y as usize) * (self.width as usize) + p.x as usize)
+    }
+
+    /// Ownership of a cell (`BLOCKED` outside the grid).
+    pub fn at(&self, layer: usize, p: Pt) -> i32 {
+        match self.idx(p) {
+            Some(i) => self.cells[layer][i],
+            None => BLOCKED,
+        }
+    }
+
+    fn set(&mut self, layer: usize, p: Pt, v: i32) {
+        if let Some(i) = self.idx(p) {
+            self.cells[layer][i] = v;
+        }
+    }
+
+    fn reserve_at(&self, layer: usize, p: Pt) -> i32 {
+        match self.idx(p) {
+            Some(i) => self.reserve[layer][i],
+            None => BLOCKED,
+        }
+    }
+
+    fn set_reserve(&mut self, layer: usize, p: Pt, v: i32) {
+        if let Some(i) = self.idx(p) {
+            self.reserve[layer][i] = v;
+        }
+    }
+
+    /// True when no foreign net cell sits within the *mutual* spacing
+    /// requirement of `p` on `layer`: the scan radius is the larger of
+    /// this net's demand and any neighbour's demand, so a constrained
+    /// net's halo repels later unconstrained routes too.
+    fn spacing_ok(&self, layer: usize, p: Pt, s: i32, net: i32) -> bool {
+        let max_other = self.net_spacing.iter().copied().max().unwrap_or(0);
+        let r = s.max(max_other);
+        if r <= 0 {
+            return true;
+        }
+        for dx in -r..=r {
+            for dy in -r..=r {
+                if dx == 0 && dy == 0 {
+                    continue;
+                }
+                let q = Pt::new(p.x + dx, p.y + dy);
+                let v = self.at(layer, q);
+                if v >= 0 && v != net {
+                    let d = dx.abs().max(dy.abs());
+                    let req = s.max(self.net_spacing.get(v as usize).copied().unwrap_or(0));
+                    if d <= req {
+                        return false;
+                    }
+                }
+            }
+        }
+        true
+    }
+}
+
+/// Routing options.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RouteConfig {
+    /// Honour per-net width/spacing/shield constraints. Disabling this
+    /// is the "no constraint feed-forward" ablation.
+    pub honor_rules: bool,
+}
+
+impl Default for RouteConfig {
+    fn default() -> Self {
+        RouteConfig { honor_rules: true }
+    }
+}
+
+/// Routing outcome.
+#[derive(Debug, Clone)]
+pub struct RouteResult {
+    /// Nets routed successfully.
+    pub routed: usize,
+    /// Nets that could not be completed.
+    pub failed: Vec<String>,
+    /// Total path cells.
+    pub wirelength: i64,
+    /// Layer changes.
+    pub vias: usize,
+    /// Final grid (for DRC).
+    pub grid: RouteGrid,
+    /// Effective routed width per net.
+    pub widths: BTreeMap<String, i32>,
+}
+
+/// Routes every net of a placed netlist.
+///
+/// `rules` carries the *effective* constraints a tool honours (from the
+/// backplane); with `cfg.honor_rules == false` the router ignores them
+/// entirely.
+pub fn route(
+    nl: &PhysNetlist,
+    fp: &Floorplan,
+    rules: &BTreeMap<String, EffectiveRule>,
+    cfg: RouteConfig,
+) -> RouteResult {
+    let width = fp.die.width();
+    let height = fp.die.height();
+    let mut grid = RouteGrid::new(width, height);
+
+    // Obstacles: cell footprints (both layers' M1 only — M2 routes over
+    // cells), keep-outs (both layers).
+    for cell in &nl.cells {
+        let Some(at) = cell.loc else { continue };
+        let b = &nl.lib[cell.abs].boundary;
+        for x in at.x..at.x + b.width() {
+            for y in at.y..at.y + b.height() {
+                grid.set(0, Pt::new(x - fp.die.x0, y - fp.die.y0), BLOCKED);
+            }
+        }
+    }
+    for k in &fp.keepouts {
+        let r = Rect::new(
+            Pt::new(k.x0 - fp.die.x0, k.y0 - fp.die.y0),
+            Pt::new(k.x1 - fp.die.x0, k.y1 - fp.die.y0),
+        );
+        for x in r.x0..=r.x1 {
+            for y in r.y0..=r.y1 {
+                grid.set(0, Pt::new(x, y), BLOCKED);
+                grid.set(1, Pt::new(x, y), BLOCKED);
+            }
+        }
+    }
+
+    // Net ids are assigned up front so reservations and mutual spacing
+    // can refer to nets not yet routed.
+    for net in &nl.nets {
+        grid.net_names.push(net.name.clone());
+        let spacing = if cfg.honor_rules {
+            rules.get(&net.name).map(|r| r.spacing).unwrap_or(0)
+        } else {
+            0
+        };
+        grid.net_spacing.push(spacing);
+    }
+
+    // Pin-escape reservations: every pin's grid cell, its free M1
+    // neighbours, and the M2 cell above it are reserved for that pin's
+    // net. Cells that are other nets' pins stay unreserved.
+    let mut pin_cells: std::collections::BTreeMap<(usize, i32, i32), i32> =
+        std::collections::BTreeMap::new();
+    for (net_id, net) in nl.nets.iter().enumerate() {
+        for pin in &net.pins {
+            if let Some(loc) = nl.pin_location(pin) {
+                let p = Pt::new(loc.x - fp.die.x0, loc.y - fp.die.y0);
+                pin_cells.insert((0usize, p.x, p.y), net_id as i32);
+            }
+        }
+    }
+    for (&(l, x, y), &net_id) in &pin_cells {
+        let p = Pt::new(x, y);
+        let mut candidates = vec![(1 - l, p)];
+        for (dx, dy) in [(1, 0), (-1, 0), (0, 1), (0, -1)] {
+            candidates.push((l, Pt::new(x + dx, y + dy)));
+        }
+        for (cl, cp) in candidates {
+            if pin_cells.contains_key(&(cl, cp.x, cp.y)) {
+                continue;
+            }
+            if grid.at(cl, cp) == FREE && grid.reserve_at(cl, cp) == FREE {
+                grid.set_reserve(cl, cp, net_id);
+            }
+        }
+    }
+
+    // Net ordering: constrained nets first, then by pin count.
+    let mut order: Vec<usize> = (0..nl.nets.len()).collect();
+    order.sort_by_key(|&i| {
+        let name = &nl.nets[i].name;
+        let constrained = rules
+            .get(name)
+            .map(|r| r.width > 1 || r.spacing > 0 || r.shield)
+            .unwrap_or(false);
+        (std::cmp::Reverse(constrained as u8), nl.nets[i].pins.len())
+    });
+
+    let mut result = RouteResult {
+        routed: 0,
+        failed: Vec::new(),
+        wirelength: 0,
+        vias: 0,
+        grid: RouteGrid::new(1, 1), // replaced at the end
+        widths: BTreeMap::new(),
+    };
+
+    for net_idx in order {
+        let net = &nl.nets[net_idx];
+        let net_id = net_idx as i32;
+
+        let default_rule = EffectiveRule {
+            net: net.name.clone(),
+            width: 1,
+            spacing: 0,
+            shield: false,
+            max_length: 0,
+        };
+        let rule = if cfg.honor_rules {
+            rules.get(&net.name).cloned().unwrap_or(default_rule)
+        } else {
+            default_rule
+        };
+
+        // Terminals in grid coordinates, each on its pin's layer.
+        let mut terminals: Vec<(usize, Pt)> = Vec::new();
+        for pin in &net.pins {
+            let Some(loc) = nl.pin_location(pin) else {
+                continue;
+            };
+            let layer = if nl.lib[nl.cells[pin.0].abs]
+                .pin(&pin.1)
+                .map(|p| p.layer.is_horizontal())
+                .unwrap_or(true)
+            {
+                0
+            } else {
+                1
+            };
+            terminals.push((layer, Pt::new(loc.x - fp.die.x0, loc.y - fp.die.y0)));
+        }
+        if terminals.len() < 2 {
+            continue;
+        }
+
+        // Seed: first terminal belongs to the net.
+        grid.set(terminals[0].0, terminals[0].1, net_id);
+        let mut net_cells: Vec<(usize, Pt)> = vec![terminals[0]];
+        let mut ok = true;
+
+        for &(tl, tp) in &terminals[1..] {
+            grid.set(tl, tp, net_id);
+            match bfs(&grid, net_id, (tl, tp), &rule) {
+                Some(path) => {
+                    result.vias += path
+                        .windows(2)
+                        .filter(|w| w[0].0 != w[1].0)
+                        .count();
+                    for &(l, p) in &path {
+                        grid.set(l, p, net_id);
+                        net_cells.push((l, p));
+                    }
+                    result.wirelength += path.len() as i64;
+                }
+                None => {
+                    ok = false;
+                    break;
+                }
+            }
+        }
+
+        if !ok {
+            result.failed.push(net.name.clone());
+            continue;
+        }
+        result.routed += 1;
+        result.widths.insert(net.name.clone(), rule.width);
+
+        // Widen: claim extra adjacent tracks for width > 1.
+        if rule.width > 1 {
+            for &(l, p) in &net_cells.clone() {
+                for k in 1..rule.width {
+                    let q = if l == 0 {
+                        Pt::new(p.x, p.y + k)
+                    } else {
+                        Pt::new(p.x + k, p.y)
+                    };
+                    if grid.at(l, q) == FREE {
+                        grid.set(l, q, net_id);
+                    }
+                }
+            }
+        }
+        // Shield: claim a ring of free neighbours as shield traces.
+        if rule.shield {
+            for &(l, p) in &net_cells {
+                for (dx, dy) in [(1, 0), (-1, 0), (0, 1), (0, -1)] {
+                    let q = Pt::new(p.x + dx, p.y + dy);
+                    if grid.at(l, q) == FREE {
+                        grid.set(l, q, SHIELD);
+                    }
+                }
+            }
+        }
+    }
+
+    result.grid = grid;
+    result
+}
+
+/// BFS from `start` to any cell already owned by `net_id`.
+fn bfs(
+    grid: &RouteGrid,
+    net_id: i32,
+    start: (usize, Pt),
+    rule: &EffectiveRule,
+) -> Option<Vec<(usize, Pt)>> {
+    let n = (grid.width as usize) * (grid.height as usize);
+    // prev[layer][idx]: encoded predecessor + 1, 0 = unvisited.
+    let mut prev = [vec![0u32; n], vec![0u32; n]];
+    let encode = |l: usize, i: usize| (((l << 30) | i) + 1) as u32;
+    let decode = |v: u32| {
+        let v = (v - 1) as usize;
+        ((v >> 30) & 1, v & ((1 << 30) - 1))
+    };
+
+    let start_idx = grid.idx(start.1)?;
+    prev[start.0][start_idx] = encode(start.0, start_idx); // self-loop marks start
+    let mut q = VecDeque::new();
+    q.push_back(start);
+
+    while let Some((l, p)) = q.pop_front() {
+        let here = grid.idx(p).expect("in grid");
+        // Goal test: adjacent own-net cell (not the start itself).
+        if grid.at(l, p) == net_id && !(l == start.0 && p == start.1) {
+            // Reconstruct.
+            let mut path = Vec::new();
+            let (mut cl, mut ci) = (l, here);
+            loop {
+                let pt = Pt::new(
+                    (ci % grid.width as usize) as i32,
+                    (ci / grid.width as usize) as i32,
+                );
+                path.push((cl, pt));
+                let enc = prev[cl][ci];
+                let (nl_, ni) = decode(enc);
+                if nl_ == cl && ni == ci {
+                    break;
+                }
+                cl = nl_;
+                ci = ni;
+            }
+            path.reverse();
+            return Some(path);
+        }
+        // Moves: 4 planar + layer switch.
+        let moves: [(usize, Pt); 5] = [
+            (l, Pt::new(p.x + 1, p.y)),
+            (l, Pt::new(p.x - 1, p.y)),
+            (l, Pt::new(p.x, p.y + 1)),
+            (l, Pt::new(p.x, p.y - 1)),
+            (1 - l, p),
+        ];
+        for (ml, mp) in moves {
+            let Some(mi) = grid.idx(mp) else { continue };
+            if prev[ml][mi] != 0 {
+                continue;
+            }
+            let owner = grid.at(ml, mp);
+            let reserved = grid.reserve_at(ml, mp);
+            let enterable = owner == net_id
+                || (owner == FREE
+                    && (reserved == FREE || reserved == net_id)
+                    && grid.spacing_ok(ml, mp, rule.spacing, net_id));
+            if !enterable {
+                continue;
+            }
+            prev[ml][mi] = encode(l, here);
+            q.push_back((ml, mp));
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::abstracts::{AbsPin, CellAbstract, Layer};
+    use crate::place::place;
+
+    fn placed_problem(cells: usize, die: i32) -> (PhysNetlist, Floorplan) {
+        let mut nl = PhysNetlist::default();
+        let a = nl.add_abstract(
+            CellAbstract::new("inv", 4, 6)
+                .with_pin(AbsPin::new("A", Layer::M1, Rect::new(Pt::new(0, 2), Pt::new(0, 2))))
+                .with_pin(AbsPin::new("Y", Layer::M1, Rect::new(Pt::new(3, 2), Pt::new(3, 2)))),
+        );
+        for i in 0..cells {
+            nl.add_cell(format!("u{i}"), a);
+        }
+        for i in 1..cells {
+            nl.add_net(format!("n{i}"), vec![(i - 1, "Y".into()), (i, "A".into())]);
+        }
+        let fp = Floorplan::new("f", Rect::new(Pt::new(0, 0), Pt::new(die - 1, die - 1)));
+        (nl, fp)
+    }
+
+    #[test]
+    fn chain_routes_completely() {
+        let (mut nl, fp) = placed_problem(8, 60);
+        place(&mut nl, &fp);
+        let r = route(&nl, &fp, &BTreeMap::new(), RouteConfig::default());
+        assert_eq!(r.routed, 7, "failed: {:?}", r.failed);
+        assert!(r.failed.is_empty());
+        assert!(r.wirelength > 0);
+    }
+
+    #[test]
+    fn wide_net_claims_extra_tracks() {
+        let (mut nl, fp) = placed_problem(3, 60);
+        place(&mut nl, &fp);
+        let mut rules = BTreeMap::new();
+        rules.insert(
+            "n1".to_string(),
+            EffectiveRule {
+                net: "n1".into(),
+                width: 3,
+                spacing: 0,
+                shield: false,
+                max_length: 0,
+            },
+        );
+        let r = route(&nl, &fp, &rules, RouteConfig::default());
+        assert_eq!(r.widths.get("n1"), Some(&3));
+        // More cells owned by n1 than the bare path.
+        let n1_id = r.grid.net_names.iter().position(|n| n == "n1").unwrap() as i32;
+        let owned = r.grid.cells[0]
+            .iter()
+            .chain(&r.grid.cells[1])
+            .filter(|&&v| v == n1_id)
+            .count() as i64;
+        assert!(owned > r.wirelength / 2);
+    }
+
+    #[test]
+    fn shielded_net_reserves_neighbours() {
+        let (mut nl, fp) = placed_problem(3, 60);
+        place(&mut nl, &fp);
+        let mut rules = BTreeMap::new();
+        rules.insert(
+            "n1".to_string(),
+            EffectiveRule {
+                net: "n1".into(),
+                width: 1,
+                spacing: 0,
+                shield: true,
+                max_length: 0,
+            },
+        );
+        let r = route(&nl, &fp, &rules, RouteConfig::default());
+        let shields = r.grid.cells[0]
+            .iter()
+            .chain(&r.grid.cells[1])
+            .filter(|&&v| v == SHIELD)
+            .count();
+        assert!(shields > 0);
+    }
+
+    #[test]
+    fn ignoring_rules_changes_nothing_for_plain_nets() {
+        let (mut nl, fp) = placed_problem(5, 60);
+        place(&mut nl, &fp);
+        let honored = route(&nl, &fp, &BTreeMap::new(), RouteConfig::default());
+        let ignored = route(
+            &nl,
+            &fp,
+            &BTreeMap::new(),
+            RouteConfig { honor_rules: false },
+        );
+        assert_eq!(honored.routed, ignored.routed);
+    }
+
+    #[test]
+    fn impossible_route_reports_failure() {
+        let mut nl = PhysNetlist::default();
+        let a = nl.add_abstract(
+            CellAbstract::new("pad", 2, 2)
+                .with_pin(AbsPin::new("P", Layer::M1, Rect::new(Pt::new(0, 0), Pt::new(0, 0)))),
+        );
+        let c0 = nl.add_cell("l", a);
+        let c1 = nl.add_cell("r", a);
+        nl.cells[0].loc = Some(Pt::new(1, 5));
+        nl.cells[1].loc = Some(Pt::new(17, 5));
+        nl.add_net("x", vec![(c0, "P".into()), (c1, "P".into())]);
+        let mut fp = Floorplan::new("f", Rect::new(Pt::new(0, 0), Pt::new(19, 11)));
+        // A full-height wall of keep-out between them, both layers.
+        fp.keepouts.push(Rect::new(Pt::new(9, 0), Pt::new(10, 11)));
+        let r = route(&nl, &fp, &BTreeMap::new(), RouteConfig::default());
+        assert_eq!(r.routed, 0);
+        assert_eq!(r.failed, vec!["x".to_string()]);
+    }
+}

@@ -1,0 +1,153 @@
+//! Property-based tests for physical-design invariants.
+
+use std::collections::BTreeMap;
+
+use pnr::gen::{generate, PnrGenConfig};
+use pnr::geom::{Pt, Rect};
+use pnr::place::place;
+use pnr::route::{route, RouteConfig, FREE};
+use proptest::prelude::*;
+
+fn arb_pt() -> impl Strategy<Value = Pt> {
+    (-200i32..200, -200i32..200).prop_map(|(x, y)| Pt::new(x, y))
+}
+
+proptest! {
+    #[test]
+    fn rect_construction_is_order_insensitive(a in arb_pt(), b in arb_pt()) {
+        let r1 = Rect::new(a, b);
+        let r2 = Rect::new(b, a);
+        prop_assert_eq!(r1, r2);
+        prop_assert!(r1.contains(a) && r1.contains(b));
+        prop_assert!(r1.width() >= 1 && r1.height() >= 1);
+        prop_assert_eq!(r1.area(), r1.width() as i64 * r1.height() as i64);
+    }
+
+    #[test]
+    fn rect_intersection_is_symmetric_and_inflation_monotone(
+        a1 in arb_pt(), a2 in arb_pt(), b1 in arb_pt(), b2 in arb_pt(), m in 0i32..10
+    ) {
+        let a = Rect::new(a1, a2);
+        let b = Rect::new(b1, b2);
+        prop_assert_eq!(a.intersects(b), b.intersects(a));
+        if a.intersects(b) {
+            prop_assert!(a.inflated(m).intersects(b), "inflation keeps intersections");
+        }
+        prop_assert!(a.inflated(m).contains(a1));
+        // Shifting both preserves intersection.
+        prop_assert_eq!(
+            a.shifted(3, -7).intersects(b.shifted(3, -7)),
+            a.intersects(b)
+        );
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    #[test]
+    fn placement_never_overlaps_or_leaves_the_die(
+        seed in 1u64..500,
+        cells in 4usize..28,
+    ) {
+        let (mut nl, fp) = generate(&PnrGenConfig {
+            seed,
+            cells,
+            die: 120,
+            ..PnrGenConfig::default()
+        });
+        let stats = place(&mut nl, &fp);
+        prop_assert_eq!(stats.placed + stats.unplaced, cells);
+        let rects: Vec<Rect> = nl
+            .cells
+            .iter()
+            .filter_map(|c| {
+                let at = c.loc?;
+                let b = &nl.lib[c.abs].boundary;
+                Some(Rect::new(
+                    at,
+                    Pt::new(at.x + b.width() - 1, at.y + b.height() - 1),
+                ))
+            })
+            .collect();
+        for (i, a) in rects.iter().enumerate() {
+            // Inside the die.
+            prop_assert!(a.x0 >= fp.die.x0 && a.x1 <= fp.die.x1);
+            prop_assert!(a.y0 >= fp.die.y0 && a.y1 <= fp.die.y1);
+            // No keep-out violation.
+            for k in &fp.keepouts {
+                prop_assert!(!a.intersects(*k));
+            }
+            // No overlap.
+            for b in &rects[i + 1..] {
+                prop_assert!(!a.intersects(*b));
+            }
+        }
+    }
+
+    #[test]
+    fn routed_nets_own_connected_cell_sets(seed in 1u64..200) {
+        let (mut nl, fp) = generate(&PnrGenConfig {
+            seed,
+            cells: 12,
+            extra_nets: 3,
+            ..PnrGenConfig::default()
+        });
+        place(&mut nl, &fp);
+        let result = route(&nl, &fp, &BTreeMap::new(), RouteConfig::default());
+        // Every routed net's owned cells form one connected component
+        // under 4-adjacency + layer switches.
+        for (net_id, name) in result.grid.net_names.iter().enumerate() {
+            if result.failed.contains(name) {
+                continue;
+            }
+            let mut cells: Vec<(usize, Pt)> = Vec::new();
+            for layer in 0..2usize {
+                for y in 0..result.grid.height {
+                    for x in 0..result.grid.width {
+                        let p = Pt::new(x, y);
+                        if result.grid.at(layer, p) == net_id as i32 {
+                            cells.push((layer, p));
+                        }
+                    }
+                }
+            }
+            if cells.len() <= 1 {
+                continue;
+            }
+            // BFS from the first cell.
+            let mut seen = std::collections::BTreeSet::new();
+            let mut stack = vec![cells[0]];
+            seen.insert(cells[0]);
+            while let Some((l, p)) = stack.pop() {
+                let moves = [
+                    (l, Pt::new(p.x + 1, p.y)),
+                    (l, Pt::new(p.x - 1, p.y)),
+                    (l, Pt::new(p.x, p.y + 1)),
+                    (l, Pt::new(p.x, p.y - 1)),
+                    (1 - l, p),
+                ];
+                for m in moves {
+                    if result.grid.at(m.0, m.1) == net_id as i32 && seen.insert(m) {
+                        stack.push(m);
+                    }
+                }
+            }
+            prop_assert_eq!(
+                seen.len(),
+                cells.len(),
+                "net {} is disconnected", name
+            );
+        }
+        // The grid never stores a stale FREE-marked net id.
+        for layer in 0..2usize {
+            for v in &result.grid.cells[layer] {
+                prop_assert!(*v >= -3, "unknown marker {v}");
+                if *v >= 0 {
+                    prop_assert!((*v as usize) < result.grid.net_names.len());
+                }
+            }
+        }
+        let _ = FREE;
+    }
+}

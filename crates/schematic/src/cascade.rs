@@ -1,0 +1,554 @@
+//! The Cascade on-disk schematic format: an s-expression database in the
+//! style of Lisp-scripted frameworks.
+//!
+//! ```text
+//! (cascade 1
+//!  (design "adder") (top "top") (global "VDD")
+//!  (library "stdlib"
+//!   (symbol "inv" "symbol" (grid 10)
+//!    (pin "A" (at 0 0) (dir input))))
+//!  (cell "top"
+//!   (page 1
+//!    (inst "I1" (of "stdlib" "inv" "symbol") (at 0 0) (orient R0)))))
+//! ```
+
+use std::fmt;
+
+use crate::design::{CellSchematic, Design, Library};
+use crate::dialect::DialectId;
+use crate::geom::{Orient, Point};
+use crate::property::{FontMetrics, Label, PropValue};
+use crate::sheet::{Connector, ConnectorKind, Instance, Sheet, Wire};
+use crate::symbol::{PinDir, SymbolDef, SymbolPin, SymbolRef};
+
+/// Error parsing a Cascade file.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseCascadeError {
+    /// Problem description, with enough context to locate the record.
+    pub message: String,
+}
+
+impl ParseCascadeError {
+    fn new(message: impl Into<String>) -> Self {
+        ParseCascadeError {
+            message: message.into(),
+        }
+    }
+}
+
+impl fmt::Display for ParseCascadeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "cascade: {}", self.message)
+    }
+}
+
+impl std::error::Error for ParseCascadeError {}
+
+/// A parsed s-expression.
+#[derive(Debug, Clone, PartialEq)]
+enum Sx {
+    Atom(String),
+    Str(String),
+    Int(i64),
+    List(Vec<Sx>),
+}
+
+impl Sx {
+    fn tag(&self) -> Option<&str> {
+        match self {
+            Sx::List(items) => match items.first() {
+                Some(Sx::Atom(a)) => Some(a.as_str()),
+                _ => None,
+            },
+            _ => None,
+        }
+    }
+    fn items(&self) -> &[Sx] {
+        match self {
+            Sx::List(items) => items,
+            _ => &[],
+        }
+    }
+    fn as_str(&self) -> Result<&str, ParseCascadeError> {
+        match self {
+            Sx::Atom(s) | Sx::Str(s) => Ok(s),
+            other => Err(ParseCascadeError::new(format!(
+                "expected string, got {other:?}"
+            ))),
+        }
+    }
+    fn as_int(&self) -> Result<i64, ParseCascadeError> {
+        match self {
+            Sx::Int(i) => Ok(*i),
+            other => Err(ParseCascadeError::new(format!(
+                "expected integer, got {other:?}"
+            ))),
+        }
+    }
+}
+
+fn lex_parse(text: &str) -> Result<Vec<Sx>, ParseCascadeError> {
+    let mut stack: Vec<Vec<Sx>> = vec![Vec::new()];
+    let mut chars = text.chars().peekable();
+    while let Some(&c) = chars.peek() {
+        match c {
+            '(' => {
+                chars.next();
+                stack.push(Vec::new());
+            }
+            ')' => {
+                chars.next();
+                let done = stack
+                    .pop()
+                    .ok_or_else(|| ParseCascadeError::new("unbalanced `)`"))?;
+                let parent = stack
+                    .last_mut()
+                    .ok_or_else(|| ParseCascadeError::new("unbalanced `)`"))?;
+                parent.push(Sx::List(done));
+            }
+            '"' => {
+                chars.next();
+                let mut s = String::new();
+                loop {
+                    match chars.next() {
+                        Some('\\') => match chars.next() {
+                            Some('n') => s.push('\n'),
+                            Some(ch) => s.push(ch),
+                            None => return Err(ParseCascadeError::new("unterminated string")),
+                        },
+                        Some('"') => break,
+                        Some(ch) => s.push(ch),
+                        None => return Err(ParseCascadeError::new("unterminated string")),
+                    }
+                }
+                stack.last_mut().expect("stack nonempty").push(Sx::Str(s));
+            }
+            ';' => {
+                // Comment to end of line.
+                for ch in chars.by_ref() {
+                    if ch == '\n' {
+                        break;
+                    }
+                }
+            }
+            c if c.is_whitespace() => {
+                chars.next();
+            }
+            _ => {
+                let mut tok = String::new();
+                while let Some(&ch) = chars.peek() {
+                    if ch.is_whitespace() || ch == '(' || ch == ')' || ch == '"' {
+                        break;
+                    }
+                    tok.push(ch);
+                    chars.next();
+                }
+                let sx = match tok.parse::<i64>() {
+                    Ok(i) => Sx::Int(i),
+                    Err(_) => Sx::Atom(tok),
+                };
+                stack.last_mut().expect("stack nonempty").push(sx);
+            }
+        }
+    }
+    if stack.len() != 1 {
+        return Err(ParseCascadeError::new("unbalanced `(`"));
+    }
+    Ok(stack.pop().expect("single frame"))
+}
+
+fn esc(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            _ => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+/// Serializes a design to Cascade text.
+pub fn write(design: &Design) -> String {
+    let mut o = String::new();
+    o.push_str("(cascade 1\n");
+    o.push_str(&format!(" (design {})\n", esc(&design.name)));
+    o.push_str(&format!(" (top {})\n", esc(&design.top)));
+    for g in design.globals() {
+        o.push_str(&format!(" (global {})\n", esc(g)));
+    }
+    for lib in design.libraries() {
+        o.push_str(&format!(" (library {}\n", esc(&lib.name)));
+        for sym in lib.iter() {
+            o.push_str(&format!(
+                "  (symbol {} {} (grid {})\n",
+                esc(&sym.reference.cell),
+                esc(&sym.reference.view),
+                sym.grid
+            ));
+            for p in &sym.pins {
+                o.push_str(&format!(
+                    "   (pin {} (at {} {}) (dir {}))\n",
+                    esc(&p.name),
+                    p.at.x,
+                    p.at.y,
+                    p.dir.keyword()
+                ));
+            }
+            for (a, b) in &sym.body {
+                o.push_str(&format!("   (body {} {} {} {})\n", a.x, a.y, b.x, b.y));
+            }
+            for (k, v) in sym.default_props.iter() {
+                o.push_str(&format!("   (prop {} {})\n", esc(k), esc(&v.to_text())));
+            }
+            o.push_str("  )\n");
+        }
+        o.push_str(" )\n");
+    }
+    for (name, cell) in design.cells() {
+        o.push_str(&format!(" (cell {}\n", esc(name)));
+        for b in &cell.buses {
+            o.push_str(&format!("  (bus {})\n", esc(b)));
+        }
+        for p in &cell.ports {
+            o.push_str(&format!(
+                "  (port {} (at {} {}) (dir {}))\n",
+                esc(&p.name),
+                p.at.x,
+                p.at.y,
+                p.dir.keyword()
+            ));
+        }
+        for sheet in &cell.sheets {
+            o.push_str(&format!("  (page {}\n", sheet.page));
+            for inst in &sheet.instances {
+                o.push_str(&format!(
+                    "   (inst {} (of {} {} {}) (at {} {}) (orient {})",
+                    esc(&inst.name),
+                    esc(&inst.symbol.library),
+                    esc(&inst.symbol.cell),
+                    esc(&inst.symbol.view),
+                    inst.place.origin.x,
+                    inst.place.origin.y,
+                    inst.place.orient.code()
+                ));
+                for (k, v) in inst.props.iter() {
+                    o.push_str(&format!(" (prop {} {})", esc(k), esc(&v.to_text())));
+                }
+                o.push_str(")\n");
+            }
+            for w in &sheet.wires {
+                o.push_str("   (wire (pts");
+                for p in &w.points {
+                    o.push_str(&format!(" {} {}", p.x, p.y));
+                }
+                o.push(')');
+                if let Some(l) = &w.label {
+                    o.push_str(&format!(
+                        " (label {} (at {} {}))",
+                        esc(&l.text),
+                        l.at.x,
+                        l.at.y
+                    ));
+                }
+                o.push_str(")\n");
+            }
+            for c in &sheet.connectors {
+                o.push_str(&format!(
+                    "   (conn {} {} (at {} {}) (orient {}))\n",
+                    c.kind.keyword(),
+                    esc(&c.name),
+                    c.at.x,
+                    c.at.y,
+                    c.orient.code()
+                ));
+            }
+            for t in &sheet.annotations {
+                o.push_str(&format!(
+                    "   (text {} (at {} {}))\n",
+                    esc(&t.text),
+                    t.at.x,
+                    t.at.y
+                ));
+            }
+            o.push_str("  )\n");
+        }
+        o.push_str(" )\n");
+    }
+    o.push_str(")\n");
+    o
+}
+
+fn find<'a>(items: &'a [Sx], tag: &str) -> Option<&'a Sx> {
+    items.iter().find(|s| s.tag() == Some(tag))
+}
+
+fn find_all<'a>(items: &'a [Sx], tag: &'a str) -> impl Iterator<Item = &'a Sx> {
+    items.iter().filter(move |s| s.tag() == Some(tag))
+}
+
+fn get_at(items: &[Sx]) -> Result<Point, ParseCascadeError> {
+    let at = find(items, "at").ok_or_else(|| ParseCascadeError::new("missing (at ...)"))?;
+    let it = at.items();
+    if it.len() != 3 {
+        return Err(ParseCascadeError::new("(at x y) needs two coordinates"));
+    }
+    Ok(Point::new(it[1].as_int()?, it[2].as_int()?))
+}
+
+fn get_orient(items: &[Sx]) -> Result<Orient, ParseCascadeError> {
+    match find(items, "orient") {
+        Some(o) => {
+            let code = o.items().get(1).map(|s| s.as_str()).transpose()?;
+            let code = code.ok_or_else(|| ParseCascadeError::new("empty (orient)"))?;
+            Orient::parse(code)
+                .ok_or_else(|| ParseCascadeError::new(format!("bad orientation `{code}`")))
+        }
+        None => Ok(Orient::R0),
+    }
+}
+
+fn get_dir(items: &[Sx]) -> Result<PinDir, ParseCascadeError> {
+    let d = find(items, "dir").ok_or_else(|| ParseCascadeError::new("missing (dir ...)"))?;
+    let kw = d
+        .items()
+        .get(1)
+        .ok_or_else(|| ParseCascadeError::new("empty (dir)"))?
+        .as_str()?;
+    PinDir::parse(kw).ok_or_else(|| ParseCascadeError::new(format!("bad direction `{kw}`")))
+}
+
+/// Parses Cascade text into a [`Design`].
+///
+/// # Errors
+///
+/// Returns the first structural error encountered.
+pub fn parse(text: &str) -> Result<Design, ParseCascadeError> {
+    let top_forms = lex_parse(text)?;
+    let root = top_forms
+        .iter()
+        .find(|f| f.tag() == Some("cascade"))
+        .ok_or_else(|| ParseCascadeError::new("no (cascade ...) form"))?;
+    let mut design = Design::new("", DialectId::Cascade);
+    let font = FontMetrics::CASCADE;
+    let mut top = String::new();
+
+    for form in &root.items()[1..] {
+        match form.tag() {
+            Some("design") => {
+                design.name = form.items()[1].as_str()?.to_string();
+            }
+            Some("top") => {
+                top = form.items()[1].as_str()?.to_string();
+            }
+            Some("global") => {
+                design.add_global(form.items()[1].as_str()?);
+            }
+            Some("library") => {
+                let items = form.items();
+                let mut lib = Library::new(items[1].as_str()?);
+                for sform in find_all(items, "symbol") {
+                    let si = sform.items();
+                    let cell = si[1].as_str()?.to_string();
+                    let view = si[2].as_str()?.to_string();
+                    let grid = find(si, "grid")
+                        .ok_or_else(|| ParseCascadeError::new("symbol missing (grid)"))?
+                        .items()[1]
+                        .as_int()?;
+                    let mut sym =
+                        SymbolDef::new(SymbolRef::new(lib.name.clone(), cell, view), grid);
+                    for p in find_all(si, "pin") {
+                        let pi = p.items();
+                        sym.pins.push(SymbolPin::new(
+                            pi[1].as_str()?,
+                            get_at(pi)?,
+                            get_dir(pi)?,
+                        ));
+                    }
+                    for b in find_all(si, "body") {
+                        let bi = b.items();
+                        if bi.len() != 5 {
+                            return Err(ParseCascadeError::new("(body ax ay bx by)"));
+                        }
+                        sym.body.push((
+                            Point::new(bi[1].as_int()?, bi[2].as_int()?),
+                            Point::new(bi[3].as_int()?, bi[4].as_int()?),
+                        ));
+                    }
+                    for pr in find_all(si, "prop") {
+                        let pi = pr.items();
+                        sym.default_props
+                            .set(pi[1].as_str()?, PropValue::from_text(pi[2].as_str()?));
+                    }
+                    lib.add(sym);
+                }
+                design.add_library(lib);
+            }
+            Some("cell") => {
+                let items = form.items();
+                let mut cell = CellSchematic::new(items[1].as_str()?);
+                for b in find_all(items, "bus") {
+                    cell.buses.insert(b.items()[1].as_str()?.to_string());
+                }
+                for p in find_all(items, "port") {
+                    let pi = p.items();
+                    cell.ports
+                        .push(SymbolPin::new(pi[1].as_str()?, get_at(pi)?, get_dir(pi)?));
+                }
+                for pform in find_all(items, "page") {
+                    let pi = pform.items();
+                    let page = pi[1].as_int()? as u32;
+                    let mut sheet = Sheet::new(page);
+                    for inst in find_all(pi, "inst") {
+                        let ii = inst.items();
+                        let name = ii[1].as_str()?.to_string();
+                        let of = find(ii, "of")
+                            .ok_or_else(|| ParseCascadeError::new("inst missing (of)"))?;
+                        let oi = of.items();
+                        let sref = SymbolRef::new(
+                            oi[1].as_str()?,
+                            oi[2].as_str()?,
+                            oi[3].as_str()?,
+                        );
+                        let mut i =
+                            Instance::new(name, sref, get_at(ii)?, get_orient(ii)?);
+                        for pr in find_all(ii, "prop") {
+                            let pri = pr.items();
+                            i.props
+                                .set(pri[1].as_str()?, PropValue::from_text(pri[2].as_str()?));
+                        }
+                        sheet.instances.push(i);
+                    }
+                    for w in find_all(pi, "wire") {
+                        let wi = w.items();
+                        let pts = find(wi, "pts")
+                            .ok_or_else(|| ParseCascadeError::new("wire missing (pts)"))?;
+                        let coords = &pts.items()[1..];
+                        if coords.len() < 4 || coords.len() % 2 != 0 {
+                            return Err(ParseCascadeError::new("wire needs >= 2 points"));
+                        }
+                        let mut points = Vec::with_capacity(coords.len() / 2);
+                        for pair in coords.chunks(2) {
+                            points.push(Point::new(pair[0].as_int()?, pair[1].as_int()?));
+                        }
+                        let mut wire = Wire::new(points);
+                        if let Some(l) = find(wi, "label") {
+                            let li = l.items();
+                            wire = wire
+                                .with_label(Label::new(li[1].as_str()?, get_at(li)?, font));
+                        }
+                        sheet.wires.push(wire);
+                    }
+                    for cform in find_all(pi, "conn") {
+                        let ci = cform.items();
+                        let kw = ci[1].as_str()?;
+                        let kind = ConnectorKind::parse(kw).ok_or_else(|| {
+                            ParseCascadeError::new(format!("bad connector kind `{kw}`"))
+                        })?;
+                        let mut conn = Connector::new(kind, ci[2].as_str()?, get_at(ci)?);
+                        conn.orient = get_orient(ci)?;
+                        sheet.connectors.push(conn);
+                    }
+                    for t in find_all(pi, "text") {
+                        let ti = t.items();
+                        sheet
+                            .annotations
+                            .push(Label::new(ti[1].as_str()?, get_at(ti)?, font));
+                    }
+                    cell.sheets.push(sheet);
+                }
+                design.add_cell(cell);
+            }
+            _ => {}
+        }
+    }
+    if !top.is_empty() {
+        design.set_top(top);
+    }
+    Ok(design)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::geom::Orient;
+
+    fn sample() -> Design {
+        let mut d = Design::new("adder", DialectId::Cascade);
+        d.add_global("VDD");
+        let mut lib = Library::new("stdlib");
+        lib.add(
+            SymbolDef::new(SymbolRef::new("stdlib", "inv", "symbol"), 10)
+                .with_pin("A", Point::new(0, 0), PinDir::Input)
+                .with_pin("Y", Point::new(40, 0), PinDir::Output)
+                .with_body_segment(Point::new(10, -10), Point::new(10, 10)),
+        );
+        d.add_library(lib);
+        let mut cell = CellSchematic::new("top");
+        cell.buses.insert("D".into());
+        cell.ports
+            .push(SymbolPin::new("OUT", Point::new(0, 0), PinDir::Output));
+        let mut s = Sheet::new(1);
+        let mut inst = Instance::new(
+            "I1",
+            SymbolRef::new("stdlib", "inv", "symbol"),
+            Point::new(100, 200),
+            Orient::R270,
+        );
+        inst.props.set("SIZE", "x4");
+        s.instances.push(inst);
+        s.wires.push(
+            Wire::new(vec![Point::new(0, 0), Point::new(40, 0)])
+                .with_label(Label::new("net \"a\"", Point::new(8, 4), FontMetrics::CASCADE)),
+        );
+        s.connectors.push(Connector::new(
+            ConnectorKind::HierOutput,
+            "OUT",
+            Point::new(40, 0),
+        ));
+        s.annotations
+            .push(Label::new("multi\nline", Point::new(0, 100), FontMetrics::CASCADE));
+        cell.sheets.push(s);
+        d.add_cell(cell);
+        d.set_top("top");
+        d
+    }
+
+    #[test]
+    fn round_trip_preserves_design() {
+        let d = sample();
+        let text = write(&d);
+        let back = parse(&text).expect("parse ok");
+        assert_eq!(back, d);
+    }
+
+    #[test]
+    fn comments_and_whitespace_are_skipped() {
+        let text = "; header comment\n(cascade 1 (design \"x\") (top \"t\"))";
+        let d = parse(text).unwrap();
+        assert_eq!(d.name, "x");
+    }
+
+    #[test]
+    fn unbalanced_parens_fail() {
+        assert!(parse("(cascade 1 (design \"x\")").is_err());
+        assert!(parse("(cascade 1))").is_err());
+    }
+
+    #[test]
+    fn missing_root_form_fails() {
+        assert!(parse("(viewstar 1)").is_err());
+    }
+
+    #[test]
+    fn string_escapes_round_trip() {
+        let s = "say \"hi\"\\now";
+        let text = format!("(cascade 1 (design {}))", esc(s));
+        let d = parse(&text).unwrap();
+        assert_eq!(d.name, s);
+    }
+}

@@ -1,0 +1,933 @@
+//! Connectivity extraction: from drawn geometry to electrical nets.
+//!
+//! This is the machinery behind two of the paper's Section 2 issues:
+//! *off-page connectors* ("Viewlogic connects same signal names across
+//! multiple pages implicitly... Cascade requires these connections to be
+//! explicit") and *verification* (the extracted netlist is the canonical
+//! form compared before and after translation).
+
+use std::collections::{BTreeMap, BTreeSet};
+use std::fmt;
+
+use crate::bus::{BusSyntax, NetExpr};
+use crate::design::{CellSchematic, Design};
+use crate::dialect::DialectRules;
+use crate::netlist::{CellNetlist, NetInfo, Netlist, PinRef};
+use crate::sheet::ConnectorKind;
+
+/// An extraction problem that prevents a clean netlist.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ConnError {
+    /// A wire or connector label failed to parse under the dialect
+    /// grammar.
+    UnparsedLabel {
+        /// Page number.
+        page: u32,
+        /// Label text.
+        text: String,
+        /// Parser message.
+        reason: String,
+    },
+    /// A scalar-named pin or label touched a bus bundle.
+    BusTapMismatch {
+        /// Page number.
+        page: u32,
+        /// Description of the offending attachment.
+        what: String,
+        /// The bundle's base names.
+        bundle: String,
+    },
+    /// An instance references a symbol missing from the libraries; its
+    /// pins cannot be extracted.
+    UnresolvedSymbol {
+        /// Page number.
+        page: u32,
+        /// Instance name.
+        inst: String,
+    },
+}
+
+impl fmt::Display for ConnError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ConnError::UnparsedLabel { page, text, reason } => {
+                write!(f, "p{page}: label `{text}`: {reason}")
+            }
+            ConnError::BusTapMismatch { page, what, bundle } => {
+                write!(f, "p{page}: {what} attached to bundle {bundle}")
+            }
+            ConnError::UnresolvedSymbol { page, inst } => {
+                write!(f, "p{page}: instance {inst}: unresolved symbol")
+            }
+        }
+    }
+}
+
+/// One extracted electrical net.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ExtractedNet {
+    /// Canonical name (lexicographically smallest alias, or a synthetic
+    /// `N$k` for anonymous nets).
+    pub name: String,
+    /// Every name attached to the net.
+    pub aliases: BTreeSet<String>,
+    /// Instance pins on the net.
+    pub pins: BTreeSet<PinRef>,
+    /// Pages the net appears on.
+    pub pages: BTreeSet<u32>,
+    /// Port names binding the net to the parent cell.
+    pub ports: BTreeSet<String>,
+    /// True when the net is a declared global.
+    pub is_global: bool,
+    /// True when an off-page connector is attached.
+    pub has_offpage: bool,
+}
+
+/// Result of extracting one cell.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Extraction {
+    /// Cell name.
+    pub cell: String,
+    /// The extracted nets, sorted by canonical name.
+    pub nets: Vec<ExtractedNet>,
+    /// Problems found along the way.
+    pub errors: Vec<ConnError>,
+}
+
+impl Extraction {
+    /// Finds a net by any alias.
+    pub fn net(&self, name: &str) -> Option<&ExtractedNet> {
+        self.nets
+            .iter()
+            .find(|n| n.name == name || n.aliases.contains(name))
+    }
+}
+
+/// Formats an expanded bit or scalar name: `base<idx>` with any postfix
+/// appended.
+fn expanded(base: &str, idx: Option<i64>, postfix: Option<char>) -> String {
+    let mut s = match idx {
+        Some(i) => format!("{base}<{i}>"),
+        None => base.to_string(),
+    };
+    if let Some(c) = postfix {
+        s.push(c);
+    }
+    s
+}
+
+/// Union-find over small index sets.
+#[derive(Debug, Clone)]
+struct UnionFind {
+    parent: Vec<usize>,
+}
+
+impl UnionFind {
+    fn new() -> Self {
+        UnionFind { parent: Vec::new() }
+    }
+    fn make(&mut self) -> usize {
+        self.parent.push(self.parent.len());
+        self.parent.len() - 1
+    }
+    fn find(&mut self, mut x: usize) -> usize {
+        while self.parent[x] != x {
+            self.parent[x] = self.parent[self.parent[x]];
+            x = self.parent[x];
+        }
+        x
+    }
+    fn union(&mut self, a: usize, b: usize) {
+        let (ra, rb) = (self.find(a), self.find(b));
+        if ra != rb {
+            self.parent[ra] = rb;
+        }
+    }
+}
+
+/// What a geometric cluster has attached to it.
+#[derive(Debug, Clone, Default)]
+struct Cluster {
+    page: u32,
+    min_point: (i64, i64),
+    /// Scalar / single-bit names (already expanded, postfix folded in).
+    names: BTreeSet<String>,
+    /// Bus ranges labelled onto the cluster: (base, from, to, postfix).
+    ranges: Vec<(String, i64, i64, Option<char>)>,
+    pins: Vec<(PinRef, String)>, // pin ref + raw pin name
+    offpage_names: BTreeSet<String>,
+    port_names: BTreeSet<String>,
+}
+
+/// A net "atom": the per-bit (or per-scalar) unit produced from one
+/// cluster, before name-based merging.
+#[derive(Debug, Clone, Default)]
+struct Atom {
+    page: u32,
+    order_key: (u32, i64, i64),
+    names: BTreeSet<String>,
+    pins: BTreeSet<PinRef>,
+    ports: BTreeSet<String>,
+    has_offpage: bool,
+}
+
+/// Extracts the connectivity of one cell under a dialect rule table.
+pub fn extract_cell(design: &Design, cell: &CellSchematic, rules: &DialectRules) -> Extraction {
+    let mut errors = Vec::new();
+    let mut uf = UnionFind::new();
+    let mut nodes: BTreeMap<(u32, i64, i64), usize> = BTreeMap::new();
+    let node_of = |uf: &mut UnionFind,
+                       nodes: &mut BTreeMap<(u32, i64, i64), usize>,
+                       page: u32,
+                       x: i64,
+                       y: i64| {
+        *nodes.entry((page, x, y)).or_insert_with(|| uf.make())
+    };
+
+    // Pass 1: register geometry and union wire paths.
+    struct PinSite {
+        page: u32,
+        node: usize,
+        pin: PinRef,
+        raw_name: String,
+    }
+    let mut pin_sites: Vec<PinSite> = Vec::new();
+    struct ConnSite {
+        node: usize,
+        kind: ConnectorKind,
+        name: String,
+    }
+    let mut conn_sites: Vec<ConnSite> = Vec::new();
+
+    for sheet in &cell.sheets {
+        for wire in &sheet.wires {
+            let mut prev: Option<usize> = None;
+            for p in &wire.points {
+                let n = node_of(&mut uf, &mut nodes, sheet.page, p.x, p.y);
+                if let Some(pn) = prev {
+                    uf.union(pn, n);
+                }
+                prev = Some(n);
+            }
+        }
+        for inst in &sheet.instances {
+            let Some(sym) = design.resolve_symbol(&inst.symbol) else {
+                errors.push(ConnError::UnresolvedSymbol {
+                    page: sheet.page,
+                    inst: inst.name.clone(),
+                });
+                continue;
+            };
+            for pin in &sym.pins {
+                let at = inst.place.apply(pin.at);
+                let n = node_of(&mut uf, &mut nodes, sheet.page, at.x, at.y);
+                pin_sites.push(PinSite {
+                    page: sheet.page,
+                    node: n,
+                    pin: PinRef::new(inst.name.clone(), pin.name.clone()),
+                    raw_name: pin.name.clone(),
+                });
+            }
+        }
+        for conn in &sheet.connectors {
+            let n = node_of(&mut uf, &mut nodes, sheet.page, conn.at.x, conn.at.y);
+            conn_sites.push(ConnSite {
+                node: n,
+                kind: conn.kind,
+                name: conn.name.clone(),
+            });
+        }
+    }
+
+    // Pass 2: union every registered node that touches a wire on the same
+    // page (captures T junctions and pins landing mid-segment).
+    {
+        let keys: Vec<(u32, i64, i64)> = nodes.keys().copied().collect();
+        for sheet in &cell.sheets {
+            for wire in &sheet.wires {
+                let head = wire.points[0];
+                let head_node = nodes[&(sheet.page, head.x, head.y)];
+                for &(pg, x, y) in &keys {
+                    if pg != sheet.page {
+                        continue;
+                    }
+                    let p = crate::geom::Point::new(x, y);
+                    if wire.touches(p) {
+                        let n = nodes[&(pg, x, y)];
+                        uf.union(n, head_node);
+                    }
+                }
+            }
+        }
+    }
+
+    // Pass 3: gather cluster attributes.
+    let mut clusters: BTreeMap<usize, Cluster> = BTreeMap::new();
+    let cluster_of = |uf: &mut UnionFind,
+                          clusters: &mut BTreeMap<usize, Cluster>,
+                          node: usize,
+                          page: u32,
+                          at: (i64, i64)|
+     -> usize {
+        let root = uf.find(node);
+        let c = clusters.entry(root).or_insert_with(|| Cluster {
+            page,
+            min_point: at,
+            ..Cluster::default()
+        });
+        if at < c.min_point {
+            c.min_point = at;
+        }
+        root
+    };
+
+    for ((page, x, y), &node) in &nodes {
+        cluster_of(&mut uf, &mut clusters, node, *page, (*x, *y));
+    }
+
+    // Wire labels.
+    for sheet in &cell.sheets {
+        for wire in &sheet.wires {
+            let Some(label) = &wire.label else { continue };
+            let head = wire.points[0];
+            let node = nodes[&(sheet.page, head.x, head.y)];
+            let root = cluster_of(&mut uf, &mut clusters, node, sheet.page, (head.x, head.y));
+            match rules.bus.parse(&label.text, &cell.buses) {
+                Ok(name) => {
+                    let cl = clusters.get_mut(&root).expect("cluster exists");
+                    match name.expr {
+                        NetExpr::Scalar(b) => {
+                            cl.names.insert(expanded(&b, None, name.postfix));
+                        }
+                        NetExpr::Bit(b, i) => {
+                            cl.names.insert(expanded(&b, Some(i), name.postfix));
+                        }
+                        NetExpr::Range(b, f, t) => cl.ranges.push((b, f, t, name.postfix)),
+                    }
+                }
+                Err(e) => errors.push(ConnError::UnparsedLabel {
+                    page: sheet.page,
+                    text: label.text.clone(),
+                    reason: e.to_string(),
+                }),
+            }
+        }
+    }
+
+    // Connectors.
+    for site in &conn_sites {
+        let root = uf.find(site.node);
+        let cl = clusters.get_mut(&root).expect("cluster exists");
+        let parsed = rules.bus.parse(&site.name, &cell.buses);
+        let parsed = match parsed {
+            Ok(p) => p,
+            Err(e) => {
+                errors.push(ConnError::UnparsedLabel {
+                    page: cl.page,
+                    text: site.name.clone(),
+                    reason: e.to_string(),
+                });
+                continue;
+            }
+        };
+        match parsed.expr {
+            NetExpr::Scalar(b) => {
+                let n = expanded(&b, None, parsed.postfix);
+                match site.kind {
+                    ConnectorKind::OffPage => {
+                        cl.offpage_names.insert(n.clone());
+                    }
+                    k if k.is_hierarchy() => {
+                        cl.port_names.insert(n.clone());
+                    }
+                    _ => {}
+                }
+                cl.names.insert(n);
+            }
+            NetExpr::Bit(b, i) => {
+                let n = expanded(&b, Some(i), parsed.postfix);
+                match site.kind {
+                    ConnectorKind::OffPage => {
+                        cl.offpage_names.insert(n.clone());
+                    }
+                    k if k.is_hierarchy() => {
+                        cl.port_names.insert(n.clone());
+                    }
+                    _ => {}
+                }
+                cl.names.insert(n);
+            }
+            NetExpr::Range(b, f, t) => {
+                for bit in NetExpr::Range(b.clone(), f, t).bits() {
+                    if let NetExpr::Bit(bb, i) = bit {
+                        let n = expanded(&bb, Some(i), parsed.postfix);
+                        match site.kind {
+                            ConnectorKind::OffPage => {
+                                cl.offpage_names.insert(n.clone());
+                            }
+                            k if k.is_hierarchy() => {
+                                cl.port_names.insert(n.clone());
+                            }
+                            _ => {}
+                        }
+                    }
+                }
+                cl.ranges.push((b, f, t, parsed.postfix));
+            }
+        }
+    }
+
+    // Pins.
+    for site in &pin_sites {
+        let root = uf.find(site.node);
+        let cl = clusters.get_mut(&root).expect("cluster exists");
+        cl.pins.push((site.pin.clone(), site.raw_name.clone()));
+        let _ = site.page;
+    }
+
+    // Pass 4: clusters -> atoms.
+    let mut atoms: Vec<Atom> = Vec::new();
+    for cl in clusters.values() {
+        let order_key = (cl.page, cl.min_point.0, cl.min_point.1);
+        if cl.ranges.is_empty() {
+            // Plain net.
+            let mut atom = Atom {
+                page: cl.page,
+                order_key,
+                names: cl.names.clone(),
+                ports: cl.port_names.clone(),
+                has_offpage: !cl.offpage_names.is_empty(),
+                ..Atom::default()
+            };
+            for (pin, _raw) in &cl.pins {
+                atom.pins.insert(pin.clone());
+            }
+            atoms.push(atom);
+        } else {
+            // Bundle: one atom per covered bit.
+            let bases: BTreeSet<&str> = cl.ranges.iter().map(|(b, _, _, _)| b.as_str()).collect();
+            let mut bits: BTreeMap<String, Atom> = BTreeMap::new();
+            for (b, f, t, pf) in &cl.ranges {
+                for bit in NetExpr::Range(b.clone(), *f, *t).bits() {
+                    if let NetExpr::Bit(bb, i) = bit {
+                        let n = expanded(&bb, Some(i), *pf);
+                        let atom = bits.entry(n.clone()).or_insert_with(|| Atom {
+                            page: cl.page,
+                            order_key,
+                            ..Atom::default()
+                        });
+                        atom.names.insert(n.clone());
+                        if cl.offpage_names.contains(&n) {
+                            atom.has_offpage = true;
+                        }
+                        if cl.port_names.contains(&n) {
+                            atom.ports.insert(n.clone());
+                        }
+                    }
+                }
+            }
+            // Pins must be bus-bit named with a matching base.
+            let scope: BTreeSet<String> = bases.iter().map(|s| s.to_string()).collect();
+            for (pin, raw) in &cl.pins {
+                match BusSyntax::Viewstar.parse(raw, &scope) {
+                    Ok(p) => match p.expr {
+                        NetExpr::Bit(b, i) if bases.contains(b.as_str()) => {
+                            // Attach to any postfix variant carrying this bit.
+                            let mut attached = false;
+                            for (b2, f, t, pf) in &cl.ranges {
+                                if *b2 == b {
+                                    let lo = *f.min(t);
+                                    let hi = *f.max(t);
+                                    if i >= lo && i <= hi {
+                                        let n = expanded(&b, Some(i), *pf);
+                                        if let Some(atom) = bits.get_mut(&n) {
+                                            atom.pins.insert(pin.clone());
+                                            attached = true;
+                                        }
+                                    }
+                                }
+                            }
+                            if !attached {
+                                errors.push(ConnError::BusTapMismatch {
+                                    page: cl.page,
+                                    what: format!("pin {pin} bit {i} outside bundle range"),
+                                    bundle: bases.iter().copied().collect::<Vec<_>>().join(","),
+                                });
+                            }
+                        }
+                        _ => errors.push(ConnError::BusTapMismatch {
+                            page: cl.page,
+                            what: format!("scalar pin {pin}"),
+                            bundle: bases.iter().copied().collect::<Vec<_>>().join(","),
+                        }),
+                    },
+                    Err(e) => errors.push(ConnError::UnparsedLabel {
+                        page: cl.page,
+                        text: raw.clone(),
+                        reason: e.to_string(),
+                    }),
+                }
+            }
+            // Scalar names alongside ranges are taps onto single bits or
+            // mistakes.
+            for n in &cl.names {
+                let covered = bits.contains_key(n);
+                if !covered {
+                    errors.push(ConnError::BusTapMismatch {
+                        page: cl.page,
+                        what: format!("name `{n}`"),
+                        bundle: bases.iter().copied().collect::<Vec<_>>().join(","),
+                    });
+                }
+            }
+            atoms.extend(bits.into_values());
+        }
+    }
+
+    // Pass 5: merge atoms by name per dialect rules.
+    atoms.sort_by_key(|a| a.order_key);
+    let mut auf = UnionFind::new();
+    for _ in 0..atoms.len() {
+        auf.make();
+    }
+    let mut by_name: BTreeMap<&str, Vec<usize>> = BTreeMap::new();
+    for (i, atom) in atoms.iter().enumerate() {
+        for n in &atom.names {
+            by_name.entry(n).or_default().push(i);
+        }
+    }
+    for (name, members) in &by_name {
+        let is_global = design.globals().contains(*name);
+        if rules.implicit_page_nets || is_global {
+            for w in members.windows(2) {
+                auf.union(w[0], w[1]);
+            }
+        } else {
+            // Same-page merging always applies.
+            let mut per_page: BTreeMap<u32, Vec<usize>> = BTreeMap::new();
+            for &m in members {
+                per_page.entry(atoms[m].page).or_default().push(m);
+            }
+            for v in per_page.values() {
+                for w in v.windows(2) {
+                    auf.union(w[0], w[1]);
+                }
+            }
+            // Cross-page merging only through off-page connectors.
+            let gated: Vec<usize> = members
+                .iter()
+                .copied()
+                .filter(|&m| atoms[m].has_offpage)
+                .collect();
+            for w in gated.windows(2) {
+                auf.union(w[0], w[1]);
+            }
+        }
+    }
+
+    // Pass 6: materialize nets.
+    let mut grouped: BTreeMap<usize, Vec<usize>> = BTreeMap::new();
+    for i in 0..atoms.len() {
+        grouped.entry(auf.find(i)).or_default().push(i);
+    }
+    let port_names: BTreeSet<&str> = cell.ports.iter().map(|p| p.name.as_str()).collect();
+    let mut nets: Vec<ExtractedNet> = Vec::new();
+    let mut anon = 0usize;
+    let mut groups: Vec<Vec<usize>> = grouped.into_values().collect();
+    groups.sort_by_key(|g| atoms[g[0]].order_key);
+    for group in groups {
+        let mut net = ExtractedNet::default();
+        for &i in &group {
+            let a = &atoms[i];
+            net.aliases.extend(a.names.iter().cloned());
+            net.pins.extend(a.pins.iter().cloned());
+            net.pages.insert(a.page);
+            net.ports.extend(a.ports.iter().cloned());
+            net.has_offpage |= a.has_offpage;
+        }
+        if net.pins.is_empty() && net.aliases.is_empty() {
+            continue; // dangling geometry with nothing attached
+        }
+        // Name-based port binding (Viewstar has no hierarchy connectors).
+        for alias in &net.aliases {
+            if port_names.contains(alias.as_str()) {
+                net.ports.insert(alias.clone());
+            }
+        }
+        net.is_global = net.aliases.iter().any(|n| design.globals().contains(n));
+        net.name = match net.aliases.iter().next() {
+            Some(n) => n.clone(),
+            None => {
+                anon += 1;
+                format!("N${anon}")
+            }
+        };
+        nets.push(net);
+    }
+    nets.sort_by(|a, b| a.name.cmp(&b.name));
+
+    Extraction {
+        cell: cell.cell.clone(),
+        nets,
+        errors,
+    }
+}
+
+/// Extracts every cell of a design into a canonical [`Netlist`].
+///
+/// Returns the netlist plus all per-cell extraction errors.
+pub fn extract_design(design: &Design, rules: &DialectRules) -> (Netlist, Vec<(String, ConnError)>) {
+    let mut netlist = Netlist::new(design.name.clone());
+    let mut errors = Vec::new();
+    for (name, cell) in design.cells() {
+        let ex = extract_cell(design, cell, rules);
+        let mut cn = CellNetlist::default();
+        for sheet in &cell.sheets {
+            for inst in &sheet.instances {
+                cn.instances
+                    .insert(inst.name.clone(), inst.symbol.cell.clone());
+            }
+        }
+        for net in ex.nets {
+            cn.nets.insert(
+                net.name.clone(),
+                NetInfo {
+                    pins: net.pins,
+                    is_global: net.is_global,
+                    ports: net.ports,
+                },
+            );
+        }
+        for e in ex.errors {
+            errors.push((name.to_string(), e));
+        }
+        netlist.cells.insert(name.to_string(), cn);
+    }
+    (netlist, errors)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::design::{CellSchematic, Library};
+    use crate::dialect::{DialectId, DialectRules};
+    use crate::geom::{Orient, Point};
+    use crate::property::{FontMetrics, Label};
+    use crate::sheet::{Connector, Instance, Sheet, Wire};
+    use crate::symbol::{PinDir, SymbolDef, SymbolRef};
+
+    fn inv_symbol() -> SymbolDef {
+        SymbolDef::new(SymbolRef::new("basiclib", "inv", "symbol"), 16)
+            .with_pin("A", Point::new(0, 0), PinDir::Input)
+            .with_pin("Y", Point::new(64, 0), PinDir::Output)
+    }
+
+    fn design_with_lib() -> Design {
+        let mut d = Design::new("t", DialectId::Viewstar);
+        let mut lib = Library::new("basiclib");
+        lib.add(inv_symbol());
+        d.add_library(lib);
+        d
+    }
+
+    fn label(text: &str, at: Point) -> Label {
+        Label::new(text, at, FontMetrics::VIEWSTAR)
+    }
+
+    #[test]
+    fn two_inverters_in_series_extract_three_nets() {
+        let mut d = design_with_lib();
+        let mut cell = CellSchematic::new("top");
+        let mut s = Sheet::new(1);
+        let sym = SymbolRef::new("basiclib", "inv", "symbol");
+        s.instances
+            .push(Instance::new("I1", sym.clone(), Point::new(0, 0), Orient::R0));
+        s.instances
+            .push(Instance::new("I2", sym.clone(), Point::new(160, 0), Orient::R0));
+        // I1.Y at (64,0) to I2.A at (160,0).
+        s.wires.push(
+            Wire::new(vec![Point::new(64, 0), Point::new(160, 0)])
+                .with_label(label("mid", Point::new(96, 4))),
+        );
+        cell.sheets.push(s);
+        d.add_cell(cell);
+
+        let ex = extract_cell(&d, d.cell("top").unwrap(), &DialectRules::viewstar());
+        assert!(ex.errors.is_empty(), "{:?}", ex.errors);
+        // mid + two dangling pin nets (I1.A, I2.Y).
+        assert_eq!(ex.nets.len(), 3);
+        let mid = ex.net("mid").expect("mid exists");
+        assert_eq!(mid.pins.len(), 2);
+        assert!(mid.pins.contains(&PinRef::new("I1", "Y")));
+        assert!(mid.pins.contains(&PinRef::new("I2", "A")));
+    }
+
+    #[test]
+    fn t_junction_connects_mid_segment() {
+        let mut d = design_with_lib();
+        let mut cell = CellSchematic::new("top");
+        let mut s = Sheet::new(1);
+        let sym = SymbolRef::new("basiclib", "inv", "symbol");
+        s.instances
+            .push(Instance::new("I1", sym.clone(), Point::new(0, 0), Orient::R0));
+        // Horizontal wire through I1.Y; a vertical wire T-ing into its middle.
+        s.wires
+            .push(Wire::new(vec![Point::new(64, 0), Point::new(192, 0)]));
+        s.wires
+            .push(Wire::new(vec![Point::new(128, -64), Point::new(128, 0)]));
+        cell.sheets.push(s);
+        d.add_cell(cell);
+
+        let ex = extract_cell(&d, d.cell("top").unwrap(), &DialectRules::viewstar());
+        // I1.Y + both wires are one net; I1.A dangles.
+        assert_eq!(ex.nets.len(), 2);
+        let with_pin = ex
+            .nets
+            .iter()
+            .find(|n| n.pins.contains(&PinRef::new("I1", "Y")))
+            .unwrap();
+        assert_eq!(with_pin.pins.len(), 1);
+    }
+
+    #[test]
+    fn implicit_page_merge_in_viewstar_but_not_cascade() {
+        let build = |dialect: DialectId| {
+            let mut d = design_with_lib();
+            d.dialect = dialect;
+            let mut cell = CellSchematic::new("top");
+            let sym = SymbolRef::new("basiclib", "inv", "symbol");
+            let mut s1 = Sheet::new(1);
+            s1.instances
+                .push(Instance::new("I1", sym.clone(), Point::new(0, 0), Orient::R0));
+            s1.wires.push(
+                Wire::new(vec![Point::new(64, 0), Point::new(160, 0)])
+                    .with_label(label("sig", Point::new(96, 4))),
+            );
+            let mut s2 = Sheet::new(2);
+            s2.instances
+                .push(Instance::new("I2", sym.clone(), Point::new(320, 0), Orient::R0));
+            s2.wires.push(
+                Wire::new(vec![Point::new(240, 0), Point::new(320, 0)])
+                    .with_label(label("sig", Point::new(260, 4))),
+            );
+            cell.sheets.push(s1);
+            cell.sheets.push(s2);
+            d.add_cell(cell);
+            d
+        };
+
+        let dv = build(DialectId::Viewstar);
+        let ex = extract_cell(&dv, dv.cell("top").unwrap(), &DialectRules::viewstar());
+        let sig = ex.net("sig").unwrap();
+        assert_eq!(sig.pins.len(), 2, "viewstar merges by name across pages");
+        assert_eq!(sig.pages.len(), 2);
+
+        let dc = build(DialectId::Cascade);
+        let ex = extract_cell(&dc, dc.cell("top").unwrap(), &DialectRules::cascade());
+        let sig = ex.net("sig").unwrap();
+        assert_eq!(sig.pins.len(), 1, "cascade needs off-page connectors");
+    }
+
+    #[test]
+    fn offpage_connectors_merge_pages_in_cascade() {
+        let mut d = design_with_lib();
+        d.dialect = DialectId::Cascade;
+        let mut cell = CellSchematic::new("top");
+        let sym = SymbolRef::new("basiclib", "inv", "symbol");
+        let mut s1 = Sheet::new(1);
+        s1.instances
+            .push(Instance::new("I1", sym.clone(), Point::new(0, 0), Orient::R0));
+        s1.wires.push(
+            Wire::new(vec![Point::new(64, 0), Point::new(160, 0)])
+                .with_label(Label::new("sig", Point::new(96, 4), FontMetrics::CASCADE)),
+        );
+        s1.connectors.push(Connector::new(
+            ConnectorKind::OffPage,
+            "sig",
+            Point::new(160, 0),
+        ));
+        let mut s2 = Sheet::new(2);
+        s2.instances
+            .push(Instance::new("I2", sym.clone(), Point::new(320, 0), Orient::R0));
+        s2.wires.push(
+            Wire::new(vec![Point::new(240, 0), Point::new(320, 0)])
+                .with_label(Label::new("sig", Point::new(260, 4), FontMetrics::CASCADE)),
+        );
+        s2.connectors.push(Connector::new(
+            ConnectorKind::OffPage,
+            "sig",
+            Point::new(240, 0),
+        ));
+        cell.sheets.push(s1);
+        cell.sheets.push(s2);
+        d.add_cell(cell);
+
+        let ex = extract_cell(&d, d.cell("top").unwrap(), &DialectRules::cascade());
+        let sig = ex.net("sig").unwrap();
+        assert_eq!(sig.pins.len(), 2);
+        assert!(sig.has_offpage);
+    }
+
+    #[test]
+    fn globals_merge_everywhere() {
+        let mut d = design_with_lib();
+        d.add_global("VDD");
+        d.dialect = DialectId::Cascade;
+        let mut cell = CellSchematic::new("top");
+        let mut s1 = Sheet::new(1);
+        s1.wires.push(
+            Wire::new(vec![Point::new(0, 0), Point::new(40, 0)])
+                .with_label(Label::new("VDD", Point::new(0, 4), FontMetrics::CASCADE)),
+        );
+        let mut s2 = Sheet::new(2);
+        s2.wires.push(
+            Wire::new(vec![Point::new(100, 0), Point::new(140, 0)])
+                .with_label(Label::new("VDD", Point::new(100, 4), FontMetrics::CASCADE)),
+        );
+        cell.sheets.push(s1);
+        cell.sheets.push(s2);
+        d.add_cell(cell);
+
+        let ex = extract_cell(&d, d.cell("top").unwrap(), &DialectRules::cascade());
+        let vdd = ex.net("VDD").unwrap();
+        assert!(vdd.is_global);
+        assert_eq!(vdd.pages.len(), 2);
+    }
+
+    #[test]
+    fn bundle_label_expands_to_bit_nets() {
+        let mut d = design_with_lib();
+        // Symbol with bus-bit pins.
+        let reg = SymbolDef::new(SymbolRef::new("basiclib", "reg2", "symbol"), 16)
+            .with_pin("D<0>", Point::new(0, 0), PinDir::Input)
+            .with_pin("D<1>", Point::new(0, 32), PinDir::Input);
+        d.library_mut("basiclib").unwrap().add(reg);
+
+        let mut cell = CellSchematic::new("top");
+        cell.buses.insert("D".to_string());
+        let mut s = Sheet::new(1);
+        s.instances.push(Instance::new(
+            "R1",
+            SymbolRef::new("basiclib", "reg2", "symbol"),
+            Point::new(160, 0),
+            Orient::R0,
+        ));
+        // A bus wire touching both pins (runs vertically through them).
+        s.wires.push(
+            Wire::new(vec![Point::new(160, 0), Point::new(160, 32)])
+                .with_label(label("D<0:1>", Point::new(164, 16))),
+        );
+        cell.sheets.push(s);
+        d.add_cell(cell);
+
+        let ex = extract_cell(&d, d.cell("top").unwrap(), &DialectRules::viewstar());
+        assert!(ex.errors.is_empty(), "{:?}", ex.errors);
+        let d0 = ex.net("D<0>").unwrap();
+        assert!(d0.pins.contains(&PinRef::new("R1", "D<0>")));
+        let d1 = ex.net("D<1>").unwrap();
+        assert!(d1.pins.contains(&PinRef::new("R1", "D<1>")));
+    }
+
+    #[test]
+    fn scalar_pin_on_bundle_is_an_error() {
+        let mut d = design_with_lib();
+        let mut cell = CellSchematic::new("top");
+        cell.buses.insert("D".to_string());
+        let mut s = Sheet::new(1);
+        s.instances.push(Instance::new(
+            "I1",
+            SymbolRef::new("basiclib", "inv", "symbol"),
+            Point::new(0, 0),
+            Orient::R0,
+        ));
+        // Bundle wire straight through the scalar pin A at (0,0).
+        s.wires.push(
+            Wire::new(vec![Point::new(0, -16), Point::new(0, 16)])
+                .with_label(label("D<0:3>", Point::new(4, 0))),
+        );
+        cell.sheets.push(s);
+        d.add_cell(cell);
+
+        let ex = extract_cell(&d, d.cell("top").unwrap(), &DialectRules::viewstar());
+        assert!(ex
+            .errors
+            .iter()
+            .any(|e| matches!(e, ConnError::BusTapMismatch { .. })));
+    }
+
+    #[test]
+    fn condensed_tap_joins_bus_bit() {
+        // Viewstar: a wire labelled D2 with bus D declared joins D<2>.
+        let mut d = design_with_lib();
+        let mut cell = CellSchematic::new("top");
+        cell.buses.insert("D".to_string());
+        let mut s = Sheet::new(1);
+        s.wires.push(
+            Wire::new(vec![Point::new(0, 0), Point::new(32, 0)])
+                .with_label(label("D2", Point::new(0, 4))),
+        );
+        s.wires.push(
+            Wire::new(vec![Point::new(100, 0), Point::new(132, 0)])
+                .with_label(label("D<2>", Point::new(100, 4))),
+        );
+        cell.sheets.push(s);
+        d.add_cell(cell);
+
+        let ex = extract_cell(&d, d.cell("top").unwrap(), &DialectRules::viewstar());
+        let net = ex.net("D<2>").unwrap();
+        assert_eq!(net.aliases.len(), 1, "both labels expand to D<2>");
+        assert_eq!(
+            ex.nets
+                .iter()
+                .filter(|n| n.aliases.contains("D<2>"))
+                .count(),
+            1,
+            "the two wires merged by expanded name"
+        );
+    }
+
+    #[test]
+    fn unresolved_symbol_reports_error() {
+        let d0 = design_with_lib();
+        let mut d = d0.clone();
+        let mut cell = CellSchematic::new("top");
+        let mut s = Sheet::new(1);
+        s.instances.push(Instance::new(
+            "I1",
+            SymbolRef::new("ghost", "none", "symbol"),
+            Point::new(0, 0),
+            Orient::R0,
+        ));
+        cell.sheets.push(s);
+        d.add_cell(cell);
+        let ex = extract_cell(&d, d.cell("top").unwrap(), &DialectRules::viewstar());
+        assert!(matches!(ex.errors[0], ConnError::UnresolvedSymbol { .. }));
+    }
+
+    #[test]
+    fn extract_design_builds_netlist_with_ports() {
+        let mut d = design_with_lib();
+        let mut cell = CellSchematic::new("top");
+        cell.ports
+            .push(crate::symbol::SymbolPin::new("OUT", Point::new(0, 0), PinDir::Output));
+        let mut s = Sheet::new(1);
+        s.instances.push(Instance::new(
+            "I1",
+            SymbolRef::new("basiclib", "inv", "symbol"),
+            Point::new(0, 0),
+            Orient::R0,
+        ));
+        s.wires.push(
+            Wire::new(vec![Point::new(64, 0), Point::new(96, 0)])
+                .with_label(label("OUT", Point::new(70, 4))),
+        );
+        cell.sheets.push(s);
+        d.add_cell(cell);
+
+        let (nl, errs) = extract_design(&d, &DialectRules::viewstar());
+        assert!(errs.is_empty());
+        let top = &nl.cells["top"];
+        assert!(top.nets["OUT"].ports.contains("OUT"));
+        assert_eq!(top.instances["I1"], "inv");
+    }
+}

@@ -1,0 +1,518 @@
+//! Synthetic design generation.
+//!
+//! Benches and tests need parameterized designs exhibiting every issue
+//! Section 2 of the paper catalogues: multi-page nets, buses with
+//! condensed taps, postfix indicators, globals, analog properties, and
+//! hierarchy. This generator builds dialect-conformant designs with all
+//! of those features switchable.
+
+use crate::design::{CellSchematic, Design, Library};
+use crate::dialect::{DialectId, DialectRules};
+use crate::geom::{Orient, Point};
+use crate::property::Label;
+use crate::sheet::{Connector, ConnectorKind, Instance, Sheet, Wire};
+use crate::symbol::{PinDir, SymbolDef, SymbolRef};
+
+/// A tiny deterministic PRNG (SplitMix64) so the crate needs no external
+/// randomness dependency.
+#[derive(Debug, Clone)]
+pub struct SplitMix64 {
+    state: u64,
+}
+
+impl SplitMix64 {
+    /// Seeds the generator.
+    pub fn new(seed: u64) -> Self {
+        SplitMix64 { state: seed }
+    }
+
+    /// Next raw 64-bit value.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform value in `0..bound` (`bound` must be nonzero).
+    pub fn below(&mut self, bound: u64) -> u64 {
+        self.next_u64() % bound
+    }
+
+    /// True with probability `num/den`.
+    pub fn chance(&mut self, num: u64, den: u64) -> bool {
+        self.below(den) < num
+    }
+}
+
+/// Parameters for [`generate`].
+#[derive(Debug, Clone)]
+pub struct GenConfig {
+    /// PRNG seed; same seed + same config = identical design.
+    pub seed: u64,
+    /// Gate count per page of each cell.
+    pub gates_per_page: usize,
+    /// Pages per cell.
+    pub pages: u32,
+    /// Hierarchy depth: 0 generates a flat top cell; `d > 0` generates a
+    /// chain of `d` block cells below the top.
+    pub depth: usize,
+    /// Width of the generated data bus (0 disables the bus structure).
+    pub bus_width: usize,
+    /// Number of nets deliberately spanning consecutive pages.
+    pub cross_page_nets: usize,
+    /// Attach Viewstar postfix indicators (`-`) to some net names.
+    /// Ignored for Cascade output (the grammar forbids them).
+    pub postfix_nets: bool,
+    /// Attach compound analog properties (`SPICE = "w=... l=..."`) that
+    /// migration must reformat via a/L callbacks.
+    pub analog_props: bool,
+    /// Wire up `VDD`/`GND` as globals.
+    pub globals: bool,
+    /// Target dialect conventions.
+    pub dialect: DialectId,
+}
+
+impl Default for GenConfig {
+    fn default() -> Self {
+        GenConfig {
+            seed: 1,
+            gates_per_page: 12,
+            pages: 2,
+            depth: 1,
+            bus_width: 4,
+            cross_page_nets: 2,
+            postfix_nets: true,
+            analog_props: true,
+            globals: true,
+            dialect: DialectId::Viewstar,
+        }
+    }
+}
+
+/// Names used by the generated primitive library.
+pub const PRIMITIVE_LIB: &str = "primlib";
+/// Library holding generated hierarchical block symbols.
+pub const USER_LIB: &str = "userlib";
+
+fn primitive_library(rules: &DialectRules) -> Library {
+    let g = rules.grid;
+    let mut lib = Library::new(PRIMITIVE_LIB);
+    lib.add(
+        SymbolDef::new(SymbolRef::new(PRIMITIVE_LIB, "inv", "symbol"), g)
+            .with_pin("A", Point::new(0, 0), PinDir::Input)
+            .with_pin("Y", Point::new(4 * g, 0), PinDir::Output)
+            .with_body_segment(Point::new(g, -g), Point::new(g, g))
+            .with_body_segment(Point::new(g, g), Point::new(3 * g, 0))
+            .with_body_segment(Point::new(g, -g), Point::new(3 * g, 0)),
+    );
+    lib.add(
+        SymbolDef::new(SymbolRef::new(PRIMITIVE_LIB, "nand2", "symbol"), g)
+            .with_pin("A", Point::new(0, 0), PinDir::Input)
+            .with_pin("B", Point::new(0, 2 * g), PinDir::Input)
+            .with_pin("Y", Point::new(4 * g, 0), PinDir::Output)
+            .with_body_segment(Point::new(g, -g), Point::new(g, 3 * g))
+            .with_body_segment(Point::new(g, 3 * g), Point::new(3 * g, g))
+            .with_body_segment(Point::new(g, -g), Point::new(3 * g, g)),
+    );
+    lib.add(
+        SymbolDef::new(SymbolRef::new(PRIMITIVE_LIB, "nmos", "symbol"), g)
+            .with_pin("G", Point::new(0, 0), PinDir::Input)
+            .with_pin("D", Point::new(2 * g, 2 * g), PinDir::Passive)
+            .with_pin("S", Point::new(2 * g, -2 * g), PinDir::Passive)
+            .with_body_segment(Point::new(g, -g), Point::new(g, g)),
+    );
+    lib
+}
+
+fn bus_register(rules: &DialectRules, width: usize) -> SymbolDef {
+    let g = rules.grid;
+    let mut sym = SymbolDef::new(
+        SymbolRef::new(PRIMITIVE_LIB, format!("reg{width}"), "symbol"),
+        g,
+    );
+    for i in 0..width {
+        sym.pins.push(crate::symbol::SymbolPin::new(
+            format!("D<{i}>"),
+            Point::new(0, 2 * g * i as i64),
+            PinDir::Input,
+        ));
+    }
+    sym.pins.push(crate::symbol::SymbolPin::new(
+        "CLK",
+        Point::new(4 * g, 0),
+        PinDir::Input,
+    ));
+    sym
+}
+
+fn block_symbol(rules: &DialectRules, cell: &str) -> SymbolDef {
+    let g = rules.grid;
+    SymbolDef::new(SymbolRef::new(USER_LIB, cell, "symbol"), g)
+        .with_pin("IN", Point::new(0, 0), PinDir::Input)
+        .with_pin("OUT", Point::new(4 * g, 0), PinDir::Output)
+        .with_body_segment(Point::new(g, -2 * g), Point::new(g, 2 * g))
+        .with_body_segment(Point::new(g, 2 * g), Point::new(3 * g, 2 * g))
+        .with_body_segment(Point::new(3 * g, -2 * g), Point::new(3 * g, 2 * g))
+        .with_body_segment(Point::new(g, -2 * g), Point::new(3 * g, -2 * g))
+}
+
+/// Builds one cell: a gate chain per page with labelled nets, optional
+/// bus/register structure, cross-page nets, globals, and `IN`/`OUT`
+/// ports bound to the chain ends.
+#[allow(clippy::too_many_arguments)]
+fn build_cell(
+    name: &str,
+    cfg: &GenConfig,
+    rules: &DialectRules,
+    rng: &mut SplitMix64,
+    child: Option<&str>,
+) -> CellSchematic {
+    let g = rules.grid;
+    let font = rules.font;
+    let mut cell = CellSchematic::new(name);
+    cell.ports.push(crate::symbol::SymbolPin::new(
+        "IN",
+        Point::new(0, 0),
+        PinDir::Input,
+    ));
+    cell.ports.push(crate::symbol::SymbolPin::new(
+        "OUT",
+        Point::new(4 * g, 0),
+        PinDir::Output,
+    ));
+
+    let explicit = !rules.implicit_page_nets;
+    let mut inst_counter = 0usize;
+    let col_pitch = 10 * g;
+    let row_pitch = 8 * g;
+    let cols = 8usize;
+
+    for page in 1..=cfg.pages {
+        let mut sheet = Sheet::new(page);
+        let y_base = 4 * g;
+        let mut prev_out: Option<Point> = None;
+
+        for k in 0..cfg.gates_per_page {
+            inst_counter += 1;
+            let col = (k % cols) as i64;
+            let row = (k / cols) as i64;
+            let origin = Point::new(2 * g + col * col_pitch, y_base + row * row_pitch);
+            let kind = if rng.chance(1, 4) { "nand2" } else { "inv" };
+            let iname = format!("I{inst_counter}");
+            let mut inst = Instance::new(
+                iname.clone(),
+                SymbolRef::new(PRIMITIVE_LIB, kind, "symbol"),
+                origin,
+                Orient::R0,
+            );
+            if cfg.analog_props && rng.chance(1, 3) {
+                let w = 6 + rng.below(20);
+                let l = 2 + rng.below(6);
+                inst.props
+                    .set("SPICE", format!("w={}.{}u l=0.{}u", w / 10, w % 10, l));
+            }
+            inst.props.set("SIZE", (1 + rng.below(4)) as i64);
+            sheet.instances.push(inst);
+
+            let in_at = origin; // pin A at local (0,0)
+            let out_at = origin.offset(4 * g, 0);
+
+            // Connect previous output to this input with an L-route.
+            if let Some(prev) = prev_out {
+                let net_idx = inst_counter;
+                let mut text = format!("n{net_idx}");
+                if cfg.postfix_nets
+                    && rules.bus == crate::bus::BusSyntax::Viewstar
+                    && rng.chance(1, 5)
+                {
+                    text.push('-');
+                }
+                let pts = if prev.y == in_at.y {
+                    vec![prev, in_at]
+                } else {
+                    // Row wrap: route around the rows through a free
+                    // channel one grid below the new row, so the wire
+                    // never runs along a pin row.
+                    let x_right = prev.x + g;
+                    let y_chan = in_at.y - g;
+                    let x_left = in_at.x - g;
+                    vec![
+                        prev,
+                        Point::new(x_right, prev.y),
+                        Point::new(x_right, y_chan),
+                        Point::new(x_left, y_chan),
+                        Point::new(x_left, in_at.y),
+                        in_at,
+                    ]
+                };
+                let label_at = pts[0].offset(g / 2, g / 2);
+                sheet
+                    .wires
+                    .push(Wire::new(pts).with_label(Label::new(text, label_at, font)));
+            } else {
+                // First gate of the page: bind to IN (page 1) or to the
+                // page-crossing net from the previous page.
+                let stub = Point::new(in_at.x - 2 * g, in_at.y);
+                let text = if page == 1 {
+                    "IN".to_string()
+                } else {
+                    format!("pg{}_{}", page - 1, name_hash(name) % 97)
+                };
+                let w = Wire::new(vec![stub, in_at])
+                    .with_label(Label::new(text.clone(), stub.offset(0, g / 2), font));
+                sheet.wires.push(w);
+                if explicit && page > 1 {
+                    sheet
+                        .connectors
+                        .push(Connector::new(ConnectorKind::OffPage, text, stub));
+                } else if explicit && page == 1 {
+                    sheet
+                        .connectors
+                        .push(Connector::new(ConnectorKind::HierInput, "IN", stub));
+                }
+            }
+            prev_out = Some(out_at);
+
+            // Tie nand2's B input to a global or a local tie-off.
+            if kind == "nand2" {
+                let b_at = origin.offset(0, 2 * g);
+                let stub = b_at.offset(-2 * g, 0);
+                let text = if cfg.globals && rng.chance(1, 2) {
+                    "VDD".to_string()
+                } else {
+                    format!("tie{inst_counter}")
+                };
+                sheet.wires.push(
+                    Wire::new(vec![stub, b_at])
+                        .with_label(Label::new(text, stub.offset(0, g / 2), font)),
+                );
+            }
+        }
+
+        // Close the page: last output feeds OUT (final page) or a
+        // page-crossing net.
+        if let Some(out) = prev_out {
+            let stub = out.offset(2 * g, 0);
+            let text = if page == cfg.pages {
+                "OUT".to_string()
+            } else {
+                format!("pg{}_{}", page, name_hash(name) % 97)
+            };
+            sheet.wires.push(
+                Wire::new(vec![out, stub])
+                    .with_label(Label::new(text.clone(), out.offset(g / 2, g / 2), font)),
+            );
+            if explicit && page == cfg.pages {
+                sheet
+                    .connectors
+                    .push(Connector::new(ConnectorKind::HierOutput, "OUT", stub));
+            } else if explicit {
+                sheet
+                    .connectors
+                    .push(Connector::new(ConnectorKind::OffPage, text, stub));
+            }
+        }
+
+        // Extra deliberately cross-page nets.
+        for j in 0..cfg.cross_page_nets {
+            if page == cfg.pages {
+                continue;
+            }
+            let y = y_base - 2 * g - 2 * g * j as i64;
+            let a = Point::new(2 * g, y);
+            let b = Point::new(6 * g, y);
+            let text = format!("xp{j}");
+            sheet.wires.push(
+                Wire::new(vec![a, b])
+                    .with_label(Label::new(text.clone(), a.offset(0, g / 2), font)),
+            );
+            if explicit {
+                sheet
+                    .connectors
+                    .push(Connector::new(ConnectorKind::OffPage, text, b));
+            }
+        }
+
+        // Bus + register on page 1.
+        if cfg.bus_width > 0 && page == 1 {
+            let w = cfg.bus_width;
+            cell.buses.insert("D".to_string());
+            let reg_origin = Point::new(2 * g + cols as i64 * col_pitch + 4 * g, y_base);
+            sheet.instances.push(Instance::new(
+                format!("R{page}"),
+                SymbolRef::new(PRIMITIVE_LIB, format!("reg{w}"), "symbol"),
+                reg_origin,
+                Orient::R0,
+            ));
+            // Vertical bundle through every D pin.
+            let top_y = reg_origin.y + 2 * g * (w as i64 - 1);
+            sheet.wires.push(
+                Wire::new(vec![reg_origin, Point::new(reg_origin.x, top_y + 2 * g)]).with_label(
+                    Label::new(
+                        format!("D<0:{}>", w - 1),
+                        reg_origin.offset(g / 2, g / 2),
+                        font,
+                    ),
+                ),
+            );
+            // A condensed tap in Viewstar, explicit in Cascade.
+            let tap_at = Point::new(reg_origin.x - 4 * g, reg_origin.y - 2 * g);
+            let tap_text = match rules.bus {
+                crate::bus::BusSyntax::Viewstar => "D1".to_string(),
+                crate::bus::BusSyntax::Cascade => "D<1>".to_string(),
+            };
+            sheet.wires.push(
+                Wire::new(vec![tap_at, tap_at.offset(2 * g, 0)])
+                    .with_label(Label::new(tap_text, tap_at.offset(0, g / 2), font)),
+            );
+        }
+
+        // Instantiate the child block, if any, fed from a tap net.
+        if let Some(child_cell) = child {
+            if page == 1 {
+                let at = Point::new(2 * g, y_base + 4 * row_pitch);
+                inst_counter += 1;
+                sheet.instances.push(Instance::new(
+                    format!("X{inst_counter}"),
+                    SymbolRef::new(USER_LIB, child_cell, "symbol"),
+                    at,
+                    Orient::R0,
+                ));
+                // Drive the child's IN from the IN net; expose its OUT.
+                let in_stub = at.offset(-2 * g, 0);
+                sheet.wires.push(
+                    Wire::new(vec![in_stub, at])
+                        .with_label(Label::new("IN", in_stub.offset(0, g / 2), font)),
+                );
+                let out_at = at.offset(4 * g, 0);
+                sheet.wires.push(
+                    Wire::new(vec![out_at, out_at.offset(2 * g, 0)]).with_label(Label::new(
+                        format!("sub{inst_counter}"),
+                        out_at.offset(0, g / 2),
+                        font,
+                    )),
+                );
+            }
+        }
+
+        cell.sheets.push(sheet);
+    }
+    cell
+}
+
+fn name_hash(s: &str) -> u64 {
+    s.bytes().fold(1469598103934665603u64, |h, b| {
+        (h ^ b as u64).wrapping_mul(1099511628211)
+    })
+}
+
+/// Generates a dialect-conformant synthetic design.
+///
+/// The result passes [`crate::dialect::check_conformance`] for the
+/// configured dialect and extracts without errors, so it is a valid
+/// starting point for migration and benchmarking.
+pub fn generate(cfg: &GenConfig) -> Design {
+    let rules = DialectRules::for_id(cfg.dialect);
+    let mut rng = SplitMix64::new(cfg.seed);
+    let mut design = Design::new(format!("gen{}", cfg.seed), cfg.dialect);
+    if cfg.globals {
+        design.add_global("VDD");
+        design.add_global("GND");
+    }
+
+    let mut prim = primitive_library(&rules);
+    if cfg.bus_width > 0 {
+        prim.add(bus_register(&rules, cfg.bus_width));
+    }
+    design.add_library(prim);
+
+    let mut user = Library::new(USER_LIB);
+    let mut child: Option<String> = None;
+    let mut cells: Vec<CellSchematic> = Vec::new();
+    for d in (0..cfg.depth).rev() {
+        let cell_name = format!("blk{d}");
+        user.add(block_symbol(&rules, &cell_name));
+        let cell = build_cell(&cell_name, cfg, &rules, &mut rng, child.as_deref());
+        child = Some(cell_name);
+        cells.push(cell);
+    }
+    design.add_library(user);
+
+    let top = build_cell("top", cfg, &rules, &mut rng, child.as_deref());
+    design.add_cell(top);
+    for c in cells {
+        design.add_cell(c);
+    }
+    design.set_top("top");
+    design
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::connectivity::extract_design;
+    use crate::dialect::check_conformance;
+
+    #[test]
+    fn generated_viewstar_design_is_conformant() {
+        let cfg = GenConfig::default();
+        let d = generate(&cfg);
+        let v = check_conformance(&d, &DialectRules::viewstar());
+        assert!(v.is_empty(), "violations: {v:?}");
+    }
+
+    #[test]
+    fn generated_cascade_design_is_conformant() {
+        let cfg = GenConfig {
+            dialect: DialectId::Cascade,
+            postfix_nets: false,
+            ..GenConfig::default()
+        };
+        let d = generate(&cfg);
+        let v = check_conformance(&d, &DialectRules::cascade());
+        assert!(v.is_empty(), "violations: {v:?}");
+    }
+
+    #[test]
+    fn generated_design_extracts_cleanly() {
+        let d = generate(&GenConfig::default());
+        let (nl, errs) = extract_design(&d, &DialectRules::viewstar());
+        assert!(errs.is_empty(), "errors: {errs:?}");
+        assert!(nl.net_count() > 0);
+        assert!(nl.pin_count() > 0);
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let cfg = GenConfig::default();
+        assert_eq!(generate(&cfg), generate(&cfg));
+    }
+
+    #[test]
+    fn depth_controls_cell_count() {
+        let flat = generate(&GenConfig {
+            depth: 0,
+            ..GenConfig::default()
+        });
+        assert_eq!(flat.stats().cells, 1);
+        let deep = generate(&GenConfig {
+            depth: 3,
+            ..GenConfig::default()
+        });
+        assert_eq!(deep.stats().cells, 4);
+    }
+
+    #[test]
+    fn splitmix_is_reproducible_and_bounded() {
+        let mut a = SplitMix64::new(7);
+        let mut b = SplitMix64::new(7);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+        for _ in 0..100 {
+            assert!(a.below(10) < 10);
+        }
+    }
+}

@@ -1,0 +1,387 @@
+//! Geometry primitives for schematic data.
+//!
+//! All coordinates are integer *database units* (DBU). One inch is
+//! [`DBU_PER_INCH`] units, chosen as the least common multiple of the two
+//! vendor grids described in the paper (1/10 inch for Viewstar, 1/16 inch
+//! for Cascade) so that both grids — and exact rational scaling between
+//! them — are representable without rounding.
+
+/// Database units per inch. `160 = lcm(10, 16) * 1`, i.e. 1/10" = 16 DBU
+/// and 1/16" = 10 DBU.
+pub const DBU_PER_INCH: i64 = 160;
+
+/// A point in schematic database units.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Point {
+    /// Horizontal coordinate in DBU, increasing rightward.
+    pub x: i64,
+    /// Vertical coordinate in DBU, increasing upward.
+    pub y: i64,
+}
+
+impl Point {
+    /// Creates a point from `x`/`y` database-unit coordinates.
+    ///
+    /// ```
+    /// use schematic::geom::Point;
+    /// let p = Point::new(32, -16);
+    /// assert_eq!(p.x, 32);
+    /// ```
+    pub const fn new(x: i64, y: i64) -> Self {
+        Point { x, y }
+    }
+
+    /// Component-wise addition.
+    pub const fn offset(self, dx: i64, dy: i64) -> Self {
+        Point::new(self.x + dx, self.y + dy)
+    }
+
+    /// Manhattan distance to `other`.
+    pub fn manhattan(self, other: Point) -> i64 {
+        (self.x - other.x).abs() + (self.y - other.y).abs()
+    }
+
+    /// True when the point lies on the given grid pitch (both axes).
+    pub fn on_grid(self, pitch: i64) -> bool {
+        pitch > 0 && self.x % pitch == 0 && self.y % pitch == 0
+    }
+
+    /// Snaps each coordinate to the nearest multiple of `pitch`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `pitch` is not positive.
+    pub fn snapped(self, pitch: i64) -> Point {
+        assert!(pitch > 0, "grid pitch must be positive");
+        let snap = |v: i64| {
+            let d = v.div_euclid(pitch);
+            let r = v.rem_euclid(pitch);
+            if 2 * r >= pitch {
+                (d + 1) * pitch
+            } else {
+                d * pitch
+            }
+        };
+        Point::new(snap(self.x), snap(self.y))
+    }
+
+    /// Scales by the exact rational `num/den`, rounding to nearest.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `den` is zero.
+    pub fn scaled(self, num: i64, den: i64) -> Point {
+        assert!(den != 0, "scale denominator must be nonzero");
+        let mul = |v: i64| {
+            let p = v * num;
+            let (q, r) = (p.div_euclid(den), p.rem_euclid(den));
+            if 2 * r >= den {
+                q + 1
+            } else {
+                q
+            }
+        };
+        Point::new(mul(self.x), mul(self.y))
+    }
+}
+
+impl std::fmt::Display for Point {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "({},{})", self.x, self.y)
+    }
+}
+
+impl From<(i64, i64)> for Point {
+    fn from((x, y): (i64, i64)) -> Self {
+        Point::new(x, y)
+    }
+}
+
+/// Axis-aligned bounding box, inclusive of its corners.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct BBox {
+    /// Lower-left corner.
+    pub lo: Point,
+    /// Upper-right corner.
+    pub hi: Point,
+}
+
+impl BBox {
+    /// A degenerate box containing only `p`.
+    pub const fn at(p: Point) -> Self {
+        BBox { lo: p, hi: p }
+    }
+
+    /// Box spanning two arbitrary corners.
+    pub fn spanning(a: Point, b: Point) -> Self {
+        BBox {
+            lo: Point::new(a.x.min(b.x), a.y.min(b.y)),
+            hi: Point::new(a.x.max(b.x), a.y.max(b.y)),
+        }
+    }
+
+    /// Expands to include `p`, returning the enlarged box.
+    pub fn including(self, p: Point) -> Self {
+        BBox {
+            lo: Point::new(self.lo.x.min(p.x), self.lo.y.min(p.y)),
+            hi: Point::new(self.hi.x.max(p.x), self.hi.y.max(p.y)),
+        }
+    }
+
+    /// Union of two boxes.
+    pub fn union(self, other: BBox) -> Self {
+        self.including(other.lo).including(other.hi)
+    }
+
+    /// Width in DBU.
+    pub fn width(self) -> i64 {
+        self.hi.x - self.lo.x
+    }
+
+    /// Height in DBU.
+    pub fn height(self) -> i64 {
+        self.hi.y - self.lo.y
+    }
+
+    /// True when `p` lies inside or on the boundary.
+    pub fn contains(self, p: Point) -> bool {
+        p.x >= self.lo.x && p.x <= self.hi.x && p.y >= self.lo.y && p.y <= self.hi.y
+    }
+
+    /// True when the two boxes share any point.
+    pub fn intersects(self, other: BBox) -> bool {
+        self.lo.x <= other.hi.x
+            && other.lo.x <= self.hi.x
+            && self.lo.y <= other.hi.y
+            && other.lo.y <= self.hi.y
+    }
+}
+
+/// The eight schematic orientations: four rotations optionally preceded by
+/// a mirror about the X axis. These are the "rotation codes" the paper's
+/// symbol-replacement maps carry.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub enum Orient {
+    /// No rotation.
+    #[default]
+    R0,
+    /// 90° counter-clockwise.
+    R90,
+    /// 180°.
+    R180,
+    /// 270° counter-clockwise.
+    R270,
+    /// Mirror about the X axis (flip vertically).
+    MX,
+    /// Mirror about X, then rotate 90° CCW.
+    MXR90,
+    /// Mirror about the Y axis (flip horizontally).
+    MY,
+    /// Mirror about Y, then rotate 90° CCW.
+    MYR90,
+}
+
+impl Orient {
+    /// All eight orientations, in canonical order.
+    pub const ALL: [Orient; 8] = [
+        Orient::R0,
+        Orient::R90,
+        Orient::R180,
+        Orient::R270,
+        Orient::MX,
+        Orient::MXR90,
+        Orient::MY,
+        Orient::MYR90,
+    ];
+
+    /// Applies this orientation to a point about the origin.
+    pub fn apply(self, p: Point) -> Point {
+        let Point { x, y } = p;
+        match self {
+            Orient::R0 => Point::new(x, y),
+            Orient::R90 => Point::new(-y, x),
+            Orient::R180 => Point::new(-x, -y),
+            Orient::R270 => Point::new(y, -x),
+            Orient::MX => Point::new(x, -y),
+            Orient::MXR90 => Point::new(y, x),
+            Orient::MY => Point::new(-x, y),
+            Orient::MYR90 => Point::new(-y, -x),
+        }
+    }
+
+    /// Composes two orientations: `self.compose(then)` first applies
+    /// `self`, then `then`.
+    pub fn compose(self, then: Orient) -> Orient {
+        // Determined by applying both to basis vectors.
+        let e1 = then.apply(self.apply(Point::new(1, 0)));
+        let e2 = then.apply(self.apply(Point::new(0, 1)));
+        for o in Orient::ALL {
+            if o.apply(Point::new(1, 0)) == e1 && o.apply(Point::new(0, 1)) == e2 {
+                return o;
+            }
+        }
+        unreachable!("orientation composition is closed over the 8 codes")
+    }
+
+    /// The inverse orientation.
+    pub fn inverse(self) -> Orient {
+        for o in Orient::ALL {
+            if self.compose(o) == Orient::R0 {
+                return o;
+            }
+        }
+        unreachable!("every orientation has an inverse")
+    }
+
+    /// True for the four mirrored codes.
+    pub fn is_mirrored(self) -> bool {
+        matches!(
+            self,
+            Orient::MX | Orient::MXR90 | Orient::MY | Orient::MYR90
+        )
+    }
+
+    /// Short vendor-style code, e.g. `"R90"` or `"MXR90"`.
+    pub fn code(self) -> &'static str {
+        match self {
+            Orient::R0 => "R0",
+            Orient::R90 => "R90",
+            Orient::R180 => "R180",
+            Orient::R270 => "R270",
+            Orient::MX => "MX",
+            Orient::MXR90 => "MXR90",
+            Orient::MY => "MY",
+            Orient::MYR90 => "MYR90",
+        }
+    }
+
+    /// Parses a vendor rotation code.
+    pub fn parse(code: &str) -> Option<Orient> {
+        Orient::ALL.into_iter().find(|o| o.code() == code)
+    }
+}
+
+impl std::fmt::Display for Orient {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.code())
+    }
+}
+
+/// A rigid placement transform: orientation about the origin followed by
+/// translation to `origin`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct Transform {
+    /// Translation applied after orientation.
+    pub origin: Point,
+    /// Orientation applied about the local origin.
+    pub orient: Orient,
+}
+
+impl Transform {
+    /// Creates a transform from a placement origin and orientation.
+    pub const fn new(origin: Point, orient: Orient) -> Self {
+        Transform { origin, orient }
+    }
+
+    /// Maps a local-space point to sheet space.
+    pub fn apply(self, p: Point) -> Point {
+        let r = self.orient.apply(p);
+        r.offset(self.origin.x, self.origin.y)
+    }
+
+    /// Composes with another transform applied afterwards, so that
+    /// `self.then(outer).apply(p) == outer.apply(self.apply(p))`.
+    pub fn then(self, outer: Transform) -> Transform {
+        Transform {
+            origin: outer.apply(self.origin),
+            orient: self.orient.compose(outer.orient),
+        }
+    }
+
+    /// Inverse transform, such that `t.inverse().apply(t.apply(p)) == p`.
+    pub fn inverse(self) -> Transform {
+        let inv = self.orient.inverse();
+        Transform {
+            origin: inv.apply(Point::new(-self.origin.x, -self.origin.y)),
+            orient: inv,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn point_snapping_rounds_to_nearest() {
+        assert_eq!(Point::new(7, 9).snapped(16), Point::new(0, 16));
+        assert_eq!(Point::new(8, -8).snapped(16), Point::new(16, 0));
+        assert_eq!(Point::new(-9, -7).snapped(16), Point::new(-16, 0));
+    }
+
+    #[test]
+    fn point_scaling_is_exact_on_grid() {
+        // Viewstar grid (16 DBU) scaled by 5/8 lands on Cascade grid (10).
+        let p = Point::new(16 * 3, 16 * 7).scaled(5, 8);
+        assert_eq!(p, Point::new(30, 70));
+        assert!(p.on_grid(10));
+    }
+
+    #[test]
+    fn orientation_composition_has_identity_and_inverses() {
+        for o in Orient::ALL {
+            assert_eq!(o.compose(Orient::R0), o);
+            assert_eq!(Orient::R0.compose(o), o);
+            assert_eq!(o.compose(o.inverse()), Orient::R0);
+        }
+    }
+
+    #[test]
+    fn rotations_compose_like_the_cyclic_group() {
+        assert_eq!(Orient::R90.compose(Orient::R90), Orient::R180);
+        assert_eq!(Orient::R90.compose(Orient::R270), Orient::R0);
+        assert_eq!(Orient::R180.compose(Orient::R180), Orient::R0);
+    }
+
+    #[test]
+    fn mirrors_are_involutions() {
+        assert_eq!(Orient::MX.compose(Orient::MX), Orient::R0);
+        assert_eq!(Orient::MY.compose(Orient::MY), Orient::R0);
+    }
+
+    #[test]
+    fn transform_round_trips_points() {
+        let t = Transform::new(Point::new(100, -40), Orient::MXR90);
+        let p = Point::new(13, 57);
+        assert_eq!(t.inverse().apply(t.apply(p)), p);
+    }
+
+    #[test]
+    fn orient_codes_round_trip() {
+        for o in Orient::ALL {
+            assert_eq!(Orient::parse(o.code()), Some(o));
+        }
+        assert_eq!(Orient::parse("R45"), None);
+    }
+
+    #[test]
+    fn bbox_union_and_containment() {
+        let b = BBox::at(Point::new(0, 0)).including(Point::new(10, 20));
+        assert!(b.contains(Point::new(5, 5)));
+        assert!(!b.contains(Point::new(11, 5)));
+        let c = b.union(BBox::at(Point::new(-5, 30)));
+        assert_eq!(c.lo, Point::new(-5, 0));
+        assert_eq!(c.hi, Point::new(10, 30));
+        assert_eq!(c.width(), 15);
+        assert_eq!(c.height(), 30);
+    }
+
+    #[test]
+    fn bbox_intersection_is_symmetric() {
+        let a = BBox::spanning(Point::new(0, 0), Point::new(10, 10));
+        let b = BBox::spanning(Point::new(10, 10), Point::new(20, 20));
+        let c = BBox::spanning(Point::new(11, 0), Point::new(20, 9));
+        assert!(a.intersects(b) && b.intersects(a));
+        assert!(!a.intersects(c) && !c.intersects(a));
+    }
+}

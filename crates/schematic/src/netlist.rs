@@ -1,0 +1,401 @@
+//! Canonical netlists and netlist comparison.
+//!
+//! Section 2's closing point: "design data translations must be
+//! independently verified". The canonical netlist is the tool-neutral
+//! form both the source and translated schematics are reduced to; the
+//! comparison here is the independent verifier.
+
+use std::collections::{BTreeMap, BTreeSet};
+use std::fmt;
+
+/// A reference to one pin of one instance.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct PinRef {
+    /// Instance name.
+    pub inst: String,
+    /// Pin name on the instance's symbol.
+    pub pin: String,
+}
+
+impl PinRef {
+    /// Creates a pin reference.
+    pub fn new(inst: impl Into<String>, pin: impl Into<String>) -> Self {
+        PinRef {
+            inst: inst.into(),
+            pin: pin.into(),
+        }
+    }
+}
+
+impl fmt::Display for PinRef {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}.{}", self.inst, self.pin)
+    }
+}
+
+/// One net of a cell netlist.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct NetInfo {
+    /// Instance pins on the net.
+    pub pins: BTreeSet<PinRef>,
+    /// True for global nets (power rails etc.).
+    pub is_global: bool,
+    /// Port names through which this net is visible to the parent cell
+    /// (empty for internal nets).
+    pub ports: BTreeSet<String>,
+}
+
+/// The netlist of one cell.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct CellNetlist {
+    /// Nets by canonical name.
+    pub nets: BTreeMap<String, NetInfo>,
+    /// Instance name → referenced cell (symbol cell name).
+    pub instances: BTreeMap<String, String>,
+}
+
+impl CellNetlist {
+    /// The net a given instance pin connects to, if any.
+    pub fn net_of(&self, pin: &PinRef) -> Option<&str> {
+        self.nets
+            .iter()
+            .find(|(_, n)| n.pins.contains(pin))
+            .map(|(name, _)| name.as_str())
+    }
+
+    /// Pins left unconnected: instance pins referenced by no net are not
+    /// representable here, so this reports nets with exactly one pin and
+    /// no port/global attachment — the usual dangling-net symptom.
+    pub fn dangling_nets(&self) -> Vec<&str> {
+        self.nets
+            .iter()
+            .filter(|(_, n)| n.pins.len() <= 1 && n.ports.is_empty() && !n.is_global)
+            .map(|(name, _)| name.as_str())
+            .collect()
+    }
+}
+
+/// A design-wide canonical netlist.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Netlist {
+    /// Design name.
+    pub design: String,
+    /// Cell netlists by cell name.
+    pub cells: BTreeMap<String, CellNetlist>,
+}
+
+impl Netlist {
+    /// Creates an empty netlist for a design name.
+    pub fn new(design: impl Into<String>) -> Self {
+        Netlist {
+            design: design.into(),
+            cells: BTreeMap::new(),
+        }
+    }
+
+    /// Total net count across cells.
+    pub fn net_count(&self) -> usize {
+        self.cells.values().map(|c| c.nets.len()).sum()
+    }
+
+    /// Total pin-connection count across cells.
+    pub fn pin_count(&self) -> usize {
+        self.cells
+            .values()
+            .flat_map(|c| c.nets.values())
+            .map(|n| n.pins.len())
+            .sum()
+    }
+}
+
+/// One discrepancy found by netlist comparison.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum NetlistDiff {
+    /// A cell present on one side only.
+    CellOnlyIn {
+        /// `"left"` or `"right"`.
+        side: &'static str,
+        /// Cell name.
+        cell: String,
+    },
+    /// An instance present on one side only.
+    InstanceOnlyIn {
+        /// `"left"` or `"right"`.
+        side: &'static str,
+        /// Cell name.
+        cell: String,
+        /// Instance name.
+        inst: String,
+    },
+    /// An instance references different cells on the two sides.
+    InstanceRetargeted {
+        /// Cell name.
+        cell: String,
+        /// Instance name.
+        inst: String,
+        /// Referenced cell on the left.
+        left: String,
+        /// Referenced cell on the right.
+        right: String,
+    },
+    /// A net whose pin set exists on the left but matches nothing on the
+    /// right (or vice versa) — a genuine connectivity change.
+    NetUnmatched {
+        /// `"left"` or `"right"`.
+        side: &'static str,
+        /// Cell name.
+        cell: String,
+        /// Net name on that side.
+        net: String,
+        /// The pins of the unmatched net.
+        pins: Vec<String>,
+    },
+}
+
+impl fmt::Display for NetlistDiff {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NetlistDiff::CellOnlyIn { side, cell } => write!(f, "cell `{cell}` only in {side}"),
+            NetlistDiff::InstanceOnlyIn { side, cell, inst } => {
+                write!(f, "{cell}: instance `{inst}` only in {side}")
+            }
+            NetlistDiff::InstanceRetargeted {
+                cell,
+                inst,
+                left,
+                right,
+            } => write!(f, "{cell}: instance `{inst}` is `{left}` vs `{right}`"),
+            NetlistDiff::NetUnmatched {
+                side,
+                cell,
+                net,
+                pins,
+            } => write!(f, "{cell}: net `{net}` in {side} unmatched (pins: {})", pins.join(" ")),
+        }
+    }
+}
+
+/// Result of a netlist comparison: the name mapping discovered plus all
+/// discrepancies.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct CompareReport {
+    /// Per-cell mapping from left net name to the structurally equal
+    /// right net name.
+    pub net_mapping: BTreeMap<String, BTreeMap<String, String>>,
+    /// All discrepancies, empty when the netlists are equivalent.
+    pub diffs: Vec<NetlistDiff>,
+}
+
+impl CompareReport {
+    /// True when no discrepancies were found.
+    pub fn is_equivalent(&self) -> bool {
+        self.diffs.is_empty()
+    }
+}
+
+/// Compares two netlists **structurally**: instance names must match and
+/// every net on each side must have a pin-set-identical partner on the
+/// other, but net *names* may differ freely (translation legitimately
+/// renames nets — e.g. dropping Viewstar postfix indicators).
+///
+/// Nets with no pins on either side are ignored.
+pub fn compare(left: &Netlist, right: &Netlist) -> CompareReport {
+    let mut report = CompareReport::default();
+
+    for cell in left.cells.keys() {
+        if !right.cells.contains_key(cell) {
+            report.diffs.push(NetlistDiff::CellOnlyIn {
+                side: "left",
+                cell: cell.clone(),
+            });
+        }
+    }
+    for cell in right.cells.keys() {
+        if !left.cells.contains_key(cell) {
+            report.diffs.push(NetlistDiff::CellOnlyIn {
+                side: "right",
+                cell: cell.clone(),
+            });
+        }
+    }
+
+    for (cell, lc) in &left.cells {
+        let Some(rc) = right.cells.get(cell) else {
+            continue;
+        };
+
+        for (inst, lref) in &lc.instances {
+            match rc.instances.get(inst) {
+                None => report.diffs.push(NetlistDiff::InstanceOnlyIn {
+                    side: "left",
+                    cell: cell.clone(),
+                    inst: inst.clone(),
+                }),
+                Some(rref) if rref != lref => report.diffs.push(NetlistDiff::InstanceRetargeted {
+                    cell: cell.clone(),
+                    inst: inst.clone(),
+                    left: lref.clone(),
+                    right: rref.clone(),
+                }),
+                Some(_) => {}
+            }
+        }
+        for inst in rc.instances.keys() {
+            if !lc.instances.contains_key(inst) {
+                report.diffs.push(NetlistDiff::InstanceOnlyIn {
+                    side: "right",
+                    cell: cell.clone(),
+                    inst: inst.clone(),
+                });
+            }
+        }
+
+        // Structural matching: key each net by its pin set.
+        let mut right_by_pins: BTreeMap<&BTreeSet<PinRef>, Vec<&str>> = BTreeMap::new();
+        for (name, info) in &rc.nets {
+            if info.pins.is_empty() {
+                continue;
+            }
+            right_by_pins.entry(&info.pins).or_default().push(name);
+        }
+
+        let mapping = report.net_mapping.entry(cell.clone()).or_default();
+        let mut used_right: BTreeSet<&str> = BTreeSet::new();
+
+        for (lname, linfo) in &lc.nets {
+            if linfo.pins.is_empty() {
+                continue;
+            }
+            let candidate = right_by_pins
+                .get(&linfo.pins)
+                .and_then(|names| names.iter().find(|n| !used_right.contains(**n)).copied());
+            match candidate {
+                Some(rname) => {
+                    used_right.insert(rname);
+                    mapping.insert(lname.clone(), rname.to_string());
+                }
+                None => report.diffs.push(NetlistDiff::NetUnmatched {
+                    side: "left",
+                    cell: cell.clone(),
+                    net: lname.clone(),
+                    pins: linfo.pins.iter().map(|p| p.to_string()).collect(),
+                }),
+            }
+        }
+        for (rname, rinfo) in &rc.nets {
+            if rinfo.pins.is_empty() || used_right.contains(rname.as_str()) {
+                continue;
+            }
+            report.diffs.push(NetlistDiff::NetUnmatched {
+                side: "right",
+                cell: cell.clone(),
+                net: rname.clone(),
+                pins: rinfo.pins.iter().map(|p| p.to_string()).collect(),
+            });
+        }
+    }
+
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn net(pins: &[(&str, &str)]) -> NetInfo {
+        NetInfo {
+            pins: pins.iter().map(|(i, p)| PinRef::new(*i, *p)).collect(),
+            ..NetInfo::default()
+        }
+    }
+
+    fn simple(names: [&str; 2]) -> Netlist {
+        let mut nl = Netlist::new("d");
+        let mut cell = CellNetlist::default();
+        cell.instances.insert("I1".into(), "inv".into());
+        cell.instances.insert("I2".into(), "inv".into());
+        cell.nets
+            .insert(names[0].into(), net(&[("I1", "Y"), ("I2", "A")]));
+        cell.nets.insert(names[1].into(), net(&[("I2", "Y")]));
+        nl.cells.insert("top".into(), cell);
+        nl
+    }
+
+    #[test]
+    fn identical_netlists_are_equivalent() {
+        let a = simple(["n1", "n2"]);
+        let r = compare(&a, &a.clone());
+        assert!(r.is_equivalent());
+    }
+
+    #[test]
+    fn renamed_nets_still_match_structurally() {
+        let a = simple(["mid-", "out"]);
+        let b = simple(["mid", "out"]);
+        let r = compare(&a, &b);
+        assert!(r.is_equivalent(), "diffs: {:?}", r.diffs);
+        assert_eq!(r.net_mapping["top"]["mid-"], "mid");
+    }
+
+    #[test]
+    fn moved_pin_is_detected() {
+        let a = simple(["n1", "n2"]);
+        let mut b = simple(["n1", "n2"]);
+        let cell = b.cells.get_mut("top").unwrap();
+        let info = cell.nets.get_mut("n2").unwrap();
+        info.pins.insert(PinRef::new("I1", "A"));
+        let r = compare(&a, &b);
+        assert!(!r.is_equivalent());
+        assert!(r
+            .diffs
+            .iter()
+            .any(|d| matches!(d, NetlistDiff::NetUnmatched { .. })));
+    }
+
+    #[test]
+    fn missing_instance_is_detected() {
+        let a = simple(["n1", "n2"]);
+        let mut b = simple(["n1", "n2"]);
+        b.cells.get_mut("top").unwrap().instances.remove("I2");
+        let r = compare(&a, &b);
+        assert!(r.diffs.iter().any(|d| matches!(
+            d,
+            NetlistDiff::InstanceOnlyIn { side: "left", .. }
+        )));
+    }
+
+    #[test]
+    fn retargeted_instance_is_detected() {
+        let a = simple(["n1", "n2"]);
+        let mut b = simple(["n1", "n2"]);
+        *b.cells
+            .get_mut("top")
+            .unwrap()
+            .instances
+            .get_mut("I1")
+            .unwrap() = "nand2".into();
+        let r = compare(&a, &b);
+        assert!(r
+            .diffs
+            .iter()
+            .any(|d| matches!(d, NetlistDiff::InstanceRetargeted { .. })));
+    }
+
+    #[test]
+    fn dangling_net_detection() {
+        let mut cell = CellNetlist::default();
+        cell.nets.insert("loner".into(), net(&[("I1", "Y")]));
+        let mut port_net = net(&[("I2", "A")]);
+        port_net.ports.insert("OUT".into());
+        cell.nets.insert("out".into(), port_net);
+        assert_eq!(cell.dangling_nets(), vec!["loner"]);
+    }
+
+    #[test]
+    fn net_of_finds_owner() {
+        let mut cell = CellNetlist::default();
+        cell.nets.insert("n".into(), net(&[("I1", "Y")]));
+        assert_eq!(cell.net_of(&PinRef::new("I1", "Y")), Some("n"));
+        assert_eq!(cell.net_of(&PinRef::new("I9", "Y")), None);
+    }
+}

@@ -1,0 +1,513 @@
+//! The Viewstar on-disk schematic format: a line-oriented keyword format
+//! in the style of late-80s workstation CAD databases.
+//!
+//! ```text
+//! VIEWSTAR 1
+//! DESIGN adder
+//! GLOBAL VDD
+//! LIBRARY basiclib
+//! SYMBOL inv symbol GRID 16
+//! PIN A 0 0 input
+//! BODY 16 -16 16 16
+//! ENDSYMBOL
+//! ENDLIBRARY
+//! CELL top
+//! BUS D
+//! PORT OUT 0 0 output
+//! PAGE 1
+//! I I1 basiclib inv symbol 0 0 R0
+//! IPROP I1 SIZE 4
+//! W 2 64 0 160 0 LABEL mid 96 4
+//! C offpage sig 160 0 R0
+//! T "title block" 0 0
+//! ENDPAGE
+//! ENDCELL
+//! END
+//! ```
+
+use std::fmt;
+
+use crate::design::{CellSchematic, Design, Library};
+use crate::dialect::DialectId;
+use crate::geom::{Orient, Point};
+use crate::property::{FontMetrics, Label, PropValue};
+use crate::sheet::{Connector, ConnectorKind, Instance, Sheet, Wire};
+use crate::symbol::{PinDir, SymbolDef, SymbolPin, SymbolRef};
+
+/// Error parsing a Viewstar file.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseViewstarError {
+    /// 1-based line number.
+    pub line: usize,
+    /// Problem description.
+    pub message: String,
+}
+
+impl fmt::Display for ParseViewstarError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "viewstar line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for ParseViewstarError {}
+
+fn quote(s: &str) -> String {
+    if s.is_empty() || s.contains(' ') || s.contains('"') {
+        format!("\"{}\"", s.replace('"', "\"\""))
+    } else {
+        s.to_string()
+    }
+}
+
+/// Serializes a design to Viewstar text.
+pub fn write(design: &Design) -> String {
+    let mut out = String::new();
+    out.push_str("VIEWSTAR 1\n");
+    out.push_str(&format!("DESIGN {}\n", quote(&design.name)));
+    out.push_str(&format!("TOP {}\n", quote(&design.top)));
+    for g in design.globals() {
+        out.push_str(&format!("GLOBAL {}\n", quote(g)));
+    }
+    for lib in design.libraries() {
+        out.push_str(&format!("LIBRARY {}\n", quote(&lib.name)));
+        for sym in lib.iter() {
+            out.push_str(&format!(
+                "SYMBOL {} {} GRID {}\n",
+                quote(&sym.reference.cell),
+                quote(&sym.reference.view),
+                sym.grid
+            ));
+            for pin in &sym.pins {
+                out.push_str(&format!(
+                    "PIN {} {} {} {}\n",
+                    quote(&pin.name),
+                    pin.at.x,
+                    pin.at.y,
+                    pin.dir.keyword()
+                ));
+            }
+            for (a, b) in &sym.body {
+                out.push_str(&format!("BODY {} {} {} {}\n", a.x, a.y, b.x, b.y));
+            }
+            for (k, v) in sym.default_props.iter() {
+                out.push_str(&format!("SPROP {} {}\n", quote(k), quote(&v.to_text())));
+            }
+            out.push_str("ENDSYMBOL\n");
+        }
+        out.push_str("ENDLIBRARY\n");
+    }
+    for (name, cell) in design.cells() {
+        out.push_str(&format!("CELL {}\n", quote(name)));
+        for b in &cell.buses {
+            out.push_str(&format!("BUS {}\n", quote(b)));
+        }
+        for p in &cell.ports {
+            out.push_str(&format!(
+                "PORT {} {} {} {}\n",
+                quote(&p.name),
+                p.at.x,
+                p.at.y,
+                p.dir.keyword()
+            ));
+        }
+        for sheet in &cell.sheets {
+            out.push_str(&format!("PAGE {}\n", sheet.page));
+            for inst in &sheet.instances {
+                out.push_str(&format!(
+                    "I {} {} {} {} {} {} {}\n",
+                    quote(&inst.name),
+                    quote(&inst.symbol.library),
+                    quote(&inst.symbol.cell),
+                    quote(&inst.symbol.view),
+                    inst.place.origin.x,
+                    inst.place.origin.y,
+                    inst.place.orient.code()
+                ));
+                for (k, v) in inst.props.iter() {
+                    out.push_str(&format!(
+                        "IPROP {} {} {}\n",
+                        quote(&inst.name),
+                        quote(k),
+                        quote(&v.to_text())
+                    ));
+                }
+            }
+            for wire in &sheet.wires {
+                out.push_str(&format!("W {}", wire.points.len()));
+                for p in &wire.points {
+                    out.push_str(&format!(" {} {}", p.x, p.y));
+                }
+                if let Some(l) = &wire.label {
+                    out.push_str(&format!(" LABEL {} {} {}", quote(&l.text), l.at.x, l.at.y));
+                }
+                out.push('\n');
+            }
+            for c in &sheet.connectors {
+                out.push_str(&format!(
+                    "C {} {} {} {} {}\n",
+                    c.kind.keyword(),
+                    quote(&c.name),
+                    c.at.x,
+                    c.at.y,
+                    c.orient.code()
+                ));
+            }
+            for t in &sheet.annotations {
+                out.push_str(&format!("T {} {} {}\n", quote(&t.text), t.at.x, t.at.y));
+            }
+            out.push_str("ENDPAGE\n");
+        }
+        out.push_str("ENDCELL\n");
+    }
+    out.push_str("END\n");
+    out
+}
+
+/// Splits a Viewstar line into tokens, honouring `"..."` quoting with
+/// `""` as the embedded-quote escape.
+fn tokenize(line: &str) -> Vec<String> {
+    let mut out = Vec::new();
+    let mut chars = line.chars().peekable();
+    while let Some(&c) = chars.peek() {
+        if c.is_whitespace() {
+            chars.next();
+        } else if c == '"' {
+            chars.next();
+            let mut tok = String::new();
+            loop {
+                match chars.next() {
+                    Some('"') => {
+                        if chars.peek() == Some(&'"') {
+                            chars.next();
+                            tok.push('"');
+                        } else {
+                            break;
+                        }
+                    }
+                    Some(ch) => tok.push(ch),
+                    None => break,
+                }
+            }
+            out.push(tok);
+        } else {
+            let mut tok = String::new();
+            while let Some(&ch) = chars.peek() {
+                if ch.is_whitespace() {
+                    break;
+                }
+                tok.push(ch);
+                chars.next();
+            }
+            out.push(tok);
+        }
+    }
+    out
+}
+
+struct Cursor<'a> {
+    toks: &'a [String],
+    line: usize,
+    idx: usize,
+}
+
+impl<'a> Cursor<'a> {
+    fn err(&self, msg: impl Into<String>) -> ParseViewstarError {
+        ParseViewstarError {
+            line: self.line,
+            message: msg.into(),
+        }
+    }
+    fn next(&mut self) -> Result<&'a str, ParseViewstarError> {
+        let t = self
+            .toks
+            .get(self.idx)
+            .ok_or_else(|| self.err("unexpected end of line"))?;
+        self.idx += 1;
+        Ok(t)
+    }
+    fn int(&mut self) -> Result<i64, ParseViewstarError> {
+        let t = self.next()?;
+        t.parse::<i64>()
+            .map_err(|_| self.err(format!("expected integer, got `{t}`")))
+    }
+    fn orient(&mut self) -> Result<Orient, ParseViewstarError> {
+        let t = self.next()?;
+        Orient::parse(t).ok_or_else(|| self.err(format!("bad orientation `{t}`")))
+    }
+    fn dir(&mut self) -> Result<PinDir, ParseViewstarError> {
+        let t = self.next()?;
+        PinDir::parse(t).ok_or_else(|| self.err(format!("bad pin direction `{t}`")))
+    }
+}
+
+/// Parses Viewstar text into a [`Design`].
+///
+/// # Errors
+///
+/// Returns the first syntax error with its line number.
+pub fn parse(text: &str) -> Result<Design, ParseViewstarError> {
+    let mut design = Design::new("", DialectId::Viewstar);
+    let mut cur_lib: Option<Library> = None;
+    let mut cur_sym: Option<SymbolDef> = None;
+    let mut cur_cell: Option<CellSchematic> = None;
+    let mut cur_sheet: Option<Sheet> = None;
+    let mut top = String::new();
+    let font = FontMetrics::VIEWSTAR;
+
+    for (lineno, raw) in text.lines().enumerate() {
+        let line = lineno + 1;
+        let toks = tokenize(raw);
+        if toks.is_empty() || toks[0].starts_with(';') {
+            continue;
+        }
+        let mut c = Cursor {
+            toks: &toks,
+            line,
+            idx: 1,
+        };
+        match toks[0].as_str() {
+            "VIEWSTAR" | "END" => {}
+            "DESIGN" => design.name = c.next()?.to_string(),
+            "TOP" => top = c.next()?.to_string(),
+            "GLOBAL" => design.add_global(c.next()?),
+            "LIBRARY" => cur_lib = Some(Library::new(c.next()?)),
+            "ENDLIBRARY" => {
+                let lib = cur_lib.take().ok_or_else(|| c.err("ENDLIBRARY without LIBRARY"))?;
+                design.add_library(lib);
+            }
+            "SYMBOL" => {
+                let lib = cur_lib.as_ref().ok_or_else(|| c.err("SYMBOL outside LIBRARY"))?;
+                let cell = c.next()?.to_string();
+                let view = c.next()?.to_string();
+                let kw = c.next()?;
+                if kw != "GRID" {
+                    return Err(c.err("expected GRID"));
+                }
+                let grid = c.int()?;
+                cur_sym = Some(SymbolDef::new(
+                    SymbolRef::new(lib.name.clone(), cell, view),
+                    grid,
+                ));
+            }
+            "ENDSYMBOL" => {
+                let sym = cur_sym.take().ok_or_else(|| c.err("ENDSYMBOL without SYMBOL"))?;
+                cur_lib
+                    .as_mut()
+                    .ok_or_else(|| c.err("ENDSYMBOL outside LIBRARY"))?
+                    .add(sym);
+            }
+            "PIN" => {
+                let sym = cur_sym.as_mut().ok_or_else(|| c.err("PIN outside SYMBOL"))?;
+                let name = c.next()?.to_string();
+                let (x, y) = (c.int()?, c.int()?);
+                let dir = c.dir()?;
+                sym.pins.push(SymbolPin::new(name, Point::new(x, y), dir));
+            }
+            "BODY" => {
+                let sym = cur_sym.as_mut().ok_or_else(|| c.err("BODY outside SYMBOL"))?;
+                let a = Point::new(c.int()?, c.int()?);
+                let b = Point::new(c.int()?, c.int()?);
+                sym.body.push((a, b));
+            }
+            "SPROP" => {
+                let sym = cur_sym.as_mut().ok_or_else(|| c.err("SPROP outside SYMBOL"))?;
+                let k = c.next()?.to_string();
+                let v = c.next()?.to_string();
+                sym.default_props.set(k, PropValue::from_text(&v));
+            }
+            "CELL" => cur_cell = Some(CellSchematic::new(c.next()?)),
+            "ENDCELL" => {
+                let cell = cur_cell.take().ok_or_else(|| c.err("ENDCELL without CELL"))?;
+                design.add_cell(cell);
+            }
+            "BUS" => {
+                cur_cell
+                    .as_mut()
+                    .ok_or_else(|| c.err("BUS outside CELL"))?
+                    .buses
+                    .insert(c.next()?.to_string());
+            }
+            "PORT" => {
+                let cell = cur_cell.as_mut().ok_or_else(|| c.err("PORT outside CELL"))?;
+                let name = c.next()?.to_string();
+                let (x, y) = (c.int()?, c.int()?);
+                let dir = c.dir()?;
+                cell.ports.push(SymbolPin::new(name, Point::new(x, y), dir));
+            }
+            "PAGE" => {
+                let page = c.int()? as u32;
+                cur_sheet = Some(Sheet::new(page));
+            }
+            "ENDPAGE" => {
+                let sheet = cur_sheet.take().ok_or_else(|| c.err("ENDPAGE without PAGE"))?;
+                cur_cell
+                    .as_mut()
+                    .ok_or_else(|| c.err("ENDPAGE outside CELL"))?
+                    .sheets
+                    .push(sheet);
+            }
+            "I" => {
+                let sheet = cur_sheet.as_mut().ok_or_else(|| c.err("I outside PAGE"))?;
+                let name = c.next()?.to_string();
+                let lib = c.next()?.to_string();
+                let cell = c.next()?.to_string();
+                let view = c.next()?.to_string();
+                let (x, y) = (c.int()?, c.int()?);
+                let o = c.orient()?;
+                sheet.instances.push(Instance::new(
+                    name,
+                    SymbolRef::new(lib, cell, view),
+                    Point::new(x, y),
+                    o,
+                ));
+            }
+            "IPROP" => {
+                let sheet = cur_sheet.as_mut().ok_or_else(|| c.err("IPROP outside PAGE"))?;
+                let inst = c.next()?.to_string();
+                let k = c.next()?.to_string();
+                let v = c.next()?.to_string();
+                let target = sheet
+                    .instances
+                    .iter_mut()
+                    .find(|i| i.name == inst)
+                    .ok_or_else(|| c.err(format!("IPROP for unknown instance `{inst}`")))?;
+                target.props.set(k, PropValue::from_text(&v));
+            }
+            "W" => {
+                let sheet = cur_sheet.as_mut().ok_or_else(|| c.err("W outside PAGE"))?;
+                let n = c.int()? as usize;
+                if n < 2 {
+                    return Err(c.err("wire needs at least 2 points"));
+                }
+                let mut pts = Vec::with_capacity(n);
+                for _ in 0..n {
+                    pts.push(Point::new(c.int()?, c.int()?));
+                }
+                let mut wire = Wire::new(pts);
+                if c.idx < toks.len() {
+                    let kw = c.next()?;
+                    if kw != "LABEL" {
+                        return Err(c.err(format!("expected LABEL, got `{kw}`")));
+                    }
+                    let text = c.next()?.to_string();
+                    let (x, y) = (c.int()?, c.int()?);
+                    wire = wire.with_label(Label::new(text, Point::new(x, y), font));
+                }
+                sheet.wires.push(wire);
+            }
+            "C" => {
+                let sheet = cur_sheet.as_mut().ok_or_else(|| c.err("C outside PAGE"))?;
+                let kw = c.next()?;
+                let kind = ConnectorKind::parse(kw)
+                    .ok_or_else(|| c.err(format!("bad connector kind `{kw}`")))?;
+                let name = c.next()?.to_string();
+                let (x, y) = (c.int()?, c.int()?);
+                let o = c.orient()?;
+                let mut conn = Connector::new(kind, name, Point::new(x, y));
+                conn.orient = o;
+                sheet.connectors.push(conn);
+            }
+            "T" => {
+                let sheet = cur_sheet.as_mut().ok_or_else(|| c.err("T outside PAGE"))?;
+                let text = c.next()?.to_string();
+                let (x, y) = (c.int()?, c.int()?);
+                sheet.annotations.push(Label::new(text, Point::new(x, y), font));
+            }
+            other => {
+                return Err(ParseViewstarError {
+                    line,
+                    message: format!("unknown record `{other}`"),
+                })
+            }
+        }
+    }
+    if !top.is_empty() {
+        design.set_top(top);
+    }
+    Ok(design)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::geom::Orient;
+
+    fn sample() -> Design {
+        let mut d = Design::new("adder", DialectId::Viewstar);
+        d.add_global("VDD");
+        let mut lib = Library::new("basiclib");
+        lib.add(
+            SymbolDef::new(SymbolRef::new("basiclib", "inv", "symbol"), 16)
+                .with_pin("A", Point::new(0, 0), PinDir::Input)
+                .with_pin("Y", Point::new(64, 0), PinDir::Output)
+                .with_body_segment(Point::new(16, -16), Point::new(16, 16)),
+        );
+        d.add_library(lib);
+        let mut cell = CellSchematic::new("top");
+        cell.buses.insert("D".into());
+        cell.ports
+            .push(SymbolPin::new("OUT", Point::new(0, 0), PinDir::Output));
+        let mut s = Sheet::new(1);
+        let mut inst = Instance::new(
+            "I1",
+            SymbolRef::new("basiclib", "inv", "symbol"),
+            Point::new(160, 320),
+            Orient::MXR90,
+        );
+        inst.props.set("SIZE", 4i64);
+        s.instances.push(inst);
+        s.wires.push(
+            Wire::new(vec![Point::new(0, 0), Point::new(64, 0), Point::new(64, 32)])
+                .with_label(Label::new("n 1", Point::new(8, 4), FontMetrics::VIEWSTAR)),
+        );
+        let mut conn = Connector::new(ConnectorKind::OffPage, "sig", Point::new(64, 32));
+        conn.orient = Orient::R90;
+        s.connectors.push(conn);
+        s.annotations.push(Label::new(
+            "page \"one\"",
+            Point::new(0, 100),
+            FontMetrics::VIEWSTAR,
+        ));
+        cell.sheets.push(s);
+        d.add_cell(cell);
+        d.set_top("top");
+        d
+    }
+
+    #[test]
+    fn round_trip_preserves_design() {
+        let d = sample();
+        let text = write(&d);
+        let back = parse(&text).expect("parse ok");
+        assert_eq!(back, d);
+    }
+
+    #[test]
+    fn quoting_handles_spaces_and_quotes() {
+        assert_eq!(quote("plain"), "plain");
+        assert_eq!(quote("two words"), "\"two words\"");
+        assert_eq!(quote("say \"hi\""), "\"say \"\"hi\"\"\"");
+        assert_eq!(tokenize("\"say \"\"hi\"\"\" x"), vec!["say \"hi\"", "x"]);
+    }
+
+    #[test]
+    fn parse_errors_carry_line_numbers() {
+        let bad = "VIEWSTAR 1\nBOGUS record\n";
+        let err = parse(bad).unwrap_err();
+        assert_eq!(err.line, 2);
+        assert!(err.message.contains("BOGUS"));
+    }
+
+    #[test]
+    fn iprop_for_unknown_instance_fails() {
+        let bad = "CELL c\nPAGE 1\nIPROP I9 k v\n";
+        let err = parse(bad).unwrap_err();
+        assert!(err.message.contains("unknown instance"));
+    }
+
+    #[test]
+    fn wire_with_too_few_points_fails() {
+        let bad = "CELL c\nPAGE 1\nW 1 0 0\n";
+        assert!(parse(bad).is_err());
+    }
+}

@@ -1,0 +1,323 @@
+//! Co-simulation of two kernels over a lossy value-set bridge.
+//!
+//! Section 3.1: "Making two simulation tools work together, specially a
+//! Verilog HDL - VHDL co-simulation, is typically problematic...
+//! Inconsistencies in the signal value set (e.g. 0, 1, x, and z) and in
+//! the simulation cycle definition are common sources of problems."
+//!
+//! Kernel **A** plays the Verilog side (four-value). Kernel **B** plays
+//! the VHDL side: its boundary outputs travel as nine-value
+//! [`Std9`] characters, and outputs marked *weak* encode as `L`/`H`
+//! (pulled levels). A [`Translation::Full`] bridge resolves weak levels
+//! correctly; a [`Translation::Naive`] bridge only understands the four
+//! shared characters and turns everything else into X — the classic
+//! co-simulation failure.
+
+use std::fmt;
+
+use crate::kernel::{Kernel, SimError};
+use crate::logic::{Logic, Std9, Value};
+
+/// How the bridge translates nine-value characters into the four-value
+/// set.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Translation {
+    /// Proper table: weak levels resolve (`L`→0, `H`→1, `W/U/-`→X).
+    Full,
+    /// Only `0 1 X Z` understood; everything else becomes X.
+    Naive,
+}
+
+/// One boundary connection.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Link {
+    /// Source signal name (in the sending kernel).
+    pub from: String,
+    /// Destination signal name (in the receiving kernel).
+    pub to: String,
+    /// For B→A links: the B output drives weak levels (`L`/`H`).
+    pub weak: bool,
+}
+
+impl Link {
+    /// Creates a strong link.
+    pub fn new(from: impl Into<String>, to: impl Into<String>) -> Self {
+        Link {
+            from: from.into(),
+            to: to.into(),
+            weak: false,
+        }
+    }
+
+    /// Marks the link's source as a weak (pulled) VHDL output.
+    pub fn weak(mut self) -> Self {
+        self.weak = true;
+        self
+    }
+}
+
+/// A record of one value crossing the bridge.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BridgeEvent {
+    /// Simulation time.
+    pub time: u64,
+    /// Link index and direction (`true` = B→A).
+    pub b_to_a: bool,
+    /// Destination signal name.
+    pub to: String,
+    /// The nine-value characters on the wire protocol (MSB first).
+    pub wire: String,
+    /// The four-value result delivered.
+    pub delivered: String,
+}
+
+impl fmt::Display for BridgeEvent {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "t={} {} {} wire={} -> {}",
+            self.time,
+            if self.b_to_a { "B->A" } else { "A->B" },
+            self.to,
+            self.wire,
+            self.delivered
+        )
+    }
+}
+
+/// A two-kernel co-simulation.
+pub struct CoSim {
+    /// The Verilog-side kernel.
+    pub a: Kernel,
+    /// The VHDL-side kernel.
+    pub b: Kernel,
+    a_to_b: Vec<Link>,
+    b_to_a: Vec<Link>,
+    translation: Translation,
+    /// Every value that crossed the bridge.
+    pub trace: Vec<BridgeEvent>,
+}
+
+impl CoSim {
+    /// Creates a co-simulation over two kernels.
+    pub fn new(a: Kernel, b: Kernel, translation: Translation) -> Self {
+        CoSim {
+            a,
+            b,
+            a_to_b: Vec::new(),
+            b_to_a: Vec::new(),
+            translation,
+            trace: Vec::new(),
+        }
+    }
+
+    /// Adds an A→B boundary connection.
+    pub fn link_a_to_b(&mut self, link: Link) {
+        self.a_to_b.push(link);
+    }
+
+    /// Adds a B→A boundary connection.
+    pub fn link_b_to_a(&mut self, link: Link) {
+        self.b_to_a.push(link);
+    }
+
+    fn decode(&self, s: Std9) -> Logic {
+        match self.translation {
+            Translation::Full => s.to_logic_full(),
+            Translation::Naive => s.to_logic_naive(),
+        }
+    }
+
+    /// Exchanges boundary values once. Returns `true` when anything
+    /// changed.
+    ///
+    /// # Errors
+    ///
+    /// Fails when a link names an unknown signal.
+    fn exchange(&mut self, time: u64) -> Result<bool, SimError> {
+        let mut changed = false;
+        // A -> B: Verilog values encode as strong nine-value chars; the
+        // B side accepts the full alphabet, so this hop is lossless.
+        for link in &self.a_to_b {
+            let v = self.a.peek_name(&link.from)?.clone();
+            let wire: String = v
+                .bits()
+                .iter()
+                .rev()
+                .map(|bit| Std9::from_logic(*bit, false).to_char())
+                .collect();
+            let delivered = decode_wire(&wire, |s| s.to_logic_full());
+            if &delivered != self.b.peek_name(&link.to)? {
+                self.b.poke_name(&link.to, delivered.clone())?;
+                changed = true;
+                self.trace.push(BridgeEvent {
+                    time,
+                    b_to_a: false,
+                    to: link.to.clone(),
+                    wire,
+                    delivered: delivered.to_string_msb(),
+                });
+            }
+        }
+        // B -> A: weak outputs encode as L/H; the translation mode
+        // decides whether they survive.
+        for link in &self.b_to_a {
+            let v = self.b.peek_name(&link.from)?.clone();
+            let wire: String = v
+                .bits()
+                .iter()
+                .rev()
+                .map(|bit| Std9::from_logic(*bit, link.weak).to_char())
+                .collect();
+            let delivered = decode_wire(&wire, |s| self.decode(s));
+            if &delivered != self.a.peek_name(&link.to)? {
+                self.a.poke_name(&link.to, delivered.clone())?;
+                changed = true;
+                self.trace.push(BridgeEvent {
+                    time,
+                    b_to_a: true,
+                    to: link.to.clone(),
+                    wire,
+                    delivered: delivered.to_string_msb(),
+                });
+            }
+        }
+        Ok(changed)
+    }
+
+    /// Runs both kernels to `t`, iterating boundary exchange to a
+    /// fixpoint.
+    ///
+    /// # Errors
+    ///
+    /// Propagates kernel errors; reports a runaway when the boundary
+    /// oscillates.
+    pub fn run_until(&mut self, t: u64) -> Result<(), SimError> {
+        for round in 0..64 {
+            self.a.run_until(t)?;
+            self.b.run_until(t)?;
+            if !self.exchange(t)? {
+                return Ok(());
+            }
+            if round == 63 {
+                return Err(SimError::Runaway { time: t });
+            }
+        }
+        Ok(())
+    }
+}
+
+fn decode_wire(wire: &str, f: impl Fn(Std9) -> Logic) -> Value {
+    let s: String = wire
+        .chars()
+        .map(|c| {
+            Std9::from_char(c)
+                .map(|v| f(v).to_char())
+                .unwrap_or('x')
+        })
+        .collect();
+    Value::from_str_msb(&s).unwrap_or_else(|| Value::bit(Logic::X))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::elab::compile_unit;
+    use crate::kernel::SchedulerPolicy;
+    use hdl::parser::parse;
+
+    /// A: gates data with the enable delivered from B.
+    const SIDE_A: &str = r#"
+        module side_a(input d, input en_in, output y);
+          assign y = d & en_in;
+        endmodule
+    "#;
+
+    /// B: produces an always-on enable (exported through a weak,
+    /// pulled-up output in the VHDL sense).
+    const SIDE_B: &str = r#"
+        module side_b(input tick, output en);
+          assign en = 1;
+        endmodule
+    "#;
+
+    fn build(translation: Translation) -> CoSim {
+        let a = Kernel::new(
+            compile_unit(&parse(SIDE_A).unwrap(), "side_a").unwrap(),
+            SchedulerPolicy::sim_a(),
+        );
+        let b = Kernel::new(
+            compile_unit(&parse(SIDE_B).unwrap(), "side_b").unwrap(),
+            SchedulerPolicy::sim_a(),
+        );
+        let mut cs = CoSim::new(a, b, translation);
+        cs.link_b_to_a(Link::new("en", "en_in").weak());
+        cs
+    }
+
+    #[test]
+    fn full_translation_delivers_weak_levels() {
+        let mut cs = build(Translation::Full);
+        cs.a.poke_name("d", Value::bit(Logic::One)).unwrap();
+        cs.run_until(10).unwrap();
+        assert_eq!(cs.a.peek_name("y").unwrap().get(0), Logic::One);
+        // The wire protocol really carried an H.
+        assert!(cs.trace.iter().any(|e| e.wire == "H"), "{:?}", cs.trace);
+    }
+
+    #[test]
+    fn naive_translation_corrupts_weak_levels() {
+        let mut cs = build(Translation::Naive);
+        cs.a.poke_name("d", Value::bit(Logic::One)).unwrap();
+        cs.run_until(10).unwrap();
+        // H decoded naively becomes X, so the AND output is X.
+        assert_eq!(cs.a.peek_name("y").unwrap().get(0), Logic::X);
+    }
+
+    #[test]
+    fn strong_links_survive_either_translation() {
+        for tr in [Translation::Full, Translation::Naive] {
+            let a = Kernel::new(
+                compile_unit(&parse(SIDE_A).unwrap(), "side_a").unwrap(),
+                SchedulerPolicy::sim_a(),
+            );
+            let b = Kernel::new(
+                compile_unit(&parse(SIDE_B).unwrap(), "side_b").unwrap(),
+                SchedulerPolicy::sim_a(),
+            );
+            let mut cs = CoSim::new(a, b, tr);
+            cs.link_b_to_a(Link::new("en", "en_in"));
+            cs.a.poke_name("d", Value::bit(Logic::One)).unwrap();
+            cs.run_until(10).unwrap();
+            assert_eq!(cs.a.peek_name("y").unwrap().get(0), Logic::One);
+        }
+    }
+
+    #[test]
+    fn a_to_b_hop_is_lossless() {
+        let a = Kernel::new(
+            compile_unit(&parse(SIDE_A).unwrap(), "side_a").unwrap(),
+            SchedulerPolicy::sim_a(),
+        );
+        let b = Kernel::new(
+            compile_unit(
+                &parse("module echo(input tick, output o); assign o = tick; endmodule").unwrap(),
+                "echo",
+            )
+            .unwrap(),
+            SchedulerPolicy::sim_a(),
+        );
+        let mut cs = CoSim::new(a, b, Translation::Naive);
+        cs.link_a_to_b(Link::new("d", "tick"));
+        cs.a.poke_name("d", Value::bit(Logic::One)).unwrap();
+        cs.run_until(5).unwrap();
+        assert_eq!(cs.b.peek_name("o").unwrap().get(0), Logic::One);
+    }
+
+    #[test]
+    fn bad_link_names_error() {
+        let mut cs = build(Translation::Full);
+        cs.link_b_to_a(Link::new("ghost", "en_in"));
+        assert!(cs.run_until(1).is_err());
+    }
+}

@@ -1,0 +1,481 @@
+//! Expression evaluation and statement execution over circuit state.
+
+use hdl::ast::{BinOp, UnOp};
+
+use crate::elab::{LRef, SExpr, SStmt, SigId, SignalDef};
+use crate::logic::{Logic, Value};
+
+/// Evaluates an expression against the current state.
+pub fn eval(e: &SExpr, state: &[Value], defs: &[SignalDef]) -> Value {
+    match e {
+        SExpr::Sig(s) => state[*s].clone(),
+        SExpr::Bit(s, idx) => {
+            let iv = eval(idx, state, defs);
+            match iv.as_u64() {
+                Some(i) => {
+                    let rel = i as i64 - defs[*s].lsb;
+                    if rel < 0 {
+                        Value::bit(Logic::X)
+                    } else {
+                        Value::bit(state[*s].get(rel as usize))
+                    }
+                }
+                None => Value::bit(Logic::X),
+            }
+        }
+        SExpr::Const(v) => v.clone(),
+        SExpr::Unary(op, x) => {
+            let v = eval(x, state, defs);
+            match op {
+                UnOp::Not => v.not(),
+                UnOp::LNot => match v.truthy() {
+                    Some(b) => Value::bit(if b { Logic::Zero } else { Logic::One }),
+                    None => Value::bit(Logic::X),
+                },
+                UnOp::Neg => match v.as_u64() {
+                    Some(n) => Value::from_u64(n.wrapping_neg(), v.width()),
+                    None => Value::unknown(v.width()),
+                },
+                UnOp::RedAnd => Value::bit(v.reduce_and()),
+                UnOp::RedOr => Value::bit(v.reduce_or()),
+            }
+        }
+        SExpr::Binary(op, a, b) => {
+            let va = eval(a, state, defs);
+            let vb = eval(b, state, defs);
+            binary(*op, &va, &vb)
+        }
+        SExpr::Ternary(c, a, b) => {
+            let vc = eval(c, state, defs);
+            match vc.truthy() {
+                Some(true) => eval(a, state, defs),
+                Some(false) => eval(b, state, defs),
+                None => eval(a, state, defs).merge(&eval(b, state, defs)),
+            }
+        }
+        SExpr::Concat(items) => {
+            // MSB-first operand order: the first item occupies the top
+            // bits.
+            let mut bits: Vec<Logic> = Vec::new();
+            for item in items.iter().rev() {
+                let v = eval(item, state, defs);
+                bits.extend(v.bits().iter().copied());
+            }
+            let s: String = bits.iter().rev().map(|b| b.to_char()).collect();
+            Value::from_str_msb(&s).unwrap_or_else(|| Value::bit(Logic::X))
+        }
+    }
+}
+
+fn binary(op: BinOp, a: &Value, b: &Value) -> Value {
+    let w = a.width().max(b.width());
+    match op {
+        BinOp::And => a.and(b),
+        BinOp::Or => a.or(b),
+        BinOp::Xor => a.xor(b),
+        BinOp::LAnd => match (a.truthy(), b.truthy()) {
+            (Some(false), _) | (_, Some(false)) => Value::bit(Logic::Zero),
+            (Some(true), Some(true)) => Value::bit(Logic::One),
+            _ => Value::bit(Logic::X),
+        },
+        BinOp::LOr => match (a.truthy(), b.truthy()) {
+            (Some(true), _) | (_, Some(true)) => Value::bit(Logic::One),
+            (Some(false), Some(false)) => Value::bit(Logic::Zero),
+            _ => Value::bit(Logic::X),
+        },
+        BinOp::Eq => Value::bit(a.logic_eq(b)),
+        BinOp::Ne => Value::bit(a.logic_eq(b).not()),
+        BinOp::Lt | BinOp::Gt | BinOp::Le | BinOp::Ge => match (a.as_u64(), b.as_u64()) {
+            (Some(x), Some(y)) => {
+                let r = match op {
+                    BinOp::Lt => x < y,
+                    BinOp::Gt => x > y,
+                    BinOp::Le => x <= y,
+                    _ => x >= y,
+                };
+                Value::bit(if r { Logic::One } else { Logic::Zero })
+            }
+            _ => Value::bit(Logic::X),
+        },
+        BinOp::Add | BinOp::Sub | BinOp::Mul | BinOp::Div | BinOp::Mod => {
+            match (a.as_u64(), b.as_u64()) {
+                (Some(x), Some(y)) => {
+                    let r = match op {
+                        BinOp::Add => Some(x.wrapping_add(y)),
+                        BinOp::Sub => Some(x.wrapping_sub(y)),
+                        BinOp::Mul => Some(x.wrapping_mul(y)),
+                        BinOp::Div => x.checked_div(y),
+                        _ => x.checked_rem(y),
+                    };
+                    match r {
+                        Some(v) => Value::from_u64(v, w),
+                        None => Value::unknown(w),
+                    }
+                }
+                _ => Value::unknown(w),
+            }
+        }
+        BinOp::Shl | BinOp::Shr => match (a.as_u64(), b.as_u64()) {
+            (Some(x), Some(y)) if y < 64 => {
+                let v = if op == BinOp::Shl { x << y } else { x >> y };
+                Value::from_u64(v, w)
+            }
+            (Some(_), Some(_)) => Value::from_u64(0, w),
+            _ => Value::unknown(w),
+        },
+    }
+}
+
+/// One recorded state change: `(signal, old, new)`.
+pub type Change = (SigId, Value, Value);
+
+/// A resolved non-blocking update.
+#[derive(Debug, Clone, PartialEq)]
+pub struct NbaUpdate {
+    /// Target signal.
+    pub sig: SigId,
+    /// Resolved bit index (relative, after lsb adjustment), if any.
+    pub bit: Option<i64>,
+    /// Value to apply.
+    pub value: Value,
+}
+
+/// Applies a value to a target, returning the change if the stored
+/// value differs.
+pub fn store(
+    state: &mut [Value],
+    defs: &[SignalDef],
+    sig: SigId,
+    bit: Option<i64>,
+    value: &Value,
+) -> Option<Change> {
+    let old = state[sig].clone();
+    let new = match bit {
+        None => value.resized(defs[sig].width),
+        Some(rel) => {
+            if rel < 0 || rel as usize >= defs[sig].width {
+                return None; // out-of-range bit write is a no-op
+            }
+            let mut bits: Vec<Logic> = old.bits().to_vec();
+            bits[rel as usize] = value.get(0);
+            let s: String = bits.iter().rev().map(|b| b.to_char()).collect();
+            Value::from_str_msb(&s).expect("valid chars")
+        }
+    };
+    if new == old {
+        return None;
+    }
+    state[sig] = new.clone();
+    Some((sig, old, new))
+}
+
+/// Executes a statement atomically. Blocking assignments update `state`
+/// immediately and append to `changes`; non-blocking assignments are
+/// resolved and appended to `nba`.
+pub fn exec(
+    stmt: &SStmt,
+    state: &mut Vec<Value>,
+    defs: &[SignalDef],
+    changes: &mut Vec<Change>,
+    nba: &mut Vec<NbaUpdate>,
+) {
+    match stmt {
+        SStmt::Block(items) => {
+            for s in items {
+                exec(s, state, defs, changes, nba);
+            }
+        }
+        SStmt::If {
+            cond,
+            then_s,
+            else_s,
+        } => match eval(cond, state, defs).truthy() {
+            Some(true) => exec(then_s, state, defs, changes, nba),
+            _ => {
+                if let Some(e) = else_s {
+                    exec(e, state, defs, changes, nba);
+                }
+            }
+        },
+        SStmt::Assign {
+            lhs,
+            rhs,
+            blocking,
+        } => {
+            let value = eval(rhs, state, defs);
+            let bit = resolve_bit(lhs, state, defs);
+            if matches!(bit, Some(Err(()))) {
+                return; // unknown index: discard the write
+            }
+            let bit = bit.map(|b| b.expect("checked"));
+            if *blocking {
+                if let Some(change) = store(state, defs, lhs.sig, bit, &value) {
+                    changes.push(change);
+                }
+            } else {
+                nba.push(NbaUpdate {
+                    sig: lhs.sig,
+                    bit,
+                    value,
+                });
+            }
+        }
+        SStmt::Case {
+            subject,
+            arms,
+            default,
+        } => {
+            let sv = eval(subject, state, defs);
+            for (vals, body) in arms {
+                for v in vals {
+                    if sv.logic_eq(&eval(v, state, defs)) == Logic::One {
+                        exec(body, state, defs, changes, nba);
+                        return;
+                    }
+                }
+            }
+            if let Some(d) = default {
+                exec(d, state, defs, changes, nba);
+            }
+        }
+        SStmt::Nop => {}
+    }
+}
+
+/// Resolves an lvalue's bit select now (Verilog semantics: the index is
+/// evaluated at assignment time). `Some(Err(()))` means the index was
+/// unknown.
+#[allow(clippy::type_complexity)]
+fn resolve_bit(
+    lhs: &LRef,
+    state: &[Value],
+    defs: &[SignalDef],
+) -> Option<Result<i64, ()>> {
+    let idx = lhs.index.as_ref()?;
+    let v = eval(idx, state, defs);
+    Some(match v.as_u64() {
+        Some(i) => Ok(i as i64 - defs[lhs.sig].lsb),
+        None => Err(()),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn defs2() -> Vec<SignalDef> {
+        vec![
+            SignalDef {
+                name: "a".into(),
+                width: 1,
+                lsb: 0,
+                is_input: true,
+            },
+            SignalDef {
+                name: "v".into(),
+                width: 4,
+                lsb: 0,
+                is_input: false,
+            },
+        ]
+    }
+
+    #[test]
+    fn eval_bit_select_and_ops() {
+        let defs = defs2();
+        let state = vec![Value::bit(Logic::One), Value::from_u64(0b1010, 4)];
+        let e = SExpr::Bit(1, Box::new(SExpr::Const(Value::from_u64(3, 8))));
+        assert_eq!(eval(&e, &state, &defs).get(0), Logic::One);
+        let and = SExpr::Binary(
+            BinOp::And,
+            Box::new(SExpr::Sig(0)),
+            Box::new(SExpr::Const(Value::bit(Logic::X))),
+        );
+        assert_eq!(eval(&and, &state, &defs).get(0), Logic::X);
+    }
+
+    #[test]
+    fn arithmetic_and_compare() {
+        let defs = defs2();
+        let state = vec![Value::bit(Logic::Zero), Value::from_u64(7, 4)];
+        let add = SExpr::Binary(
+            BinOp::Add,
+            Box::new(SExpr::Sig(1)),
+            Box::new(SExpr::Const(Value::from_u64(2, 4))),
+        );
+        assert_eq!(eval(&add, &state, &defs).as_u64(), Some(9 & 0xf));
+        let lt = SExpr::Binary(
+            BinOp::Lt,
+            Box::new(SExpr::Sig(1)),
+            Box::new(SExpr::Const(Value::from_u64(9, 4))),
+        );
+        assert_eq!(eval(&lt, &state, &defs).get(0), Logic::One);
+        let div0 = SExpr::Binary(
+            BinOp::Div,
+            Box::new(SExpr::Sig(1)),
+            Box::new(SExpr::Const(Value::from_u64(0, 4))),
+        );
+        assert!(eval(&div0, &state, &defs).has_unknown());
+    }
+
+    #[test]
+    fn ternary_merges_on_unknown_condition() {
+        let defs = defs2();
+        let state = vec![Value::bit(Logic::X), Value::from_u64(0, 4)];
+        let t = SExpr::Ternary(
+            Box::new(SExpr::Sig(0)),
+            Box::new(SExpr::Const(Value::from_u64(0b1100, 4))),
+            Box::new(SExpr::Const(Value::from_u64(0b1010, 4))),
+        );
+        assert_eq!(eval(&t, &state, &defs).to_string_msb(), "1xx0");
+    }
+
+    #[test]
+    fn concat_is_msb_first() {
+        let defs = defs2();
+        let state = vec![Value::bit(Logic::One), Value::from_u64(0b10, 4)];
+        let c = SExpr::Concat(vec![SExpr::Sig(0), SExpr::Sig(1)]);
+        // {1'b1, 4'b0010} = 5'b10010
+        assert_eq!(eval(&c, &state, &defs).to_string_msb(), "10010");
+    }
+
+    #[test]
+    fn store_whole_and_bit() {
+        let defs = defs2();
+        let mut state = vec![Value::bit(Logic::Zero), Value::from_u64(0, 4)];
+        let ch = store(&mut state, &defs, 1, None, &Value::from_u64(0b101, 4)).unwrap();
+        assert_eq!(ch.2.as_u64(), Some(5));
+        // Bit write.
+        let ch2 = store(&mut state, &defs, 1, Some(1), &Value::bit(Logic::One)).unwrap();
+        assert_eq!(ch2.2.as_u64(), Some(7));
+        // Same value: no change.
+        assert!(store(&mut state, &defs, 1, Some(1), &Value::bit(Logic::One)).is_none());
+        // Out of range: no-op.
+        assert!(store(&mut state, &defs, 1, Some(9), &Value::bit(Logic::One)).is_none());
+    }
+
+    #[test]
+    fn exec_blocking_vs_nonblocking() {
+        let defs = defs2();
+        let mut state = vec![Value::bit(Logic::Zero), Value::from_u64(0, 4)];
+        let mut changes = Vec::new();
+        let mut nba = Vec::new();
+        let stmt = SStmt::Block(vec![
+            SStmt::Assign {
+                lhs: LRef {
+                    sig: 0,
+                    index: None,
+                },
+                rhs: SExpr::Const(Value::bit(Logic::One)),
+                blocking: true,
+            },
+            SStmt::Assign {
+                lhs: LRef {
+                    sig: 1,
+                    index: None,
+                },
+                rhs: SExpr::Const(Value::from_u64(9, 4)),
+                blocking: false,
+            },
+        ]);
+        exec(&stmt, &mut state, &defs, &mut changes, &mut nba);
+        assert_eq!(changes.len(), 1);
+        assert_eq!(state[0].get(0), Logic::One);
+        assert_eq!(state[1].as_u64(), Some(0), "nba not applied yet");
+        assert_eq!(nba.len(), 1);
+    }
+}
+
+#[cfg(test)]
+mod more_tests {
+    use super::*;
+
+    fn defs1(width: usize) -> Vec<SignalDef> {
+        vec![SignalDef {
+            name: "v".into(),
+            width,
+            lsb: 0,
+            is_input: false,
+        }]
+    }
+
+    #[test]
+    fn shifts_and_logic_short_circuit() {
+        let defs = defs1(8);
+        let state = vec![Value::from_u64(0b0000_0110, 8)];
+        let shl = SExpr::Binary(
+            BinOp::Shl,
+            Box::new(SExpr::Sig(0)),
+            Box::new(SExpr::Const(Value::from_u64(2, 4))),
+        );
+        assert_eq!(eval(&shl, &state, &defs).as_u64(), Some(0b0001_1000));
+        let shr = SExpr::Binary(
+            BinOp::Shr,
+            Box::new(SExpr::Sig(0)),
+            Box::new(SExpr::Const(Value::from_u64(1, 4))),
+        );
+        assert_eq!(eval(&shr, &state, &defs).as_u64(), Some(0b0000_0011));
+        // Logical AND short-circuits on a known false even with an
+        // unknown on the other side.
+        let land = SExpr::Binary(
+            BinOp::LAnd,
+            Box::new(SExpr::Const(Value::from_u64(0, 1))),
+            Box::new(SExpr::Const(Value::bit(Logic::X))),
+        );
+        assert_eq!(eval(&land, &state, &defs).get(0), Logic::Zero);
+        let lor = SExpr::Binary(
+            BinOp::LOr,
+            Box::new(SExpr::Const(Value::bit(Logic::X))),
+            Box::new(SExpr::Const(Value::from_u64(1, 1))),
+        );
+        assert_eq!(eval(&lor, &state, &defs).get(0), Logic::One);
+        // Both unknown: X.
+        let both_x = SExpr::Binary(
+            BinOp::LOr,
+            Box::new(SExpr::Const(Value::bit(Logic::X))),
+            Box::new(SExpr::Const(Value::bit(Logic::Z))),
+        );
+        assert_eq!(eval(&both_x, &state, &defs).get(0), Logic::X);
+    }
+
+    #[test]
+    fn unknown_shift_amount_and_huge_shift() {
+        let defs = defs1(8);
+        let state = vec![Value::from_u64(0xff, 8)];
+        let sx = SExpr::Binary(
+            BinOp::Shl,
+            Box::new(SExpr::Sig(0)),
+            Box::new(SExpr::Const(Value::bit(Logic::X))),
+        );
+        assert!(eval(&sx, &state, &defs).has_unknown());
+        let far = SExpr::Binary(
+            BinOp::Shr,
+            Box::new(SExpr::Sig(0)),
+            Box::new(SExpr::Const(Value::from_u64(70, 8))),
+        );
+        assert_eq!(eval(&far, &state, &defs).as_u64(), Some(0));
+    }
+
+    #[test]
+    fn reduction_and_logical_not() {
+        let defs = defs1(4);
+        let state = vec![Value::from_u64(0b1111, 4)];
+        let red = SExpr::Unary(UnOp::RedAnd, Box::new(SExpr::Sig(0)));
+        assert_eq!(eval(&red, &state, &defs).get(0), Logic::One);
+        let lnot = SExpr::Unary(UnOp::LNot, Box::new(SExpr::Sig(0)));
+        assert_eq!(eval(&lnot, &state, &defs).get(0), Logic::Zero);
+        let neg = SExpr::Unary(UnOp::Neg, Box::new(SExpr::Sig(0)));
+        // -15 mod 2^4 = 1.
+        assert_eq!(eval(&neg, &state, &defs).as_u64(), Some(1));
+    }
+
+    #[test]
+    fn out_of_range_and_unknown_bit_selects() {
+        let defs = defs1(4);
+        let state = vec![Value::from_u64(0b1010, 4)];
+        let far = SExpr::Bit(0, Box::new(SExpr::Const(Value::from_u64(9, 8))));
+        assert_eq!(eval(&far, &state, &defs).get(0), Logic::X);
+        let unknown = SExpr::Bit(0, Box::new(SExpr::Const(Value::bit(Logic::X))));
+        assert_eq!(eval(&unknown, &state, &defs).get(0), Logic::X);
+    }
+}

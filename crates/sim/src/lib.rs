@@ -1,0 +1,52 @@
+//! # sim — event-driven HDL simulation with legal nondeterminism
+//!
+//! The simulator substrate for the CAD-interoperability workbench
+//! reproducing *Issues and Answers in CAD Tool Interoperability*
+//! (DAC 1996). It implements every Section 3.1 phenomenon the paper
+//! catalogues:
+//!
+//! * an event-driven four-value kernel whose **scheduling policy** is a
+//!   parameter — simultaneous-event order and continuous-assignment
+//!   eagerness are both legal freedoms ([`kernel`], [`logic`]),
+//! * **race detection** by running one model under several policies and
+//!   diffing waveforms ([`race`]),
+//! * **backward-compatibility drift** in timing checks, with a
+//!   `+pre_16a_path`-style switch ([`timing`]),
+//! * **co-simulation** across a nine-value/four-value bridge with full
+//!   or naive value translation ([`cosim`]).
+//!
+//! Models come from the [`hdl`] crate ([`elab`] compiles a flattened
+//! module).
+//!
+//! ## Example
+//!
+//! ```
+//! use sim::elab::compile_unit;
+//! use sim::kernel::SchedulerPolicy;
+//! use sim::race::{clocked_testbench, detect, models};
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let unit = hdl::parse(models::PAPER_RACE)?;
+//! let circuit = compile_unit(&unit, "race")?;
+//! let report = detect(&circuit, &SchedulerPolicy::all(), |k| {
+//!     clocked_testbench(k, 4)
+//! })?;
+//! assert!(report.has_race());
+//! # Ok(())
+//! # }
+//! ```
+
+pub mod cosim;
+pub mod elab;
+pub mod eval;
+pub mod kernel;
+pub mod logic;
+pub mod pli;
+pub mod race;
+pub mod timing;
+pub mod vcd;
+
+pub use elab::{compile, compile_unit, Circuit};
+pub use kernel::{Kernel, SchedulerPolicy, SimError, Waveform};
+pub use logic::{Logic, Std9, Value};
+pub use race::RaceReport;

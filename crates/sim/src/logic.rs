@@ -1,0 +1,524 @@
+//! Four-value logic and vectors, plus the nine-value co-simulation
+//! alphabet.
+//!
+//! Section 3.1: "Inconsistencies in the signal value set (e.g. 0, 1, x,
+//! and z) ... are common sources of problems" in co-simulation. The
+//! Verilog-side set is [`Logic`]; the VHDL-side set is [`Std9`]; the
+//! translation (or mistranslation) between them lives in
+//! [`crate::cosim`].
+
+use std::fmt;
+
+/// One Verilog-style logic value.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub enum Logic {
+    /// Logic zero.
+    Zero,
+    /// Logic one.
+    One,
+    /// Unknown.
+    #[default]
+    X,
+    /// High impedance.
+    Z,
+}
+
+impl Logic {
+    /// The four values.
+    pub const ALL: [Logic; 4] = [Logic::Zero, Logic::One, Logic::X, Logic::Z];
+
+    /// Character form (`0`, `1`, `x`, `z`).
+    pub fn to_char(self) -> char {
+        match self {
+            Logic::Zero => '0',
+            Logic::One => '1',
+            Logic::X => 'x',
+            Logic::Z => 'z',
+        }
+    }
+
+    /// Parses a character form.
+    pub fn from_char(c: char) -> Option<Logic> {
+        match c.to_ascii_lowercase() {
+            '0' => Some(Logic::Zero),
+            '1' => Some(Logic::One),
+            'x' => Some(Logic::X),
+            'z' => Some(Logic::Z),
+            _ => None,
+        }
+    }
+
+    /// True for `x` or `z`.
+    pub fn is_unknown(self) -> bool {
+        matches!(self, Logic::X | Logic::Z)
+    }
+
+    /// Verilog AND table (z behaves as x).
+    pub fn and(self, other: Logic) -> Logic {
+        match (self.norm(), other.norm()) {
+            (Logic::Zero, _) | (_, Logic::Zero) => Logic::Zero,
+            (Logic::One, Logic::One) => Logic::One,
+            _ => Logic::X,
+        }
+    }
+
+    /// Verilog OR table.
+    pub fn or(self, other: Logic) -> Logic {
+        match (self.norm(), other.norm()) {
+            (Logic::One, _) | (_, Logic::One) => Logic::One,
+            (Logic::Zero, Logic::Zero) => Logic::Zero,
+            _ => Logic::X,
+        }
+    }
+
+    /// Verilog XOR table.
+    pub fn xor(self, other: Logic) -> Logic {
+        match (self.norm(), other.norm()) {
+            (Logic::Zero, b) => b,
+            (Logic::One, Logic::Zero) => Logic::One,
+            (Logic::One, Logic::One) => Logic::Zero,
+            _ => Logic::X,
+        }
+    }
+
+    /// Verilog NOT table.
+    #[allow(clippy::should_implement_trait)]
+    pub fn not(self) -> Logic {
+        match self.norm() {
+            Logic::Zero => Logic::One,
+            Logic::One => Logic::Zero,
+            _ => Logic::X,
+        }
+    }
+
+    /// Z collapses to X for gate inputs.
+    fn norm(self) -> Logic {
+        if self == Logic::Z {
+            Logic::X
+        } else {
+            self
+        }
+    }
+}
+
+impl fmt::Display for Logic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.to_char())
+    }
+}
+
+/// A logic vector, LSB first (`bits[0]` is bit 0).
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct Value {
+    bits: Vec<Logic>,
+}
+
+impl Value {
+    /// All-X value of the given width.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `width` is zero.
+    pub fn unknown(width: usize) -> Value {
+        assert!(width > 0, "zero-width value");
+        Value {
+            bits: vec![Logic::X; width],
+        }
+    }
+
+    /// All-Z value of the given width.
+    pub fn high_z(width: usize) -> Value {
+        assert!(width > 0, "zero-width value");
+        Value {
+            bits: vec![Logic::Z; width],
+        }
+    }
+
+    /// From an unsigned integer, truncated/zero-extended to `width`.
+    pub fn from_u64(v: u64, width: usize) -> Value {
+        assert!(width > 0, "zero-width value");
+        let bits = (0..width)
+            .map(|i| {
+                if i < 64 && (v >> i) & 1 == 1 {
+                    Logic::One
+                } else {
+                    Logic::Zero
+                }
+            })
+            .collect();
+        Value { bits }
+    }
+
+    /// A single-bit value.
+    pub fn bit(b: Logic) -> Value {
+        Value { bits: vec![b] }
+    }
+
+    /// From a character string, MSB first (e.g. `"10xz"`).
+    pub fn from_str_msb(s: &str) -> Option<Value> {
+        if s.is_empty() {
+            return None;
+        }
+        let mut bits = Vec::with_capacity(s.len());
+        for c in s.chars().rev() {
+            bits.push(Logic::from_char(c)?);
+        }
+        Some(Value { bits })
+    }
+
+    /// Width in bits.
+    pub fn width(&self) -> usize {
+        self.bits.len()
+    }
+
+    /// The bits, LSB first.
+    pub fn bits(&self) -> &[Logic] {
+        &self.bits
+    }
+
+    /// Bit `i` (LSB = 0); X when out of range.
+    pub fn get(&self, i: usize) -> Logic {
+        self.bits.get(i).copied().unwrap_or(Logic::X)
+    }
+
+    /// Returns a copy resized to `width` (zero-extended — or truncated).
+    pub fn resized(&self, width: usize) -> Value {
+        assert!(width > 0, "zero-width value");
+        let mut bits = self.bits.clone();
+        bits.resize(width, Logic::Zero);
+        bits.truncate(width);
+        Value { bits }
+    }
+
+    /// True when any bit is x or z.
+    pub fn has_unknown(&self) -> bool {
+        self.bits.iter().any(|b| b.is_unknown())
+    }
+
+    /// Numeric interpretation, if fully known.
+    pub fn as_u64(&self) -> Option<u64> {
+        if self.has_unknown() || self.width() > 64 {
+            return None;
+        }
+        let mut v = 0u64;
+        for (i, b) in self.bits.iter().enumerate() {
+            if *b == Logic::One {
+                v |= 1 << i;
+            }
+        }
+        Some(v)
+    }
+
+    /// Verilog truthiness: `Some(true)` when any bit is 1,
+    /// `Some(false)` when all bits are 0, `None` (unknown) otherwise.
+    pub fn truthy(&self) -> Option<bool> {
+        if self.bits.contains(&Logic::One) {
+            return Some(true);
+        }
+        if self.bits.iter().all(|b| *b == Logic::Zero) {
+            return Some(false);
+        }
+        None
+    }
+
+    fn zip_with(&self, other: &Value, f: fn(Logic, Logic) -> Logic) -> Value {
+        let w = self.width().max(other.width());
+        let a = self.resized(w);
+        let b = other.resized(w);
+        Value {
+            bits: a
+                .bits
+                .iter()
+                .zip(&b.bits)
+                .map(|(x, y)| f(*x, *y))
+                .collect(),
+        }
+    }
+
+    /// Bitwise AND (widths zero-extended to match).
+    pub fn and(&self, other: &Value) -> Value {
+        self.zip_with(other, Logic::and)
+    }
+
+    /// Bitwise OR.
+    pub fn or(&self, other: &Value) -> Value {
+        self.zip_with(other, Logic::or)
+    }
+
+    /// Bitwise XOR.
+    pub fn xor(&self, other: &Value) -> Value {
+        self.zip_with(other, Logic::xor)
+    }
+
+    /// Bitwise NOT.
+    pub fn not(&self) -> Value {
+        Value {
+            bits: self.bits.iter().map(|b| b.not()).collect(),
+        }
+    }
+
+    /// Case/logic equality returning a 1-bit value: `1` when equal, `0`
+    /// when a known bit differs, `x` when unknowns block the decision.
+    pub fn logic_eq(&self, other: &Value) -> Logic {
+        let w = self.width().max(other.width());
+        let a = self.resized(w);
+        let b = other.resized(w);
+        let mut unknown = false;
+        for (x, y) in a.bits.iter().zip(&b.bits) {
+            if x.is_unknown() || y.is_unknown() {
+                unknown = true;
+            } else if x != y {
+                return Logic::Zero;
+            }
+        }
+        if unknown {
+            Logic::X
+        } else {
+            Logic::One
+        }
+    }
+
+    /// Reduction AND.
+    pub fn reduce_and(&self) -> Logic {
+        self.bits
+            .iter()
+            .copied()
+            .fold(Logic::One, Logic::and)
+    }
+
+    /// Reduction OR.
+    pub fn reduce_or(&self) -> Logic {
+        self.bits
+            .iter()
+            .copied()
+            .fold(Logic::Zero, Logic::or)
+    }
+
+    /// The conditional-merge used when a ternary condition is unknown:
+    /// positions where both arms agree keep their value, others go X.
+    pub fn merge(&self, other: &Value) -> Value {
+        self.zip_with(other, |a, b| if a == b { a } else { Logic::X })
+    }
+
+    /// MSB-first rendering (`4'b10xz` prints as `10xz`).
+    pub fn to_string_msb(&self) -> String {
+        self.bits.iter().rev().map(|b| b.to_char()).collect()
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.to_string_msb())
+    }
+}
+
+/// One VHDL-style `std_logic` value (the nine-value alphabet).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Std9 {
+    /// Uninitialized.
+    U,
+    /// Forcing unknown.
+    X,
+    /// Forcing zero.
+    Zero,
+    /// Forcing one.
+    One,
+    /// High impedance.
+    Z,
+    /// Weak unknown.
+    W,
+    /// Weak zero.
+    L,
+    /// Weak one.
+    H,
+    /// Don't care.
+    DontCare,
+}
+
+impl Std9 {
+    /// Character form (`U X 0 1 Z W L H -`).
+    pub fn to_char(self) -> char {
+        match self {
+            Std9::U => 'U',
+            Std9::X => 'X',
+            Std9::Zero => '0',
+            Std9::One => '1',
+            Std9::Z => 'Z',
+            Std9::W => 'W',
+            Std9::L => 'L',
+            Std9::H => 'H',
+            Std9::DontCare => '-',
+        }
+    }
+
+    /// Parses a character form.
+    pub fn from_char(c: char) -> Option<Std9> {
+        match c {
+            'U' => Some(Std9::U),
+            'X' => Some(Std9::X),
+            '0' => Some(Std9::Zero),
+            '1' => Some(Std9::One),
+            'Z' => Some(Std9::Z),
+            'W' => Some(Std9::W),
+            'L' => Some(Std9::L),
+            'H' => Some(Std9::H),
+            '-' => Some(Std9::DontCare),
+            _ => None,
+        }
+    }
+
+    /// The *correct* translation into the four-value set: weak levels
+    /// resolve to their strong levels, everything unknown-ish to X.
+    pub fn to_logic_full(self) -> Logic {
+        match self {
+            Std9::Zero | Std9::L => Logic::Zero,
+            Std9::One | Std9::H => Logic::One,
+            Std9::Z => Logic::Z,
+            Std9::U | Std9::X | Std9::W | Std9::DontCare => Logic::X,
+        }
+    }
+
+    /// The *naive* translation that only understands the characters the
+    /// Verilog set shares (`0 1 X Z`) and maps everything else to X —
+    /// losing weak levels, the classic co-simulation defect.
+    pub fn to_logic_naive(self) -> Logic {
+        match self {
+            Std9::Zero => Logic::Zero,
+            Std9::One => Logic::One,
+            Std9::Z => Logic::Z,
+            _ => Logic::X,
+        }
+    }
+
+    /// Encodes a four-value logic level into the nine-value set;
+    /// `weak` drives the weak levels `L`/`H` instead of `0`/`1` (a
+    /// pulled-up/down VHDL output).
+    pub fn from_logic(l: Logic, weak: bool) -> Std9 {
+        match (l, weak) {
+            (Logic::Zero, false) => Std9::Zero,
+            (Logic::One, false) => Std9::One,
+            (Logic::Zero, true) => Std9::L,
+            (Logic::One, true) => Std9::H,
+            (Logic::Z, _) => Std9::Z,
+            (Logic::X, _) => Std9::X,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gate_tables_match_verilog() {
+        use Logic::*;
+        assert_eq!(Zero.and(X), Zero);
+        assert_eq!(One.and(X), X);
+        assert_eq!(One.or(X), One);
+        assert_eq!(Zero.or(X), X);
+        assert_eq!(X.not(), X);
+        assert_eq!(Z.and(One), X, "z behaves as x");
+        assert_eq!(One.xor(Zero), One);
+        assert_eq!(One.xor(X), X);
+    }
+
+    #[test]
+    fn value_numeric_round_trip() {
+        let v = Value::from_u64(0b1010, 4);
+        assert_eq!(v.to_string_msb(), "1010");
+        assert_eq!(v.as_u64(), Some(10));
+        assert_eq!(v.get(1), Logic::One);
+        assert_eq!(v.get(9), Logic::X, "out of range reads x");
+    }
+
+    #[test]
+    fn string_parsing_handles_unknowns() {
+        let v = Value::from_str_msb("1x0z").unwrap();
+        assert!(v.has_unknown());
+        assert_eq!(v.as_u64(), None);
+        assert_eq!(v.get(3), Logic::One);
+        assert_eq!(v.get(0), Logic::Z);
+        assert!(Value::from_str_msb("10q1").is_none());
+        assert!(Value::from_str_msb("").is_none());
+    }
+
+    #[test]
+    fn truthiness_is_three_valued() {
+        assert_eq!(Value::from_u64(4, 3).truthy(), Some(true));
+        assert_eq!(Value::from_u64(0, 3).truthy(), Some(false));
+        assert_eq!(Value::from_str_msb("0x0").unwrap().truthy(), None);
+        assert_eq!(Value::from_str_msb("1x0").unwrap().truthy(), Some(true));
+    }
+
+    #[test]
+    fn logic_eq_three_valued() {
+        let a = Value::from_u64(5, 3);
+        assert_eq!(a.logic_eq(&Value::from_u64(5, 3)), Logic::One);
+        assert_eq!(a.logic_eq(&Value::from_u64(4, 3)), Logic::Zero);
+        assert_eq!(
+            a.logic_eq(&Value::from_str_msb("1x1").unwrap()),
+            Logic::X
+        );
+        // A known mismatch beats an unknown elsewhere.
+        assert_eq!(
+            Value::from_str_msb("0x1").unwrap().logic_eq(&Value::from_str_msb("1x1").unwrap()),
+            Logic::Zero
+        );
+    }
+
+    #[test]
+    fn widths_extend_with_zero() {
+        let a = Value::from_u64(1, 1);
+        let b = Value::from_u64(0b10, 2);
+        assert_eq!(a.or(&b).as_u64(), Some(0b11));
+        assert_eq!(a.and(&b).as_u64(), Some(0));
+    }
+
+    #[test]
+    fn reductions() {
+        assert_eq!(Value::from_u64(0b111, 3).reduce_and(), Logic::One);
+        assert_eq!(Value::from_u64(0b110, 3).reduce_and(), Logic::Zero);
+        assert_eq!(Value::from_u64(0, 3).reduce_or(), Logic::Zero);
+        assert_eq!(Value::from_str_msb("x1").unwrap().reduce_or(), Logic::One);
+    }
+
+    #[test]
+    fn merge_keeps_agreement() {
+        let a = Value::from_u64(0b1100, 4);
+        let b = Value::from_u64(0b1010, 4);
+        assert_eq!(a.merge(&b).to_string_msb(), "1xx0");
+    }
+
+    #[test]
+    fn std9_translations_differ_exactly_on_weak_levels() {
+        for s in [
+            Std9::U,
+            Std9::X,
+            Std9::Zero,
+            Std9::One,
+            Std9::Z,
+            Std9::W,
+            Std9::L,
+            Std9::H,
+            Std9::DontCare,
+        ] {
+            let full = s.to_logic_full();
+            let naive = s.to_logic_naive();
+            match s {
+                Std9::L | Std9::H => {
+                    assert_ne!(full, naive, "{s:?} must be lost by the naive table");
+                    assert_eq!(naive, Logic::X);
+                }
+                _ => assert_eq!(full, naive),
+            }
+        }
+    }
+
+    #[test]
+    fn std9_char_round_trip() {
+        for c in ['U', 'X', '0', '1', 'Z', 'W', 'L', 'H', '-'] {
+            assert_eq!(Std9::from_char(c).unwrap().to_char(), c);
+        }
+        assert!(Std9::from_char('q').is_none());
+    }
+}

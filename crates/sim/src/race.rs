@@ -1,0 +1,221 @@
+//! Race detection by cross-policy divergence.
+//!
+//! "Typically, if different simulators give different results when
+//! simulating the same model, there is a race condition in the model
+//! being simulated, and the potential for a bug in the real hardware."
+//! This module runs one model under several *legal* scheduling policies
+//! and reports every signal whose history diverges.
+
+use crate::elab::Circuit;
+use crate::kernel::{Kernel, SchedulerPolicy, SimError};
+use crate::logic::Value;
+
+/// One diverging signal.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Divergence {
+    /// Signal name.
+    pub signal: String,
+    /// Per-policy collapsed histories `(policy, [(time, value)])`.
+    pub histories: Vec<(&'static str, Vec<(u64, Value)>)>,
+}
+
+/// Result of a cross-policy comparison.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct RaceReport {
+    /// Policies compared.
+    pub policies: Vec<&'static str>,
+    /// Signals whose histories diverge across policies.
+    pub diverging: Vec<Divergence>,
+}
+
+impl RaceReport {
+    /// True when any signal diverges — the model has a race.
+    pub fn has_race(&self) -> bool {
+        !self.diverging.is_empty()
+    }
+}
+
+/// Runs `circuit` under every policy, driving each kernel with the same
+/// testbench closure, and compares per-signal histories.
+///
+/// # Errors
+///
+/// Propagates the first simulation error from any run.
+pub fn detect(
+    circuit: &Circuit,
+    policies: &[SchedulerPolicy],
+    drive: impl Fn(&mut Kernel) -> Result<(), SimError>,
+) -> Result<RaceReport, SimError> {
+    let mut kernels = Vec::with_capacity(policies.len());
+    for policy in policies {
+        let mut k = Kernel::new(circuit.clone(), *policy);
+        drive(&mut k)?;
+        kernels.push(k);
+    }
+    Ok(compare(&kernels))
+}
+
+/// Compares already-run kernels (which must share a circuit layout).
+pub fn compare(kernels: &[Kernel]) -> RaceReport {
+    let mut report = RaceReport {
+        policies: kernels.iter().map(|k| k.policy().name).collect(),
+        diverging: Vec::new(),
+    };
+    let Some(first) = kernels.first() else {
+        return report;
+    };
+    for sig in 0..first.circuit().signal_count() {
+        let histories: Vec<(&'static str, Vec<(u64, Value)>)> = kernels
+            .iter()
+            .map(|k| (k.policy().name, k.waveform().history(sig)))
+            .collect();
+        let all_same = histories.windows(2).all(|w| w[0].1 == w[1].1);
+        if !all_same {
+            report.diverging.push(Divergence {
+                signal: first.circuit().signals[sig].name.clone(),
+                histories,
+            });
+        }
+    }
+    report
+}
+
+/// Canonical example models used by tests, examples, and benches.
+pub mod models {
+    /// The paper's Section 3.1 example, adapted to a clocked process:
+    /// a continuous assignment read back in the same activation that
+    /// wrote its operand. Whether `a` has updated by the time the `if`
+    /// reads it depends on whether the simulator propagates continuous
+    /// assignments eagerly or through the event queue — both legal.
+    pub const PAPER_RACE: &str = r#"
+        module race(input clk, input d, output reg b, output reg mismatch);
+          wire a;
+          wire c;
+          assign c = 1;
+          assign a = b & c;
+          initial begin
+            b = 0;
+            mismatch = 0;
+          end
+          always @(posedge clk) begin
+            b = d;
+            if (a != d)      // which value of a?
+              mismatch = 1;
+          end
+        endmodule
+    "#;
+
+    /// An inter-process order race: two blocking-assignment processes
+    /// triggered by the same edge, one reading what the other writes.
+    /// FIFO and LIFO activation orders legally disagree.
+    pub const ORDER_RACE: &str = r#"
+        module order(input clk, input d, output reg x, output reg y);
+          initial begin
+            x = 0;
+            y = 0;
+          end
+          always @(posedge clk) x = d;
+          always @(posedge clk) y = x;
+        endmodule
+    "#;
+
+    /// The race-free rewrite: non-blocking assignments decouple read
+    /// and write, so every policy agrees.
+    pub const RACE_FREE: &str = r#"
+        module clean(input clk, input d, output reg x, output reg y);
+          initial begin
+            x = 0;
+            y = 0;
+          end
+          always @(posedge clk) x <= d;
+          always @(posedge clk) y <= x;
+        endmodule
+    "#;
+}
+
+/// Drives a clock/data testbench shared by the race experiments:
+/// `cycles` rising edges with `d` toggling every cycle.
+pub fn clocked_testbench(
+    kernel: &mut Kernel,
+    cycles: u64,
+) -> Result<(), SimError> {
+    use crate::logic::Logic;
+    let mut t = 0u64;
+    kernel.poke_name("clk", Value::bit(Logic::Zero))?;
+    kernel.poke_name("d", Value::bit(Logic::Zero))?;
+    kernel.run_until(t)?;
+    for cycle in 0..cycles {
+        t += 5;
+        kernel.poke_name(
+            "d",
+            Value::bit(if cycle % 2 == 0 { Logic::One } else { Logic::Zero }),
+        )?;
+        kernel.run_until(t)?;
+        t += 5;
+        kernel.poke_name("clk", Value::bit(Logic::One))?;
+        kernel.run_until(t)?;
+        t += 5;
+        kernel.poke_name("clk", Value::bit(Logic::Zero))?;
+        kernel.run_until(t)?;
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::elab::compile_unit;
+    use hdl::parser::parse;
+
+    fn circuit(src: &str, top: &str) -> Circuit {
+        compile_unit(&parse(src).unwrap(), top).unwrap()
+    }
+
+    #[test]
+    fn paper_race_diverges_between_eager_and_queued() {
+        let c = circuit(models::PAPER_RACE, "race");
+        let report = detect(&c, &SchedulerPolicy::all(), |k| {
+            clocked_testbench(k, 4)
+        })
+        .unwrap();
+        assert!(report.has_race());
+        assert!(
+            report.diverging.iter().any(|d| d.signal == "mismatch"),
+            "diverging: {:?}",
+            report.diverging.iter().map(|d| &d.signal).collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn order_race_diverges_between_fifo_and_lifo() {
+        let c = circuit(models::ORDER_RACE, "order");
+        let report = detect(&c, &SchedulerPolicy::all(), |k| {
+            clocked_testbench(k, 4)
+        })
+        .unwrap();
+        assert!(report.has_race());
+        assert!(report.diverging.iter().any(|d| d.signal == "y"));
+    }
+
+    #[test]
+    fn race_free_model_agrees_everywhere() {
+        let c = circuit(models::RACE_FREE, "clean");
+        let report = detect(&c, &SchedulerPolicy::all(), |k| {
+            clocked_testbench(k, 6)
+        })
+        .unwrap();
+        assert!(!report.has_race(), "diverging: {:?}", report.diverging);
+    }
+
+    #[test]
+    fn single_policy_never_diverges_with_itself() {
+        let c = circuit(models::PAPER_RACE, "race");
+        let report = detect(
+            &c,
+            &[SchedulerPolicy::sim_a(), SchedulerPolicy::sim_a()],
+            |k| clocked_testbench(k, 4),
+        )
+        .unwrap();
+        assert!(!report.has_race());
+    }
+}

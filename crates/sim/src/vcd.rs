@@ -1,0 +1,282 @@
+//! VCD waveform interchange.
+//!
+//! Waveforms are themselves interchange artifacts between tools (the
+//! paper's CovMeter-style analyzers consume simulator dumps). This
+//! module writes and reads the classic Value Change Dump text format so
+//! two kernels — or a kernel and an external viewer — can exchange
+//! results.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use crate::elab::{Circuit, SigId};
+use crate::kernel::Waveform;
+use crate::logic::Value;
+
+/// A parsed VCD: declared signals and time-ordered changes.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct VcdData {
+    /// `(name, width)` per declared signal.
+    pub signals: Vec<(String, usize)>,
+    /// `(time, signal index, value)` in file order.
+    pub changes: Vec<(u64, usize, Value)>,
+}
+
+impl VcdData {
+    /// The collapsed history of one signal by name.
+    pub fn history(&self, name: &str) -> Vec<(u64, Value)> {
+        let Some(idx) = self.signals.iter().position(|(n, _)| n == name) else {
+            return Vec::new();
+        };
+        let mut out: Vec<(u64, Value)> = Vec::new();
+        for (t, s, v) in &self.changes {
+            if *s == idx && out.last().map(|(_, lv)| lv) != Some(v) {
+                out.push((*t, v.clone()));
+            }
+        }
+        out
+    }
+}
+
+/// Error parsing VCD text.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseVcdError {
+    /// Problem description.
+    pub message: String,
+}
+
+impl fmt::Display for ParseVcdError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "vcd: {}", self.message)
+    }
+}
+
+impl std::error::Error for ParseVcdError {}
+
+fn id_code(mut n: usize) -> String {
+    // Printable identifier codes, VCD style: ! " # ... (33..=126).
+    let mut out = String::new();
+    loop {
+        out.push((33 + (n % 94)) as u8 as char);
+        n /= 94;
+        if n == 0 {
+            break;
+        }
+    }
+    out
+}
+
+/// Exports a recorded waveform as VCD text.
+pub fn export(circuit: &Circuit, waveform: &Waveform) -> String {
+    let mut o = String::new();
+    o.push_str("$date reproduction run $end\n");
+    o.push_str("$version cad-interop sim $end\n");
+    o.push_str("$timescale 1ns $end\n");
+    o.push_str("$scope module top $end\n");
+    for (i, sig) in circuit.signals.iter().enumerate() {
+        o.push_str(&format!(
+            "$var wire {} {} {} $end\n",
+            sig.width,
+            id_code(i),
+            sig.name
+        ));
+    }
+    o.push_str("$upscope $end\n$enddefinitions $end\n");
+
+    let mut time: Option<u64> = None;
+    for (t, sig, value) in &waveform.changes {
+        if time != Some(*t) {
+            o.push_str(&format!("#{t}\n"));
+            time = Some(*t);
+        }
+        if value.width() == 1 {
+            o.push_str(&format!("{}{}\n", value.get(0).to_char(), id_code(*sig)));
+        } else {
+            o.push_str(&format!("b{} {}\n", value.to_string_msb(), id_code(*sig)));
+        }
+    }
+    o
+}
+
+/// Parses VCD text.
+///
+/// # Errors
+///
+/// Returns [`ParseVcdError`] on malformed declarations or change
+/// records.
+pub fn parse(text: &str) -> Result<VcdData, ParseVcdError> {
+    let mut data = VcdData::default();
+    let mut by_code: BTreeMap<String, usize> = BTreeMap::new();
+    let mut time = 0u64;
+    let err = |m: String| ParseVcdError { message: m };
+
+    for line in text.lines() {
+        let line = line.trim();
+        if line.is_empty() {
+            continue;
+        }
+        if line.starts_with("$var") {
+            // $var wire <width> <code> <name> $end
+            let toks: Vec<&str> = line.split_whitespace().collect();
+            if toks.len() < 6 {
+                return Err(err(format!("bad $var: `{line}`")));
+            }
+            let width: usize = toks[2]
+                .parse()
+                .map_err(|_| err(format!("bad width in `{line}`")))?;
+            by_code.insert(toks[3].to_string(), data.signals.len());
+            data.signals.push((toks[4].to_string(), width));
+            continue;
+        }
+        if line.starts_with('$') {
+            continue; // other metadata
+        }
+        if let Some(t) = line.strip_prefix('#') {
+            time = t
+                .parse()
+                .map_err(|_| err(format!("bad timestamp `{line}`")))?;
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix('b') {
+            let (bits, code) = rest
+                .split_once(' ')
+                .ok_or_else(|| err(format!("bad vector change `{line}`")))?;
+            let idx = *by_code
+                .get(code.trim())
+                .ok_or_else(|| err(format!("unknown id `{code}`")))?;
+            let value = Value::from_str_msb(bits)
+                .ok_or_else(|| err(format!("bad bits `{bits}`")))?;
+            data.changes.push((time, idx, value));
+            continue;
+        }
+        // Scalar change: <value><code>.
+        let mut chars = line.chars();
+        let v = chars.next().ok_or_else(|| err("empty change".into()))?;
+        let code: String = chars.collect();
+        let idx = *by_code
+            .get(code.as_str())
+            .ok_or_else(|| err(format!("unknown id `{code}`")))?;
+        let logic = crate::logic::Logic::from_char(v)
+            .ok_or_else(|| err(format!("bad scalar value `{v}`")))?;
+        data.changes.push((time, idx, Value::bit(logic)));
+    }
+    Ok(data)
+}
+
+/// Compares two VCDs signal-by-signal (collapsed histories must match
+/// for every name present in both). Returns the diverging names.
+pub fn diff(a: &VcdData, b: &VcdData) -> Vec<String> {
+    let mut out = Vec::new();
+    for (name, _) in &a.signals {
+        if b.signals.iter().any(|(n, _)| n == name) && a.history(name) != b.history(name) {
+            out.push(name.clone());
+        }
+    }
+    out
+}
+
+/// Exports the kernel's waveform back through its own signal id space —
+/// a convenience over [`export`].
+pub fn from_kernel(kernel: &crate::kernel::Kernel) -> String {
+    export(kernel.circuit(), kernel.waveform())
+}
+
+/// Hidden helper keeping `SigId` referenced in docs.
+#[doc(hidden)]
+pub type _SigIdAlias = SigId;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::elab::compile_unit;
+    use crate::kernel::{Kernel, SchedulerPolicy};
+    use crate::logic::Logic;
+    use hdl::parser::parse as hparse;
+
+    fn run_counter() -> Kernel {
+        let unit = hparse(
+            "module m(input clk, output reg [3:0] q, output w);
+               assign w = q[0];
+               initial q = 0;
+               always @(posedge clk) q <= q + 1;
+             endmodule",
+        )
+        .expect("parses");
+        let mut k = Kernel::new(
+            compile_unit(&unit, "m").expect("elab"),
+            SchedulerPolicy::sim_a(),
+        );
+        let mut t = 0u64;
+        k.poke_name("clk", Value::bit(Logic::Zero)).expect("clk");
+        k.run_until(t).expect("run");
+        for _ in 0..5 {
+            t += 1;
+            k.poke_name("clk", Value::bit(Logic::One)).expect("clk");
+            k.run_until(t).expect("run");
+            t += 1;
+            k.poke_name("clk", Value::bit(Logic::Zero)).expect("clk");
+            k.run_until(t).expect("run");
+        }
+        k
+    }
+
+    #[test]
+    fn export_parse_round_trips_histories() {
+        let k = run_counter();
+        let text = from_kernel(&k);
+        let vcd = parse(&text).expect("parses");
+        // Same signal set.
+        assert_eq!(vcd.signals.len(), k.circuit().signal_count());
+        // The counter's history survives the text round trip.
+        let q = k.circuit().signal("q").expect("q");
+        let native: Vec<(u64, Value)> = k.waveform().history(q);
+        assert_eq!(vcd.history("q"), native);
+        assert_eq!(
+            vcd.history("q").last().map(|(_, v)| v.as_u64()),
+            Some(Some(5))
+        );
+    }
+
+    #[test]
+    fn diff_detects_divergence_between_tools() {
+        // Two kernels under *different* policies on a racy model give
+        // VCDs whose diff names the racy signal — cross-tool waveform
+        // comparison, as a verification engineer would do it.
+        let unit = hparse(crate::race::models::ORDER_RACE).expect("parses");
+        let circuit = compile_unit(&unit, "order").expect("elab");
+        let run = |policy| {
+            let mut k = Kernel::new(circuit.clone(), policy);
+            crate::race::clocked_testbench(&mut k, 4).expect("run");
+            parse(&from_kernel(&k)).expect("parses")
+        };
+        let a = run(SchedulerPolicy::sim_a());
+        let d = run(SchedulerPolicy {
+            name: "SimD",
+            order: crate::kernel::OrderPolicy::Lifo,
+            eager_continuous: false,
+        });
+        let diverging = diff(&a, &d);
+        assert!(diverging.contains(&"y".to_string()), "{diverging:?}");
+        // Same policy twice: no diff.
+        let a2 = run(SchedulerPolicy::sim_a());
+        assert!(diff(&a, &a2).is_empty());
+    }
+
+    #[test]
+    fn id_codes_are_unique_and_printable() {
+        let mut seen = std::collections::BTreeSet::new();
+        for i in 0..500 {
+            let code = id_code(i);
+            assert!(code.chars().all(|c| ('!'..='~').contains(&c)));
+            assert!(seen.insert(code));
+        }
+    }
+
+    #[test]
+    fn malformed_vcd_is_rejected()  {
+        assert!(parse("$var wire x ! q $end").is_err());
+        assert!(parse("#notatime").is_err());
+        assert!(parse("1%").is_err(), "unknown id code");
+        assert!(parse("b10x1 %").is_err(), "unknown vector id");
+    }
+}

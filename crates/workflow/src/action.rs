@@ -1,0 +1,267 @@
+//! Actions: the work attached to workflow steps.
+//!
+//! Section 5, "Open language environment": "the actions invoked from
+//! the process description can be implemented in any programming
+//! language desired by the flow developer... This openness allows any
+//! existing programs, executable from the UNIX command line, to be
+//! attached as actions to a workflow without the use of special
+//! compilers, proprietary languages or wrappers."
+//!
+//! Here an action is anything implementing [`Action`]; the `ctx` gives
+//! it the store, the data-variable metadata API, and the explicit
+//! state-override hook. The **default behaviour** policy ("a return
+//! status of zero from the tool will indicate successful execution")
+//! lives in [`ActionOutcome::state`].
+
+use std::rc::Rc;
+
+use crate::data::DataStore;
+
+/// Explicit step states an action may set through the API.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StepState {
+    /// Completed successfully.
+    Done,
+    /// Failed.
+    Failed,
+    /// Needs to run again.
+    Stale,
+}
+
+/// What an action produced.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ActionOutcome {
+    /// Process exit code (`0` = success by default policy).
+    pub exit_code: i32,
+    /// Explicit state set through the API, overriding the default
+    /// zero/non-zero policy ("support is provided in the API to set the
+    /// state of a step to an explicit value").
+    pub explicit: Option<StepState>,
+    /// Log output.
+    pub log: String,
+}
+
+impl ActionOutcome {
+    /// Success with no output.
+    pub fn ok() -> Self {
+        ActionOutcome {
+            exit_code: 0,
+            explicit: None,
+            log: String::new(),
+        }
+    }
+
+    /// Failure with the given exit code.
+    pub fn fail(code: i32) -> Self {
+        ActionOutcome {
+            exit_code: code,
+            explicit: None,
+            log: String::new(),
+        }
+    }
+
+    /// The resulting step state under the default policy plus any
+    /// explicit override.
+    pub fn state(&self) -> StepState {
+        match self.explicit {
+            Some(s) => s,
+            None if self.exit_code == 0 => StepState::Done,
+            None => StepState::Failed,
+        }
+    }
+}
+
+/// Context handed to a running action: the store plus workflow
+/// metadata.
+pub struct ActionCtx<'a> {
+    /// The design-data store.
+    pub store: &'a mut DataStore,
+    /// The owning block's namespace prefix (e.g. `"top/alu"`).
+    pub block: &'a str,
+    /// The step's full name.
+    pub step: &'a str,
+}
+
+impl ActionCtx<'_> {
+    /// Namespaced path helper: `"netlist.v"` → `"top/alu/netlist.v"`.
+    pub fn path(&self, rel: &str) -> String {
+        if self.block.is_empty() {
+            rel.to_string()
+        } else {
+            format!("{}/{rel}", self.block)
+        }
+    }
+}
+
+/// A runnable action.
+pub trait Action {
+    /// Runs the action.
+    fn run(&self, ctx: &mut ActionCtx<'_>) -> ActionOutcome;
+
+    /// Display name (for metrics and logs).
+    fn name(&self) -> &str {
+        "action"
+    }
+}
+
+/// A closure-backed action — the "any language" stand-in: in this
+/// simulated environment a UNIX command line is a Rust closure.
+pub struct FnAction {
+    name: String,
+    f: Rc<dyn Fn(&mut ActionCtx<'_>) -> ActionOutcome>,
+}
+
+impl FnAction {
+    /// Wraps a closure as an action.
+    pub fn new(
+        name: impl Into<String>,
+        f: impl Fn(&mut ActionCtx<'_>) -> ActionOutcome + 'static,
+    ) -> Self {
+        FnAction {
+            name: name.into(),
+            f: Rc::new(f),
+        }
+    }
+}
+
+impl Action for FnAction {
+    fn run(&self, ctx: &mut ActionCtx<'_>) -> ActionOutcome {
+        (self.f)(ctx)
+    }
+
+    fn name(&self) -> &str {
+        &self.name
+    }
+}
+
+impl Clone for FnAction {
+    fn clone(&self) -> Self {
+        FnAction {
+            name: self.name.clone(),
+            f: Rc::clone(&self.f),
+        }
+    }
+}
+
+/// A simulated command-line tool: reads input files, writes output
+/// files, succeeds when all inputs exist.
+#[derive(Debug, Clone)]
+pub struct ToolAction {
+    /// Tool name.
+    pub tool: String,
+    /// Input paths (block-relative).
+    pub inputs: Vec<String>,
+    /// Output paths (block-relative) with generated content.
+    pub outputs: Vec<String>,
+}
+
+impl ToolAction {
+    /// Creates a tool action.
+    pub fn new(
+        tool: impl Into<String>,
+        inputs: impl IntoIterator<Item = &'static str>,
+        outputs: impl IntoIterator<Item = &'static str>,
+    ) -> Self {
+        ToolAction {
+            tool: tool.into(),
+            inputs: inputs.into_iter().map(String::from).collect(),
+            outputs: outputs.into_iter().map(String::from).collect(),
+        }
+    }
+}
+
+impl Action for ToolAction {
+    fn run(&self, ctx: &mut ActionCtx<'_>) -> ActionOutcome {
+        // Missing inputs: non-zero exit, as a real tool would.
+        for input in &self.inputs {
+            let p = ctx.path(input);
+            if !ctx.store.exists(&p) {
+                return ActionOutcome {
+                    exit_code: 2,
+                    explicit: None,
+                    log: format!("{}: missing input {p}", self.tool),
+                };
+            }
+        }
+        let stamp = ctx.store.now();
+        for output in &self.outputs {
+            let p = ctx.path(output);
+            let content = format!("{} output @{stamp} from {:?}", self.tool, self.inputs);
+            ctx.store.write(p, content);
+        }
+        ActionOutcome {
+            exit_code: 0,
+            explicit: None,
+            log: format!("{} ok", self.tool),
+        }
+    }
+
+    fn name(&self) -> &str {
+        &self.tool
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_policy_zero_is_success() {
+        assert_eq!(ActionOutcome::ok().state(), StepState::Done);
+        assert_eq!(ActionOutcome::fail(3).state(), StepState::Failed);
+        let explicit = ActionOutcome {
+            exit_code: 0,
+            explicit: Some(StepState::Failed),
+            log: String::new(),
+        };
+        assert_eq!(explicit.state(), StepState::Failed, "API override wins");
+    }
+
+    #[test]
+    fn tool_action_reads_and_writes_namespaced_paths() {
+        let mut store = DataStore::new();
+        store.advance();
+        store.write("alu/rtl.v", "module alu;");
+        let tool = ToolAction::new("synth", ["rtl.v"], ["netlist.v"]);
+        let mut ctx = ActionCtx {
+            store: &mut store,
+            block: "alu",
+            step: "alu/synth",
+        };
+        let out = tool.run(&mut ctx);
+        assert_eq!(out.state(), StepState::Done);
+        assert!(store.exists("alu/netlist.v"));
+    }
+
+    #[test]
+    fn tool_action_fails_on_missing_input() {
+        let mut store = DataStore::new();
+        let tool = ToolAction::new("synth", ["rtl.v"], ["netlist.v"]);
+        let mut ctx = ActionCtx {
+            store: &mut store,
+            block: "",
+            step: "synth",
+        };
+        let out = tool.run(&mut ctx);
+        assert_eq!(out.state(), StepState::Failed);
+        assert!(out.log.contains("missing input"));
+        assert!(!store.exists("netlist.v"));
+    }
+
+    #[test]
+    fn fn_action_wraps_closures() {
+        let a = FnAction::new("touch", |ctx| {
+            ctx.store.write(ctx.path("marker"), "x");
+            ActionOutcome::ok()
+        });
+        assert_eq!(a.name(), "touch");
+        let mut store = DataStore::new();
+        let mut ctx = ActionCtx {
+            store: &mut store,
+            block: "b",
+            step: "b/touch",
+        };
+        a.run(&mut ctx);
+        assert!(store.exists("b/marker"));
+    }
+}

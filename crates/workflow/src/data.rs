@@ -1,0 +1,237 @@
+//! The virtual design-data store and workflow data variables.
+//!
+//! Section 5: "Tools are integrated such that checks can be made on
+//! their data to determine flow state. File existence, date/time
+//! stamps, file contents and other means can be used to determine data
+//! maturity... Data variables in the workflow can serve as proxies for
+//! one or more design data items, allowing information about the data
+//! state and/or value to be stored as metadata separate from the design
+//! data."
+
+use std::collections::BTreeMap;
+
+/// A logical timestamp (the engine's tick counter).
+pub type Stamp = u64;
+
+/// One stored file.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FileEntry {
+    /// File content.
+    pub content: String,
+    /// Last-modified logical time.
+    pub modified: Stamp,
+}
+
+/// A change event recorded by the store.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ChangeEvent {
+    /// Path written.
+    pub path: String,
+    /// When.
+    pub at: Stamp,
+    /// True when the path existed before.
+    pub overwrite: bool,
+}
+
+/// An in-memory file store with logical timestamps and a change log —
+/// the "default data storage structure" the flow operates on.
+#[derive(Debug, Clone, Default)]
+pub struct DataStore {
+    files: BTreeMap<String, FileEntry>,
+    vars: BTreeMap<String, String>,
+    /// Every write, in order.
+    pub changes: Vec<ChangeEvent>,
+    clock: Stamp,
+}
+
+impl DataStore {
+    /// Creates an empty store.
+    pub fn new() -> Self {
+        DataStore::default()
+    }
+
+    /// Advances the logical clock (the engine calls this per tick).
+    pub fn advance(&mut self) -> Stamp {
+        self.clock += 1;
+        self.clock
+    }
+
+    /// Current logical time.
+    pub fn now(&self) -> Stamp {
+        self.clock
+    }
+
+    /// Writes a file at the current time.
+    pub fn write(&mut self, path: impl Into<String>, content: impl Into<String>) {
+        let path = path.into();
+        let overwrite = self.files.contains_key(&path);
+        self.files.insert(
+            path.clone(),
+            FileEntry {
+                content: content.into(),
+                modified: self.clock,
+            },
+        );
+        self.changes.push(ChangeEvent {
+            path,
+            at: self.clock,
+            overwrite,
+        });
+    }
+
+    /// Reads a file.
+    pub fn read(&self, path: &str) -> Option<&str> {
+        self.files.get(path).map(|f| f.content.as_str())
+    }
+
+    /// A file's last-modified time.
+    pub fn modified(&self, path: &str) -> Option<Stamp> {
+        self.files.get(path).map(|f| f.modified)
+    }
+
+    /// True when the file exists.
+    pub fn exists(&self, path: &str) -> bool {
+        self.files.contains_key(path)
+    }
+
+    /// Deletes a file; true when it existed.
+    pub fn remove(&mut self, path: &str) -> bool {
+        self.files.remove(path).is_some()
+    }
+
+    /// Sets a data variable (metadata separate from design data).
+    pub fn set_var(&mut self, name: impl Into<String>, value: impl Into<String>) {
+        self.vars.insert(name.into(), value.into());
+    }
+
+    /// Reads a data variable.
+    pub fn var(&self, name: &str) -> Option<&str> {
+        self.vars.get(name).map(String::as_str)
+    }
+
+    /// File count.
+    pub fn file_count(&self) -> usize {
+        self.files.len()
+    }
+
+    /// Paths in order.
+    pub fn paths(&self) -> impl Iterator<Item = &str> {
+        self.files.keys().map(String::as_str)
+    }
+}
+
+/// A data-maturity condition — the dependency-management vocabulary.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Maturity {
+    /// The file exists.
+    Exists(String),
+    /// The file exists and was modified at or after the other file.
+    NewerThan {
+        /// The file that must be newer.
+        path: String,
+        /// The reference file.
+        than: String,
+    },
+    /// The file exists and contains the substring.
+    Contains {
+        /// File path.
+        path: String,
+        /// Required substring.
+        needle: String,
+    },
+    /// A data variable equals a value.
+    VarEquals {
+        /// Variable name.
+        name: String,
+        /// Required value.
+        value: String,
+    },
+}
+
+impl Maturity {
+    /// Evaluates the condition against a store.
+    pub fn holds(&self, store: &DataStore) -> bool {
+        match self {
+            Maturity::Exists(p) => store.exists(p),
+            Maturity::NewerThan { path, than } => match (store.modified(path), store.modified(than))
+            {
+                (Some(a), Some(b)) => a >= b,
+                _ => false,
+            },
+            Maturity::Contains { path, needle } => store
+                .read(path)
+                .map(|c| c.contains(needle.as_str()))
+                .unwrap_or(false),
+            Maturity::VarEquals { name, value } => store.var(name) == Some(value.as_str()),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn store_read_write_and_clock() {
+        let mut s = DataStore::new();
+        assert!(!s.exists("a.v"));
+        s.advance();
+        s.write("a.v", "module a;");
+        assert_eq!(s.read("a.v"), Some("module a;"));
+        assert_eq!(s.modified("a.v"), Some(1));
+        s.advance();
+        s.write("a.v", "module a2;");
+        assert_eq!(s.modified("a.v"), Some(2));
+        assert_eq!(s.changes.len(), 2);
+        assert!(s.changes[1].overwrite);
+        assert!(s.remove("a.v"));
+        assert!(!s.remove("a.v"));
+    }
+
+    #[test]
+    fn vars_are_separate_metadata() {
+        let mut s = DataStore::new();
+        s.set_var("netlist_state", "golden");
+        assert_eq!(s.var("netlist_state"), Some("golden"));
+        assert_eq!(s.var("other"), None);
+        assert_eq!(s.file_count(), 0);
+    }
+
+    #[test]
+    fn maturity_conditions() {
+        let mut s = DataStore::new();
+        s.advance();
+        s.write("rtl.v", "module top; endmodule");
+        s.advance();
+        s.write("netlist.v", "gates");
+        s.set_var("mode", "signoff");
+
+        assert!(Maturity::Exists("rtl.v".into()).holds(&s));
+        assert!(!Maturity::Exists("gds.db".into()).holds(&s));
+        assert!(Maturity::NewerThan {
+            path: "netlist.v".into(),
+            than: "rtl.v".into()
+        }
+        .holds(&s));
+        assert!(!Maturity::NewerThan {
+            path: "rtl.v".into(),
+            than: "netlist.v".into()
+        }
+        .holds(&s));
+        assert!(Maturity::Contains {
+            path: "rtl.v".into(),
+            needle: "endmodule".into()
+        }
+        .holds(&s));
+        assert!(Maturity::VarEquals {
+            name: "mode".into(),
+            value: "signoff".into()
+        }
+        .holds(&s));
+        assert!(!Maturity::VarEquals {
+            name: "mode".into(),
+            value: "draft".into()
+        }
+        .holds(&s));
+    }
+}

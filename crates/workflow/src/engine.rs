@@ -1,0 +1,503 @@
+//! The workflow engine: instantiation, dependency-driven scheduling,
+//! default status policy, permissions, triggers, reset/rerun, and
+//! status collection.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use crate::action::{Action, ActionCtx, StepState};
+use crate::data::{DataStore, Maturity, Stamp};
+use crate::template::{BlockTree, Dependency, FlowTemplate, TemplateError};
+
+/// Scheduler-visible step status.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Status {
+    /// Not yet run; waiting on start dependencies.
+    Pending,
+    /// Ran successfully but finish dependencies are unmet.
+    AwaitingFinish,
+    /// Completed.
+    Done,
+    /// Action failed.
+    Failed,
+    /// Invalidated by an upstream change; will rerun.
+    Stale,
+    /// The current user lacks the required role.
+    PermissionBlocked,
+}
+
+/// One instantiated step.
+#[derive(Debug, Clone)]
+pub struct StepInst {
+    /// Full name `block/path/step`.
+    pub full_name: String,
+    /// Owning block path.
+    pub block: String,
+    /// Action key.
+    pub action: String,
+    /// Resolved start dependencies (full step names / absolute paths).
+    pub start_deps: Vec<Dependency>,
+    /// Resolved finish dependencies.
+    pub finish_deps: Vec<Dependency>,
+    /// Required role.
+    pub required_role: Option<String>,
+    /// Steps that must all be Done when this dep is `ChildrenComplete`.
+    pub children_steps: Vec<String>,
+    /// Current status.
+    pub status: Status,
+    /// Times the action ran.
+    pub runs: u32,
+    /// Tick of first run.
+    pub first_run: Option<Stamp>,
+    /// Tick the step reached Done.
+    pub completed: Option<Stamp>,
+    /// Last action log.
+    pub log: String,
+}
+
+/// A change trigger: "Trigger-based procedures provide the ability to
+/// notify the user when something has changed in the design that does,
+/// or might, require them to rework some of their steps."
+#[derive(Debug, Clone)]
+pub struct Trigger {
+    /// Fires when a written path contains this substring.
+    pub path_contains: String,
+    /// Completed steps (full-name suffix match) to mark stale.
+    pub mark_stale_suffix: String,
+    /// Notification text.
+    pub note: String,
+}
+
+/// An engine-level failure.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum EngineError {
+    /// Template failed validation.
+    Template(TemplateError),
+    /// A step references an unregistered action.
+    UnknownAction {
+        /// Step name.
+        step: String,
+        /// Missing action key.
+        action: String,
+    },
+    /// Unknown step name in an API call.
+    NoSuchStep(String),
+}
+
+impl std::fmt::Display for EngineError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            EngineError::Template(e) => write!(f, "template: {e}"),
+            EngineError::UnknownAction { step, action } => {
+                write!(f, "step `{step}` uses unregistered action `{action}`")
+            }
+            EngineError::NoSuchStep(s) => write!(f, "no step named `{s}`"),
+        }
+    }
+}
+
+impl std::error::Error for EngineError {}
+
+impl From<TemplateError> for EngineError {
+    fn from(e: TemplateError) -> Self {
+        EngineError::Template(e)
+    }
+}
+
+/// The workflow engine.
+pub struct Engine {
+    actions: BTreeMap<String, Box<dyn Action>>,
+    /// The design-data store.
+    pub store: DataStore,
+    steps: Vec<StepInst>,
+    by_name: BTreeMap<String, usize>,
+    triggers: Vec<Trigger>,
+    /// Notifications raised by triggers and permission blocks.
+    pub notifications: Vec<String>,
+    roles: BTreeSet<String>,
+    changes_seen: usize,
+}
+
+impl Engine {
+    /// Creates an empty engine.
+    pub fn new() -> Self {
+        Engine {
+            actions: BTreeMap::new(),
+            store: DataStore::new(),
+            steps: Vec::new(),
+            by_name: BTreeMap::new(),
+            triggers: Vec::new(),
+            notifications: Vec::new(),
+            roles: BTreeSet::new(),
+            changes_seen: 0,
+        }
+    }
+
+    /// Registers an action under a key.
+    pub fn register(&mut self, key: impl Into<String>, action: impl Action + 'static) {
+        self.actions.insert(key.into(), Box::new(action));
+    }
+
+    /// Grants the current user a role.
+    pub fn grant_role(&mut self, role: impl Into<String>) {
+        self.roles.insert(role.into());
+    }
+
+    /// Adds a change trigger.
+    pub fn add_trigger(&mut self, t: Trigger) {
+        self.triggers.push(t);
+    }
+
+    /// Deploys a template over a block hierarchy: every block gets its
+    /// own namespaced instance of every step ("the data and process
+    /// status is kept separate for each block").
+    ///
+    /// # Errors
+    ///
+    /// Fails on template validation errors or unregistered actions.
+    pub fn deploy(
+        &mut self,
+        template: &FlowTemplate,
+        tree: &BlockTree,
+    ) -> Result<(), EngineError> {
+        template.validate()?;
+        for step in &template.steps {
+            if !self.actions.contains_key(&step.action) {
+                return Err(EngineError::UnknownAction {
+                    step: step.name.clone(),
+                    action: step.action.clone(),
+                });
+            }
+        }
+        let blocks = tree.walk();
+        for (path, block) in &blocks {
+            // Full names of all steps in strict descendants.
+            let mut descendant_steps = Vec::new();
+            for (child_path, _) in &blocks {
+                if child_path != path && child_path.starts_with(&format!("{path}/")) {
+                    for s in &template.steps {
+                        descendant_steps.push(format!("{child_path}/{}", s.name));
+                    }
+                }
+            }
+            let _ = block;
+            for step in &template.steps {
+                let resolve = |d: &Dependency| -> Dependency {
+                    match d {
+                        Dependency::StepDone(t) => Dependency::StepDone(format!("{path}/{t}")),
+                        Dependency::Data(m) => Dependency::Data(prefix_maturity(m, path)),
+                        Dependency::ChildrenComplete => Dependency::ChildrenComplete,
+                    }
+                };
+                let inst = StepInst {
+                    full_name: format!("{path}/{}", step.name),
+                    block: path.clone(),
+                    action: step.action.clone(),
+                    start_deps: step.start_deps.iter().map(resolve).collect(),
+                    finish_deps: step.finish_deps.iter().map(resolve).collect(),
+                    required_role: step.required_role.clone(),
+                    children_steps: descendant_steps.clone(),
+                    status: Status::Pending,
+                    runs: 0,
+                    first_run: None,
+                    completed: None,
+                    log: String::new(),
+                };
+                self.by_name.insert(inst.full_name.clone(), self.steps.len());
+                self.steps.push(inst);
+            }
+        }
+        Ok(())
+    }
+
+    /// All step instances.
+    pub fn steps(&self) -> &[StepInst] {
+        &self.steps
+    }
+
+    /// One step by full name.
+    ///
+    /// # Errors
+    ///
+    /// Fails when the name is unknown.
+    pub fn step(&self, full_name: &str) -> Result<&StepInst, EngineError> {
+        self.by_name
+            .get(full_name)
+            .map(|&i| &self.steps[i])
+            .ok_or_else(|| EngineError::NoSuchStep(full_name.to_string()))
+    }
+
+    /// Sets a step's state explicitly through the API.
+    ///
+    /// # Errors
+    ///
+    /// Fails when the name is unknown.
+    pub fn set_state(&mut self, full_name: &str, state: StepState) -> Result<(), EngineError> {
+        let idx = *self
+            .by_name
+            .get(full_name)
+            .ok_or_else(|| EngineError::NoSuchStep(full_name.to_string()))?;
+        self.steps[idx].status = match state {
+            StepState::Done => Status::Done,
+            StepState::Failed => Status::Failed,
+            StepState::Stale => Status::Stale,
+        };
+        Ok(())
+    }
+
+    /// True when a step may be reset: it has run, and no dependent step
+    /// is currently mid-flight (`AwaitingFinish`). ("When can I reset
+    /// and rerun this step?")
+    pub fn can_reset(&self, full_name: &str) -> bool {
+        let Some(&idx) = self.by_name.get(full_name) else {
+            return false;
+        };
+        if self.steps[idx].runs == 0 {
+            return false;
+        }
+        !self
+            .dependents_of(full_name)
+            .iter()
+            .any(|&d| self.steps[d].status == Status::AwaitingFinish)
+    }
+
+    /// Resets a step to Pending and marks every completed transitive
+    /// dependent Stale.
+    ///
+    /// # Errors
+    ///
+    /// Fails when the name is unknown.
+    pub fn reset(&mut self, full_name: &str) -> Result<usize, EngineError> {
+        let idx = *self
+            .by_name
+            .get(full_name)
+            .ok_or_else(|| EngineError::NoSuchStep(full_name.to_string()))?;
+        self.steps[idx].status = Status::Pending;
+        let dependents = self.dependents_of(full_name);
+        let mut invalidated = 0;
+        for d in dependents {
+            if matches!(self.steps[d].status, Status::Done | Status::AwaitingFinish) {
+                self.steps[d].status = Status::Stale;
+                invalidated += 1;
+            }
+        }
+        Ok(invalidated)
+    }
+
+    /// Transitive dependents via StepDone start/finish deps.
+    fn dependents_of(&self, full_name: &str) -> Vec<usize> {
+        let mut out = Vec::new();
+        let mut frontier = vec![full_name.to_string()];
+        let mut seen: BTreeSet<String> = BTreeSet::new();
+        while let Some(name) = frontier.pop() {
+            for (i, s) in self.steps.iter().enumerate() {
+                let depends = s.start_deps.iter().chain(&s.finish_deps).any(
+                    |d| matches!(d, Dependency::StepDone(t) if *t == name),
+                );
+                if depends && seen.insert(s.full_name.clone()) {
+                    out.push(i);
+                    frontier.push(s.full_name.clone());
+                }
+            }
+        }
+        out
+    }
+
+    fn dep_satisfied(&self, dep: &Dependency, children: &[String]) -> bool {
+        match dep {
+            Dependency::StepDone(t) => self
+                .by_name
+                .get(t)
+                .map(|&i| self.steps[i].status == Status::Done)
+                .unwrap_or(false),
+            Dependency::Data(m) => m.holds(&self.store),
+            Dependency::ChildrenComplete => children.iter().all(|c| {
+                self.by_name
+                    .get(c)
+                    .map(|&i| self.steps[i].status == Status::Done)
+                    .unwrap_or(false)
+            }),
+        }
+    }
+
+    /// Runs one scheduling pass: starts every runnable step once,
+    /// re-checks finish dependencies, and fires triggers. Returns the
+    /// number of actions run.
+    pub fn tick(&mut self) -> usize {
+        self.store.advance();
+        let mut ran = 0usize;
+
+        for idx in 0..self.steps.len() {
+            let runnable = matches!(self.steps[idx].status, Status::Pending | Status::Stale);
+            if !runnable {
+                continue;
+            }
+            let ready = {
+                let s = &self.steps[idx];
+                s.start_deps
+                    .iter()
+                    .all(|d| self.dep_satisfied(d, &s.children_steps))
+            };
+            if !ready {
+                continue;
+            }
+            // Permissions.
+            if let Some(role) = self.steps[idx].required_role.clone() {
+                if !self.roles.contains(&role) {
+                    if self.steps[idx].status != Status::PermissionBlocked {
+                        self.steps[idx].status = Status::PermissionBlocked;
+                        self.notifications.push(format!(
+                            "{}: blocked (needs role `{role}`)",
+                            self.steps[idx].full_name
+                        ));
+                    }
+                    continue;
+                }
+            }
+            // Run the action.
+            let action_key = self.steps[idx].action.clone();
+            let block = self.steps[idx].block.clone();
+            let full = self.steps[idx].full_name.clone();
+            let action = self.actions.get(&action_key).expect("validated at deploy");
+            let mut ctx = ActionCtx {
+                store: &mut self.store,
+                block: &block,
+                step: &full,
+            };
+            let outcome = action.run(&mut ctx);
+            ran += 1;
+            let s = &mut self.steps[idx];
+            s.runs += 1;
+            if s.first_run.is_none() {
+                s.first_run = Some(self.store.now());
+            }
+            s.log = outcome.log.clone();
+            s.status = match outcome.state() {
+                StepState::Done => Status::AwaitingFinish,
+                StepState::Failed => Status::Failed,
+                StepState::Stale => Status::Stale,
+            };
+        }
+
+        // Finish-dependency promotion.
+        for idx in 0..self.steps.len() {
+            if self.steps[idx].status != Status::AwaitingFinish {
+                continue;
+            }
+            let ok = {
+                let s = &self.steps[idx];
+                s.finish_deps
+                    .iter()
+                    .all(|d| self.dep_satisfied(d, &s.children_steps))
+            };
+            if ok {
+                self.steps[idx].status = Status::Done;
+                self.steps[idx].completed = Some(self.store.now());
+            }
+        }
+
+        // Triggers over new store changes.
+        let new_changes: Vec<crate::data::ChangeEvent> =
+            self.store.changes[self.changes_seen..].to_vec();
+        self.changes_seen = self.store.changes.len();
+        for change in &new_changes {
+            for t in &self.triggers.clone() {
+                if !change.path_contains(&t.path_contains) {
+                    continue;
+                }
+                for idx in 0..self.steps.len() {
+                    let s = &mut self.steps[idx];
+                    // Scope staleness to the block that owns the changed
+                    // data: `chip/cpu/rtl.v` belongs to `chip/cpu` (the
+                    // file sits directly in the block's directory).
+                    let owns = change
+                        .path
+                        .strip_prefix(&format!("{}/", s.block))
+                        .is_some_and(|rest| !rest.contains('/'));
+                    if owns
+                        && s.status == Status::Done
+                        && s.full_name.ends_with(&t.mark_stale_suffix)
+                    {
+                        s.status = Status::Stale;
+                        self.notifications
+                            .push(format!("{}: {} ({})", s.full_name, t.note, change.path));
+                    }
+                }
+            }
+        }
+
+        ran
+    }
+
+    /// Ticks until nothing runs (or the budget is exhausted).
+    /// Returns `(ticks_used, total_actions_run)`.
+    pub fn run_to_quiescence(&mut self, max_ticks: usize) -> (usize, usize) {
+        let mut total = 0usize;
+        for t in 0..max_ticks {
+            let before = self.status_counts();
+            let ran = self.tick();
+            total += ran;
+            let after = self.status_counts();
+            if ran == 0 && before == after {
+                return (t + 1, total);
+            }
+        }
+        (max_ticks, total)
+    }
+
+    /// Status histogram `(pending, awaiting, done, failed, stale,
+    /// blocked)`.
+    pub fn status_counts(&self) -> (usize, usize, usize, usize, usize, usize) {
+        let mut c = (0, 0, 0, 0, 0, 0);
+        for s in &self.steps {
+            match s.status {
+                Status::Pending => c.0 += 1,
+                Status::AwaitingFinish => c.1 += 1,
+                Status::Done => c.2 += 1,
+                Status::Failed => c.3 += 1,
+                Status::Stale => c.4 += 1,
+                Status::PermissionBlocked => c.5 += 1,
+            }
+        }
+        c
+    }
+
+    /// True when every step is Done.
+    pub fn is_complete(&self) -> bool {
+        self.steps.iter().all(|s| s.status == Status::Done)
+    }
+}
+
+impl Default for Engine {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+trait PathContains {
+    fn path_contains(&self, needle: &str) -> bool;
+}
+
+impl PathContains for crate::data::ChangeEvent {
+    fn path_contains(&self, needle: &str) -> bool {
+        self.path.contains(needle)
+    }
+}
+
+fn prefix_maturity(m: &Maturity, block: &str) -> Maturity {
+    let pre = |p: &str| format!("{block}/{p}");
+    match m {
+        Maturity::Exists(p) => Maturity::Exists(pre(p)),
+        Maturity::NewerThan { path, than } => Maturity::NewerThan {
+            path: pre(path),
+            than: pre(than),
+        },
+        Maturity::Contains { path, needle } => Maturity::Contains {
+            path: pre(path),
+            needle: needle.clone(),
+        },
+        Maturity::VarEquals { name, value } => Maturity::VarEquals {
+            name: name.clone(),
+            value: value.clone(),
+        },
+    }
+}

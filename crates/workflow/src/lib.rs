@@ -1,0 +1,357 @@
+//! # workflow — a workflow-management substrate
+//!
+//! The Section 5 substrate of the CAD-interoperability workbench
+//! reproducing *Issues and Answers in CAD Tool Interoperability*
+//! (DAC 1996). It implements every characteristic the paper says a
+//! workflow product suite must have:
+//!
+//! * **environment independence / open language**: actions are opaque
+//!   callables with a zero/non-zero default status policy and an
+//!   explicit-state API override ([`action`]),
+//! * **flexible tool management**: per-step tool invocation over a
+//!   shared data store ([`engine`]),
+//! * **hierarchical design**: one template deployed over a block tree,
+//!   status and data kept separate per block ([`template`]),
+//! * **open data management**: a virtual store with timestamps, content
+//!   checks, and data variables as metadata proxies ([`data`]),
+//! * **flexible dependency management**: start *and* finish
+//!   dependencies, data-maturity conditions, reset/rerun rules,
+//!   permissions ([`engine`]),
+//! * **trigger-based change notification** ([`engine::Trigger`]),
+//! * **status collection and metrics** ([`metrics`]).
+//!
+//! ## Example
+//!
+//! ```
+//! use workflow::action::ToolAction;
+//! use workflow::engine::Engine;
+//! use workflow::template::{BlockTree, FlowTemplate, StepDef};
+//!
+//! # fn main() -> Result<(), workflow::engine::EngineError> {
+//! let mut engine = Engine::new();
+//! engine.register("write_rtl", ToolAction::new("editor", [], ["rtl.v"]));
+//! engine.register("synth", ToolAction::new("synth", ["rtl.v"], ["netlist.v"]));
+//! let flow = FlowTemplate::new("mini")
+//!     .with_step(StepDef::new("rtl", "write_rtl"))
+//!     .with_step(StepDef::new("synth", "synth").after("rtl"));
+//! engine.deploy(&flow, &BlockTree::leaf("chip"))?;
+//! engine.run_to_quiescence(10);
+//! assert!(engine.is_complete());
+//! # Ok(())
+//! # }
+//! ```
+
+pub mod action;
+pub mod data;
+pub mod engine;
+pub mod metrics;
+pub mod platform;
+pub mod template;
+
+pub use action::{Action, ActionCtx, ActionOutcome, StepState};
+pub use data::{DataStore, Maturity};
+pub use engine::{Engine, EngineError, Status, Trigger};
+pub use template::{BlockTree, Dependency, FlowTemplate, StepDef};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use action::{FnAction, ToolAction};
+
+    fn standard_engine() -> Engine {
+        let mut e = Engine::new();
+        e.register("write_rtl", ToolAction::new("editor", [], ["rtl.v"]));
+        e.register("synth", ToolAction::new("synth", ["rtl.v"], ["netlist.v"]));
+        e.register("place", ToolAction::new("place", ["netlist.v"], ["def.db"]));
+        e.register("route", ToolAction::new("route", ["def.db"], ["gds.db"]));
+        e
+    }
+
+    fn rtl2gds() -> FlowTemplate {
+        FlowTemplate::new("rtl2gds")
+            .with_step(StepDef::new("rtl", "write_rtl"))
+            .with_step(StepDef::new("synth", "synth").after("rtl"))
+            .with_step(StepDef::new("place", "place").after("synth"))
+            .with_step(StepDef::new("route", "route").after("place"))
+    }
+
+    #[test]
+    fn linear_flow_completes_in_dependency_order() {
+        let mut e = standard_engine();
+        e.deploy(&rtl2gds(), &BlockTree::leaf("chip")).unwrap();
+        let (ticks, runs) = e.run_to_quiescence(20);
+        assert!(e.is_complete());
+        assert_eq!(runs, 4);
+        assert!(ticks >= 4, "one step becomes ready per tick");
+        let synth = e.step("chip/synth").unwrap();
+        let route = e.step("chip/route").unwrap();
+        assert!(synth.completed.unwrap() < route.completed.unwrap());
+        assert!(e.store.exists("chip/gds.db"));
+    }
+
+    #[test]
+    fn hierarchy_keeps_block_state_separate() {
+        let mut e = standard_engine();
+        let tree = BlockTree::leaf("chip")
+            .with_child(BlockTree::leaf("cpu"))
+            .with_child(BlockTree::leaf("mem"));
+        e.deploy(&rtl2gds(), &tree).unwrap();
+        e.run_to_quiescence(30);
+        assert!(e.is_complete());
+        assert_eq!(e.steps().len(), 12);
+        assert!(e.store.exists("chip/cpu/gds.db"));
+        assert!(e.store.exists("chip/mem/gds.db"));
+        assert!(e.store.exists("chip/gds.db"));
+    }
+
+    #[test]
+    fn after_children_gates_the_parent_assembly_step() {
+        let mut e = standard_engine();
+        e.register(
+            "assemble",
+            ToolAction::new("assemble", ["gds.db"], ["final.db"]),
+        );
+        let flow = rtl2gds().with_step(
+            StepDef::new("assemble", "assemble")
+                .after("route")
+                .after_children(),
+        );
+        let tree = BlockTree::leaf("chip").with_child(BlockTree::leaf("cpu"));
+        e.deploy(&flow, &tree).unwrap();
+        e.run_to_quiescence(40);
+        assert!(e.is_complete());
+        let parent_asm = e.step("chip/assemble").unwrap().completed.unwrap();
+        let child_route = e.step("chip/cpu/route").unwrap().completed.unwrap();
+        assert!(parent_asm >= child_route);
+    }
+
+    #[test]
+    fn finish_dependency_holds_a_step_open() {
+        let mut e = standard_engine();
+        e.register("signoff", FnAction::new("signoff", |_| ActionOutcome::ok()));
+        let flow = FlowTemplate::new("f").with_step(
+            StepDef::new("signoff", "signoff").finishes_when(Dependency::Data(
+                Maturity::VarEquals {
+                    name: "approved".into(),
+                    value: "yes".into(),
+                },
+            )),
+        );
+        e.deploy(&flow, &BlockTree::leaf("chip")).unwrap();
+        e.run_to_quiescence(5);
+        assert_eq!(e.step("chip/signoff").unwrap().status, Status::AwaitingFinish);
+        assert!(!e.is_complete());
+        // Management approves; the step may now complete.
+        e.store.set_var("approved", "yes");
+        e.run_to_quiescence(5);
+        assert!(e.is_complete());
+    }
+
+    #[test]
+    fn data_maturity_start_dependency() {
+        let mut e = standard_engine();
+        let flow = FlowTemplate::new("f").with_step(
+            StepDef::new("synth", "synth").needs(Maturity::Exists("rtl.v".into())),
+        );
+        e.deploy(&flow, &BlockTree::leaf("chip")).unwrap();
+        e.run_to_quiescence(3);
+        assert_eq!(e.step("chip/synth").unwrap().status, Status::Pending);
+        e.store.write("chip/rtl.v", "module chip;");
+        e.run_to_quiescence(3);
+        assert!(e.is_complete());
+    }
+
+    #[test]
+    fn permissions_block_and_notify() {
+        let mut e = standard_engine();
+        let flow = FlowTemplate::new("f")
+            .with_step(StepDef::new("rtl", "write_rtl"))
+            .with_step(
+                StepDef::new("synth", "synth")
+                    .after("rtl")
+                    .requires_role("synthesis"),
+            );
+        e.deploy(&flow, &BlockTree::leaf("chip")).unwrap();
+        e.run_to_quiescence(5);
+        assert_eq!(
+            e.step("chip/synth").unwrap().status,
+            Status::PermissionBlocked
+        );
+        assert!(e.notifications.iter().any(|n| n.contains("synthesis")));
+        // Grant the role; blocked steps stay blocked until re-ticked as
+        // pending via reset.
+        e.grant_role("synthesis");
+        e.reset("chip/synth").unwrap();
+        e.run_to_quiescence(5);
+        assert!(e.is_complete());
+    }
+
+    #[test]
+    fn failed_action_stops_downstream() {
+        let mut e = standard_engine();
+        e.register("broken", FnAction::new("broken", |_| ActionOutcome::fail(1)));
+        let flow = FlowTemplate::new("f")
+            .with_step(StepDef::new("broken", "broken"))
+            .with_step(StepDef::new("synth", "synth").after("broken"));
+        e.deploy(&flow, &BlockTree::leaf("chip")).unwrap();
+        e.run_to_quiescence(5);
+        assert_eq!(e.step("chip/broken").unwrap().status, Status::Failed);
+        assert_eq!(e.step("chip/synth").unwrap().status, Status::Pending);
+    }
+
+    #[test]
+    fn reset_invalidates_dependents_and_reruns() {
+        let mut e = standard_engine();
+        e.deploy(&rtl2gds(), &BlockTree::leaf("chip")).unwrap();
+        e.run_to_quiescence(20);
+        assert!(e.is_complete());
+        assert!(e.can_reset("chip/synth"));
+        let invalidated = e.reset("chip/synth").unwrap();
+        assert_eq!(invalidated, 2, "place and route go stale");
+        assert_eq!(e.step("chip/route").unwrap().status, Status::Stale);
+        e.run_to_quiescence(20);
+        assert!(e.is_complete());
+        assert_eq!(e.step("chip/synth").unwrap().runs, 2);
+    }
+
+    #[test]
+    fn triggers_mark_downstream_stale_on_data_change() {
+        let mut e = standard_engine();
+        e.add_trigger(Trigger {
+            path_contains: "rtl.v".into(),
+            mark_stale_suffix: "synth".into(),
+            note: "RTL changed; resynthesize".into(),
+        });
+        e.deploy(&rtl2gds(), &BlockTree::leaf("chip")).unwrap();
+        e.run_to_quiescence(20);
+        assert!(e.is_complete());
+        // The designer edits the RTL out-of-band.
+        e.store.write("chip/rtl.v", "module chip_v2;");
+        e.tick();
+        assert_eq!(e.step("chip/synth").unwrap().status, Status::Stale);
+        assert!(e
+            .notifications
+            .iter()
+            .any(|n| n.contains("resynthesize")));
+        e.run_to_quiescence(20);
+        assert!(e.is_complete());
+        assert_eq!(e.step("chip/synth").unwrap().runs, 2);
+    }
+
+    #[test]
+    fn explicit_state_api_overrides() {
+        let mut e = standard_engine();
+        e.deploy(&rtl2gds(), &BlockTree::leaf("chip")).unwrap();
+        e.run_to_quiescence(20);
+        e.set_state("chip/route", StepState::Failed).unwrap();
+        assert_eq!(e.step("chip/route").unwrap().status, Status::Failed);
+        assert!(e.set_state("ghost", StepState::Done).is_err());
+    }
+
+    #[test]
+    fn metrics_capture_churn() {
+        let mut e = standard_engine();
+        e.deploy(&rtl2gds(), &BlockTree::leaf("chip")).unwrap();
+        e.run_to_quiescence(20);
+        e.reset("chip/rtl").unwrap();
+        e.run_to_quiescence(20);
+        let m = metrics::collect(&e);
+        assert_eq!(m.total_steps, 4);
+        assert_eq!(m.done, 4);
+        assert!(m.reruns >= 3, "reruns: {}", m.reruns);
+        assert!(m.churn() > 0.0);
+        let table = metrics::status_table(&m);
+        assert!(table.contains("synth"));
+    }
+
+    #[test]
+    fn unregistered_action_is_rejected_at_deploy() {
+        let mut e = Engine::new();
+        let flow = FlowTemplate::new("f").with_step(StepDef::new("a", "ghost"));
+        assert!(matches!(
+            e.deploy(&flow, &BlockTree::leaf("chip")),
+            Err(EngineError::UnknownAction { .. })
+        ));
+    }
+}
+
+#[cfg(test)]
+mod more_tests {
+    use super::*;
+    use action::{FnAction, ToolAction};
+
+    #[test]
+    fn newer_than_and_contains_gate_steps() {
+        let mut e = Engine::new();
+        e.register(
+            "sta",
+            ToolAction::new("sta", ["netlist.v"], ["timing.rpt"]),
+        );
+        let flow = FlowTemplate::new("f").with_step(
+            StepDef::new("sta", "sta")
+                // Netlist must exist, be newer than the RTL, and the
+                // lint report must say clean.
+                .needs(Maturity::NewerThan {
+                    path: "netlist.v".into(),
+                    than: "rtl.v".into(),
+                })
+                .needs(Maturity::Contains {
+                    path: "lint.rpt".into(),
+                    needle: "clean".into(),
+                }),
+        );
+        e.deploy(&flow, &BlockTree::leaf("chip")).unwrap();
+
+        // Stale netlist: older than the RTL.
+        e.store.write("chip/netlist.v", "old gates");
+        e.run_to_quiescence(2);
+        e.store.write("chip/rtl.v", "v2");
+        e.store.write("chip/lint.rpt", "clean: 0 issues");
+        e.run_to_quiescence(3);
+        assert_eq!(e.step("chip/sta").unwrap().status, Status::Pending);
+
+        // Re-synthesize: netlist now newer; the step becomes ready.
+        e.store.write("chip/netlist.v", "fresh gates");
+        e.run_to_quiescence(3);
+        assert!(e.is_complete());
+    }
+
+    #[test]
+    fn dirty_lint_report_blocks_even_with_fresh_netlist() {
+        let mut e = Engine::new();
+        e.register("sta", ToolAction::new("sta", [], ["timing.rpt"]));
+        let flow = FlowTemplate::new("f").with_step(
+            StepDef::new("sta", "sta").needs(Maturity::Contains {
+                path: "lint.rpt".into(),
+                needle: "clean".into(),
+            }),
+        );
+        e.deploy(&flow, &BlockTree::leaf("chip")).unwrap();
+        e.store.write("chip/lint.rpt", "3 errors");
+        e.run_to_quiescence(3);
+        assert_eq!(e.step("chip/sta").unwrap().status, Status::Pending);
+    }
+
+    #[test]
+    fn reset_cascades_through_children_complete_gates() {
+        let mut e = Engine::new();
+        e.register("work", FnAction::new("work", |_| action::ActionOutcome::ok()));
+        let flow = FlowTemplate::new("f")
+            .with_step(StepDef::new("impl", "work"))
+            .with_step(StepDef::new("assemble", "work").after("impl").after_children());
+        let tree = BlockTree::leaf("chip").with_child(BlockTree::leaf("cpu"));
+        e.deploy(&flow, &tree).unwrap();
+        e.run_to_quiescence(20);
+        assert!(e.is_complete());
+        // Resetting the child's impl invalidates the child's assemble
+        // (StepDone dep); the parent re-verifies via ChildrenComplete
+        // at its next evaluation but stays Done (no StepDone edge) —
+        // the documented scope of reset cascades.
+        let invalidated = e.reset("chip/cpu/impl").unwrap();
+        assert_eq!(invalidated, 1);
+        assert_eq!(e.step("chip/cpu/assemble").unwrap().status, Status::Stale);
+        assert_eq!(e.step("chip/assemble").unwrap().status, Status::Done);
+        e.run_to_quiescence(20);
+        assert!(e.is_complete());
+    }
+}

@@ -1,0 +1,109 @@
+//! Status collection and process metrics.
+//!
+//! Section 5: "As the workflow progresses, status is collected and
+//! reported to the end-user and to management as required. These
+//! collected metrics can later be analyzed and used to tune the
+//! process, providing a closed-loop, continuously improving process
+//! environment."
+
+use std::collections::BTreeMap;
+
+use crate::engine::{Engine, Status};
+
+/// Per-action aggregate.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ActionMetrics {
+    /// Total runs across all steps bound to the action.
+    pub runs: u32,
+    /// Steps bound to the action.
+    pub steps: usize,
+    /// Steps currently done.
+    pub done: usize,
+}
+
+/// A full metrics snapshot.
+#[derive(Debug, Clone, Default)]
+pub struct MetricsReport {
+    /// Total steps.
+    pub total_steps: usize,
+    /// Steps done.
+    pub done: usize,
+    /// Steps failed.
+    pub failed: usize,
+    /// Total action runs (reruns included).
+    pub total_runs: u32,
+    /// Rerun count (runs beyond each step's first).
+    pub reruns: u32,
+    /// Per-action aggregates.
+    pub by_action: BTreeMap<String, ActionMetrics>,
+    /// Completion tick per block (max completed stamp of its steps).
+    pub block_finish: BTreeMap<String, u64>,
+}
+
+impl MetricsReport {
+    /// Fraction of steps done.
+    pub fn completion(&self) -> f64 {
+        if self.total_steps == 0 {
+            return 1.0;
+        }
+        self.done as f64 / self.total_steps as f64
+    }
+
+    /// Process churn: reruns per step — the tune-the-process signal.
+    pub fn churn(&self) -> f64 {
+        if self.total_steps == 0 {
+            return 0.0;
+        }
+        self.reruns as f64 / self.total_steps as f64
+    }
+}
+
+/// Collects metrics from an engine.
+pub fn collect(engine: &Engine) -> MetricsReport {
+    let mut report = MetricsReport {
+        total_steps: engine.steps().len(),
+        ..MetricsReport::default()
+    };
+    for s in engine.steps() {
+        report.total_runs += s.runs;
+        report.reruns += s.runs.saturating_sub(1);
+        match s.status {
+            Status::Done => report.done += 1,
+            Status::Failed => report.failed += 1,
+            _ => {}
+        }
+        let a = report.by_action.entry(s.action.clone()).or_default();
+        a.runs += s.runs;
+        a.steps += 1;
+        if s.status == Status::Done {
+            a.done += 1;
+        }
+        if let Some(t) = s.completed {
+            let e = report.block_finish.entry(s.block.clone()).or_insert(0);
+            *e = (*e).max(t);
+        }
+    }
+    report
+}
+
+/// Renders a management-style status table.
+pub fn status_table(report: &MetricsReport) -> String {
+    let mut out = String::new();
+    out.push_str(&format!(
+        "steps={} done={} failed={} completion={:.0}% runs={} churn={:.2}\n",
+        report.total_steps,
+        report.done,
+        report.failed,
+        report.completion() * 100.0,
+        report.total_runs,
+        report.churn()
+    ));
+    out.push_str(&format!("{:<16} {:>6} {:>6} {:>6}\n", "action", "steps", "runs", "done"));
+    for (name, a) in &report.by_action {
+        out.push_str(&format!(
+            "{:<16} {:>6} {:>6} {:>6}\n",
+            name, a.steps, a.runs, a.done
+        ));
+    }
+    out
+}

@@ -1,0 +1,238 @@
+//! Hardware/software platform dependencies — Section 3.4.
+//!
+//! "There are several problems faced during a design cycle that are
+//! related to the hardware and operating system used for running design
+//! tools": nonstandard OS commands, office/home incompatibilities, and
+//! **tool version skew** — "Bug fixes and new tool releases sometimes
+//! take weeks to propagate across all of the platforms a vendor
+//! supports."
+//!
+//! This module models a tool catalogue *per platform*, with versions
+//! that lag, and answers the question a CAD manager must ask before
+//! buying: which steps of my flow can run where, and do two platforms
+//! even agree on the results?
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// A compute platform.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Platform {
+    /// The office workstation (first-class vendor support).
+    UnixWorkstation,
+    /// A second Unix flavor (ports lag).
+    UnixAlt,
+    /// The engineer's home PC (limited ports, 8-char-era tools).
+    HomePc,
+}
+
+impl Platform {
+    /// All platforms.
+    pub const ALL: [Platform; 3] = [
+        Platform::UnixWorkstation,
+        Platform::UnixAlt,
+        Platform::HomePc,
+    ];
+
+    /// Display name.
+    pub fn name(self) -> &'static str {
+        match self {
+            Platform::UnixWorkstation => "unix-ws",
+            Platform::UnixAlt => "unix-alt",
+            Platform::HomePc => "home-pc",
+        }
+    }
+}
+
+impl fmt::Display for Platform {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// One tool port: the tool exists on the platform at some version.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ToolPort {
+    /// Tool name.
+    pub tool: String,
+    /// Platform.
+    pub platform: Platform,
+    /// Installed version (vendor's latest may be higher elsewhere).
+    pub version: u32,
+}
+
+/// The per-platform tool catalogue.
+#[derive(Debug, Clone, Default)]
+pub struct PortMatrix {
+    ports: Vec<ToolPort>,
+}
+
+impl PortMatrix {
+    /// Creates an empty matrix.
+    pub fn new() -> Self {
+        PortMatrix::default()
+    }
+
+    /// Registers a port.
+    pub fn add(&mut self, tool: impl Into<String>, platform: Platform, version: u32) {
+        self.ports.push(ToolPort {
+            tool: tool.into(),
+            platform,
+            version,
+        });
+    }
+
+    /// The installed version of a tool on a platform.
+    pub fn version_of(&self, tool: &str, platform: Platform) -> Option<u32> {
+        self.ports
+            .iter()
+            .find(|p| p.tool == tool && p.platform == platform)
+            .map(|p| p.version)
+    }
+
+    /// The newest version of a tool anywhere.
+    pub fn latest(&self, tool: &str) -> Option<u32> {
+        self.ports
+            .iter()
+            .filter(|p| p.tool == tool)
+            .map(|p| p.version)
+            .max()
+    }
+
+    /// Version skew of a tool on a platform: how far behind the
+    /// vendor's newest release the installed port is. `None` when the
+    /// tool is not ported at all.
+    pub fn skew(&self, tool: &str, platform: Platform) -> Option<u32> {
+        let here = self.version_of(tool, platform)?;
+        Some(self.latest(tool).unwrap_or(here) - here)
+    }
+
+    /// Portability report for a flow needing `tools`: per platform,
+    /// `(runnable steps, total, max skew)`.
+    pub fn portability<'a>(
+        &self,
+        tools: impl IntoIterator<Item = &'a str> + Clone,
+    ) -> BTreeMap<Platform, PortabilityRow> {
+        let mut out = BTreeMap::new();
+        for platform in Platform::ALL {
+            let mut row = PortabilityRow::default();
+            for tool in tools.clone() {
+                row.total += 1;
+                match self.skew(tool, platform) {
+                    Some(skew) => {
+                        row.runnable += 1;
+                        row.max_skew = row.max_skew.max(skew);
+                        if skew > 0 {
+                            row.stale_tools.push(tool.to_string());
+                        }
+                    }
+                    None => row.missing_tools.push(tool.to_string()),
+                }
+            }
+            out.insert(platform, row);
+        }
+        out
+    }
+}
+
+/// Per-platform portability summary.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct PortabilityRow {
+    /// Steps whose tool is ported.
+    pub runnable: usize,
+    /// Steps total.
+    pub total: usize,
+    /// Worst version lag among ported tools.
+    pub max_skew: u32,
+    /// Tools not ported at all.
+    pub missing_tools: Vec<String>,
+    /// Tools ported but lagging.
+    pub stale_tools: Vec<String>,
+}
+
+impl PortabilityRow {
+    /// Fraction of the flow that can run here.
+    pub fn fraction(&self) -> f64 {
+        if self.total == 0 {
+            1.0
+        } else {
+            self.runnable as f64 / self.total as f64
+        }
+    }
+}
+
+/// The reference port matrix: the workstation has everything current;
+/// the alternate Unix lags by a release on half the tools; the home PC
+/// has only the front-end tools, older still — the paper's
+/// "office/home computing incompatibilities".
+pub fn reference_matrix() -> PortMatrix {
+    let mut m = PortMatrix::new();
+    let tools = [
+        ("rtl-editor", 3u32, Some(3u32), Some(2u32)),
+        ("lint", 5, Some(4), Some(3)),
+        ("simulator", 7, Some(6), Some(5)),
+        ("synthesizer", 4, Some(4), None),
+        ("placer", 2, Some(1), None),
+        ("router", 6, Some(5), None),
+        ("drc", 3, Some(3), None),
+        ("waveform-viewer", 9, Some(9), None),
+    ];
+    for (tool, ws, alt, pc) in tools {
+        m.add(tool, Platform::UnixWorkstation, ws);
+        if let Some(v) = alt {
+            m.add(tool, Platform::UnixAlt, v);
+        }
+        if let Some(v) = pc {
+            m.add(tool, Platform::HomePc, v);
+        }
+    }
+    m
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn version_lookup_and_skew() {
+        let m = reference_matrix();
+        assert_eq!(m.version_of("simulator", Platform::UnixWorkstation), Some(7));
+        assert_eq!(m.version_of("simulator", Platform::HomePc), Some(5));
+        assert_eq!(m.version_of("router", Platform::HomePc), None);
+        assert_eq!(m.latest("simulator"), Some(7));
+        assert_eq!(m.skew("simulator", Platform::UnixWorkstation), Some(0));
+        assert_eq!(m.skew("simulator", Platform::UnixAlt), Some(1));
+        assert_eq!(m.skew("simulator", Platform::HomePc), Some(2));
+        assert_eq!(m.skew("router", Platform::HomePc), None);
+    }
+
+    #[test]
+    fn portability_decreases_away_from_the_workstation() {
+        let m = reference_matrix();
+        let flow = [
+            "rtl-editor", "lint", "simulator", "synthesizer", "placer", "router", "drc",
+        ];
+        let report = m.portability(flow);
+        let ws = &report[&Platform::UnixWorkstation];
+        let alt = &report[&Platform::UnixAlt];
+        let pc = &report[&Platform::HomePc];
+        assert_eq!(ws.fraction(), 1.0);
+        assert_eq!(ws.max_skew, 0);
+        assert_eq!(alt.fraction(), 1.0, "everything ported, but stale");
+        assert!(alt.max_skew > 0);
+        assert!(!alt.stale_tools.is_empty());
+        assert!(pc.fraction() < 0.5, "backend tools missing at home");
+        assert!(pc.missing_tools.contains(&"router".to_string()));
+    }
+
+    #[test]
+    fn telecommuting_needs_the_front_end_only() {
+        // The engineer's home flow: edit, lint, simulate. It runs — on
+        // old versions (the drift the timing-compat experiment shows).
+        let m = reference_matrix();
+        let report = m.portability(["rtl-editor", "lint", "simulator"]);
+        let pc = &report[&Platform::HomePc];
+        assert_eq!(pc.fraction(), 1.0);
+        assert_eq!(pc.max_skew, 2, "two releases behind");
+    }
+}

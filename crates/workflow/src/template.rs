@@ -1,0 +1,297 @@
+//! Flow templates and their instantiation across a design hierarchy.
+//!
+//! Section 5: "Creating a workflow involves first capturing the
+//! structure of the flow graphically. Next, the work that occurs within
+//! the flow is specified. Once the workflow is captured and specified,
+//! the resulting workflow template is deployed across the organization.
+//! Each instance of the captured process is derived from the same
+//! template, providing process consistency." And for hierarchy: "Each
+//! design block in the hierarchy can be developed using the same
+//! sub-flow template, but the data and process status is kept separate
+//! for each block."
+
+use std::collections::BTreeSet;
+use std::fmt;
+
+use crate::data::Maturity;
+
+/// A start or finish dependency of a step.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Dependency {
+    /// Another step (same block) must be done.
+    StepDone(String),
+    /// A data-maturity condition (block-relative paths).
+    Data(Maturity),
+    /// Every step of every child block instance must be done.
+    ChildrenComplete,
+}
+
+/// One step of a flow template.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StepDef {
+    /// Step name (block-local).
+    pub name: String,
+    /// Registered action to invoke.
+    pub action: String,
+    /// Conditions required before the step may start ("start
+    /// dependencies").
+    pub start_deps: Vec<Dependency>,
+    /// Conditions required before the step may complete ("finish
+    /// dependencies" — "insure that a task does not complete too
+    /// soon").
+    pub finish_deps: Vec<Dependency>,
+    /// Role required to execute ("Do I have the necessary permissions
+    /// to execute this task?").
+    pub required_role: Option<String>,
+}
+
+impl StepDef {
+    /// Creates a step bound to an action, with no dependencies.
+    pub fn new(name: impl Into<String>, action: impl Into<String>) -> Self {
+        StepDef {
+            name: name.into(),
+            action: action.into(),
+            start_deps: Vec::new(),
+            finish_deps: Vec::new(),
+            required_role: None,
+        }
+    }
+
+    /// Adds a start dependency on another step.
+    pub fn after(mut self, step: impl Into<String>) -> Self {
+        self.start_deps.push(Dependency::StepDone(step.into()));
+        self
+    }
+
+    /// Adds a data start dependency.
+    pub fn needs(mut self, m: Maturity) -> Self {
+        self.start_deps.push(Dependency::Data(m));
+        self
+    }
+
+    /// Adds a finish dependency.
+    pub fn finishes_when(mut self, d: Dependency) -> Self {
+        self.finish_deps.push(d);
+        self
+    }
+
+    /// Waits for all child-block instances before starting.
+    pub fn after_children(mut self) -> Self {
+        self.start_deps.push(Dependency::ChildrenComplete);
+        self
+    }
+
+    /// Restricts execution to a role.
+    pub fn requires_role(mut self, role: impl Into<String>) -> Self {
+        self.required_role = Some(role.into());
+        self
+    }
+}
+
+/// A template validation problem.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TemplateError {
+    /// Two steps share a name.
+    DuplicateStep(String),
+    /// A dependency names a nonexistent step.
+    UnknownStep {
+        /// The referring step.
+        from: String,
+        /// The missing step.
+        to: String,
+    },
+    /// Step dependencies form a cycle.
+    Cycle(String),
+}
+
+impl fmt::Display for TemplateError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TemplateError::DuplicateStep(s) => write!(f, "duplicate step `{s}`"),
+            TemplateError::UnknownStep { from, to } => {
+                write!(f, "step `{from}` depends on unknown step `{to}`")
+            }
+            TemplateError::Cycle(s) => write!(f, "dependency cycle through `{s}`"),
+        }
+    }
+}
+
+impl std::error::Error for TemplateError {}
+
+/// A reusable flow template.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct FlowTemplate {
+    /// Template name.
+    pub name: String,
+    /// Steps in declaration order.
+    pub steps: Vec<StepDef>,
+}
+
+impl FlowTemplate {
+    /// Creates an empty template.
+    pub fn new(name: impl Into<String>) -> Self {
+        FlowTemplate {
+            name: name.into(),
+            steps: Vec::new(),
+        }
+    }
+
+    /// Adds a step, builder style.
+    pub fn with_step(mut self, step: StepDef) -> Self {
+        self.steps.push(step);
+        self
+    }
+
+    /// Validates names and acyclicity.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first [`TemplateError`] found.
+    pub fn validate(&self) -> Result<(), TemplateError> {
+        let mut names = BTreeSet::new();
+        for s in &self.steps {
+            if !names.insert(s.name.as_str()) {
+                return Err(TemplateError::DuplicateStep(s.name.clone()));
+            }
+        }
+        for s in &self.steps {
+            for d in s.start_deps.iter().chain(&s.finish_deps) {
+                if let Dependency::StepDone(t) = d {
+                    if !names.contains(t.as_str()) {
+                        return Err(TemplateError::UnknownStep {
+                            from: s.name.clone(),
+                            to: t.clone(),
+                        });
+                    }
+                }
+            }
+        }
+        // Cycle check over StepDone start deps (Kahn).
+        let mut done: BTreeSet<&str> = BTreeSet::new();
+        loop {
+            let mut progressed = false;
+            for s in &self.steps {
+                if done.contains(s.name.as_str()) {
+                    continue;
+                }
+                let ready = s.start_deps.iter().all(|d| match d {
+                    Dependency::StepDone(t) => done.contains(t.as_str()),
+                    _ => true,
+                });
+                if ready {
+                    done.insert(&s.name);
+                    progressed = true;
+                }
+            }
+            if !progressed {
+                break;
+            }
+        }
+        if done.len() != self.steps.len() {
+            let stuck = self
+                .steps
+                .iter()
+                .find(|s| !done.contains(s.name.as_str()))
+                .expect("some step is stuck");
+            return Err(TemplateError::Cycle(stuck.name.clone()));
+        }
+        Ok(())
+    }
+}
+
+/// A design-block hierarchy to deploy a template over.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct BlockTree {
+    /// Block name.
+    pub name: String,
+    /// Child blocks.
+    pub children: Vec<BlockTree>,
+}
+
+impl BlockTree {
+    /// A leaf block.
+    pub fn leaf(name: impl Into<String>) -> Self {
+        BlockTree {
+            name: name.into(),
+            children: Vec::new(),
+        }
+    }
+
+    /// Adds a child block, builder style.
+    pub fn with_child(mut self, child: BlockTree) -> Self {
+        self.children.push(child);
+        self
+    }
+
+    /// Total block count (self + descendants).
+    pub fn count(&self) -> usize {
+        1 + self.children.iter().map(BlockTree::count).sum::<usize>()
+    }
+
+    /// Walks the tree depth-first, yielding `(path, block)` pairs.
+    pub fn walk(&self) -> Vec<(String, &BlockTree)> {
+        let mut out = Vec::new();
+        fn rec<'a>(b: &'a BlockTree, prefix: &str, out: &mut Vec<(String, &'a BlockTree)>) {
+            let path = if prefix.is_empty() {
+                b.name.clone()
+            } else {
+                format!("{prefix}/{}", b.name)
+            };
+            out.push((path.clone(), b));
+            for c in &b.children {
+                rec(c, &path, out);
+            }
+        }
+        rec(self, "", &mut out);
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn simple() -> FlowTemplate {
+        FlowTemplate::new("rtl2gds")
+            .with_step(StepDef::new("synth", "synth"))
+            .with_step(StepDef::new("place", "place").after("synth"))
+            .with_step(StepDef::new("route", "route").after("place"))
+    }
+
+    #[test]
+    fn valid_template_passes() {
+        assert!(simple().validate().is_ok());
+    }
+
+    #[test]
+    fn duplicate_and_unknown_steps_fail() {
+        let dup = simple().with_step(StepDef::new("synth", "synth"));
+        assert!(matches!(
+            dup.validate(),
+            Err(TemplateError::DuplicateStep(_))
+        ));
+        let unknown = FlowTemplate::new("t").with_step(StepDef::new("a", "x").after("ghost"));
+        assert!(matches!(
+            unknown.validate(),
+            Err(TemplateError::UnknownStep { .. })
+        ));
+    }
+
+    #[test]
+    fn cycles_are_detected() {
+        let cyclic = FlowTemplate::new("t")
+            .with_step(StepDef::new("a", "x").after("b"))
+            .with_step(StepDef::new("b", "x").after("a"));
+        assert!(matches!(cyclic.validate(), Err(TemplateError::Cycle(_))));
+    }
+
+    #[test]
+    fn block_tree_walk() {
+        let tree = BlockTree::leaf("chip")
+            .with_child(BlockTree::leaf("cpu").with_child(BlockTree::leaf("alu")))
+            .with_child(BlockTree::leaf("mem"));
+        assert_eq!(tree.count(), 4);
+        let paths: Vec<String> = tree.walk().into_iter().map(|(p, _)| p).collect();
+        assert_eq!(paths, vec!["chip", "chip/cpu", "chip/cpu/alu", "chip/mem"]);
+    }
+}

@@ -1,0 +1,128 @@
+//! Property-based tests for the workflow engine's scheduling
+//! invariants.
+
+use proptest::prelude::*;
+use workflow::action::ToolAction;
+use workflow::engine::{Engine, Status};
+use workflow::template::{BlockTree, FlowTemplate, StepDef};
+
+/// Builds a random DAG-shaped template: step `k` depends on a random
+/// subset of earlier steps. Each step consumes its dependencies'
+/// outputs (so data flow matches control flow).
+fn arb_template() -> impl Strategy<Value = (FlowTemplate, Vec<Vec<usize>>)> {
+    (2usize..12).prop_flat_map(|n| {
+        let deps = prop::collection::vec(prop::collection::vec(any::<prop::sample::Index>(), 0..3), n);
+        deps.prop_map(move |raw| {
+            let mut flow = FlowTemplate::new("random");
+            let mut dep_sets: Vec<Vec<usize>> = Vec::new();
+            for (k, picks) in raw.iter().enumerate() {
+                let mut set: Vec<usize> = picks
+                    .iter()
+                    .filter(|_| k > 0)
+                    .map(|ix| ix.index(k))
+                    .collect();
+                set.sort_unstable();
+                set.dedup();
+                let mut step = StepDef::new(format!("s{k}"), format!("a{k}"));
+                for &d in &set {
+                    step = step.after(format!("s{d}"));
+                }
+                dep_sets.push(set);
+                flow = flow.with_step(step);
+            }
+            (flow, dep_sets)
+        })
+    })
+}
+
+fn engine_for(flow: &FlowTemplate, dep_sets: &[Vec<usize>]) -> Engine {
+    let mut engine = Engine::new();
+    for (k, deps) in dep_sets.iter().enumerate() {
+        let inputs: Vec<&'static str> = deps
+            .iter()
+            .map(|d| Box::leak(format!("out{d}.dat").into_boxed_str()) as &'static str)
+            .collect();
+        let output = Box::leak(format!("out{k}.dat").into_boxed_str()) as &'static str;
+        engine.register(format!("a{k}"), ToolAction::new(format!("tool{k}"), inputs, [output]));
+    }
+    engine
+        .deploy(flow, &BlockTree::leaf("b"))
+        .expect("deploys");
+    engine
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn random_dags_complete_in_topological_order((flow, dep_sets) in arb_template()) {
+        let mut engine = engine_for(&flow, &dep_sets);
+        let n = dep_sets.len();
+        engine.run_to_quiescence(n * 2 + 4);
+        prop_assert!(engine.is_complete(), "{:?}", engine.status_counts());
+
+        // Every step ran exactly once.
+        for s in engine.steps() {
+            prop_assert_eq!(s.runs, 1, "{}", &s.full_name);
+        }
+        // Completion respects dependencies.
+        for (k, deps) in dep_sets.iter().enumerate() {
+            let done_at = engine
+                .step(&format!("b/s{k}"))
+                .expect("step")
+                .completed
+                .expect("completed");
+            for &d in deps {
+                let dep_done = engine
+                    .step(&format!("b/s{d}"))
+                    .expect("dep")
+                    .completed
+                    .expect("completed");
+                prop_assert!(dep_done <= done_at, "s{} finished after s{}", d, k);
+            }
+        }
+    }
+
+    #[test]
+    fn reset_invalidates_exactly_the_downstream_cone((flow, dep_sets) in arb_template()) {
+        let mut engine = engine_for(&flow, &dep_sets);
+        let n = dep_sets.len();
+        engine.run_to_quiescence(n * 2 + 4);
+        prop_assert!(engine.is_complete());
+
+        // Transitive dependents of step 0, computed independently.
+        let mut cone = std::collections::BTreeSet::new();
+        cone.insert(0usize);
+        loop {
+            let before = cone.len();
+            for (k, deps) in dep_sets.iter().enumerate() {
+                if deps.iter().any(|d| cone.contains(d)) {
+                    cone.insert(k);
+                }
+            }
+            if cone.len() == before {
+                break;
+            }
+        }
+
+        engine.reset("b/s0").expect("reset");
+        for (k, _) in dep_sets.iter().enumerate() {
+            let status = engine.step(&format!("b/s{k}")).expect("step").status;
+            if k == 0 {
+                prop_assert_eq!(status, Status::Pending);
+            } else if cone.contains(&k) {
+                prop_assert_eq!(status, Status::Stale, "s{} should be stale", k);
+            } else {
+                prop_assert_eq!(status, Status::Done, "s{} should be untouched", k);
+            }
+        }
+
+        // The flow re-completes, rerunning exactly the cone.
+        engine.run_to_quiescence(n * 2 + 4);
+        prop_assert!(engine.is_complete());
+        for (k, _) in dep_sets.iter().enumerate() {
+            let runs = engine.step(&format!("b/s{k}")).expect("step").runs;
+            prop_assert_eq!(runs, if cone.contains(&k) { 2 } else { 1 }, "s{}", k);
+        }
+    }
+}

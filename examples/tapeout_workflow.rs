@@ -1,0 +1,80 @@
+//! Section 5 end to end: a workflow-managed tapeout.
+//!
+//! One RTL-to-GDS template deployed over a block hierarchy; start and
+//! finish dependencies, permissions, a data-change trigger, reset and
+//! rerun, and the collected metrics.
+//!
+//! ```sh
+//! cargo run --example tapeout_workflow
+//! ```
+
+use workflow::action::{ActionOutcome, FnAction, ToolAction};
+use workflow::engine::{Engine, Trigger};
+use workflow::template::{BlockTree, Dependency, FlowTemplate, StepDef};
+use workflow::{metrics, Maturity};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let mut engine = Engine::new();
+    engine.register("write_rtl", ToolAction::new("rtl-editor", [], ["rtl.v"]));
+    engine.register("lint", ToolAction::new("lint", ["rtl.v"], ["lint.rpt"]));
+    engine.register(
+        "synth",
+        ToolAction::new("synthesizer", ["rtl.v", "lint.rpt"], ["netlist.v"]),
+    );
+    engine.register("pnr", ToolAction::new("router", ["netlist.v"], ["gds.db"]));
+    engine.register("signoff", FnAction::new("signoff", |_| ActionOutcome::ok()));
+
+    // The template: note the *finish* dependency on management approval
+    // — "insure that a task does not complete too soon" — and the role
+    // requirement on signoff.
+    let flow = FlowTemplate::new("rtl2gds")
+        .with_step(StepDef::new("rtl", "write_rtl"))
+        .with_step(StepDef::new("lint", "lint").after("rtl"))
+        .with_step(StepDef::new("synth", "synth").after("lint"))
+        .with_step(StepDef::new("pnr", "pnr").after("synth").after_children())
+        .with_step(
+            StepDef::new("signoff", "signoff")
+                .after("pnr")
+                .requires_role("signoff-owner")
+                .finishes_when(Dependency::Data(Maturity::VarEquals {
+                    name: "management-approval".into(),
+                    value: "granted".into(),
+                })),
+        );
+
+    engine.add_trigger(Trigger {
+        path_contains: "rtl.v".into(),
+        mark_stale_suffix: "synth".into(),
+        note: "RTL changed; resynthesize".into(),
+    });
+
+    let tree = BlockTree::leaf("chip")
+        .with_child(BlockTree::leaf("cpu"))
+        .with_child(BlockTree::leaf("dsp"));
+    engine.deploy(&flow, &tree)?;
+    println!("deployed {} step instances over {} blocks", engine.steps().len(), tree.count());
+
+    engine.grant_role("signoff-owner");
+    engine.run_to_quiescence(50);
+    let (p, a, d, f, st, b) = engine.status_counts();
+    println!("after first run: pending={p} awaiting={a} done={d} failed={f} stale={st} blocked={b}");
+    println!("signoff steps await management approval (finish dependency).");
+
+    engine.store.set_var("management-approval", "granted");
+    engine.run_to_quiescence(50);
+    assert!(engine.is_complete());
+    println!("approval granted -> flow complete: {}", engine.is_complete());
+
+    // A designer edits the CPU RTL out-of-band: the trigger notices.
+    engine.store.write("chip/cpu/rtl.v", "// hotfix");
+    engine.run_to_quiescence(50);
+    println!("\nnotifications:");
+    for n in &engine.notifications {
+        println!("  {n}");
+    }
+    assert!(engine.is_complete());
+
+    println!("\n--- collected metrics ---");
+    print!("{}", metrics::status_table(&metrics::collect(&engine)));
+    Ok(())
+}

@@ -1,0 +1,132 @@
+//! Integration: a/L scripts as workflow actions.
+//!
+//! Section 5's "open language environment": "the actions invoked from
+//! the process description can be implemented in any programming
+//! language desired by the flow developer". Here the language is a/L —
+//! the same interpreter the schematic migrator uses for callbacks —
+//! with the workflow data store exposed through the Host trait.
+
+use std::cell::RefCell;
+use std::rc::Rc;
+
+use alang::host::Host;
+use alang::value::Value;
+use alang::Interpreter;
+use workflow::action::{ActionCtx, ActionOutcome, FnAction};
+use workflow::engine::Engine;
+use workflow::template::{BlockTree, FlowTemplate, StepDef};
+
+/// Bridges the workflow data store into a/L: `prop-get`/`prop-set!`
+/// read and write files (block-relative), `ctx` exposes step metadata.
+struct StoreHost<'a, 'b> {
+    ctx: &'a mut ActionCtx<'b>,
+}
+
+impl Host for StoreHost<'_, '_> {
+    fn get(&self, key: &str) -> Option<Value> {
+        let path = self.ctx.path(key);
+        self.ctx.store.read(&path).map(|s| Value::Str(s.to_string()))
+    }
+
+    fn set(&mut self, key: &str, value: Value) -> Result<(), String> {
+        let path = self.ctx.path(key);
+        let text = match value {
+            Value::Str(s) => s,
+            other => other.to_string(),
+        };
+        self.ctx.store.write(path, text);
+        Ok(())
+    }
+
+    fn remove(&mut self, key: &str) -> Option<Value> {
+        let path = self.ctx.path(key);
+        let old = self.ctx.store.read(&path).map(|s| Value::Str(s.to_string()));
+        self.ctx.store.remove(&path);
+        old
+    }
+
+    fn keys(&self) -> Vec<String> {
+        self.ctx.store.paths().map(String::from).collect()
+    }
+
+    fn context(&self, what: &str) -> Option<Value> {
+        match what {
+            "step" => Some(Value::Str(self.ctx.step.to_string())),
+            "block" => Some(Value::Str(self.ctx.block.to_string())),
+            _ => None,
+        }
+    }
+}
+
+/// Wraps an a/L script as a workflow action. A non-error evaluation is
+/// exit 0; script errors become non-zero exits with the message in the
+/// log — the default status policy then applies unchanged.
+fn alang_action(name: &str, script: &str) -> FnAction {
+    let script = script.to_string();
+    let interp = Rc::new(RefCell::new(Interpreter::new()));
+    FnAction::new(name, move |ctx: &mut ActionCtx<'_>| {
+        let mut host = StoreHost { ctx };
+        match interp.borrow_mut().eval_src(&script, &mut host) {
+            Ok(_) => ActionOutcome::ok(),
+            Err(e) => ActionOutcome {
+                exit_code: 1,
+                explicit: None,
+                log: e.to_string(),
+            },
+        }
+    })
+}
+
+#[test]
+fn alang_scripted_flow_completes() {
+    let mut engine = Engine::new();
+    engine.register(
+        "write_rtl",
+        alang_action(
+            "write_rtl",
+            r#"(prop-set! "rtl.v" (string-append "// block " (ctx "block")))"#,
+        ),
+    );
+    engine.register(
+        "synth",
+        alang_action(
+            "synth",
+            r#"
+            (define src (prop-get "rtl.v"))
+            (if (string? src)
+                (prop-set! "netlist.v" (string-append "gates from: " src))
+                (car '()))   ; missing input -> script error -> exit 1
+            "#,
+        ),
+    );
+    let flow = FlowTemplate::new("scripted")
+        .with_step(StepDef::new("rtl", "write_rtl"))
+        .with_step(StepDef::new("synth", "synth").after("rtl"));
+    let tree = BlockTree::leaf("chip").with_child(BlockTree::leaf("alu"));
+    engine.deploy(&flow, &tree).expect("deploys");
+    engine.run_to_quiescence(20);
+    assert!(engine.is_complete(), "{:?}", engine.status_counts());
+    assert_eq!(
+        engine.store.read("chip/alu/netlist.v"),
+        Some("gates from: // block chip/alu")
+    );
+}
+
+#[test]
+fn alang_script_errors_follow_the_default_status_policy() {
+    let mut engine = Engine::new();
+    // synth runs without its input: the script errors, so exit != 0 and
+    // the step fails — no special-casing needed.
+    engine.register(
+        "synth",
+        alang_action("synth", r#"(substring (prop-get "rtl.v") 0 1)"#),
+    );
+    let flow = FlowTemplate::new("f").with_step(StepDef::new("synth", "synth"));
+    engine
+        .deploy(&flow, &BlockTree::leaf("chip"))
+        .expect("deploys");
+    engine.run_to_quiescence(5);
+    let step = engine.step("chip/synth").expect("step");
+    assert_eq!(step.status, workflow::Status::Failed);
+    assert!(step.log.contains("a/L"), "log: {}", step.log);
+}

@@ -1,0 +1,74 @@
+//! Integration: canonical floorplan × backplane × placer/router × DRC.
+
+use std::collections::BTreeMap;
+
+use pnr::backplane;
+use pnr::dialect::{Feature, Support, Tool};
+use pnr::drc;
+use pnr::gen::{generate, PnrGenConfig};
+use pnr::place::place;
+use pnr::route::{route, RouteConfig};
+
+#[test]
+fn coverage_report_predicts_drc_outcomes() {
+    let (mut nl, fp) = generate(&PnrGenConfig::default());
+    place(&mut nl, &fp);
+    let out = backplane::run(&fp, &nl.lib);
+
+    // CellPath is reported to lose per-net spacing...
+    assert!(out
+        .losses(Tool::CellPath)
+        .iter()
+        .any(|r| r.feature == Feature::NetSpacing));
+    // ...and GridRoute to keep it (natively).
+    assert_eq!(Tool::GridRoute.support(Feature::NetSpacing), Support::Native);
+
+    // Route under each tool's effective rules and count spacing-intent
+    // offenders against the canonical rules.
+    let offenders = |rules: &BTreeMap<String, backplane::EffectiveRule>| -> usize {
+        let result = route(&nl, &fp, rules, RouteConfig::default());
+        drc::check(&result, &fp)
+            .spacing
+            .iter()
+            .map(|v| v.offenders)
+            .sum()
+    };
+    let grid = offenders(&out.jobs.iter().find(|j| j.tool == Tool::GridRoute).unwrap().rules);
+    let cell = offenders(&out.jobs.iter().find(|j| j.tool == Tool::CellPath).unwrap().rules);
+    assert!(
+        grid <= cell,
+        "the spacing-aware tool must not be worse: {grid} vs {cell}"
+    );
+}
+
+#[test]
+fn decks_are_generated_for_both_tools() {
+    let (nl, fp) = generate(&PnrGenConfig::default());
+    let out = backplane::run(&fp, &nl.lib);
+    let grid = out.jobs.iter().find(|j| j.tool == Tool::GridRoute).unwrap();
+    let cell = out.jobs.iter().find(|j| j.tool == Tool::CellPath).unwrap();
+    assert!(grid.deck.contains("GRD 1"));
+    assert!(grid.aux.is_empty());
+    assert!(cell.deck.contains("[design]"));
+    assert!(!cell.aux.is_empty(), "CellPath uses an external connect file");
+}
+
+#[test]
+fn placement_scales_with_the_die() {
+    for (cells, die) in [(12usize, 80i32), (24, 120), (40, 160)] {
+        let (mut nl, fp) = generate(&PnrGenConfig {
+            cells,
+            die,
+            ..PnrGenConfig::default()
+        });
+        let stats = place(&mut nl, &fp);
+        assert_eq!(stats.unplaced, 0, "{cells} cells on {die}x{die}");
+        let result = route(&nl, &fp, &BTreeMap::new(), RouteConfig::default());
+        assert!(
+            result.routed * 10 >= nl.nets.len() * 8,
+            "{}/{} routed on {die}",
+            result.routed,
+            nl.nets.len()
+        );
+    }
+}

@@ -1,0 +1,97 @@
+//! Integration: schematic formats × migration × verification.
+//!
+//! The full Section 2 round trip: generate a Viewstar design, push it
+//! through its on-disk format, migrate it to Cascade, push the result
+//! through *its* on-disk format, and verify connectivity end to end.
+
+use migrate::{presets, Migrator, StageId};
+use schematic::connectivity::extract_design;
+use schematic::dialect::{check_conformance, DialectId, DialectRules};
+use schematic::gen::{generate, GenConfig};
+
+fn workload(seed: u64) -> schematic::Design {
+    generate(&GenConfig {
+        seed,
+        gates_per_page: 10,
+        pages: 2,
+        depth: 1,
+        bus_width: 4,
+        ..GenConfig::default()
+    })
+}
+
+#[test]
+fn migrate_through_both_disk_formats() {
+    let source = workload(7);
+
+    // Source survives its own format.
+    let vsd = schematic::viewstar::write(&source);
+    let source2 = schematic::viewstar::parse(&vsd).expect("viewstar parses");
+    assert_eq!(source2, source);
+
+    // Migrate the *reparsed* design (as a real flow would).
+    let migrator = Migrator::new(presets::exar_style_config(4, 10));
+    let (outcome, verdict) = migrator.migrate_and_verify(&source2, DialectId::Cascade);
+    assert!(outcome.report.is_clean(), "{}", outcome.report);
+    assert!(verdict.is_verified(), "{}", verdict.summary());
+
+    // Result survives the Cascade format and still verifies.
+    let csd = schematic::cascade::write(&outcome.design);
+    let reparsed = schematic::cascade::parse(&csd).expect("cascade parses");
+    assert_eq!(reparsed, outcome.design);
+    let verdict2 = migrate::verify(
+        &source2,
+        &DialectRules::viewstar(),
+        &reparsed,
+        &DialectRules::cascade(),
+        migrator.config(),
+    );
+    assert!(verdict2.is_verified());
+}
+
+#[test]
+fn many_seeds_verify() {
+    for seed in 1..=6 {
+        let source = workload(seed);
+        let migrator = Migrator::new(presets::exar_style_config(4, 0));
+        let (_, verdict) = migrator.migrate_and_verify(&source, DialectId::Cascade);
+        assert!(verdict.is_verified(), "seed {seed}: {}", verdict.summary());
+    }
+}
+
+#[test]
+fn migrated_design_is_fully_conformant() {
+    let source = workload(3);
+    let migrator = Migrator::new(presets::exar_style_config(4, 10));
+    let outcome = migrator.migrate(&source, DialectId::Cascade);
+    let violations = check_conformance(&outcome.design, &DialectRules::cascade());
+    assert!(violations.is_empty(), "{violations:?}");
+}
+
+#[test]
+fn source_extraction_equals_its_own_reparse() {
+    let source = workload(11);
+    let rules = DialectRules::viewstar();
+    let (nl1, e1) = extract_design(&source, &rules);
+    let text = schematic::viewstar::write(&source);
+    let back = schematic::viewstar::parse(&text).expect("parses");
+    let (nl2, e2) = extract_design(&back, &rules);
+    assert!(e1.is_empty() && e2.is_empty());
+    assert_eq!(nl1, nl2, "extraction is format-stable");
+}
+
+#[test]
+fn partial_pipelines_round_trip_cascade_format() {
+    // Even ablated (non-verifying) outputs must serialize cleanly.
+    // (Text is excluded: the Cascade format implies its own font, so a
+    // design still carrying Viewstar fonts cannot round-trip exactly.)
+    let source = workload(5);
+    for stage in [StageId::Bus, StageId::Globals, StageId::Connectors] {
+        let mut cfg = presets::exar_style_config(4, 0);
+        cfg.skip_stages = vec![stage];
+        let outcome = Migrator::new(cfg).migrate(&source, DialectId::Cascade);
+        let text = schematic::cascade::write(&outcome.design);
+        let back = schematic::cascade::parse(&text).expect("parses");
+        assert_eq!(back, outcome.design, "skip-{}", stage.name());
+    }
+}

@@ -1,0 +1,133 @@
+//! Integration: HDL front end × flattening × simulation × analyses.
+
+use hdl::lang::Language;
+use hdl::names::plan_renames;
+use hdl::parser::parse;
+use hdl::synth::VendorSubset;
+use sim::elab::compile_unit;
+use sim::kernel::{Kernel, SchedulerPolicy};
+use sim::race::detect;
+use sim::{Logic, Value};
+
+/// A hierarchical design: a two-stage pipeline built from leaf cells.
+const PIPELINE: &str = r#"
+    module stage(input clk, input d, output reg q);
+      always @(posedge clk) q <= d;
+    endmodule
+    module pipe(input clk, input din, output dout);
+      wire mid;
+      stage s1 (.clk(clk), .d(din), .q(mid));
+      stage s2 (.clk(clk), .d(mid), .q(dout));
+    endmodule
+"#;
+
+fn pulse_clock(k: &mut Kernel, t: &mut u64) {
+    *t += 1;
+    k.poke_name("clk", Value::bit(Logic::One)).expect("clk");
+    k.run_until(*t).expect("run");
+    *t += 1;
+    k.poke_name("clk", Value::bit(Logic::Zero)).expect("clk");
+    k.run_until(*t).expect("run");
+}
+
+#[test]
+fn hierarchical_pipeline_simulates_after_flattening() {
+    let unit = parse(PIPELINE).expect("parses");
+    // Flattening happens inside compile_unit.
+    let circuit = compile_unit(&unit, "pipe").expect("elab");
+    let mut k = Kernel::new(circuit, SchedulerPolicy::sim_a());
+    let mut t = 0u64;
+    k.poke_name("clk", Value::bit(Logic::Zero)).expect("clk");
+    k.poke_name("din", Value::bit(Logic::One)).expect("din");
+    k.run_until(t).expect("run");
+
+    pulse_clock(&mut k, &mut t);
+    assert_eq!(
+        k.peek_name("dout").expect("dout").get(0),
+        Logic::X,
+        "one stage filled, output still unknown"
+    );
+    pulse_clock(&mut k, &mut t);
+    assert_eq!(
+        k.peek_name("dout").expect("dout").get(0),
+        Logic::One,
+        "two clocks push the bit through both stages"
+    );
+}
+
+#[test]
+fn flat_names_map_back_to_hierarchy() {
+    let unit = parse(PIPELINE).expect("parses");
+    let flat = hdl::flatten(&unit, "pipe", "_").expect("flattens");
+    // s2's register is its port q, bound to the parent's `dout`: the
+    // hierarchical name resolves to the aliased flat signal...
+    let flat_name = flat.name_map.to_flat("s2/q").expect("mapped");
+    assert_eq!(flat_name, "dout");
+    assert!(flat.module.net(flat_name).is_some());
+    // ...whose canonical hierarchical name is the top-level one.
+    assert_eq!(flat.name_map.to_hier(flat_name), Some("dout"));
+    // s1's output is the internal wire `mid`.
+    assert_eq!(flat.name_map.to_flat("s1/q"), Some("mid"));
+}
+
+#[test]
+fn pipeline_is_portable_and_race_free() {
+    let unit = parse(PIPELINE).expect("parses");
+    // Both vendor subsets accept the leaf and the top.
+    for m in &unit.modules {
+        assert!(VendorSubset::vendor_a().accepts(m), "{}", m.name);
+        assert!(VendorSubset::vendor_b().accepts(m), "{}", m.name);
+    }
+    // NBA discipline: no divergence across scheduling policies.
+    let circuit = compile_unit(&unit, "pipe").expect("elab");
+    let report = detect(&circuit, &SchedulerPolicy::all(), |k| {
+        let mut t = 0u64;
+        k.poke_name("clk", Value::bit(Logic::Zero))?;
+        k.poke_name("din", Value::bit(Logic::One))?;
+        k.run_until(t)?;
+        for _ in 0..4 {
+            t += 1;
+            k.poke_name("clk", Value::bit(Logic::One))?;
+            k.run_until(t)?;
+            t += 1;
+            k.poke_name("clk", Value::bit(Logic::Zero))?;
+            k.run_until(t)?;
+        }
+        Ok(())
+    })
+    .expect("simulates");
+    assert!(!report.has_race());
+}
+
+#[test]
+fn vhdl_safe_renames_keep_the_design_simulating() {
+    // A design whose names collide with VHDL keywords.
+    let src = r#"
+        module m(input clk, input in, output reg out);
+          always @(posedge clk) out <= in;
+        endmodule
+    "#;
+    let unit = parse(src).expect("parses");
+    let plan = plan_renames(&unit.modules[0], Language::Vhdl, 64);
+    assert_ne!(plan.rename("in"), "in");
+    assert_ne!(plan.rename("out"), "out");
+    // Rebuild the source with safe names and simulate it.
+    let renamed_src = format!(
+        "module m(input clk, input {0}, output reg {1});
+           always @(posedge clk) {1} <= {0};
+         endmodule",
+        plan.rename("in"),
+        plan.rename("out")
+    );
+    let unit2 = parse(&renamed_src).expect("renamed source parses");
+    let circuit = compile_unit(&unit2, "m").expect("elab");
+    let mut k = Kernel::new(circuit, SchedulerPolicy::sim_a());
+    let in_name = plan.rename("in").to_string();
+    let out_name = plan.rename("out").to_string();
+    k.poke_name("clk", Value::bit(Logic::Zero)).expect("clk");
+    k.poke_name(&in_name, Value::bit(Logic::One)).expect("in");
+    k.run_until(1).expect("run");
+    k.poke_name("clk", Value::bit(Logic::One)).expect("clk");
+    k.run_until(2).expect("run");
+    assert_eq!(k.peek_name(&out_name).expect("out").get(0), Logic::One);
+}

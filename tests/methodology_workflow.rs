@@ -1,0 +1,91 @@
+//! Integration: the Section 6 task graph *executed* by the Section 5
+//! workflow engine — a pruned methodology becomes a runnable flow.
+
+use interop_core::methodology::{cell_based_methodology, fpga_prototype_scenario, MethodologyConfig};
+use interop_core::scenario::prune;
+use interop_core::TaskGraph;
+use workflow::action::{ActionCtx, ActionOutcome, FnAction};
+use workflow::engine::Engine;
+use workflow::template::{BlockTree, FlowTemplate, StepDef};
+use workflow::Maturity;
+
+/// Converts a task graph into a flow template: one step per task, one
+/// generic action that writes each task's outputs; data dependencies
+/// become data-maturity start conditions.
+fn template_from_graph(graph: &TaskGraph, engine: &mut Engine) -> FlowTemplate {
+    let mut flow = FlowTemplate::new("methodology");
+    for task in graph.tasks() {
+        let outputs: Vec<String> = task.outputs.iter().map(|o| o.name().to_string()).collect();
+        let action_key = format!("do-{}", task.name);
+        let outs = outputs.clone();
+        engine.register(
+            &action_key,
+            FnAction::new(&task.name, move |ctx: &mut ActionCtx<'_>| {
+                for o in &outs {
+                    ctx.store.write(ctx.path(o), "produced");
+                }
+                ActionOutcome::ok()
+            }),
+        );
+        let mut step = StepDef::new(&task.name, &action_key);
+        for input in &task.inputs {
+            // Only gate on information some task in the graph produces;
+            // external inputs are seeded before the run.
+            if !graph.producers_of(input).is_empty() {
+                step = step.needs(Maturity::Exists(input.name().to_string()));
+            }
+        }
+        flow = flow.with_step(step);
+    }
+    flow
+}
+
+#[test]
+fn pruned_methodology_executes_to_completion() {
+    let graph = cell_based_methodology(&MethodologyConfig::default());
+    let pruned = prune(&graph, &fpga_prototype_scenario()).graph;
+    assert!(pruned.len() >= 15, "enough to be interesting: {}", pruned.len());
+
+    let mut engine = Engine::new();
+    let flow = template_from_graph(&pruned, &mut engine);
+    engine
+        .deploy(&flow, &BlockTree::leaf("project"))
+        .expect("deploys");
+
+    // Seed the methodology's external inputs.
+    for input in pruned.external_inputs() {
+        engine.store.write(format!("project/{}", input.name()), "seed");
+    }
+
+    let budget = pruned.len() * 3 + 10;
+    engine.run_to_quiescence(budget);
+    assert!(
+        engine.is_complete(),
+        "statuses: {:?}",
+        engine.status_counts()
+    );
+    // Every deliverable was produced.
+    for d in pruned.deliverables() {
+        assert!(
+            engine.store.exists(&format!("project/{}", d.name())),
+            "missing deliverable {}",
+            d.name()
+        );
+    }
+}
+
+#[test]
+fn full_methodology_executes_too() {
+    let graph = cell_based_methodology(&MethodologyConfig::default());
+    let mut engine = Engine::new();
+    let flow = template_from_graph(&graph, &mut engine);
+    engine
+        .deploy(&flow, &BlockTree::leaf("chip"))
+        .expect("deploys");
+    for input in graph.external_inputs() {
+        engine.store.write(format!("chip/{}", input.name()), "seed");
+    }
+    engine.run_to_quiescence(graph.len() * 3 + 10);
+    assert!(engine.is_complete(), "{:?}", engine.status_counts());
+    assert!(engine.store.exists("chip/fab-release"));
+}
