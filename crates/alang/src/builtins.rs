@@ -223,7 +223,11 @@ fn map_fn(ctx: &mut Ctx<'_>, args: &[Value]) -> Result<Value, AlangError> {
     };
     let mut out = Vec::with_capacity(items.len());
     for item in items {
-        out.push(crate::eval::apply(&args[0], std::slice::from_ref(item), ctx)?);
+        out.push(crate::eval::apply(
+            &args[0],
+            std::slice::from_ref(item),
+            ctx,
+        )?);
     }
     Ok(Value::List(out))
 }
@@ -260,7 +264,9 @@ fn substring(_: &mut Ctx<'_>, args: &[Value]) -> Result<Value, AlangError> {
     let s = args[0]
         .as_str()
         .ok_or_else(|| err("substring: first arg must be a string"))?;
-    let from = args[1].as_int().ok_or_else(|| err("substring: bad start"))? as usize;
+    let from = args[1]
+        .as_int()
+        .ok_or_else(|| err("substring: bad start"))? as usize;
     let to = args[2].as_int().ok_or_else(|| err("substring: bad end"))? as usize;
     let chars: Vec<char> = s.chars().collect();
     if from > to || to > chars.len() {

@@ -70,7 +70,11 @@ impl std::fmt::Debug for Env {
             f,
             "Env({} vars{})",
             frame.vars.len(),
-            if frame.parent.is_some() { ", chained" } else { "" }
+            if frame.parent.is_some() {
+                ", chained"
+            } else {
+                ""
+            }
         )
     }
 }

@@ -120,7 +120,9 @@ mod tests {
 
     #[test]
     fn map_host_round_trip() {
-        let mut h = MapHost::new().with_prop("W", 4i64).with_context("inst", "I1");
+        let mut h = MapHost::new()
+            .with_prop("W", 4i64)
+            .with_context("inst", "I1");
         assert_eq!(h.get("W").unwrap().as_int(), Some(4));
         h.set("L", Value::Int(2)).unwrap();
         assert_eq!(h.keys(), vec!["L".to_string(), "W".to_string()]);

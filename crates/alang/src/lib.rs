@@ -268,7 +268,9 @@ mod tests {
         assert_eq!(run("(append '(1) '(2 3))").unwrap().to_string(), "(1 2 3)");
         assert_eq!(run("(reverse '(1 2))").unwrap().to_string(), "(2 1)");
         assert_eq!(
-            run("(map (lambda (x) (* x x)) '(1 2 3))").unwrap().to_string(),
+            run("(map (lambda (x) (* x x)) '(1 2 3))")
+                .unwrap()
+                .to_string(),
             "(1 4 9)"
         );
         assert_eq!(
@@ -301,7 +303,9 @@ mod tests {
         assert!(run("(string-replace \"a-b\" \"-\" \"_\")")
             .unwrap()
             .equals(&Value::Str("a_b".into())));
-        assert!(run("(string->number \"42\")").unwrap().equals(&Value::Int(42)));
+        assert!(run("(string->number \"42\")")
+            .unwrap()
+            .equals(&Value::Int(42)));
         assert!(run("(string->number \"x\")").unwrap().equals(&Value::Nil));
         assert!(run("(string-upcase \"ab\")")
             .unwrap()

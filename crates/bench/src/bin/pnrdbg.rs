@@ -12,8 +12,10 @@ fn main() {
         if r.failed.contains(&net.name) {
             for pin in &net.pins {
                 let cell = &nl.cells[pin.0];
-                println!("net {} pin {}.{} cell {} abs {} loc {:?}",
-                    net.name, cell.name, pin.1, cell.name, nl.lib[cell.abs].name, cell.loc);
+                println!(
+                    "net {} pin {}.{} cell {} abs {} loc {:?}",
+                    net.name, cell.name, pin.1, cell.name, nl.lib[cell.abs].name, cell.loc
+                );
                 println!("   pinloc {:?}", nl.pin_location(pin));
             }
         }

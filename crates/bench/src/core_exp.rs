@@ -35,7 +35,11 @@ pub fn task_graph_and_scenarios() -> Vec<TasksRow> {
         edges,
         task_fraction: 1.0,
     }];
-    for s in [asic_scenario(), fpga_prototype_scenario(), ip_provider_scenario()] {
+    for s in [
+        asic_scenario(),
+        fpga_prototype_scenario(),
+        ip_provider_scenario(),
+    ] {
         let r = prune(&g, &s);
         let (t, e, _, _) = r.graph.stats();
         rows.push(TasksRow {
@@ -50,9 +54,8 @@ pub fn task_graph_and_scenarios() -> Vec<TasksRow> {
 
 /// Renders the tasks table.
 pub fn tasks_table(rows: &[TasksRow]) -> String {
-    let mut s = String::from(
-        "E-S6-TASKS cell-based methodology and scenario pruning (~200 tasks)\n",
-    );
+    let mut s =
+        String::from("E-S6-TASKS cell-based methodology and scenario pruning (~200 tasks)\n");
     s.push_str(&format!(
         "{:<16} {:>6} {:>6} {:>9}\n",
         "scenario", "tasks", "edges", "fraction"
@@ -230,13 +233,8 @@ pub fn optimization_passes() -> Vec<OptimizeRow> {
         .chain(std::iter::once("run-gate-regressions".to_string()))
         .collect();
     let replaced_refs: Vec<&str> = replaced.iter().map(String::as_str).collect();
-    let (_, _, r3) = optimize::substitute_technology(
-        &g,
-        &tools2,
-        &replaced_refs,
-        formal_task,
-        formal_tool,
-    );
+    let (_, _, r3) =
+        optimize::substitute_technology(&g, &tools2, &replaced_refs, formal_task, formal_tool);
     rows.push(OptimizeRow {
         pass: r3.description.clone(),
         before: r3.before.overhead(),
@@ -275,7 +273,10 @@ mod tests {
     fn scenarios_prune_and_full_graph_is_200ish() {
         let rows = task_graph_and_scenarios();
         assert!(rows[0].tasks >= 180 && rows[0].tasks <= 220);
-        let fpga = rows.iter().find(|r| r.scenario == "fpga-prototype").unwrap();
+        let fpga = rows
+            .iter()
+            .find(|r| r.scenario == "fpga-prototype")
+            .unwrap();
         assert!(fpga.task_fraction < 0.45);
     }
 

@@ -215,7 +215,10 @@ mod tests {
         for gates in [8usize, 24] {
             let r = neutral_round_trip(gates);
             assert!(r.connectivity_ok, "{gates} gates");
-            assert!(r.postfix_attrs > 0, "postfix indicators travel as attributes");
+            assert!(
+                r.postfix_attrs > 0,
+                "postfix indicators travel as attributes"
+            );
         }
     }
 

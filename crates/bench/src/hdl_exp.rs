@@ -131,7 +131,13 @@ pub struct NamesRow {
 /// Generates `n` realistic long identifiers and measures truncation
 /// aliasing before and after the rename plan.
 pub fn name_truncation(n: usize, significant: usize) -> NamesRow {
-    let prefixes = ["cntr_reset", "data_valid", "fifo_empty", "pipeline_stall", "cache_hit"];
+    let prefixes = [
+        "cntr_reset",
+        "data_valid",
+        "fifo_empty",
+        "pipeline_stall",
+        "cache_hit",
+    ];
     let names: BTreeSet<String> = (0..n)
         .map(|i| format!("{}{}", prefixes[i % prefixes.len()], i / prefixes.len()))
         .collect();
@@ -147,12 +153,12 @@ pub fn name_truncation(n: usize, significant: usize) -> NamesRow {
     // Build a module with those names and plan renames.
     let decls: String = names.iter().map(|n| format!("wire {n} ;\n")).collect();
     let src = format!("module m();\n{decls}endmodule");
-    let module = parse(&src).expect("generated module parses").modules.remove(0);
+    let module = parse(&src)
+        .expect("generated module parses")
+        .modules
+        .remove(0);
     let plan = plan_renames(&module, Language::Verilog, significant);
-    let renamed: BTreeSet<String> = names
-        .iter()
-        .map(|n| plan.rename(n).to_string())
-        .collect();
+    let renamed: BTreeSet<String> = names.iter().map(|n| plan.rename(n).to_string()).collect();
     let residual = truncation_aliases(&renamed, significant).len();
 
     NamesRow {
@@ -168,8 +174,21 @@ pub fn name_truncation(n: usize, significant: usize) -> NamesRow {
 /// against VHDL.
 pub fn keyword_collisions() -> (usize, usize) {
     let idents = [
-        "in", "out", "data", "signal", "process", "clk", "begin_addr", "range", "access",
-        "buffer", "q", "next", "state", "loop", "wait_count",
+        "in",
+        "out",
+        "data",
+        "signal",
+        "process",
+        "clk",
+        "begin_addr",
+        "range",
+        "access",
+        "buffer",
+        "q",
+        "next",
+        "state",
+        "loop",
+        "wait_count",
     ];
     let decls: String = idents.iter().map(|n| format!("wire {n} ;\n")).collect();
     let src = format!("module m();\n{decls}endmodule");

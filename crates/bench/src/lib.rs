@@ -5,6 +5,7 @@
 //! EXPERIMENTS.md; the `report` binary regenerates the full set; the
 //! Criterion benches in `benches/` time the underlying kernels.
 
+pub mod batch_exp;
 pub mod core_exp;
 pub mod ext_exp;
 pub mod hdl_exp;
@@ -68,7 +69,9 @@ pub fn full_report() -> String {
         .collect();
     push(workflow_exp::flow_table(&flows));
     push(workflow_exp::metrics_snapshot());
-    push(workflow_exp::platform_table(&workflow_exp::platform_portability()));
+    push(workflow_exp::platform_table(
+        &workflow_exp::platform_portability(),
+    ));
 
     // Section 6.
     push(core_exp::tasks_table(&core_exp::task_graph_and_scenarios()));

@@ -96,22 +96,20 @@ pub fn route_topology(cfg: &PnrGenConfig) -> Vec<RouteRow> {
     let constrained: Vec<String> = fp.net_rules.keys().cloned().collect();
 
     let mut rows = Vec::new();
-    let mut run = |label: String, rules: &BTreeMap<String, pnr::backplane::EffectiveRule>, honor: bool| {
-        let result = route(&nl, &fp, rules, RouteConfig { honor_rules: honor });
-        let report = drc::check(&result, &fp);
-        rows.push(RouteRow {
-            config: label,
-            routed: result.routed,
-            total: nl.nets.len(),
-            wirelength: result.wirelength,
-            constrained_coupling: constrained
-                .iter()
-                .map(|n| report.coupling_of(n))
-                .sum(),
-            spacing_offenders: report.spacing.iter().map(|v| v.offenders).sum(),
-            current_violations: report.current.len(),
-        });
-    };
+    let mut run =
+        |label: String, rules: &BTreeMap<String, pnr::backplane::EffectiveRule>, honor: bool| {
+            let result = route(&nl, &fp, rules, RouteConfig { honor_rules: honor });
+            let report = drc::check(&result, &fp);
+            rows.push(RouteRow {
+                config: label,
+                routed: result.routed,
+                total: nl.nets.len(),
+                wirelength: result.wirelength,
+                constrained_coupling: constrained.iter().map(|n| report.coupling_of(n)).sum(),
+                spacing_offenders: report.spacing.iter().map(|v| v.offenders).sum(),
+                current_violations: report.current.len(),
+            });
+        };
 
     for job in &out.jobs {
         run(format!("{} rules", job.tool.name()), &job.rules, true);
@@ -122,9 +120,8 @@ pub fn route_topology(cfg: &PnrGenConfig) -> Vec<RouteRow> {
 
 /// Renders the routing table.
 pub fn route_table(rows: &[RouteRow]) -> String {
-    let mut s = String::from(
-        "E-S4-ROUTE constraint feed-forward vs DRC intent (canonical rules)\n",
-    );
+    let mut s =
+        String::from("E-S4-ROUTE constraint feed-forward vs DRC intent (canonical rules)\n");
     s.push_str(&format!(
         "{:<18} {:>8} {:>8} {:>10} {:>9} {:>9}\n",
         "constraints", "routed", "wirelen", "coupling", "spacing", "current"
@@ -132,8 +129,13 @@ pub fn route_table(rows: &[RouteRow]) -> String {
     for r in rows {
         s.push_str(&format!(
             "{:<18} {:>5}/{:<2} {:>8} {:>10} {:>9} {:>9}\n",
-            r.config, r.routed, r.total, r.wirelength, r.constrained_coupling,
-            r.spacing_offenders, r.current_violations
+            r.config,
+            r.routed,
+            r.total,
+            r.wirelength,
+            r.constrained_coupling,
+            r.spacing_offenders,
+            r.current_violations
         ));
     }
     s
@@ -161,7 +163,10 @@ mod tests {
             extra_nets: 4,
             ..PnrGenConfig::default()
         });
-        let grid = rows.iter().find(|r| r.config.starts_with("GridRoute")).unwrap();
+        let grid = rows
+            .iter()
+            .find(|r| r.config.starts_with("GridRoute"))
+            .unwrap();
         let none = rows.iter().find(|r| r.config == "no feed-forward").unwrap();
         // GridRoute honours spacing: fewer (or equal) intent violations
         // than routing with no constraints at all; current violations
@@ -223,9 +228,7 @@ pub fn global_strategies(cfg: &PnrGenConfig) -> Vec<GlobalsRow> {
 
 /// Renders the globals table.
 pub fn globals_table(rows: &[GlobalsRow]) -> String {
-    let mut s = String::from(
-        "E-S4-GLOBALS global-signal strategies per tool (power reach = 8)\n",
-    );
+    let mut s = String::from("E-S4-GLOBALS global-signal strategies per tool (power reach = 8)\n");
     s.push_str(&format!(
         "{:<18} {:>6} {:>8} {:>8} {:>10}\n",
         "strategy support", "drawn", "skipped", "claimed", "unpowered"

@@ -57,7 +57,9 @@ pub fn fig1_component_replacement(gates: usize, pin_shift: i64) -> Fig1Row {
     ];
     let entries = cfg.symbol_map.clone();
     let target_libs = cfg.target_libraries.clone();
-    let scaled = Migrator::new(cfg).migrate(&source, DialectId::Cascade).design;
+    let scaled = Migrator::new(cfg)
+        .migrate(&source, DialectId::Cascade)
+        .design;
     let mut baseline = scaled.clone();
     for lib in &target_libs {
         baseline.add_library(lib.clone());
@@ -89,9 +91,7 @@ pub fn fig1_component_replacement(gates: usize, pin_shift: i64) -> Fig1Row {
 
 /// Renders the Figure 1 table.
 pub fn fig1_table(rows: &[Fig1Row]) -> String {
-    let mut s = String::from(
-        "E-FIG1 component replacement (minimized rip-up vs full redraw)\n",
-    );
+    let mut s = String::from("E-FIG1 component replacement (minimized rip-up vs full redraw)\n");
     s.push_str(&format!(
         "{:>6} {:>9} {:>6} | {:>7} {:>5} {:>6} | {:>7} {:>5} {:>6}\n",
         "gates", "replaced", "moved", "rip", "jogs", "sim", "rip", "jogs", "sim"
@@ -141,7 +141,9 @@ pub fn migration_pipeline(gates: usize, pages: u32, depth: usize) -> MigrationRo
         ..GenConfig::default()
     });
     let migrator = Migrator::new(presets::exar_style_config(4, 10));
-    let (outcome, verdict) = migrator.migrate_and_verify(&source, DialectId::Cascade);
+    let (outcome, verdict) = migrator
+        .migrate_and_verify(&source, DialectId::Cascade)
+        .expect("valid config");
     MigrationRow {
         gates,
         pages,
@@ -175,7 +177,9 @@ pub fn migration_ablation(gates: usize) -> Vec<(String, bool)> {
             cfg.skip_stages.push(StageId::Symbols);
         }
         let migrator = Migrator::new(cfg);
-        let (_, verdict) = migrator.migrate_and_verify(&source, DialectId::Cascade);
+        let (_, verdict) = migrator
+            .migrate_and_verify(&source, DialectId::Cascade)
+            .expect("valid config");
         out.push((format!("skip-{}", stage.name()), verdict.is_verified()));
     }
     out
@@ -227,6 +231,9 @@ mod tests {
                 assert!(!ok, "{name} should break verification");
             }
         }
-        assert!(ablation.iter().any(|(_, ok)| *ok), "some stages are cosmetic");
+        assert!(
+            ablation.iter().any(|(_, ok)| *ok),
+            "some stages are cosmetic"
+        );
     }
 }

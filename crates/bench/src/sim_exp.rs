@@ -131,9 +131,8 @@ pub fn compat_mode() -> Vec<CompatRow> {
 
 /// Renders the compat table.
 pub fn compat_table(rows: &[CompatRow]) -> String {
-    let mut s = String::from(
-        "E-S31-COMPAT timing-check drift (violations per semantics version)\n",
-    );
+    let mut s =
+        String::from("E-S31-COMPAT timing-check drift (violations per semantics version)\n");
     s.push_str(&format!(
         "{:<30} {:>10} {:>10} {:>7}\n",
         "data stimulus", "+pre_16a", "post-16a", "drift"
@@ -312,9 +311,25 @@ mod tests {
     #[test]
     fn races_detected_and_control_clean() {
         let rows = race_detection(4);
-        assert!(rows.iter().find(|r| r.model == "paper-race").unwrap().has_race);
-        assert!(rows.iter().find(|r| r.model == "order-race").unwrap().has_race);
-        assert!(!rows.iter().find(|r| r.model == "race-free").unwrap().has_race);
+        assert!(
+            rows.iter()
+                .find(|r| r.model == "paper-race")
+                .unwrap()
+                .has_race
+        );
+        assert!(
+            rows.iter()
+                .find(|r| r.model == "order-race")
+                .unwrap()
+                .has_race
+        );
+        assert!(
+            !rows
+                .iter()
+                .find(|r| r.model == "race-free")
+                .unwrap()
+                .has_race
+        );
     }
 
     #[test]

@@ -26,20 +26,39 @@ pub fn tapeout_template() -> FlowTemplate {
 
 /// Registers the simulated tools for [`tapeout_template`].
 pub fn register_tools(engine: &mut Engine) {
-    engine.register("write_spec", ToolAction::new("spec-editor", [], ["spec.doc"]));
-    engine.register("write_rtl", ToolAction::new("rtl-editor", ["spec.doc"], ["rtl.v"]));
+    engine.register(
+        "write_spec",
+        ToolAction::new("spec-editor", [], ["spec.doc"]),
+    );
+    engine.register(
+        "write_rtl",
+        ToolAction::new("rtl-editor", ["spec.doc"], ["rtl.v"]),
+    );
     engine.register("lint", ToolAction::new("lint", ["rtl.v"], ["lint.rpt"]));
-    engine.register("write_tb", ToolAction::new("tb-editor", ["spec.doc"], ["tb.v"]));
+    engine.register(
+        "write_tb",
+        ToolAction::new("tb-editor", ["spec.doc"], ["tb.v"]),
+    );
     engine.register(
         "simulate",
         ToolAction::new("simulator", ["rtl.v", "tb.v"], ["sim.rpt"]),
     );
     engine.register(
         "synth",
-        ToolAction::new("synthesizer", ["rtl.v", "lint.rpt", "sim.rpt"], ["netlist.v"]),
+        ToolAction::new(
+            "synthesizer",
+            ["rtl.v", "lint.rpt", "sim.rpt"],
+            ["netlist.v"],
+        ),
     );
-    engine.register("place", ToolAction::new("placer", ["netlist.v"], ["place.db"]));
-    engine.register("route", ToolAction::new("router", ["place.db"], ["route.db"]));
+    engine.register(
+        "place",
+        ToolAction::new("placer", ["netlist.v"], ["place.db"]),
+    );
+    engine.register(
+        "route",
+        ToolAction::new("router", ["place.db"], ["route.db"]),
+    );
     engine.register("drc", ToolAction::new("drc", ["route.db"], ["drc.rpt"]));
     engine.register(
         "assemble",
@@ -53,7 +72,8 @@ pub fn block_tree(depth: usize, width: usize) -> BlockTree {
         let mut b = BlockTree::leaf(name.clone());
         if depth > 0 {
             for i in 0..width {
-                b.children.push(rec(format!("b{depth}{i}"), depth - 1, width));
+                b.children
+                    .push(rec(format!("b{depth}{i}"), depth - 1, width));
             }
         }
         b
@@ -190,7 +210,13 @@ pub struct PlatformRow {
 pub fn platform_portability() -> Vec<PlatformRow> {
     use workflow::platform::{reference_matrix, Platform};
     let flow = [
-        "rtl-editor", "lint", "simulator", "synthesizer", "placer", "router", "drc",
+        "rtl-editor",
+        "lint",
+        "simulator",
+        "synthesizer",
+        "placer",
+        "router",
+        "drc",
     ];
     let report = reference_matrix().portability(flow);
     Platform::ALL
@@ -210,9 +236,7 @@ pub fn platform_portability() -> Vec<PlatformRow> {
 
 /// Renders the platform table.
 pub fn platform_table(rows: &[PlatformRow]) -> String {
-    let mut s = String::from(
-        "E-S34-PLATFORM tool ports and version skew across platforms\n",
-    );
+    let mut s = String::from("E-S34-PLATFORM tool ports and version skew across platforms\n");
     s.push_str(&format!(
         "{:<10} {:>9} {:>9} {:>8}\n",
         "platform", "runnable", "max-skew", "missing"

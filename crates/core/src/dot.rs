@@ -75,7 +75,11 @@ pub fn flow_diagram_dot(diagram: &FlowDiagram, report: &AnalysisReport) -> Strin
     // Dedup edges between tool pairs carrying the same info.
     let mut seen = std::collections::BTreeSet::new();
     for e in &diagram.data {
-        let key = (e.from_tool.clone(), e.to_tool.clone(), e.info.name().to_string());
+        let key = (
+            e.from_tool.clone(),
+            e.to_tool.clone(),
+            e.info.name().to_string(),
+        );
         if !seen.insert(key) {
             continue;
         }

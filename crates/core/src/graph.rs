@@ -226,8 +226,12 @@ mod tests {
         let g = three_task_graph();
         let edges = g.edges();
         assert_eq!(edges.len(), 2);
-        assert!(edges.iter().any(|e| e.from == "write-spec" && e.to == "write-rtl"));
-        assert!(edges.iter().any(|e| e.from == "write-rtl" && e.to == "simulate"));
+        assert!(edges
+            .iter()
+            .any(|e| e.from == "write-spec" && e.to == "write-rtl"));
+        assert!(edges
+            .iter()
+            .any(|e| e.from == "write-rtl" && e.to == "simulate"));
     }
 
     #[test]

@@ -114,9 +114,11 @@ pub fn cell_based_methodology(cfg: &MethodologyConfig) -> TaskGraph {
             .consumes(per_unit("rtl-model", u))
             .consumes(per_unit("testbench", u))
             .produces(per_unit("sim-results", u)));
-        add(Task::new(format!("measure-coverage-{u}"), Analysis, "verif")
-            .consumes(per_unit("sim-results", u))
-            .produces(per_unit("coverage-report", u)));
+        add(
+            Task::new(format!("measure-coverage-{u}"), Analysis, "verif")
+                .consumes(per_unit("sim-results", u))
+                .produces(per_unit("coverage-report", u)),
+        );
         add(Task::new(format!("review-rtl-{u}"), Validation, "rtl")
             .consumes(per_unit("rtl-model", u))
             .consumes(per_unit("lint-report", u))
@@ -162,9 +164,11 @@ pub fn cell_based_methodology(cfg: &MethodologyConfig) -> TaskGraph {
 
     // --- per-unit synthesis (units x 5) ---
     for u in &cfg.units {
-        add(Task::new(format!("write-constraints-{u}"), Creation, "synth")
-            .consumes(per_unit("unit-spec", u))
-            .produces(per_unit("constraints", u)));
+        add(
+            Task::new(format!("write-constraints-{u}"), Creation, "synth")
+                .consumes(per_unit("unit-spec", u))
+                .produces(per_unit("constraints", u)),
+        );
         add(Task::new(format!("synthesize-{u}"), Creation, "synth")
             .consumes(per_unit("rtl-model", u))
             .consumes(per_unit("constraints", u))
@@ -174,10 +178,12 @@ pub fn cell_based_methodology(cfg: &MethodologyConfig) -> TaskGraph {
             .consumes(per_unit("netlist", u))
             .consumes("test-strategy")
             .produces(per_unit("scan-netlist", u)));
-        add(Task::new(format!("simulate-gates-{u}"), Validation, "verif")
-            .consumes(per_unit("scan-netlist", u))
-            .consumes(per_unit("testbench", u))
-            .produces(per_unit("gate-sim-results", u)));
+        add(
+            Task::new(format!("simulate-gates-{u}"), Validation, "verif")
+                .consumes(per_unit("scan-netlist", u))
+                .consumes(per_unit("testbench", u))
+                .produces(per_unit("gate-sim-results", u)),
+        );
         add(Task::new(format!("sta-unit-{u}"), Analysis, "timing")
             .consumes(per_unit("netlist", u))
             .consumes(per_unit("constraints", u))
@@ -232,13 +238,17 @@ pub fn cell_based_methodology(cfg: &MethodologyConfig) -> TaskGraph {
         add(Task::new(format!("optimize-route-{u}"), Creation, "pnr")
             .consumes(per_unit("routed-layout", u))
             .produces(per_unit("final-layout", u)));
-        add(Task::new(format!("check-unit-drc-{u}"), Validation, "physver")
-            .consumes(per_unit("final-layout", u))
-            .produces(per_unit("unit-drc-report", u)));
-        add(Task::new(format!("check-unit-lvs-{u}"), Validation, "physver")
-            .consumes(per_unit("final-layout", u))
-            .consumes(per_unit("scan-netlist", u))
-            .produces(per_unit("unit-lvs-report", u)));
+        add(
+            Task::new(format!("check-unit-drc-{u}"), Validation, "physver")
+                .consumes(per_unit("final-layout", u))
+                .produces(per_unit("unit-drc-report", u)),
+        );
+        add(
+            Task::new(format!("check-unit-lvs-{u}"), Validation, "physver")
+                .consumes(per_unit("final-layout", u))
+                .consumes(per_unit("scan-netlist", u))
+                .produces(per_unit("unit-lvs-report", u)),
+        );
     }
 
     // --- chip assembly (7) ---
@@ -271,19 +281,25 @@ pub fn cell_based_methodology(cfg: &MethodologyConfig) -> TaskGraph {
 
     // --- signoff per corner (corners x 4) ---
     for c in &cfg.corners {
-        add(Task::new(format!("extract-parasitics-{c}"), Analysis, "signoff")
-            .consumes("final-chip-layout")
-            .produces(per_unit("parasitics", c)));
+        add(
+            Task::new(format!("extract-parasitics-{c}"), Analysis, "signoff")
+                .consumes("final-chip-layout")
+                .produces(per_unit("parasitics", c)),
+        );
         add(Task::new(format!("run-sta-{c}"), Analysis, "signoff")
             .consumes(per_unit("parasitics", c))
             .consumes("extracted-netlist")
             .produces(per_unit("sta-report", c)));
-        add(Task::new(format!("check-signal-integrity-{c}"), Analysis, "signoff")
-            .consumes(per_unit("parasitics", c))
-            .produces(per_unit("si-report", c)));
-        add(Task::new(format!("simulate-spice-{c}"), Validation, "signoff")
-            .consumes(per_unit("parasitics", c))
-            .produces(per_unit("spice-results", c)));
+        add(
+            Task::new(format!("check-signal-integrity-{c}"), Analysis, "signoff")
+                .consumes(per_unit("parasitics", c))
+                .produces(per_unit("si-report", c)),
+        );
+        add(
+            Task::new(format!("simulate-spice-{c}"), Validation, "signoff")
+                .consumes(per_unit("parasitics", c))
+                .produces(per_unit("spice-results", c)),
+        );
     }
 
     // --- signoff rollup (6) ---
@@ -388,9 +404,11 @@ pub fn cell_based_methodology(cfg: &MethodologyConfig) -> TaskGraph {
 
     // --- per-unit timing closure (units x 1) ---
     for u in &cfg.units {
-        add(Task::new(format!("close-unit-timing-{u}"), Analysis, "timing")
-            .consumes(per_unit("unit-timing-report", u))
-            .produces(per_unit("unit-timing-closure", u)));
+        add(
+            Task::new(format!("close-unit-timing-{u}"), Analysis, "timing")
+                .consumes(per_unit("unit-timing-report", u))
+                .produces(per_unit("unit-timing-closure", u)),
+        );
     }
 
     // --- gate-level regression (1) ---
@@ -460,11 +478,31 @@ pub fn tool_catalog() -> Vec<ToolModel> {
     let mut manual = ToolModel::new("DocSys", "documentation and review capture")
         .controlled_by([Interface::CommandLine, Interface::Api]);
     for info in [
-        "market-input", "requirements", "product-spec", "architecture-spec", "partition",
-        "power-budget", "package-spec", "test-strategy", "architecture-review", "unit-spec",
-        "rtl-review", "debug-notes", "chip-debug-notes", "floorplan-review", "waiver-list",
-        "burn-in-plan", "errata-document", "bringup-plan", "design-archive", "fab-release",
-        "tapeout-audit", "user-docs", "datasheet", "docs-review", "eco-list",
+        "market-input",
+        "requirements",
+        "product-spec",
+        "architecture-spec",
+        "partition",
+        "power-budget",
+        "package-spec",
+        "test-strategy",
+        "architecture-review",
+        "unit-spec",
+        "rtl-review",
+        "debug-notes",
+        "chip-debug-notes",
+        "floorplan-review",
+        "waiver-list",
+        "burn-in-plan",
+        "errata-document",
+        "bringup-plan",
+        "design-archive",
+        "fab-release",
+        "tapeout-audit",
+        "user-docs",
+        "datasheet",
+        "docs-review",
+        "eco-list",
     ] {
         manual.inputs.push(doc(info));
         manual.outputs.push(doc(info));
@@ -472,18 +510,65 @@ pub fn tool_catalog() -> Vec<ToolModel> {
     // Mirrored read ports for the design data that manual review and
     // debug tasks consume: classifications copied from the producing
     // tool so manual boundaries introduce no classification noise.
-    manual.inputs.push(fport("rtl-model", "verilog", "4-state", "hierarchical", NS_V));
-    manual.inputs.push(fport("lint-report", "report", "prose", "document", NS_V));
-    manual.inputs.push(fport("sim-results", "vcd", "4-state", "flat", NS_8));
-    manual.inputs.push(fport("regression-report", "report", "prose", "document", NS_V));
-    manual.inputs.push(fport("floorplan", "plan-db", "polygons", "hierarchical", NS_DB));
-    manual.inputs.push(fport("pin-assignment", "plan-db", "polygons", "hierarchical", NS_DB));
-    manual.inputs.push(fport("chip-drc-report", "report", "prose", "document", NS_V));
-    manual.inputs.push(fport("mask-data", "gdsii", "polygons", "flat", NS_DB));
-    manual.inputs.push(fport("test-program", "tester-binary", "test-vectors", "flat", NS_8));
-    manual.inputs.push(fport("timing-closure", "report", "prose", "document", NS_V));
+    manual.inputs.push(fport(
+        "rtl-model",
+        "verilog",
+        "4-state",
+        "hierarchical",
+        NS_V,
+    ));
+    manual
+        .inputs
+        .push(fport("lint-report", "report", "prose", "document", NS_V));
+    manual
+        .inputs
+        .push(fport("sim-results", "vcd", "4-state", "flat", NS_8));
+    manual.inputs.push(fport(
+        "regression-report",
+        "report",
+        "prose",
+        "document",
+        NS_V,
+    ));
+    manual.inputs.push(fport(
+        "floorplan",
+        "plan-db",
+        "polygons",
+        "hierarchical",
+        NS_DB,
+    ));
+    manual.inputs.push(fport(
+        "pin-assignment",
+        "plan-db",
+        "polygons",
+        "hierarchical",
+        NS_DB,
+    ));
+    manual.inputs.push(fport(
+        "chip-drc-report",
+        "report",
+        "prose",
+        "document",
+        NS_V,
+    ));
+    manual
+        .inputs
+        .push(fport("mask-data", "gdsii", "polygons", "flat", NS_DB));
+    manual.inputs.push(fport(
+        "test-program",
+        "tester-binary",
+        "test-vectors",
+        "flat",
+        NS_8,
+    ));
+    manual
+        .inputs
+        .push(fport("timing-closure", "report", "prose", "document", NS_V));
     for signoff in [
-        "timing-signoff", "physical-signoff", "verification-signoff", "power-signoff",
+        "timing-signoff",
+        "physical-signoff",
+        "verification-signoff",
+        "power-signoff",
         "test-signoff",
     ] {
         manual.inputs.push(report(signoff));
@@ -496,14 +581,50 @@ pub fn tool_catalog() -> Vec<ToolModel> {
             .reads(doc("technology-choice"))
             .reads(doc("product-spec"))
             .reads(doc("package-spec"))
-            .reads(fport("cell-library", "lib-db", "cell-views", "hierarchical", NS_DB))
-            .reads(fport("timing-library", "liberty", "timing-arcs", "flat", NS_DB))
+            .reads(fport(
+                "cell-library",
+                "lib-db",
+                "cell-views",
+                "hierarchical",
+                NS_DB,
+            ))
+            .reads(fport(
+                "timing-library",
+                "liberty",
+                "timing-arcs",
+                "flat",
+                NS_DB,
+            ))
             .writes(doc("technology-choice"))
-            .writes(fport("cell-library", "lib-db", "cell-views", "hierarchical", NS_DB))
-            .writes(fport("timing-library", "liberty", "timing-arcs", "flat", NS_DB))
+            .writes(fport(
+                "cell-library",
+                "lib-db",
+                "cell-views",
+                "hierarchical",
+                NS_DB,
+            ))
+            .writes(fport(
+                "timing-library",
+                "liberty",
+                "timing-arcs",
+                "flat",
+                NS_DB,
+            ))
             .writes(report("library-qualification"))
-            .writes(fport("memory-models", "lib-db", "cell-views", "hierarchical", NS_DB))
-            .writes(fport("pad-library", "lib-db", "cell-views", "hierarchical", NS_DB)),
+            .writes(fport(
+                "memory-models",
+                "lib-db",
+                "cell-views",
+                "hierarchical",
+                NS_DB,
+            ))
+            .writes(fport(
+                "pad-library",
+                "lib-db",
+                "cell-views",
+                "hierarchical",
+                NS_DB,
+            )),
     );
 
     // RTL entry.
@@ -511,7 +632,13 @@ pub fn tool_catalog() -> Vec<ToolModel> {
         ToolModel::new("RtlEd", "RTL entry")
             .reads(doc("unit-spec"))
             .reads(doc("partition"))
-            .writes(fport("rtl-model", "verilog", "4-state", "hierarchical", NS_V))
+            .writes(fport(
+                "rtl-model",
+                "verilog",
+                "4-state",
+                "hierarchical",
+                NS_V,
+            ))
             .controlled_by([Interface::CommandLine, Interface::Api]),
     );
 
@@ -519,18 +646,54 @@ pub fn tool_catalog() -> Vec<ToolModel> {
     tools.push(
         ToolModel::new("LintPro", "RTL lint")
             // SEEDED(Performance): reads a different RTL format.
-            .reads(fport("rtl-model", "verilog-1995", "4-state", "hierarchical", NS_V))
+            .reads(fport(
+                "rtl-model",
+                "verilog-1995",
+                "4-state",
+                "hierarchical",
+                NS_V,
+            ))
             .writes(report("lint-report")),
     );
 
     // Simulator A: GUI-only, 4-state.
     tools.push(
         ToolModel::new("SimStar", "event-driven simulation")
-            .reads(fport("rtl-model", "verilog", "4-state", "hierarchical", NS_V))
-            .reads(fport("chip-rtl", "verilog", "4-state", "hierarchical", NS_V))
-            .reads(fport("testbench", "verilog", "4-state", "hierarchical", NS_V))
-            .reads(fport("chip-testbench", "verilog", "4-state", "hierarchical", NS_V))
-            .reads(fport("scan-netlist", "verilog-gates", "4-state", "flat", NS_8))
+            .reads(fport(
+                "rtl-model",
+                "verilog",
+                "4-state",
+                "hierarchical",
+                NS_V,
+            ))
+            .reads(fport(
+                "chip-rtl",
+                "verilog",
+                "4-state",
+                "hierarchical",
+                NS_V,
+            ))
+            .reads(fport(
+                "testbench",
+                "verilog",
+                "4-state",
+                "hierarchical",
+                NS_V,
+            ))
+            .reads(fport(
+                "chip-testbench",
+                "verilog",
+                "4-state",
+                "hierarchical",
+                NS_V,
+            ))
+            .reads(fport(
+                "scan-netlist",
+                "verilog-gates",
+                "4-state",
+                "flat",
+                NS_8,
+            ))
             .writes(fport("sim-results", "vcd", "4-state", "flat", NS_8))
             .writes(fport("chip-sim-results", "vcd", "4-state", "flat", NS_8))
             .writes(fport("gate-sim-results", "vcd", "4-state", "flat", NS_8))
@@ -543,8 +706,20 @@ pub fn tool_catalog() -> Vec<ToolModel> {
         ToolModel::new("TbGen", "testbench development")
             .reads(doc("unit-spec"))
             .reads(doc("architecture-spec"))
-            .writes(fport("testbench", "verilog", "4-state", "hierarchical", NS_V))
-            .writes(fport("chip-testbench", "verilog", "4-state", "hierarchical", NS_V)),
+            .writes(fport(
+                "testbench",
+                "verilog",
+                "4-state",
+                "hierarchical",
+                NS_V,
+            ))
+            .writes(fport(
+                "chip-testbench",
+                "verilog",
+                "4-state",
+                "hierarchical",
+                NS_V,
+            )),
     );
 
     // Coverage/regression analysis: 9-state semantics (VHDL heritage).
@@ -554,8 +729,20 @@ pub fn tool_catalog() -> Vec<ToolModel> {
             // results. SEEDED(NameMapping): verilog names vs 8-char.
             .reads(fport("sim-results", "vcd", "9-state", "flat", NS_V))
             .reads(fport("chip-sim-results", "vcd", "9-state", "flat", NS_V))
-            .reads(fport("regression-report", "report", "prose", "document", NS_V))
-            .reads(fport("coverage-closure", "report", "prose", "document", NS_V))
+            .reads(fport(
+                "regression-report",
+                "report",
+                "prose",
+                "document",
+                NS_V,
+            ))
+            .reads(fport(
+                "coverage-closure",
+                "report",
+                "prose",
+                "document",
+                NS_V,
+            ))
             .reads(fport("gate-sim-results", "vcd", "9-state", "flat", NS_V))
             .writes(report("coverage-report"))
             .writes(report("gate-regression-report"))
@@ -568,18 +755,48 @@ pub fn tool_catalog() -> Vec<ToolModel> {
     // RTL integration.
     tools.push(
         ToolModel::new("Integrate", "RTL integration")
-            .reads(fport("rtl-model", "verilog", "4-state", "hierarchical", NS_V))
-            .writes(fport("chip-rtl", "verilog", "4-state", "hierarchical", NS_V)),
+            .reads(fport(
+                "rtl-model",
+                "verilog",
+                "4-state",
+                "hierarchical",
+                NS_V,
+            ))
+            .writes(fport(
+                "chip-rtl",
+                "verilog",
+                "4-state",
+                "hierarchical",
+                NS_V,
+            )),
     );
 
     // Power estimation.
     tools.push(
         ToolModel::new("PowerScope", "power estimation")
-            .reads(fport("rtl-model", "verilog", "4-state", "hierarchical", NS_V))
+            .reads(fport(
+                "rtl-model",
+                "verilog",
+                "4-state",
+                "hierarchical",
+                NS_V,
+            ))
             .reads(fport("chip-sim-results", "vcd", "4-state", "flat", NS_8))
             .reads(doc("power-budget"))
-            .reads(fport("final-chip-layout", "layout-db", "polygons", "hierarchical", NS_DB))
-            .reads(fport("power-plan", "plan-db", "polygons", "hierarchical", NS_DB))
+            .reads(fport(
+                "final-chip-layout",
+                "layout-db",
+                "polygons",
+                "hierarchical",
+                NS_DB,
+            ))
+            .reads(fport(
+                "power-plan",
+                "plan-db",
+                "polygons",
+                "hierarchical",
+                NS_DB,
+            ))
             .reads(report("ir-drop-report"))
             .reads(report("chip-power-estimate"))
             .writes(report("power-estimate"))
@@ -592,22 +809,52 @@ pub fn tool_catalog() -> Vec<ToolModel> {
     // Synthesis.
     tools.push(
         ToolModel::new("SynMax", "logic synthesis")
-            .reads(fport("rtl-model", "verilog", "4-state", "hierarchical", NS_V))
+            .reads(fport(
+                "rtl-model",
+                "verilog",
+                "4-state",
+                "hierarchical",
+                NS_V,
+            ))
             .reads(fport("constraints", "sdc", "timing-intent", "flat", NS_8))
-            .reads(fport("timing-library", "liberty", "timing-arcs", "flat", NS_DB))
+            .reads(fport(
+                "timing-library",
+                "liberty",
+                "timing-arcs",
+                "flat",
+                NS_DB,
+            ))
             .reads(doc("unit-spec"))
             .writes(fport("constraints", "sdc", "timing-intent", "flat", NS_8))
             // SEEDED(NameMapping): netlist written with 8-char names,
             // consumed downstream by OA-style tools.
-            .writes(fport("netlist", "verilog-gates", "4-state", "hierarchical", NS_8)),
+            .writes(fport(
+                "netlist",
+                "verilog-gates",
+                "4-state",
+                "hierarchical",
+                NS_8,
+            )),
     );
 
     // Scan insertion.
     tools.push(
         ToolModel::new("ScanWeave", "scan insertion")
-            .reads(fport("netlist", "verilog-gates", "4-state", "hierarchical", NS_8))
+            .reads(fport(
+                "netlist",
+                "verilog-gates",
+                "4-state",
+                "hierarchical",
+                NS_8,
+            ))
             .reads(doc("test-strategy"))
-            .writes(fport("scan-netlist", "verilog-gates", "4-state", "flat", NS_8)),
+            .writes(fport(
+                "scan-netlist",
+                "verilog-gates",
+                "4-state",
+                "flat",
+                NS_8,
+            )),
     );
 
     // Static timing.
@@ -617,10 +864,22 @@ pub fn tool_catalog() -> Vec<ToolModel> {
             // writes hierarchical.
             .reads(fport("netlist", "verilog-gates", "4-state", "flat", NS_8))
             .reads(fport("constraints", "sdc", "timing-intent", "flat", NS_8))
-            .reads(fport("extracted-netlist", "spice", "transistors", "flat", NS_DB))
+            .reads(fport(
+                "extracted-netlist",
+                "spice",
+                "transistors",
+                "flat",
+                NS_DB,
+            ))
             .reads(fport("parasitics", "spef", "rc-networks", "flat", NS_DB))
             .reads(fport("sta-report", "report", "prose", "document", NS_V))
-            .reads(fport("unit-timing-report", "report", "prose", "document", NS_V))
+            .reads(fport(
+                "unit-timing-report",
+                "report",
+                "prose",
+                "document",
+                NS_V,
+            ))
             .reads(fport("timing-closure", "report", "prose", "document", NS_V))
             .writes(report("unit-timing-report"))
             .writes(report("unit-timing-closure"))
@@ -633,63 +892,303 @@ pub fn tool_catalog() -> Vec<ToolModel> {
     tools.push(
         ToolModel::new("PlanAhead", "floorplanning")
             .reads(doc("partition"))
-            .reads(fport("netlist", "verilog-gates", "4-state", "hierarchical", NS_DB))
+            .reads(fport(
+                "netlist",
+                "verilog-gates",
+                "4-state",
+                "hierarchical",
+                NS_DB,
+            ))
             .reads(doc("package-spec"))
             .reads(doc("power-budget"))
-            .reads(fport("memory-models", "lib-db", "cell-views", "hierarchical", NS_DB))
-            .reads(fport("floorplan", "plan-db", "polygons", "hierarchical", NS_DB))
-            .reads(fport("macro-placement", "plan-db", "polygons", "hierarchical", NS_DB))
-            .reads(fport("clock-plan", "plan-db", "polygons", "hierarchical", NS_DB))
-            .reads(fport("pin-assignment", "plan-db", "polygons", "hierarchical", NS_DB))
-            .writes(fport("floorplan", "plan-db", "polygons", "hierarchical", NS_DB))
-            .writes(fport("pin-assignment", "plan-db", "polygons", "hierarchical", NS_DB))
-            .writes(fport("power-plan", "plan-db", "polygons", "hierarchical", NS_DB))
-            .writes(fport("clock-plan", "plan-db", "polygons", "hierarchical", NS_DB))
-            .writes(fport("macro-placement", "plan-db", "polygons", "hierarchical", NS_DB))
-            .writes(fport("keepout-zones", "plan-db", "polygons", "hierarchical", NS_DB))
-            .writes(fport("pnr-constraints", "ctl-file", "timing-intent", "hierarchical", NS_DB))
+            .reads(fport(
+                "memory-models",
+                "lib-db",
+                "cell-views",
+                "hierarchical",
+                NS_DB,
+            ))
+            .reads(fport(
+                "floorplan",
+                "plan-db",
+                "polygons",
+                "hierarchical",
+                NS_DB,
+            ))
+            .reads(fport(
+                "macro-placement",
+                "plan-db",
+                "polygons",
+                "hierarchical",
+                NS_DB,
+            ))
+            .reads(fport(
+                "clock-plan",
+                "plan-db",
+                "polygons",
+                "hierarchical",
+                NS_DB,
+            ))
+            .reads(fport(
+                "pin-assignment",
+                "plan-db",
+                "polygons",
+                "hierarchical",
+                NS_DB,
+            ))
+            .writes(fport(
+                "floorplan",
+                "plan-db",
+                "polygons",
+                "hierarchical",
+                NS_DB,
+            ))
+            .writes(fport(
+                "pin-assignment",
+                "plan-db",
+                "polygons",
+                "hierarchical",
+                NS_DB,
+            ))
+            .writes(fport(
+                "power-plan",
+                "plan-db",
+                "polygons",
+                "hierarchical",
+                NS_DB,
+            ))
+            .writes(fport(
+                "clock-plan",
+                "plan-db",
+                "polygons",
+                "hierarchical",
+                NS_DB,
+            ))
+            .writes(fport(
+                "macro-placement",
+                "plan-db",
+                "polygons",
+                "hierarchical",
+                NS_DB,
+            ))
+            .writes(fport(
+                "keepout-zones",
+                "plan-db",
+                "polygons",
+                "hierarchical",
+                NS_DB,
+            ))
+            .writes(fport(
+                "pnr-constraints",
+                "ctl-file",
+                "timing-intent",
+                "hierarchical",
+                NS_DB,
+            ))
             .controlled_by([Interface::Gui, Interface::Api]),
     );
 
     // Place and route.
     tools.push(
         ToolModel::new("RouteMaster", "place and route")
-            .reads(fport("scan-netlist", "verilog-gates", "4-state", "flat", NS_8))
+            .reads(fport(
+                "scan-netlist",
+                "verilog-gates",
+                "4-state",
+                "flat",
+                NS_8,
+            ))
             // SEEDED(Performance): constraints arrive as ctl-file from
             // PlanAhead but RouteMaster wants its own cmd format.
-            .reads(fport("pnr-constraints", "rm-cmd", "timing-intent", "hierarchical", NS_DB))
-            .reads(fport("clock-plan", "plan-db", "polygons", "hierarchical", NS_DB))
-            .reads(fport("placement", "layout-db", "polygons", "hierarchical", NS_DB))
-            .reads(fport("clocked-placement", "layout-db", "polygons", "hierarchical", NS_DB))
-            .reads(fport("routed-layout", "layout-db", "polygons", "hierarchical", NS_DB))
-            .reads(fport("final-layout", "layout-db", "polygons", "hierarchical", NS_DB))
-            .reads(fport("macro-placement", "plan-db", "polygons", "hierarchical", NS_DB))
-            .reads(fport("chip-layout", "layout-db", "polygons", "hierarchical", NS_DB))
-            .reads(fport("routed-chip", "layout-db", "polygons", "hierarchical", NS_DB))
-            .reads(fport("powered-chip", "layout-db", "polygons", "hierarchical", NS_DB))
-            .reads(fport("chip-with-io", "layout-db", "polygons", "hierarchical", NS_DB))
-            .reads(fport("power-plan", "plan-db", "polygons", "hierarchical", NS_DB))
-            .reads(fport("pad-library", "lib-db", "cell-views", "hierarchical", NS_DB))
-            .reads(fport("pin-assignment", "plan-db", "polygons", "hierarchical", NS_DB))
-            .writes(fport("placement", "layout-db", "polygons", "hierarchical", NS_DB))
-            .writes(fport("clocked-placement", "layout-db", "polygons", "hierarchical", NS_DB))
-            .writes(fport("routed-layout", "layout-db", "polygons", "hierarchical", NS_DB))
-            .writes(fport("final-layout", "layout-db", "polygons", "hierarchical", NS_DB))
-            .writes(fport("chip-layout", "layout-db", "polygons", "hierarchical", NS_DB))
-            .writes(fport("routed-chip", "layout-db", "polygons", "hierarchical", NS_DB))
-            .writes(fport("powered-chip", "layout-db", "polygons", "hierarchical", NS_DB))
-            .writes(fport("chip-with-io", "layout-db", "polygons", "hierarchical", NS_DB))
+            .reads(fport(
+                "pnr-constraints",
+                "rm-cmd",
+                "timing-intent",
+                "hierarchical",
+                NS_DB,
+            ))
+            .reads(fport(
+                "clock-plan",
+                "plan-db",
+                "polygons",
+                "hierarchical",
+                NS_DB,
+            ))
+            .reads(fport(
+                "placement",
+                "layout-db",
+                "polygons",
+                "hierarchical",
+                NS_DB,
+            ))
+            .reads(fport(
+                "clocked-placement",
+                "layout-db",
+                "polygons",
+                "hierarchical",
+                NS_DB,
+            ))
+            .reads(fport(
+                "routed-layout",
+                "layout-db",
+                "polygons",
+                "hierarchical",
+                NS_DB,
+            ))
+            .reads(fport(
+                "final-layout",
+                "layout-db",
+                "polygons",
+                "hierarchical",
+                NS_DB,
+            ))
+            .reads(fport(
+                "macro-placement",
+                "plan-db",
+                "polygons",
+                "hierarchical",
+                NS_DB,
+            ))
+            .reads(fport(
+                "chip-layout",
+                "layout-db",
+                "polygons",
+                "hierarchical",
+                NS_DB,
+            ))
+            .reads(fport(
+                "routed-chip",
+                "layout-db",
+                "polygons",
+                "hierarchical",
+                NS_DB,
+            ))
+            .reads(fport(
+                "powered-chip",
+                "layout-db",
+                "polygons",
+                "hierarchical",
+                NS_DB,
+            ))
+            .reads(fport(
+                "chip-with-io",
+                "layout-db",
+                "polygons",
+                "hierarchical",
+                NS_DB,
+            ))
+            .reads(fport(
+                "power-plan",
+                "plan-db",
+                "polygons",
+                "hierarchical",
+                NS_DB,
+            ))
+            .reads(fport(
+                "pad-library",
+                "lib-db",
+                "cell-views",
+                "hierarchical",
+                NS_DB,
+            ))
+            .reads(fport(
+                "pin-assignment",
+                "plan-db",
+                "polygons",
+                "hierarchical",
+                NS_DB,
+            ))
+            .writes(fport(
+                "placement",
+                "layout-db",
+                "polygons",
+                "hierarchical",
+                NS_DB,
+            ))
+            .writes(fport(
+                "clocked-placement",
+                "layout-db",
+                "polygons",
+                "hierarchical",
+                NS_DB,
+            ))
+            .writes(fport(
+                "routed-layout",
+                "layout-db",
+                "polygons",
+                "hierarchical",
+                NS_DB,
+            ))
+            .writes(fport(
+                "final-layout",
+                "layout-db",
+                "polygons",
+                "hierarchical",
+                NS_DB,
+            ))
+            .writes(fport(
+                "chip-layout",
+                "layout-db",
+                "polygons",
+                "hierarchical",
+                NS_DB,
+            ))
+            .writes(fport(
+                "routed-chip",
+                "layout-db",
+                "polygons",
+                "hierarchical",
+                NS_DB,
+            ))
+            .writes(fport(
+                "powered-chip",
+                "layout-db",
+                "polygons",
+                "hierarchical",
+                NS_DB,
+            ))
+            .writes(fport(
+                "chip-with-io",
+                "layout-db",
+                "polygons",
+                "hierarchical",
+                NS_DB,
+            ))
             .reads(fport("eco-list", "document", "prose", "document", NS_V))
-            .writes(fport("final-chip-layout", "layout-db", "polygons", "hierarchical", NS_DB))
-            .writes(fport("eco-layout", "layout-db", "polygons", "hierarchical", NS_DB)),
+            .writes(fport(
+                "final-chip-layout",
+                "layout-db",
+                "polygons",
+                "hierarchical",
+                NS_DB,
+            ))
+            .writes(fport(
+                "eco-layout",
+                "layout-db",
+                "polygons",
+                "hierarchical",
+                NS_DB,
+            )),
     );
 
     // Extraction.
     tools.push(
         ToolModel::new("XtractRC", "parasitic extraction")
-            .reads(fport("final-chip-layout", "layout-db", "polygons", "hierarchical", NS_DB))
+            .reads(fport(
+                "final-chip-layout",
+                "layout-db",
+                "polygons",
+                "hierarchical",
+                NS_DB,
+            ))
             .writes(fport("parasitics", "spef", "rc-networks", "flat", NS_DB))
-            .writes(fport("extracted-netlist", "spice", "transistors", "flat", NS_DB)),
+            .writes(fport(
+                "extracted-netlist",
+                "spice",
+                "transistors",
+                "flat",
+                NS_DB,
+            )),
     );
 
     // Signal integrity + SPICE.
@@ -698,18 +1197,54 @@ pub fn tool_catalog() -> Vec<ToolModel> {
             .reads(fport("parasitics", "spef", "rc-networks", "flat", NS_DB))
             .reads(fport("si-report", "report", "prose", "document", NS_V))
             .writes(report("si-report"))
-            .writes(fport("spice-results", "tr0", "analog-waveforms", "flat", NS_DB))
+            .writes(fport(
+                "spice-results",
+                "tr0",
+                "analog-waveforms",
+                "flat",
+                NS_DB,
+            ))
             .writes(report("si-signoff")),
     );
 
     // Physical verification.
     tools.push(
         ToolModel::new("VeriPhys", "DRC/LVS/ERC")
-            .reads(fport("final-layout", "layout-db", "polygons", "hierarchical", NS_DB))
-            .reads(fport("final-chip-layout", "layout-db", "polygons", "hierarchical", NS_DB))
-            .reads(fport("scan-netlist", "verilog-gates", "4-state", "flat", NS_8))
-            .reads(fport("extracted-netlist", "spice", "transistors", "flat", NS_DB))
-            .reads(fport("chip-rtl", "verilog", "4-state", "hierarchical", NS_V))
+            .reads(fport(
+                "final-layout",
+                "layout-db",
+                "polygons",
+                "hierarchical",
+                NS_DB,
+            ))
+            .reads(fport(
+                "final-chip-layout",
+                "layout-db",
+                "polygons",
+                "hierarchical",
+                NS_DB,
+            ))
+            .reads(fport(
+                "scan-netlist",
+                "verilog-gates",
+                "4-state",
+                "flat",
+                NS_8,
+            ))
+            .reads(fport(
+                "extracted-netlist",
+                "spice",
+                "transistors",
+                "flat",
+                NS_DB,
+            ))
+            .reads(fport(
+                "chip-rtl",
+                "verilog",
+                "4-state",
+                "hierarchical",
+                NS_V,
+            ))
             .reads(report("chip-drc-report"))
             .reads(report("chip-lvs-report"))
             .reads(doc("waiver-list"))
@@ -720,7 +1255,13 @@ pub fn tool_catalog() -> Vec<ToolModel> {
             .writes(report("antenna-report"))
             .writes(report("density-report"))
             .writes(report("erc-report"))
-            .reads(fport("eco-layout", "layout-db", "polygons", "hierarchical", NS_DB))
+            .reads(fport(
+                "eco-layout",
+                "layout-db",
+                "polygons",
+                "hierarchical",
+                NS_DB,
+            ))
             .writes(report("physical-signoff"))
             .writes(report("eco-report")),
     );
@@ -728,18 +1269,42 @@ pub fn tool_catalog() -> Vec<ToolModel> {
     // Test generation.
     tools.push(
         ToolModel::new("TestGen", "ATPG and test programs")
-            .reads(fport("scan-netlist", "verilog-gates", "4-state", "flat", NS_8))
+            .reads(fport(
+                "scan-netlist",
+                "verilog-gates",
+                "4-state",
+                "flat",
+                NS_8,
+            ))
             .reads(doc("test-strategy"))
             .reads(doc("package-spec"))
             .reads(fport("test-patterns", "stil", "test-vectors", "flat", NS_8))
             .reads(fport("fault-coverage", "report", "prose", "document", NS_V))
             .reads(fport("pattern-grades", "report", "prose", "document", NS_V))
-            .reads(fport("test-program-report", "report", "prose", "document", NS_V))
-            .reads(fport("test-program", "tester-binary", "test-vectors", "flat", NS_8))
+            .reads(fport(
+                "test-program-report",
+                "report",
+                "prose",
+                "document",
+                NS_V,
+            ))
+            .reads(fport(
+                "test-program",
+                "tester-binary",
+                "test-vectors",
+                "flat",
+                NS_8,
+            ))
             .writes(fport("test-patterns", "stil", "test-vectors", "flat", NS_8))
             .writes(report("fault-coverage"))
             .writes(report("pattern-grades"))
-            .writes(fport("test-program", "tester-binary", "test-vectors", "flat", NS_8))
+            .writes(fport(
+                "test-program",
+                "tester-binary",
+                "test-vectors",
+                "flat",
+                NS_8,
+            ))
             .writes(report("test-program-report"))
             .writes(report("test-signoff")),
     );
@@ -747,7 +1312,13 @@ pub fn tool_catalog() -> Vec<ToolModel> {
     // Mask preparation.
     tools.push(
         ToolModel::new("MaskForge", "fill and mask data preparation")
-            .reads(fport("final-chip-layout", "layout-db", "polygons", "hierarchical", NS_DB))
+            .reads(fport(
+                "final-chip-layout",
+                "layout-db",
+                "polygons",
+                "hierarchical",
+                NS_DB,
+            ))
             .reads(report("density-report"))
             .reads(fport("filled-layout", "gdsii", "polygons", "flat", NS_DB))
             .writes(fport("filled-layout", "gdsii", "polygons", "flat", NS_DB))
@@ -863,10 +1434,7 @@ mod tests {
     fn methodology_has_approximately_200_tasks() {
         let g = cell_based_methodology(&MethodologyConfig::default());
         let n = g.len();
-        assert!(
-            (180..=220).contains(&n),
-            "expected ~200 tasks, got {n}"
-        );
+        assert!((180..=220).contains(&n), "expected ~200 tasks, got {n}");
         let (_, edges, ext, deliv) = g.stats();
         assert!(edges > n, "a real methodology is densely linked: {edges}");
         assert!(ext >= 1, "market-input comes from outside");
@@ -880,10 +1448,7 @@ mod tests {
         let map = TaskToolMap::build(&g, &tools);
         let holes = map.holes();
         // Every hole is a deliberate manual/planning task.
-        assert!(
-            holes.len() <= 6,
-            "too many holes: {holes:?}"
-        );
+        assert!(holes.len() <= 6, "too many holes: {holes:?}");
         // Overlaps exist (multiple tools can do some tasks).
         let frac_covered = (g.len() - holes.len()) as f64 / g.len() as f64;
         assert!(frac_covered > 0.9, "coverage {frac_covered}");

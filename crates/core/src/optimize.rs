@@ -69,9 +69,7 @@ pub fn repartition(
     let boundary: Vec<String> = diagram
         .data
         .iter()
-        .filter(|e| {
-            (e.from_tool == a && e.to_tool == b) || (e.from_tool == b && e.to_tool == a)
-        })
+        .filter(|e| (e.from_tool == a && e.to_tool == b) || (e.from_tool == b && e.to_tool == a))
         .map(|e| e.info.name().to_string())
         .collect();
 

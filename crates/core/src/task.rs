@@ -88,11 +88,7 @@ pub struct Task {
 
 impl Task {
     /// Creates a task.
-    pub fn new(
-        name: impl Into<String>,
-        kind: TaskKind,
-        phase: impl Into<String>,
-    ) -> Self {
+    pub fn new(name: impl Into<String>, kind: TaskKind, phase: impl Into<String>) -> Self {
         let name = name.into();
         Task {
             description: format!("perform {name}"),

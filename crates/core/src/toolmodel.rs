@@ -277,9 +277,6 @@ mod tests {
         let t = &tools()[0];
         assert!(t.input_port(&Info::new("rtl-model")).is_some());
         assert!(t.output_port(&Info::new("netlist")).is_none());
-        assert_eq!(
-            t.inputs[0].persistence.to_string(),
-            "file:generic"
-        );
+        assert_eq!(t.inputs[0].persistence.to_string(), "file:generic");
     }
 }

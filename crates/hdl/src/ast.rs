@@ -344,9 +344,7 @@ impl Stmt {
                     s.collect_writes(out);
                 }
             }
-            Stmt::If {
-                then_s, else_s, ..
-            } => {
+            Stmt::If { then_s, else_s, .. } => {
                 then_s.collect_writes(out);
                 if let Some(e) = else_s {
                     e.collect_writes(out);

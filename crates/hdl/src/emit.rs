@@ -73,7 +73,11 @@ impl Emitter<'_> {
                     other => other.to_string(),
                 }
             }
-            Expr::Based { width, digits, base } => match base {
+            Expr::Based {
+                width,
+                digits,
+                base,
+            } => match base {
                 'b' => format!("\"{digits:0>width$}\"", width = *width as usize),
                 'h' => format!("x\"{digits}\""),
                 _ => digits.clone(),
@@ -201,7 +205,11 @@ impl Emitter<'_> {
 ///
 /// Fails when the module contains instances (flatten first).
 pub fn to_vhdl(module: &Module) -> Result<VhdlEmit, EmitError> {
-    if module.items.iter().any(|i| matches!(i, Item::Instance { .. })) {
+    if module
+        .items
+        .iter()
+        .any(|i| matches!(i, Item::Instance { .. }))
+    {
         return Err(EmitError {
             message: format!("module `{}` contains instances; flatten first", module.name),
         });
@@ -277,40 +285,25 @@ pub fn to_vhdl(module: &Module) -> Result<VhdlEmit, EmitError> {
                 };
                 let _ = writeln!(text, "  {l} <= {r};");
             }
-            Item::Always {
-                trigger,
-                body,
-                ..
-            } => {
+            Item::Always { trigger, body, .. } => {
                 proc_count += 1;
                 match trigger {
-                    Sensitivity::List(events)
-                        if events.iter().any(|e| e.edge != Edge::Any) =>
-                    {
+                    Sensitivity::List(events) if events.iter().any(|e| e.edge != Edge::Any) => {
                         // Sequential process: clock + optional async reset.
                         let clk = events
                             .iter()
                             .find(|e| e.edge == Edge::Pos)
                             .or_else(|| events.iter().find(|e| e.edge == Edge::Neg))
                             .expect("edge-triggered");
-                        let sens: Vec<String> =
-                            events.iter().map(|e| em.name(&e.signal)).collect();
-                        let _ = writeln!(
-                            text,
-                            "  p{proc_count} : process ({})",
-                            sens.join(", ")
-                        );
+                        let sens: Vec<String> = events.iter().map(|e| em.name(&e.signal)).collect();
+                        let _ = writeln!(text, "  p{proc_count} : process ({})", sens.join(", "));
                         let _ = writeln!(text, "  begin");
                         let edge_fn = if clk.edge == Edge::Pos {
                             "rising_edge"
                         } else {
                             "falling_edge"
                         };
-                        let _ = writeln!(
-                            text,
-                            "    if {edge_fn}({}) then",
-                            em.name(&clk.signal)
-                        );
+                        let _ = writeln!(text, "    if {edge_fn}({}) then", em.name(&clk.signal));
                         let mut body_text = String::new();
                         em.stmt(body, 3, &mut body_text);
                         text.push_str(&body_text);
@@ -318,13 +311,8 @@ pub fn to_vhdl(module: &Module) -> Result<VhdlEmit, EmitError> {
                         let _ = writeln!(text, "  end process;");
                     }
                     Sensitivity::List(events) => {
-                        let sens: Vec<String> =
-                            events.iter().map(|e| em.name(&e.signal)).collect();
-                        let _ = writeln!(
-                            text,
-                            "  p{proc_count} : process ({})",
-                            sens.join(", ")
-                        );
+                        let sens: Vec<String> = events.iter().map(|e| em.name(&e.signal)).collect();
+                        let _ = writeln!(text, "  p{proc_count} : process ({})", sens.join(", "));
                         let _ = writeln!(text, "  begin");
                         let mut body_text = String::new();
                         em.stmt(body, 2, &mut body_text);
@@ -332,13 +320,8 @@ pub fn to_vhdl(module: &Module) -> Result<VhdlEmit, EmitError> {
                         let _ = writeln!(text, "  end process;");
                     }
                     Sensitivity::Star => {
-                        let sens: Vec<String> =
-                            body.reads().iter().map(|s| em.name(s)).collect();
-                        let _ = writeln!(
-                            text,
-                            "  p{proc_count} : process ({})",
-                            sens.join(", ")
-                        );
+                        let sens: Vec<String> = body.reads().iter().map(|s| em.name(s)).collect();
+                        let _ = writeln!(text, "  p{proc_count} : process ({})", sens.join(", "));
                         let _ = writeln!(text, "  begin");
                         let mut body_text = String::new();
                         em.stmt(body, 2, &mut body_text);
@@ -421,7 +404,10 @@ mod tests {
         assert!(emit.text.contains("and"));
         assert!(emit.text.contains("or"));
         assert!(emit.text.contains("not"));
-        assert!(!emit.text.contains('&') || emit.text.contains("& "), "no verilog ops left");
+        assert!(
+            !emit.text.contains('&') || emit.text.contains("& "),
+            "no verilog ops left"
+        );
         assert!(emit.warnings.is_empty());
     }
 
@@ -463,10 +449,7 @@ mod tests {
              endmodule",
         );
         let emit = to_vhdl(&m).expect("emits");
-        assert!(emit
-            .warnings
-            .iter()
-            .any(|w| w.contains("initial block")));
+        assert!(emit.warnings.iter().any(|w| w.contains("initial block")));
 
         let unit = parse(
             "module leaf(input i, output o); assign o = ~i; endmodule

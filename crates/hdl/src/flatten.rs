@@ -83,7 +83,9 @@ impl NameMap {
     /// name (a child port bound to a parent signal). The flat name's
     /// canonical hierarchical mapping is kept if already present.
     fn insert_alias(&mut self, flat: String, hier: String) {
-        self.flat_to_hier.entry(flat.clone()).or_insert_with(|| hier.clone());
+        self.flat_to_hier
+            .entry(flat.clone())
+            .or_insert_with(|| hier.clone());
         self.hier_to_flat.insert(hier, flat);
     }
 
@@ -178,10 +180,8 @@ impl<'a> Flattener<'a> {
             if let Some(flat_name) = bindings.get(&net.name) {
                 rename.insert(net.name.clone(), flat_name.clone());
                 // The bound port is an alias of the parent signal.
-                self.map.insert_alias(
-                    flat_name.clone(),
-                    format!("{hier_prefix}{}", net.name),
-                );
+                self.map
+                    .insert_alias(flat_name.clone(), format!("{hier_prefix}{}", net.name));
                 continue;
             }
             let flat_name = self.unique(format!("{prefix}{}", net.name));
@@ -239,11 +239,9 @@ impl<'a> Flattener<'a> {
 
                     let mut child_bindings: BTreeMap<String, String> = BTreeMap::new();
                     for (port, expr) in conns {
-                        let pdef = child.port(port).ok_or_else(|| {
-                            FlattenError::NoSuchPort {
-                                path: path_str.clone(),
-                                port: port.clone(),
-                            }
+                        let pdef = child.port(port).ok_or_else(|| FlattenError::NoSuchPort {
+                            path: path_str.clone(),
+                            port: port.clone(),
                         })?;
                         let renamed = rename_expr(expr, &rename);
                         match renamed {
@@ -259,10 +257,8 @@ impl<'a> Flattener<'a> {
                                 }
                                 // Materialize the expression into an
                                 // intermediate wire.
-                                let wire = self.unique(format!(
-                                    "{prefix}{}{}{}",
-                                    inst_name, self.sep, port
-                                ));
+                                let wire = self
+                                    .unique(format!("{prefix}{}{}{}", inst_name, self.sep, port));
                                 self.map.insert(
                                     wire.clone(),
                                     format!("{hier_prefix}{inst_name}/{port}"),
@@ -287,8 +283,8 @@ impl<'a> Flattener<'a> {
                     // Unconnected child ports get fresh dangling nets.
                     for port in &child.ports {
                         if !child_bindings.contains_key(&port.name) {
-                            let wire =
-                                self.unique(format!("{prefix}{inst_name}{}{}", self.sep, port.name));
+                            let wire = self
+                                .unique(format!("{prefix}{inst_name}{}{}", self.sep, port.name));
                             self.map.insert(
                                 wire.clone(),
                                 format!("{hier_prefix}{inst_name}/{}", port.name),
@@ -329,9 +325,7 @@ fn rename_expr(e: &Expr, table: &BTreeMap<String, String>) -> Expr {
             Box::new(rename_expr(a, table)),
             Box::new(rename_expr(b, table)),
         ),
-        Expr::Concat(items) => {
-            Expr::Concat(items.iter().map(|x| rename_expr(x, table)).collect())
-        }
+        Expr::Concat(items) => Expr::Concat(items.iter().map(|x| rename_expr(x, table)).collect()),
     }
 }
 
@@ -497,14 +491,18 @@ mod tests {
         let unit = parse(TWO_LEVEL).unwrap();
         let r = flatten(&unit, "top", "_").unwrap();
         // u1's output o was bound to m: some assign writes m.
-        let writes_m = r.module.items.iter().any(|i| {
-            matches!(i, Item::Assign { lhs, .. } if lhs.name == "m")
-        });
+        let writes_m = r
+            .module
+            .items
+            .iter()
+            .any(|i| matches!(i, Item::Assign { lhs, .. } if lhs.name == "m"));
         assert!(writes_m);
         // u2's input i was bound to m: some assign reads m.
-        let reads_m = r.module.items.iter().any(|i| {
-            matches!(i, Item::Assign { rhs, .. } if rhs.reads().contains("m"))
-        });
+        let reads_m = r
+            .module
+            .items
+            .iter()
+            .any(|i| matches!(i, Item::Assign { rhs, .. } if rhs.reads().contains("m")));
         assert!(reads_m);
     }
 

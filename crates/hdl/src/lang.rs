@@ -17,23 +17,129 @@ pub enum Language {
 
 /// Verilog-family reserved words (the subset this crate's parser knows).
 pub const VERILOG_KEYWORDS: &[&str] = &[
-    "module", "endmodule", "input", "output", "inout", "wire", "reg", "assign", "always",
-    "initial", "begin", "end", "if", "else", "posedge", "negedge", "or", "and", "not", "case",
-    "endcase", "default", "parameter",
+    "module",
+    "endmodule",
+    "input",
+    "output",
+    "inout",
+    "wire",
+    "reg",
+    "assign",
+    "always",
+    "initial",
+    "begin",
+    "end",
+    "if",
+    "else",
+    "posedge",
+    "negedge",
+    "or",
+    "and",
+    "not",
+    "case",
+    "endcase",
+    "default",
+    "parameter",
 ];
 
 /// VHDL-family reserved words relevant to identifier collisions.
 pub const VHDL_KEYWORDS: &[&str] = &[
-    "abs", "access", "after", "alias", "all", "and", "architecture", "array", "assert",
-    "attribute", "begin", "block", "body", "buffer", "bus", "case", "component", "configuration",
-    "constant", "disconnect", "downto", "else", "elsif", "end", "entity", "exit", "file", "for",
-    "function", "generate", "generic", "guarded", "if", "impure", "in", "inertial", "inout",
-    "is", "label", "library", "linkage", "literal", "loop", "map", "mod", "nand", "new", "next",
-    "nor", "not", "null", "of", "on", "open", "or", "others", "out", "package", "port",
-    "postponed", "procedure", "process", "pure", "range", "record", "register", "reject", "rem",
-    "report", "return", "rol", "ror", "select", "severity", "signal", "shared", "sla", "sll",
-    "sra", "srl", "subtype", "then", "to", "transport", "type", "unaffected", "units", "until",
-    "use", "variable", "wait", "when", "while", "with", "xnor", "xor",
+    "abs",
+    "access",
+    "after",
+    "alias",
+    "all",
+    "and",
+    "architecture",
+    "array",
+    "assert",
+    "attribute",
+    "begin",
+    "block",
+    "body",
+    "buffer",
+    "bus",
+    "case",
+    "component",
+    "configuration",
+    "constant",
+    "disconnect",
+    "downto",
+    "else",
+    "elsif",
+    "end",
+    "entity",
+    "exit",
+    "file",
+    "for",
+    "function",
+    "generate",
+    "generic",
+    "guarded",
+    "if",
+    "impure",
+    "in",
+    "inertial",
+    "inout",
+    "is",
+    "label",
+    "library",
+    "linkage",
+    "literal",
+    "loop",
+    "map",
+    "mod",
+    "nand",
+    "new",
+    "next",
+    "nor",
+    "not",
+    "null",
+    "of",
+    "on",
+    "open",
+    "or",
+    "others",
+    "out",
+    "package",
+    "port",
+    "postponed",
+    "procedure",
+    "process",
+    "pure",
+    "range",
+    "record",
+    "register",
+    "reject",
+    "rem",
+    "report",
+    "return",
+    "rol",
+    "ror",
+    "select",
+    "severity",
+    "signal",
+    "shared",
+    "sla",
+    "sll",
+    "sra",
+    "srl",
+    "subtype",
+    "then",
+    "to",
+    "transport",
+    "type",
+    "unaffected",
+    "units",
+    "until",
+    "use",
+    "variable",
+    "wait",
+    "when",
+    "while",
+    "with",
+    "xnor",
+    "xor",
 ];
 
 impl Language {

@@ -79,10 +79,7 @@ pub const PC_SIGNIFICANT_CHARS: usize = 8;
 
 /// Finds truncation aliases: distinct names that collide when only the
 /// first `significant` characters matter.
-pub fn truncation_aliases(
-    names: &BTreeSet<String>,
-    significant: usize,
-) -> Vec<NameIssue> {
+pub fn truncation_aliases(names: &BTreeSet<String>, significant: usize) -> Vec<NameIssue> {
     let mut groups: BTreeMap<String, Vec<String>> = BTreeMap::new();
     for n in names {
         let truncated: String = n.chars().take(significant).collect();
@@ -171,8 +168,7 @@ pub fn plan_renames(module: &Module, target: Language, significant: usize) -> Re
     plan.issues.extend(language_collisions(module, target));
     plan.issues.extend(escaped_hazards(module));
     let names = module.declared_names();
-    plan.issues
-        .extend(truncation_aliases(&names, significant));
+    plan.issues.extend(truncation_aliases(&names, significant));
 
     let mut used_full: BTreeSet<String> = BTreeSet::new();
     let mut used_trunc: BTreeSet<String> = BTreeSet::new();
@@ -279,10 +275,7 @@ mod tests {
     }
 
     fn module_with(names: &[&str]) -> Module {
-        let decls: String = names
-            .iter()
-            .map(|n| format!("wire {n} ;\n"))
-            .collect();
+        let decls: String = names.iter().map(|n| format!("wire {n} ;\n")).collect();
         let src = format!("module m();\n{decls}endmodule");
         parse(&src).unwrap().modules.remove(0)
     }

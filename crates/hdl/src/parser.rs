@@ -562,7 +562,10 @@ impl Parser {
     }
 
     fn additive(&mut self) -> Result<Expr, ParseError> {
-        self.binary_level(&[("+", BinOp::Add), ("-", BinOp::Sub)], Self::multiplicative)
+        self.binary_level(
+            &[("+", BinOp::Add), ("-", BinOp::Sub)],
+            Self::multiplicative,
+        )
     }
 
     fn multiplicative(&mut self) -> Result<Expr, ParseError> {

@@ -74,8 +74,7 @@ pub fn analyze(module: &Module) -> Vec<SensReport> {
             }
             Sensitivity::List(events) => {
                 let edge_triggered = events.iter().any(|e| e.edge != Edge::Any);
-                let listed: BTreeSet<String> =
-                    events.iter().map(|e| e.signal.clone()).collect();
+                let listed: BTreeSet<String> = events.iter().map(|e| e.signal.clone()).collect();
                 let missing = if edge_triggered {
                     BTreeSet::new()
                 } else {
@@ -104,12 +103,7 @@ pub fn analyze(module: &Module) -> Vec<SensReport> {
 pub fn complete_lists(module: &mut Module) -> usize {
     let mut completed = 0usize;
     for item in &mut module.items {
-        let Item::Always {
-            trigger,
-            body,
-            ..
-        } = item
-        else {
+        let Item::Always { trigger, body, .. } = item else {
             continue;
         };
         let reads = body.reads();

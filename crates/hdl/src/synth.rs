@@ -121,10 +121,7 @@ impl VendorSubset {
     /// target for portable models.
     pub fn intersection<'a>(subsets: impl IntoIterator<Item = &'a VendorSubset>) -> VendorSubset {
         let mut iter = subsets.into_iter();
-        let mut allowed = iter
-            .next()
-            .map(|s| s.allowed.clone())
-            .unwrap_or_default();
+        let mut allowed = iter.next().map(|s| s.allowed.clone()).unwrap_or_default();
         for s in iter {
             allowed = allowed.intersection(&s.allowed).cloned().collect();
         }
@@ -208,30 +205,22 @@ fn scan_stmt(
                 scan_stmt(s, ctx_line, sequential, out);
             }
         }
-        Stmt::If {
-            then_s, else_s, ..
-        } => {
+        Stmt::If { then_s, else_s, .. } => {
             scan_stmt(then_s, ctx_line, sequential, out);
             if let Some(e) = else_s {
                 scan_stmt(e, ctx_line, sequential, out);
             }
         }
-        Stmt::Assign {
-            blocking, line, ..
-        } => match sequential {
+        Stmt::Assign { blocking, line, .. } => match sequential {
             Some(true) if *blocking => out.push((Construct::BlockingInSequential, *line)),
-            Some(false) if !*blocking => {
-                out.push((Construct::NonBlockingInCombinational, *line))
-            }
+            Some(false) if !*blocking => out.push((Construct::NonBlockingInCombinational, *line)),
             _ => {}
         },
         Stmt::Delay { stmt, .. } => {
             out.push((Construct::Delay, ctx_line));
             scan_stmt(stmt, ctx_line, sequential, out);
         }
-        Stmt::Case {
-            arms, default, ..
-        } => {
+        Stmt::Case { arms, default, .. } => {
             out.push((Construct::CaseStmt, ctx_line));
             for (_, body) in arms {
                 scan_stmt(body, ctx_line, sequential, out);
@@ -302,10 +291,8 @@ mod tests {
         );
         assert!(VendorSubset::vendor_a().accepts(&m));
         assert!(VendorSubset::vendor_b().accepts(&m));
-        let both = VendorSubset::intersection([
-            &VendorSubset::vendor_a(),
-            &VendorSubset::vendor_b(),
-        ]);
+        let both =
+            VendorSubset::intersection([&VendorSubset::vendor_a(), &VendorSubset::vendor_b()]);
         assert!(both.accepts(&m));
     }
 
@@ -337,7 +324,9 @@ mod tests {
             "#,
         );
         let all = uses(&m);
-        assert!(all.iter().any(|(c, _)| *c == Construct::BlockingInSequential));
+        assert!(all
+            .iter()
+            .any(|(c, _)| *c == Construct::BlockingInSequential));
         assert!(all
             .iter()
             .any(|(c, _)| *c == Construct::NonBlockingInCombinational));

@@ -34,7 +34,11 @@ impl fmt::Display for Tok {
             Tok::Ident(s) => write!(f, "{s}"),
             Tok::Escaped(s) => write!(f, "\\{s}"),
             Tok::Int(i) => write!(f, "{i}"),
-            Tok::Based { width, digits, base } => write!(f, "{width}'{base}{digits}"),
+            Tok::Based {
+                width,
+                digits,
+                base,
+            } => write!(f, "{width}'{base}{digits}"),
             Tok::Punct(p) => write!(f, "{p}"),
             Tok::Eof => write!(f, "<eof>"),
         }
@@ -188,9 +192,7 @@ pub fn lex(src: &str) -> Result<Vec<Spanned>, LexError> {
                 }
                 i += 1;
                 let mut digits = String::new();
-                while i < bytes.len()
-                    && (bytes[i].is_ascii_alphanumeric() || bytes[i] == '_')
-                {
+                while i < bytes.len() && (bytes[i].is_ascii_alphanumeric() || bytes[i] == '_') {
                     if bytes[i] != '_' {
                         digits.push(bytes[i].to_ascii_lowercase());
                     }

@@ -8,9 +8,7 @@ use hdl::parser::parse;
 use proptest::prelude::*;
 
 fn arb_ident() -> impl Strategy<Value = String> {
-    "[a-z][a-z0-9_]{0,14}".prop_filter("not a keyword", |s| {
-        !Language::Verilog.is_keyword(s)
-    })
+    "[a-z][a-z0-9_]{0,14}".prop_filter("not a keyword", |s| !Language::Verilog.is_keyword(s))
 }
 
 proptest! {
@@ -103,7 +101,11 @@ mod flatten_props {
             let mut wires = String::new();
             for k in 0..n {
                 wires.push_str(&format!("wire m{k};\n"));
-                let input = if k == 0 { "i".to_string() } else { format!("m{}", k - 1) };
+                let input = if k == 0 {
+                    "i".to_string()
+                } else {
+                    format!("m{}", k - 1)
+                };
                 body.push_str(&format!("{prev} u{k} (.i({input}), .o(m{k}));\n"));
             }
             src.push_str(&format!(

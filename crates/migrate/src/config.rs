@@ -162,6 +162,10 @@ pub struct MigrationConfig {
 }
 
 /// Identifies one pipeline stage (for reports and ablation).
+///
+/// The eight built-in stages cover every Section 2 issue category;
+/// [`StageId::Custom`] identifies externally registered [`Stage`]
+/// implementations (see [`crate::stage::Stage`]).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub enum StageId {
     /// Geometry scaling between grids.
@@ -180,10 +184,12 @@ pub enum StageId {
     Globals,
     /// Font and text-origin adjustment.
     Text,
+    /// An externally registered stage, identified by its static name.
+    Custom(&'static str),
 }
 
 impl StageId {
-    /// All stages in pipeline order.
+    /// The built-in stages in pipeline order.
     pub const ALL: [StageId; 8] = [
         StageId::Scale,
         StageId::Symbols,
@@ -206,6 +212,7 @@ impl StageId {
             StageId::Connectors => "connectors",
             StageId::Globals => "globals",
             StageId::Text => "text",
+            StageId::Custom(name) => name,
         }
     }
 }
@@ -217,6 +224,15 @@ impl std::fmt::Display for StageId {
 }
 
 impl MigrationConfig {
+    /// Starts building a configuration. Validation happens at
+    /// [`MigrationConfigBuilder::build`]; prefer this over struct
+    /// literals, which skip validation entirely (the literal form is
+    /// deprecated for external use and will lose field visibility in a
+    /// future revision).
+    pub fn builder() -> MigrationConfigBuilder {
+        MigrationConfigBuilder::default()
+    }
+
     /// True when the stage should run.
     pub fn runs(&self, stage: StageId) -> bool {
         !self.skip_stages.contains(&stage)
@@ -225,6 +241,181 @@ impl MigrationConfig {
     /// Finds the symbol-map entry for a source reference.
     pub fn symbol_entry(&self, from: &SymbolRef) -> Option<&SymbolMapEntry> {
         self.symbol_map.iter().find(|e| &e.from == from)
+    }
+
+    /// Checks the configuration's internal consistency — the same rules
+    /// [`MigrationConfigBuilder::build`] enforces.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first [`ConfigError`] found.
+    pub fn validate(&self) -> Result<(), ConfigError> {
+        let mut seen_from: Vec<&SymbolRef> = Vec::new();
+        for e in &self.symbol_map {
+            if seen_from.contains(&&e.from) {
+                return Err(ConfigError::DuplicateSymbolMapping {
+                    cell: e.from.cell.clone(),
+                });
+            }
+            seen_from.push(&e.from);
+        }
+        for cb in &self.callbacks {
+            if cb.entry.is_empty() {
+                return Err(ConfigError::EmptyCallbackEntry);
+            }
+        }
+        if !self.callbacks.is_empty() && self.callback_script.trim().is_empty() {
+            return Err(ConfigError::CallbacksWithoutScript {
+                count: self.callbacks.len(),
+            });
+        }
+        for (from, to) in &self.globals_map {
+            if from.is_empty() || to.is_empty() {
+                return Err(ConfigError::EmptyGlobalName);
+            }
+        }
+        let mut seen_skip: Vec<StageId> = Vec::new();
+        for s in &self.skip_stages {
+            if seen_skip.contains(s) {
+                return Err(ConfigError::DuplicateSkip { stage: *s });
+            }
+            seen_skip.push(*s);
+        }
+        Ok(())
+    }
+}
+
+/// A configuration consistency failure, reported by
+/// [`MigrationConfig::validate`] and [`MigrationConfigBuilder::build`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ConfigError {
+    /// Two symbol-map entries share the same source reference.
+    DuplicateSymbolMapping {
+        /// Source cell mapped twice.
+        cell: String,
+    },
+    /// A callback registration has an empty entry-point name.
+    EmptyCallbackEntry,
+    /// Callbacks are registered but no a/L script was provided.
+    CallbacksWithoutScript {
+        /// How many callbacks have nothing to call into.
+        count: usize,
+    },
+    /// A global rename maps from or to an empty net name.
+    EmptyGlobalName,
+    /// The same stage appears twice in the skip list.
+    DuplicateSkip {
+        /// The repeated stage.
+        stage: StageId,
+    },
+}
+
+impl std::fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ConfigError::DuplicateSymbolMapping { cell } => {
+                write!(f, "symbol map: source cell `{cell}` mapped more than once")
+            }
+            ConfigError::EmptyCallbackEntry => {
+                write!(f, "callback registration with empty entry-point name")
+            }
+            ConfigError::CallbacksWithoutScript { count } => {
+                write!(
+                    f,
+                    "{count} callback(s) registered but callback_script is empty"
+                )
+            }
+            ConfigError::EmptyGlobalName => write!(f, "global rename with empty net name"),
+            ConfigError::DuplicateSkip { stage } => {
+                write!(f, "stage `{stage}` appears twice in skip_stages")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ConfigError {}
+
+/// Builder for [`MigrationConfig`] with validation at [`build`].
+///
+/// [`build`]: MigrationConfigBuilder::build
+///
+/// ```
+/// use migrate::MigrationConfig;
+/// use migrate::config::StageId;
+///
+/// let config = MigrationConfig::builder()
+///     .rename_global("VDD", "vdd!")
+///     .skip_stage(StageId::Text)
+///     .build()
+///     .expect("valid config");
+/// assert!(!config.runs(StageId::Text));
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct MigrationConfigBuilder {
+    config: MigrationConfig,
+}
+
+impl MigrationConfigBuilder {
+    /// Adds a target-system component library.
+    pub fn target_library(mut self, lib: schematic::Library) -> Self {
+        self.config.target_libraries.push(lib);
+        self
+    }
+
+    /// Adds one symbol-replacement mapping.
+    pub fn map_symbol(mut self, entry: SymbolMapEntry) -> Self {
+        self.config.symbol_map.push(entry);
+        self
+    }
+
+    /// Appends a standard property rule under a scope.
+    pub fn prop_rule(mut self, scope: PropScope, rule: PropRule) -> Self {
+        self.config.prop_rules.push((scope, rule));
+        self
+    }
+
+    /// Sets the a/L script source defining callback functions.
+    pub fn callback_script(mut self, script: impl Into<String>) -> Self {
+        self.config.callback_script = script.into();
+        self
+    }
+
+    /// Registers an a/L callback.
+    pub fn callback(mut self, scope: PropScope, entry: impl Into<String>) -> Self {
+        self.config.callbacks.push(Callback {
+            scope,
+            entry: entry.into(),
+        });
+        self
+    }
+
+    /// Adds one global net rename (e.g. `VDD` → `vdd!`).
+    pub fn rename_global(mut self, from: impl Into<String>, to: impl Into<String>) -> Self {
+        self.config.globals_map.insert(from.into(), to.into());
+        self
+    }
+
+    /// Sets the off-page connector placement strategy.
+    pub fn offpage_placement(mut self, placement: OffPagePlacement) -> Self {
+        self.config.offpage_placement = placement;
+        self
+    }
+
+    /// Disables one stage (ablation studies).
+    pub fn skip_stage(mut self, stage: StageId) -> Self {
+        self.config.skip_stages.push(stage);
+        self
+    }
+
+    /// Validates and returns the configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first [`ConfigError`] found — see
+    /// [`MigrationConfig::validate`].
+    pub fn build(self) -> Result<MigrationConfig, ConfigError> {
+        self.config.validate()?;
+        Ok(self.config)
     }
 }
 
@@ -261,6 +452,56 @@ mod tests {
         assert!(PropScope::AllInstances.covers("anything"));
         assert!(PropScope::Cell("inv".into()).covers("inv"));
         assert!(!PropScope::Cell("inv".into()).covers("nand2"));
+    }
+
+    #[test]
+    fn builder_validates_at_build() {
+        let ok = MigrationConfig::builder()
+            .rename_global("VDD", "vdd!")
+            .skip_stage(StageId::Bus)
+            .build();
+        assert!(ok.is_ok());
+
+        let dup = MigrationConfig::builder()
+            .map_symbol(SymbolMapEntry::new(
+                SymbolRef::new("a", "inv", "symbol"),
+                SymbolRef::new("b", "inv_c", "symbol"),
+            ))
+            .map_symbol(SymbolMapEntry::new(
+                SymbolRef::new("a", "inv", "symbol"),
+                SymbolRef::new("b", "inv2_c", "symbol"),
+            ))
+            .build();
+        assert_eq!(
+            dup.unwrap_err(),
+            ConfigError::DuplicateSymbolMapping { cell: "inv".into() }
+        );
+
+        let orphan = MigrationConfig::builder()
+            .callback(PropScope::AllInstances, "split-spice")
+            .build();
+        assert!(matches!(
+            orphan.unwrap_err(),
+            ConfigError::CallbacksWithoutScript { count: 1 }
+        ));
+
+        let twice = MigrationConfig::builder()
+            .skip_stage(StageId::Bus)
+            .skip_stage(StageId::Bus)
+            .build();
+        assert!(matches!(
+            twice.unwrap_err(),
+            ConfigError::DuplicateSkip {
+                stage: StageId::Bus
+            }
+        ));
+    }
+
+    #[test]
+    fn custom_stage_ids_have_names() {
+        let id = StageId::Custom("lint");
+        assert_eq!(id.name(), "lint");
+        assert_ne!(id, StageId::Custom("other"));
     }
 
     #[test]

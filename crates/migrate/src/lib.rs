@@ -16,6 +16,11 @@
 //! | Cosmetic issues (fonts, baselines) | [`stages::text`] |
 //! | Verification | [`mod@verify`] |
 //!
+//! The pipeline itself is a sequence of boxed [`Stage`] objects
+//! ([`stage`]); batches of designs run in parallel through
+//! [`batch::migrate_batch`]; every run can be observed through an
+//! [`obs::Recorder`].
+//!
 //! ## Example
 //!
 //! ```
@@ -25,24 +30,44 @@
 //!
 //! let source = generate(&GenConfig::default());
 //! let migrator = Migrator::new(presets::exar_style_config(4, 0));
-//! let (outcome, verdict) = migrator.migrate_and_verify(&source, DialectId::Cascade);
+//! let (outcome, verdict) = migrator
+//!     .migrate_and_verify(&source, DialectId::Cascade)
+//!     .expect("config is valid");
 //! assert!(outcome.report.is_clean(), "{}", outcome.report);
 //! assert!(verdict.is_verified(), "{}", verdict.summary());
 //! ```
 
+pub mod batch;
 pub mod config;
 pub mod pipeline;
 pub mod presets;
 pub mod replace;
 pub mod report;
+pub mod stage;
 pub mod stages;
 pub mod verify;
 
-pub use config::{MigrationConfig, PropRule, PropScope, StageId, SymbolMapEntry};
-pub use pipeline::{MigrationOutcome, Migrator};
+pub use config::{
+    ConfigError, MigrationConfig, MigrationConfigBuilder, PropRule, PropScope, StageId,
+    SymbolMapEntry,
+};
+pub use pipeline::{MigrateError, MigrationOutcome, Migrator};
 pub use replace::{replace_components, similarity, RerouteStrategy};
-pub use report::MigrationReport;
+pub use report::{MigrationReport, StageReport};
+pub use stage::{Stage, StageCtx};
 pub use verify::{verify, VerifyReport};
+
+/// The stable surface for building and running migrations — import
+/// `migrate::prelude::*` and everything needed to configure a pipeline,
+/// add custom stages, and run batches is in scope.
+pub mod prelude {
+    pub use crate::batch::{migrate_batch, migrate_batch_recorded, BatchConfig};
+    pub use crate::config::{ConfigError, MigrationConfig, MigrationConfigBuilder, StageId};
+    pub use crate::pipeline::{MigrateError, MigrationOutcome, Migrator};
+    pub use crate::report::{MigrationReport, StageReport};
+    pub use crate::stage::{Stage, StageCtx};
+    pub use crate::verify::VerifyReport;
+}
 
 #[cfg(test)]
 mod tests {
@@ -54,7 +79,9 @@ mod tests {
     fn full_migration_verifies_cleanly() {
         let source = generate(&GenConfig::default());
         let migrator = Migrator::new(presets::exar_style_config(4, 0));
-        let (outcome, verdict) = migrator.migrate_and_verify(&source, DialectId::Cascade);
+        let (outcome, verdict) = migrator
+            .migrate_and_verify(&source, DialectId::Cascade)
+            .expect("valid config");
         assert!(outcome.report.is_clean(), "{}", outcome.report);
         assert!(
             verdict.is_verified(),
@@ -71,7 +98,9 @@ mod tests {
     fn migration_with_pin_shift_still_verifies() {
         let source = generate(&GenConfig::default());
         let migrator = Migrator::new(presets::exar_style_config(4, 10));
-        let (outcome, verdict) = migrator.migrate_and_verify(&source, DialectId::Cascade);
+        let (outcome, verdict) = migrator
+            .migrate_and_verify(&source, DialectId::Cascade)
+            .expect("valid config");
         assert!(outcome.report.is_clean(), "{}", outcome.report);
         assert!(verdict.is_verified(), "{}", verdict.summary());
         // Pin shift forces reroute work.
@@ -85,7 +114,9 @@ mod tests {
         let mut cfg = presets::exar_style_config(4, 0);
         cfg.skip_stages.push(StageId::Bus);
         let migrator = Migrator::new(cfg);
-        let (outcome, verdict) = migrator.migrate_and_verify(&source, DialectId::Cascade);
+        let (outcome, verdict) = migrator
+            .migrate_and_verify(&source, DialectId::Cascade)
+            .expect("valid config");
         assert!(outcome.report.skipped.contains(&StageId::Bus));
         assert!(!verdict.is_verified(), "postfix names must break cascade");
     }
@@ -96,7 +127,9 @@ mod tests {
         let mut cfg = presets::exar_style_config(4, 0);
         cfg.skip_stages.push(StageId::Connectors);
         let migrator = Migrator::new(cfg);
-        let (_, verdict) = migrator.migrate_and_verify(&source, DialectId::Cascade);
+        let (_, verdict) = migrator
+            .migrate_and_verify(&source, DialectId::Cascade)
+            .expect("valid config");
         assert!(!verdict.is_verified());
         assert!(
             !verdict.compare.is_equivalent() || !verdict.conformance.is_empty(),

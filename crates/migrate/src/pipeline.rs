@@ -1,11 +1,21 @@
 //! The migration pipeline: the Section 2 translation, end to end.
+//!
+//! The pipeline is a sequence of boxed [`Stage`] objects — the eight
+//! built-ins by default, extensible via [`Migrator::with_stage`]. Every
+//! run can be observed through an [`obs::Recorder`]: the pipeline opens
+//! a `migrate.pipeline` span plus one `migrate.stage.<name>` span per
+//! executed stage.
 
+use std::error::Error;
+use std::fmt;
+
+use obs::{NullRecorder, Recorder, Span};
 use schematic::design::Design;
 use schematic::dialect::{DialectId, DialectRules};
 
-use crate::config::{MigrationConfig, StageId};
+use crate::config::{ConfigError, MigrationConfig, StageId};
 use crate::report::MigrationReport;
-use crate::stages;
+use crate::stage::{builtin_stages, Stage, StageCtx};
 use crate::verify::{verify, VerifyReport};
 
 /// Result of a migration run.
@@ -15,6 +25,35 @@ pub struct MigrationOutcome {
     pub design: Design,
     /// Per-stage statistics.
     pub report: MigrationReport,
+}
+
+/// Error from a fallible migration entry point.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum MigrateError {
+    /// The configuration failed validation.
+    Config(ConfigError),
+}
+
+impl fmt::Display for MigrateError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MigrateError::Config(e) => write!(f, "invalid migration config: {e}"),
+        }
+    }
+}
+
+impl Error for MigrateError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            MigrateError::Config(e) => Some(e),
+        }
+    }
+}
+
+impl From<ConfigError> for MigrateError {
+    fn from(e: ConfigError) -> Self {
+        MigrateError::Config(e)
+    }
 }
 
 /// Drives the full Viewstar → Cascade (or any dialect-to-dialect)
@@ -30,20 +69,63 @@ pub struct MigrationOutcome {
 /// let outcome = migrator.migrate(&source, DialectId::Cascade);
 /// assert_eq!(outcome.design.dialect, DialectId::Cascade);
 /// ```
-#[derive(Debug, Clone, Default)]
 pub struct Migrator {
     config: MigrationConfig,
+    stages: Vec<Box<dyn Stage>>,
+    parallelism: usize,
+}
+
+impl fmt::Debug for Migrator {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Migrator")
+            .field("config", &self.config)
+            .field("stages", &self.stage_ids())
+            .field("parallelism", &self.parallelism)
+            .finish()
+    }
+}
+
+impl Default for Migrator {
+    fn default() -> Self {
+        Migrator::new(MigrationConfig::default())
+    }
 }
 
 impl Migrator {
-    /// Creates a migrator from a configuration.
+    /// Creates a migrator from a configuration, with the eight built-in
+    /// stages in Section 2 order.
     pub fn new(config: MigrationConfig) -> Self {
-        Migrator { config }
+        Migrator {
+            config,
+            stages: builtin_stages(),
+            parallelism: 1,
+        }
     }
 
     /// The configuration in use.
     pub fn config(&self) -> &MigrationConfig {
         &self.config
+    }
+
+    /// Appends a custom stage after the built-ins (or after previously
+    /// added stages). Use [`MigrationConfig`]'s `skip_stages` with the
+    /// stage's [`StageId`] to disable it per run.
+    pub fn with_stage(mut self, stage: Box<dyn Stage>) -> Self {
+        self.stages.push(stage);
+        self
+    }
+
+    /// Sets how many threads each stage may use for independent pages
+    /// within one design (1 = sequential; output is identical at any
+    /// value).
+    pub fn with_parallelism(mut self, parallelism: usize) -> Self {
+        self.parallelism = parallelism.max(1);
+        self
+    }
+
+    /// Stage identities, in execution order.
+    pub fn stage_ids(&self) -> Vec<StageId> {
+        self.stages.iter().map(|s| s.id()).collect()
     }
 
     /// Translates `source` into the `target` dialect.
@@ -52,84 +134,143 @@ impl Migrator {
     /// connectors → globals → text. Property stages run before symbol
     /// replacement so rule scopes refer to *source* cell names.
     pub fn migrate(&self, source: &Design, target: DialectId) -> MigrationOutcome {
+        self.migrate_recorded(source, target, &NullRecorder)
+    }
+
+    /// Like [`Migrator::migrate`], but emits spans and counters into
+    /// `recorder`: one `migrate.pipeline` span for the whole run, one
+    /// `migrate.stage.<name>` span per executed stage, and counters
+    /// `migrate.designs` / `migrate.issues`.
+    pub fn migrate_recorded(
+        &self,
+        source: &Design,
+        target: DialectId,
+        recorder: &dyn Recorder,
+    ) -> MigrationOutcome {
+        let _pipeline_span = Span::enter(recorder, "migrate.pipeline");
         let src_rules = DialectRules::for_id(source.dialect);
         let dst_rules = DialectRules::for_id(target);
         let mut design = source.clone();
         let mut report = MigrationReport::default();
 
-        let run = |stage: StageId, report: &mut MigrationReport| {
-            if !self.config.runs(stage) {
-                report.skipped.push(stage);
-                return false;
-            }
-            let _ = report.stage_mut(stage);
-            true
+        let ctx = StageCtx {
+            config: &self.config,
+            src_rules: &src_rules,
+            dst_rules: &dst_rules,
+            recorder,
+            parallelism: self.parallelism,
         };
 
-        if run(StageId::Scale, &mut report) {
-            let (num, den) = src_rules.scale_to(&dst_rules);
-            stages::scale::run(
-                &mut design,
-                num,
-                den,
-                dst_rules.grid,
-                report.stage_mut(StageId::Scale),
-            );
-        }
-        if run(StageId::Props, &mut report) {
-            stages::props::run_standard(&mut design, &self.config, report.stage_mut(StageId::Props));
-        }
-        if run(StageId::Callbacks, &mut report) {
-            stages::props::run_callbacks(
-                &mut design,
-                &self.config,
-                report.stage_mut(StageId::Callbacks),
-            );
-        }
-        if run(StageId::Symbols, &mut report) {
-            stages::symbols::run(&mut design, &self.config, report.stage_mut(StageId::Symbols));
-        }
-        if run(StageId::Bus, &mut report) {
-            stages::bus::run(
-                &mut design,
-                src_rules.bus,
-                dst_rules.bus,
-                report.stage_mut(StageId::Bus),
-            );
-        }
-        if run(StageId::Connectors, &mut report) {
-            stages::connectors::run(
-                &mut design,
-                &self.config,
-                dst_rules.grid,
-                report.stage_mut(StageId::Connectors),
-            );
-        }
-        if run(StageId::Globals, &mut report) {
-            stages::globals::run(&mut design, &self.config, report.stage_mut(StageId::Globals));
-        }
-        if run(StageId::Text, &mut report) {
-            stages::text::run(
-                &mut design,
-                dst_rules.font,
-                report.stage_mut(StageId::Text),
-            );
+        for stage in &self.stages {
+            let id = stage.id();
+            if !self.config.runs(id) {
+                report.skipped.push(id);
+                continue;
+            }
+            let stage_report = {
+                let _span = Span::enter(recorder, format!("migrate.stage.{}", id.name()));
+                stage.run(&mut design, &ctx)
+            };
+            report.stage_mut(id).merge(stage_report);
         }
 
         design.dialect = target;
+        recorder.add_counter("migrate.designs", 1);
+        recorder.add_counter("migrate.issues", report.issue_count() as u64);
         MigrationOutcome { design, report }
     }
 
-    /// Migrates and independently verifies in one call.
+    /// Migrates and independently verifies in one call. Validates the
+    /// configuration first, so a bad config is reported as a typed
+    /// [`MigrateError`] instead of silently producing a broken design.
     pub fn migrate_and_verify(
         &self,
         source: &Design,
         target: DialectId,
-    ) -> (MigrationOutcome, VerifyReport) {
+    ) -> Result<(MigrationOutcome, VerifyReport), MigrateError> {
+        self.config.validate()?;
         let src_rules = DialectRules::for_id(source.dialect);
         let dst_rules = DialectRules::for_id(target);
         let outcome = self.migrate(source, target);
-        let report = verify(source, &src_rules, &outcome.design, &dst_rules, &self.config);
-        (outcome, report)
+        let report = verify(
+            source,
+            &src_rules,
+            &outcome.design,
+            &dst_rules,
+            &self.config,
+        );
+        Ok((outcome, report))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use obs::MemoryRecorder;
+    use schematic::gen::{generate, GenConfig};
+
+    #[test]
+    fn recorder_captures_a_span_per_stage_and_the_pipeline() {
+        let source = generate(&GenConfig::default());
+        let recorder = MemoryRecorder::new();
+        let migrator = Migrator::default();
+        let outcome = migrator.migrate_recorded(&source, DialectId::Cascade, &recorder);
+        assert_eq!(outcome.design.dialect, DialectId::Cascade);
+        assert_eq!(recorder.span_count("migrate.pipeline"), 1);
+        for id in migrator.stage_ids() {
+            assert_eq!(
+                recorder.span_count(&format!("migrate.stage.{}", id.name())),
+                1,
+                "missing span for stage {}",
+                id.name()
+            );
+        }
+        assert_eq!(recorder.counter("migrate.designs"), 1);
+    }
+
+    #[test]
+    fn skipped_stages_get_no_span() {
+        let source = generate(&GenConfig::default());
+        let recorder = MemoryRecorder::new();
+        let mut cfg = MigrationConfig::default();
+        cfg.skip_stages.push(StageId::Text);
+        let migrator = Migrator::new(cfg);
+        let outcome = migrator.migrate_recorded(&source, DialectId::Cascade, &recorder);
+        assert!(outcome.report.skipped.contains(&StageId::Text));
+        assert_eq!(recorder.span_count("migrate.stage.text"), 0);
+        assert_eq!(recorder.span_count("migrate.stage.scale"), 1);
+    }
+
+    #[test]
+    fn invalid_config_is_a_typed_error() {
+        let source = generate(&GenConfig::default());
+        let mut cfg = MigrationConfig::default();
+        cfg.globals_map.insert(String::new(), "VDD".into());
+        let migrator = Migrator::new(cfg);
+        let err = migrator
+            .migrate_and_verify(&source, DialectId::Cascade)
+            .unwrap_err();
+        assert!(matches!(err, MigrateError::Config(_)));
+        assert!(err.to_string().contains("invalid migration config"));
+    }
+
+    #[test]
+    fn page_parallel_migration_matches_sequential() {
+        let source = generate(&GenConfig {
+            pages: 6,
+            ..GenConfig::default()
+        });
+        let sequential = Migrator::default().migrate(&source, DialectId::Cascade);
+        for threads in [2, 4, 8] {
+            let parallel = Migrator::default()
+                .with_parallelism(threads)
+                .migrate(&source, DialectId::Cascade);
+            assert_eq!(parallel.design, sequential.design, "threads={threads}");
+            assert_eq!(
+                format!("{}", parallel.report),
+                format!("{}", sequential.report),
+                "threads={threads}"
+            );
+        }
     }
 }

@@ -6,7 +6,7 @@ use schematic::geom::Point;
 use schematic::symbol::{PinDir, SymbolDef, SymbolRef};
 use schematic::Library;
 
-use crate::config::{Callback, MigrationConfig, PropRule, PropScope, SymbolMapEntry};
+use crate::config::{MigrationConfig, PropRule, PropScope, SymbolMapEntry};
 
 /// Name of the preset target (Cascade-side) library.
 pub const TARGET_LIB: &str = "stdlib";
@@ -50,41 +50,40 @@ pub fn target_library(bus_width: usize, pin_shift: i64) -> Library {
 /// callback splitting compound analog properties, and global renames.
 pub fn exar_style_config(bus_width: usize, pin_shift: i64) -> MigrationConfig {
     let prim = schematic::gen::PRIMITIVE_LIB;
-    let mut config = MigrationConfig {
-        target_libraries: vec![target_library(bus_width, pin_shift)],
-        symbol_map: vec![
+    MigrationConfig::builder()
+        .target_library(target_library(bus_width, pin_shift))
+        .map_symbol(
             SymbolMapEntry::new(
                 SymbolRef::new(prim, "inv", "symbol"),
                 SymbolRef::new(TARGET_LIB, "inv_c", "symbol"),
             )
             .with_pin("A", "IN")
             .with_pin("Y", "OUT"),
-            SymbolMapEntry::new(
-                SymbolRef::new(prim, "nand2", "symbol"),
-                SymbolRef::new(TARGET_LIB, "nand2_c", "symbol"),
-            ),
-            SymbolMapEntry::new(
-                SymbolRef::new(prim, "nmos", "symbol"),
-                SymbolRef::new(TARGET_LIB, "nmos_c", "symbol"),
-            ),
-        ],
-        prop_rules: vec![
-            (
-                PropScope::AllInstances,
-                PropRule::Rename {
-                    from: "SIZE".into(),
-                    to: "STRENGTH".into(),
-                },
-            ),
-            (
-                PropScope::AllInstances,
-                PropRule::Add {
-                    name: "VIEW".into(),
-                    value: "schematic".into(),
-                },
-            ),
-        ],
-        callback_script: r#"
+        )
+        .map_symbol(SymbolMapEntry::new(
+            SymbolRef::new(prim, "nand2", "symbol"),
+            SymbolRef::new(TARGET_LIB, "nand2_c", "symbol"),
+        ))
+        .map_symbol(SymbolMapEntry::new(
+            SymbolRef::new(prim, "nmos", "symbol"),
+            SymbolRef::new(TARGET_LIB, "nmos_c", "symbol"),
+        ))
+        .prop_rule(
+            PropScope::AllInstances,
+            PropRule::Rename {
+                from: "SIZE".into(),
+                to: "STRENGTH".into(),
+            },
+        )
+        .prop_rule(
+            PropScope::AllInstances,
+            PropRule::Add {
+                name: "VIEW".into(),
+                value: "schematic".into(),
+            },
+        )
+        .callback_script(
+            r#"
             ; Non-standard property mapping: reformat the compound analog
             ; SPICE property into separate W and L properties.
             (define (split-spice)
@@ -97,23 +96,14 @@ pub fn exar_style_config(bus_width: usize, pin_shift: i64) -> MigrationConfig {
                                                 (length (nth 1 parts))))
                       (prop-remove! "SPICE"))
                     nil)))
-        "#
-        .into(),
-        callbacks: vec![
-            Callback {
-                scope: PropScope::Cell("inv".into()),
-                entry: "split-spice".into(),
-            },
-            Callback {
-                scope: PropScope::Cell("nand2".into()),
-                entry: "split-spice".into(),
-            },
-        ],
-        ..MigrationConfig::default()
-    };
-    config.globals_map.insert("VDD".into(), "vdd!".into());
-    config.globals_map.insert("GND".into(), "gnd!".into());
-    config
+        "#,
+        )
+        .callback(PropScope::Cell("inv".into()), "split-spice")
+        .callback(PropScope::Cell("nand2".into()), "split-spice")
+        .rename_global("VDD", "vdd!")
+        .rename_global("GND", "gnd!")
+        .build()
+        .expect("preset config is internally consistent")
 }
 
 #[cfg(test)]
@@ -129,7 +119,12 @@ mod tests {
         }
         let shifted = target_library(4, 10);
         assert_eq!(
-            shifted.symbol("inv_c", "symbol").unwrap().pin("OUT").unwrap().at,
+            shifted
+                .symbol("inv_c", "symbol")
+                .unwrap()
+                .pin("OUT")
+                .unwrap()
+                .at,
             Point::new(50, 0)
         );
     }

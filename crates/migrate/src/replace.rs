@@ -151,10 +151,7 @@ pub fn replace_components(
     let cell_names: Vec<String> = design.cells().map(|(n, _)| n.to_string()).collect();
 
     for cell_name in &cell_names {
-        let page_count = design
-            .cell(cell_name)
-            .map(|c| c.sheets.len())
-            .unwrap_or(0);
+        let page_count = design.cell(cell_name).map(|c| c.sheets.len()).unwrap_or(0);
         for sheet_idx in 0..page_count {
             // Collect the replacement plan for this sheet first
             // (immutable pass), then apply it (mutable pass).
@@ -185,7 +182,9 @@ pub fn replace_components(
                         continue;
                     };
                     let new_place = Transform::new(
-                        inst.place.origin.offset(entry.origin_offset.x, entry.origin_offset.y),
+                        inst.place
+                            .origin
+                            .offset(entry.origin_offset.x, entry.origin_offset.y),
                         inst.place.orient.compose(entry.rotation),
                     );
                     let mut moves = Vec::new();
@@ -351,7 +350,10 @@ mod tests {
         );
         assert_eq!((ripped, jogs, moved), (1, 1, 1));
         let w = &s.wires[0];
-        assert_eq!(w.points, vec![Point::new(48, 16), Point::new(48, 0), Point::new(128, 0)]);
+        assert_eq!(
+            w.points,
+            vec![Point::new(48, 16), Point::new(48, 0), Point::new(128, 0)]
+        );
         // Every segment is orthogonal.
         for (a, b) in w.segments() {
             assert!(a.x == b.x || a.y == b.y);

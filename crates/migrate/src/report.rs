@@ -5,9 +5,10 @@ use std::fmt;
 
 use crate::config::StageId;
 
-/// Per-stage counters collected during a migration run.
+/// Per-stage counters collected during a migration run. This is the
+/// value a [`crate::stage::Stage`] returns from `run`.
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
-pub struct StageStats {
+pub struct StageReport {
     /// Objects touched by the stage (instances, wires, labels...).
     pub touched: usize,
     /// Objects created (connectors, stub wires...).
@@ -18,13 +19,29 @@ pub struct StageStats {
     pub issues: Vec<String>,
 }
 
+/// Former name of [`StageReport`], kept for compatibility with the old
+/// stage-function API.
+pub type StageStats = StageReport;
+
+impl StageReport {
+    /// Folds another report into this one: counters add, issues append
+    /// in order. Used to merge per-sheet reports from parallel page
+    /// processing deterministically (callers merge in sheet order).
+    pub fn merge(&mut self, other: StageReport) {
+        self.touched += other.touched;
+        self.created += other.created;
+        self.renamed += other.renamed;
+        self.issues.extend(other.issues);
+    }
+}
+
 /// The full migration report: the paper's goal was "a high degree of
 /// automation with no manual post translation cleanup" — the report
 /// quantifies exactly that.
 #[derive(Debug, Clone, Default)]
 pub struct MigrationReport {
     /// Stats per executed stage, in pipeline order.
-    pub stages: BTreeMap<StageId, StageStats>,
+    pub stages: BTreeMap<StageId, StageReport>,
     /// Stages skipped by configuration.
     pub skipped: Vec<StageId>,
 }
@@ -32,7 +49,7 @@ pub struct MigrationReport {
 impl MigrationReport {
     /// Mutable access to a stage's stats, creating the entry on first
     /// use.
-    pub fn stage_mut(&mut self, stage: StageId) -> &mut StageStats {
+    pub fn stage_mut(&mut self, stage: StageId) -> &mut StageReport {
         self.stages.entry(stage).or_default()
     }
 
@@ -89,5 +106,23 @@ mod tests {
         assert!(text.contains("scale"));
         assert!(text.contains("SKIPPED"));
         assert!(text.contains("! collision"));
+    }
+
+    #[test]
+    fn merge_adds_counters_and_preserves_issue_order() {
+        let mut a = StageReport {
+            touched: 1,
+            created: 2,
+            renamed: 3,
+            issues: vec!["first".into()],
+        };
+        a.merge(StageReport {
+            touched: 10,
+            created: 20,
+            renamed: 30,
+            issues: vec!["second".into()],
+        });
+        assert_eq!((a.touched, a.created, a.renamed), (11, 22, 33));
+        assert_eq!(a.issues, vec!["first".to_string(), "second".to_string()]);
     }
 }

@@ -74,10 +74,9 @@ pub fn translation_table(
         let out = if taken.contains(&candidate) {
             // Rebuild with a suffixed base.
             let suffixed = match &parsed.expr {
-                schematic::bus::NetExpr::Scalar(b) => NetName::scalar(format!(
-                    "{b}{}",
-                    postfix_suffix(c)
-                )),
+                schematic::bus::NetExpr::Scalar(b) => {
+                    NetName::scalar(format!("{b}{}", postfix_suffix(c)))
+                }
                 schematic::bus::NetExpr::Bit(b, i) => {
                     NetName::bit(format!("{b}{}", postfix_suffix(c)), *i)
                 }
@@ -207,8 +206,12 @@ mod tests {
     #[test]
     fn viewstar_to_viewstar_is_identity() {
         let all = names(&["x", "b<0:3>", "n-"]);
-        let (map, renames, issues) =
-            translation_table(&all, &BTreeSet::new(), BusSyntax::Viewstar, BusSyntax::Viewstar);
+        let (map, renames, issues) = translation_table(
+            &all,
+            &BTreeSet::new(),
+            BusSyntax::Viewstar,
+            BusSyntax::Viewstar,
+        );
         assert!(issues.is_empty());
         assert_eq!(renames, 0);
         for (k, v) in &map {

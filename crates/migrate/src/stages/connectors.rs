@@ -302,9 +302,11 @@ mod tests {
             // Output wire with a floating east end, named `span` on both
             // pages.
             s.wires.push(
-                Wire::new(vec![Point::new(140, 100), Point::new(200, 100)]).with_label(
-                    Label::new("span", Point::new(150, 104), FontMetrics::CASCADE),
-                ),
+                Wire::new(vec![Point::new(140, 100), Point::new(200, 100)]).with_label(Label::new(
+                    "span",
+                    Point::new(150, 104),
+                    FontMetrics::CASCADE,
+                )),
             );
             if page == 2 {
                 // OUT net: floating end east of the wire.
@@ -387,16 +389,20 @@ mod tests {
             .iter()
             .find(|c| c.name == "span")
             .expect("connector placed");
-        assert_eq!(edge_conn.at.x, cell.sheets[0].frame.lo.x, "on the sheet edge");
+        assert_eq!(
+            edge_conn.at.x, cell.sheets[0].frame.lo.x,
+            "on the sheet edge"
+        );
     }
 
     #[test]
     fn missing_port_wire_is_an_issue() {
         let mut d = design_two_pages();
-        d.cell_mut("top")
-            .unwrap()
-            .ports
-            .push(SymbolPin::new("GHOST", Point::new(0, 0), PinDir::Input));
+        d.cell_mut("top").unwrap().ports.push(SymbolPin::new(
+            "GHOST",
+            Point::new(0, 0),
+            PinDir::Input,
+        ));
         let mut stats = StageStats::default();
         run(&mut d, &MigrationConfig::default(), 10, &mut stats);
         assert!(stats.issues.iter().any(|i| i.contains("GHOST")));

@@ -34,15 +34,13 @@ pub fn run_standard(design: &mut Design, config: &MigrationConfig, stats: &mut S
                         }
                         PropRule::Delete { name } => inst.props.remove(name).is_some(),
                         PropRule::Rename { from, to } => inst.props.rename(from, to.clone()),
-                        PropRule::ChangeValue { name, from, to } => {
-                            match inst.props.get(name) {
-                                Some(v) if v.to_text() == *from => {
-                                    inst.props.set(name.clone(), PropValue::from_text(to));
-                                    true
-                                }
-                                _ => false,
+                        PropRule::ChangeValue { name, from, to } => match inst.props.get(name) {
+                            Some(v) if v.to_text() == *from => {
+                                inst.props.set(name.clone(), PropValue::from_text(to));
+                                true
                             }
-                        }
+                            _ => false,
+                        },
                     };
                     if changed {
                         stats.touched += 1;
@@ -128,7 +126,9 @@ pub fn run_callbacks(design: &mut Design, config: &MigrationConfig, stats: &mut 
     if !config.callback_script.is_empty() {
         let mut nohost = alang::host::NoHost;
         if let Err(e) = interp.eval_src(&config.callback_script, &mut nohost) {
-            stats.issues.push(format!("callback script failed to load: {e}"));
+            stats
+                .issues
+                .push(format!("callback script failed to load: {e}"));
             return;
         }
     }

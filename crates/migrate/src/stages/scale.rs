@@ -7,13 +7,23 @@
 //! adjust to the Composer grid spacing."
 
 use schematic::design::Design;
+use schematic::sheet::Sheet;
 use schematic::Library;
 
 use crate::report::StageStats;
 
 /// Scales every coordinate in the design by `num/den` and retags symbol
-/// grids to `target_grid`.
-pub fn run(design: &mut Design, num: i64, den: i64, target_grid: i64, stats: &mut StageStats) {
+/// grids to `target_grid`. Sheets are independent, so with
+/// `parallelism > 1` they are processed across that many threads; the
+/// result is identical at any thread count.
+pub fn run(
+    design: &mut Design,
+    num: i64,
+    den: i64,
+    target_grid: i64,
+    parallelism: usize,
+    stats: &mut StageStats,
+) {
     // Libraries: rebuild each symbol scaled.
     let lib_names: Vec<String> = design.libraries().map(|l| l.name.clone()).collect();
     for name in lib_names {
@@ -26,34 +36,43 @@ pub fn run(design: &mut Design, num: i64, den: i64, target_grid: i64, stats: &mu
         design.add_library(scaled);
     }
 
-    // Cells: instances, wires, connectors, labels, ports.
+    // Cell ports are few; scale them sequentially.
     for cell in design.cells_mut() {
         for port in &mut cell.ports {
             port.at = port.at.scaled(num, den);
         }
-        for sheet in &mut cell.sheets {
-            for inst in &mut sheet.instances {
-                inst.place.origin = inst.place.origin.scaled(num, den);
-                stats.touched += 1;
-            }
-            for wire in &mut sheet.wires {
-                for p in &mut wire.points {
-                    *p = p.scaled(num, den);
-                }
-                if let Some(label) = &mut wire.label {
-                    label.at = label.at.scaled(num, den);
-                }
-                stats.touched += 1;
-            }
-            for conn in &mut sheet.connectors {
-                conn.at = conn.at.scaled(num, den);
-                stats.touched += 1;
-            }
-            for ann in &mut sheet.annotations {
-                ann.at = ann.at.scaled(num, den);
-                stats.touched += 1;
-            }
+    }
+
+    // Sheets: instances, wires, connectors, labels — page-parallel.
+    let merged = super::run_sheets_parallel(design, parallelism, |sheet| {
+        let mut r = StageStats::default();
+        scale_sheet(sheet, num, den, &mut r);
+        r
+    });
+    stats.merge(merged);
+}
+
+fn scale_sheet(sheet: &mut Sheet, num: i64, den: i64, stats: &mut StageStats) {
+    for inst in &mut sheet.instances {
+        inst.place.origin = inst.place.origin.scaled(num, den);
+        stats.touched += 1;
+    }
+    for wire in &mut sheet.wires {
+        for p in &mut wire.points {
+            *p = p.scaled(num, den);
         }
+        if let Some(label) = &mut wire.label {
+            label.at = label.at.scaled(num, den);
+        }
+        stats.touched += 1;
+    }
+    for conn in &mut sheet.connectors {
+        conn.at = conn.at.scaled(num, den);
+        stats.touched += 1;
+    }
+    for ann in &mut sheet.annotations {
+        ann.at = ann.at.scaled(num, den);
+        stats.touched += 1;
     }
 }
 
@@ -70,7 +89,7 @@ mod tests {
         let c = DialectRules::cascade();
         let (num, den) = v.scale_to(&c);
         let mut stats = StageStats::default();
-        run(&mut d, num, den, c.grid, &mut stats);
+        run(&mut d, num, den, c.grid, 1, &mut stats);
         assert!(stats.touched > 0);
         for (_, cell) in d.cells() {
             for sheet in &cell.sheets {

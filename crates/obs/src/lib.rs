@@ -1,0 +1,435 @@
+//! # obs — zero-dependency observability substrate
+//!
+//! Section 2 of the paper frames migration as a *whole-library* problem:
+//! Exar translated thousands of sheets, and at that scale "it works"
+//! stops being useful telemetry. This crate turns opaque pipeline totals
+//! into machine-readable data: **spans** (named, monotonically timed
+//! intervals), **counters**, and **histograms**, all funneled through a
+//! [`Recorder`] trait so instrumented code never pays for what the
+//! caller doesn't want.
+//!
+//! * [`NullRecorder`] — the default: every operation is a no-op.
+//! * [`MemoryRecorder`] — thread-safe in-memory aggregation, with JSON
+//!   export for benchmark perf records.
+//!
+//! Instrumented code opens spans RAII-style:
+//!
+//! ```
+//! use obs::{MemoryRecorder, Recorder, Span};
+//!
+//! let rec = MemoryRecorder::new();
+//! {
+//!     let _span = Span::enter(&rec, "migrate.stage.scale");
+//!     rec.add_counter("objects.touched", 42);
+//! }
+//! assert_eq!(rec.span_count("migrate.stage.scale"), 1);
+//! assert_eq!(rec.counter("objects.touched"), 42);
+//! ```
+//!
+//! All sinks are `Send + Sync`; one recorder can be shared by every
+//! worker of a parallel batch run.
+
+use std::collections::BTreeMap;
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+/// A metrics/tracing sink.
+///
+/// Implementations must be cheap when unused and safe to share across
+/// threads. All instrumented crates (`migrate`, `workflow`, `bench`)
+/// accept `&dyn Recorder` so callers choose the sink at the boundary.
+pub trait Recorder: Send + Sync {
+    /// Records one finished span: a named interval that took `duration`.
+    fn record_span(&self, name: &str, duration: Duration);
+
+    /// Adds `delta` to the named monotonic counter.
+    fn add_counter(&self, name: &str, delta: u64);
+
+    /// Records one observation into the named histogram.
+    fn record_value(&self, name: &str, value: u64);
+}
+
+/// The do-nothing sink: instrumentation compiles to near-zero work.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NullRecorder;
+
+impl Recorder for NullRecorder {
+    fn record_span(&self, _name: &str, _duration: Duration) {}
+    fn add_counter(&self, _name: &str, _delta: u64) {}
+    fn record_value(&self, _name: &str, _value: u64) {}
+}
+
+/// One finished span measurement.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SpanRecord {
+    /// Span name (dotted path convention, e.g. `migrate.stage.scale`).
+    pub name: String,
+    /// Wall-clock duration, measured monotonically.
+    pub duration: Duration,
+}
+
+/// A power-of-two-bucketed histogram of `u64` observations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Histogram {
+    /// Bucket `i` counts observations in `[2^(i-1), 2^i)`; bucket 0
+    /// counts zeros and ones.
+    pub buckets: [u64; 64],
+    /// Observation count.
+    pub count: u64,
+    /// Sum of observations.
+    pub sum: u64,
+    /// Smallest observation.
+    pub min: u64,
+    /// Largest observation.
+    pub max: u64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram {
+            buckets: [0; 64],
+            count: 0,
+            sum: 0,
+            min: 0,
+            max: 0,
+        }
+    }
+}
+
+impl Histogram {
+    /// Records one observation.
+    pub fn observe(&mut self, value: u64) {
+        let idx = (64 - value.leading_zeros()).saturating_sub(1) as usize;
+        self.buckets[idx.min(63)] += 1;
+        if self.count == 0 {
+            self.min = value;
+            self.max = value;
+        } else {
+            self.min = self.min.min(value);
+            self.max = self.max.max(value);
+        }
+        self.count += 1;
+        self.sum = self.sum.saturating_add(value);
+    }
+
+    /// Arithmetic mean of observations (0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// Approximate quantile: the upper bound of the bucket containing
+    /// the `q`-quantile observation (`q` in `[0, 1]`).
+    pub fn quantile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let target = ((self.count as f64) * q.clamp(0.0, 1.0)).ceil().max(1.0) as u64;
+        let mut seen = 0;
+        for (i, &c) in self.buckets.iter().enumerate() {
+            seen += c;
+            if seen >= target {
+                return 1u64.checked_shl(i as u32).unwrap_or(u64::MAX);
+            }
+        }
+        self.max
+    }
+}
+
+#[derive(Debug, Default)]
+struct MemoryState {
+    spans: Vec<SpanRecord>,
+    counters: BTreeMap<String, u64>,
+    histograms: BTreeMap<String, Histogram>,
+}
+
+/// Thread-safe in-memory sink: aggregates spans, counters, and
+/// histograms for later inspection or JSON export.
+#[derive(Debug, Default)]
+pub struct MemoryRecorder {
+    state: Mutex<MemoryState>,
+}
+
+impl MemoryRecorder {
+    /// Creates an empty recorder.
+    pub fn new() -> Self {
+        MemoryRecorder::default()
+    }
+
+    /// All finished spans, in completion order.
+    pub fn spans(&self) -> Vec<SpanRecord> {
+        self.state.lock().unwrap().spans.clone()
+    }
+
+    /// Number of finished spans with this exact name.
+    pub fn span_count(&self, name: &str) -> usize {
+        self.state
+            .lock()
+            .unwrap()
+            .spans
+            .iter()
+            .filter(|s| s.name == name)
+            .count()
+    }
+
+    /// Total duration across all spans with this exact name.
+    pub fn span_total(&self, name: &str) -> Duration {
+        self.state
+            .lock()
+            .unwrap()
+            .spans
+            .iter()
+            .filter(|s| s.name == name)
+            .map(|s| s.duration)
+            .sum()
+    }
+
+    /// Sorted set of distinct span names seen.
+    pub fn span_names(&self) -> Vec<String> {
+        let st = self.state.lock().unwrap();
+        let mut names: Vec<String> = st.spans.iter().map(|s| s.name.clone()).collect();
+        names.sort();
+        names.dedup();
+        names
+    }
+
+    /// Current value of a counter (0 when never incremented).
+    pub fn counter(&self, name: &str) -> u64 {
+        self.state
+            .lock()
+            .unwrap()
+            .counters
+            .get(name)
+            .copied()
+            .unwrap_or(0)
+    }
+
+    /// Snapshot of every counter.
+    pub fn counters(&self) -> BTreeMap<String, u64> {
+        self.state.lock().unwrap().counters.clone()
+    }
+
+    /// Snapshot of one histogram, if any observation was recorded.
+    pub fn histogram(&self, name: &str) -> Option<Histogram> {
+        self.state.lock().unwrap().histograms.get(name).cloned()
+    }
+
+    /// Discards all recorded data.
+    pub fn reset(&self) {
+        *self.state.lock().unwrap() = MemoryState::default();
+    }
+
+    /// Serializes the aggregate state as a JSON object:
+    /// `{"spans": {name: {count, total_us}}, "counters": {...},
+    /// "histograms": {name: {count, sum, min, max, mean}}}`.
+    ///
+    /// Hand-rolled (the crate is zero-dependency); names follow the
+    /// dotted-path convention and need no escaping beyond quotes.
+    pub fn to_json(&self) -> String {
+        fn esc(s: &str) -> String {
+            s.replace('\\', "\\\\").replace('"', "\\\"")
+        }
+        let st = self.state.lock().unwrap();
+        let mut span_agg: BTreeMap<&str, (u64, u128)> = BTreeMap::new();
+        for s in &st.spans {
+            let e = span_agg.entry(&s.name).or_default();
+            e.0 += 1;
+            e.1 += s.duration.as_micros();
+        }
+        let spans = span_agg
+            .iter()
+            .map(|(name, (count, us))| {
+                format!("\"{}\":{{\"count\":{count},\"total_us\":{us}}}", esc(name))
+            })
+            .collect::<Vec<_>>()
+            .join(",");
+        let counters = st
+            .counters
+            .iter()
+            .map(|(k, v)| format!("\"{}\":{v}", esc(k)))
+            .collect::<Vec<_>>()
+            .join(",");
+        let hists = st
+            .histograms
+            .iter()
+            .map(|(k, h)| {
+                format!(
+                    "\"{}\":{{\"count\":{},\"sum\":{},\"min\":{},\"max\":{},\"mean\":{:.3}}}",
+                    esc(k),
+                    h.count,
+                    h.sum,
+                    h.min,
+                    h.max,
+                    h.mean()
+                )
+            })
+            .collect::<Vec<_>>()
+            .join(",");
+        format!("{{\"spans\":{{{spans}}},\"counters\":{{{counters}}},\"histograms\":{{{hists}}}}}")
+    }
+}
+
+impl Recorder for MemoryRecorder {
+    fn record_span(&self, name: &str, duration: Duration) {
+        self.state.lock().unwrap().spans.push(SpanRecord {
+            name: name.to_string(),
+            duration,
+        });
+    }
+
+    fn add_counter(&self, name: &str, delta: u64) {
+        *self
+            .state
+            .lock()
+            .unwrap()
+            .counters
+            .entry(name.to_string())
+            .or_insert(0) += delta;
+    }
+
+    fn record_value(&self, name: &str, value: u64) {
+        self.state
+            .lock()
+            .unwrap()
+            .histograms
+            .entry(name.to_string())
+            .or_default()
+            .observe(value);
+    }
+}
+
+/// An RAII span: opens on [`Span::enter`], records its duration into the
+/// recorder when dropped. Timing uses [`Instant`], which is monotonic.
+pub struct Span<'a> {
+    recorder: &'a dyn Recorder,
+    name: String,
+    start: Instant,
+}
+
+impl<'a> Span<'a> {
+    /// Opens a span.
+    pub fn enter(recorder: &'a dyn Recorder, name: impl Into<String>) -> Self {
+        Span {
+            recorder,
+            name: name.into(),
+            start: Instant::now(),
+        }
+    }
+
+    /// Elapsed time so far.
+    pub fn elapsed(&self) -> Duration {
+        self.start.elapsed()
+    }
+}
+
+impl Drop for Span<'_> {
+    fn drop(&mut self) {
+        self.recorder.record_span(&self.name, self.start.elapsed());
+    }
+}
+
+/// Times `f`, recording one span around the call.
+pub fn timed<T>(recorder: &dyn Recorder, name: &str, f: impl FnOnce() -> T) -> T {
+    let _span = Span::enter(recorder, name);
+    f()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::thread;
+
+    #[test]
+    fn null_recorder_accepts_everything() {
+        let r = NullRecorder;
+        r.record_span("x", Duration::from_millis(1));
+        r.add_counter("c", 5);
+        r.record_value("h", 7);
+    }
+
+    #[test]
+    fn spans_record_on_drop_with_monotonic_time() {
+        let rec = MemoryRecorder::new();
+        {
+            let s = Span::enter(&rec, "work");
+            assert_eq!(rec.span_count("work"), 0, "not recorded until drop");
+            let _ = s.elapsed();
+        }
+        assert_eq!(rec.span_count("work"), 1);
+        assert_eq!(rec.span_names(), vec!["work".to_string()]);
+    }
+
+    #[test]
+    fn counters_accumulate() {
+        let rec = MemoryRecorder::new();
+        rec.add_counter("a", 3);
+        rec.add_counter("a", 4);
+        rec.add_counter("b", 1);
+        assert_eq!(rec.counter("a"), 7);
+        assert_eq!(rec.counter("b"), 1);
+        assert_eq!(rec.counter("missing"), 0);
+        assert_eq!(rec.counters().len(), 2);
+    }
+
+    #[test]
+    fn histogram_buckets_and_stats() {
+        let mut h = Histogram::default();
+        for v in [0, 1, 2, 3, 900] {
+            h.observe(v);
+        }
+        assert_eq!(h.count, 5);
+        assert_eq!(h.sum, 906);
+        assert_eq!(h.min, 0);
+        assert_eq!(h.max, 900);
+        assert!((h.mean() - 181.2).abs() < 1e-9);
+        assert!(h.quantile(0.5) <= h.quantile(1.0));
+        // 900 lives in the [512, 1024) bucket -> index 9.
+        assert_eq!(h.buckets[9], 1);
+    }
+
+    #[test]
+    fn recorder_is_shareable_across_threads() {
+        let rec = MemoryRecorder::new();
+        thread::scope(|scope| {
+            for _ in 0..4 {
+                scope.spawn(|| {
+                    for _ in 0..100 {
+                        rec.add_counter("hits", 1);
+                    }
+                    timed(&rec, "thread.work", || ());
+                    rec.record_value("latency", 16);
+                });
+            }
+        });
+        assert_eq!(rec.counter("hits"), 400);
+        assert_eq!(rec.span_count("thread.work"), 4);
+        assert_eq!(rec.histogram("latency").unwrap().count, 4);
+    }
+
+    #[test]
+    fn json_export_is_well_formed_enough() {
+        let rec = MemoryRecorder::new();
+        rec.add_counter("designs", 64);
+        rec.record_span("stage.scale", Duration::from_micros(1500));
+        rec.record_span("stage.scale", Duration::from_micros(500));
+        rec.record_value("issues", 0);
+        let json = rec.to_json();
+        assert!(json.starts_with('{') && json.ends_with('}'));
+        assert!(json.contains("\"designs\":64"));
+        assert!(json.contains("\"stage.scale\":{\"count\":2,\"total_us\":2000}"));
+        assert!(json.contains("\"issues\":{\"count\":1"));
+    }
+
+    #[test]
+    fn reset_clears_state() {
+        let rec = MemoryRecorder::new();
+        rec.add_counter("a", 1);
+        rec.record_span("s", Duration::from_micros(1));
+        rec.reset();
+        assert_eq!(rec.counter("a"), 0);
+        assert!(rec.spans().is_empty());
+    }
+}

@@ -266,9 +266,21 @@ mod tests {
 
     fn nand() -> CellAbstract {
         CellAbstract::new("nand2", 6, 8)
-            .with_pin(AbsPin::new("A", Layer::M1, Rect::new(Pt::new(1, 2), Pt::new(1, 2))))
-            .with_pin(AbsPin::new("B", Layer::M1, Rect::new(Pt::new(3, 2), Pt::new(3, 2))))
-            .with_pin(AbsPin::new("Y", Layer::M1, Rect::new(Pt::new(5, 5), Pt::new(5, 5))))
+            .with_pin(AbsPin::new(
+                "A",
+                Layer::M1,
+                Rect::new(Pt::new(1, 2), Pt::new(1, 2)),
+            ))
+            .with_pin(AbsPin::new(
+                "B",
+                Layer::M1,
+                Rect::new(Pt::new(3, 2), Pt::new(3, 2)),
+            ))
+            .with_pin(AbsPin::new(
+                "Y",
+                Layer::M1,
+                Rect::new(Pt::new(5, 5), Pt::new(5, 5)),
+            ))
             .with_blockage(Layer::M1, Rect::new(Pt::new(0, 3), Pt::new(5, 4)))
     }
 

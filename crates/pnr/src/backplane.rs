@@ -210,10 +210,7 @@ fn demand(fp: &Floorplan, lib: &[CellAbstract]) -> BTreeMap<Feature, usize> {
     );
     bump(
         Feature::AspectRatio,
-        fp.blocks
-            .iter()
-            .filter(|b| b.aspect != (0.1, 10.0))
-            .count(),
+        fp.blocks.iter().filter(|b| b.aspect != (0.1, 10.0)).count(),
     );
     d
 }
@@ -352,9 +349,16 @@ mod tests {
 
     fn workload() -> (Floorplan, Vec<CellAbstract>) {
         let mut fp = Floorplan::new("soc", Rect::new(Pt::new(0, 0), Pt::new(99, 99)))
-            .with_rule(NetRule::new("clk").width(2).spacing(1).shielded().current(10.0))
+            .with_rule(
+                NetRule::new("clk")
+                    .width(2)
+                    .spacing(1)
+                    .shielded()
+                    .current(10.0),
+            )
             .with_rule(NetRule::new("data0").width(1));
-        fp.keepouts.push(Rect::new(Pt::new(40, 40), Pt::new(49, 49)));
+        fp.keepouts
+            .push(Rect::new(Pt::new(40, 40), Pt::new(49, 49)));
         fp.globals.insert("VDD".into(), GlobalStrategy::Ring);
         fp.globals.insert("CLK".into(), GlobalStrategy::Tree);
         let mut b = Block::new("cpu", Rect::new(Pt::new(0, 0), Pt::new(39, 39)));
@@ -394,9 +398,10 @@ mod tests {
         let (fp, lib) = workload();
         let out = run(&fp, &lib);
         let losses = out.losses(Tool::CellPath);
-        assert!(losses
-            .iter()
-            .any(|r| r.feature == Feature::NetSpacing), "{losses:?}");
+        assert!(
+            losses.iter().any(|r| r.feature == Feature::NetSpacing),
+            "{losses:?}"
+        );
         let grid_losses = out.losses(Tool::GridRoute);
         assert!(grid_losses.iter().all(|r| r.feature != Feature::NetSpacing));
         // Ring demanded and unsupported by CellPath.
@@ -424,7 +429,12 @@ mod tests {
         let cell = out.jobs.iter().find(|j| j.tool == Tool::CellPath).unwrap();
         // Pin A declared all-access but a blockage closes the north
         // corridor.
-        assert_eq!(cell.access_mismatches.len(), 1, "{:?}", cell.access_mismatches);
+        assert_eq!(
+            cell.access_mismatches.len(),
+            1,
+            "{:?}",
+            cell.access_mismatches
+        );
         let grid = out.jobs.iter().find(|j| j.tool == Tool::GridRoute).unwrap();
         assert!(grid.access_mismatches.is_empty());
     }

@@ -308,9 +308,7 @@ pub fn write_gridroute(fp: &Floorplan, lib: &[CellAbstract]) -> String {
         ));
         for pc in &block.pins {
             match &pc.loc {
-                PinLoc::Literal(p) => {
-                    o.push_str(&format!("BPIN {} AT {} {}\n", pc.pin, p.x, p.y))
-                }
+                PinLoc::Literal(p) => o.push_str(&format!("BPIN {} AT {} {}\n", pc.pin, p.x, p.y)),
                 // Edge constraints converted to a literal midpoint.
                 PinLoc::Edge(side) => {
                     let p = crate::backplane::edge_midpoint(&block.area, *side);
@@ -450,12 +448,14 @@ mod tests {
     use crate::geom::{Pt, Rect};
 
     fn tiny() -> (Floorplan, Vec<CellAbstract>) {
-        let mut fp = Floorplan::new("t", Rect::new(Pt::new(0, 0), Pt::new(49, 49)))
-            .with_rule(crate::floorplan::NetRule::new("clk").width(2).spacing(1).shielded());
-        fp.globals
-            .insert("VDD".into(), GlobalStrategy::Ring);
-        fp.globals
-            .insert("CLK".into(), GlobalStrategy::Tree);
+        let mut fp = Floorplan::new("t", Rect::new(Pt::new(0, 0), Pt::new(49, 49))).with_rule(
+            crate::floorplan::NetRule::new("clk")
+                .width(2)
+                .spacing(1)
+                .shielded(),
+        );
+        fp.globals.insert("VDD".into(), GlobalStrategy::Ring);
+        fp.globals.insert("CLK".into(), GlobalStrategy::Tree);
         let mut pin = AbsPin::new("A", Layer::M1, Rect::new(Pt::new(1, 1), Pt::new(1, 1)));
         pin.props.must_connect = true;
         let lib = vec![CellAbstract::new("inv", 4, 6).with_pin(pin)];
@@ -464,9 +464,18 @@ mod tests {
 
     #[test]
     fn tools_disagree_on_key_features() {
-        assert_eq!(Tool::GridRoute.support(Feature::NetSpacing), Support::Native);
-        assert_eq!(Tool::CellPath.support(Feature::NetSpacing), Support::Unsupported);
-        assert_eq!(Tool::GridRoute.support(Feature::Shielding), Support::Emulated);
+        assert_eq!(
+            Tool::GridRoute.support(Feature::NetSpacing),
+            Support::Native
+        );
+        assert_eq!(
+            Tool::CellPath.support(Feature::NetSpacing),
+            Support::Unsupported
+        );
+        assert_eq!(
+            Tool::GridRoute.support(Feature::Shielding),
+            Support::Emulated
+        );
         assert_eq!(Tool::CellPath.support(Feature::Shielding), Support::Native);
         assert_eq!(
             Tool::GridRoute.support(Feature::PinAccessProperty),

@@ -182,10 +182,11 @@ mod tests {
     /// hand placements can sit one track apart without overlapping.
     fn parallel_problem() -> (PhysNetlist, Floorplan) {
         let mut nl = PhysNetlist::default();
-        let a = nl.add_abstract(
-            CellAbstract::new("pad", 1, 1)
-                .with_pin(AbsPin::new("P", Layer::M1, Rect::new(Pt::new(0, 0), Pt::new(0, 0)))),
-        );
+        let a = nl.add_abstract(CellAbstract::new("pad", 1, 1).with_pin(AbsPin::new(
+            "P",
+            Layer::M1,
+            Rect::new(Pt::new(0, 0), Pt::new(0, 0)),
+        )));
         for i in 0..4 {
             nl.add_cell(format!("p{i}"), a);
         }
@@ -208,10 +209,7 @@ mod tests {
         let report = check(&r, &fp);
         // Two straight wires at y=10 and y=13 don't couple (distance 3),
         // but paths may jog; just assert symmetry of the metric.
-        assert_eq!(
-            report.coupling_of("agg") > 0,
-            report.coupling_of("vic") > 0
-        );
+        assert_eq!(report.coupling_of("agg") > 0, report.coupling_of("vic") > 0);
     }
 
     #[test]
@@ -273,8 +271,7 @@ mod tests {
         nl.cells[2].loc = Some(Pt::new(2, 20));
         nl.cells[3].loc = Some(Pt::new(30, 20));
         // agg carries 10 mA: needs width >= 3 (4 mA per track).
-        let fp = Floorplan::new("f", fp0.die)
-            .with_rule(NetRule::new("agg").width(3).current(10.0));
+        let fp = Floorplan::new("f", fp0.die).with_rule(NetRule::new("agg").width(3).current(10.0));
 
         let mut rules = BTreeMap::new();
         rules.insert(

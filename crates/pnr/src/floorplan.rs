@@ -222,7 +222,11 @@ mod tests {
 
     #[test]
     fn net_rule_builder() {
-        let r = NetRule::new("clk").width(2).spacing(2).shielded().current(12.0);
+        let r = NetRule::new("clk")
+            .width(2)
+            .spacing(2)
+            .shielded()
+            .current(12.0);
         assert_eq!(r.width, 2);
         assert_eq!(r.spacing, 2);
         assert!(r.shield);
@@ -234,8 +238,10 @@ mod tests {
         let mut fp = Floorplan::new("f", Rect::new(Pt::new(0, 0), Pt::new(99, 99)));
         fp.blocks
             .push(Block::new("ok", Rect::new(Pt::new(0, 0), Pt::new(30, 30))));
-        fp.blocks
-            .push(Block::new("overlap", Rect::new(Pt::new(20, 20), Pt::new(50, 50))));
+        fp.blocks.push(Block::new(
+            "overlap",
+            Rect::new(Pt::new(20, 20), Pt::new(50, 50)),
+        ));
         fp.blocks.push(Block::new(
             "outside",
             Rect::new(Pt::new(90, 90), Pt::new(120, 95)),

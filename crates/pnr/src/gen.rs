@@ -1,7 +1,9 @@
 //! Synthetic P&R workload generation.
 
 use crate::abstracts::{AbsPin, CellAbstract, ConnProps, Layer};
-use crate::floorplan::{Block, EdgeSide, Floorplan, GlobalStrategy, NetRule, PinConstraint, PinLoc};
+use crate::floorplan::{
+    Block, EdgeSide, Floorplan, GlobalStrategy, NetRule, PinConstraint, PinLoc,
+};
 use crate::geom::{Pt, Rect};
 use crate::netlist::PhysNetlist;
 

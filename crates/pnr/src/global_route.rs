@@ -182,10 +182,13 @@ mod tests {
 
         // GridRoute supports rings but not straps.
         let grid_supports = |s: GlobalStrategy| match s {
-            GlobalStrategy::Ring => Tool::GridRoute.support(Feature::GlobalRing)
-                != crate::dialect::Support::Unsupported,
-            GlobalStrategy::Strap => Tool::GridRoute.support(Feature::GlobalStrap)
-                != crate::dialect::Support::Unsupported,
+            GlobalStrategy::Ring => {
+                Tool::GridRoute.support(Feature::GlobalRing) != crate::dialect::Support::Unsupported
+            }
+            GlobalStrategy::Strap => {
+                Tool::GridRoute.support(Feature::GlobalStrap)
+                    != crate::dialect::Support::Unsupported
+            }
             GlobalStrategy::Tree => true,
         };
         let mut g1 = grid_for(&fp);

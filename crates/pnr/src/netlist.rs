@@ -121,8 +121,16 @@ mod tests {
         let mut nl = PhysNetlist::default();
         let a = nl.add_abstract(
             CellAbstract::new("inv", 4, 6)
-                .with_pin(AbsPin::new("A", Layer::M1, Rect::new(Pt::new(0, 2), Pt::new(0, 2))))
-                .with_pin(AbsPin::new("Y", Layer::M1, Rect::new(Pt::new(3, 2), Pt::new(3, 2)))),
+                .with_pin(AbsPin::new(
+                    "A",
+                    Layer::M1,
+                    Rect::new(Pt::new(0, 2), Pt::new(0, 2)),
+                ))
+                .with_pin(AbsPin::new(
+                    "Y",
+                    Layer::M1,
+                    Rect::new(Pt::new(3, 2), Pt::new(3, 2)),
+                )),
         );
         let c0 = nl.add_cell("u0", a);
         let c1 = nl.add_cell("u1", a);
@@ -150,10 +158,7 @@ mod tests {
     fn pin_location_resolution() {
         let mut nl = problem();
         nl.cells[0].loc = Some(Pt::new(5, 5));
-        assert_eq!(
-            nl.pin_location(&(0, "Y".into())),
-            Some(Pt::new(8, 7))
-        );
+        assert_eq!(nl.pin_location(&(0, "Y".into())), Some(Pt::new(8, 7)));
         assert_eq!(nl.pin_location(&(1, "A".into())), None);
     }
 }

@@ -89,8 +89,16 @@ mod tests {
         let mut nl = PhysNetlist::default();
         let a = nl.add_abstract(
             CellAbstract::new("inv", 4, 6)
-                .with_pin(AbsPin::new("A", Layer::M1, Rect::new(Pt::new(0, 2), Pt::new(0, 2))))
-                .with_pin(AbsPin::new("Y", Layer::M1, Rect::new(Pt::new(3, 2), Pt::new(3, 2)))),
+                .with_pin(AbsPin::new(
+                    "A",
+                    Layer::M1,
+                    Rect::new(Pt::new(0, 2), Pt::new(0, 2)),
+                ))
+                .with_pin(AbsPin::new(
+                    "Y",
+                    Layer::M1,
+                    Rect::new(Pt::new(3, 2), Pt::new(3, 2)),
+                )),
         );
         for i in 0..cells {
             nl.add_cell(format!("u{i}"), a);
@@ -116,10 +124,7 @@ mod tests {
             .map(|c| {
                 let a = &nl.lib[c.abs].boundary;
                 let p = c.loc.unwrap();
-                Rect::new(
-                    p,
-                    Pt::new(p.x + a.width() - 1, p.y + a.height() - 1),
-                )
+                Rect::new(p, Pt::new(p.x + a.width() - 1, p.y + a.height() - 1))
             })
             .collect();
         for (i, a) in rects.iter().enumerate() {
@@ -140,10 +145,7 @@ mod tests {
         for c in &nl.cells {
             let p = c.loc.unwrap();
             let a = &nl.lib[c.abs].boundary;
-            let footprint = Rect::new(
-                p,
-                Pt::new(p.x + a.width() - 1, p.y + a.height() - 1),
-            );
+            let footprint = Rect::new(p, Pt::new(p.x + a.width() - 1, p.y + a.height() - 1));
             assert!(!footprint.intersects(zone), "{} at {p}", c.name);
         }
     }

@@ -307,10 +307,7 @@ pub fn route(
             grid.set(tl, tp, net_id);
             match bfs(&grid, net_id, (tl, tp), &rule) {
                 Some(path) => {
-                    result.vias += path
-                        .windows(2)
-                        .filter(|w| w[0].0 != w[1].0)
-                        .count();
+                    result.vias += path.windows(2).filter(|w| w[0].0 != w[1].0).count();
                     for &(l, p) in &path {
                         grid.set(l, p, net_id);
                         net_cells.push((l, p));
@@ -447,8 +444,16 @@ mod tests {
         let mut nl = PhysNetlist::default();
         let a = nl.add_abstract(
             CellAbstract::new("inv", 4, 6)
-                .with_pin(AbsPin::new("A", Layer::M1, Rect::new(Pt::new(0, 2), Pt::new(0, 2))))
-                .with_pin(AbsPin::new("Y", Layer::M1, Rect::new(Pt::new(3, 2), Pt::new(3, 2)))),
+                .with_pin(AbsPin::new(
+                    "A",
+                    Layer::M1,
+                    Rect::new(Pt::new(0, 2), Pt::new(0, 2)),
+                ))
+                .with_pin(AbsPin::new(
+                    "Y",
+                    Layer::M1,
+                    Rect::new(Pt::new(3, 2), Pt::new(3, 2)),
+                )),
         );
         for i in 0..cells {
             nl.add_cell(format!("u{i}"), a);
@@ -538,10 +543,11 @@ mod tests {
     #[test]
     fn impossible_route_reports_failure() {
         let mut nl = PhysNetlist::default();
-        let a = nl.add_abstract(
-            CellAbstract::new("pad", 2, 2)
-                .with_pin(AbsPin::new("P", Layer::M1, Rect::new(Pt::new(0, 0), Pt::new(0, 0)))),
-        );
+        let a = nl.add_abstract(CellAbstract::new("pad", 2, 2).with_pin(AbsPin::new(
+            "P",
+            Layer::M1,
+            Rect::new(Pt::new(0, 0), Pt::new(0, 0)),
+        )));
         let c0 = nl.add_cell("l", a);
         let c1 = nl.add_cell("r", a);
         nl.cells[0].loc = Some(Pt::new(1, 5));

@@ -12,37 +12,23 @@
 //!    (inst "I1" (of "stdlib" "inv" "symbol") (at 0 0) (orient R0)))))
 //! ```
 
-use std::fmt;
-
 use crate::design::{CellSchematic, Design, Library};
 use crate::dialect::DialectId;
 use crate::geom::{Orient, Point};
+use crate::parse::ParseError;
 use crate::property::{FontMetrics, Label, PropValue};
 use crate::sheet::{Connector, ConnectorKind, Instance, Sheet, Wire};
 use crate::symbol::{PinDir, SymbolDef, SymbolPin, SymbolRef};
 
-/// Error parsing a Cascade file.
-#[derive(Debug, Clone, PartialEq, Eq)]
-pub struct ParseCascadeError {
-    /// Problem description, with enough context to locate the record.
-    pub message: String,
-}
+/// Former Cascade-specific error type, now the shared [`ParseError`].
+#[deprecated(note = "use `schematic::ParseError`")]
+pub type ParseCascadeError = ParseError;
 
-impl ParseCascadeError {
-    fn new(message: impl Into<String>) -> Self {
-        ParseCascadeError {
-            message: message.into(),
-        }
-    }
+/// A structural error after lexing; the record context goes in the
+/// message since s-expression positions are not tracked past the lexer.
+fn perr(message: impl Into<String>) -> ParseError {
+    ParseError::new("cascade", message)
 }
-
-impl fmt::Display for ParseCascadeError {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "cascade: {}", self.message)
-    }
-}
-
-impl std::error::Error for ParseCascadeError {}
 
 /// A parsed s-expression.
 #[derive(Debug, Clone, PartialEq)]
@@ -69,92 +55,167 @@ impl Sx {
             _ => &[],
         }
     }
-    fn as_str(&self) -> Result<&str, ParseCascadeError> {
+    fn as_str(&self) -> Result<&str, ParseError> {
         match self {
             Sx::Atom(s) | Sx::Str(s) => Ok(s),
-            other => Err(ParseCascadeError::new(format!(
-                "expected string, got {other:?}"
-            ))),
+            other => Err(perr(format!("expected string, got {other:?}"))),
         }
     }
-    fn as_int(&self) -> Result<i64, ParseCascadeError> {
+    fn as_int(&self) -> Result<i64, ParseError> {
         match self {
             Sx::Int(i) => Ok(*i),
-            other => Err(ParseCascadeError::new(format!(
-                "expected integer, got {other:?}"
-            ))),
+            other => Err(perr(format!("expected integer, got {other:?}"))),
         }
     }
 }
 
-fn lex_parse(text: &str) -> Result<Vec<Sx>, ParseCascadeError> {
-    let mut stack: Vec<Vec<Sx>> = vec![Vec::new()];
-    let mut chars = text.chars().peekable();
-    while let Some(&c) = chars.peek() {
+/// Char stream that tracks 1-based line/column for lexer errors.
+struct Lexer<'a> {
+    chars: std::iter::Peekable<std::str::Chars<'a>>,
+    line: usize,
+    col: usize,
+}
+
+impl<'a> Lexer<'a> {
+    fn new(text: &'a str) -> Self {
+        Lexer {
+            chars: text.chars().peekable(),
+            line: 1,
+            col: 1,
+        }
+    }
+
+    fn peek(&mut self) -> Option<char> {
+        self.chars.peek().copied()
+    }
+
+    fn bump(&mut self) -> Option<char> {
+        let c = self.chars.next();
+        match c {
+            Some('\n') => {
+                self.line += 1;
+                self.col = 1;
+            }
+            Some(_) => self.col += 1,
+            None => {}
+        }
+        c
+    }
+
+    fn err(&self, message: impl Into<String>) -> ParseError {
+        ParseError::at("cascade", message, self.line, self.col)
+    }
+}
+
+/// One open list under construction, remembering where its `(` was so
+/// an unclosed paren can be reported at its source position.
+struct Frame {
+    items: Vec<Sx>,
+    open: (usize, usize),
+}
+
+fn lex_parse(text: &str) -> Result<Vec<Sx>, ParseError> {
+    let mut lx = Lexer::new(text);
+    let mut stack: Vec<Frame> = vec![Frame {
+        items: Vec::new(),
+        open: (1, 1),
+    }];
+    while let Some(c) = lx.peek() {
         match c {
             '(' => {
-                chars.next();
-                stack.push(Vec::new());
+                let open = (lx.line, lx.col);
+                lx.bump();
+                stack.push(Frame {
+                    items: Vec::new(),
+                    open,
+                });
             }
             ')' => {
-                chars.next();
-                let done = stack
-                    .pop()
-                    .ok_or_else(|| ParseCascadeError::new("unbalanced `)`"))?;
-                let parent = stack
+                if stack.len() < 2 {
+                    return Err(lx.err("unbalanced `)`"));
+                }
+                lx.bump();
+                let done = stack.pop().expect("checked depth").items;
+                stack
                     .last_mut()
-                    .ok_or_else(|| ParseCascadeError::new("unbalanced `)`"))?;
-                parent.push(Sx::List(done));
+                    .expect("checked depth")
+                    .items
+                    .push(Sx::List(done));
             }
             '"' => {
-                chars.next();
+                let open = (lx.line, lx.col);
+                lx.bump();
                 let mut s = String::new();
                 loop {
-                    match chars.next() {
-                        Some('\\') => match chars.next() {
+                    match lx.bump() {
+                        Some('\\') => match lx.bump() {
                             Some('n') => s.push('\n'),
                             Some(ch) => s.push(ch),
-                            None => return Err(ParseCascadeError::new("unterminated string")),
+                            None => {
+                                return Err(ParseError::at(
+                                    "cascade",
+                                    "unterminated string",
+                                    open.0,
+                                    open.1,
+                                ))
+                            }
                         },
                         Some('"') => break,
                         Some(ch) => s.push(ch),
-                        None => return Err(ParseCascadeError::new("unterminated string")),
+                        None => {
+                            return Err(ParseError::at(
+                                "cascade",
+                                "unterminated string",
+                                open.0,
+                                open.1,
+                            ))
+                        }
                     }
                 }
-                stack.last_mut().expect("stack nonempty").push(Sx::Str(s));
+                stack
+                    .last_mut()
+                    .expect("stack nonempty")
+                    .items
+                    .push(Sx::Str(s));
             }
             ';' => {
                 // Comment to end of line.
-                for ch in chars.by_ref() {
+                while let Some(ch) = lx.bump() {
                     if ch == '\n' {
                         break;
                     }
                 }
             }
             c if c.is_whitespace() => {
-                chars.next();
+                lx.bump();
             }
             _ => {
                 let mut tok = String::new();
-                while let Some(&ch) = chars.peek() {
+                while let Some(ch) = lx.peek() {
                     if ch.is_whitespace() || ch == '(' || ch == ')' || ch == '"' {
                         break;
                     }
                     tok.push(ch);
-                    chars.next();
+                    lx.bump();
                 }
                 let sx = match tok.parse::<i64>() {
                     Ok(i) => Sx::Int(i),
                     Err(_) => Sx::Atom(tok),
                 };
-                stack.last_mut().expect("stack nonempty").push(sx);
+                stack.last_mut().expect("stack nonempty").items.push(sx);
             }
         }
     }
     if stack.len() != 1 {
-        return Err(ParseCascadeError::new("unbalanced `(`"));
+        let unclosed = stack.last().expect("stack nonempty").open;
+        return Err(ParseError::at(
+            "cascade",
+            "unbalanced `(`",
+            unclosed.0,
+            unclosed.1,
+        ));
     }
-    Ok(stack.pop().expect("single frame"))
+    Ok(stack.pop().expect("single frame").items)
 }
 
 fn esc(s: &str) -> String {
@@ -291,35 +352,34 @@ fn find_all<'a>(items: &'a [Sx], tag: &'a str) -> impl Iterator<Item = &'a Sx> {
     items.iter().filter(move |s| s.tag() == Some(tag))
 }
 
-fn get_at(items: &[Sx]) -> Result<Point, ParseCascadeError> {
-    let at = find(items, "at").ok_or_else(|| ParseCascadeError::new("missing (at ...)"))?;
+fn get_at(items: &[Sx]) -> Result<Point, ParseError> {
+    let at = find(items, "at").ok_or_else(|| perr("missing (at ...)"))?;
     let it = at.items();
     if it.len() != 3 {
-        return Err(ParseCascadeError::new("(at x y) needs two coordinates"));
+        return Err(perr("(at x y) needs two coordinates"));
     }
     Ok(Point::new(it[1].as_int()?, it[2].as_int()?))
 }
 
-fn get_orient(items: &[Sx]) -> Result<Orient, ParseCascadeError> {
+fn get_orient(items: &[Sx]) -> Result<Orient, ParseError> {
     match find(items, "orient") {
         Some(o) => {
             let code = o.items().get(1).map(|s| s.as_str()).transpose()?;
-            let code = code.ok_or_else(|| ParseCascadeError::new("empty (orient)"))?;
-            Orient::parse(code)
-                .ok_or_else(|| ParseCascadeError::new(format!("bad orientation `{code}`")))
+            let code = code.ok_or_else(|| perr("empty (orient)"))?;
+            Orient::parse(code).ok_or_else(|| perr(format!("bad orientation `{code}`")))
         }
         None => Ok(Orient::R0),
     }
 }
 
-fn get_dir(items: &[Sx]) -> Result<PinDir, ParseCascadeError> {
-    let d = find(items, "dir").ok_or_else(|| ParseCascadeError::new("missing (dir ...)"))?;
+fn get_dir(items: &[Sx]) -> Result<PinDir, ParseError> {
+    let d = find(items, "dir").ok_or_else(|| perr("missing (dir ...)"))?;
     let kw = d
         .items()
         .get(1)
-        .ok_or_else(|| ParseCascadeError::new("empty (dir)"))?
+        .ok_or_else(|| perr("empty (dir)"))?
         .as_str()?;
-    PinDir::parse(kw).ok_or_else(|| ParseCascadeError::new(format!("bad direction `{kw}`")))
+    PinDir::parse(kw).ok_or_else(|| perr(format!("bad direction `{kw}`")))
 }
 
 /// Parses Cascade text into a [`Design`].
@@ -327,12 +387,12 @@ fn get_dir(items: &[Sx]) -> Result<PinDir, ParseCascadeError> {
 /// # Errors
 ///
 /// Returns the first structural error encountered.
-pub fn parse(text: &str) -> Result<Design, ParseCascadeError> {
+pub fn parse(text: &str) -> Result<Design, ParseError> {
     let top_forms = lex_parse(text)?;
     let root = top_forms
         .iter()
         .find(|f| f.tag() == Some("cascade"))
-        .ok_or_else(|| ParseCascadeError::new("no (cascade ...) form"))?;
+        .ok_or_else(|| perr("no (cascade ...) form"))?;
     let mut design = Design::new("", DialectId::Cascade);
     let font = FontMetrics::CASCADE;
     let mut top = String::new();
@@ -356,23 +416,20 @@ pub fn parse(text: &str) -> Result<Design, ParseCascadeError> {
                     let cell = si[1].as_str()?.to_string();
                     let view = si[2].as_str()?.to_string();
                     let grid = find(si, "grid")
-                        .ok_or_else(|| ParseCascadeError::new("symbol missing (grid)"))?
+                        .ok_or_else(|| perr("symbol missing (grid)"))?
                         .items()[1]
                         .as_int()?;
                     let mut sym =
                         SymbolDef::new(SymbolRef::new(lib.name.clone(), cell, view), grid);
                     for p in find_all(si, "pin") {
                         let pi = p.items();
-                        sym.pins.push(SymbolPin::new(
-                            pi[1].as_str()?,
-                            get_at(pi)?,
-                            get_dir(pi)?,
-                        ));
+                        sym.pins
+                            .push(SymbolPin::new(pi[1].as_str()?, get_at(pi)?, get_dir(pi)?));
                     }
                     for b in find_all(si, "body") {
                         let bi = b.items();
                         if bi.len() != 5 {
-                            return Err(ParseCascadeError::new("(body ax ay bx by)"));
+                            return Err(perr("(body ax ay bx by)"));
                         }
                         sym.body.push((
                             Point::new(bi[1].as_int()?, bi[2].as_int()?),
@@ -406,16 +463,11 @@ pub fn parse(text: &str) -> Result<Design, ParseCascadeError> {
                     for inst in find_all(pi, "inst") {
                         let ii = inst.items();
                         let name = ii[1].as_str()?.to_string();
-                        let of = find(ii, "of")
-                            .ok_or_else(|| ParseCascadeError::new("inst missing (of)"))?;
+                        let of = find(ii, "of").ok_or_else(|| perr("inst missing (of)"))?;
                         let oi = of.items();
-                        let sref = SymbolRef::new(
-                            oi[1].as_str()?,
-                            oi[2].as_str()?,
-                            oi[3].as_str()?,
-                        );
-                        let mut i =
-                            Instance::new(name, sref, get_at(ii)?, get_orient(ii)?);
+                        let sref =
+                            SymbolRef::new(oi[1].as_str()?, oi[2].as_str()?, oi[3].as_str()?);
+                        let mut i = Instance::new(name, sref, get_at(ii)?, get_orient(ii)?);
                         for pr in find_all(ii, "prop") {
                             let pri = pr.items();
                             i.props
@@ -425,11 +477,10 @@ pub fn parse(text: &str) -> Result<Design, ParseCascadeError> {
                     }
                     for w in find_all(pi, "wire") {
                         let wi = w.items();
-                        let pts = find(wi, "pts")
-                            .ok_or_else(|| ParseCascadeError::new("wire missing (pts)"))?;
+                        let pts = find(wi, "pts").ok_or_else(|| perr("wire missing (pts)"))?;
                         let coords = &pts.items()[1..];
                         if coords.len() < 4 || coords.len() % 2 != 0 {
-                            return Err(ParseCascadeError::new("wire needs >= 2 points"));
+                            return Err(perr("wire needs >= 2 points"));
                         }
                         let mut points = Vec::with_capacity(coords.len() / 2);
                         for pair in coords.chunks(2) {
@@ -438,17 +489,15 @@ pub fn parse(text: &str) -> Result<Design, ParseCascadeError> {
                         let mut wire = Wire::new(points);
                         if let Some(l) = find(wi, "label") {
                             let li = l.items();
-                            wire = wire
-                                .with_label(Label::new(li[1].as_str()?, get_at(li)?, font));
+                            wire = wire.with_label(Label::new(li[1].as_str()?, get_at(li)?, font));
                         }
                         sheet.wires.push(wire);
                     }
                     for cform in find_all(pi, "conn") {
                         let ci = cform.items();
                         let kw = ci[1].as_str()?;
-                        let kind = ConnectorKind::parse(kw).ok_or_else(|| {
-                            ParseCascadeError::new(format!("bad connector kind `{kw}`"))
-                        })?;
+                        let kind = ConnectorKind::parse(kw)
+                            .ok_or_else(|| perr(format!("bad connector kind `{kw}`")))?;
                         let mut conn = Connector::new(kind, ci[2].as_str()?, get_at(ci)?);
                         conn.orient = get_orient(ci)?;
                         sheet.connectors.push(conn);
@@ -502,16 +551,22 @@ mod tests {
         inst.props.set("SIZE", "x4");
         s.instances.push(inst);
         s.wires.push(
-            Wire::new(vec![Point::new(0, 0), Point::new(40, 0)])
-                .with_label(Label::new("net \"a\"", Point::new(8, 4), FontMetrics::CASCADE)),
+            Wire::new(vec![Point::new(0, 0), Point::new(40, 0)]).with_label(Label::new(
+                "net \"a\"",
+                Point::new(8, 4),
+                FontMetrics::CASCADE,
+            )),
         );
         s.connectors.push(Connector::new(
             ConnectorKind::HierOutput,
             "OUT",
             Point::new(40, 0),
         ));
-        s.annotations
-            .push(Label::new("multi\nline", Point::new(0, 100), FontMetrics::CASCADE));
+        s.annotations.push(Label::new(
+            "multi\nline",
+            Point::new(0, 100),
+            FontMetrics::CASCADE,
+        ));
         cell.sheets.push(s);
         d.add_cell(cell);
         d.set_top("top");

@@ -176,13 +176,12 @@ pub fn extract_cell(design: &Design, cell: &CellSchematic, rules: &DialectRules)
     let mut errors = Vec::new();
     let mut uf = UnionFind::new();
     let mut nodes: BTreeMap<(u32, i64, i64), usize> = BTreeMap::new();
-    let node_of = |uf: &mut UnionFind,
-                       nodes: &mut BTreeMap<(u32, i64, i64), usize>,
-                       page: u32,
-                       x: i64,
-                       y: i64| {
-        *nodes.entry((page, x, y)).or_insert_with(|| uf.make())
-    };
+    let node_of =
+        |uf: &mut UnionFind,
+         nodes: &mut BTreeMap<(u32, i64, i64), usize>,
+         page: u32,
+         x: i64,
+         y: i64| { *nodes.entry((page, x, y)).or_insert_with(|| uf.make()) };
 
     // Pass 1: register geometry and union wire paths.
     struct PinSite {
@@ -264,10 +263,10 @@ pub fn extract_cell(design: &Design, cell: &CellSchematic, rules: &DialectRules)
     // Pass 3: gather cluster attributes.
     let mut clusters: BTreeMap<usize, Cluster> = BTreeMap::new();
     let cluster_of = |uf: &mut UnionFind,
-                          clusters: &mut BTreeMap<usize, Cluster>,
-                          node: usize,
-                          page: u32,
-                          at: (i64, i64)|
+                      clusters: &mut BTreeMap<usize, Cluster>,
+                      node: usize,
+                      page: u32,
+                      at: (i64, i64)|
      -> usize {
         let root = uf.find(node);
         let c = clusters.entry(root).or_insert_with(|| Cluster {
@@ -576,7 +575,10 @@ pub fn extract_cell(design: &Design, cell: &CellSchematic, rules: &DialectRules)
 /// Extracts every cell of a design into a canonical [`Netlist`].
 ///
 /// Returns the netlist plus all per-cell extraction errors.
-pub fn extract_design(design: &Design, rules: &DialectRules) -> (Netlist, Vec<(String, ConnError)>) {
+pub fn extract_design(
+    design: &Design,
+    rules: &DialectRules,
+) -> (Netlist, Vec<(String, ConnError)>) {
     let mut netlist = Netlist::new(design.name.clone());
     let mut errors = Vec::new();
     for (name, cell) in design.cells() {
@@ -640,10 +642,18 @@ mod tests {
         let mut cell = CellSchematic::new("top");
         let mut s = Sheet::new(1);
         let sym = SymbolRef::new("basiclib", "inv", "symbol");
-        s.instances
-            .push(Instance::new("I1", sym.clone(), Point::new(0, 0), Orient::R0));
-        s.instances
-            .push(Instance::new("I2", sym.clone(), Point::new(160, 0), Orient::R0));
+        s.instances.push(Instance::new(
+            "I1",
+            sym.clone(),
+            Point::new(0, 0),
+            Orient::R0,
+        ));
+        s.instances.push(Instance::new(
+            "I2",
+            sym.clone(),
+            Point::new(160, 0),
+            Orient::R0,
+        ));
         // I1.Y at (64,0) to I2.A at (160,0).
         s.wires.push(
             Wire::new(vec![Point::new(64, 0), Point::new(160, 0)])
@@ -668,8 +678,12 @@ mod tests {
         let mut cell = CellSchematic::new("top");
         let mut s = Sheet::new(1);
         let sym = SymbolRef::new("basiclib", "inv", "symbol");
-        s.instances
-            .push(Instance::new("I1", sym.clone(), Point::new(0, 0), Orient::R0));
+        s.instances.push(Instance::new(
+            "I1",
+            sym.clone(),
+            Point::new(0, 0),
+            Orient::R0,
+        ));
         // Horizontal wire through I1.Y; a vertical wire T-ing into its middle.
         s.wires
             .push(Wire::new(vec![Point::new(64, 0), Point::new(192, 0)]));
@@ -697,15 +711,23 @@ mod tests {
             let mut cell = CellSchematic::new("top");
             let sym = SymbolRef::new("basiclib", "inv", "symbol");
             let mut s1 = Sheet::new(1);
-            s1.instances
-                .push(Instance::new("I1", sym.clone(), Point::new(0, 0), Orient::R0));
+            s1.instances.push(Instance::new(
+                "I1",
+                sym.clone(),
+                Point::new(0, 0),
+                Orient::R0,
+            ));
             s1.wires.push(
                 Wire::new(vec![Point::new(64, 0), Point::new(160, 0)])
                     .with_label(label("sig", Point::new(96, 4))),
             );
             let mut s2 = Sheet::new(2);
-            s2.instances
-                .push(Instance::new("I2", sym.clone(), Point::new(320, 0), Orient::R0));
+            s2.instances.push(Instance::new(
+                "I2",
+                sym.clone(),
+                Point::new(320, 0),
+                Orient::R0,
+            ));
             s2.wires.push(
                 Wire::new(vec![Point::new(240, 0), Point::new(320, 0)])
                     .with_label(label("sig", Point::new(260, 4))),
@@ -735,11 +757,18 @@ mod tests {
         let mut cell = CellSchematic::new("top");
         let sym = SymbolRef::new("basiclib", "inv", "symbol");
         let mut s1 = Sheet::new(1);
-        s1.instances
-            .push(Instance::new("I1", sym.clone(), Point::new(0, 0), Orient::R0));
+        s1.instances.push(Instance::new(
+            "I1",
+            sym.clone(),
+            Point::new(0, 0),
+            Orient::R0,
+        ));
         s1.wires.push(
-            Wire::new(vec![Point::new(64, 0), Point::new(160, 0)])
-                .with_label(Label::new("sig", Point::new(96, 4), FontMetrics::CASCADE)),
+            Wire::new(vec![Point::new(64, 0), Point::new(160, 0)]).with_label(Label::new(
+                "sig",
+                Point::new(96, 4),
+                FontMetrics::CASCADE,
+            )),
         );
         s1.connectors.push(Connector::new(
             ConnectorKind::OffPage,
@@ -747,11 +776,18 @@ mod tests {
             Point::new(160, 0),
         ));
         let mut s2 = Sheet::new(2);
-        s2.instances
-            .push(Instance::new("I2", sym.clone(), Point::new(320, 0), Orient::R0));
+        s2.instances.push(Instance::new(
+            "I2",
+            sym.clone(),
+            Point::new(320, 0),
+            Orient::R0,
+        ));
         s2.wires.push(
-            Wire::new(vec![Point::new(240, 0), Point::new(320, 0)])
-                .with_label(Label::new("sig", Point::new(260, 4), FontMetrics::CASCADE)),
+            Wire::new(vec![Point::new(240, 0), Point::new(320, 0)]).with_label(Label::new(
+                "sig",
+                Point::new(260, 4),
+                FontMetrics::CASCADE,
+            )),
         );
         s2.connectors.push(Connector::new(
             ConnectorKind::OffPage,
@@ -776,13 +812,19 @@ mod tests {
         let mut cell = CellSchematic::new("top");
         let mut s1 = Sheet::new(1);
         s1.wires.push(
-            Wire::new(vec![Point::new(0, 0), Point::new(40, 0)])
-                .with_label(Label::new("VDD", Point::new(0, 4), FontMetrics::CASCADE)),
+            Wire::new(vec![Point::new(0, 0), Point::new(40, 0)]).with_label(Label::new(
+                "VDD",
+                Point::new(0, 4),
+                FontMetrics::CASCADE,
+            )),
         );
         let mut s2 = Sheet::new(2);
         s2.wires.push(
-            Wire::new(vec![Point::new(100, 0), Point::new(140, 0)])
-                .with_label(Label::new("VDD", Point::new(100, 4), FontMetrics::CASCADE)),
+            Wire::new(vec![Point::new(100, 0), Point::new(140, 0)]).with_label(Label::new(
+                "VDD",
+                Point::new(100, 4),
+                FontMetrics::CASCADE,
+            )),
         );
         cell.sheets.push(s1);
         cell.sheets.push(s2);
@@ -908,8 +950,11 @@ mod tests {
     fn extract_design_builds_netlist_with_ports() {
         let mut d = design_with_lib();
         let mut cell = CellSchematic::new("top");
-        cell.ports
-            .push(crate::symbol::SymbolPin::new("OUT", Point::new(0, 0), PinDir::Output));
+        cell.ports.push(crate::symbol::SymbolPin::new(
+            "OUT",
+            Point::new(0, 0),
+            PinDir::Output,
+        ));
         let mut s = Sheet::new(1);
         s.instances.push(Instance::new(
             "I1",

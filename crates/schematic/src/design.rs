@@ -28,8 +28,10 @@ impl Library {
     /// this library.
     pub fn add(&mut self, mut sym: SymbolDef) {
         sym.reference.library = self.name.clone();
-        self.symbols
-            .insert((sym.reference.cell.clone(), sym.reference.view.clone()), sym);
+        self.symbols.insert(
+            (sym.reference.cell.clone(), sym.reference.view.clone()),
+            sym,
+        );
     }
 
     /// Looks up a symbol by cell and view name.

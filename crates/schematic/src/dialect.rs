@@ -185,7 +185,11 @@ impl fmt::Display for Violation {
                 write!(f, "{cell} p{page}: instance {inst} off grid")
             }
             Violation::OffGridWire { cell, page, at } => {
-                write!(f, "{cell} p{page}: wire vertex ({},{}) off grid", at.0, at.1)
+                write!(
+                    f,
+                    "{cell} p{page}: wire vertex ({},{}) off grid",
+                    at.0, at.1
+                )
             }
             Violation::BadNetName {
                 cell,
@@ -194,7 +198,10 @@ impl fmt::Display for Violation {
                 reason,
             } => write!(f, "{cell} p{page}: net name `{name}`: {reason}"),
             Violation::MissingOffPage { cell, net } => {
-                write!(f, "{cell}: net `{net}` spans pages without off-page connectors")
+                write!(
+                    f,
+                    "{cell}: net `{net}` spans pages without off-page connectors"
+                )
             }
             Violation::MissingHierConnector { cell, port } => {
                 write!(f, "{cell}: port `{port}` lacks a hierarchy connector")
@@ -203,7 +210,10 @@ impl fmt::Display for Violation {
                 write!(f, "{cell} p{page}: label `{text}` uses a foreign font")
             }
             Violation::DanglingSymbol { cell, inst, symbol } => {
-                write!(f, "{cell}: instance {inst} references missing symbol {symbol}")
+                write!(
+                    f,
+                    "{cell}: instance {inst} references missing symbol {symbol}"
+                )
             }
         }
     }

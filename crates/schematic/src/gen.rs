@@ -91,6 +91,155 @@ impl Default for GenConfig {
     }
 }
 
+impl GenConfig {
+    /// Starts a builder pre-loaded with the defaults.
+    pub fn builder() -> GenConfigBuilder {
+        GenConfigBuilder {
+            config: GenConfig::default(),
+        }
+    }
+
+    /// Checks the configuration's internal consistency — the same rules
+    /// [`GenConfigBuilder::build`] enforces.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first [`GenConfigError`] found.
+    pub fn validate(&self) -> Result<(), GenConfigError> {
+        if self.pages == 0 {
+            return Err(GenConfigError::ZeroPages);
+        }
+        if self.gates_per_page == 0 {
+            return Err(GenConfigError::ZeroGatesPerPage);
+        }
+        if self.cross_page_nets > 0 && self.pages < 2 {
+            return Err(GenConfigError::CrossPageNetsNeedTwoPages { pages: self.pages });
+        }
+        Ok(())
+    }
+}
+
+/// A generator-configuration consistency failure.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum GenConfigError {
+    /// A design needs at least one page per cell.
+    ZeroPages,
+    /// A page needs at least one gate.
+    ZeroGatesPerPage,
+    /// Page-spanning nets require at least two pages.
+    CrossPageNetsNeedTwoPages {
+        /// The configured page count.
+        pages: u32,
+    },
+}
+
+impl std::fmt::Display for GenConfigError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            GenConfigError::ZeroPages => write!(f, "pages must be >= 1"),
+            GenConfigError::ZeroGatesPerPage => write!(f, "gates_per_page must be >= 1"),
+            GenConfigError::CrossPageNetsNeedTwoPages { pages } => {
+                write!(f, "cross_page_nets requires >= 2 pages (got {pages})")
+            }
+        }
+    }
+}
+
+impl std::error::Error for GenConfigError {}
+
+/// Builder for [`GenConfig`] with validation at [`build`].
+///
+/// [`build`]: GenConfigBuilder::build
+///
+/// ```
+/// use schematic::gen::{generate, GenConfig};
+///
+/// let config = GenConfig::builder()
+///     .seed(7)
+///     .pages(3)
+///     .bus_width(8)
+///     .build()
+///     .expect("valid generator config");
+/// let design = generate(&config);
+/// assert!(design.cells().count() > 0);
+/// ```
+#[derive(Debug, Clone)]
+pub struct GenConfigBuilder {
+    config: GenConfig,
+}
+
+impl GenConfigBuilder {
+    /// Sets the PRNG seed.
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.config.seed = seed;
+        self
+    }
+
+    /// Sets the gate count per page.
+    pub fn gates_per_page(mut self, gates: usize) -> Self {
+        self.config.gates_per_page = gates;
+        self
+    }
+
+    /// Sets the page count per cell.
+    pub fn pages(mut self, pages: u32) -> Self {
+        self.config.pages = pages;
+        self
+    }
+
+    /// Sets the hierarchy depth below the top cell.
+    pub fn depth(mut self, depth: usize) -> Self {
+        self.config.depth = depth;
+        self
+    }
+
+    /// Sets the generated bus width (0 disables the bus).
+    pub fn bus_width(mut self, width: usize) -> Self {
+        self.config.bus_width = width;
+        self
+    }
+
+    /// Sets how many nets deliberately span consecutive pages.
+    pub fn cross_page_nets(mut self, nets: usize) -> Self {
+        self.config.cross_page_nets = nets;
+        self
+    }
+
+    /// Enables or disables Viewstar postfix indicators on net names.
+    pub fn postfix_nets(mut self, on: bool) -> Self {
+        self.config.postfix_nets = on;
+        self
+    }
+
+    /// Enables or disables compound analog properties.
+    pub fn analog_props(mut self, on: bool) -> Self {
+        self.config.analog_props = on;
+        self
+    }
+
+    /// Enables or disables `VDD`/`GND` global wiring.
+    pub fn globals(mut self, on: bool) -> Self {
+        self.config.globals = on;
+        self
+    }
+
+    /// Sets the target dialect conventions.
+    pub fn dialect(mut self, dialect: DialectId) -> Self {
+        self.config.dialect = dialect;
+        self
+    }
+
+    /// Validates and returns the configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first [`GenConfigError`] found.
+    pub fn build(self) -> Result<GenConfig, GenConfigError> {
+        self.config.validate()?;
+        Ok(self.config)
+    }
+}
+
 /// Names used by the generated primitive library.
 pub const PRIMITIVE_LIB: &str = "primlib";
 /// Library holding generated hierarchical block symbols.
@@ -260,8 +409,11 @@ fn build_cell(
                 } else {
                     format!("pg{}_{}", page - 1, name_hash(name) % 97)
                 };
-                let w = Wire::new(vec![stub, in_at])
-                    .with_label(Label::new(text.clone(), stub.offset(0, g / 2), font));
+                let w = Wire::new(vec![stub, in_at]).with_label(Label::new(
+                    text.clone(),
+                    stub.offset(0, g / 2),
+                    font,
+                ));
                 sheet.wires.push(w);
                 if explicit && page > 1 {
                     sheet
@@ -284,10 +436,13 @@ fn build_cell(
                 } else {
                     format!("tie{inst_counter}")
                 };
-                sheet.wires.push(
-                    Wire::new(vec![stub, b_at])
-                        .with_label(Label::new(text, stub.offset(0, g / 2), font)),
-                );
+                sheet
+                    .wires
+                    .push(Wire::new(vec![stub, b_at]).with_label(Label::new(
+                        text,
+                        stub.offset(0, g / 2),
+                        font,
+                    )));
             }
         }
 
@@ -300,10 +455,13 @@ fn build_cell(
             } else {
                 format!("pg{}_{}", page, name_hash(name) % 97)
             };
-            sheet.wires.push(
-                Wire::new(vec![out, stub])
-                    .with_label(Label::new(text.clone(), out.offset(g / 2, g / 2), font)),
-            );
+            sheet
+                .wires
+                .push(Wire::new(vec![out, stub]).with_label(Label::new(
+                    text.clone(),
+                    out.offset(g / 2, g / 2),
+                    font,
+                )));
             if explicit && page == cfg.pages {
                 sheet
                     .connectors
@@ -324,10 +482,13 @@ fn build_cell(
             let a = Point::new(2 * g, y);
             let b = Point::new(6 * g, y);
             let text = format!("xp{j}");
-            sheet.wires.push(
-                Wire::new(vec![a, b])
-                    .with_label(Label::new(text.clone(), a.offset(0, g / 2), font)),
-            );
+            sheet
+                .wires
+                .push(Wire::new(vec![a, b]).with_label(Label::new(
+                    text.clone(),
+                    a.offset(0, g / 2),
+                    font,
+                )));
             if explicit {
                 sheet
                     .connectors
@@ -364,8 +525,11 @@ fn build_cell(
                 crate::bus::BusSyntax::Cascade => "D<1>".to_string(),
             };
             sheet.wires.push(
-                Wire::new(vec![tap_at, tap_at.offset(2 * g, 0)])
-                    .with_label(Label::new(tap_text, tap_at.offset(0, g / 2), font)),
+                Wire::new(vec![tap_at, tap_at.offset(2 * g, 0)]).with_label(Label::new(
+                    tap_text,
+                    tap_at.offset(0, g / 2),
+                    font,
+                )),
             );
         }
 
@@ -382,18 +546,23 @@ fn build_cell(
                 ));
                 // Drive the child's IN from the IN net; expose its OUT.
                 let in_stub = at.offset(-2 * g, 0);
-                sheet.wires.push(
-                    Wire::new(vec![in_stub, at])
-                        .with_label(Label::new("IN", in_stub.offset(0, g / 2), font)),
-                );
-                let out_at = at.offset(4 * g, 0);
-                sheet.wires.push(
-                    Wire::new(vec![out_at, out_at.offset(2 * g, 0)]).with_label(Label::new(
-                        format!("sub{inst_counter}"),
-                        out_at.offset(0, g / 2),
+                sheet
+                    .wires
+                    .push(Wire::new(vec![in_stub, at]).with_label(Label::new(
+                        "IN",
+                        in_stub.offset(0, g / 2),
                         font,
-                    )),
-                );
+                    )));
+                let out_at = at.offset(4 * g, 0);
+                sheet
+                    .wires
+                    .push(
+                        Wire::new(vec![out_at, out_at.offset(2 * g, 0)]).with_label(Label::new(
+                            format!("sub{inst_counter}"),
+                            out_at.offset(0, g / 2),
+                            font,
+                        )),
+                    );
             }
         }
 
@@ -502,6 +671,29 @@ mod tests {
             ..GenConfig::default()
         });
         assert_eq!(deep.stats().cells, 4);
+    }
+
+    #[test]
+    fn builder_validates_at_build() {
+        let cfg = GenConfig::builder()
+            .seed(3)
+            .pages(4)
+            .cross_page_nets(3)
+            .build()
+            .expect("valid");
+        assert_eq!((cfg.seed, cfg.pages, cfg.cross_page_nets), (3, 4, 3));
+        assert_eq!(
+            GenConfig::builder().pages(0).build().unwrap_err(),
+            GenConfigError::ZeroPages
+        );
+        assert_eq!(
+            GenConfig::builder()
+                .pages(1)
+                .cross_page_nets(1)
+                .build()
+                .unwrap_err(),
+            GenConfigError::CrossPageNetsNeedTwoPages { pages: 1 }
+        );
     }
 
     #[test]

@@ -38,6 +38,7 @@ pub mod gen;
 pub mod geom;
 pub mod netlist;
 pub mod neutral;
+pub mod parse;
 pub mod property;
 pub mod sheet;
 pub mod symbol;
@@ -47,3 +48,4 @@ pub use design::{CellSchematic, Design, Library};
 pub use dialect::{DialectId, DialectRules};
 pub use geom::{Orient, Point, Transform};
 pub use netlist::{compare, CompareReport, Netlist, PinRef};
+pub use parse::{ParseError, SourcePos};

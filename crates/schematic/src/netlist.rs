@@ -170,7 +170,11 @@ impl fmt::Display for NetlistDiff {
                 cell,
                 net,
                 pins,
-            } => write!(f, "{cell}: net `{net}` in {side} unmatched (pins: {})", pins.join(" ")),
+            } => write!(
+                f,
+                "{cell}: net `{net}` in {side} unmatched (pins: {})",
+                pins.join(" ")
+            ),
         }
     }
 }
@@ -358,10 +362,10 @@ mod tests {
         let mut b = simple(["n1", "n2"]);
         b.cells.get_mut("top").unwrap().instances.remove("I2");
         let r = compare(&a, &b);
-        assert!(r.diffs.iter().any(|d| matches!(
-            d,
-            NetlistDiff::InstanceOnlyIn { side: "left", .. }
-        )));
+        assert!(r
+            .diffs
+            .iter()
+            .any(|d| matches!(d, NetlistDiff::InstanceOnlyIn { side: "left", .. })));
     }
 
     #[test]

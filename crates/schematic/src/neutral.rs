@@ -83,7 +83,11 @@ pub fn export(design: &Design) -> Result<String, String> {
     let rules = DialectRules::for_id(design.dialect);
     let mut o = String::new();
     o.push_str("NEUTRAL 1\n");
-    o.push_str(&format!("DESIGN {} FROM {}\n", quote(&design.name), design.dialect));
+    o.push_str(&format!(
+        "DESIGN {} FROM {}\n",
+        quote(&design.name),
+        design.dialect
+    ));
     o.push_str(&format!("TOP {}\n", quote(&design.top)));
     for g in design.globals() {
         o.push_str(&format!("GLOBAL {}\n", quote(g)));
@@ -160,7 +164,12 @@ pub fn export(design: &Design) -> Result<String, String> {
                 if let Some(l) = &wire.label {
                     let (normalized, postfix) = normalize_name(&l.text, &cell.buses, rules.bus)
                         .map_err(|e| format!("{name} p{}: `{}`: {e}", sheet.page, l.text))?;
-                    o.push_str(&format!(" NET {} {} {}", quote(&normalized), l.at.x, l.at.y));
+                    o.push_str(&format!(
+                        " NET {} {} {}",
+                        quote(&normalized),
+                        l.at.x,
+                        l.at.y
+                    ));
                     if let Some(c) = postfix {
                         o.push_str(&format!(" POSTFIX {c}"));
                     }
@@ -530,7 +539,11 @@ mod tests {
         let (b, eb) = extract_design(&back, &rules);
         assert!(ea.is_empty() && eb.is_empty(), "{ea:?} {eb:?}");
         let report = compare(&a, &b);
-        assert!(report.is_equivalent(), "{:?}", &report.diffs[..report.diffs.len().min(6)]);
+        assert!(
+            report.is_equivalent(),
+            "{:?}",
+            &report.diffs[..report.diffs.len().min(6)]
+        );
     }
 
     #[test]
@@ -557,10 +570,12 @@ mod tests {
 
     #[test]
     fn import_errors_carry_line_numbers() {
-        assert!(import("NEUTRAL 1\nBOGUS x\n", DialectId::Cascade)
-            .unwrap_err()
-            .line
-            == 2);
+        assert!(
+            import("NEUTRAL 1\nBOGUS x\n", DialectId::Cascade)
+                .unwrap_err()
+                .line
+                == 2
+        );
         assert!(import("CELL c\nPAGE 1\nWIRE 1 0 0\n", DialectId::Cascade).is_err());
     }
 

@@ -1,0 +1,101 @@
+//! One typed parse error shared by every schematic file format.
+//!
+//! [`crate::cascade::parse`] and [`crate::viewstar::parse`] both return
+//! [`ParseError`], so callers juggling multiple interchange formats
+//! handle one error type with uniform source-position reporting.
+
+use std::fmt;
+
+/// A 1-based position in the source text. `column` is 1 when the
+/// format only tracks line granularity.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SourcePos {
+    /// 1-based line number.
+    pub line: usize,
+    /// 1-based column number.
+    pub column: usize,
+}
+
+impl fmt::Display for SourcePos {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "line {}, column {}", self.line, self.column)
+    }
+}
+
+/// Error parsing a schematic interchange file.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    /// Which format was being parsed (`"cascade"`, `"viewstar"`, ...).
+    pub format: &'static str,
+    /// Problem description.
+    pub message: String,
+    /// Where in the source text, when known.
+    pub pos: Option<SourcePos>,
+}
+
+impl ParseError {
+    /// An error with no position information.
+    pub fn new(format: &'static str, message: impl Into<String>) -> Self {
+        ParseError {
+            format,
+            message: message.into(),
+            pos: None,
+        }
+    }
+
+    /// An error at an exact line and column (both 1-based).
+    pub fn at(
+        format: &'static str,
+        message: impl Into<String>,
+        line: usize,
+        column: usize,
+    ) -> Self {
+        ParseError {
+            pos: Some(SourcePos { line, column }),
+            ..ParseError::new(format, message)
+        }
+    }
+
+    /// An error known to line granularity only.
+    pub fn at_line(format: &'static str, message: impl Into<String>, line: usize) -> Self {
+        ParseError::at(format, message, line, 1)
+    }
+
+    /// The 1-based line, when known.
+    pub fn line(&self) -> Option<usize> {
+        self.pos.map(|p| p.line)
+    }
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.pos {
+            Some(pos) => write!(
+                f,
+                "{} parse error at {}: {}",
+                self.format, pos, self.message
+            ),
+            None => write!(f, "{} parse error: {}", self.format, self.message),
+        }
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_includes_position_when_known() {
+        let e = ParseError::at("cascade", "unbalanced `(`", 3, 7);
+        assert_eq!(
+            e.to_string(),
+            "cascade parse error at line 3, column 7: unbalanced `(`"
+        );
+        assert_eq!(e.line(), Some(3));
+        let e = ParseError::new("viewstar", "oops");
+        assert_eq!(e.to_string(), "viewstar parse error: oops");
+        assert_eq!(e.line(), None);
+    }
+}

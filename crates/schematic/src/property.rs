@@ -103,7 +103,11 @@ impl PropMap {
     }
 
     /// Inserts or replaces a property, returning the previous value.
-    pub fn set(&mut self, name: impl Into<String>, value: impl Into<PropValue>) -> Option<PropValue> {
+    pub fn set(
+        &mut self,
+        name: impl Into<String>,
+        value: impl Into<PropValue>,
+    ) -> Option<PropValue> {
         self.entries.insert(name.into(), value.into())
     }
 

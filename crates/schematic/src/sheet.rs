@@ -19,12 +19,7 @@ pub struct Instance {
 
 impl Instance {
     /// Creates an instance placed at `origin` with orientation `orient`.
-    pub fn new(
-        name: impl Into<String>,
-        symbol: SymbolRef,
-        origin: Point,
-        orient: Orient,
-    ) -> Self {
+    pub fn new(name: impl Into<String>, symbol: SymbolRef, origin: Point, orient: Orient) -> Self {
         Instance {
             name: name.into(),
             symbol,
@@ -294,8 +289,11 @@ mod tests {
             Point::new(160, 160),
             Orient::R0,
         ));
-        s.wires
-            .push(Wire::new(vec![Point::new(0, 0), Point::new(16, 0), Point::new(16, 16)]));
+        s.wires.push(Wire::new(vec![
+            Point::new(0, 0),
+            Point::new(16, 0),
+            Point::new(16, 16),
+        ]));
         assert!(s.instance("I1").is_some());
         assert!(s.instance("I2").is_none());
         assert_eq!(s.segment_count(), 2);

@@ -212,7 +212,9 @@ mod tests {
         let bb = inv().bbox().expect("nonempty symbol");
         assert_eq!(bb.lo, Point::new(0, -16));
         assert_eq!(bb.hi, Point::new(64, 16));
-        assert!(SymbolDef::new(SymbolRef::new("l", "c", "v"), 16).bbox().is_none());
+        assert!(SymbolDef::new(SymbolRef::new("l", "c", "v"), 16)
+            .bbox()
+            .is_none());
     }
 
     #[test]
@@ -226,7 +228,12 @@ mod tests {
 
     #[test]
     fn pin_dir_keyword_round_trip() {
-        for d in [PinDir::Input, PinDir::Output, PinDir::Bidir, PinDir::Passive] {
+        for d in [
+            PinDir::Input,
+            PinDir::Output,
+            PinDir::Bidir,
+            PinDir::Passive,
+        ] {
             assert_eq!(PinDir::parse(d.keyword()), Some(d));
         }
         assert_eq!(PinDir::parse("inout"), None);

@@ -25,31 +25,17 @@
 //! END
 //! ```
 
-use std::fmt;
-
 use crate::design::{CellSchematic, Design, Library};
 use crate::dialect::DialectId;
 use crate::geom::{Orient, Point};
+use crate::parse::ParseError;
 use crate::property::{FontMetrics, Label, PropValue};
 use crate::sheet::{Connector, ConnectorKind, Instance, Sheet, Wire};
 use crate::symbol::{PinDir, SymbolDef, SymbolPin, SymbolRef};
 
-/// Error parsing a Viewstar file.
-#[derive(Debug, Clone, PartialEq, Eq)]
-pub struct ParseViewstarError {
-    /// 1-based line number.
-    pub line: usize,
-    /// Problem description.
-    pub message: String,
-}
-
-impl fmt::Display for ParseViewstarError {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "viewstar line {}: {}", self.line, self.message)
-    }
-}
-
-impl std::error::Error for ParseViewstarError {}
+/// Former Viewstar-specific error type, now the shared [`ParseError`].
+#[deprecated(note = "use `schematic::ParseError`")]
+pub type ParseViewstarError = ParseError;
 
 fn quote(s: &str) -> String {
     if s.is_empty() || s.contains(' ') || s.contains('"') {
@@ -211,13 +197,10 @@ struct Cursor<'a> {
 }
 
 impl<'a> Cursor<'a> {
-    fn err(&self, msg: impl Into<String>) -> ParseViewstarError {
-        ParseViewstarError {
-            line: self.line,
-            message: msg.into(),
-        }
+    fn err(&self, msg: impl Into<String>) -> ParseError {
+        ParseError::at_line("viewstar", msg, self.line)
     }
-    fn next(&mut self) -> Result<&'a str, ParseViewstarError> {
+    fn next(&mut self) -> Result<&'a str, ParseError> {
         let t = self
             .toks
             .get(self.idx)
@@ -225,16 +208,16 @@ impl<'a> Cursor<'a> {
         self.idx += 1;
         Ok(t)
     }
-    fn int(&mut self) -> Result<i64, ParseViewstarError> {
+    fn int(&mut self) -> Result<i64, ParseError> {
         let t = self.next()?;
         t.parse::<i64>()
             .map_err(|_| self.err(format!("expected integer, got `{t}`")))
     }
-    fn orient(&mut self) -> Result<Orient, ParseViewstarError> {
+    fn orient(&mut self) -> Result<Orient, ParseError> {
         let t = self.next()?;
         Orient::parse(t).ok_or_else(|| self.err(format!("bad orientation `{t}`")))
     }
-    fn dir(&mut self) -> Result<PinDir, ParseViewstarError> {
+    fn dir(&mut self) -> Result<PinDir, ParseError> {
         let t = self.next()?;
         PinDir::parse(t).ok_or_else(|| self.err(format!("bad pin direction `{t}`")))
     }
@@ -245,7 +228,7 @@ impl<'a> Cursor<'a> {
 /// # Errors
 ///
 /// Returns the first syntax error with its line number.
-pub fn parse(text: &str) -> Result<Design, ParseViewstarError> {
+pub fn parse(text: &str) -> Result<Design, ParseError> {
     let mut design = Design::new("", DialectId::Viewstar);
     let mut cur_lib: Option<Library> = None;
     let mut cur_sym: Option<SymbolDef> = None;
@@ -272,11 +255,15 @@ pub fn parse(text: &str) -> Result<Design, ParseViewstarError> {
             "GLOBAL" => design.add_global(c.next()?),
             "LIBRARY" => cur_lib = Some(Library::new(c.next()?)),
             "ENDLIBRARY" => {
-                let lib = cur_lib.take().ok_or_else(|| c.err("ENDLIBRARY without LIBRARY"))?;
+                let lib = cur_lib
+                    .take()
+                    .ok_or_else(|| c.err("ENDLIBRARY without LIBRARY"))?;
                 design.add_library(lib);
             }
             "SYMBOL" => {
-                let lib = cur_lib.as_ref().ok_or_else(|| c.err("SYMBOL outside LIBRARY"))?;
+                let lib = cur_lib
+                    .as_ref()
+                    .ok_or_else(|| c.err("SYMBOL outside LIBRARY"))?;
                 let cell = c.next()?.to_string();
                 let view = c.next()?.to_string();
                 let kw = c.next()?;
@@ -290,34 +277,44 @@ pub fn parse(text: &str) -> Result<Design, ParseViewstarError> {
                 ));
             }
             "ENDSYMBOL" => {
-                let sym = cur_sym.take().ok_or_else(|| c.err("ENDSYMBOL without SYMBOL"))?;
+                let sym = cur_sym
+                    .take()
+                    .ok_or_else(|| c.err("ENDSYMBOL without SYMBOL"))?;
                 cur_lib
                     .as_mut()
                     .ok_or_else(|| c.err("ENDSYMBOL outside LIBRARY"))?
                     .add(sym);
             }
             "PIN" => {
-                let sym = cur_sym.as_mut().ok_or_else(|| c.err("PIN outside SYMBOL"))?;
+                let sym = cur_sym
+                    .as_mut()
+                    .ok_or_else(|| c.err("PIN outside SYMBOL"))?;
                 let name = c.next()?.to_string();
                 let (x, y) = (c.int()?, c.int()?);
                 let dir = c.dir()?;
                 sym.pins.push(SymbolPin::new(name, Point::new(x, y), dir));
             }
             "BODY" => {
-                let sym = cur_sym.as_mut().ok_or_else(|| c.err("BODY outside SYMBOL"))?;
+                let sym = cur_sym
+                    .as_mut()
+                    .ok_or_else(|| c.err("BODY outside SYMBOL"))?;
                 let a = Point::new(c.int()?, c.int()?);
                 let b = Point::new(c.int()?, c.int()?);
                 sym.body.push((a, b));
             }
             "SPROP" => {
-                let sym = cur_sym.as_mut().ok_or_else(|| c.err("SPROP outside SYMBOL"))?;
+                let sym = cur_sym
+                    .as_mut()
+                    .ok_or_else(|| c.err("SPROP outside SYMBOL"))?;
                 let k = c.next()?.to_string();
                 let v = c.next()?.to_string();
                 sym.default_props.set(k, PropValue::from_text(&v));
             }
             "CELL" => cur_cell = Some(CellSchematic::new(c.next()?)),
             "ENDCELL" => {
-                let cell = cur_cell.take().ok_or_else(|| c.err("ENDCELL without CELL"))?;
+                let cell = cur_cell
+                    .take()
+                    .ok_or_else(|| c.err("ENDCELL without CELL"))?;
                 design.add_cell(cell);
             }
             "BUS" => {
@@ -328,7 +325,9 @@ pub fn parse(text: &str) -> Result<Design, ParseViewstarError> {
                     .insert(c.next()?.to_string());
             }
             "PORT" => {
-                let cell = cur_cell.as_mut().ok_or_else(|| c.err("PORT outside CELL"))?;
+                let cell = cur_cell
+                    .as_mut()
+                    .ok_or_else(|| c.err("PORT outside CELL"))?;
                 let name = c.next()?.to_string();
                 let (x, y) = (c.int()?, c.int()?);
                 let dir = c.dir()?;
@@ -339,7 +338,9 @@ pub fn parse(text: &str) -> Result<Design, ParseViewstarError> {
                 cur_sheet = Some(Sheet::new(page));
             }
             "ENDPAGE" => {
-                let sheet = cur_sheet.take().ok_or_else(|| c.err("ENDPAGE without PAGE"))?;
+                let sheet = cur_sheet
+                    .take()
+                    .ok_or_else(|| c.err("ENDPAGE without PAGE"))?;
                 cur_cell
                     .as_mut()
                     .ok_or_else(|| c.err("ENDPAGE outside CELL"))?
@@ -362,7 +363,9 @@ pub fn parse(text: &str) -> Result<Design, ParseViewstarError> {
                 ));
             }
             "IPROP" => {
-                let sheet = cur_sheet.as_mut().ok_or_else(|| c.err("IPROP outside PAGE"))?;
+                let sheet = cur_sheet
+                    .as_mut()
+                    .ok_or_else(|| c.err("IPROP outside PAGE"))?;
                 let inst = c.next()?.to_string();
                 let k = c.next()?.to_string();
                 let v = c.next()?.to_string();
@@ -411,13 +414,16 @@ pub fn parse(text: &str) -> Result<Design, ParseViewstarError> {
                 let sheet = cur_sheet.as_mut().ok_or_else(|| c.err("T outside PAGE"))?;
                 let text = c.next()?.to_string();
                 let (x, y) = (c.int()?, c.int()?);
-                sheet.annotations.push(Label::new(text, Point::new(x, y), font));
+                sheet
+                    .annotations
+                    .push(Label::new(text, Point::new(x, y), font));
             }
             other => {
-                return Err(ParseViewstarError {
+                return Err(ParseError::at_line(
+                    "viewstar",
+                    format!("unknown record `{other}`"),
                     line,
-                    message: format!("unknown record `{other}`"),
-                })
+                ))
             }
         }
     }
@@ -457,8 +463,12 @@ mod tests {
         inst.props.set("SIZE", 4i64);
         s.instances.push(inst);
         s.wires.push(
-            Wire::new(vec![Point::new(0, 0), Point::new(64, 0), Point::new(64, 32)])
-                .with_label(Label::new("n 1", Point::new(8, 4), FontMetrics::VIEWSTAR)),
+            Wire::new(vec![
+                Point::new(0, 0),
+                Point::new(64, 0),
+                Point::new(64, 32),
+            ])
+            .with_label(Label::new("n 1", Point::new(8, 4), FontMetrics::VIEWSTAR)),
         );
         let mut conn = Connector::new(ConnectorKind::OffPage, "sig", Point::new(64, 32));
         conn.orient = Orient::R90;
@@ -494,8 +504,11 @@ mod tests {
     fn parse_errors_carry_line_numbers() {
         let bad = "VIEWSTAR 1\nBOGUS record\n";
         let err = parse(bad).unwrap_err();
-        assert_eq!(err.line, 2);
+        assert_eq!(err.line(), Some(2));
         assert!(err.message.contains("BOGUS"));
+        assert!(err
+            .to_string()
+            .starts_with("viewstar parse error at line 2"));
     }
 
     #[test]

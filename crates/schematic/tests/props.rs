@@ -72,19 +72,25 @@ fn arb_ident() -> impl Strategy<Value = String> {
 }
 
 fn arb_netname() -> impl Strategy<Value = NetName> {
-    (arb_ident(), prop::option::of(-64i64..64), prop::option::of(0usize..4)).prop_map(
-        |(base, idx, postfix)| {
+    (
+        arb_ident(),
+        prop::option::of(-64i64..64),
+        prop::option::of(0usize..4),
+    )
+        .prop_map(|(base, idx, postfix)| {
             let expr = match idx {
                 Some(i) => NetExpr::Bit(base, i),
                 None => NetExpr::Scalar(base),
             };
-            let mut n = NetName { expr, postfix: None };
+            let mut n = NetName {
+                expr,
+                postfix: None,
+            };
             if let Some(k) = postfix {
                 n = n.with_postfix(schematic::bus::VIEWSTAR_POSTFIXES[k]);
             }
             n
-        },
-    )
+        })
 }
 
 proptest! {

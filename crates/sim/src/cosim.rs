@@ -210,11 +210,7 @@ impl CoSim {
 fn decode_wire(wire: &str, f: impl Fn(Std9) -> Logic) -> Value {
     let s: String = wire
         .chars()
-        .map(|c| {
-            Std9::from_char(c)
-                .map(|v| f(v).to_char())
-                .unwrap_or('x')
-        })
+        .map(|c| Std9::from_char(c).map(|v| f(v).to_char()).unwrap_or('x'))
         .collect();
     Value::from_str_msb(&s).unwrap_or_else(|| Value::bit(Logic::X))
 }

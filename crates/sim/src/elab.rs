@@ -272,9 +272,11 @@ struct Elab {
 
 impl Elab {
     fn sig(&self, name: &str) -> Result<SigId, ElabError> {
-        self.circuit.signal(name).ok_or_else(|| ElabError::UnknownSignal {
-            name: name.to_string(),
-        })
+        self.circuit
+            .signal(name)
+            .ok_or_else(|| ElabError::UnknownSignal {
+                name: name.to_string(),
+            })
     }
 
     fn expr(&self, e: &ast::Expr) -> Result<SExpr, ElabError> {
@@ -333,10 +335,7 @@ impl Elab {
                     .transpose()?,
             },
             ast::Stmt::Assign {
-                lhs,
-                rhs,
-                blocking,
-                ..
+                lhs, rhs, blocking, ..
             } => SStmt::Assign {
                 lhs: self.lref(lhs)?,
                 rhs: self.expr(rhs)?,
@@ -374,7 +373,12 @@ impl Elab {
     }
 
     /// Unrolls an initial body into time-stamped stimuli.
-    fn unroll_initial(&self, body: &ast::Stmt, t: &mut u64, out: &mut Vec<Stimulus>) -> Result<(), ElabError> {
+    fn unroll_initial(
+        &self,
+        body: &ast::Stmt,
+        t: &mut u64,
+        out: &mut Vec<Stimulus>,
+    ) -> Result<(), ElabError> {
         match body {
             ast::Stmt::Block(items) => {
                 for s in items {

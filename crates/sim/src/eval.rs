@@ -197,11 +197,7 @@ pub fn exec(
                 }
             }
         },
-        SStmt::Assign {
-            lhs,
-            rhs,
-            blocking,
-        } => {
+        SStmt::Assign { lhs, rhs, blocking } => {
             let value = eval(rhs, state, defs);
             let bit = resolve_bit(lhs, state, defs);
             if matches!(bit, Some(Err(()))) {
@@ -246,11 +242,7 @@ pub fn exec(
 /// evaluated at assignment time). `Some(Err(()))` means the index was
 /// unknown.
 #[allow(clippy::type_complexity)]
-fn resolve_bit(
-    lhs: &LRef,
-    state: &[Value],
-    defs: &[SignalDef],
-) -> Option<Result<i64, ()>> {
+fn resolve_bit(lhs: &LRef, state: &[Value], defs: &[SignalDef]) -> Option<Result<i64, ()>> {
     let idx = lhs.index.as_ref()?;
     let v = eval(idx, state, defs);
     Some(match v.as_u64() {

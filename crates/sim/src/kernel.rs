@@ -395,11 +395,7 @@ impl Kernel {
                     None => Ok(()),
                 },
             },
-            SStmt::Assign {
-                lhs,
-                rhs,
-                blocking,
-            } => {
+            SStmt::Assign { lhs, rhs, blocking } => {
                 let value = eval(rhs, &self.state, &circuit.signals);
                 let bit = match &lhs.index {
                     Some(i) => match eval(i, &self.state, &circuit.signals).as_u64() {
@@ -464,9 +460,13 @@ impl Kernel {
             // the active region.
             let updates = std::mem::take(&mut self.nba);
             for u in updates {
-                if let Some(change) =
-                    store(&mut self.state, &self.circuit.signals, u.sig, u.bit, &u.value)
-                {
+                if let Some(change) = store(
+                    &mut self.state,
+                    &self.circuit.signals,
+                    u.sig,
+                    u.bit,
+                    &u.value,
+                ) {
                     // NBA commits queue watchers like any other event.
                     self.commit_now(change)?;
                 }
@@ -488,8 +488,7 @@ impl Kernel {
             let at = self.circuit.stimuli[self.next_stim].at;
             self.time = self.time.max(at);
             let circuit = Rc::clone(&self.circuit);
-            while self.next_stim < circuit.stimuli.len()
-                && circuit.stimuli[self.next_stim].at == at
+            while self.next_stim < circuit.stimuli.len() && circuit.stimuli[self.next_stim].at == at
             {
                 let idx = self.next_stim;
                 self.next_stim += 1;
@@ -557,7 +556,11 @@ mod tests {
         k.poke_name("clk", Value::bit(Logic::Zero)).unwrap();
         k.poke_name("din", Value::bit(Logic::One)).unwrap();
         k.run_until(1).unwrap();
-        assert_eq!(k.peek_name("q").unwrap().get(0), Logic::X, "not clocked yet");
+        assert_eq!(
+            k.peek_name("q").unwrap().get(0),
+            Logic::X,
+            "not clocked yet"
+        );
         k.poke_name("clk", Value::bit(Logic::One)).unwrap();
         k.run_until(2).unwrap();
         assert_eq!(k.peek_name("q").unwrap().get(0), Logic::One);

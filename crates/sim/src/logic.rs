@@ -226,12 +226,7 @@ impl Value {
         let a = self.resized(w);
         let b = other.resized(w);
         Value {
-            bits: a
-                .bits
-                .iter()
-                .zip(&b.bits)
-                .map(|(x, y)| f(*x, *y))
-                .collect(),
+            bits: a.bits.iter().zip(&b.bits).map(|(x, y)| f(*x, *y)).collect(),
         }
     }
 
@@ -280,18 +275,12 @@ impl Value {
 
     /// Reduction AND.
     pub fn reduce_and(&self) -> Logic {
-        self.bits
-            .iter()
-            .copied()
-            .fold(Logic::One, Logic::and)
+        self.bits.iter().copied().fold(Logic::One, Logic::and)
     }
 
     /// Reduction OR.
     pub fn reduce_or(&self) -> Logic {
-        self.bits
-            .iter()
-            .copied()
-            .fold(Logic::Zero, Logic::or)
+        self.bits.iter().copied().fold(Logic::Zero, Logic::or)
     }
 
     /// The conditional-merge used when a ternary condition is unknown:
@@ -455,13 +444,12 @@ mod tests {
         let a = Value::from_u64(5, 3);
         assert_eq!(a.logic_eq(&Value::from_u64(5, 3)), Logic::One);
         assert_eq!(a.logic_eq(&Value::from_u64(4, 3)), Logic::Zero);
-        assert_eq!(
-            a.logic_eq(&Value::from_str_msb("1x1").unwrap()),
-            Logic::X
-        );
+        assert_eq!(a.logic_eq(&Value::from_str_msb("1x1").unwrap()), Logic::X);
         // A known mismatch beats an unknown elsewhere.
         assert_eq!(
-            Value::from_str_msb("0x1").unwrap().logic_eq(&Value::from_str_msb("1x1").unwrap()),
+            Value::from_str_msb("0x1")
+                .unwrap()
+                .logic_eq(&Value::from_str_msb("1x1").unwrap()),
             Logic::Zero
         );
     }

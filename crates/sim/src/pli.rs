@@ -130,7 +130,8 @@ mod tests {
                 &mut k,
                 name,
                 Rc::new(RefCell::new(move |_t: u64, v: &Value| {
-                    log.borrow_mut().push(format!("{tag}={}", v.to_string_msb()));
+                    log.borrow_mut()
+                        .push(format!("{tag}={}", v.to_string_msb()));
                 })),
             )
             .expect("register");
@@ -149,8 +150,8 @@ mod tests {
 
     #[test]
     fn unknown_signal_is_rejected() {
-        let unit = hdl::parse("module m(input a, output w); assign w = a; endmodule")
-            .expect("parses");
+        let unit =
+            hdl::parse("module m(input a, output w); assign w = a; endmodule").expect("parses");
         let mut k = Kernel::new(
             compile_unit(&unit, "m").expect("elab"),
             SchedulerPolicy::sim_a(),

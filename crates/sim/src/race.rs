@@ -135,10 +135,7 @@ pub mod models {
 
 /// Drives a clock/data testbench shared by the race experiments:
 /// `cycles` rising edges with `d` toggling every cycle.
-pub fn clocked_testbench(
-    kernel: &mut Kernel,
-    cycles: u64,
-) -> Result<(), SimError> {
+pub fn clocked_testbench(kernel: &mut Kernel, cycles: u64) -> Result<(), SimError> {
     use crate::logic::Logic;
     let mut t = 0u64;
     kernel.poke_name("clk", Value::bit(Logic::Zero))?;
@@ -148,7 +145,11 @@ pub fn clocked_testbench(
         t += 5;
         kernel.poke_name(
             "d",
-            Value::bit(if cycle % 2 == 0 { Logic::One } else { Logic::Zero }),
+            Value::bit(if cycle % 2 == 0 {
+                Logic::One
+            } else {
+                Logic::Zero
+            }),
         )?;
         kernel.run_until(t)?;
         t += 5;
@@ -174,25 +175,23 @@ mod tests {
     #[test]
     fn paper_race_diverges_between_eager_and_queued() {
         let c = circuit(models::PAPER_RACE, "race");
-        let report = detect(&c, &SchedulerPolicy::all(), |k| {
-            clocked_testbench(k, 4)
-        })
-        .unwrap();
+        let report = detect(&c, &SchedulerPolicy::all(), |k| clocked_testbench(k, 4)).unwrap();
         assert!(report.has_race());
         assert!(
             report.diverging.iter().any(|d| d.signal == "mismatch"),
             "diverging: {:?}",
-            report.diverging.iter().map(|d| &d.signal).collect::<Vec<_>>()
+            report
+                .diverging
+                .iter()
+                .map(|d| &d.signal)
+                .collect::<Vec<_>>()
         );
     }
 
     #[test]
     fn order_race_diverges_between_fifo_and_lifo() {
         let c = circuit(models::ORDER_RACE, "order");
-        let report = detect(&c, &SchedulerPolicy::all(), |k| {
-            clocked_testbench(k, 4)
-        })
-        .unwrap();
+        let report = detect(&c, &SchedulerPolicy::all(), |k| clocked_testbench(k, 4)).unwrap();
         assert!(report.has_race());
         assert!(report.diverging.iter().any(|d| d.signal == "y"));
     }
@@ -200,10 +199,7 @@ mod tests {
     #[test]
     fn race_free_model_agrees_everywhere() {
         let c = circuit(models::RACE_FREE, "clean");
-        let report = detect(&c, &SchedulerPolicy::all(), |k| {
-            clocked_testbench(k, 6)
-        })
-        .unwrap();
+        let report = detect(&c, &SchedulerPolicy::all(), |k| clocked_testbench(k, 6)).unwrap();
         assert!(!report.has_race(), "diverging: {:?}", report.diverging);
     }
 

@@ -144,8 +144,8 @@ pub fn parse(text: &str) -> Result<VcdData, ParseVcdError> {
             let idx = *by_code
                 .get(code.trim())
                 .ok_or_else(|| err(format!("unknown id `{code}`")))?;
-            let value = Value::from_str_msb(bits)
-                .ok_or_else(|| err(format!("bad bits `{bits}`")))?;
+            let value =
+                Value::from_str_msb(bits).ok_or_else(|| err(format!("bad bits `{bits}`")))?;
             data.changes.push((time, idx, value));
             continue;
         }
@@ -273,7 +273,7 @@ mod tests {
     }
 
     #[test]
-    fn malformed_vcd_is_rejected()  {
+    fn malformed_vcd_is_rejected() {
         assert!(parse("$var wire x ! q $end").is_err());
         assert!(parse("#notatime").is_err());
         assert!(parse("1%").is_err(), "unknown id code");

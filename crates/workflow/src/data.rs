@@ -153,11 +153,12 @@ impl Maturity {
     pub fn holds(&self, store: &DataStore) -> bool {
         match self {
             Maturity::Exists(p) => store.exists(p),
-            Maturity::NewerThan { path, than } => match (store.modified(path), store.modified(than))
-            {
-                (Some(a), Some(b)) => a >= b,
-                _ => false,
-            },
+            Maturity::NewerThan { path, than } => {
+                match (store.modified(path), store.modified(than)) {
+                    (Some(a), Some(b)) => a >= b,
+                    _ => false,
+                }
+            }
             Maturity::Contains { path, needle } => store
                 .read(path)
                 .map(|c| c.contains(needle.as_str()))

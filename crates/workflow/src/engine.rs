@@ -3,6 +3,9 @@
 //! status collection.
 
 use std::collections::{BTreeMap, BTreeSet};
+use std::sync::Arc;
+
+use obs::{NullRecorder, Recorder, Span};
 
 use crate::action::{Action, ActionCtx, StepState};
 use crate::data::{DataStore, Maturity, Stamp};
@@ -115,6 +118,7 @@ pub struct Engine {
     pub notifications: Vec<String>,
     roles: BTreeSet<String>,
     changes_seen: usize,
+    recorder: Arc<dyn Recorder>,
 }
 
 impl Engine {
@@ -129,7 +133,17 @@ impl Engine {
             notifications: Vec::new(),
             roles: BTreeSet::new(),
             changes_seen: 0,
+            recorder: Arc::new(NullRecorder),
         }
+    }
+
+    /// Routes the scheduler's spans and counters into `recorder`: a
+    /// `workflow.tick` span per scheduling pass, a
+    /// `workflow.action.<key>` span per action run, counters
+    /// `workflow.actions` / `workflow.notifications`, and a
+    /// `workflow.tick.actions` histogram of per-tick run counts.
+    pub fn set_recorder(&mut self, recorder: Arc<dyn Recorder>) {
+        self.recorder = recorder;
     }
 
     /// Registers an action under a key.
@@ -154,11 +168,7 @@ impl Engine {
     /// # Errors
     ///
     /// Fails on template validation errors or unregistered actions.
-    pub fn deploy(
-        &mut self,
-        template: &FlowTemplate,
-        tree: &BlockTree,
-    ) -> Result<(), EngineError> {
+    pub fn deploy(&mut self, template: &FlowTemplate, tree: &BlockTree) -> Result<(), EngineError> {
         template.validate()?;
         for step in &template.steps {
             if !self.actions.contains_key(&step.action) {
@@ -202,7 +212,8 @@ impl Engine {
                     completed: None,
                     log: String::new(),
                 };
-                self.by_name.insert(inst.full_name.clone(), self.steps.len());
+                self.by_name
+                    .insert(inst.full_name.clone(), self.steps.len());
                 self.steps.push(inst);
             }
         }
@@ -290,9 +301,11 @@ impl Engine {
         let mut seen: BTreeSet<String> = BTreeSet::new();
         while let Some(name) = frontier.pop() {
             for (i, s) in self.steps.iter().enumerate() {
-                let depends = s.start_deps.iter().chain(&s.finish_deps).any(
-                    |d| matches!(d, Dependency::StepDone(t) if *t == name),
-                );
+                let depends = s
+                    .start_deps
+                    .iter()
+                    .chain(&s.finish_deps)
+                    .any(|d| matches!(d, Dependency::StepDone(t) if *t == name));
                 if depends && seen.insert(s.full_name.clone()) {
                     out.push(i);
                     frontier.push(s.full_name.clone());
@@ -323,6 +336,8 @@ impl Engine {
     /// re-checks finish dependencies, and fires triggers. Returns the
     /// number of actions run.
     pub fn tick(&mut self) -> usize {
+        let recorder = Arc::clone(&self.recorder);
+        let _tick_span = Span::enter(&*recorder, "workflow.tick");
         self.store.advance();
         let mut ran = 0usize;
 
@@ -349,6 +364,7 @@ impl Engine {
                             "{}: blocked (needs role `{role}`)",
                             self.steps[idx].full_name
                         ));
+                        recorder.add_counter("workflow.notifications", 1);
                     }
                     continue;
                 }
@@ -363,7 +379,11 @@ impl Engine {
                 block: &block,
                 step: &full,
             };
-            let outcome = action.run(&mut ctx);
+            let outcome = {
+                let _span = Span::enter(&*recorder, format!("workflow.action.{action_key}"));
+                action.run(&mut ctx)
+            };
+            recorder.add_counter("workflow.actions", 1);
             ran += 1;
             let s = &mut self.steps[idx];
             s.runs += 1;
@@ -420,11 +440,13 @@ impl Engine {
                         s.status = Status::Stale;
                         self.notifications
                             .push(format!("{}: {} ({})", s.full_name, t.note, change.path));
+                        recorder.add_counter("workflow.notifications", 1);
                     }
                 }
             }
         }
 
+        recorder.record_value("workflow.tick.actions", ran as u64);
         ran
     }
 

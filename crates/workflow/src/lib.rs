@@ -76,6 +76,29 @@ mod tests {
     }
 
     #[test]
+    fn recorder_times_every_scheduler_pass_and_action() {
+        use std::sync::Arc;
+
+        let recorder = Arc::new(obs::MemoryRecorder::new());
+        let mut e = standard_engine();
+        e.set_recorder(recorder.clone());
+        e.deploy(&rtl2gds(), &BlockTree::leaf("chip")).unwrap();
+        let (ticks, runs) = e.run_to_quiescence(20);
+        assert!(e.is_complete());
+        assert_eq!(recorder.span_count("workflow.tick"), ticks);
+        assert_eq!(recorder.counter("workflow.actions"), runs as u64);
+        for key in ["write_rtl", "synth", "place", "route"] {
+            assert_eq!(
+                recorder.span_count(&format!("workflow.action.{key}")),
+                1,
+                "action {key} should run exactly once"
+            );
+        }
+        let per_tick = recorder.histogram("workflow.tick.actions").unwrap();
+        assert_eq!(per_tick.count as usize, ticks);
+    }
+
+    #[test]
     fn linear_flow_completes_in_dependency_order() {
         let mut e = standard_engine();
         e.deploy(&rtl2gds(), &BlockTree::leaf("chip")).unwrap();
@@ -129,17 +152,19 @@ mod tests {
     fn finish_dependency_holds_a_step_open() {
         let mut e = standard_engine();
         e.register("signoff", FnAction::new("signoff", |_| ActionOutcome::ok()));
-        let flow = FlowTemplate::new("f").with_step(
-            StepDef::new("signoff", "signoff").finishes_when(Dependency::Data(
-                Maturity::VarEquals {
+        let flow =
+            FlowTemplate::new("f").with_step(StepDef::new("signoff", "signoff").finishes_when(
+                Dependency::Data(Maturity::VarEquals {
                     name: "approved".into(),
                     value: "yes".into(),
-                },
-            )),
-        );
+                }),
+            ));
         e.deploy(&flow, &BlockTree::leaf("chip")).unwrap();
         e.run_to_quiescence(5);
-        assert_eq!(e.step("chip/signoff").unwrap().status, Status::AwaitingFinish);
+        assert_eq!(
+            e.step("chip/signoff").unwrap().status,
+            Status::AwaitingFinish
+        );
         assert!(!e.is_complete());
         // Management approves; the step may now complete.
         e.store.set_var("approved", "yes");
@@ -150,9 +175,8 @@ mod tests {
     #[test]
     fn data_maturity_start_dependency() {
         let mut e = standard_engine();
-        let flow = FlowTemplate::new("f").with_step(
-            StepDef::new("synth", "synth").needs(Maturity::Exists("rtl.v".into())),
-        );
+        let flow = FlowTemplate::new("f")
+            .with_step(StepDef::new("synth", "synth").needs(Maturity::Exists("rtl.v".into())));
         e.deploy(&flow, &BlockTree::leaf("chip")).unwrap();
         e.run_to_quiescence(3);
         assert_eq!(e.step("chip/synth").unwrap().status, Status::Pending);
@@ -189,7 +213,10 @@ mod tests {
     #[test]
     fn failed_action_stops_downstream() {
         let mut e = standard_engine();
-        e.register("broken", FnAction::new("broken", |_| ActionOutcome::fail(1)));
+        e.register(
+            "broken",
+            FnAction::new("broken", |_| ActionOutcome::fail(1)),
+        );
         let flow = FlowTemplate::new("f")
             .with_step(StepDef::new("broken", "broken"))
             .with_step(StepDef::new("synth", "synth").after("broken"));
@@ -229,10 +256,7 @@ mod tests {
         e.store.write("chip/rtl.v", "module chip_v2;");
         e.tick();
         assert_eq!(e.step("chip/synth").unwrap().status, Status::Stale);
-        assert!(e
-            .notifications
-            .iter()
-            .any(|n| n.contains("resynthesize")));
+        assert!(e.notifications.iter().any(|n| n.contains("resynthesize")));
         e.run_to_quiescence(20);
         assert!(e.is_complete());
         assert_eq!(e.step("chip/synth").unwrap().runs, 2);
@@ -283,10 +307,7 @@ mod more_tests {
     #[test]
     fn newer_than_and_contains_gate_steps() {
         let mut e = Engine::new();
-        e.register(
-            "sta",
-            ToolAction::new("sta", ["netlist.v"], ["timing.rpt"]),
-        );
+        e.register("sta", ToolAction::new("sta", ["netlist.v"], ["timing.rpt"]));
         let flow = FlowTemplate::new("f").with_step(
             StepDef::new("sta", "sta")
                 // Netlist must exist, be newer than the RTL, and the
@@ -320,12 +341,12 @@ mod more_tests {
     fn dirty_lint_report_blocks_even_with_fresh_netlist() {
         let mut e = Engine::new();
         e.register("sta", ToolAction::new("sta", [], ["timing.rpt"]));
-        let flow = FlowTemplate::new("f").with_step(
-            StepDef::new("sta", "sta").needs(Maturity::Contains {
+        let flow = FlowTemplate::new("f").with_step(StepDef::new("sta", "sta").needs(
+            Maturity::Contains {
                 path: "lint.rpt".into(),
                 needle: "clean".into(),
-            }),
-        );
+            },
+        ));
         e.deploy(&flow, &BlockTree::leaf("chip")).unwrap();
         e.store.write("chip/lint.rpt", "3 errors");
         e.run_to_quiescence(3);
@@ -335,10 +356,17 @@ mod more_tests {
     #[test]
     fn reset_cascades_through_children_complete_gates() {
         let mut e = Engine::new();
-        e.register("work", FnAction::new("work", |_| action::ActionOutcome::ok()));
+        e.register(
+            "work",
+            FnAction::new("work", |_| action::ActionOutcome::ok()),
+        );
         let flow = FlowTemplate::new("f")
             .with_step(StepDef::new("impl", "work"))
-            .with_step(StepDef::new("assemble", "work").after("impl").after_children());
+            .with_step(
+                StepDef::new("assemble", "work")
+                    .after("impl")
+                    .after_children(),
+            );
         let tree = BlockTree::leaf("chip").with_child(BlockTree::leaf("cpu"));
         e.deploy(&flow, &tree).unwrap();
         e.run_to_quiescence(20);

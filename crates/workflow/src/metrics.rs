@@ -98,7 +98,10 @@ pub fn status_table(report: &MetricsReport) -> String {
         report.total_runs,
         report.churn()
     ));
-    out.push_str(&format!("{:<16} {:>6} {:>6} {:>6}\n", "action", "steps", "runs", "done"));
+    out.push_str(&format!(
+        "{:<16} {:>6} {:>6} {:>6}\n",
+        "action", "steps", "runs", "done"
+    ));
     for (name, a) in &report.by_action {
         out.push_str(&format!(
             "{:<16} {:>6} {:>6} {:>6}\n",

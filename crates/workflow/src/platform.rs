@@ -196,7 +196,10 @@ mod tests {
     #[test]
     fn version_lookup_and_skew() {
         let m = reference_matrix();
-        assert_eq!(m.version_of("simulator", Platform::UnixWorkstation), Some(7));
+        assert_eq!(
+            m.version_of("simulator", Platform::UnixWorkstation),
+            Some(7)
+        );
         assert_eq!(m.version_of("simulator", Platform::HomePc), Some(5));
         assert_eq!(m.version_of("router", Platform::HomePc), None);
         assert_eq!(m.latest("simulator"), Some(7));
@@ -210,7 +213,13 @@ mod tests {
     fn portability_decreases_away_from_the_workstation() {
         let m = reference_matrix();
         let flow = [
-            "rtl-editor", "lint", "simulator", "synthesizer", "placer", "router", "drc",
+            "rtl-editor",
+            "lint",
+            "simulator",
+            "synthesizer",
+            "placer",
+            "router",
+            "drc",
         ];
         let report = m.portability(flow);
         let ws = &report[&Platform::UnixWorkstation];

@@ -11,7 +11,8 @@ use workflow::template::{BlockTree, FlowTemplate, StepDef};
 /// outputs (so data flow matches control flow).
 fn arb_template() -> impl Strategy<Value = (FlowTemplate, Vec<Vec<usize>>)> {
     (2usize..12).prop_flat_map(|n| {
-        let deps = prop::collection::vec(prop::collection::vec(any::<prop::sample::Index>(), 0..3), n);
+        let deps =
+            prop::collection::vec(prop::collection::vec(any::<prop::sample::Index>(), 0..3), n);
         deps.prop_map(move |raw| {
             let mut flow = FlowTemplate::new("random");
             let mut dep_sets: Vec<Vec<usize>> = Vec::new();
@@ -43,11 +44,12 @@ fn engine_for(flow: &FlowTemplate, dep_sets: &[Vec<usize>]) -> Engine {
             .map(|d| Box::leak(format!("out{d}.dat").into_boxed_str()) as &'static str)
             .collect();
         let output = Box::leak(format!("out{k}.dat").into_boxed_str()) as &'static str;
-        engine.register(format!("a{k}"), ToolAction::new(format!("tool{k}"), inputs, [output]));
+        engine.register(
+            format!("a{k}"),
+            ToolAction::new(format!("tool{k}"), inputs, [output]),
+        );
     }
-    engine
-        .deploy(flow, &BlockTree::leaf("b"))
-        .expect("deploys");
+    engine.deploy(flow, &BlockTree::leaf("b")).expect("deploys");
     engine
 }
 

@@ -12,8 +12,7 @@
 use interop_core::analysis::{analyze, histogram_table};
 use interop_core::flow;
 use interop_core::methodology::{
-    asic_scenario, cell_based_methodology, fpga_prototype_scenario, tool_catalog,
-    MethodologyConfig,
+    asic_scenario, cell_based_methodology, fpga_prototype_scenario, tool_catalog, MethodologyConfig,
 };
 use interop_core::optimize;
 use interop_core::scenario::prune;
@@ -41,7 +40,11 @@ fn main() {
     // --- system analysis ---
     let tools = tool_catalog();
     let map = TaskToolMap::build(&graph, &tools);
-    println!("\ntask/tool map: {} holes, {} overlaps", map.holes().len(), map.overlaps().len());
+    println!(
+        "\ntask/tool map: {} holes, {} overlaps",
+        map.holes().len(),
+        map.overlaps().len()
+    );
     for hole in map.holes().iter().take(3) {
         println!("  hole (no tool): {hole}");
     }

@@ -21,7 +21,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("source design ({}): {}", source.dialect, source.stats());
 
     let migrator = Migrator::new(presets::exar_style_config(4, 10));
-    let (outcome, verdict) = migrator.migrate_and_verify(&source, DialectId::Cascade);
+    let (outcome, verdict) = migrator.migrate_and_verify(&source, DialectId::Cascade)?;
     println!("{}", outcome.report);
     println!("verification: {}", verdict.summary());
     assert!(verdict.is_verified(), "migration must verify");

@@ -74,8 +74,6 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let new = check(k.waveform(), &spec, CompatMode::Post16a);
     println!("pre-1.6a semantics : {} violation(s)", old.len());
     println!("current semantics  : {} violation(s)", new.len());
-    println!(
-        "=> results drift across simulator versions; +pre_16a_path restores the old count"
-    );
+    println!("=> results drift across simulator versions; +pre_16a_path restores the old count");
     Ok(())
 }

@@ -16,13 +16,14 @@ use schematic::dialect::DialectId;
 use schematic::gen::{generate, GenConfig};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    let source = generate(&GenConfig {
-        gates_per_page: 10,
-        pages: 2,
-        depth: 1,
-        bus_width: 4,
-        ..GenConfig::default()
-    });
+    let source = generate(
+        &GenConfig::builder()
+            .gates_per_page(10)
+            .pages(2)
+            .depth(1)
+            .bus_width(4)
+            .build()?,
+    );
 
     // The source design serializes in the Viewstar line format...
     let vsd = schematic::viewstar::write(&source);
@@ -38,18 +39,14 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // maps with pin renames, property rules, an a/L callback, global
     // maps. A 10-track output-pin shift forces Figure 1's rip-up.
     let migrator = Migrator::new(presets::exar_style_config(4, 10));
-    let (outcome, verdict) = migrator.migrate_and_verify(&source, DialectId::Cascade);
+    let (outcome, verdict) = migrator.migrate_and_verify(&source, DialectId::Cascade)?;
 
     println!("\n--- migration report ---");
     print!("{}", outcome.report);
     println!("\n--- independent verification ---");
     println!("{}", verdict.summary());
     if let Some(mapping) = verdict.compare.net_mapping.get("top") {
-        let renamed: Vec<_> = mapping
-            .iter()
-            .filter(|(a, b)| a != b)
-            .take(5)
-            .collect();
+        let renamed: Vec<_> = mapping.iter().filter(|(a, b)| a != b).take(5).collect();
         println!("sample net renames (postfix adjustment, condensation):");
         for (from, to) in renamed {
             println!("  {from} -> {to}");
@@ -70,8 +67,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     for stage in [StageId::Bus, StageId::Connectors, StageId::Text] {
         let mut cfg = presets::exar_style_config(4, 10);
         cfg.skip_stages = vec![stage];
-        let (_, v) = Migrator::new(cfg).migrate_and_verify(&source, DialectId::Cascade);
-        println!("  skip {:<11} -> verified={}", stage.name(), v.is_verified());
+        let (_, v) = Migrator::new(cfg).migrate_and_verify(&source, DialectId::Cascade)?;
+        println!(
+            "  skip {:<11} -> verified={}",
+            stage.name(),
+            v.is_verified()
+        );
     }
     Ok(())
 }

@@ -52,18 +52,27 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         .with_child(BlockTree::leaf("cpu"))
         .with_child(BlockTree::leaf("dsp"));
     engine.deploy(&flow, &tree)?;
-    println!("deployed {} step instances over {} blocks", engine.steps().len(), tree.count());
+    println!(
+        "deployed {} step instances over {} blocks",
+        engine.steps().len(),
+        tree.count()
+    );
 
     engine.grant_role("signoff-owner");
     engine.run_to_quiescence(50);
     let (p, a, d, f, st, b) = engine.status_counts();
-    println!("after first run: pending={p} awaiting={a} done={d} failed={f} stale={st} blocked={b}");
+    println!(
+        "after first run: pending={p} awaiting={a} done={d} failed={f} stale={st} blocked={b}"
+    );
     println!("signoff steps await management approval (finish dependency).");
 
     engine.store.set_var("management-approval", "granted");
     engine.run_to_quiescence(50);
     assert!(engine.is_complete());
-    println!("approval granted -> flow complete: {}", engine.is_complete());
+    println!(
+        "approval granted -> flow complete: {}",
+        engine.is_complete()
+    );
 
     // A designer edits the CPU RTL out-of-band: the trigger notices.
     engine.store.write("chip/cpu/rtl.v", "// hotfix");

@@ -25,7 +25,10 @@ struct StoreHost<'a, 'b> {
 impl Host for StoreHost<'_, '_> {
     fn get(&self, key: &str) -> Option<Value> {
         let path = self.ctx.path(key);
-        self.ctx.store.read(&path).map(|s| Value::Str(s.to_string()))
+        self.ctx
+            .store
+            .read(&path)
+            .map(|s| Value::Str(s.to_string()))
     }
 
     fn set(&mut self, key: &str, value: Value) -> Result<(), String> {
@@ -40,7 +43,11 @@ impl Host for StoreHost<'_, '_> {
 
     fn remove(&mut self, key: &str) -> Option<Value> {
         let path = self.ctx.path(key);
-        let old = self.ctx.store.read(&path).map(|s| Value::Str(s.to_string()));
+        let old = self
+            .ctx
+            .store
+            .read(&path)
+            .map(|s| Value::Str(s.to_string()));
         self.ctx.store.remove(&path);
         old
     }

@@ -21,7 +21,10 @@ fn coverage_report_predicts_drc_outcomes() {
         .iter()
         .any(|r| r.feature == Feature::NetSpacing));
     // ...and GridRoute to keep it (natively).
-    assert_eq!(Tool::GridRoute.support(Feature::NetSpacing), Support::Native);
+    assert_eq!(
+        Tool::GridRoute.support(Feature::NetSpacing),
+        Support::Native
+    );
 
     // Route under each tool's effective rules and count spacing-intent
     // offenders against the canonical rules.
@@ -33,8 +36,20 @@ fn coverage_report_predicts_drc_outcomes() {
             .map(|v| v.offenders)
             .sum()
     };
-    let grid = offenders(&out.jobs.iter().find(|j| j.tool == Tool::GridRoute).unwrap().rules);
-    let cell = offenders(&out.jobs.iter().find(|j| j.tool == Tool::CellPath).unwrap().rules);
+    let grid = offenders(
+        &out.jobs
+            .iter()
+            .find(|j| j.tool == Tool::GridRoute)
+            .unwrap()
+            .rules,
+    );
+    let cell = offenders(
+        &out.jobs
+            .iter()
+            .find(|j| j.tool == Tool::CellPath)
+            .unwrap()
+            .rules,
+    );
     assert!(
         grid <= cell,
         "the spacing-aware tool must not be worse: {grid} vs {cell}"
@@ -50,7 +65,10 @@ fn decks_are_generated_for_both_tools() {
     assert!(grid.deck.contains("GRD 1"));
     assert!(grid.aux.is_empty());
     assert!(cell.deck.contains("[design]"));
-    assert!(!cell.aux.is_empty(), "CellPath uses an external connect file");
+    assert!(
+        !cell.aux.is_empty(),
+        "CellPath uses an external connect file"
+    );
 }
 
 #[test]

@@ -31,7 +31,9 @@ fn migrate_through_both_disk_formats() {
 
     // Migrate the *reparsed* design (as a real flow would).
     let migrator = Migrator::new(presets::exar_style_config(4, 10));
-    let (outcome, verdict) = migrator.migrate_and_verify(&source2, DialectId::Cascade);
+    let (outcome, verdict) = migrator
+        .migrate_and_verify(&source2, DialectId::Cascade)
+        .expect("valid config");
     assert!(outcome.report.is_clean(), "{}", outcome.report);
     assert!(verdict.is_verified(), "{}", verdict.summary());
 
@@ -54,7 +56,9 @@ fn many_seeds_verify() {
     for seed in 1..=6 {
         let source = workload(seed);
         let migrator = Migrator::new(presets::exar_style_config(4, 0));
-        let (_, verdict) = migrator.migrate_and_verify(&source, DialectId::Cascade);
+        let (_, verdict) = migrator
+            .migrate_and_verify(&source, DialectId::Cascade)
+            .expect("valid config");
         assert!(verdict.is_verified(), "seed {seed}: {}", verdict.summary());
     }
 }

@@ -1,7 +1,9 @@
 //! Integration: the Section 6 task graph *executed* by the Section 5
 //! workflow engine — a pruned methodology becomes a runnable flow.
 
-use interop_core::methodology::{cell_based_methodology, fpga_prototype_scenario, MethodologyConfig};
+use interop_core::methodology::{
+    cell_based_methodology, fpga_prototype_scenario, MethodologyConfig,
+};
 use interop_core::scenario::prune;
 use interop_core::TaskGraph;
 use workflow::action::{ActionCtx, ActionOutcome, FnAction};
@@ -44,7 +46,11 @@ fn template_from_graph(graph: &TaskGraph, engine: &mut Engine) -> FlowTemplate {
 fn pruned_methodology_executes_to_completion() {
     let graph = cell_based_methodology(&MethodologyConfig::default());
     let pruned = prune(&graph, &fpga_prototype_scenario()).graph;
-    assert!(pruned.len() >= 15, "enough to be interesting: {}", pruned.len());
+    assert!(
+        pruned.len() >= 15,
+        "enough to be interesting: {}",
+        pruned.len()
+    );
 
     let mut engine = Engine::new();
     let flow = template_from_graph(&pruned, &mut engine);
@@ -54,7 +60,9 @@ fn pruned_methodology_executes_to_completion() {
 
     // Seed the methodology's external inputs.
     for input in pruned.external_inputs() {
-        engine.store.write(format!("project/{}", input.name()), "seed");
+        engine
+            .store
+            .write(format!("project/{}", input.name()), "seed");
     }
 
     let budget = pruned.len() * 3 + 10;

@@ -1,0 +1,750 @@
+//! Vendored, deterministic, zero-dependency stand-in for the `proptest`
+//! crate.
+//!
+//! The workbench builds in hermetic environments with no crates.io
+//! access, so this crate reimplements exactly the slice of proptest's
+//! API the workspace uses: the [`proptest!`] macro, the [`Strategy`]
+//! trait with `prop_map` / `prop_flat_map` / `prop_filter`, integer
+//! range and regex-string strategies, `prop::collection::{vec,
+//! btree_set}`, `prop::sample::{select, Index}`, `any::<T>()`, and
+//! [`ProptestConfig`].
+//!
+//! Differences from the real crate, by design:
+//!
+//! * Generation is **deterministic**: every test derives its RNG seed
+//!   from the test name, so runs are reproducible with no persistence
+//!   files. Set `PROPTEST_CASES` to scale case counts globally.
+//! * There is **no shrinking** — failures report the failing values via
+//!   the ordinary assertion message instead.
+//! * String "regex" strategies support the subset actually used:
+//!   literal characters, `.`, character classes (`[a-z0-9_]`, ranges
+//!   and literals), and `{n}` / `{n,m}` quantifiers.
+
+// The `proptest!` macro genuinely requires `#[test]` inside its body,
+// so the usage doctest cannot avoid the attribute clippy flags.
+#![allow(clippy::test_attr_in_doctest)]
+
+use std::collections::BTreeSet;
+use std::ops::{Range, RangeInclusive};
+
+/// SplitMix64 — the same tiny PRNG the schematic generator uses.
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    /// Seeds the generator.
+    pub fn new(seed: u64) -> Self {
+        TestRng { state: seed }
+    }
+
+    /// Next raw 64-bit value.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform value in `0..bound` (`bound` of zero yields zero).
+    pub fn below(&mut self, bound: u64) -> u64 {
+        if bound == 0 {
+            0
+        } else {
+            self.next_u64() % bound
+        }
+    }
+}
+
+/// Derives a per-test RNG from the test's name (FNV-1a over the name).
+pub fn test_rng(name: &str) -> TestRng {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in name.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    TestRng::new(h)
+}
+
+/// Per-test configuration. Only `cases` is honored.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of generated cases per test.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// A config running `cases` cases.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+
+    /// Applies the `PROPTEST_CASES` env override, if set.
+    pub fn resolved_cases(&self) -> u32 {
+        std::env::var("PROPTEST_CASES")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(self.cases)
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 64 }
+    }
+}
+
+/// A value generator. The shim's analogue of proptest's `Strategy`.
+pub trait Strategy {
+    /// Generated value type.
+    type Value;
+
+    /// Generates one value.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Maps generated values through `f`.
+    fn prop_map<U, F: Fn(Self::Value) -> U>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+    {
+        Map { inner: self, f }
+    }
+
+    /// Generates a value, then generates from the strategy `f` returns.
+    fn prop_flat_map<S: Strategy, F: Fn(Self::Value) -> S>(self, f: F) -> FlatMap<Self, F>
+    where
+        Self: Sized,
+    {
+        FlatMap { inner: self, f }
+    }
+
+    /// Rejects values failing `pred`, retrying (bounded) until one
+    /// passes.
+    fn prop_filter<F: Fn(&Self::Value) -> bool>(
+        self,
+        reason: impl Into<String>,
+        pred: F,
+    ) -> Filter<Self, F>
+    where
+        Self: Sized,
+    {
+        Filter {
+            inner: self,
+            reason: reason.into(),
+            pred,
+        }
+    }
+}
+
+/// See [`Strategy::prop_map`].
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, U, F: Fn(S::Value) -> U> Strategy for Map<S, F> {
+    type Value = U;
+    fn generate(&self, rng: &mut TestRng) -> U {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+/// See [`Strategy::prop_flat_map`].
+pub struct FlatMap<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, T: Strategy, F: Fn(S::Value) -> T> Strategy for FlatMap<S, F> {
+    type Value = T::Value;
+    fn generate(&self, rng: &mut TestRng) -> Self::Value {
+        (self.f)(self.inner.generate(rng)).generate(rng)
+    }
+}
+
+/// See [`Strategy::prop_filter`].
+pub struct Filter<S, F> {
+    inner: S,
+    reason: String,
+    pred: F,
+}
+
+impl<S: Strategy, F: Fn(&S::Value) -> bool> Strategy for Filter<S, F> {
+    type Value = S::Value;
+    fn generate(&self, rng: &mut TestRng) -> S::Value {
+        for _ in 0..1000 {
+            let v = self.inner.generate(rng);
+            if (self.pred)(&v) {
+                return v;
+            }
+        }
+        panic!("prop_filter exhausted retries: {}", self.reason);
+    }
+}
+
+macro_rules! impl_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty range strategy");
+                let span = (self.end as i128 - self.start as i128) as u128;
+                let off = (rng.next_u64() as u128) % span;
+                (self.start as i128 + off as i128) as $t
+            }
+        }
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                let (lo, hi) = (*self.start() as i128, *self.end() as i128);
+                assert!(lo <= hi, "empty range strategy");
+                let span = (hi - lo + 1) as u128;
+                let off = if span == 0 {
+                    // Full-width u64/i64 inclusive range.
+                    rng.next_u64() as u128
+                } else {
+                    (rng.next_u64() as u128) % span
+                };
+                (lo + off as i128) as $t
+            }
+        }
+    )*};
+}
+
+impl_range_strategy!(i8, i16, i32, i64, isize, u8, u16, u32, u64, usize);
+
+macro_rules! impl_tuple_strategy {
+    ($($name:ident),+) => {
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+            #[allow(non_snake_case)]
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                let ($($name,)+) = self;
+                ($($name.generate(rng),)+)
+            }
+        }
+    };
+}
+
+impl_tuple_strategy!(A);
+impl_tuple_strategy!(A, B);
+impl_tuple_strategy!(A, B, C);
+impl_tuple_strategy!(A, B, C, D);
+impl_tuple_strategy!(A, B, C, D, E);
+impl_tuple_strategy!(A, B, C, D, E, G);
+impl_tuple_strategy!(A, B, C, D, E, G, H);
+impl_tuple_strategy!(A, B, C, D, E, G, H, I);
+impl_tuple_strategy!(A, B, C, D, E, G, H, I, J);
+impl_tuple_strategy!(A, B, C, D, E, G, H, I, J, K);
+impl_tuple_strategy!(A, B, C, D, E, G, H, I, J, K, L);
+impl_tuple_strategy!(A, B, C, D, E, G, H, I, J, K, L, M);
+
+/// A strategy always yielding clones of one value.
+#[derive(Debug, Clone)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+    fn generate(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+// ---------------------------------------------------------------------
+// Regex-lite string strategies.
+// ---------------------------------------------------------------------
+
+#[derive(Debug, Clone)]
+enum CharSet {
+    Any,
+    Set(Vec<(char, char)>),
+}
+
+impl CharSet {
+    fn sample(&self, rng: &mut TestRng) -> char {
+        match self {
+            // Printable ASCII plus whitespace — enough to exercise
+            // parser robustness without multi-byte surprises.
+            CharSet::Any => {
+                let k = rng.below(97) as u8;
+                match k {
+                    95 => '\n',
+                    96 => '\t',
+                    v => (0x20 + v) as char,
+                }
+            }
+            CharSet::Set(ranges) => {
+                let total: u64 = ranges
+                    .iter()
+                    .map(|(a, b)| (*b as u64) - (*a as u64) + 1)
+                    .sum();
+                let mut pick = rng.below(total);
+                for (a, b) in ranges {
+                    let span = (*b as u64) - (*a as u64) + 1;
+                    if pick < span {
+                        return char::from_u32(*a as u32 + pick as u32).unwrap_or(*a);
+                    }
+                    pick -= span;
+                }
+                ranges[0].0
+            }
+        }
+    }
+}
+
+#[derive(Debug, Clone)]
+struct Atom {
+    set: CharSet,
+    min: u32,
+    max: u32,
+}
+
+fn parse_pattern(pat: &str) -> Vec<Atom> {
+    let chars: Vec<char> = pat.chars().collect();
+    let mut atoms: Vec<Atom> = Vec::new();
+    let mut i = 0;
+    while i < chars.len() {
+        let set = match chars[i] {
+            '.' => {
+                i += 1;
+                CharSet::Any
+            }
+            '[' => {
+                i += 1;
+                let mut ranges = Vec::new();
+                while i < chars.len() && chars[i] != ']' {
+                    let a = chars[i];
+                    if i + 2 < chars.len() && chars[i + 1] == '-' && chars[i + 2] != ']' {
+                        ranges.push((a, chars[i + 2]));
+                        i += 3;
+                    } else {
+                        ranges.push((a, a));
+                        i += 1;
+                    }
+                }
+                i += 1; // closing ]
+                CharSet::Set(ranges)
+            }
+            '\\' if i + 1 < chars.len() => {
+                i += 2;
+                CharSet::Set(vec![(chars[i - 1], chars[i - 1])])
+            }
+            c => {
+                i += 1;
+                CharSet::Set(vec![(c, c)])
+            }
+        };
+        // Optional {n} / {n,m} quantifier.
+        let (mut min, mut max) = (1u32, 1u32);
+        if i < chars.len() && chars[i] == '{' {
+            let close = chars[i..].iter().position(|&c| c == '}').unwrap_or(0) + i;
+            let body: String = chars[i + 1..close].iter().collect();
+            if let Some((lo, hi)) = body.split_once(',') {
+                min = lo.trim().parse().unwrap_or(0);
+                max = hi.trim().parse().unwrap_or(min);
+            } else {
+                min = body.trim().parse().unwrap_or(1);
+                max = min;
+            }
+            i = close + 1;
+        }
+        atoms.push(Atom { set, min, max });
+    }
+    atoms
+}
+
+impl Strategy for &str {
+    type Value = String;
+    fn generate(&self, rng: &mut TestRng) -> String {
+        let mut out = String::new();
+        for atom in parse_pattern(self) {
+            let n = atom.min + rng.below((atom.max - atom.min + 1) as u64) as u32;
+            for _ in 0..n {
+                out.push(atom.set.sample(rng));
+            }
+        }
+        out
+    }
+}
+
+impl Strategy for String {
+    type Value = String;
+    fn generate(&self, rng: &mut TestRng) -> String {
+        self.as_str().generate(rng)
+    }
+}
+
+// ---------------------------------------------------------------------
+// any::<T>() via a minimal Arbitrary.
+// ---------------------------------------------------------------------
+
+/// Types with a canonical strategy.
+pub trait Arbitrary: Sized {
+    /// The canonical strategy type.
+    type Strategy: Strategy<Value = Self>;
+    /// The canonical strategy value.
+    fn arbitrary() -> Self::Strategy;
+}
+
+/// The canonical strategy for `T`.
+pub fn any<T: Arbitrary>() -> T::Strategy {
+    T::arbitrary()
+}
+
+/// Strategy for [`Arbitrary`] scalars.
+#[derive(Debug, Clone, Default)]
+pub struct AnyOf<T>(std::marker::PhantomData<T>);
+
+impl Strategy for AnyOf<bool> {
+    type Value = bool;
+    fn generate(&self, rng: &mut TestRng) -> bool {
+        rng.below(2) == 1
+    }
+}
+
+impl Arbitrary for bool {
+    type Strategy = AnyOf<bool>;
+    fn arbitrary() -> Self::Strategy {
+        AnyOf(std::marker::PhantomData)
+    }
+}
+
+macro_rules! impl_arbitrary_int {
+    ($($t:ty),*) => {$(
+        impl Strategy for AnyOf<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                rng.next_u64() as $t
+            }
+        }
+        impl Arbitrary for $t {
+            type Strategy = AnyOf<$t>;
+            fn arbitrary() -> Self::Strategy {
+                AnyOf(std::marker::PhantomData)
+            }
+        }
+    )*};
+}
+
+impl_arbitrary_int!(i8, i16, i32, i64, u8, u16, u32, u64, usize);
+
+/// Namespaced combinators, mirroring `proptest::prelude::prop`.
+pub mod prop {
+    /// Collection strategies.
+    pub mod collection {
+        use super::super::{Strategy, TestRng};
+        use std::collections::BTreeSet;
+        use std::ops::Range;
+
+        /// Something usable as a collection size: a fixed count or a
+        /// half-open range.
+        #[derive(Debug, Clone)]
+        pub struct SizeRange {
+            min: usize,
+            max: usize, // inclusive
+        }
+
+        impl From<usize> for SizeRange {
+            fn from(n: usize) -> Self {
+                SizeRange { min: n, max: n }
+            }
+        }
+
+        impl From<Range<usize>> for SizeRange {
+            fn from(r: Range<usize>) -> Self {
+                assert!(r.start < r.end, "empty size range");
+                SizeRange {
+                    min: r.start,
+                    max: r.end - 1,
+                }
+            }
+        }
+
+        impl From<std::ops::RangeInclusive<usize>> for SizeRange {
+            fn from(r: std::ops::RangeInclusive<usize>) -> Self {
+                assert!(r.start() <= r.end(), "empty size range");
+                SizeRange {
+                    min: *r.start(),
+                    max: *r.end(),
+                }
+            }
+        }
+
+        impl SizeRange {
+            fn sample(&self, rng: &mut TestRng) -> usize {
+                self.min + rng.below((self.max - self.min + 1) as u64) as usize
+            }
+        }
+
+        /// Strategy for `Vec<T>` with sizes drawn from a range.
+        pub struct VecStrategy<S> {
+            element: S,
+            size: SizeRange,
+        }
+
+        /// `Vec` of values from `element`, sized by `size`.
+        pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+            VecStrategy {
+                element,
+                size: size.into(),
+            }
+        }
+
+        impl<S: Strategy> Strategy for VecStrategy<S> {
+            type Value = Vec<S::Value>;
+            fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+                let n = self.size.sample(rng);
+                (0..n).map(|_| self.element.generate(rng)).collect()
+            }
+        }
+
+        /// Strategy for `BTreeSet<T>` with sizes drawn from a range.
+        pub struct BTreeSetStrategy<S> {
+            element: S,
+            size: SizeRange,
+        }
+
+        /// `BTreeSet` of values from `element`; best-effort sizing
+        /// (duplicates are redrawn a bounded number of times).
+        pub fn btree_set<S>(element: S, size: impl Into<SizeRange>) -> BTreeSetStrategy<S>
+        where
+            S: Strategy,
+            S::Value: Ord,
+        {
+            BTreeSetStrategy {
+                element,
+                size: size.into(),
+            }
+        }
+
+        impl<S> Strategy for BTreeSetStrategy<S>
+        where
+            S: Strategy,
+            S::Value: Ord,
+        {
+            type Value = BTreeSet<S::Value>;
+            fn generate(&self, rng: &mut TestRng) -> BTreeSet<S::Value> {
+                let target = self.size.sample(rng);
+                let mut out = BTreeSet::new();
+                let mut attempts = 0;
+                while out.len() < target && attempts < target * 20 + 20 {
+                    out.insert(self.element.generate(rng));
+                    attempts += 1;
+                }
+                out
+            }
+        }
+    }
+
+    /// `Option` strategies.
+    pub mod option {
+        use super::super::{Strategy, TestRng};
+
+        /// Strategy yielding `None` 25% of the time, `Some` otherwise.
+        pub struct OptionStrategy<S> {
+            inner: S,
+        }
+
+        /// Optional values from `inner`.
+        pub fn of<S: Strategy>(inner: S) -> OptionStrategy<S> {
+            OptionStrategy { inner }
+        }
+
+        impl<S: Strategy> Strategy for OptionStrategy<S> {
+            type Value = Option<S::Value>;
+            fn generate(&self, rng: &mut TestRng) -> Option<S::Value> {
+                if rng.below(4) == 0 {
+                    None
+                } else {
+                    Some(self.inner.generate(rng))
+                }
+            }
+        }
+    }
+
+    /// Sampling strategies.
+    pub mod sample {
+        use super::super::{AnyOf, Arbitrary, Strategy, TestRng};
+
+        /// Picks one of the provided values.
+        pub struct Select<T: Clone> {
+            options: Vec<T>,
+        }
+
+        /// Strategy choosing uniformly from `options`.
+        pub fn select<T: Clone>(options: Vec<T>) -> Select<T> {
+            assert!(!options.is_empty(), "select of empty set");
+            Select { options }
+        }
+
+        impl<T: Clone> Strategy for Select<T> {
+            type Value = T;
+            fn generate(&self, rng: &mut TestRng) -> T {
+                self.options[rng.below(self.options.len() as u64) as usize].clone()
+            }
+        }
+
+        /// An index into a not-yet-known collection length, like
+        /// proptest's `sample::Index`.
+        #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+        pub struct Index {
+            raw: usize,
+        }
+
+        impl Index {
+            /// Resolves against a concrete collection length.
+            pub fn index(&self, len: usize) -> usize {
+                assert!(len > 0, "Index::index on empty collection");
+                self.raw % len
+            }
+        }
+
+        impl Strategy for AnyOf<Index> {
+            type Value = Index;
+            fn generate(&self, rng: &mut TestRng) -> Index {
+                Index {
+                    raw: rng.next_u64() as usize,
+                }
+            }
+        }
+
+        impl Arbitrary for Index {
+            type Strategy = AnyOf<Index>;
+            fn arbitrary() -> Self::Strategy {
+                AnyOf(std::marker::PhantomData)
+            }
+        }
+    }
+}
+
+/// The everything-you-need import, mirroring `proptest::prelude`.
+pub mod prelude {
+    pub use crate::{
+        any, prop, prop_assert, prop_assert_eq, prop_assert_ne, proptest, Arbitrary, Just,
+        ProptestConfig, Strategy,
+    };
+}
+
+/// Asserts a condition inside a property test.
+#[macro_export]
+macro_rules! prop_assert {
+    ($($tt:tt)*) => { assert!($($tt)*) };
+}
+
+/// Asserts equality inside a property test.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($tt:tt)*) => { assert_eq!($($tt)*) };
+}
+
+/// Asserts inequality inside a property test.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($tt:tt)*) => { assert_ne!($($tt)*) };
+}
+
+/// Declares deterministic property tests.
+///
+/// ```
+/// use proptest::prelude::*;
+///
+/// proptest! {
+///     #[test]
+///     fn addition_commutes(a in -100i64..100, b in -100i64..100) {
+///         prop_assert_eq!(a + b, b + a);
+///     }
+/// }
+/// ```
+#[macro_export]
+macro_rules! proptest {
+    (
+        #![proptest_config($cfg:expr)]
+        $(
+            $(#[$meta:meta])*
+            fn $name:ident($($arg:pat in $strat:expr),+ $(,)?) $body:block
+        )+
+    ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let __config: $crate::ProptestConfig = $cfg;
+                let mut __rng = $crate::test_rng(stringify!($name));
+                for __case in 0..__config.resolved_cases() {
+                    $(let $arg = $crate::Strategy::generate(&($strat), &mut __rng);)+
+                    $body
+                }
+            }
+        )+
+    };
+    (
+        $(
+            $(#[$meta:meta])*
+            fn $name:ident($($arg:pat in $strat:expr),+ $(,)?) $body:block
+        )+
+    ) => {
+        $crate::proptest! {
+            #![proptest_config($crate::ProptestConfig::default())]
+            $(
+                $(#[$meta])*
+                fn $name($($arg in $strat),+) $body
+            )+
+        }
+    };
+}
+
+// Keep BTreeSet referenced so the top-level import stays meaningful if
+// collection strategies move.
+#[allow(unused)]
+fn _uses(_: BTreeSet<u8>) {}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut rng = crate::test_rng("ranges");
+        for _ in 0..1000 {
+            let v = (-50i64..50).generate(&mut rng);
+            assert!((-50..50).contains(&v));
+            let u = (1usize..8).generate(&mut rng);
+            assert!((1..8).contains(&u));
+        }
+    }
+
+    #[test]
+    fn regex_lite_generates_matching_strings() {
+        let mut rng = crate::test_rng("regex");
+        for _ in 0..200 {
+            let s = "[a-z][a-z0-9_]{0,14}".generate(&mut rng);
+            assert!(!s.is_empty() && s.len() <= 15);
+            assert!(s.chars().next().unwrap().is_ascii_lowercase());
+            assert!(s
+                .chars()
+                .all(|c| c.is_ascii_lowercase() || c.is_ascii_digit() || c == '_'));
+        }
+    }
+
+    #[test]
+    fn collections_respect_sizes() {
+        let mut rng = crate::test_rng("coll");
+        for _ in 0..100 {
+            let v = prop::collection::vec(0i64..10, 2usize..5).generate(&mut rng);
+            assert!((2..5).contains(&v.len()));
+            let s = prop::collection::btree_set(0i64..1000, 3usize..6).generate(&mut rng);
+            assert!(s.len() <= 5);
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+        #[test]
+        fn the_macro_itself_works(a in 0u64..100, flip in any::<bool>()) {
+            prop_assert!(a < 100);
+            let copy = flip;
+            prop_assert_eq!(flip, copy);
+        }
+    }
+}
