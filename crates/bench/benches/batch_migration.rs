@@ -6,7 +6,8 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use interop_bench::batch_exp::{
-    batch_designs, batch_scaling, batch_span_profile, batch_table, span_table,
+    batch_designs, batch_histograms, batch_scaling, batch_span_profile, batch_table,
+    percentile_table, span_table,
 };
 use migrate::batch::{migrate_batch, BatchConfig};
 use migrate::{presets, Migrator};
@@ -38,6 +39,8 @@ fn bench(c: &mut Criterion) {
     print!("{}", batch_table(&batch_scaling(DESIGNS, &[1, 2, 4, 8])));
     println!();
     print!("{}", span_table(&batch_span_profile(DESIGNS, 4)));
+    println!();
+    print!("{}", percentile_table(&batch_histograms(DESIGNS, 4)));
 }
 
 criterion_group!(benches, bench);

@@ -137,6 +137,44 @@ pub fn batch_table(rows: &[BatchRow]) -> String {
     s
 }
 
+/// Runs one recorded batch and returns every histogram the batch
+/// recorded (queue depth, per-stage value distributions), keyed by
+/// name — the source for the percentile table.
+pub fn batch_histograms(designs: usize, threads: usize) -> Vec<(String, obs::Histogram)> {
+    let sources = batch_designs(designs);
+    let migrator = Migrator::new(presets::exar_style_config(4, 0));
+    let recorder = MemoryRecorder::new();
+    let _ = migrate_batch_recorded(
+        &migrator,
+        &sources,
+        DialectId::Cascade,
+        &BatchConfig::with_threads(threads),
+        &recorder,
+    );
+    recorder.histograms().into_iter().collect()
+}
+
+/// Renders bucket-interpolated percentiles per histogram.
+pub fn percentile_table(hists: &[(String, obs::Histogram)]) -> String {
+    let mut s = String::from("E-S2-BATCH histogram percentiles (bucket-interpolated)\n");
+    s.push_str(&format!(
+        "{:<28} {:>7} {:>7} {:>7} {:>7} {:>7}\n",
+        "histogram", "count", "p50", "p90", "p99", "max"
+    ));
+    for (name, h) in hists {
+        s.push_str(&format!(
+            "{:<28} {:>7} {:>7} {:>7} {:>7} {:>7}\n",
+            name,
+            h.count,
+            h.percentile(50.0),
+            h.percentile(90.0),
+            h.percentile(99.0),
+            h.max
+        ));
+    }
+    s
+}
+
 /// Renders the span profile table.
 pub fn span_table(profile: &[(String, u64, u128)]) -> String {
     let mut s = String::from("E-S2-BATCH span profile (MemoryRecorder)\n");
@@ -182,5 +220,14 @@ mod tests {
             let row = profile.iter().find(|(n, _, _)| *n == span);
             assert_eq!(row.map(|(_, c, _)| *c), Some(4), "missing span {span}");
         }
+    }
+
+    #[test]
+    fn percentile_table_reports_queue_depth() {
+        let hists = batch_histograms(4, 2);
+        assert!(hists.iter().any(|(n, _)| n == "migrate.batch.queue_depth"));
+        let table = percentile_table(&hists);
+        assert!(table.contains("p99"));
+        assert!(table.contains("migrate.batch.queue_depth"));
     }
 }

@@ -439,6 +439,33 @@ pub fn flatten(
     })
 }
 
+/// Like [`flatten`], but emits an `hdl.flatten` span into `recorder`
+/// with the top name and resulting net/name-map sizes.
+///
+/// # Errors
+///
+/// Returns a [`FlattenError`] for missing modules, bad connections, or
+/// runaway recursion.
+pub fn flatten_recorded(
+    unit: &SourceUnit,
+    top: &str,
+    separator: &str,
+    recorder: &dyn obs::Recorder,
+) -> Result<FlattenResult, FlattenError> {
+    let span = obs::Span::enter(recorder, "hdl.flatten");
+    span.attr("top", top);
+    span.attr("modules", unit.modules.len());
+    let result = flatten(unit, top, separator);
+    match &result {
+        Ok(r) => {
+            span.attr("nets", r.module.nets.len());
+            span.attr("names", r.name_map.iter().count());
+        }
+        Err(_) => span.attr("error", true),
+    }
+    result
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -653,6 +653,38 @@ pub fn parse(src: &str) -> Result<SourceUnit, ParseError> {
     p.source_unit()
 }
 
+/// Like [`parse`], but emits an `hdl.parse` span (with byte and module
+/// counts) into `recorder`, plus an `hdl.parse.error` event carrying
+/// the failing line when parsing fails.
+///
+/// # Errors
+///
+/// Returns the first lex or parse error with its line number.
+pub fn parse_recorded(src: &str, recorder: &dyn obs::Recorder) -> Result<SourceUnit, ParseError> {
+    let span = obs::Span::enter(recorder, "hdl.parse");
+    span.attr("bytes", src.len());
+    let result = parse(src);
+    match &result {
+        Ok(unit) => {
+            span.attr("modules", unit.modules.len());
+            recorder.add_counter("hdl.parse.modules", unit.modules.len() as u64);
+        }
+        Err(e) => {
+            span.attr("error", true);
+            obs::event(
+                recorder,
+                "hdl.parse.error",
+                &[
+                    ("line", (e.line as u64).into()),
+                    ("message", e.message.as_str().into()),
+                ],
+            );
+            recorder.add_counter("hdl.parse.errors", 1);
+        }
+    }
+    result
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

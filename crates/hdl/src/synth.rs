@@ -144,6 +144,23 @@ impl VendorSubset {
     pub fn accepts(&self, module: &Module) -> bool {
         self.check(module).is_empty()
     }
+
+    /// Like [`VendorSubset::check`], but emits an `hdl.synth.check`
+    /// span (vendor + violation count attributes) and an
+    /// `hdl.synth.violations` counter into `recorder`.
+    pub fn check_recorded(
+        &self,
+        module: &Module,
+        recorder: &dyn obs::Recorder,
+    ) -> Vec<SubsetViolation> {
+        let span = obs::Span::enter(recorder, "hdl.synth.check");
+        span.attr("vendor", self.name.as_str());
+        span.attr("module", module.name.as_str());
+        let violations = self.check(module);
+        span.attr("violations", violations.len());
+        recorder.add_counter("hdl.synth.violations", violations.len() as u64);
+        violations
+    }
 }
 
 /// Lists every `(construct, line)` use in a module.

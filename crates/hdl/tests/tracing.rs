@@ -1,0 +1,59 @@
+//! Frontend instrumentation: parse → flatten → subset-check under one
+//! trace recorder, plus the parse-error event path.
+
+use hdl::flatten::flatten_recorded;
+use hdl::parser::parse_recorded;
+use hdl::synth::VendorSubset;
+use obs::{AttrValue, TraceRecorder};
+
+const SRC: &str = r#"
+module leaf(input a, output y);
+  assign y = ~a;
+endmodule
+module top(input a, output y);
+  wire m;
+  leaf u1(.a(a), .y(m));
+  leaf u2(.a(m), .y(y));
+endmodule
+"#;
+
+#[test]
+fn frontend_flow_is_traced() {
+    let rec = TraceRecorder::new();
+    let unit = parse_recorded(SRC, &rec).expect("parses");
+    let flat = flatten_recorded(&unit, "top", "_", &rec).expect("flattens");
+    assert!(!flat.module.nets.is_empty());
+    let violations = VendorSubset::vendor_a().check_recorded(&flat.module, &rec);
+
+    assert_eq!(rec.counter("hdl.parse.modules"), 2);
+    assert_eq!(rec.counter("hdl.synth.violations"), violations.len() as u64);
+    assert_eq!(rec.span_count("hdl.parse"), 1);
+    assert_eq!(rec.span_count("hdl.flatten"), 1);
+    assert_eq!(rec.span_count("hdl.synth.check"), 1);
+
+    let spans = rec.finished_spans();
+    let parse_span = spans.iter().find(|s| s.name == "hdl.parse").unwrap();
+    assert_eq!(
+        parse_span.attr("modules"),
+        Some(&AttrValue::UInt(2)),
+        "module count attributed on the parse span"
+    );
+}
+
+#[test]
+fn parse_failures_emit_an_error_event() {
+    let rec = TraceRecorder::new();
+    let err = parse_recorded("module broken(\n  input\nendmodule", &rec).unwrap_err();
+    assert_eq!(rec.counter("hdl.parse.errors"), 1);
+    let events = rec.events();
+    let ev = events
+        .iter()
+        .find(|e| e.name == "hdl.parse.error")
+        .expect("error event recorded");
+    let line = ev
+        .attrs
+        .iter()
+        .find(|(k, _)| k == "line")
+        .map(|(_, v)| v.clone());
+    assert_eq!(line, Some(AttrValue::UInt(err.line as u64)));
+}

@@ -122,10 +122,17 @@ pub fn migrate_batch(
 }
 
 /// Like [`migrate_batch`], but emits observability into `recorder`: a
-/// `migrate.batch` span for the whole run, per-design pipeline spans
-/// (via [`Migrator::migrate_recorded`]), a `migrate.batch.designs`
-/// counter, a `migrate.batch.steals` counter, and a
-/// `migrate.batch.queue_depth` histogram sampled as workers start jobs.
+/// `migrate.batch` span for the whole run, one `migrate.batch.worker`
+/// span per worker thread (parented under the batch span via
+/// [`obs::attach_parent`], so the trace tree survives the thread
+/// boundary), per-design pipeline spans (via
+/// [`Migrator::migrate_recorded`]), a `migrate.batch.designs` counter,
+/// a `migrate.batch.steals` counter, and a `migrate.batch.queue_depth`
+/// histogram sampled as workers start jobs.
+///
+/// Pipeline and stage spans carry a `design` attribute, so even when a
+/// job is *stolen* by another worker its spans attribute to the design
+/// they serve — not to the thread that happened to run them.
 pub fn migrate_batch_recorded(
     migrator: &Migrator,
     sources: &[Design],
@@ -133,7 +140,10 @@ pub fn migrate_batch_recorded(
     batch: &BatchConfig,
     recorder: &dyn Recorder,
 ) -> Vec<MigrationOutcome> {
-    let _span = Span::enter(recorder, "migrate.batch");
+    let batch_span = Span::enter(recorder, "migrate.batch");
+    batch_span.attr("designs", sources.len());
+    batch_span.attr("threads", batch.threads);
+    let batch_id = batch_span.id();
     recorder.add_counter("migrate.batch.designs", sources.len() as u64);
     if sources.is_empty() {
         return Vec::new();
@@ -156,9 +166,17 @@ pub fn migrate_batch_recorded(
         let handles: Vec<_> = (0..workers)
             .map(|worker| {
                 scope.spawn(move || {
+                    // Worker threads have empty span stacks of their own;
+                    // adopt the batch span as parent so every pipeline
+                    // span attributes to the batch, not to a bare thread.
+                    let _ctx = obs::attach_parent(batch_id);
+                    let worker_span = Span::enter(recorder, "migrate.batch.worker");
+                    worker_span.attr("worker", worker);
                     let mut done = Vec::new();
+                    let mut steals = 0u64;
                     while let Some((job, stolen)) = queues.take(worker) {
                         if stolen {
+                            steals += 1;
                             recorder.add_counter("migrate.batch.steals", 1);
                         }
                         let depth = queues.queues[worker].lock().unwrap().len();
@@ -166,6 +184,8 @@ pub fn migrate_batch_recorded(
                         let outcome = migrator.migrate_recorded(&sources[job], target, recorder);
                         done.push((job, outcome));
                     }
+                    worker_span.attr("jobs", done.len());
+                    worker_span.attr("steals", steals);
                     done
                 })
             })
@@ -272,6 +292,89 @@ mod tests {
                 6,
                 "stage {} should run once per design",
                 id.name()
+            );
+        }
+    }
+
+    #[test]
+    fn eight_thread_batch_attributes_spans_to_the_right_design() {
+        use obs::{AttrValue, TraceRecorder};
+        use std::collections::BTreeMap;
+
+        let sources = designs(12);
+        let migrator = Migrator::default();
+        let sequential: Vec<String> = sources
+            .iter()
+            .map(|d| schematic::cascade::write(&migrator.migrate(d, DialectId::Cascade).design))
+            .collect();
+
+        let recorder = TraceRecorder::new();
+        let outcomes = migrate_batch_recorded(
+            &migrator,
+            &sources,
+            DialectId::Cascade,
+            &BatchConfig::with_threads(8),
+            &recorder,
+        );
+
+        // Tracing must not perturb results: byte-identical to sequential.
+        let parallel: Vec<String> = outcomes
+            .iter()
+            .map(|o| schematic::cascade::write(&o.design))
+            .collect();
+        assert_eq!(parallel, sequential);
+
+        let spans = recorder.finished_spans();
+        let by_id: BTreeMap<_, _> = spans.iter().map(|s| (s.id, s)).collect();
+        let batch = spans
+            .iter()
+            .find(|s| s.name == "migrate.batch")
+            .expect("batch span recorded");
+
+        // Every worker span hangs off the batch span (cross-thread
+        // handoff), and every pipeline span hangs off a worker span.
+        let workers: Vec<_> = spans
+            .iter()
+            .filter(|s| s.name == "migrate.batch.worker")
+            .collect();
+        assert_eq!(workers.len(), 8);
+        for w in &workers {
+            assert_eq!(w.parent, Some(batch.id));
+        }
+
+        // Key every stage span on the design-name attribute: it must
+        // match the design attribute of its parent pipeline span, and
+        // each design must get a full complement of stage spans.
+        let mut stages_per_design: BTreeMap<String, usize> = BTreeMap::new();
+        let stage_count = migrator.stage_ids().len();
+        let mut checked = 0usize;
+        for stage in spans
+            .iter()
+            .filter(|s| s.name.starts_with("migrate.stage."))
+        {
+            let design = match stage.attr("design") {
+                Some(AttrValue::Str(name)) => name.clone(),
+                other => panic!("stage span missing design attr: {other:?}"),
+            };
+            let pipeline = by_id[&stage.parent.expect("stage span has a parent")];
+            assert_eq!(pipeline.name, "migrate.pipeline");
+            assert_eq!(
+                pipeline.attr("design"),
+                Some(&AttrValue::Str(design.clone())),
+                "stage span attributed to the wrong design's pipeline"
+            );
+            let worker = by_id[&pipeline.parent.expect("pipeline span has a parent")];
+            assert_eq!(worker.name, "migrate.batch.worker");
+            *stages_per_design.entry(design).or_default() += 1;
+            checked += 1;
+        }
+        assert_eq!(checked, sources.len() * stage_count);
+        for source in &sources {
+            assert_eq!(
+                stages_per_design.get(&source.name),
+                Some(&stage_count),
+                "design {} missing stage spans",
+                source.name
             );
         }
     }

@@ -147,7 +147,13 @@ impl Migrator {
         target: DialectId,
         recorder: &dyn Recorder,
     ) -> MigrationOutcome {
-        let _pipeline_span = Span::enter(recorder, "migrate.pipeline");
+        let pipeline_span = Span::enter(recorder, "migrate.pipeline");
+        pipeline_span.attr("design", source.name.as_str());
+        pipeline_span.attr("from", source.dialect.to_string());
+        pipeline_span.attr("to", target.to_string());
+        let stats = source.stats();
+        pipeline_span.attr("instances", stats.instances);
+        pipeline_span.attr("wires", stats.wires);
         let src_rules = DialectRules::for_id(source.dialect);
         let dst_rules = DialectRules::for_id(target);
         let mut design = source.clone();
@@ -167,10 +173,15 @@ impl Migrator {
                 report.skipped.push(id);
                 continue;
             }
-            let stage_report = {
-                let _span = Span::enter(recorder, format!("migrate.stage.{}", id.name()));
-                stage.run(&mut design, &ctx)
-            };
+            let span = Span::enter(recorder, format!("migrate.stage.{}", id.name()));
+            span.attr("design", source.name.as_str());
+            span.attr("stage", id.name());
+            let stage_report = stage.run(&mut design, &ctx);
+            span.attr("touched", stage_report.touched);
+            if !stage_report.issues.is_empty() {
+                span.attr("issues", stage_report.issues.len());
+            }
+            drop(span);
             report.stage_mut(id).merge(stage_report);
         }
 

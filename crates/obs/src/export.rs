@@ -1,0 +1,400 @@
+//! Trace exporters: Chrome trace-event JSON, an aggregated span tree,
+//! a folded-stack flamegraph, and a top-N self-time table.
+//!
+//! All exporters read a [`TraceRecorder`] snapshot; none require any
+//! dependency. The Chrome export loads directly in Perfetto or
+//! `chrome://tracing`; the folded output feeds `flamegraph.pl` (or any
+//! tool that takes `frame;frame;frame count` lines); the tree and
+//! table are terminal-ready.
+
+use std::collections::BTreeMap;
+use std::time::Duration;
+
+use crate::json::escape;
+use crate::{SpanId, TraceRecorder, TraceSpan};
+
+/// Renders the trace as Chrome trace-event JSON (the "JSON Array
+/// Format" wrapped in an object): one `ph:"X"` complete event per
+/// finished span — with `span_id`/`parent` and all attributes in
+/// `args` — and one `ph:"i"` instant event per recorded event.
+pub fn chrome_trace(rec: &TraceRecorder) -> String {
+    let mut spans = rec.finished_spans();
+    spans.sort_by_key(|s| (s.start, s.id));
+    let mut parts: Vec<String> = Vec::with_capacity(spans.len());
+    for s in &spans {
+        parts.push(format!(
+            "{{\"name\":\"{}\",\"cat\":\"span\",\"ph\":\"X\",\"ts\":{},\"dur\":{},\
+             \"pid\":1,\"tid\":{},\"args\":{}}}",
+            escape(&s.name),
+            s.start.as_micros(),
+            s.duration().as_micros(),
+            s.thread,
+            args_json(s.id, s.parent, &s.attrs),
+        ));
+    }
+    for e in rec.events() {
+        parts.push(format!(
+            "{{\"name\":\"{}\",\"cat\":\"event\",\"ph\":\"i\",\"s\":\"t\",\"ts\":{},\
+             \"pid\":1,\"tid\":{},\"args\":{}}}",
+            escape(&e.name),
+            e.ts.as_micros(),
+            e.thread,
+            args_json_raw(e.parent.map(|p| p.0), None, &e.attrs),
+        ));
+    }
+    format!(
+        "{{\"traceEvents\":[{}],\"displayTimeUnit\":\"ms\"}}",
+        parts.join(",")
+    )
+}
+
+fn args_json(id: SpanId, parent: Option<SpanId>, attrs: &[(String, crate::AttrValue)]) -> String {
+    args_json_raw(parent.map(|p| p.0), Some(id.0), attrs)
+}
+
+fn args_json_raw(
+    parent: Option<u64>,
+    id: Option<u64>,
+    attrs: &[(String, crate::AttrValue)],
+) -> String {
+    let mut fields: Vec<String> = Vec::with_capacity(attrs.len() + 2);
+    if let Some(id) = id {
+        fields.push(format!("\"span_id\":{id}"));
+    }
+    if let Some(p) = parent {
+        fields.push(format!("\"parent\":{p}"));
+    }
+    for (k, v) in attrs {
+        fields.push(format!("\"{}\":{}", escape(k), v.to_json()));
+    }
+    format!("{{{}}}", fields.join(","))
+}
+
+/// A per-instance view of the trace with computed self time and child
+/// links — the shared substrate of the tree/table/flamegraph renderers.
+struct Instances {
+    spans: Vec<TraceSpan>,
+    /// Children per span index, in start order.
+    children: Vec<Vec<usize>>,
+    /// Root span indices (no parent, or parent outside the ring).
+    roots: Vec<usize>,
+    /// Self time per span index: duration minus children's durations.
+    self_time: Vec<Duration>,
+}
+
+fn instances(rec: &TraceRecorder) -> Instances {
+    let mut spans = rec.finished_spans();
+    spans.sort_by_key(|s| (s.start, s.id));
+    let index: BTreeMap<SpanId, usize> = spans.iter().enumerate().map(|(i, s)| (s.id, i)).collect();
+    let mut children: Vec<Vec<usize>> = vec![Vec::new(); spans.len()];
+    let mut roots: Vec<usize> = Vec::new();
+    for (i, s) in spans.iter().enumerate() {
+        match s.parent.and_then(|p| index.get(&p)) {
+            Some(&p) => children[p].push(i),
+            // Roots proper, plus orphans whose parent is still open or
+            // was evicted from the ring.
+            None => roots.push(i),
+        }
+    }
+    let mut self_time: Vec<Duration> = Vec::with_capacity(spans.len());
+    for (i, s) in spans.iter().enumerate() {
+        let child_total: Duration = children[i].iter().map(|&c| spans[c].duration()).sum();
+        self_time.push(s.duration().saturating_sub(child_total));
+    }
+    Instances {
+        spans,
+        children,
+        roots,
+        self_time,
+    }
+}
+
+/// One node of the aggregated span tree: same-named siblings merged.
+#[derive(Default)]
+struct TreeNode {
+    count: u64,
+    total: Duration,
+    self_time: Duration,
+    /// Child name → node, in first-seen (≈ start time) order.
+    children: Vec<(String, TreeNode)>,
+    /// Attributes of the *sole* instance (shown only when count == 1).
+    attrs: Vec<(String, crate::AttrValue)>,
+}
+
+impl TreeNode {
+    fn child(&mut self, name: &str) -> &mut TreeNode {
+        if let Some(pos) = self.children.iter().position(|(n, _)| n == name) {
+            return &mut self.children[pos].1;
+        }
+        self.children.push((name.to_string(), TreeNode::default()));
+        &mut self.children.last_mut().unwrap().1
+    }
+
+    fn fold(&mut self, inst: &Instances, idx: usize) {
+        let node = self.child(&inst.spans[idx].name);
+        node.count += 1;
+        node.total += inst.spans[idx].duration();
+        node.self_time += inst.self_time[idx];
+        node.attrs = inst.spans[idx].attrs.clone();
+        for &c in &inst.children[idx] {
+            node.fold(inst, c);
+        }
+    }
+}
+
+fn fmt_dur(d: Duration) -> String {
+    let us = d.as_micros();
+    if us >= 1_000_000 {
+        format!("{:.2}s", us as f64 / 1e6)
+    } else if us >= 1_000 {
+        format!("{:.2}ms", us as f64 / 1e3)
+    } else {
+        format!("{us}µs")
+    }
+}
+
+/// Renders the aggregated span tree: same-named siblings merge into one
+/// node carrying a count, total time, and self time (total minus
+/// children). Single-instance nodes print their attributes.
+///
+/// The deepest chain of the tree is the pipeline's critical nesting;
+/// `obsdump` asserts ≥ 3 levels for a full preset flow.
+pub fn span_tree(rec: &TraceRecorder) -> String {
+    let inst = instances(rec);
+    let mut root = TreeNode::default();
+    for &r in &inst.roots {
+        root.fold(&inst, r);
+    }
+    let (dropped_spans, _) = rec.dropped();
+    let mut out = format!(
+        "span tree — {} spans ({} evicted); self = total − children\n",
+        inst.spans.len(),
+        dropped_spans
+    );
+    fn render(out: &mut String, node: &TreeNode, prefix: &str, last: bool, name: &str, top: bool) {
+        if !top {
+            let branch = if last { "└─ " } else { "├─ " };
+            let mut label = name.to_string();
+            if node.count == 1 && !node.attrs.is_empty() {
+                let attrs: Vec<String> =
+                    node.attrs.iter().map(|(k, v)| format!("{k}={v}")).collect();
+                label.push_str(&format!(" [{}]", attrs.join(" ")));
+            }
+            out.push_str(&format!(
+                "{prefix}{branch}{label:<44} ×{:<5} total {:>9}  self {:>9}\n",
+                node.count,
+                fmt_dur(node.total),
+                fmt_dur(node.self_time),
+            ));
+        }
+        let child_prefix = if top {
+            String::new()
+        } else {
+            format!("{prefix}{}", if last { "   " } else { "│  " })
+        };
+        for (i, (cname, child)) in node.children.iter().enumerate() {
+            let is_last = i + 1 == node.children.len();
+            render(out, child, &child_prefix, is_last, cname, false);
+        }
+    }
+    render(&mut out, &root, "", true, "", true);
+    out
+}
+
+/// Maximum nesting depth across the recorded spans (a root is depth 1).
+pub fn max_depth(rec: &TraceRecorder) -> usize {
+    let inst = instances(rec);
+    fn depth(inst: &Instances, idx: usize) -> usize {
+        1 + inst.children[idx]
+            .iter()
+            .map(|&c| depth(inst, c))
+            .max()
+            .unwrap_or(0)
+    }
+    inst.roots
+        .iter()
+        .map(|&r| depth(&inst, r))
+        .max()
+        .unwrap_or(0)
+}
+
+/// Renders folded stacks (`root;child;leaf self_us`), the input format
+/// of `flamegraph.pl` and compatible tools. Same-stack lines merge;
+/// values are self-time microseconds.
+pub fn folded_stacks(rec: &TraceRecorder) -> String {
+    let inst = instances(rec);
+    let mut folded: BTreeMap<String, u128> = BTreeMap::new();
+    fn walk(inst: &Instances, idx: usize, stack: &mut String, folded: &mut BTreeMap<String, u128>) {
+        let len_before = stack.len();
+        if !stack.is_empty() {
+            stack.push(';');
+        }
+        stack.push_str(&inst.spans[idx].name);
+        *folded.entry(stack.clone()).or_default() += inst.self_time[idx].as_micros();
+        for &c in &inst.children[idx] {
+            walk(inst, c, stack, folded);
+        }
+        stack.truncate(len_before);
+    }
+    let mut stack = String::new();
+    for &r in &inst.roots {
+        walk(&inst, r, &mut stack, &mut folded);
+    }
+    let mut out = String::new();
+    for (stack, us) in folded {
+        out.push_str(&format!("{stack} {us}\n"));
+    }
+    out
+}
+
+/// One row of [`self_time_table`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SelfTimeRow {
+    /// Span name.
+    pub name: String,
+    /// Instances.
+    pub count: u64,
+    /// Summed wall-clock time.
+    pub total: Duration,
+    /// Summed self time (total minus children).
+    pub self_time: Duration,
+}
+
+/// Per-name totals sorted by self time, descending — "where did the
+/// time actually go".
+pub fn self_time_rows(rec: &TraceRecorder) -> Vec<SelfTimeRow> {
+    let inst = instances(rec);
+    let mut by_name: BTreeMap<&str, (u64, Duration, Duration)> = BTreeMap::new();
+    for (i, s) in inst.spans.iter().enumerate() {
+        let e = by_name.entry(&s.name).or_default();
+        e.0 += 1;
+        e.1 += s.duration();
+        e.2 += inst.self_time[i];
+    }
+    let mut rows: Vec<SelfTimeRow> = by_name
+        .into_iter()
+        .map(|(name, (count, total, self_time))| SelfTimeRow {
+            name: name.to_string(),
+            count,
+            total,
+            self_time,
+        })
+        .collect();
+    rows.sort_by(|a, b| b.self_time.cmp(&a.self_time).then(a.name.cmp(&b.name)));
+    rows
+}
+
+/// Renders the top-`n` self-time table.
+pub fn self_time_table(rec: &TraceRecorder, n: usize) -> String {
+    let rows = self_time_rows(rec);
+    let shown = rows.len().min(n);
+    let mut out = format!(
+        "top {shown} spans by self time (of {} names)\n{:<44} {:>7} {:>12} {:>12}\n",
+        rows.len(),
+        "span",
+        "count",
+        "total_us",
+        "self_us"
+    );
+    for row in rows.iter().take(n) {
+        out.push_str(&format!(
+            "{:<44} {:>7} {:>12} {:>12}\n",
+            row.name,
+            row.count,
+            row.total.as_micros(),
+            row.self_time.as_micros()
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{event, validate_json, Span, TraceRecorder};
+
+    /// A three-level trace: root → (phase ×2 → step ×2 each).
+    fn sample() -> TraceRecorder {
+        let rec = TraceRecorder::new();
+        let root = Span::enter(&rec, "run");
+        root.attr("preset", "exar");
+        for i in 0..2u64 {
+            let phase = Span::enter(&rec, "phase");
+            phase.attr("idx", i);
+            for _ in 0..2 {
+                let _step = Span::enter(&rec, "step");
+                std::hint::black_box(());
+            }
+            event(&rec, "phase.done", &[("idx", i.into())]);
+        }
+        drop(root);
+        rec
+    }
+
+    #[test]
+    fn chrome_trace_is_valid_json_with_all_spans() {
+        let rec = sample();
+        let json = chrome_trace(&rec);
+        validate_json(&json).expect("chrome trace validates");
+        assert!(json.starts_with("{\"traceEvents\":["));
+        assert_eq!(json.matches("\"ph\":\"X\"").count(), 7, "7 spans");
+        assert_eq!(json.matches("\"ph\":\"i\"").count(), 2, "2 events");
+        assert!(json.contains("\"preset\":\"exar\""));
+        assert!(json.contains("\"parent\":"));
+    }
+
+    #[test]
+    fn span_tree_nests_and_merges_siblings() {
+        let rec = sample();
+        let tree = span_tree(&rec);
+        assert!(tree.contains("run"), "{tree}");
+        assert!(tree.contains("phase"), "{tree}");
+        assert!(tree.contains("×2"), "siblings merged: {tree}");
+        assert!(tree.contains("×4"), "grandchildren merged: {tree}");
+        assert_eq!(max_depth(&rec), 3);
+    }
+
+    #[test]
+    fn folded_stacks_cover_every_level() {
+        let rec = sample();
+        let folded = folded_stacks(&rec);
+        assert!(folded.contains("run "));
+        assert!(folded.contains("run;phase "));
+        assert!(folded.contains("run;phase;step "));
+        for line in folded.lines() {
+            let (_, value) = line.rsplit_once(' ').expect("stack SP value");
+            assert!(value.parse::<u128>().is_ok(), "bad line: {line}");
+        }
+    }
+
+    #[test]
+    fn self_time_orders_by_self_descending() {
+        let rec = sample();
+        let rows = self_time_rows(&rec);
+        assert_eq!(rows.len(), 3);
+        for pair in rows.windows(2) {
+            assert!(pair[0].self_time >= pair[1].self_time);
+        }
+        let total: u64 = rows.iter().map(|r| r.count).sum();
+        assert_eq!(total, 7);
+        let table = self_time_table(&rec, 2);
+        assert!(table.contains("top 2 spans"));
+    }
+
+    #[test]
+    fn orphaned_children_render_as_roots() {
+        let rec = TraceRecorder::with_capacity(2);
+        {
+            let _a = Span::enter(&rec, "a");
+            let _b = Span::enter(&rec, "b");
+            let _c = Span::enter(&rec, "c");
+            let _d = Span::enter(&rec, "d");
+        }
+        // Capacity 2: only the last two finished spans ("b", "a")
+        // survive; "a" keeps "b" as a child, nothing dangles.
+        let tree = span_tree(&rec);
+        assert!(tree.contains("a"));
+        assert!(tree.contains("b"));
+        validate_json(&chrome_trace(&rec)).unwrap();
+    }
+}

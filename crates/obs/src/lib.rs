@@ -2,15 +2,22 @@
 //!
 //! Section 2 of the paper frames migration as a *whole-library* problem:
 //! Exar translated thousands of sheets, and at that scale "it works"
-//! stops being useful telemetry. This crate turns opaque pipeline totals
-//! into machine-readable data: **spans** (named, monotonically timed
-//! intervals), **counters**, and **histograms**, all funneled through a
-//! [`Recorder`] trait so instrumented code never pays for what the
-//! caller doesn't want.
+//! stops being useful telemetry. Section 6 goes further — its
+//! methodology-management layer is built on *data- and control-flow
+//! analysis* of tool chains, and you cannot analyze a flow you cannot
+//! see. This crate turns opaque pipeline totals into machine-readable
+//! data: **hierarchical spans** (named, monotonically timed intervals
+//! with identities and parent links), **structured events** with
+//! key/value attributes, **counters**, and **histograms**, all funneled
+//! through a [`Recorder`] trait so instrumented code never pays for
+//! what the caller doesn't want.
 //!
 //! * [`NullRecorder`] — the default: every operation is a no-op.
 //! * [`MemoryRecorder`] — thread-safe in-memory aggregation, with JSON
 //!   export for benchmark perf records.
+//! * [`TraceRecorder`] — a bounded ring buffer keeping every span with
+//!   its identity, parent, thread, and attributes; feeds the exporters
+//!   in [`export`] (Chrome trace-event JSON, span trees, flamegraphs).
 //!
 //! Instrumented code opens spans RAII-style:
 //!
@@ -26,27 +33,279 @@
 //! assert_eq!(rec.counter("objects.touched"), 42);
 //! ```
 //!
+//! ## Hierarchy and cross-thread handoff
+//!
+//! Every [`Span`] gets a process-unique [`SpanId`]; the innermost open
+//! span on the current thread (a thread-local stack) becomes the parent
+//! of the next one, so nesting falls out of ordinary RAII scoping. Work
+//! handed to *another* thread — a work-stealing batch worker, say —
+//! re-attaches explicitly with [`attach_parent`], so child spans
+//! attribute to the job they serve, not the thread that stole it:
+//!
+//! ```
+//! use obs::{attach_parent, Span, TraceRecorder};
+//!
+//! let rec = TraceRecorder::new();
+//! let batch = Span::enter(&rec, "batch");
+//! let batch_id = batch.id();
+//! std::thread::scope(|s| {
+//!     s.spawn(|| {
+//!         let _handoff = attach_parent(batch_id);
+//!         let _job = Span::enter(&rec, "job"); // parent: "batch"
+//!     });
+//! });
+//! drop(batch);
+//! let spans = rec.finished_spans();
+//! let job = spans.iter().find(|s| s.name == "job").unwrap();
+//! assert_eq!(job.parent, Some(batch_id));
+//! ```
+//!
 //! All sinks are `Send + Sync`; one recorder can be shared by every
 //! worker of a parallel batch run.
 
+pub mod export;
+pub mod json;
+mod trace;
+
+pub use json::{validate_json, JsonError};
+pub use trace::{TraceEvent, TraceRecorder, TraceSpan};
+
+use std::cell::RefCell;
 use std::collections::BTreeMap;
-use std::sync::Mutex;
+use std::fmt;
+use std::marker::PhantomData;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Mutex, MutexGuard, OnceLock};
 use std::time::{Duration, Instant};
+
+/// Process-unique identity of one span instance.
+///
+/// Allocated from a global monotonic counter, so ids from different
+/// recorders (or none) never collide and parent links stay unambiguous
+/// across threads.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct SpanId(pub u64);
+
+static NEXT_SPAN_ID: AtomicU64 = AtomicU64::new(1);
+
+impl SpanId {
+    fn next() -> SpanId {
+        SpanId(NEXT_SPAN_ID.fetch_add(1, Ordering::Relaxed))
+    }
+}
+
+impl fmt::Display for SpanId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+static EPOCH: OnceLock<Instant> = OnceLock::new();
+
+/// Monotonic time since the process-wide trace epoch (set on first
+/// use). All trace timestamps share this epoch, so spans recorded by
+/// different threads and recorders line up on one timeline.
+pub fn trace_clock() -> Duration {
+    EPOCH.get_or_init(Instant::now).elapsed()
+}
+
+static NEXT_THREAD: AtomicU64 = AtomicU64::new(0);
+
+thread_local! {
+    static THREAD_ORDINAL: u64 = NEXT_THREAD.fetch_add(1, Ordering::Relaxed);
+    static SPAN_STACK: RefCell<Vec<SpanId>> = const { RefCell::new(Vec::new()) };
+}
+
+/// A small dense ordinal for the calling thread — used as the `tid` in
+/// Chrome trace exports (std's `ThreadId` has no stable integer form).
+pub fn thread_ordinal() -> u64 {
+    THREAD_ORDINAL.with(|t| *t)
+}
+
+/// The innermost open span on this thread, if any.
+pub fn current_span() -> Option<SpanId> {
+    SPAN_STACK.with(|s| s.borrow().last().copied())
+}
+
+fn stack_push(id: SpanId) {
+    SPAN_STACK.with(|s| s.borrow_mut().push(id));
+}
+
+fn stack_remove(id: SpanId) {
+    SPAN_STACK.with(|s| {
+        let mut v = s.borrow_mut();
+        if let Some(pos) = v.iter().rposition(|&x| x == id) {
+            v.remove(pos);
+        }
+    });
+}
+
+/// Makes `parent` the current span on *this* thread until the returned
+/// guard drops.
+///
+/// This is the explicit handoff for work that crosses threads: a
+/// work-stealing batch worker attaches the coordinator's span before
+/// processing jobs, so every span it opens attributes to the batch (and
+/// through per-job spans, to the design it serves) rather than dangling
+/// as a root on the stealing thread.
+pub fn attach_parent(parent: SpanId) -> ContextGuard {
+    stack_push(parent);
+    ContextGuard {
+        id: parent,
+        _not_send: PhantomData,
+    }
+}
+
+/// Guard returned by [`attach_parent`]; detaches on drop. `!Send`: it
+/// must drop on the thread that attached.
+pub struct ContextGuard {
+    id: SpanId,
+    _not_send: PhantomData<*const ()>,
+}
+
+impl Drop for ContextGuard {
+    fn drop(&mut self) {
+        stack_remove(self.id);
+    }
+}
+
+/// A structured attribute value: spans and events carry
+/// `(&str, AttrValue)` pairs (design name, sheet, stage id, net
+/// count...).
+#[derive(Debug, Clone, PartialEq)]
+pub enum AttrValue {
+    /// A string.
+    Str(String),
+    /// An unsigned integer (counts, sizes, line numbers).
+    UInt(u64),
+    /// A signed integer.
+    Int(i64),
+    /// A boolean.
+    Bool(bool),
+}
+
+impl AttrValue {
+    /// Renders the value as a JSON fragment.
+    pub fn to_json(&self) -> String {
+        match self {
+            AttrValue::Str(s) => format!("\"{}\"", json::escape(s)),
+            AttrValue::UInt(v) => v.to_string(),
+            AttrValue::Int(v) => v.to_string(),
+            AttrValue::Bool(v) => v.to_string(),
+        }
+    }
+}
+
+impl fmt::Display for AttrValue {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AttrValue::Str(s) => f.write_str(s),
+            AttrValue::UInt(v) => write!(f, "{v}"),
+            AttrValue::Int(v) => write!(f, "{v}"),
+            AttrValue::Bool(v) => write!(f, "{v}"),
+        }
+    }
+}
+
+impl From<&str> for AttrValue {
+    fn from(v: &str) -> Self {
+        AttrValue::Str(v.to_string())
+    }
+}
+impl From<String> for AttrValue {
+    fn from(v: String) -> Self {
+        AttrValue::Str(v)
+    }
+}
+impl From<u64> for AttrValue {
+    fn from(v: u64) -> Self {
+        AttrValue::UInt(v)
+    }
+}
+impl From<u32> for AttrValue {
+    fn from(v: u32) -> Self {
+        AttrValue::UInt(v as u64)
+    }
+}
+impl From<usize> for AttrValue {
+    fn from(v: usize) -> Self {
+        AttrValue::UInt(v as u64)
+    }
+}
+impl From<i64> for AttrValue {
+    fn from(v: i64) -> Self {
+        AttrValue::Int(v)
+    }
+}
+impl From<bool> for AttrValue {
+    fn from(v: bool) -> Self {
+        AttrValue::Bool(v)
+    }
+}
 
 /// A metrics/tracing sink.
 ///
 /// Implementations must be cheap when unused and safe to share across
-/// threads. All instrumented crates (`migrate`, `workflow`, `bench`)
-/// accept `&dyn Recorder` so callers choose the sink at the boundary.
+/// threads. All instrumented crates (`schematic`, `migrate`, `hdl`,
+/// `sim`, `pnr`, `workflow`, `bench`) accept `&dyn Recorder` so callers
+/// choose the sink at the boundary.
+///
+/// The three aggregate methods are required; the hierarchical methods
+/// (`record_span_start` / `record_span_end` / `record_attr` /
+/// `record_event`) default to no-ops so aggregate-only sinks — and
+/// pre-existing third-party impls — keep working unchanged.
 pub trait Recorder: Send + Sync {
     /// Records one finished span: a named interval that took `duration`.
     fn record_span(&self, name: &str, duration: Duration);
 
-    /// Adds `delta` to the named monotonic counter.
+    /// Adds `delta` to the named monotonic counter (saturating).
     fn add_counter(&self, name: &str, delta: u64);
 
     /// Records one observation into the named histogram.
     fn record_value(&self, name: &str, value: u64);
+
+    /// A span opened: identity, parent link, and start time on the
+    /// shared trace clock. Default: ignored.
+    fn record_span_start(
+        &self,
+        _id: SpanId,
+        _parent: Option<SpanId>,
+        _name: &str,
+        _start: Duration,
+    ) {
+    }
+
+    /// A span closed at `end` on the shared trace clock. Default:
+    /// ignored.
+    fn record_span_end(&self, _id: SpanId, _end: Duration) {}
+
+    /// Attaches a key/value attribute to an open (or recently closed)
+    /// span. Default: ignored.
+    fn record_attr(&self, _id: SpanId, _key: &str, _value: AttrValue) {}
+
+    /// A structured instant event with attributes, parented to the
+    /// current span. Default: ignored.
+    fn record_event(
+        &self,
+        _name: &str,
+        _parent: Option<SpanId>,
+        _ts: Duration,
+        _attrs: &[(&str, AttrValue)],
+    ) {
+    }
+}
+
+/// Emits a structured instant event into `recorder`, parented to this
+/// thread's innermost open span and stamped on the shared trace clock.
+///
+/// ```
+/// use obs::{event, TraceRecorder};
+/// let rec = TraceRecorder::new();
+/// event(&rec, "parse.error", &[("line", 14u64.into())]);
+/// assert_eq!(rec.events().len(), 1);
+/// ```
+pub fn event(recorder: &dyn Recorder, name: &str, attrs: &[(&str, AttrValue)]) {
+    recorder.record_event(name, current_span(), trace_clock(), attrs);
 }
 
 /// The do-nothing sink: instrumentation compiles to near-zero work.
@@ -59,7 +318,7 @@ impl Recorder for NullRecorder {
     fn record_value(&self, _name: &str, _value: u64) {}
 }
 
-/// One finished span measurement.
+/// One finished span measurement (aggregate view, no identity).
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct SpanRecord {
     /// Span name (dotted path convention, e.g. `migrate.stage.scale`).
@@ -71,7 +330,7 @@ pub struct SpanRecord {
 /// A power-of-two-bucketed histogram of `u64` observations.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Histogram {
-    /// Bucket `i` counts observations in `[2^(i-1), 2^i)`; bucket 0
+    /// Bucket `i` counts observations in `[2^i, 2^(i+1))`; bucket 0
     /// counts zeros and ones.
     pub buckets: [u64; 64],
     /// Observation count.
@@ -96,11 +355,25 @@ impl Default for Histogram {
     }
 }
 
+/// Inclusive value bounds of bucket `i` (see [`Histogram::buckets`]).
+fn bucket_bounds(i: usize) -> (u64, u64) {
+    if i == 0 {
+        (0, 1)
+    } else if i >= 63 {
+        (1u64 << 63, u64::MAX)
+    } else {
+        (1u64 << i, (1u64 << (i + 1)) - 1)
+    }
+}
+
 impl Histogram {
-    /// Records one observation.
+    /// Records one observation. All accumulation is saturating: a
+    /// recorder hammered past `u64::MAX` clamps instead of panicking in
+    /// the instrumented hot path.
     pub fn observe(&mut self, value: u64) {
         let idx = (64 - value.leading_zeros()).saturating_sub(1) as usize;
-        self.buckets[idx.min(63)] += 1;
+        let bucket = &mut self.buckets[idx.min(63)];
+        *bucket = bucket.saturating_add(1);
         if self.count == 0 {
             self.min = value;
             self.max = value;
@@ -108,7 +381,7 @@ impl Histogram {
             self.min = self.min.min(value);
             self.max = self.max.max(value);
         }
-        self.count += 1;
+        self.count = self.count.saturating_add(1);
         self.sum = self.sum.saturating_add(value);
     }
 
@@ -137,6 +410,36 @@ impl Histogram {
         }
         self.max
     }
+
+    /// Bucket-interpolated percentile, `p` in `[0, 100]`.
+    ///
+    /// Finds the bucket holding the rank-`⌈count·p/100⌉` observation
+    /// and interpolates linearly inside the bucket's value range by the
+    /// rank's position within the bucket — a much tighter estimate than
+    /// [`Histogram::quantile`]'s bucket upper bound, at identical
+    /// storage cost. The result is clamped to `[min, max]`, so p0 and
+    /// p100 are exact.
+    pub fn percentile(&self, p: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let p = p.clamp(0.0, 100.0);
+        let target = ((self.count as f64) * p / 100.0).ceil().max(1.0) as u64;
+        let mut seen = 0u64;
+        for (i, &c) in self.buckets.iter().enumerate() {
+            if c == 0 {
+                continue;
+            }
+            if seen + c >= target {
+                let (lo, hi) = bucket_bounds(i);
+                let into = (target - seen) as f64 / c as f64;
+                let est = lo as f64 + into * (hi - lo) as f64;
+                return (est as u64).clamp(self.min, self.max);
+            }
+            seen += c;
+        }
+        self.max
+    }
 }
 
 #[derive(Debug, Default)]
@@ -148,6 +451,25 @@ struct MemoryState {
 
 /// Thread-safe in-memory sink: aggregates spans, counters, and
 /// histograms for later inspection or JSON export.
+///
+/// ## Lock granularity
+///
+/// All state sits behind **one** mutex. Critical sections are a few
+/// dozen nanoseconds (a `Vec` push or a `BTreeMap` bump), so at the
+/// thread counts this workbench runs (≤ 16 batch workers) a single
+/// lock measures within noise of sharded alternatives — and keeps
+/// snapshots (`to_json`, `counters`) trivially consistent: one lock
+/// acquisition sees spans, counters, and histograms at the same
+/// instant. Sharding (per-thread buffers merged on read, or one lock
+/// per map) would cut contention for *much* wider fan-out at the cost
+/// of torn snapshots or a merge step; revisit if a profile ever shows
+/// this lock hot.
+///
+/// The lock is also **poison-hardened**: if an instrumented thread
+/// panics while recording, other threads recover the data instead of
+/// propagating the panic out of the observability layer (counter bumps
+/// and span pushes keep the state internally consistent at every
+/// intermediate point, so recovered data is never torn).
 #[derive(Debug, Default)]
 pub struct MemoryRecorder {
     state: Mutex<MemoryState>,
@@ -159,27 +481,27 @@ impl MemoryRecorder {
         MemoryRecorder::default()
     }
 
+    /// Locks the state, recovering the data from a poisoned mutex: a
+    /// panic elsewhere must not cascade into every instrumented thread.
+    fn lock(&self) -> MutexGuard<'_, MemoryState> {
+        self.state
+            .lock()
+            .unwrap_or_else(|poisoned| poisoned.into_inner())
+    }
+
     /// All finished spans, in completion order.
     pub fn spans(&self) -> Vec<SpanRecord> {
-        self.state.lock().unwrap().spans.clone()
+        self.lock().spans.clone()
     }
 
     /// Number of finished spans with this exact name.
     pub fn span_count(&self, name: &str) -> usize {
-        self.state
-            .lock()
-            .unwrap()
-            .spans
-            .iter()
-            .filter(|s| s.name == name)
-            .count()
+        self.lock().spans.iter().filter(|s| s.name == name).count()
     }
 
     /// Total duration across all spans with this exact name.
     pub fn span_total(&self, name: &str) -> Duration {
-        self.state
-            .lock()
-            .unwrap()
+        self.lock()
             .spans
             .iter()
             .filter(|s| s.name == name)
@@ -189,7 +511,7 @@ impl MemoryRecorder {
 
     /// Sorted set of distinct span names seen.
     pub fn span_names(&self) -> Vec<String> {
-        let st = self.state.lock().unwrap();
+        let st = self.lock();
         let mut names: Vec<String> = st.spans.iter().map(|s| s.name.clone()).collect();
         names.sort();
         names.dedup();
@@ -198,41 +520,39 @@ impl MemoryRecorder {
 
     /// Current value of a counter (0 when never incremented).
     pub fn counter(&self, name: &str) -> u64 {
-        self.state
-            .lock()
-            .unwrap()
-            .counters
-            .get(name)
-            .copied()
-            .unwrap_or(0)
+        self.lock().counters.get(name).copied().unwrap_or(0)
     }
 
     /// Snapshot of every counter.
     pub fn counters(&self) -> BTreeMap<String, u64> {
-        self.state.lock().unwrap().counters.clone()
+        self.lock().counters.clone()
     }
 
     /// Snapshot of one histogram, if any observation was recorded.
     pub fn histogram(&self, name: &str) -> Option<Histogram> {
-        self.state.lock().unwrap().histograms.get(name).cloned()
+        self.lock().histograms.get(name).cloned()
+    }
+
+    /// Snapshot of every histogram.
+    pub fn histograms(&self) -> BTreeMap<String, Histogram> {
+        self.lock().histograms.clone()
     }
 
     /// Discards all recorded data.
     pub fn reset(&self) {
-        *self.state.lock().unwrap() = MemoryState::default();
+        *self.lock() = MemoryState::default();
     }
 
     /// Serializes the aggregate state as a JSON object:
     /// `{"spans": {name: {count, total_us}}, "counters": {...},
-    /// "histograms": {name: {count, sum, min, max, mean}}}`.
+    /// "histograms": {name: {count, sum, min, max, mean, p50, p90,
+    /// p99}}}`.
     ///
     /// Hand-rolled (the crate is zero-dependency); names follow the
     /// dotted-path convention and need no escaping beyond quotes.
     pub fn to_json(&self) -> String {
-        fn esc(s: &str) -> String {
-            s.replace('\\', "\\\\").replace('"', "\\\"")
-        }
-        let st = self.state.lock().unwrap();
+        let esc = json::escape;
+        let st = self.lock();
         let mut span_agg: BTreeMap<&str, (u64, u128)> = BTreeMap::new();
         for s in &st.spans {
             let e = span_agg.entry(&s.name).or_default();
@@ -257,13 +577,17 @@ impl MemoryRecorder {
             .iter()
             .map(|(k, h)| {
                 format!(
-                    "\"{}\":{{\"count\":{},\"sum\":{},\"min\":{},\"max\":{},\"mean\":{:.3}}}",
+                    "\"{}\":{{\"count\":{},\"sum\":{},\"min\":{},\"max\":{},\"mean\":{:.3},\
+                     \"p50\":{},\"p90\":{},\"p99\":{}}}",
                     esc(k),
                     h.count,
                     h.sum,
                     h.min,
                     h.max,
-                    h.mean()
+                    h.mean(),
+                    h.percentile(50.0),
+                    h.percentile(90.0),
+                    h.percentile(99.0)
                 )
             })
             .collect::<Vec<_>>()
@@ -274,26 +598,20 @@ impl MemoryRecorder {
 
 impl Recorder for MemoryRecorder {
     fn record_span(&self, name: &str, duration: Duration) {
-        self.state.lock().unwrap().spans.push(SpanRecord {
+        self.lock().spans.push(SpanRecord {
             name: name.to_string(),
             duration,
         });
     }
 
     fn add_counter(&self, name: &str, delta: u64) {
-        *self
-            .state
-            .lock()
-            .unwrap()
-            .counters
-            .entry(name.to_string())
-            .or_insert(0) += delta;
+        let mut st = self.lock();
+        let c = st.counters.entry(name.to_string()).or_insert(0);
+        *c = c.saturating_add(delta);
     }
 
     fn record_value(&self, name: &str, value: u64) {
-        self.state
-            .lock()
-            .unwrap()
+        self.lock()
             .histograms
             .entry(name.to_string())
             .or_default()
@@ -301,22 +619,51 @@ impl Recorder for MemoryRecorder {
     }
 }
 
-/// An RAII span: opens on [`Span::enter`], records its duration into the
-/// recorder when dropped. Timing uses [`Instant`], which is monotonic.
+/// An RAII span: opens on [`Span::enter`], records its duration into
+/// the recorder when dropped. Timing uses [`Instant`], which is
+/// monotonic.
+///
+/// On enter the span takes a process-unique [`SpanId`], links to the
+/// innermost open span on this thread as its parent, and becomes the
+/// current span itself; hierarchical sinks ([`TraceRecorder`]) receive
+/// the full identity, aggregate sinks just the name/duration pair.
+/// `!Send`: the thread-local current-span stack pins a span to the
+/// thread that opened it (hand work across threads with
+/// [`attach_parent`]).
 pub struct Span<'a> {
     recorder: &'a dyn Recorder,
     name: String,
+    id: SpanId,
     start: Instant,
+    _not_send: PhantomData<*const ()>,
 }
 
 impl<'a> Span<'a> {
-    /// Opens a span.
+    /// Opens a span as a child of this thread's current span.
     pub fn enter(recorder: &'a dyn Recorder, name: impl Into<String>) -> Self {
+        let name = name.into();
+        let id = SpanId::next();
+        recorder.record_span_start(id, current_span(), &name, trace_clock());
+        stack_push(id);
         Span {
             recorder,
-            name: name.into(),
+            name,
+            id,
             start: Instant::now(),
+            _not_send: PhantomData,
         }
+    }
+
+    /// This span's identity — pass to [`attach_parent`] to hand the
+    /// context to another thread.
+    pub fn id(&self) -> SpanId {
+        self.id
+    }
+
+    /// Attaches a key/value attribute (design name, sheet, net
+    /// count...) to this span.
+    pub fn attr(&self, key: &str, value: impl Into<AttrValue>) {
+        self.recorder.record_attr(self.id, key, value.into());
     }
 
     /// Elapsed time so far.
@@ -327,6 +674,8 @@ impl<'a> Span<'a> {
 
 impl Drop for Span<'_> {
     fn drop(&mut self) {
+        stack_remove(self.id);
+        self.recorder.record_span_end(self.id, trace_clock());
         self.recorder.record_span(&self.name, self.start.elapsed());
     }
 }
@@ -348,6 +697,10 @@ mod tests {
         r.record_span("x", Duration::from_millis(1));
         r.add_counter("c", 5);
         r.record_value("h", 7);
+        r.record_span_start(SpanId(1), None, "x", Duration::ZERO);
+        r.record_span_end(SpanId(1), Duration::ZERO);
+        r.record_attr(SpanId(1), "k", AttrValue::UInt(1));
+        r.record_event("e", None, Duration::ZERO, &[]);
     }
 
     #[test]
@@ -363,6 +716,35 @@ mod tests {
     }
 
     #[test]
+    fn span_stack_tracks_nesting() {
+        let rec = NullRecorder;
+        assert_eq!(current_span(), None);
+        let outer = Span::enter(&rec, "outer");
+        assert_eq!(current_span(), Some(outer.id()));
+        {
+            let inner = Span::enter(&rec, "inner");
+            assert_eq!(current_span(), Some(inner.id()));
+        }
+        assert_eq!(current_span(), Some(outer.id()));
+        drop(outer);
+        assert_eq!(current_span(), None);
+    }
+
+    #[test]
+    fn attach_parent_sets_context_until_guard_drops() {
+        let rec = NullRecorder;
+        let span = Span::enter(&rec, "root");
+        let id = span.id();
+        drop(span);
+        assert_eq!(current_span(), None);
+        {
+            let _g = attach_parent(id);
+            assert_eq!(current_span(), Some(id));
+        }
+        assert_eq!(current_span(), None);
+    }
+
+    #[test]
     fn counters_accumulate() {
         let rec = MemoryRecorder::new();
         rec.add_counter("a", 3);
@@ -372,6 +754,36 @@ mod tests {
         assert_eq!(rec.counter("b"), 1);
         assert_eq!(rec.counter("missing"), 0);
         assert_eq!(rec.counters().len(), 2);
+    }
+
+    #[test]
+    fn accumulation_saturates_instead_of_panicking() {
+        let rec = MemoryRecorder::new();
+        rec.add_counter("c", u64::MAX);
+        rec.add_counter("c", u64::MAX);
+        rec.add_counter("c", 1);
+        assert_eq!(rec.counter("c"), u64::MAX);
+
+        rec.record_value("h", u64::MAX);
+        rec.record_value("h", u64::MAX);
+        rec.record_value("h", 3);
+        let h = rec.histogram("h").unwrap();
+        assert_eq!(h.sum, u64::MAX, "sum clamps at u64::MAX");
+        assert_eq!(h.count, 3);
+        assert_eq!(h.max, u64::MAX);
+        assert_eq!(h.min, 3);
+        // And the JSON export still renders.
+        assert!(rec.to_json().contains("\"h\""));
+    }
+
+    #[test]
+    fn histogram_count_saturates_at_max() {
+        let mut h = Histogram {
+            count: u64::MAX,
+            ..Histogram::default()
+        };
+        h.observe(1);
+        assert_eq!(h.count, u64::MAX, "no wrap to zero");
     }
 
     #[test]
@@ -388,6 +800,34 @@ mod tests {
         assert!(h.quantile(0.5) <= h.quantile(1.0));
         // 900 lives in the [512, 1024) bucket -> index 9.
         assert_eq!(h.buckets[9], 1);
+    }
+
+    #[test]
+    fn percentiles_interpolate_within_buckets() {
+        let mut h = Histogram::default();
+        for v in 0..100u64 {
+            h.observe(v);
+        }
+        assert_eq!(h.percentile(0.0), 0);
+        assert_eq!(h.percentile(100.0), 99);
+        // p50: rank 50 of 100. Observations 32..=63 share bucket 5
+        // ([32, 63], 32 entries); rank 50 is the 18th of them, so the
+        // interpolated estimate lands inside [32, 63] near the middle.
+        let p50 = h.percentile(50.0);
+        assert!((32..=63).contains(&p50), "p50 = {p50}");
+        let p90 = h.percentile(90.0);
+        assert!((64..=99).contains(&p90), "p90 = {p90}");
+        assert!(h.percentile(50.0) <= h.percentile(90.0));
+        assert!(h.percentile(90.0) <= h.percentile(99.0));
+        // Exact under a single-valued distribution.
+        let mut one = Histogram::default();
+        for _ in 0..10 {
+            one.observe(7);
+        }
+        assert_eq!(one.percentile(50.0), 7);
+        assert_eq!(one.percentile(99.0), 7);
+        // Empty histogram.
+        assert_eq!(Histogram::default().percentile(50.0), 0);
     }
 
     #[test]
@@ -421,6 +861,8 @@ mod tests {
         assert!(json.contains("\"designs\":64"));
         assert!(json.contains("\"stage.scale\":{\"count\":2,\"total_us\":2000}"));
         assert!(json.contains("\"issues\":{\"count\":1"));
+        assert!(json.contains("\"p50\":0"), "percentiles exported");
+        validate_json(&json).expect("aggregate JSON parses");
     }
 
     #[test]
@@ -431,5 +873,22 @@ mod tests {
         rec.reset();
         assert_eq!(rec.counter("a"), 0);
         assert!(rec.spans().is_empty());
+    }
+
+    #[test]
+    fn poisoned_recorder_recovers_data() {
+        let rec = MemoryRecorder::new();
+        rec.add_counter("before", 1);
+        // Poison the mutex by panicking while holding it.
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let _guard = rec.state.lock().unwrap();
+            panic!("instrumented thread died");
+        }));
+        assert!(result.is_err());
+        assert!(rec.state.is_poisoned());
+        // Recording and reading still work; prior data survives.
+        rec.add_counter("after", 2);
+        assert_eq!(rec.counter("before"), 1);
+        assert_eq!(rec.counter("after"), 2);
     }
 }

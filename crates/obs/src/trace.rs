@@ -1,0 +1,349 @@
+//! The high-fidelity sink: a bounded ring buffer of spans and events
+//! with identities, parent links, threads, and attributes.
+//!
+//! [`MemoryRecorder`] answers "how much time went where, in total";
+//! [`TraceRecorder`] answers "what happened, in what order, under
+//! what" — the data- and control-flow view the paper's Section 6
+//! methodology analysis needs. It embeds a [`MemoryRecorder`] so one
+//! sink serves both questions: aggregates stay queryable while the
+//! ring keeps the most recent `capacity` finished spans (and as many
+//! events) for export through [`crate::export`].
+
+use std::collections::{BTreeMap, VecDeque};
+use std::sync::{Mutex, MutexGuard};
+use std::time::Duration;
+
+use crate::{thread_ordinal, AttrValue, Histogram, MemoryRecorder, Recorder, SpanId};
+
+/// One span captured with full identity.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TraceSpan {
+    /// Process-unique span identity.
+    pub id: SpanId,
+    /// The span this one nests under, when any was open (or attached
+    /// via [`crate::attach_parent`]) at enter time.
+    pub parent: Option<SpanId>,
+    /// Span name (dotted path convention).
+    pub name: String,
+    /// Start on the shared trace clock.
+    pub start: Duration,
+    /// End on the shared trace clock (equals `start` while open).
+    pub end: Duration,
+    /// Dense ordinal of the recording thread.
+    pub thread: u64,
+    /// Key/value attributes, in attach order.
+    pub attrs: Vec<(String, AttrValue)>,
+}
+
+impl TraceSpan {
+    /// Wall-clock duration (zero while still open).
+    pub fn duration(&self) -> Duration {
+        self.end.saturating_sub(self.start)
+    }
+
+    /// The first attribute with this key, if any.
+    pub fn attr(&self, key: &str) -> Option<&AttrValue> {
+        self.attrs.iter().find(|(k, _)| k == key).map(|(_, v)| v)
+    }
+}
+
+/// One structured instant event.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TraceEvent {
+    /// Event name.
+    pub name: String,
+    /// The span open on the recording thread at emit time.
+    pub parent: Option<SpanId>,
+    /// Timestamp on the shared trace clock.
+    pub ts: Duration,
+    /// Dense ordinal of the recording thread.
+    pub thread: u64,
+    /// Key/value attributes.
+    pub attrs: Vec<(String, AttrValue)>,
+}
+
+impl TraceEvent {
+    /// The first attribute with this key, if any.
+    pub fn attr(&self, key: &str) -> Option<&AttrValue> {
+        self.attrs.iter().find(|(k, _)| k == key).map(|(_, v)| v)
+    }
+}
+
+#[derive(Debug, Default)]
+struct TraceState {
+    /// Spans entered but not yet closed, by id. Bounded by live
+    /// nesting depth × threads, not by workload size.
+    open: BTreeMap<SpanId, TraceSpan>,
+    /// Finished spans, oldest first; evicts from the front past
+    /// capacity.
+    finished: VecDeque<TraceSpan>,
+    /// Instant events, oldest first; same eviction policy.
+    events: VecDeque<TraceEvent>,
+    dropped_spans: u64,
+    dropped_events: u64,
+}
+
+/// The bounded hierarchical sink. See the module docs.
+///
+/// Shares [`MemoryRecorder`]'s locking posture: one poison-hardened
+/// mutex over the ring (aggregates live in the embedded
+/// [`MemoryRecorder`] behind its own lock).
+#[derive(Debug)]
+pub struct TraceRecorder {
+    mem: MemoryRecorder,
+    state: Mutex<TraceState>,
+    capacity: usize,
+}
+
+/// Default ring capacity: enough for a whole-preset batch run with
+/// room to spare, small enough to stay cache-friendly (~64k spans).
+pub const DEFAULT_TRACE_CAPACITY: usize = 1 << 16;
+
+impl Default for TraceRecorder {
+    fn default() -> Self {
+        TraceRecorder::with_capacity(DEFAULT_TRACE_CAPACITY)
+    }
+}
+
+impl TraceRecorder {
+    /// A recorder with the default ring capacity.
+    pub fn new() -> Self {
+        TraceRecorder::default()
+    }
+
+    /// A recorder keeping at most `capacity` finished spans (and at
+    /// most `capacity` events); older entries are evicted FIFO and
+    /// counted in [`TraceRecorder::dropped`].
+    pub fn with_capacity(capacity: usize) -> Self {
+        TraceRecorder {
+            mem: MemoryRecorder::new(),
+            state: Mutex::new(TraceState::default()),
+            capacity: capacity.max(1),
+        }
+    }
+
+    /// The ring capacity.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    fn lock(&self) -> MutexGuard<'_, TraceState> {
+        self.state
+            .lock()
+            .unwrap_or_else(|poisoned| poisoned.into_inner())
+    }
+
+    /// The embedded aggregate view (span totals, counters, histograms).
+    pub fn aggregate(&self) -> &MemoryRecorder {
+        &self.mem
+    }
+
+    /// Finished spans still in the ring, in completion order.
+    pub fn finished_spans(&self) -> Vec<TraceSpan> {
+        self.lock().finished.iter().cloned().collect()
+    }
+
+    /// Spans entered but not yet closed, in id (≈ enter) order.
+    pub fn open_spans(&self) -> Vec<TraceSpan> {
+        self.lock().open.values().cloned().collect()
+    }
+
+    /// Events still in the ring, in emit order.
+    pub fn events(&self) -> Vec<TraceEvent> {
+        self.lock().events.iter().cloned().collect()
+    }
+
+    /// `(spans, events)` evicted from the rings so far.
+    pub fn dropped(&self) -> (u64, u64) {
+        let st = self.lock();
+        (st.dropped_spans, st.dropped_events)
+    }
+
+    /// Current value of a counter (delegates to the aggregate view).
+    pub fn counter(&self, name: &str) -> u64 {
+        self.mem.counter(name)
+    }
+
+    /// Snapshot of every counter (delegates to the aggregate view).
+    pub fn counters(&self) -> BTreeMap<String, u64> {
+        self.mem.counters()
+    }
+
+    /// Snapshot of every histogram (delegates to the aggregate view).
+    pub fn histograms(&self) -> BTreeMap<String, Histogram> {
+        self.mem.histograms()
+    }
+
+    /// Snapshot of one aggregated histogram.
+    pub fn histogram(&self, name: &str) -> Option<Histogram> {
+        self.mem.histogram(name)
+    }
+
+    /// Number of finished spans with this exact name (aggregate view:
+    /// counts every span ever finished, even ring-evicted ones).
+    pub fn span_count(&self, name: &str) -> usize {
+        self.mem.span_count(name)
+    }
+
+    /// Discards all recorded data (ring and aggregates).
+    pub fn reset(&self) {
+        *self.lock() = TraceState::default();
+        self.mem.reset();
+    }
+}
+
+impl Recorder for TraceRecorder {
+    fn record_span(&self, name: &str, duration: Duration) {
+        self.mem.record_span(name, duration);
+    }
+
+    fn add_counter(&self, name: &str, delta: u64) {
+        self.mem.add_counter(name, delta);
+    }
+
+    fn record_value(&self, name: &str, value: u64) {
+        self.mem.record_value(name, value);
+    }
+
+    fn record_span_start(&self, id: SpanId, parent: Option<SpanId>, name: &str, start: Duration) {
+        let span = TraceSpan {
+            id,
+            parent,
+            name: name.to_string(),
+            start,
+            end: start,
+            thread: thread_ordinal(),
+            attrs: Vec::new(),
+        };
+        self.lock().open.insert(id, span);
+    }
+
+    fn record_span_end(&self, id: SpanId, end: Duration) {
+        let mut st = self.lock();
+        let Some(mut span) = st.open.remove(&id) else {
+            return; // unknown id (e.g. opened before a reset)
+        };
+        span.end = end;
+        st.finished.push_back(span);
+        if st.finished.len() > self.capacity {
+            st.finished.pop_front();
+            st.dropped_spans = st.dropped_spans.saturating_add(1);
+        }
+    }
+
+    fn record_attr(&self, id: SpanId, key: &str, value: AttrValue) {
+        let mut st = self.lock();
+        if let Some(span) = st.open.get_mut(&id) {
+            span.attrs.push((key.to_string(), value));
+            return;
+        }
+        // Rarely, attrs arrive just after close; patch the ring.
+        if let Some(span) = st.finished.iter_mut().rev().find(|s| s.id == id) {
+            span.attrs.push((key.to_string(), value));
+        }
+    }
+
+    fn record_event(
+        &self,
+        name: &str,
+        parent: Option<SpanId>,
+        ts: Duration,
+        attrs: &[(&str, AttrValue)],
+    ) {
+        let event = TraceEvent {
+            name: name.to_string(),
+            parent,
+            ts,
+            thread: thread_ordinal(),
+            attrs: attrs
+                .iter()
+                .map(|(k, v)| (k.to_string(), v.clone()))
+                .collect(),
+        };
+        let mut st = self.lock();
+        st.events.push_back(event);
+        if st.events.len() > self.capacity {
+            st.events.pop_front();
+            st.dropped_events = st.dropped_events.saturating_add(1);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{event, Span};
+
+    #[test]
+    fn spans_carry_identity_parent_and_attrs() {
+        let rec = TraceRecorder::new();
+        let root = Span::enter(&rec, "root");
+        root.attr("design", "gen0");
+        let root_id = root.id();
+        {
+            let child = Span::enter(&rec, "child");
+            child.attr("sheet", 3u64);
+        }
+        drop(root);
+        let spans = rec.finished_spans();
+        assert_eq!(spans.len(), 2);
+        // Completion order: child first.
+        assert_eq!(spans[0].name, "child");
+        assert_eq!(spans[0].parent, Some(root_id));
+        assert_eq!(spans[0].attr("sheet"), Some(&AttrValue::UInt(3)));
+        assert_eq!(spans[1].name, "root");
+        assert_eq!(spans[1].parent, None);
+        assert_eq!(
+            spans[1].attr("design"),
+            Some(&AttrValue::Str("gen0".into()))
+        );
+        assert!(spans[1].duration() >= spans[0].duration());
+        // The aggregate view saw them too.
+        assert_eq!(rec.span_count("child"), 1);
+    }
+
+    #[test]
+    fn ring_evicts_oldest_and_counts_drops() {
+        let rec = TraceRecorder::with_capacity(4);
+        for i in 0..10u64 {
+            let s = Span::enter(&rec, format!("s{i}"));
+            drop(s);
+        }
+        let spans = rec.finished_spans();
+        assert_eq!(spans.len(), 4);
+        assert_eq!(spans[0].name, "s6", "oldest evicted first");
+        assert_eq!(spans[3].name, "s9");
+        assert_eq!(rec.dropped().0, 6);
+        // Aggregates are not subject to the ring bound.
+        assert_eq!(rec.aggregate().spans().len(), 10);
+    }
+
+    #[test]
+    fn events_attach_to_the_current_span() {
+        let rec = TraceRecorder::new();
+        let span = Span::enter(&rec, "parse");
+        event(
+            &rec,
+            "parse.error",
+            &[("line", 12u64.into()), ("message", "bad token".into())],
+        );
+        let id = span.id();
+        drop(span);
+        let events = rec.events();
+        assert_eq!(events.len(), 1);
+        assert_eq!(events[0].parent, Some(id));
+        assert_eq!(events[0].attr("line"), Some(&AttrValue::UInt(12)));
+        assert!(events[0].ts >= rec.finished_spans()[0].start);
+    }
+
+    #[test]
+    fn open_spans_are_visible_and_reset_clears() {
+        let rec = TraceRecorder::new();
+        let span = Span::enter(&rec, "long");
+        assert_eq!(rec.open_spans().len(), 1);
+        rec.reset();
+        drop(span); // end for an unknown id: ignored
+        assert!(rec.finished_spans().is_empty());
+        assert_eq!(rec.open_spans().len(), 0);
+    }
+}

@@ -1,0 +1,90 @@
+//! Concurrency stress: one shared recorder hammered from 8 threads.
+//!
+//! Asserts the three properties parallel batch runs rely on: span
+//! counts survive interleaving, counter totals are exact, and parent
+//! links never cross threads (every inner span links to *its* thread's
+//! outer span, even though all eight outers are open simultaneously).
+
+use obs::{AttrValue, Recorder, Span, TraceRecorder};
+
+const THREADS: u64 = 8;
+const SPANS_PER_THREAD: u64 = 200;
+const BUMPS_PER_SPAN: u64 = 5;
+
+#[test]
+fn eight_threads_hammering_one_recorder() {
+    // Capacity comfortably above the span volume so nothing evicts.
+    let rec = TraceRecorder::with_capacity(1 << 15);
+    std::thread::scope(|scope| {
+        for t in 0..THREADS {
+            let rec = &rec;
+            scope.spawn(move || {
+                let outer = Span::enter(rec, "stress.outer");
+                outer.attr("worker", t);
+                for i in 0..SPANS_PER_THREAD {
+                    let inner = Span::enter(rec, "stress.inner");
+                    inner.attr("worker", t);
+                    inner.attr("iter", i);
+                    for _ in 0..BUMPS_PER_SPAN {
+                        rec.add_counter("stress.bumps", 1);
+                    }
+                    rec.record_value("stress.iter", i);
+                }
+            });
+        }
+    });
+
+    // Span counts survive interleaving.
+    assert_eq!(rec.span_count("stress.outer"), THREADS as usize);
+    assert_eq!(
+        rec.span_count("stress.inner"),
+        (THREADS * SPANS_PER_THREAD) as usize
+    );
+
+    // Counter totals are exact (no lost updates).
+    assert_eq!(
+        rec.counter("stress.bumps"),
+        THREADS * SPANS_PER_THREAD * BUMPS_PER_SPAN
+    );
+    let hist = rec.histogram("stress.iter").expect("histogram recorded");
+    assert_eq!(hist.count, THREADS * SPANS_PER_THREAD);
+    assert_eq!(hist.max, SPANS_PER_THREAD - 1);
+
+    // Parent links survive interleaving: every inner span's parent is
+    // the outer span of the *same* worker, never another thread's.
+    let spans = rec.finished_spans();
+    let outer_worker_by_id: std::collections::BTreeMap<_, _> = spans
+        .iter()
+        .filter(|s| s.name == "stress.outer")
+        .map(|s| (s.id, s.attr("worker").cloned()))
+        .collect();
+    assert_eq!(outer_worker_by_id.len(), THREADS as usize);
+    let mut checked = 0u64;
+    for inner in spans.iter().filter(|s| s.name == "stress.inner") {
+        let parent = inner.parent.expect("inner span has a parent");
+        let parent_worker = outer_worker_by_id
+            .get(&parent)
+            .expect("parent is one of the outer spans");
+        assert_eq!(
+            parent_worker.as_ref(),
+            inner.attr("worker"),
+            "inner span attributed to the wrong thread's outer span"
+        );
+        checked += 1;
+    }
+    assert_eq!(checked, THREADS * SPANS_PER_THREAD);
+
+    // Every inner span nests inside its parent's time window.
+    let by_id: std::collections::BTreeMap<_, _> = spans.iter().map(|s| (s.id, s)).collect();
+    for inner in spans.iter().filter(|s| s.name == "stress.inner") {
+        let outer = by_id[&inner.parent.unwrap()];
+        assert!(inner.start >= outer.start && inner.end <= outer.end);
+    }
+
+    // Nothing was evicted, and attributes survived.
+    assert_eq!(rec.dropped(), (0, 0));
+    assert!(spans
+        .iter()
+        .filter(|s| s.name == "stress.inner")
+        .all(|s| matches!(s.attr("iter"), Some(AttrValue::UInt(_)))));
+}

@@ -8,6 +8,8 @@
 
 use std::collections::BTreeMap;
 
+use obs::{NullRecorder, Recorder, Span};
+
 use crate::floorplan::Floorplan;
 use crate::geom::Pt;
 use crate::route::{RouteResult, SHIELD};
@@ -74,6 +76,25 @@ impl DrcReport {
 /// floorplan intent (not the tool-filtered constraints — that is the
 /// point: a tool that dropped a constraint fails the intent check).
 pub fn check(result: &RouteResult, fp: &Floorplan) -> DrcReport {
+    check_recorded(result, fp, &NullRecorder)
+}
+
+/// Like [`check`], but emits a `pnr.drc` span plus violation counters:
+/// `pnr.drc.coupled_cells`, `pnr.drc.current_violations`, and
+/// `pnr.drc.spacing_violations`.
+pub fn check_recorded(result: &RouteResult, fp: &Floorplan, recorder: &dyn Recorder) -> DrcReport {
+    let span = Span::enter(recorder, "pnr.drc");
+    let report = check_inner(result, fp);
+    recorder.add_counter("pnr.drc.coupled_cells", report.total_coupling() as u64);
+    recorder.add_counter("pnr.drc.current_violations", report.current.len() as u64);
+    recorder.add_counter("pnr.drc.spacing_violations", report.spacing.len() as u64);
+    span.attr("coupled_cells", report.total_coupling());
+    span.attr("current_violations", report.current.len());
+    span.attr("spacing_violations", report.spacing.len());
+    report
+}
+
+fn check_inner(result: &RouteResult, fp: &Floorplan) -> DrcReport {
     let grid = &result.grid;
     let mut report = DrcReport::default();
 

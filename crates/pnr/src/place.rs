@@ -3,6 +3,8 @@
 //! Just enough placement that floorplan constraints (keep-outs, die
 //! area) and the router have something real to act on.
 
+use obs::{NullRecorder, Recorder, Span};
+
 use crate::floorplan::Floorplan;
 use crate::geom::{Pt, Rect};
 use crate::netlist::PhysNetlist;
@@ -24,6 +26,27 @@ pub struct PlaceStats {
 /// areas. Cells are ordered by connectivity (highest degree first) so
 /// strongly-connected cells cluster — a cheap wirelength heuristic.
 pub fn place(nl: &mut PhysNetlist, fp: &Floorplan) -> PlaceStats {
+    place_recorded(nl, fp, &NullRecorder)
+}
+
+/// Like [`place`], but emits a `pnr.place` span (with placed/unplaced/
+/// rows/hpwl attributes) and a `pnr.place.attempts` counter — one per
+/// candidate position tried, so attempts/placed measures how hard the
+/// placer worked per cell.
+pub fn place_recorded(nl: &mut PhysNetlist, fp: &Floorplan, recorder: &dyn Recorder) -> PlaceStats {
+    let span = Span::enter(recorder, "pnr.place");
+    span.attr("cells", nl.cells.len());
+    let mut attempts = 0u64;
+    let stats = place_inner(nl, fp, &mut attempts);
+    recorder.add_counter("pnr.place.attempts", attempts);
+    span.attr("placed", stats.placed);
+    span.attr("unplaced", stats.unplaced);
+    span.attr("rows", stats.rows);
+    span.attr("hpwl", stats.hpwl);
+    stats
+}
+
+fn place_inner(nl: &mut PhysNetlist, fp: &Floorplan, attempts: &mut u64) -> PlaceStats {
     let mut stats = PlaceStats::default();
     if nl.cells.is_empty() {
         return stats;
@@ -54,6 +77,7 @@ pub fn place(nl: &mut PhysNetlist, fp: &Floorplan) -> PlaceStats {
         let height = nl.lib[nl.cells[idx].abs].boundary.height();
         let gap = 4; // routing channel between cells
         loop {
+            *attempts += 1;
             if y + row_height > fp.die.y1 - margin {
                 stats.unplaced += 1;
                 break;

@@ -8,6 +8,8 @@
 
 use std::collections::{BTreeMap, VecDeque};
 
+use obs::{NullRecorder, Recorder, Span};
+
 use crate::backplane::EffectiveRule;
 use crate::floorplan::Floorplan;
 use crate::geom::{Pt, Rect};
@@ -171,6 +173,39 @@ pub fn route(
     rules: &BTreeMap<String, EffectiveRule>,
     cfg: RouteConfig,
 ) -> RouteResult {
+    route_recorded(nl, fp, rules, cfg, &NullRecorder)
+}
+
+/// Like [`route`], but emits a `pnr.route` span (routed/failed/
+/// wirelength/vias attributes), `pnr.route.attempts` /
+/// `pnr.route.failed` counters (one attempt per terminal-to-net maze
+/// search), and a `pnr.route.path_len` histogram over completed path
+/// lengths.
+pub fn route_recorded(
+    nl: &PhysNetlist,
+    fp: &Floorplan,
+    rules: &BTreeMap<String, EffectiveRule>,
+    cfg: RouteConfig,
+    recorder: &dyn Recorder,
+) -> RouteResult {
+    let span = Span::enter(recorder, "pnr.route");
+    span.attr("nets", nl.nets.len());
+    span.attr("honor_rules", cfg.honor_rules);
+    let result = route_inner(nl, fp, rules, cfg, recorder);
+    span.attr("routed", result.routed);
+    span.attr("failed", result.failed.len());
+    span.attr("wirelength", result.wirelength);
+    span.attr("vias", result.vias);
+    result
+}
+
+fn route_inner(
+    nl: &PhysNetlist,
+    fp: &Floorplan,
+    rules: &BTreeMap<String, EffectiveRule>,
+    cfg: RouteConfig,
+    recorder: &dyn Recorder,
+) -> RouteResult {
     let width = fp.die.width();
     let height = fp.die.height();
     let mut grid = RouteGrid::new(width, height);
@@ -305,8 +340,10 @@ pub fn route(
 
         for &(tl, tp) in &terminals[1..] {
             grid.set(tl, tp, net_id);
+            recorder.add_counter("pnr.route.attempts", 1);
             match bfs(&grid, net_id, (tl, tp), &rule) {
                 Some(path) => {
+                    recorder.record_value("pnr.route.path_len", path.len() as u64);
                     result.vias += path.windows(2).filter(|w| w[0].0 != w[1].0).count();
                     for &(l, p) in &path {
                         grid.set(l, p, net_id);
@@ -322,6 +359,7 @@ pub fn route(
         }
 
         if !ok {
+            recorder.add_counter("pnr.route.failed", 1);
             result.failed.push(net.name.clone());
             continue;
         }

@@ -1,0 +1,97 @@
+//! The place → route → DRC flow under a trace recorder: spans nest,
+//! counters reconcile with the returned stats, and the untraced entry
+//! points return identical results.
+
+use std::collections::BTreeMap;
+
+use obs::{Span, TraceRecorder};
+use pnr::backplane::EffectiveRule;
+use pnr::drc::check_recorded;
+use pnr::floorplan::Floorplan;
+use pnr::gen::{generate, PnrGenConfig};
+use pnr::place::place_recorded;
+use pnr::route::{route_recorded, RouteConfig};
+
+/// Canonical-intent effective rules: every floorplan rule, verbatim.
+fn canonical_rules(fp: &Floorplan) -> BTreeMap<String, EffectiveRule> {
+    fp.net_rules
+        .iter()
+        .map(|(name, r)| {
+            (
+                name.clone(),
+                EffectiveRule {
+                    net: name.clone(),
+                    width: r.width,
+                    spacing: r.spacing,
+                    shield: r.shield,
+                    max_length: r.max_length,
+                },
+            )
+        })
+        .collect()
+}
+
+#[test]
+fn flow_spans_nest_and_counters_reconcile() {
+    let cfg = PnrGenConfig::default();
+    let (mut nl, fp) = generate(&cfg);
+    let rules = canonical_rules(&fp);
+
+    let rec = TraceRecorder::new();
+    {
+        let flow = Span::enter(&rec, "pnr.flow");
+        flow.attr("cells", nl.cells.len());
+        let stats = place_recorded(&mut nl, &fp, &rec);
+        assert_eq!(stats.placed + stats.unplaced, cfg.cells);
+        let routed = route_recorded(&nl, &fp, &rules, RouteConfig::default(), &rec);
+        let report = check_recorded(&routed, &fp, &rec);
+
+        // Counters reconcile with the returned results.
+        assert!(rec.counter("pnr.place.attempts") >= stats.placed as u64);
+        assert_eq!(rec.counter("pnr.route.failed"), routed.failed.len() as u64);
+        assert_eq!(
+            rec.counter("pnr.drc.coupled_cells"),
+            report.total_coupling() as u64
+        );
+    }
+
+    // All three phase spans parent under the enclosing flow span.
+    let spans = rec.finished_spans();
+    let flow = spans.iter().find(|s| s.name == "pnr.flow").unwrap();
+    for name in ["pnr.place", "pnr.route", "pnr.drc"] {
+        let s = spans
+            .iter()
+            .find(|s| s.name == name)
+            .unwrap_or_else(|| panic!("missing span {name}"));
+        assert_eq!(s.parent, Some(flow.id), "{name} not nested under flow");
+    }
+
+    // Path-length histogram saw one sample per successful maze search.
+    if rec.counter("pnr.route.attempts") > rec.counter("pnr.route.failed") {
+        assert!(rec.histogram("pnr.route.path_len").is_some());
+    }
+}
+
+#[test]
+fn recorded_flow_matches_unrecorded() {
+    let cfg = PnrGenConfig::default();
+    let (mut a, fp) = generate(&cfg);
+    let (mut b, _) = generate(&cfg);
+    let rules = canonical_rules(&fp);
+
+    let plain_place = pnr::place::place(&mut a, &fp);
+    let rec = TraceRecorder::new();
+    let traced_place = place_recorded(&mut b, &fp, &rec);
+    assert_eq!(plain_place, traced_place);
+
+    let plain = pnr::route::route(&a, &fp, &rules, RouteConfig::default());
+    let traced = route_recorded(&b, &fp, &rules, RouteConfig::default(), &rec);
+    assert_eq!(plain.routed, traced.routed);
+    assert_eq!(plain.failed, traced.failed);
+    assert_eq!(plain.wirelength, traced.wirelength);
+
+    let pr = pnr::drc::check(&plain, &fp);
+    let tr = check_recorded(&traced, &fp, &rec);
+    assert_eq!(pr.total_coupling(), tr.total_coupling());
+    assert_eq!(pr.current.len(), tr.current.len());
+}

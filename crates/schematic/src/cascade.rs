@@ -388,6 +388,22 @@ fn get_dir(items: &[Sx]) -> Result<PinDir, ParseError> {
 ///
 /// Returns the first structural error encountered.
 pub fn parse(text: &str) -> Result<Design, ParseError> {
+    parse_inner(text)
+}
+
+/// Like [`parse`], but traced: emits a `schematic.parse` span (dialect
+/// and design-size attributes), a `schematic.parse.objects` counter,
+/// and a `schematic.parse.error` event with the source position on
+/// failure.
+///
+/// # Errors
+///
+/// Returns the first structural error encountered.
+pub fn parse_recorded(text: &str, recorder: &dyn obs::Recorder) -> Result<Design, ParseError> {
+    crate::parse::traced_parse(text, "cascade", recorder, parse_inner)
+}
+
+fn parse_inner(text: &str) -> Result<Design, ParseError> {
     let top_forms = lex_parse(text)?;
     let root = top_forms
         .iter()

@@ -82,6 +82,51 @@ impl fmt::Display for ParseError {
 
 impl std::error::Error for ParseError {}
 
+/// Runs a dialect parser under a `schematic.parse` span: dialect, byte
+/// count, and (on success) design-size attributes, a
+/// `schematic.parse.objects` counter, and on failure a
+/// `schematic.parse.error` event carrying the source position.
+pub(crate) fn traced_parse<F>(
+    text: &str,
+    dialect: &'static str,
+    recorder: &dyn obs::Recorder,
+    f: F,
+) -> Result<crate::design::Design, ParseError>
+where
+    F: FnOnce(&str) -> Result<crate::design::Design, ParseError>,
+{
+    let span = obs::Span::enter(recorder, "schematic.parse");
+    span.attr("dialect", dialect);
+    span.attr("bytes", text.len());
+    let result = f(text);
+    match &result {
+        Ok(design) => {
+            let stats = design.stats();
+            span.attr("design", design.name.as_str());
+            span.attr("cells", stats.cells);
+            span.attr("instances", stats.instances);
+            span.attr("wires", stats.wires);
+            let objects =
+                stats.cells + stats.instances + stats.wires + stats.labels + stats.connectors;
+            recorder.add_counter("schematic.parse.objects", objects as u64);
+        }
+        Err(e) => {
+            span.attr("error", true);
+            let mut attrs: Vec<(&str, obs::AttrValue)> = vec![
+                ("dialect", dialect.into()),
+                ("message", e.message.as_str().into()),
+            ];
+            if let Some(pos) = &e.pos {
+                attrs.push(("line", (pos.line as u64).into()));
+                attrs.push(("column", (pos.column as u64).into()));
+            }
+            obs::event(recorder, "schematic.parse.error", &attrs);
+            recorder.add_counter("schematic.parse.errors", 1);
+        }
+    }
+    result
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

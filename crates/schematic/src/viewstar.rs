@@ -229,6 +229,22 @@ impl<'a> Cursor<'a> {
 ///
 /// Returns the first syntax error with its line number.
 pub fn parse(text: &str) -> Result<Design, ParseError> {
+    parse_inner(text)
+}
+
+/// Like [`parse`], but traced: emits a `schematic.parse` span (dialect
+/// and design-size attributes), a `schematic.parse.objects` counter,
+/// and a `schematic.parse.error` event with the source position on
+/// failure.
+///
+/// # Errors
+///
+/// Returns the first syntax error with its line number.
+pub fn parse_recorded(text: &str, recorder: &dyn obs::Recorder) -> Result<Design, ParseError> {
+    crate::parse::traced_parse(text, "viewstar", recorder, parse_inner)
+}
+
+fn parse_inner(text: &str) -> Result<Design, ParseError> {
     let mut design = Design::new("", DialectId::Viewstar);
     let mut cur_lib: Option<Library> = None;
     let mut cur_sym: Option<SymbolDef> = None;

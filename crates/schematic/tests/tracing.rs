@@ -1,0 +1,66 @@
+//! Parser instrumentation: both dialect parsers emit `schematic.parse`
+//! spans keyed by dialect, object counters that reconcile with
+//! [`schematic::design::Design::stats`], and positioned error events.
+
+use obs::{AttrValue, TraceRecorder};
+use schematic::dialect::DialectId;
+use schematic::gen::{generate, GenConfig};
+use schematic::{cascade, viewstar};
+
+#[test]
+fn both_dialect_parsers_trace_object_counts() {
+    let design = generate(&GenConfig::default());
+    let vs_text = viewstar::write(&design);
+    let mut as_cascade = design.clone();
+    as_cascade.dialect = DialectId::Cascade;
+    let cc_text = cascade::write(&as_cascade);
+
+    let rec = TraceRecorder::new();
+    let vs = viewstar::parse_recorded(&vs_text, &rec).expect("viewstar parses");
+    let cc = cascade::parse_recorded(&cc_text, &rec).expect("cascade parses");
+
+    assert_eq!(rec.span_count("schematic.parse"), 2);
+    let expect = |d: &schematic::design::Design| {
+        let s = d.stats();
+        (s.cells + s.instances + s.wires + s.labels + s.connectors) as u64
+    };
+    assert_eq!(
+        rec.counter("schematic.parse.objects"),
+        expect(&vs) + expect(&cc)
+    );
+
+    // Each span carries its dialect attribute.
+    let spans = rec.finished_spans();
+    let dialects: Vec<_> = spans
+        .iter()
+        .filter(|s| s.name == "schematic.parse")
+        .filter_map(|s| match s.attr("dialect") {
+            Some(AttrValue::Str(d)) => Some(d.clone()),
+            _ => None,
+        })
+        .collect();
+    assert!(dialects.contains(&"viewstar".to_string()));
+    assert!(dialects.contains(&"cascade".to_string()));
+}
+
+#[test]
+fn parse_errors_carry_positions_in_events() {
+    let rec = TraceRecorder::new();
+    let err = cascade::parse_recorded("(cascade (cell \"x\"", &rec).unwrap_err();
+    assert_eq!(rec.counter("schematic.parse.errors"), 1);
+    let events = rec.events();
+    let ev = events
+        .iter()
+        .find(|e| e.name == "schematic.parse.error")
+        .expect("error event recorded");
+    let attr = |k: &str| {
+        ev.attrs
+            .iter()
+            .find(|(n, _)| n == k)
+            .map(|(_, v)| v.clone())
+    };
+    assert_eq!(attr("dialect"), Some(AttrValue::Str("cascade".into())));
+    if let Some(pos) = err.pos {
+        assert_eq!(attr("line"), Some(AttrValue::UInt(pos.line as u64)));
+    }
+}

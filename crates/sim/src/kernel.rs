@@ -13,8 +13,10 @@
 use std::collections::{BTreeMap, BTreeSet, VecDeque};
 use std::fmt;
 use std::rc::Rc;
+use std::sync::Arc;
 
 use hdl::ast::Edge;
+use obs::{NullRecorder, Recorder, Span};
 
 use crate::elab::{Circuit, Proc, SStmt, SigId};
 use crate::eval::{eval, store, Change, NbaUpdate};
@@ -152,6 +154,18 @@ pub struct Kernel {
     steps: usize,
     depth: usize,
     pli: BTreeMap<SigId, Vec<crate::pli::PliCallback>>,
+    recorder: Arc<dyn Recorder>,
+    /// False while `recorder` is the [`NullRecorder`]: the hot `settle`
+    /// loop skips even the virtual dispatch, keeping the untraced
+    /// kernel's cost at zero.
+    traced: bool,
+}
+
+/// Per-slot activity tallied during one [`Kernel::settle`].
+#[derive(Default)]
+struct SlotStats {
+    delta_cycles: u64,
+    nba_updates: u64,
 }
 
 impl Kernel {
@@ -200,6 +214,8 @@ impl Kernel {
             steps: 0,
             depth: 0,
             pli: BTreeMap::new(),
+            recorder: Arc::new(NullRecorder),
+            traced: false,
             circuit: Rc::new(circuit),
         };
         for pid in 0..kernel.circuit.procs.len() {
@@ -213,6 +229,15 @@ impl Kernel {
     /// The policy in use.
     pub fn policy(&self) -> SchedulerPolicy {
         self.policy
+    }
+
+    /// Routes kernel observability into `recorder`: `sim.settle` /
+    /// `sim.run_until` spans, `sim.events` / `sim.delta_cycles` /
+    /// `sim.nba_updates` / `sim.stimuli` counters, and a
+    /// `sim.slot.activations` histogram (one sample per settled slot).
+    pub fn set_recorder(&mut self, recorder: Arc<dyn Recorder>) {
+        self.recorder = recorder;
+        self.traced = true;
     }
 
     /// Current simulation time.
@@ -448,6 +473,28 @@ impl Kernel {
     /// Returns [`SimError::Runaway`] when zero-delay activity exceeds
     /// the step budget (combinational loop / oscillation).
     pub fn settle(&mut self) -> Result<(), SimError> {
+        let mut stats = SlotStats::default();
+        if !self.traced {
+            return self.settle_inner(&mut stats);
+        }
+        let rec = Arc::clone(&self.recorder);
+        let span = Span::enter(rec.as_ref(), "sim.settle");
+        span.attr("time", self.time);
+        let result = self.settle_inner(&mut stats);
+        let activations = self.steps as u64;
+        rec.add_counter("sim.events", activations);
+        rec.add_counter("sim.delta_cycles", stats.delta_cycles);
+        rec.add_counter("sim.nba_updates", stats.nba_updates);
+        rec.record_value("sim.slot.activations", activations);
+        span.attr("activations", activations);
+        span.attr("delta_cycles", stats.delta_cycles);
+        if result.is_err() {
+            span.attr("runaway", true);
+        }
+        result
+    }
+
+    fn settle_inner(&mut self, stats: &mut SlotStats) -> Result<(), SimError> {
         self.steps = 0;
         loop {
             while let Some(pid) = self.pop() {
@@ -458,7 +505,9 @@ impl Kernel {
             }
             // NBA region: apply all pending updates, then loop back to
             // the active region.
+            stats.delta_cycles += 1;
             let updates = std::mem::take(&mut self.nba);
+            stats.nba_updates += updates.len() as u64;
             for u in updates {
                 if let Some(change) = store(
                     &mut self.state,
@@ -481,6 +530,18 @@ impl Kernel {
     ///
     /// Propagates [`SimError::Runaway`].
     pub fn run_until(&mut self, t_end: u64) -> Result<(), SimError> {
+        if !self.traced {
+            return self.run_until_inner(t_end);
+        }
+        let rec = Arc::clone(&self.recorder);
+        let span = Span::enter(rec.as_ref(), "sim.run_until");
+        span.attr("policy", self.policy.name);
+        span.attr("t_start", self.time);
+        span.attr("t_end", t_end);
+        self.run_until_inner(t_end)
+    }
+
+    fn run_until_inner(&mut self, t_end: u64) -> Result<(), SimError> {
         self.settle()?;
         while self.next_stim < self.circuit.stimuli.len()
             && self.circuit.stimuli[self.next_stim].at <= t_end
@@ -493,6 +554,9 @@ impl Kernel {
                 let idx = self.next_stim;
                 self.next_stim += 1;
                 self.steps = 0;
+                if self.traced {
+                    self.recorder.add_counter("sim.stimuli", 1);
+                }
                 self.exec_stmt(&circuit.stimuli[idx].body, &circuit)?;
             }
             self.settle()?;
@@ -708,6 +772,40 @@ mod tests {
         let mut queued = kernel(src, "e", SchedulerPolicy::sim_a());
         drive(&mut queued);
         assert_eq!(queued.peek_name("seen").unwrap().get(0), Logic::Zero);
+    }
+
+    #[test]
+    fn recorder_sees_settles_nested_under_run_until() {
+        use obs::TraceRecorder;
+        let mut k = kernel(
+            r#"
+            module d(input clk, input din, output reg q);
+              always @(posedge clk) q <= din;
+            endmodule
+            "#,
+            "d",
+            SchedulerPolicy::sim_a(),
+        );
+        let rec = Arc::new(TraceRecorder::new());
+        k.set_recorder(rec.clone());
+        k.poke_name("din", Value::bit(Logic::One)).unwrap();
+        k.poke_name("clk", Value::bit(Logic::One)).unwrap();
+        k.run_until(5).unwrap();
+        assert_eq!(k.peek_name("q").unwrap().get(0), Logic::One);
+
+        assert!(rec.counter("sim.events") > 0, "activations counted");
+        assert!(rec.counter("sim.nba_updates") >= 1, "NBA commit counted");
+        let hist = rec.histogram("sim.slot.activations").unwrap();
+        assert_eq!(hist.count as usize, rec.span_count("sim.settle"));
+
+        // Every settle span parents under the run_until span.
+        let spans = rec.finished_spans();
+        let run = spans.iter().find(|s| s.name == "sim.run_until").unwrap();
+        let settles: Vec<_> = spans.iter().filter(|s| s.name == "sim.settle").collect();
+        assert!(!settles.is_empty());
+        for s in &settles {
+            assert_eq!(s.parent, Some(run.id));
+        }
     }
 
     #[test]

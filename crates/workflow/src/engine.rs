@@ -337,7 +337,8 @@ impl Engine {
     /// number of actions run.
     pub fn tick(&mut self) -> usize {
         let recorder = Arc::clone(&self.recorder);
-        let _tick_span = Span::enter(&*recorder, "workflow.tick");
+        let tick_span = Span::enter(&*recorder, "workflow.tick");
+        tick_span.attr("steps", self.steps.len());
         self.store.advance();
         let mut ran = 0usize;
 
@@ -380,7 +381,8 @@ impl Engine {
                 step: &full,
             };
             let outcome = {
-                let _span = Span::enter(&*recorder, format!("workflow.action.{action_key}"));
+                let span = Span::enter(&*recorder, format!("workflow.action.{action_key}"));
+                span.attr("step", full.as_str());
                 action.run(&mut ctx)
             };
             recorder.add_counter("workflow.actions", 1);
@@ -447,6 +449,7 @@ impl Engine {
         }
 
         recorder.record_value("workflow.tick.actions", ran as u64);
+        tick_span.attr("actions", ran);
         ran
     }
 
