@@ -140,11 +140,9 @@ impl CoSim {
         // B side accepts the full alphabet, so this hop is lossless.
         for link in &self.a_to_b {
             let v = self.a.peek_name(&link.from)?.clone();
-            let wire: String = v
-                .bits()
-                .iter()
+            let wire: String = (0..v.width())
                 .rev()
-                .map(|bit| Std9::from_logic(*bit, false).to_char())
+                .map(|i| Std9::from_logic(v.get(i), false).to_char())
                 .collect();
             let delivered = decode_wire(&wire, |s| s.to_logic_full());
             if &delivered != self.b.peek_name(&link.to)? {
@@ -163,11 +161,9 @@ impl CoSim {
         // decides whether they survive.
         for link in &self.b_to_a {
             let v = self.b.peek_name(&link.from)?.clone();
-            let wire: String = v
-                .bits()
-                .iter()
+            let wire: String = (0..v.width())
                 .rev()
-                .map(|bit| Std9::from_logic(*bit, link.weak).to_char())
+                .map(|i| Std9::from_logic(v.get(i), link.weak).to_char())
                 .collect();
             let delivered = decode_wire(&wire, |s| self.decode(s));
             if &delivered != self.a.peek_name(&link.to)? {

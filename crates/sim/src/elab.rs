@@ -259,11 +259,9 @@ pub fn decode_based(width: u32, digits: &str, base: char) -> Result<Value, ElabE
     }
     // Convert MSB-first build order to LSB-first and fit the width.
     bits.reverse();
-    let mut value_bits = bits;
-    value_bits.resize(w, Logic::Zero);
-    value_bits.truncate(w);
-    let s: String = value_bits.iter().rev().map(|b| b.to_char()).collect();
-    Value::from_str_msb(&s).ok_or_else(bad)
+    bits.resize(w, Logic::Zero);
+    bits.truncate(w);
+    Ok(Value::from_bits(&bits))
 }
 
 struct Elab {

@@ -55,14 +55,10 @@ pub fn eval(e: &SExpr, state: &[Value], defs: &[SignalDef]) -> Value {
         }
         SExpr::Concat(items) => {
             // MSB-first operand order: the first item occupies the top
-            // bits.
-            let mut bits: Vec<Logic> = Vec::new();
-            for item in items.iter().rev() {
-                let v = eval(item, state, defs);
-                bits.extend(v.bits().iter().copied());
-            }
-            let s: String = bits.iter().rev().map(|b| b.to_char()).collect();
-            Value::from_str_msb(&s).unwrap_or_else(|| Value::bit(Logic::X))
+            // bits. Word-level blit, no per-bit round trip.
+            let parts: Vec<Value> = items.iter().map(|i| eval(i, state, defs)).collect();
+            let refs: Vec<&Value> = parts.iter().collect();
+            Value::concat_msb(&refs)
         }
     }
 }
@@ -156,10 +152,9 @@ pub fn store(
             if rel < 0 || rel as usize >= defs[sig].width {
                 return None; // out-of-range bit write is a no-op
             }
-            let mut bits: Vec<Logic> = old.bits().to_vec();
-            bits[rel as usize] = value.get(0);
-            let s: String = bits.iter().rev().map(|b| b.to_char()).collect();
-            Value::from_str_msb(&s).expect("valid chars")
+            let mut new = old.clone();
+            new.set_bit(rel as usize, value.get(0));
+            new
         }
     };
     if new == old {

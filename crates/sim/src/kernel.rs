@@ -9,10 +9,21 @@
 //! pop order of simultaneous activations and whether continuous
 //! assignments propagate eagerly (mid-statement) or through the event
 //! queue.
+//!
+//! ## Hot-path discipline
+//!
+//! A kernel run allocates nothing per event for circuits whose signals
+//! are ≤ 64 bits wide: values are packed two-plane words
+//! ([`crate::logic`]), activation dedup is a generation-stamped mark
+//! array instead of a `BTreeSet`, watcher lists are walked in place
+//! (never cloned), PLI dispatch borrows the callback list, and the NBA
+//! buffer is recycled across delta cycles. The circuit itself lives
+//! behind an [`Arc`], which also makes a [`Kernel`] `Send` — the basis
+//! for [`crate::race::sweep_parallel`]'s multi-threaded divergence
+//! sweeps.
 
-use std::collections::{BTreeMap, BTreeSet, VecDeque};
+use std::collections::{BTreeMap, VecDeque};
 use std::fmt;
-use std::rc::Rc;
 use std::sync::Arc;
 
 use hdl::ast::Edge;
@@ -93,7 +104,9 @@ pub struct Waveform {
 
 impl Waveform {
     /// The change history of one signal, with consecutive duplicates
-    /// collapsed.
+    /// collapsed. This scans the whole change log; callers querying
+    /// many signals should build a [`Waveform::indexed`] view once and
+    /// read histories from it.
     pub fn history(&self, sig: SigId) -> Vec<(u64, Value)> {
         let mut out: Vec<(u64, Value)> = Vec::new();
         for (t, s, v) in &self.changes {
@@ -102,6 +115,51 @@ impl Waveform {
             }
         }
         out
+    }
+
+    /// Builds a per-signal change index in one pass over the log.
+    /// `signal_count` bounds the signal id space (ids at or above it
+    /// simply read back empty histories).
+    pub fn indexed(&self, signal_count: usize) -> IndexedWaveform<'_> {
+        let mut by_sig: Vec<Vec<u32>> = vec![Vec::new(); signal_count];
+        for (i, (_, s, _)) in self.changes.iter().enumerate() {
+            if let Some(list) = by_sig.get_mut(*s) {
+                list.push(i as u32);
+            }
+        }
+        IndexedWaveform { wave: self, by_sig }
+    }
+}
+
+/// A per-signal index over a [`Waveform`], built once so that each
+/// history query costs O(own changes) instead of O(all changes). Used
+/// by the race and timing comparators, which query every signal.
+#[derive(Debug)]
+pub struct IndexedWaveform<'a> {
+    wave: &'a Waveform,
+    by_sig: Vec<Vec<u32>>,
+}
+
+impl IndexedWaveform<'_> {
+    /// The change history of one signal, with consecutive duplicates
+    /// collapsed — identical output to [`Waveform::history`].
+    pub fn history(&self, sig: SigId) -> Vec<(u64, Value)> {
+        let Some(positions) = self.by_sig.get(sig) else {
+            return Vec::new();
+        };
+        let mut out: Vec<(u64, Value)> = Vec::with_capacity(positions.len());
+        for &i in positions {
+            let (t, _, v) = &self.wave.changes[i as usize];
+            if out.last().map(|(_, lv)| lv) != Some(v) {
+                out.push((*t, v.clone()));
+            }
+        }
+        out
+    }
+
+    /// Number of indexed signals.
+    pub fn signal_count(&self) -> usize {
+        self.by_sig.len()
     }
 }
 
@@ -140,14 +198,29 @@ const SLOT_STEP_LIMIT: usize = 100_000;
 const DEPTH_LIMIT: usize = 512;
 
 /// An event-driven simulator instance.
+///
+/// Kernels are `Send`: the circuit is shared through an [`Arc`], PLI
+/// callbacks are `Send` closures, and the recorder is the already
+/// thread-safe [`obs::Recorder`]. A kernel can therefore be built on
+/// one thread and run on another, which is what
+/// [`crate::race::sweep_parallel`] does.
 pub struct Kernel {
-    circuit: Rc<Circuit>,
+    circuit: Arc<Circuit>,
     policy: SchedulerPolicy,
     state: Vec<Value>,
     time: u64,
     queue: VecDeque<usize>,
-    queued: BTreeSet<usize>,
+    /// Generation-stamped queue-membership marks: `queued_mark[pid] ==
+    /// queue_gen` means the process is currently in `queue`. The
+    /// generation is always odd; popping rewinds the mark to the even
+    /// `queue_gen - 1`, and draining a slot bumps the generation by
+    /// two — staling every mark at once without touching the array.
+    queued_mark: Vec<u64>,
+    queue_gen: u64,
     nba: Vec<NbaUpdate>,
+    /// Recycled NBA buffer: swapped with `nba` each delta cycle so the
+    /// steady state performs no queue allocations.
+    nba_scratch: Vec<NbaUpdate>,
     watchers: Vec<Vec<(Edge, usize)>>,
     next_stim: usize,
     waves: Waveform,
@@ -174,6 +247,13 @@ impl Kernel {
     /// time 0 (always blocks wait for their first trigger, as in
     /// Verilog).
     pub fn new(circuit: Circuit, policy: SchedulerPolicy) -> Self {
+        Kernel::new_shared(Arc::new(circuit), policy)
+    }
+
+    /// Builds a kernel over an already-shared circuit. Policy sweeps
+    /// run many kernels over one circuit; sharing the [`Arc`] avoids a
+    /// deep clone per kernel.
+    pub fn new_shared(circuit: Arc<Circuit>, policy: SchedulerPolicy) -> Self {
         let mut watchers: Vec<Vec<(Edge, usize)>> = vec![Vec::new(); circuit.signals.len()];
         for (pid, proc_) in circuit.procs.iter().enumerate() {
             match proc_ {
@@ -201,13 +281,16 @@ impl Kernel {
             .iter()
             .map(|s| Value::unknown(s.width))
             .collect();
+        let proc_count = circuit.procs.len();
         let mut kernel = Kernel {
             policy,
             state,
             time: 0,
             queue: VecDeque::new(),
-            queued: BTreeSet::new(),
+            queued_mark: vec![0; proc_count],
+            queue_gen: 1,
             nba: Vec::new(),
+            nba_scratch: Vec::new(),
             watchers,
             next_stim: 0,
             waves: Waveform::default(),
@@ -216,7 +299,7 @@ impl Kernel {
             pli: BTreeMap::new(),
             recorder: Arc::new(NullRecorder),
             traced: false,
-            circuit: Rc::new(circuit),
+            circuit,
         };
         for pid in 0..kernel.circuit.procs.len() {
             if matches!(kernel.circuit.procs[pid], Proc::Continuous { .. }) {
@@ -255,6 +338,11 @@ impl Kernel {
         &self.circuit
     }
 
+    /// The shared circuit handle (cheap to clone).
+    pub fn circuit_arc(&self) -> Arc<Circuit> {
+        Arc::clone(&self.circuit)
+    }
+
     /// Reads a signal's current value.
     pub fn peek(&self, sig: SigId) -> &Value {
         &self.state[sig]
@@ -270,7 +358,13 @@ impl Kernel {
         Ok(self.peek(sig))
     }
 
-    fn lookup(&self, name: &str) -> Result<SigId, SimError> {
+    /// Resolves a signal name to its id — do this once per signal in a
+    /// testbench loop rather than paying the name-map lookup per event.
+    ///
+    /// # Errors
+    ///
+    /// Fails when the name is unknown.
+    pub fn lookup(&self, name: &str) -> Result<SigId, SimError> {
         self.circuit
             .signal(name)
             .ok_or_else(|| SimError::NoSuchSignal {
@@ -303,17 +397,22 @@ impl Kernel {
         self.pli.entry(sig).or_default().push(callback);
     }
 
-    fn fire_pli(&mut self, sig: SigId, new: &Value) {
+    /// Fires registered callbacks for a committed change. Borrows the
+    /// callback list in place — no per-commit clone of the vector.
+    fn fire_pli(&self, sig: SigId, new: &Value) {
+        if self.pli.is_empty() {
+            return;
+        }
         if let Some(cbs) = self.pli.get(&sig) {
-            let cbs: Vec<crate::pli::PliCallback> = cbs.clone();
             for cb in cbs {
-                (cb.borrow_mut())(self.time, new);
+                (cb.lock().expect("pli callback poisoned"))(self.time, new);
             }
         }
     }
 
     fn enqueue(&mut self, pid: usize) {
-        if self.queued.insert(pid) {
+        if self.queued_mark[pid] != self.queue_gen {
+            self.queued_mark[pid] = self.queue_gen;
             self.queue.push_back(pid);
         }
     }
@@ -323,7 +422,9 @@ impl Kernel {
             OrderPolicy::Fifo => self.queue.pop_front(),
             OrderPolicy::Lifo => self.queue.pop_back(),
         }?;
-        self.queued.remove(&pid);
+        // Rewind to the (even) stale value; the generation itself stays
+        // odd, so a stale mark can never collide with a future one.
+        self.queued_mark[pid] = self.queue_gen - 1;
         Some(pid)
     }
 
@@ -331,9 +432,13 @@ impl Kernel {
     /// queued, never run inline.
     fn commit_deferred(&mut self, change: Change) {
         let (sig, old, new) = change;
-        self.waves.changes.push((self.time, sig, new.clone()));
         self.fire_pli(sig, &new);
-        for (edge, pid) in self.watchers[sig].clone() {
+        self.waves.changes.push((self.time, sig, new.clone()));
+        // Index loop: watcher lists are immutable after construction,
+        // and re-borrowing per iteration lets `enqueue` take `&mut
+        // self` without cloning the list.
+        for i in 0..self.watchers[sig].len() {
+            let (edge, pid) = self.watchers[sig][i];
             if edge_fires(edge, &old, &new) {
                 self.enqueue(pid);
             }
@@ -345,9 +450,10 @@ impl Kernel {
     /// everything else is queued.
     fn commit_now(&mut self, change: Change) -> Result<(), SimError> {
         let (sig, old, new) = change;
-        self.waves.changes.push((self.time, sig, new.clone()));
         self.fire_pli(sig, &new);
-        for (edge, pid) in self.watchers[sig].clone() {
+        self.waves.changes.push((self.time, sig, new.clone()));
+        for i in 0..self.watchers[sig].len() {
+            let (edge, pid) = self.watchers[sig][i];
             if !edge_fires(edge, &old, &new) {
                 continue;
             }
@@ -372,7 +478,7 @@ impl Kernel {
             self.depth -= 1;
             return Err(SimError::Runaway { time: self.time });
         }
-        let circuit = Rc::clone(&self.circuit);
+        let circuit = Arc::clone(&self.circuit);
         let result = match &circuit.procs[pid] {
             Proc::Continuous { lhs, rhs } => {
                 let value = eval(rhs, &self.state, &circuit.signals);
@@ -501,14 +607,20 @@ impl Kernel {
                 self.run_proc(pid)?;
             }
             if self.nba.is_empty() {
+                // Slot drained: advance the generation (stays odd) so
+                // every mark goes stale without clearing the array.
+                self.queue_gen += 2;
                 return Ok(());
             }
             // NBA region: apply all pending updates, then loop back to
-            // the active region.
+            // the active region. Swap through the scratch buffer so the
+            // steady state reuses one allocation.
             stats.delta_cycles += 1;
-            let updates = std::mem::take(&mut self.nba);
+            let mut updates = std::mem::take(&mut self.nba);
+            std::mem::swap(&mut self.nba, &mut self.nba_scratch);
+            self.nba.clear();
             stats.nba_updates += updates.len() as u64;
-            for u in updates {
+            for u in updates.drain(..) {
                 if let Some(change) = store(
                     &mut self.state,
                     &self.circuit.signals,
@@ -520,6 +632,7 @@ impl Kernel {
                     self.commit_now(change)?;
                 }
             }
+            self.nba_scratch = updates;
         }
     }
 
@@ -548,7 +661,7 @@ impl Kernel {
         {
             let at = self.circuit.stimuli[self.next_stim].at;
             self.time = self.time.max(at);
-            let circuit = Rc::clone(&self.circuit);
+            let circuit = Arc::clone(&self.circuit);
             while self.next_stim < circuit.stimuli.len() && circuit.stimuli[self.next_stim].at == at
             {
                 let idx = self.next_stim;
@@ -585,6 +698,12 @@ mod tests {
         let unit = parse(src).unwrap();
         let circuit = compile_unit(&unit, top).unwrap();
         Kernel::new(circuit, policy)
+    }
+
+    #[test]
+    fn kernels_are_send() {
+        fn assert_send<T: Send>() {}
+        assert_send::<Kernel>();
     }
 
     #[test]
@@ -738,6 +857,35 @@ mod tests {
         assert_eq!(hist.len(), 2);
         assert_eq!(hist[0].1.get(0), Logic::One);
         assert_eq!(hist[1].1.get(0), Logic::Zero);
+    }
+
+    #[test]
+    fn indexed_history_matches_scan_history() {
+        let mut k = kernel(
+            r#"
+            module m(input a, input b, output w, output v);
+              assign w = a & b;
+              assign v = a | b;
+            endmodule
+            "#,
+            "m",
+            SchedulerPolicy::sim_a(),
+        );
+        for (t, name, level) in [
+            (1u64, "a", Logic::One),
+            (2, "b", Logic::One),
+            (3, "a", Logic::Zero),
+            (4, "b", Logic::Zero),
+        ] {
+            k.poke_name(name, Value::bit(level)).unwrap();
+            k.run_until(t).unwrap();
+        }
+        let idx = k.waveform().indexed(k.circuit().signal_count());
+        for sig in 0..k.circuit().signal_count() {
+            assert_eq!(idx.history(sig), k.waveform().history(sig), "sig {sig}");
+        }
+        // Out-of-range signal ids read back empty.
+        assert!(idx.history(999).is_empty());
     }
 
     #[test]

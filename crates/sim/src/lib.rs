@@ -18,6 +18,14 @@
 //! Models come from the [`hdl`] crate ([`elab`] compiles a flattened
 //! module).
 //!
+//! Values are packed two-bitplane words ([`logic::Value`]): widths up
+//! to 64 are two inline `u64`s and the gate tables are word-parallel
+//! plane arithmetic, with a retained per-bit reference path
+//! ([`logic::reference`]) for differential testing. Kernels are `Send`
+//! (the circuit sits behind an `Arc`), so the policy × stimulus
+//! divergence grid can be swept across threads with
+//! [`race::sweep_parallel`].
+//!
 //! ## Example
 //!
 //! ```
@@ -47,6 +55,6 @@ pub mod timing;
 pub mod vcd;
 
 pub use elab::{compile, compile_unit, Circuit};
-pub use kernel::{Kernel, SchedulerPolicy, SimError, Waveform};
+pub use kernel::{IndexedWaveform, Kernel, SchedulerPolicy, SimError, Waveform};
 pub use logic::{Logic, Std9, Value};
-pub use race::RaceReport;
+pub use race::{sweep, sweep_parallel, RaceReport, Stim, SweepResult};

@@ -1,11 +1,36 @@
-//! Four-value logic and vectors, plus the nine-value co-simulation
-//! alphabet.
+//! Four-value logic and packed two-bitplane vectors, plus the
+//! nine-value co-simulation alphabet.
 //!
 //! Section 3.1: "Inconsistencies in the signal value set (e.g. 0, 1, x,
 //! and z) ... are common sources of problems" in co-simulation. The
 //! Verilog-side set is [`Logic`]; the VHDL-side set is [`Std9`]; the
 //! translation (or mistranslation) between them lives in
 //! [`crate::cosim`].
+//!
+//! ## Representation
+//!
+//! A [`Value`] stores its bits in **two bitplanes** — a *val* plane and
+//! an *unknown* plane — so the four-value alphabet packs to two machine
+//! bits per logic bit:
+//!
+//! | logic | val | unknown |
+//! |-------|-----|---------|
+//! | `0`   |  0  |    0    |
+//! | `1`   |  1  |    0    |
+//! | `x`   |  0  |    1    |
+//! | `z`   |  1  |    1    |
+//!
+//! Widths up to 64 live inline as two `u64` words (cloning is a 16-byte
+//! copy, no heap traffic); wider vectors spill to one boxed slice
+//! holding the val words followed by the unknown words. The [`Logic`]
+//! truth tables become word-parallel plane arithmetic: an AND over a
+//! 64-bit vector is a handful of `u64` ops instead of 64 `match`
+//! dispatches.
+//!
+//! The original per-bit implementation is retained in [`reference`] and
+//! can be forced for a thread with [`reference::force`]; kernel-level
+//! tests pin the packed path by demanding byte-identical waveforms
+//! between the two.
 
 use std::fmt;
 
@@ -51,6 +76,28 @@ impl Logic {
     /// True for `x` or `z`.
     pub fn is_unknown(self) -> bool {
         matches!(self, Logic::X | Logic::Z)
+    }
+
+    /// The two-plane encoding `(val, unknown)`.
+    #[inline]
+    pub fn planes(self) -> (bool, bool) {
+        match self {
+            Logic::Zero => (false, false),
+            Logic::One => (true, false),
+            Logic::X => (false, true),
+            Logic::Z => (true, true),
+        }
+    }
+
+    /// Decodes the two-plane encoding.
+    #[inline]
+    pub fn from_planes(val: bool, unknown: bool) -> Logic {
+        match (val, unknown) {
+            (false, false) => Logic::Zero,
+            (true, false) => Logic::One,
+            (false, true) => Logic::X,
+            (true, true) => Logic::Z,
+        }
     }
 
     /// Verilog AND table (z behaves as x).
@@ -107,13 +154,118 @@ impl fmt::Display for Logic {
     }
 }
 
-/// A logic vector, LSB first (`bits[0]` is bit 0).
+/// Words needed for `width` bits.
+#[inline]
+fn word_count(width: usize) -> usize {
+    width.div_ceil(64)
+}
+
+/// Mask of the valid bits in the last (topmost) word.
+#[inline]
+fn top_mask(width: usize) -> u64 {
+    match width % 64 {
+        0 => u64::MAX,
+        r => (1u64 << r) - 1,
+    }
+}
+
+/// Bitplane storage. `Small` covers widths 1..=64 inline; `Wide` holds
+/// `[val words.., unknown words..]` in one allocation. The constructors
+/// keep the choice canonical (`Small` iff width ≤ 64) and every bit at
+/// or above `width` zero in both planes, so derived `Eq`/`Hash` are
+/// semantic equality.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+enum Repr {
+    Small { val: u64, unk: u64 },
+    Wide(Box<[u64]>),
+}
+
+/// A logic vector, LSB first (bit 0 is the least significant bit),
+/// packed as two bitplanes (see the module docs).
 #[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub struct Value {
-    bits: Vec<Logic>,
+    width: u32,
+    repr: Repr,
 }
 
 impl Value {
+    /// Builds a canonical value from already-masked planes.
+    #[inline]
+    fn from_planes_small(width: usize, val: u64, unk: u64) -> Value {
+        debug_assert!((1..=64).contains(&width));
+        let m = top_mask(width);
+        Value {
+            width: width as u32,
+            repr: Repr::Small {
+                val: val & m,
+                unk: unk & m,
+            },
+        }
+    }
+
+    /// Builds a wide value from per-word planes (masked here).
+    fn from_planes_wide(width: usize, mut val: Vec<u64>, mut unk: Vec<u64>) -> Value {
+        debug_assert!(width > 64);
+        let n = word_count(width);
+        val.resize(n, 0);
+        unk.resize(n, 0);
+        let m = top_mask(width);
+        val[n - 1] &= m;
+        unk[n - 1] &= m;
+        val.extend_from_slice(&unk);
+        Value {
+            width: width as u32,
+            repr: Repr::Wide(val.into_boxed_slice()),
+        }
+    }
+
+    /// All-zero planes of the given width.
+    fn zeros(width: usize) -> Value {
+        assert!(width > 0, "zero-width value");
+        if width <= 64 {
+            Value::from_planes_small(width, 0, 0)
+        } else {
+            Value::from_planes_wide(
+                width,
+                vec![0; word_count(width)],
+                vec![0; word_count(width)],
+            )
+        }
+    }
+
+    /// Word `i` of the val plane (zero beyond storage).
+    #[inline]
+    fn val_word(&self, i: usize) -> u64 {
+        match &self.repr {
+            Repr::Small { val, .. } => {
+                if i == 0 {
+                    *val
+                } else {
+                    0
+                }
+            }
+            Repr::Wide(w) => *w.get(i).unwrap_or(&0),
+        }
+    }
+
+    /// Word `i` of the unknown plane (zero beyond storage).
+    #[inline]
+    fn unk_word(&self, i: usize) -> u64 {
+        match &self.repr {
+            Repr::Small { unk, .. } => {
+                if i == 0 {
+                    *unk
+                } else {
+                    0
+                }
+            }
+            Repr::Wide(w) => {
+                let n = w.len() / 2;
+                *w.get(n + i).unwrap_or(&0)
+            }
+        }
+    }
+
     /// All-X value of the given width.
     ///
     /// # Panics
@@ -121,37 +273,56 @@ impl Value {
     /// Panics if `width` is zero.
     pub fn unknown(width: usize) -> Value {
         assert!(width > 0, "zero-width value");
-        Value {
-            bits: vec![Logic::X; width],
+        if width <= 64 {
+            Value::from_planes_small(width, 0, u64::MAX)
+        } else {
+            let n = word_count(width);
+            Value::from_planes_wide(width, vec![0; n], vec![u64::MAX; n])
         }
     }
 
     /// All-Z value of the given width.
     pub fn high_z(width: usize) -> Value {
         assert!(width > 0, "zero-width value");
-        Value {
-            bits: vec![Logic::Z; width],
+        if width <= 64 {
+            Value::from_planes_small(width, u64::MAX, u64::MAX)
+        } else {
+            let n = word_count(width);
+            Value::from_planes_wide(width, vec![u64::MAX; n], vec![u64::MAX; n])
         }
     }
 
     /// From an unsigned integer, truncated/zero-extended to `width`.
     pub fn from_u64(v: u64, width: usize) -> Value {
         assert!(width > 0, "zero-width value");
-        let bits = (0..width)
-            .map(|i| {
-                if i < 64 && (v >> i) & 1 == 1 {
-                    Logic::One
-                } else {
-                    Logic::Zero
-                }
-            })
-            .collect();
-        Value { bits }
+        if width <= 64 {
+            Value::from_planes_small(width, v, 0)
+        } else {
+            let n = word_count(width);
+            let mut val = vec![0; n];
+            val[0] = v;
+            Value::from_planes_wide(width, val, vec![0; n])
+        }
     }
 
     /// A single-bit value.
     pub fn bit(b: Logic) -> Value {
-        Value { bits: vec![b] }
+        let (v, u) = b.planes();
+        Value::from_planes_small(1, v as u64, u as u64)
+    }
+
+    /// From a bit slice, LSB first.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bits` is empty.
+    pub fn from_bits(bits: &[Logic]) -> Value {
+        assert!(!bits.is_empty(), "zero-width value");
+        let mut out = Value::zeros(bits.len());
+        for (i, b) in bits.iter().enumerate() {
+            out.set_bit(i, *b);
+        }
+        out
     }
 
     /// From a character string, MSB first (e.g. `"10xz"`).
@@ -159,40 +330,84 @@ impl Value {
         if s.is_empty() {
             return None;
         }
-        let mut bits = Vec::with_capacity(s.len());
-        for c in s.chars().rev() {
-            bits.push(Logic::from_char(c)?);
+        let mut out = Value::zeros(s.chars().count());
+        for (i, c) in s.chars().rev().enumerate() {
+            out.set_bit(i, Logic::from_char(c)?);
         }
-        Some(Value { bits })
+        Some(out)
     }
 
     /// Width in bits.
     pub fn width(&self) -> usize {
-        self.bits.len()
-    }
-
-    /// The bits, LSB first.
-    pub fn bits(&self) -> &[Logic] {
-        &self.bits
+        self.width as usize
     }
 
     /// Bit `i` (LSB = 0); X when out of range.
     pub fn get(&self, i: usize) -> Logic {
-        self.bits.get(i).copied().unwrap_or(Logic::X)
+        if i >= self.width() {
+            return Logic::X;
+        }
+        let (w, b) = (i / 64, i % 64);
+        Logic::from_planes(
+            (self.val_word(w) >> b) & 1 == 1,
+            (self.unk_word(w) >> b) & 1 == 1,
+        )
+    }
+
+    /// Sets bit `i`; out-of-range writes are ignored.
+    pub fn set_bit(&mut self, i: usize, b: Logic) {
+        if i >= self.width() {
+            return;
+        }
+        let (v, u) = b.planes();
+        let (w, bit) = (i / 64, i % 64);
+        let m = 1u64 << bit;
+        match &mut self.repr {
+            Repr::Small { val, unk } => {
+                *val = (*val & !m) | if v { m } else { 0 };
+                *unk = (*unk & !m) | if u { m } else { 0 };
+            }
+            Repr::Wide(words) => {
+                let n = words.len() / 2;
+                words[w] = (words[w] & !m) | if v { m } else { 0 };
+                words[n + w] = (words[n + w] & !m) | if u { m } else { 0 };
+            }
+        }
+    }
+
+    /// The bits as a vector, LSB first (materialized; the packed planes
+    /// are the primary representation).
+    pub fn to_bits(&self) -> Vec<Logic> {
+        (0..self.width()).map(|i| self.get(i)).collect()
+    }
+
+    /// Iterates the bits, LSB first.
+    pub fn iter_bits(&self) -> impl Iterator<Item = Logic> + '_ {
+        (0..self.width()).map(|i| self.get(i))
     }
 
     /// Returns a copy resized to `width` (zero-extended — or truncated).
     pub fn resized(&self, width: usize) -> Value {
         assert!(width > 0, "zero-width value");
-        let mut bits = self.bits.clone();
-        bits.resize(width, Logic::Zero);
-        bits.truncate(width);
-        Value { bits }
+        if width == self.width() {
+            return self.clone();
+        }
+        if width <= 64 {
+            Value::from_planes_small(width, self.val_word(0), self.unk_word(0))
+        } else {
+            let n = word_count(width);
+            let val: Vec<u64> = (0..n).map(|i| self.val_word(i)).collect();
+            let unk: Vec<u64> = (0..n).map(|i| self.unk_word(i)).collect();
+            Value::from_planes_wide(width, val, unk)
+        }
     }
 
     /// True when any bit is x or z.
     pub fn has_unknown(&self) -> bool {
-        self.bits.iter().any(|b| b.is_unknown())
+        match &self.repr {
+            Repr::Small { unk, .. } => *unk != 0,
+            Repr::Wide(w) => w[w.len() / 2..].iter().any(|x| *x != 0),
+        }
     }
 
     /// Numeric interpretation, if fully known.
@@ -200,66 +415,329 @@ impl Value {
         if self.has_unknown() || self.width() > 64 {
             return None;
         }
-        let mut v = 0u64;
-        for (i, b) in self.bits.iter().enumerate() {
-            if *b == Logic::One {
-                v |= 1 << i;
-            }
-        }
-        Some(v)
+        Some(self.val_word(0))
     }
 
     /// Verilog truthiness: `Some(true)` when any bit is 1,
     /// `Some(false)` when all bits are 0, `None` (unknown) otherwise.
     pub fn truthy(&self) -> Option<bool> {
-        if self.bits.contains(&Logic::One) {
-            return Some(true);
+        let n = word_count(self.width());
+        let mut any_unknown = false;
+        for i in 0..n {
+            let (v, u) = (self.val_word(i), self.unk_word(i));
+            if v & !u != 0 {
+                return Some(true); // a known 1 decides it
+            }
+            any_unknown |= u != 0;
         }
-        if self.bits.iter().all(|b| *b == Logic::Zero) {
-            return Some(false);
+        if any_unknown {
+            None
+        } else {
+            Some(false)
         }
-        None
     }
 
-    fn zip_with(&self, other: &Value, f: fn(Logic, Logic) -> Logic) -> Value {
+    /// Applies a word-parallel binary op after zero-extending both
+    /// operands to the wider width. `f` maps `(val_a, unk_a, val_b,
+    /// unk_b)` to `(val_out, unk_out)`; out-of-range words read as
+    /// known-zero, matching the per-bit zero-extension semantics.
+    #[inline]
+    fn bitwise(&self, other: &Value, f: impl Fn(u64, u64, u64, u64) -> (u64, u64)) -> Value {
         let w = self.width().max(other.width());
-        let a = self.resized(w);
-        let b = other.resized(w);
-        Value {
-            bits: a.bits.iter().zip(&b.bits).map(|(x, y)| f(*x, *y)).collect(),
+        if w <= 64 {
+            let (v, u) = f(
+                self.val_word(0),
+                self.unk_word(0),
+                other.val_word(0),
+                other.unk_word(0),
+            );
+            Value::from_planes_small(w, v, u)
+        } else {
+            let n = word_count(w);
+            let mut val = Vec::with_capacity(n);
+            let mut unk = Vec::with_capacity(n);
+            for i in 0..n {
+                let (v, u) = f(
+                    self.val_word(i),
+                    self.unk_word(i),
+                    other.val_word(i),
+                    other.unk_word(i),
+                );
+                val.push(v);
+                unk.push(u);
+            }
+            Value::from_planes_wide(w, val, unk)
         }
     }
 
     /// Bitwise AND (widths zero-extended to match).
     pub fn and(&self, other: &Value) -> Value {
-        self.zip_with(other, Logic::and)
+        if reference::active() {
+            return reference::zip(self, other, Logic::and);
+        }
+        self.bitwise(other, |va, ua, vb, ub| {
+            // Known 1 where both known-1; known 0 where either known-0;
+            // X everywhere else (z collapses to x through the unknown
+            // plane).
+            let one = (va & !ua) & (vb & !ub);
+            let zero = (!va & !ua) | (!vb & !ub);
+            (one, !(one | zero))
+        })
     }
 
     /// Bitwise OR.
     pub fn or(&self, other: &Value) -> Value {
-        self.zip_with(other, Logic::or)
+        if reference::active() {
+            return reference::zip(self, other, Logic::or);
+        }
+        self.bitwise(other, |va, ua, vb, ub| {
+            let one = (va & !ua) | (vb & !ub);
+            let zero = (!va & !ua) & (!vb & !ub);
+            (one, !(one | zero))
+        })
     }
 
     /// Bitwise XOR.
     pub fn xor(&self, other: &Value) -> Value {
-        self.zip_with(other, Logic::xor)
+        if reference::active() {
+            return reference::zip(self, other, Logic::xor);
+        }
+        self.bitwise(other, |va, ua, vb, ub| {
+            let known = !ua & !ub;
+            ((va ^ vb) & known, !known)
+        })
     }
 
     /// Bitwise NOT.
     pub fn not(&self) -> Value {
-        Value {
-            bits: self.bits.iter().map(|b| b.not()).collect(),
+        if reference::active() {
+            return Value::from_bits(&self.to_bits().iter().map(|b| b.not()).collect::<Vec<_>>());
+        }
+        let w = self.width();
+        if w <= 64 {
+            let (v, u) = (self.val_word(0), self.unk_word(0));
+            Value::from_planes_small(w, !v & !u, u)
+        } else {
+            let n = word_count(w);
+            let val: Vec<u64> = (0..n)
+                .map(|i| !self.val_word(i) & !self.unk_word(i))
+                .collect();
+            let unk: Vec<u64> = (0..n).map(|i| self.unk_word(i)).collect();
+            Value::from_planes_wide(w, val, unk)
         }
     }
 
     /// Case/logic equality returning a 1-bit value: `1` when equal, `0`
     /// when a known bit differs, `x` when unknowns block the decision.
     pub fn logic_eq(&self, other: &Value) -> Logic {
+        if reference::active() {
+            return reference::logic_eq(self, other);
+        }
         let w = self.width().max(other.width());
-        let a = self.resized(w);
-        let b = other.resized(w);
+        let n = word_count(w);
+        let mut any_unknown = false;
+        for i in 0..n {
+            let (va, ua) = (self.val_word(i), self.unk_word(i));
+            let (vb, ub) = (other.val_word(i), other.unk_word(i));
+            if (va ^ vb) & !(ua | ub) != 0 {
+                return Logic::Zero; // a known mismatch decides it
+            }
+            any_unknown |= (ua | ub) != 0;
+        }
+        if any_unknown {
+            Logic::X
+        } else {
+            Logic::One
+        }
+    }
+
+    /// Reduction AND.
+    pub fn reduce_and(&self) -> Logic {
+        if reference::active() {
+            return self.to_bits().into_iter().fold(Logic::One, Logic::and);
+        }
+        let n = word_count(self.width());
+        let mut any_unknown = false;
+        for i in 0..n {
+            let (v, u) = (self.val_word(i), self.unk_word(i));
+            let in_range = if i == n - 1 {
+                top_mask(self.width())
+            } else {
+                u64::MAX
+            };
+            if !v & !u & in_range != 0 {
+                return Logic::Zero; // a known 0 dominates
+            }
+            any_unknown |= u != 0;
+        }
+        if any_unknown {
+            Logic::X
+        } else {
+            Logic::One
+        }
+    }
+
+    /// Reduction OR.
+    pub fn reduce_or(&self) -> Logic {
+        if reference::active() {
+            return self.to_bits().into_iter().fold(Logic::Zero, Logic::or);
+        }
+        match self.truthy() {
+            Some(true) => Logic::One,
+            Some(false) => Logic::Zero,
+            None => Logic::X,
+        }
+    }
+
+    /// The conditional-merge used when a ternary condition is unknown:
+    /// positions where both arms agree keep their value, others go X.
+    pub fn merge(&self, other: &Value) -> Value {
+        if reference::active() {
+            return reference::zip(self, other, |a, b| if a == b { a } else { Logic::X });
+        }
+        self.bitwise(other, |va, ua, vb, ub| {
+            // Bits identical in both planes survive; disagreement is X
+            // (val 0, unknown 1).
+            let same = !((va ^ vb) | (ua ^ ub));
+            (va & same, (ua & same) | !same)
+        })
+    }
+
+    /// Concatenation, MSB-first operand order (the first item occupies
+    /// the top bits), matching Verilog `{a, b}`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `items` is empty.
+    pub fn concat_msb(items: &[&Value]) -> Value {
+        let width: usize = items.iter().map(|v| v.width()).sum();
+        assert!(width > 0, "zero-width concatenation");
+        let mut out = Value::zeros(width);
+        // Walk from the last operand (lowest bits) upward, OR-ing each
+        // operand's words in at its bit offset.
+        let mut offset = 0usize;
+        for item in items.iter().rev() {
+            out.blit(item, offset);
+            offset += item.width();
+        }
+        out
+    }
+
+    /// ORs `src`'s planes into `self` starting at bit `offset`. The
+    /// destination bits must be zero (fresh from [`Value::zeros`]).
+    fn blit(&mut self, src: &Value, offset: usize) {
+        let (shift, word0) = (offset % 64, offset / 64);
+        let src_words = word_count(src.width());
+        for i in 0..src_words {
+            let (v, u) = (src.val_word(i), src.unk_word(i));
+            self.or_word(word0 + i, v << shift, u << shift);
+            if shift != 0 {
+                self.or_word(word0 + i + 1, v >> (64 - shift), u >> (64 - shift));
+            }
+        }
+    }
+
+    /// ORs one word into both planes at word index `w` (ignoring
+    /// out-of-range spill).
+    fn or_word(&mut self, w: usize, v: u64, u: u64) {
+        match &mut self.repr {
+            Repr::Small { val, unk } => {
+                if w == 0 {
+                    *val |= v & top_mask(self.width as usize);
+                    *unk |= u & top_mask(self.width as usize);
+                }
+            }
+            Repr::Wide(words) => {
+                let n = words.len() / 2;
+                if w < n {
+                    let m = if w == n - 1 {
+                        top_mask(self.width as usize)
+                    } else {
+                        u64::MAX
+                    };
+                    words[w] |= v & m;
+                    words[n + w] |= u & m;
+                }
+            }
+        }
+    }
+
+    /// MSB-first rendering (`4'b10xz` prints as `10xz`).
+    pub fn to_string_msb(&self) -> String {
+        (0..self.width())
+            .rev()
+            .map(|i| self.get(i).to_char())
+            .collect()
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.to_string_msb())
+    }
+}
+
+/// The retained per-bit reference path.
+///
+/// Every packed truth-table op ([`Value::and`], [`Value::or`],
+/// [`Value::xor`], [`Value::not`], [`Value::logic_eq`],
+/// [`Value::merge`], the reductions) checks a thread-local flag and,
+/// when [`force`] is active on the calling thread, routes through the
+/// original per-bit [`Logic`]-table implementation instead of the plane
+/// arithmetic. Tests use this to demand byte-identical waveforms from
+/// the two paths; benches use it as the baseline for the packed
+/// speedup.
+pub mod reference {
+    use super::{Logic, Value};
+    use std::cell::Cell;
+
+    thread_local! {
+        static FORCED: Cell<bool> = const { Cell::new(false) };
+    }
+
+    /// True while the calling thread is inside a [`force`] guard.
+    #[inline]
+    pub fn active() -> bool {
+        FORCED.with(|f| f.get())
+    }
+
+    /// RAII guard returned by [`force`]; restores the previous mode on
+    /// drop.
+    pub struct Guard {
+        prev: bool,
+    }
+
+    impl Drop for Guard {
+        fn drop(&mut self) {
+            FORCED.with(|f| f.set(self.prev));
+        }
+    }
+
+    /// Forces the per-bit reference implementation for all [`Value`]
+    /// truth-table ops on the current thread until the guard drops.
+    pub fn force() -> Guard {
+        let prev = FORCED.with(|f| f.replace(true));
+        Guard { prev }
+    }
+
+    /// Per-bit zip over zero-extended operands — the original
+    /// `Vec<Logic>` implementation.
+    pub(super) fn zip(a: &Value, b: &Value, f: fn(Logic, Logic) -> Logic) -> Value {
+        let w = a.width().max(b.width());
+        let av = a.resized(w);
+        let bv = b.resized(w);
+        let bits: Vec<Logic> = (0..w).map(|i| f(av.get(i), bv.get(i))).collect();
+        Value::from_bits(&bits)
+    }
+
+    /// Per-bit case equality — the original scan.
+    pub(super) fn logic_eq(a: &Value, b: &Value) -> Logic {
+        let w = a.width().max(b.width());
+        let av = a.resized(w);
+        let bv = b.resized(w);
         let mut unknown = false;
-        for (x, y) in a.bits.iter().zip(&b.bits) {
+        for i in 0..w {
+            let (x, y) = (av.get(i), bv.get(i));
             if x.is_unknown() || y.is_unknown() {
                 unknown = true;
             } else if x != y {
@@ -271,33 +749,6 @@ impl Value {
         } else {
             Logic::One
         }
-    }
-
-    /// Reduction AND.
-    pub fn reduce_and(&self) -> Logic {
-        self.bits.iter().copied().fold(Logic::One, Logic::and)
-    }
-
-    /// Reduction OR.
-    pub fn reduce_or(&self) -> Logic {
-        self.bits.iter().copied().fold(Logic::Zero, Logic::or)
-    }
-
-    /// The conditional-merge used when a ternary condition is unknown:
-    /// positions where both arms agree keep their value, others go X.
-    pub fn merge(&self, other: &Value) -> Value {
-        self.zip_with(other, |a, b| if a == b { a } else { Logic::X })
-    }
-
-    /// MSB-first rendering (`4'b10xz` prints as `10xz`).
-    pub fn to_string_msb(&self) -> String {
-        self.bits.iter().rev().map(|b| b.to_char()).collect()
-    }
-}
-
-impl fmt::Display for Value {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        f.write_str(&self.to_string_msb())
     }
 }
 
@@ -412,6 +863,14 @@ mod tests {
     }
 
     #[test]
+    fn plane_encoding_round_trips() {
+        for l in Logic::ALL {
+            let (v, u) = l.planes();
+            assert_eq!(Logic::from_planes(v, u), l);
+        }
+    }
+
+    #[test]
     fn value_numeric_round_trip() {
         let v = Value::from_u64(0b1010, 4);
         assert_eq!(v.to_string_msb(), "1010");
@@ -437,6 +896,8 @@ mod tests {
         assert_eq!(Value::from_u64(0, 3).truthy(), Some(false));
         assert_eq!(Value::from_str_msb("0x0").unwrap().truthy(), None);
         assert_eq!(Value::from_str_msb("1x0").unwrap().truthy(), Some(true));
+        // A lone z is unknown, not true.
+        assert_eq!(Value::bit(Logic::Z).truthy(), None);
     }
 
     #[test]
@@ -475,6 +936,93 @@ mod tests {
         let a = Value::from_u64(0b1100, 4);
         let b = Value::from_u64(0b1010, 4);
         assert_eq!(a.merge(&b).to_string_msb(), "1xx0");
+        // z only merges with z.
+        let z = Value::from_str_msb("z1").unwrap();
+        let x = Value::from_str_msb("x1").unwrap();
+        assert_eq!(z.merge(&z).to_string_msb(), "z1");
+        assert_eq!(z.merge(&x).to_string_msb(), "x1");
+    }
+
+    #[test]
+    fn wide_values_cross_the_word_boundary() {
+        // 65-bit value with the top bit set: exercises the Wide repr.
+        let s = format!("1{}", "0".repeat(64));
+        let v = Value::from_str_msb(&s).unwrap();
+        assert_eq!(v.width(), 65);
+        assert_eq!(v.get(64), Logic::One);
+        assert_eq!(v.get(63), Logic::Zero);
+        assert_eq!(v.as_u64(), None, "wider than 64 bits");
+        assert_eq!(v.truthy(), Some(true));
+        assert_eq!(v.not().get(64), Logic::Zero);
+        assert_eq!(v.not().get(0), Logic::One);
+        // Resize down to 64 collapses to the inline repr and drops the
+        // top bit.
+        let narrow = v.resized(64);
+        assert_eq!(narrow.as_u64(), Some(0));
+        assert_eq!(narrow, Value::from_u64(0, 64));
+    }
+
+    #[test]
+    fn equality_is_semantic_across_resize_paths() {
+        // Same 64-bit value reached inline vs truncated from wide.
+        let wide = Value::from_str_msb(&format!("x{}", "1".repeat(64)))
+            .unwrap()
+            .resized(64);
+        let small = Value::from_u64(u64::MAX, 64);
+        assert_eq!(wide, small);
+        use std::collections::hash_map::DefaultHasher;
+        use std::hash::{Hash, Hasher};
+        let h = |v: &Value| {
+            let mut s = DefaultHasher::new();
+            v.hash(&mut s);
+            s.finish()
+        };
+        assert_eq!(h(&wide), h(&small));
+    }
+
+    #[test]
+    fn concat_packs_msb_first() {
+        let a = Value::from_u64(0b1, 1);
+        let b = Value::from_u64(0b0010, 4);
+        let c = Value::concat_msb(&[&a, &b]);
+        assert_eq!(c.to_string_msb(), "10010");
+        // Crossing the word boundary: 1'b1 on top of 64 zeros.
+        let wide = Value::concat_msb(&[&a, &Value::from_u64(0, 64)]);
+        assert_eq!(wide.width(), 65);
+        assert_eq!(wide.get(64), Logic::One);
+        // Unknowns travel through concatenation.
+        let withx = Value::concat_msb(&[&Value::bit(Logic::X), &a]);
+        assert_eq!(withx.to_string_msb(), "x1");
+    }
+
+    #[test]
+    fn reference_mode_matches_packed_ops() {
+        let a = Value::from_str_msb("10xz01").unwrap();
+        let b = Value::from_str_msb("zx1010").unwrap();
+        let packed = (
+            a.and(&b),
+            a.or(&b),
+            a.xor(&b),
+            a.not(),
+            a.merge(&b),
+            a.logic_eq(&b),
+            a.reduce_and(),
+            a.reduce_or(),
+        );
+        let guard = reference::force();
+        let per_bit = (
+            a.and(&b),
+            a.or(&b),
+            a.xor(&b),
+            a.not(),
+            a.merge(&b),
+            a.logic_eq(&b),
+            a.reduce_and(),
+            a.reduce_or(),
+        );
+        drop(guard);
+        assert_eq!(packed, per_bit);
+        assert!(!reference::active(), "guard restored the packed path");
     }
 
     #[test]

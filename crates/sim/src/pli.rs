@@ -4,22 +4,25 @@
 //! interface), which allows the user to link custom C language modules
 //! to the simulator." Here the custom module is a Rust closure hooked
 //! to signal changes — same shape, no linker involved.
+//!
+//! Callbacks are `Send` (shared through `Arc<Mutex<..>>`), which keeps
+//! a [`Kernel`] with registered hooks movable across threads — a
+//! requirement of [`crate::race::sweep_parallel`].
 
-use std::cell::RefCell;
-use std::rc::Rc;
+use std::sync::{Arc, Mutex};
 
 use crate::elab::SigId;
 use crate::kernel::{Kernel, SimError};
 use crate::logic::Value;
 
 /// A user callback: `(time, new value)`.
-pub type PliCallback = Rc<RefCell<dyn FnMut(u64, &Value)>>;
+pub type PliCallback = Arc<Mutex<dyn FnMut(u64, &Value) + Send>>;
 
 /// A monitor that records every change of one signal — the classic
 /// `$monitor` system task built on the PLI hook.
 #[derive(Clone, Default)]
 pub struct Monitor {
-    log: Rc<RefCell<Vec<(u64, Value)>>>,
+    log: Arc<Mutex<Vec<(u64, Value)>>>,
 }
 
 impl Monitor {
@@ -30,21 +33,21 @@ impl Monitor {
 
     /// The hook to register with [`Kernel::on_change`].
     pub fn callback(&self) -> PliCallback {
-        let log = Rc::clone(&self.log);
-        Rc::new(RefCell::new(move |t: u64, v: &Value| {
-            log.borrow_mut().push((t, v.clone()));
+        let log = Arc::clone(&self.log);
+        Arc::new(Mutex::new(move |t: u64, v: &Value| {
+            log.lock().expect("monitor log").push((t, v.clone()));
         }))
     }
 
     /// The recorded `(time, value)` pairs.
     pub fn log(&self) -> Vec<(u64, Value)> {
-        self.log.borrow().clone()
+        self.log.lock().expect("monitor log").clone()
     }
 
     /// The recorded history with consecutive duplicates collapsed.
     pub fn history(&self) -> Vec<(u64, Value)> {
         let mut out: Vec<(u64, Value)> = Vec::new();
-        for (t, v) in self.log.borrow().iter() {
+        for (t, v) in self.log.lock().expect("monitor log").iter() {
             if out.last().map(|(_, lv)| lv) != Some(v) {
                 out.push((*t, v.clone()));
             }
@@ -122,15 +125,16 @@ mod tests {
             compile_unit(&unit, "m").expect("elab"),
             SchedulerPolicy::sim_a(),
         );
-        let seen = Rc::new(RefCell::new(Vec::<String>::new()));
+        let seen = Arc::new(Mutex::new(Vec::<String>::new()));
         for name in ["x", "y"] {
-            let log = Rc::clone(&seen);
+            let log = Arc::clone(&seen);
             let tag = name.to_string();
             on_change_name(
                 &mut k,
                 name,
-                Rc::new(RefCell::new(move |_t: u64, v: &Value| {
-                    log.borrow_mut()
+                Arc::new(Mutex::new(move |_t: u64, v: &Value| {
+                    log.lock()
+                        .expect("log")
                         .push(format!("{tag}={}", v.to_string_msb()));
                 })),
             )
@@ -141,7 +145,7 @@ mod tests {
         k.run_until(1).expect("run");
         k.poke_name("clk", Value::bit(Logic::One)).expect("clk");
         k.run_until(2).expect("run");
-        let log = seen.borrow();
+        let log = seen.lock().expect("log");
         // Initial zeros, then x=1 strictly before y=1 within one activation.
         let x1 = log.iter().position(|e| e == "x=1").expect("x=1 seen");
         let y1 = log.iter().position(|e| e == "y=1").expect("y=1 seen");

@@ -61,22 +61,29 @@ pub struct SetupHoldCheck {
 
 /// Extracts the rising-edge times of `clk` from a waveform.
 pub fn posedges(wave: &Waveform, clk: SigId) -> Vec<u64> {
+    rising_edges(&wave.history(clk))
+}
+
+fn rising_edges(history: &[(u64, crate::logic::Value)]) -> Vec<u64> {
     let mut out = Vec::new();
     let mut prev = Logic::X;
-    for (t, v) in wave.history(clk) {
+    for (t, v) in history {
         let bit = v.get(0);
         if bit == Logic::One && prev != Logic::One {
-            out.push(t);
+            out.push(*t);
         }
         prev = bit;
     }
     out
 }
 
-/// Runs the check over a recorded waveform.
+/// Runs the check over a recorded waveform. The waveform is indexed
+/// once so both signal histories come out of a single pass over the
+/// change log.
 pub fn check(wave: &Waveform, spec: &SetupHoldCheck, mode: CompatMode) -> Vec<TimingViolation> {
-    let edges = posedges(wave, spec.clk);
-    let data_changes: Vec<u64> = wave.history(spec.data).iter().map(|(t, _)| *t).collect();
+    let idx = wave.indexed(spec.clk.max(spec.data) + 1);
+    let edges = rising_edges(&idx.history(spec.clk));
+    let data_changes: Vec<u64> = idx.history(spec.data).iter().map(|(t, _)| *t).collect();
     let mut out = Vec::new();
     for &edge in &edges {
         for &d in &data_changes {

@@ -23,14 +23,59 @@ pub struct VcdData {
 }
 
 impl VcdData {
-    /// The collapsed history of one signal by name.
+    /// The collapsed history of one signal by name. Scans the whole
+    /// change list; callers querying many signals should build
+    /// [`VcdData::indexed`] once instead.
     pub fn history(&self, name: &str) -> Vec<(u64, Value)> {
-        let Some(idx) = self.signals.iter().position(|(n, _)| n == name) else {
+        self.indexed_for(self.signals.iter().position(|(n, _)| n == name))
+    }
+
+    /// Builds a per-signal change index in one pass, for repeated
+    /// history queries (the [`diff`] comparator walks every signal).
+    pub fn indexed(&self) -> IndexedVcd<'_> {
+        let mut by_sig: Vec<Vec<u32>> = vec![Vec::new(); self.signals.len()];
+        for (i, (_, s, _)) in self.changes.iter().enumerate() {
+            if let Some(list) = by_sig.get_mut(*s) {
+                list.push(i as u32);
+            }
+        }
+        IndexedVcd { data: self, by_sig }
+    }
+
+    fn indexed_for(&self, idx: Option<usize>) -> Vec<(u64, Value)> {
+        let Some(idx) = idx else {
             return Vec::new();
         };
         let mut out: Vec<(u64, Value)> = Vec::new();
         for (t, s, v) in &self.changes {
             if *s == idx && out.last().map(|(_, lv)| lv) != Some(v) {
+                out.push((*t, v.clone()));
+            }
+        }
+        out
+    }
+}
+
+/// A per-signal index over parsed VCD changes, mirroring
+/// [`crate::kernel::IndexedWaveform`]: built once, each history query
+/// then costs O(own changes).
+#[derive(Debug)]
+pub struct IndexedVcd<'a> {
+    data: &'a VcdData,
+    by_sig: Vec<Vec<u32>>,
+}
+
+impl IndexedVcd<'_> {
+    /// The collapsed history of one signal by name — identical output
+    /// to [`VcdData::history`].
+    pub fn history(&self, name: &str) -> Vec<(u64, Value)> {
+        let Some(idx) = self.data.signals.iter().position(|(n, _)| n == name) else {
+            return Vec::new();
+        };
+        let mut out: Vec<(u64, Value)> = Vec::new();
+        for &i in &self.by_sig[idx] {
+            let (t, _, v) = &self.data.changes[i as usize];
+            if out.last().map(|(_, lv)| lv) != Some(v) {
                 out.push((*t, v.clone()));
             }
         }
@@ -164,11 +209,14 @@ pub fn parse(text: &str) -> Result<VcdData, ParseVcdError> {
 }
 
 /// Compares two VCDs signal-by-signal (collapsed histories must match
-/// for every name present in both). Returns the diverging names.
+/// for every name present in both). Returns the diverging names. Both
+/// change lists are indexed once up front, so the comparison is linear
+/// in total changes rather than signals × changes.
 pub fn diff(a: &VcdData, b: &VcdData) -> Vec<String> {
+    let (ia, ib) = (a.indexed(), b.indexed());
     let mut out = Vec::new();
     for (name, _) in &a.signals {
-        if b.signals.iter().any(|(n, _)| n == name) && a.history(name) != b.history(name) {
+        if b.signals.iter().any(|(n, _)| n == name) && ia.history(name) != ib.history(name) {
             out.push(name.clone());
         }
     }

@@ -95,6 +95,94 @@ proptest! {
     }
 }
 
+/// Differential tests: every packed plane-arithmetic op must agree
+/// with the retained per-bit reference path, across the width spectrum
+/// the packed representation cares about — 1 (degenerate), 63/64 (word
+/// boundary from below), 65 (first spill to the wide repr), 128 (exact
+/// two words).
+mod packed_vs_reference {
+    use super::*;
+    use sim::logic::reference;
+
+    const WIDTHS: &[usize] = &[1, 63, 64, 65, 128];
+
+    fn arb_value_spectrum() -> impl Strategy<Value = Value> {
+        prop::sample::select(WIDTHS.to_vec()).prop_flat_map(|w| {
+            prop::collection::vec(arb_logic(), w..=w).prop_map(|bits| Value::from_bits(&bits))
+        })
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(192))]
+
+        #[test]
+        fn binary_ops_match_per_bit_reference(
+            a in arb_value_spectrum(),
+            b in arb_value_spectrum(),
+        ) {
+            let packed = (
+                a.and(&b), a.or(&b), a.xor(&b), a.merge(&b), a.logic_eq(&b),
+            );
+            let reference = {
+                let _guard = reference::force();
+                (a.and(&b), a.or(&b), a.xor(&b), a.merge(&b), a.logic_eq(&b))
+            };
+            prop_assert_eq!(&packed.0, &reference.0, "and: {} {}", a, b);
+            prop_assert_eq!(&packed.1, &reference.1, "or: {} {}", a, b);
+            prop_assert_eq!(&packed.2, &reference.2, "xor: {} {}", a, b);
+            prop_assert_eq!(&packed.3, &reference.3, "merge: {} {}", a, b);
+            prop_assert_eq!(packed.4, reference.4, "logic_eq: {} {}", a, b);
+        }
+
+        #[test]
+        fn unary_ops_match_per_bit_reference(a in arb_value_spectrum()) {
+            let packed = (a.not(), a.reduce_and(), a.reduce_or());
+            let reference = {
+                let _guard = reference::force();
+                (a.not(), a.reduce_and(), a.reduce_or())
+            };
+            prop_assert_eq!(&packed.0, &reference.0, "not: {}", a);
+            prop_assert_eq!(packed.1, reference.1, "reduce_and: {}", a);
+            prop_assert_eq!(packed.2, reference.2, "reduce_or: {}", a);
+        }
+
+        #[test]
+        fn packed_bit_access_round_trips(a in arb_value_spectrum()) {
+            // from_bits(to_bits) is the identity, and string rendering
+            // (the old representation's native form) agrees bit by bit.
+            let bits = a.to_bits();
+            prop_assert_eq!(&Value::from_bits(&bits), &a);
+            prop_assert_eq!(
+                Value::from_str_msb(&a.to_string_msb()).expect("parses"),
+                a.clone()
+            );
+            // Resize through the width spectrum and back never corrupts
+            // surviving bits.
+            for &w in WIDTHS {
+                let r = a.resized(w);
+                for i in 0..w.min(a.width()) {
+                    prop_assert_eq!(r.get(i), a.get(i), "width {} bit {}", w, i);
+                }
+            }
+        }
+
+        #[test]
+        fn concat_matches_per_bit_construction(
+            parts in prop::collection::vec(arb_value_spectrum(), 1..4)
+        ) {
+            let refs: Vec<&Value> = parts.iter().collect();
+            let packed = Value::concat_msb(&refs);
+            // Reference: gather LSB-first bits of the last operand
+            // first, as Verilog {a, b} places b in the low bits.
+            let mut bits: Vec<Logic> = Vec::new();
+            for p in parts.iter().rev() {
+                bits.extend(p.to_bits());
+            }
+            prop_assert_eq!(packed, Value::from_bits(&bits));
+        }
+    }
+}
+
 mod kernel_props {
     use super::*;
     use sim::elab::compile_unit;
@@ -143,6 +231,112 @@ mod kernel_props {
             let (y, n) = &results[0];
             if y == "1" { prop_assert_eq!(n.as_str(), "0"); }
             if y == "0" { prop_assert_eq!(n.as_str(), "1"); }
+        }
+    }
+}
+
+/// The tentpole's correctness pin: on randomized circuits, the packed
+/// kernel's waveform must be byte-identical (as VCD text) to the same
+/// run routed through the per-bit reference path — under every policy.
+mod waveform_identity {
+    use super::*;
+    use sim::elab::compile_unit;
+    use sim::kernel::{Kernel, SchedulerPolicy};
+    use sim::logic::reference;
+    use sim::race::clocked_testbench;
+
+    /// Renders a random combinational network as Verilog: `gates[i]`
+    /// defines wire `wi` as a unary/binary op over earlier signals,
+    /// then a 70-bit concat bus with wide ops exercises the spilled
+    /// representation, and a clocked register closes the loop.
+    fn random_src(gates: &[(u8, u8, u8)]) -> String {
+        let mut pool = vec!["d".to_string()];
+        let mut body = String::new();
+        let mut decls = String::new();
+        for (i, (op, a, b)) in gates.iter().enumerate() {
+            let name = format!("w{i}");
+            let lhs = &pool[*a as usize % pool.len()];
+            let rhs = &pool[*b as usize % pool.len()];
+            decls.push_str(&format!("  wire {name};\n"));
+            body.push_str(&match op % 4 {
+                0 => format!("  assign {name} = {lhs} & {rhs};\n"),
+                1 => format!("  assign {name} = {lhs} | {rhs};\n"),
+                2 => format!("  assign {name} = {lhs} ^ {rhs};\n"),
+                _ => format!("  assign {name} = ~{lhs};\n"),
+            });
+            pool.push(name);
+        }
+        // A 70-term concat pushes past one word so wide-plane ops run.
+        let terms: Vec<String> = (0..70).map(|i| pool[i % pool.len()].clone()).collect();
+        decls.push_str("  wire [69:0] bus;\n  wire [69:0] busn;\n  wire [69:0] busm;\n");
+        body.push_str(&format!("  assign bus = {{{}}};\n", terms.join(", ")));
+        body.push_str("  assign busn = ~bus;\n");
+        body.push_str("  assign busm = bus ^ busn;\n");
+        let last = pool.last().unwrap();
+        format!(
+            "module r(input clk, input d, output reg q);\n{decls}{body}\
+             \x20 initial q = 0;\n\
+             \x20 always @(posedge clk) q <= {last};\n\
+             endmodule\n"
+        )
+    }
+
+    fn run_vcd(src: &str, policy: SchedulerPolicy) -> String {
+        let unit = hdl::parse(src).expect("random source parses");
+        let mut k = Kernel::new(compile_unit(&unit, "r").expect("elab"), policy);
+        clocked_testbench(&mut k, 3).expect("run");
+        sim::vcd::from_kernel(&k)
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(12))]
+
+        #[test]
+        fn packed_waveforms_are_byte_identical_to_reference(
+            gates in prop::collection::vec((any::<u8>(), any::<u8>(), any::<u8>()), 1..8)
+        ) {
+            let src = random_src(&gates);
+            for policy in SchedulerPolicy::all() {
+                let packed = run_vcd(&src, policy);
+                let referenced = {
+                    let _guard = reference::force();
+                    run_vcd(&src, policy)
+                };
+                prop_assert_eq!(&packed, &referenced, "policy {}", policy.name);
+            }
+        }
+    }
+}
+
+/// Sweep determinism: the parallel grid must equal the sequential one
+/// for any stimulus set and thread count.
+mod sweep_props {
+    use super::*;
+    use sim::elab::compile_unit;
+    use sim::race::{models, sweep, sweep_parallel, Stim};
+    use sim::SchedulerPolicy;
+    use std::sync::Arc;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(8))]
+
+        #[test]
+        fn parallel_sweep_is_deterministic(
+            cycle_counts in prop::collection::vec(1u64..6, 1..6),
+            threads in 1usize..9,
+        ) {
+            let unit = hdl::parse(models::ORDER_RACE).expect("parses");
+            let circuit = Arc::new(compile_unit(&unit, "order").expect("elab"));
+            let stims: Vec<Stim> = cycle_counts
+                .iter()
+                .enumerate()
+                .map(|(i, &c)| Stim::clocked(format!("s{i}x{c}"), c))
+                .collect();
+            let policies = SchedulerPolicy::all();
+            let sequential = sweep(&circuit, &policies, &stims).expect("sweep");
+            let parallel =
+                sweep_parallel(&circuit, &policies, &stims, threads).expect("sweep");
+            prop_assert_eq!(parallel, sequential);
         }
     }
 }
