@@ -2,8 +2,8 @@
 //! dump the result.
 //!
 //! ```text
-//! obsdump [--preset exar|batch|sim|pnr] [--format tree|chrome|folded|summary]
-//!         [--designs N] [--threads N] [--top N] [--check]
+//! obsdump [--preset exar|batch|chaos|sim|pnr] [--format tree|chrome|folded|summary]
+//!         [--designs N] [--threads N] [--seed N] [--top N] [--check]
 //! ```
 //!
 //! Presets:
@@ -12,6 +12,9 @@
 //!   check → simulation run, and a place → route → DRC pass, all under
 //!   one root span (the default).
 //! - `batch` — parallel batch migration only.
+//! - `chaos` — resilient batch migration under a seeded fault plan:
+//!   panics, corrupted outputs, latency, and transient errors, with
+//!   retries and quarantine visible as counters and events.
 //! - `sim`   — HDL frontend plus an event-driven simulation run.
 //! - `pnr`   — place → route → DRC only.
 //!
@@ -32,8 +35,11 @@ use std::process::ExitCode;
 use std::sync::Arc;
 
 use interop_bench::batch_exp;
-use migrate::batch::{migrate_batch_recorded, BatchConfig};
-use migrate::{presets, Migrator};
+use migrate::batch::{
+    migrate_batch_recorded, migrate_batch_resilient, BatchConfig, ResilientConfig,
+};
+use migrate::checkpoint::Checkpoint;
+use migrate::{presets, FaultPlan, Migrator, RetryPolicy};
 use obs::export::{chrome_trace, folded_stacks, max_depth, self_time_table, span_tree};
 use obs::{validate_json, Recorder, Span, TraceRecorder};
 use schematic::dialect::DialectId;
@@ -45,6 +51,7 @@ struct Options {
     format: String,
     designs: usize,
     threads: usize,
+    seed: u64,
     top: usize,
     check: bool,
 }
@@ -56,6 +63,7 @@ impl Default for Options {
             format: "tree".into(),
             designs: 8,
             threads: 4,
+            seed: 42,
             top: 12,
             check: false,
         }
@@ -83,15 +91,20 @@ fn parse_args() -> Result<Options, String> {
                     .parse()
                     .map_err(|e| format!("--threads: {e}"))?;
             }
+            "--seed" => {
+                opts.seed = value("--seed")?
+                    .parse()
+                    .map_err(|e| format!("--seed: {e}"))?;
+            }
             "--top" => {
                 opts.top = value("--top")?.parse().map_err(|e| format!("--top: {e}"))?;
             }
             "--check" => opts.check = true,
             "--help" | "-h" => {
                 println!(
-                    "usage: obsdump [--preset exar|batch|sim|pnr] \
+                    "usage: obsdump [--preset exar|batch|chaos|sim|pnr] \
                      [--format tree|chrome|folded|summary]\n\
-                     \x20              [--designs N] [--threads N] [--top N] [--check]"
+                     \x20              [--designs N] [--threads N] [--seed N] [--top N] [--check]"
                 );
                 std::process::exit(0);
             }
@@ -114,6 +127,39 @@ fn run_batch(rec: &TraceRecorder, designs: usize, threads: usize) {
         rec,
     );
     assert_eq!(outcomes.len(), sources.len());
+}
+
+/// Resilient batch migration under a seeded background fault rate:
+/// chaos survivability as an observable workload.
+fn run_chaos(rec: &TraceRecorder, designs: usize, threads: usize, seed: u64) {
+    let sources = batch_exp::batch_designs(designs);
+    let migrator = Migrator::new(presets::exar_style_config(4, 0));
+    let cfg = ResilientConfig {
+        threads,
+        retry: RetryPolicy::with_attempts(5).base_delay(2).jitter(seed),
+        fault_plan: FaultPlan::seeded(seed).with_rate(30),
+        timeout_ticks: Some(40),
+        abort_after: None,
+    };
+    let mut checkpoint = Checkpoint::default();
+    let report = migrate_batch_resilient(
+        &migrator,
+        &sources,
+        DialectId::Cascade,
+        &cfg,
+        &mut checkpoint,
+        rec,
+    )
+    .expect("fresh checkpoint always binds");
+    eprintln!(
+        "chaos: {} designs, {} executed, {} quarantined, {} retries, {} faults, {} vticks",
+        sources.len(),
+        report.executed,
+        report.quarantined.len(),
+        report.retries,
+        report.faults_injected,
+        report.virtual_ticks
+    );
 }
 
 /// Serializes one generated design to both dialects and re-parses each,
@@ -198,6 +244,10 @@ fn run_preset(rec: &Arc<TraceRecorder>, opts: &Options) -> Result<(), String> {
             run_batch(rec, opts.designs, opts.threads);
             Ok(())
         }
+        "chaos" => {
+            run_chaos(rec, opts.designs, opts.threads, opts.seed);
+            Ok(())
+        }
         "sim" => {
             run_sim(rec);
             Ok(())
@@ -207,7 +257,7 @@ fn run_preset(rec: &Arc<TraceRecorder>, opts: &Options) -> Result<(), String> {
             Ok(())
         }
         other => Err(format!(
-            "unknown preset `{other}` (expected exar, batch, sim, or pnr)"
+            "unknown preset `{other}` (expected exar, batch, chaos, sim, or pnr)"
         )),
     }
 }

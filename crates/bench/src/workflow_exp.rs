@@ -116,7 +116,8 @@ pub fn workflow_at_scale(depth: usize, width: usize) -> FlowRow {
         .deploy(&tapeout_template(), &tree)
         .expect("deploy succeeds");
     let steps = engine.steps().len();
-    let (ticks, runs) = engine.run_to_quiescence(steps * 3 + 10);
+    let report = engine.run_to_fixpoint();
+    let (ticks, runs) = (report.ticks, report.actions);
     let complete = engine.is_complete();
 
     // Out-of-band RTL edit on the deepest first block: trigger-driven
@@ -128,7 +129,7 @@ pub fn workflow_at_scale(depth: usize, width: usize) -> FlowRow {
         .max_by_key(|b| b.matches('/').count())
         .expect("some block");
     engine.store.write(format!("{victim}/rtl.v"), "edited rtl");
-    let (_, churn_runs) = engine.run_to_quiescence(steps * 3 + 10);
+    let churn_runs = engine.run_to_fixpoint().actions;
 
     FlowRow {
         blocks,
@@ -164,7 +165,7 @@ pub fn metrics_snapshot() -> String {
     engine
         .deploy(&tapeout_template(), &block_tree(1, 4))
         .expect("deploy succeeds");
-    engine.run_to_quiescence(200);
+    engine.run_to_fixpoint();
     metrics::status_table(&metrics::collect(&engine))
 }
 

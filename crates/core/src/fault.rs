@@ -1,0 +1,498 @@
+//! Deterministic fault injection for the workflow and migration
+//! substrates.
+//!
+//! "An Automated Approach for the Discovery of Interoperability"
+//! (PAPERS.md) frames interoperability as something you *test for* by
+//! systematically perturbing tool interactions. This module provides
+//! the perturbation vocabulary: a seeded [`FaultPlan`] decides — purely
+//! as a function of `(seed, site, attempt)` — whether a given piece of
+//! work misbehaves and how, so an entire chaos run is reproducible from
+//! one integer. A [`VirtualClock`] stands in for wall time, making
+//! latency injection and timeout/backoff arithmetic deterministic, and
+//! a [`RetryPolicy`] computes bounded exponential backoff with
+//! deterministic jitter on that clock.
+//!
+//! ```
+//! use interop_core::fault::{FaultKind, FaultPlan};
+//!
+//! let plan = FaultPlan::seeded(42).with_rate(25);
+//! // Same seed, same site, same attempt => same decision, forever.
+//! assert_eq!(plan.fault_for("design-3", 1), plan.fault_for("design-3", 1));
+//! // A fault-free plan never fires.
+//! assert_eq!(FaultPlan::none().fault_for("design-3", 1), None);
+//! // Explicit injections override the seeded decision.
+//! let plan = FaultPlan::none().with_fault("design-7", .., FaultKind::Panic);
+//! assert_eq!(plan.fault_for("design-7", 3), Some(FaultKind::Panic));
+//! ```
+
+use std::fmt;
+use std::ops::{Bound, RangeBounds};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// SplitMix64 finalizer — the workbench's standard deterministic mixer.
+fn mix64(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// FNV-1a over a byte string, for hashing site names.
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    h
+}
+
+/// A shared, monotonically advancing logical clock. Chaos runs measure
+/// latency, timeouts, and backoff delays in *virtual ticks*, so a run
+/// that injects hours of simulated latency still executes — and
+/// reproduces — instantly.
+#[derive(Debug, Clone, Default)]
+pub struct VirtualClock {
+    ticks: Arc<AtomicU64>,
+}
+
+impl VirtualClock {
+    /// A clock at tick zero.
+    pub fn new() -> Self {
+        VirtualClock::default()
+    }
+
+    /// Current tick.
+    pub fn now(&self) -> u64 {
+        self.ticks.load(Ordering::SeqCst)
+    }
+
+    /// Advances the clock by `ticks` and returns the new time.
+    pub fn advance(&self, ticks: u64) -> u64 {
+        self.ticks.fetch_add(ticks, Ordering::SeqCst) + ticks
+    }
+}
+
+/// One injectable misbehaviour.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultKind {
+    /// The tool crashes: the action/design worker panics mid-run.
+    Panic,
+    /// The tool writes garbage: its output is corrupted in place.
+    CorruptOutput,
+    /// The tool is killed mid-write: its output is truncated.
+    TruncateOutput,
+    /// The tool hangs for this many virtual ticks before finishing.
+    Latency(u64),
+    /// The tool fails this attempt, but a rerun may succeed.
+    TransientError,
+    /// The tool fails every attempt — a genuinely poison input.
+    PersistentError,
+}
+
+impl fmt::Display for FaultKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FaultKind::Panic => write!(f, "panic"),
+            FaultKind::CorruptOutput => write!(f, "corrupt-output"),
+            FaultKind::TruncateOutput => write!(f, "truncate-output"),
+            FaultKind::Latency(t) => write!(f, "latency({t})"),
+            FaultKind::TransientError => write!(f, "transient-error"),
+            FaultKind::PersistentError => write!(f, "persistent-error"),
+        }
+    }
+}
+
+impl FaultKind {
+    /// True when a later attempt at the same work can still succeed.
+    pub fn is_retryable(&self) -> bool {
+        !matches!(self, FaultKind::PersistentError)
+    }
+}
+
+/// An explicit injection rule: fire `kind` at every site whose name
+/// contains `site_contains`, on attempts within `[first, last]`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FaultSpec {
+    /// Substring matched against the site name.
+    pub site_contains: String,
+    /// First attempt (1-based) the fault fires on.
+    pub first_attempt: u32,
+    /// Last attempt (inclusive) the fault fires on.
+    pub last_attempt: u32,
+    /// What happens.
+    pub kind: FaultKind,
+}
+
+impl FaultSpec {
+    fn matches(&self, site: &str, attempt: u32) -> bool {
+        site.contains(self.site_contains.as_str())
+            && attempt >= self.first_attempt
+            && attempt <= self.last_attempt
+    }
+}
+
+/// A reproducible chaos schedule.
+///
+/// The plan is pure data (`Send + Sync + Clone`): every decision is a
+/// function of the seed, the *site* (a step or design name), and the
+/// 1-based *attempt* number, so the same plan handed to eight worker
+/// threads — or to the same batch twice — injects exactly the same
+/// faults at exactly the same places.
+#[derive(Debug, Clone, Default)]
+pub struct FaultPlan {
+    seed: u64,
+    /// Background fault probability in percent (0 = explicit-only).
+    rate_percent: u8,
+    /// Explicit injections, checked before the seeded background rate.
+    specs: Vec<FaultSpec>,
+}
+
+impl FaultPlan {
+    /// A plan that never injects anything.
+    pub fn none() -> Self {
+        FaultPlan::default()
+    }
+
+    /// A seeded plan with no background rate yet; combine with
+    /// [`FaultPlan::with_rate`] and/or [`FaultPlan::with_fault`].
+    pub fn seeded(seed: u64) -> Self {
+        FaultPlan {
+            seed,
+            ..FaultPlan::default()
+        }
+    }
+
+    /// The seed this plan derives decisions from.
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// Sets the background fault rate in percent (clamped to 100).
+    /// Each `(site, attempt)` pair independently draws a fault with
+    /// this probability, so transient faults clear on retry exactly
+    /// when the next draw comes up clean.
+    pub fn with_rate(mut self, percent: u8) -> Self {
+        self.rate_percent = percent.min(100);
+        self
+    }
+
+    /// Adds an explicit injection for sites containing `site`, over an
+    /// attempt range (1-based, e.g. `1..=2` or `..` for every attempt).
+    pub fn with_fault(
+        mut self,
+        site: impl Into<String>,
+        attempts: impl RangeBounds<u32>,
+        kind: FaultKind,
+    ) -> Self {
+        let first = match attempts.start_bound() {
+            Bound::Included(&a) => a,
+            Bound::Excluded(&a) => a + 1,
+            Bound::Unbounded => 1,
+        };
+        let last = match attempts.end_bound() {
+            Bound::Included(&a) => a,
+            Bound::Excluded(&a) => a.saturating_sub(1),
+            Bound::Unbounded => u32::MAX,
+        };
+        self.specs.push(FaultSpec {
+            site_contains: site.into(),
+            first_attempt: first,
+            last_attempt: last,
+            kind,
+        });
+        self
+    }
+
+    /// True when the plan can never inject a fault.
+    pub fn is_inert(&self) -> bool {
+        self.rate_percent == 0 && self.specs.is_empty()
+    }
+
+    /// The fault (if any) to inject at `site` on `attempt` (1-based).
+    /// Deterministic: explicit specs win, then the seeded background
+    /// rate draws from the hash of `(seed, site, attempt)`.
+    pub fn fault_for(&self, site: &str, attempt: u32) -> Option<FaultKind> {
+        if let Some(spec) = self.specs.iter().find(|s| s.matches(site, attempt)) {
+            return Some(spec.kind);
+        }
+        if self.rate_percent == 0 {
+            return None;
+        }
+        let h = mix64(self.seed ^ fnv1a(site.as_bytes()) ^ ((attempt as u64) << 32));
+        if h % 100 >= self.rate_percent as u64 {
+            return None;
+        }
+        // A second independent draw picks the kind. Persistent errors
+        // are deliberately excluded from the background mix — they are
+        // opt-in poison via `with_fault` — so seeded chaos is always
+        // *eventually* survivable by a sufficiently patient retry loop.
+        Some(match mix64(h) % 5 {
+            0 => FaultKind::Panic,
+            1 => FaultKind::CorruptOutput,
+            2 => FaultKind::TruncateOutput,
+            3 => FaultKind::Latency(1 + mix64(h ^ 0xA5A5) % 50),
+            _ => FaultKind::TransientError,
+        })
+    }
+
+    /// Deterministically corrupts `text` as the fault demands. Returns
+    /// the corrupted form for [`FaultKind::CorruptOutput`] and
+    /// [`FaultKind::TruncateOutput`], `None` for other kinds.
+    pub fn mangle(&self, kind: FaultKind, site: &str, text: &str) -> Option<String> {
+        let h = mix64(self.seed ^ fnv1a(site.as_bytes()) ^ 0xC0DE);
+        match kind {
+            FaultKind::TruncateOutput => {
+                // Cut mid-stream: keep between 10% and 90% of the text.
+                let keep = text.len() * (10 + (h % 81) as usize) / 100;
+                let mut cut = keep.min(text.len());
+                while !text.is_char_boundary(cut) {
+                    cut -= 1;
+                }
+                Some(text[..cut].to_string())
+            }
+            FaultKind::CorruptOutput => {
+                // Smash one line into garbage a parser must reject. The
+                // control characters make an unknown record in
+                // line-oriented formats; for s-expression formats the
+                // replacement carries one *fewer* opener than the
+                // victim line, so the whole file ends up with a net
+                // unbalanced `)` no matter how the victim was nested —
+                // merely deleting or scrambling the line could leave a
+                // still-well-formed file.
+                const MARKER: &str = "\u{1}\u{2}corrupted-by-fault-injection\u{3}";
+                let lines: Vec<&str> = text.lines().collect();
+                if lines.is_empty() {
+                    return Some(format!("){MARKER}"));
+                }
+                let victim = (h % lines.len() as u64) as usize;
+                let delta = lines[victim].matches('(').count() as i64
+                    - lines[victim].matches(')').count() as i64;
+                let opens = delta.max(0) as usize;
+                let closes = (opens as i64 - delta + 1) as usize;
+                let garbage = format!("{}{MARKER}{}", ")".repeat(closes), "(".repeat(opens));
+                let mut out = String::with_capacity(text.len());
+                for (i, line) in lines.iter().enumerate() {
+                    if i == victim {
+                        out.push_str(&garbage);
+                    } else {
+                        out.push_str(line);
+                    }
+                    out.push('\n');
+                }
+                Some(out)
+            }
+            _ => None,
+        }
+    }
+}
+
+/// Bounded retry with exponential backoff and deterministic jitter,
+/// measured in virtual ticks.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// Total attempts allowed (1 = no retry).
+    pub max_attempts: u32,
+    /// Backoff before the second attempt, in virtual ticks.
+    pub base_delay: u64,
+    /// Multiplier applied per subsequent attempt.
+    pub backoff_factor: u64,
+    /// Backoff ceiling in virtual ticks.
+    pub max_delay: u64,
+    /// Seed for deterministic jitter.
+    pub jitter_seed: u64,
+}
+
+impl Default for RetryPolicy {
+    /// The conservative default: one attempt, no retries — exactly the
+    /// pre-fault-injection behaviour.
+    fn default() -> Self {
+        RetryPolicy {
+            max_attempts: 1,
+            base_delay: 1,
+            backoff_factor: 2,
+            max_delay: 64,
+            jitter_seed: 0,
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// A policy allowing `max_attempts` total attempts with the default
+    /// backoff shape.
+    pub fn with_attempts(max_attempts: u32) -> Self {
+        RetryPolicy {
+            max_attempts: max_attempts.max(1),
+            ..RetryPolicy::default()
+        }
+    }
+
+    /// Sets the first-retry delay in virtual ticks.
+    pub fn base_delay(mut self, ticks: u64) -> Self {
+        self.base_delay = ticks;
+        self
+    }
+
+    /// Sets the jitter seed.
+    pub fn jitter(mut self, seed: u64) -> Self {
+        self.jitter_seed = seed;
+        self
+    }
+
+    /// True when attempt `attempt` (1-based) failing leaves budget for
+    /// another try.
+    pub fn may_retry(&self, attempt: u32) -> bool {
+        attempt < self.max_attempts
+    }
+
+    /// Backoff delay after failed attempt `attempt` (1-based), in
+    /// virtual ticks: `base * factor^(attempt-1)`, capped at
+    /// `max_delay`, plus deterministic jitter of up to half the delay.
+    pub fn delay_after(&self, attempt: u32, site: &str) -> u64 {
+        let exp = attempt.saturating_sub(1).min(32);
+        let raw = self
+            .base_delay
+            .saturating_mul(self.backoff_factor.saturating_pow(exp))
+            .min(self.max_delay);
+        let jitter_span = raw / 2;
+        if jitter_span == 0 {
+            return raw;
+        }
+        let h = mix64(self.jitter_seed ^ fnv1a(site.as_bytes()) ^ attempt as u64);
+        raw + h % (jitter_span + 1)
+    }
+}
+
+/// A fault that fired, as reported in failure accounting.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FaultEvent {
+    /// The step or design the fault hit.
+    pub site: String,
+    /// Which attempt (1-based).
+    pub attempt: u32,
+    /// What was injected.
+    pub kind: FaultKind,
+}
+
+impl fmt::Display for FaultEvent {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} (attempt {}): {}", self.site, self.attempt, self.kind)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn decisions_are_deterministic_per_seed() {
+        let plan = FaultPlan::seeded(7).with_rate(40);
+        for site in ["a", "design-12", "chip/cpu/synth"] {
+            for attempt in 1..6 {
+                assert_eq!(
+                    plan.fault_for(site, attempt),
+                    plan.clone().fault_for(site, attempt)
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn different_seeds_disagree_somewhere() {
+        let a = FaultPlan::seeded(1).with_rate(50);
+        let b = FaultPlan::seeded(2).with_rate(50);
+        let sites: Vec<String> = (0..64).map(|i| format!("site-{i}")).collect();
+        assert!(
+            sites.iter().any(|s| a.fault_for(s, 1) != b.fault_for(s, 1)),
+            "seeds 1 and 2 produced identical plans over 64 sites"
+        );
+    }
+
+    #[test]
+    fn rate_zero_and_none_are_inert() {
+        let plan = FaultPlan::seeded(99);
+        assert!(plan.is_inert());
+        for i in 0..100 {
+            assert_eq!(plan.fault_for(&format!("s{i}"), 1), None);
+        }
+        assert!(FaultPlan::none().is_inert());
+    }
+
+    #[test]
+    fn rate_100_always_fires_and_never_draws_persistent() {
+        let plan = FaultPlan::seeded(5).with_rate(100);
+        for i in 0..200 {
+            let k = plan.fault_for(&format!("s{i}"), 1).expect("rate 100");
+            assert_ne!(k, FaultKind::PersistentError);
+        }
+    }
+
+    #[test]
+    fn explicit_specs_override_and_respect_attempt_ranges() {
+        let plan = FaultPlan::seeded(3)
+            .with_fault("poison", .., FaultKind::PersistentError)
+            .with_fault("flaky", 1..=2, FaultKind::TransientError);
+        assert_eq!(
+            plan.fault_for("batch/poison-7", 9),
+            Some(FaultKind::PersistentError)
+        );
+        assert_eq!(
+            plan.fault_for("flaky-x", 2),
+            Some(FaultKind::TransientError)
+        );
+        assert_eq!(plan.fault_for("flaky-x", 3), None);
+        assert_eq!(plan.fault_for("healthy", 1), None);
+    }
+
+    #[test]
+    fn mangle_corrupts_and_truncates_deterministically() {
+        let plan = FaultPlan::seeded(11);
+        let text = "line one\nline two\nline three\n";
+        let corrupted = plan
+            .mangle(FaultKind::CorruptOutput, "d", text)
+            .expect("corrupts");
+        assert_ne!(corrupted, text);
+        assert_eq!(
+            corrupted,
+            plan.mangle(FaultKind::CorruptOutput, "d", text).unwrap()
+        );
+        let truncated = plan
+            .mangle(FaultKind::TruncateOutput, "d", text)
+            .expect("truncates");
+        assert!(truncated.len() < text.len());
+        assert!(text.starts_with(&truncated));
+        assert_eq!(plan.mangle(FaultKind::Panic, "d", text), None);
+    }
+
+    #[test]
+    fn virtual_clock_advances_monotonically() {
+        let clock = VirtualClock::new();
+        assert_eq!(clock.now(), 0);
+        let shared = clock.clone();
+        assert_eq!(clock.advance(5), 5);
+        assert_eq!(shared.now(), 5, "clones share the same clock");
+        shared.advance(2);
+        assert_eq!(clock.now(), 7);
+    }
+
+    #[test]
+    fn retry_backoff_grows_caps_and_jitters_deterministically() {
+        let p = RetryPolicy::with_attempts(5).base_delay(4).jitter(9);
+        assert!(p.may_retry(4));
+        assert!(!p.may_retry(5));
+        let d1 = p.delay_after(1, "s");
+        let d2 = p.delay_after(2, "s");
+        let d3 = p.delay_after(3, "s");
+        // Exponential shape survives jitter (jitter adds at most 50%).
+        assert!(d2 > d1, "{d1} -> {d2}");
+        assert!(d3 > d2, "{d2} -> {d3}");
+        // Capped: base * 2^k saturates at max_delay (+ jitter).
+        let dbig = p.delay_after(30, "s");
+        assert!(dbig <= p.max_delay + p.max_delay / 2);
+        // Deterministic.
+        assert_eq!(d2, p.delay_after(2, "s"));
+        // Default policy is the old behaviour: single attempt.
+        assert_eq!(RetryPolicy::default().max_attempts, 1);
+    }
+}

@@ -41,6 +41,7 @@
 
 pub mod analysis;
 pub mod dot;
+pub mod fault;
 pub mod flow;
 pub mod graph;
 pub mod methodology;
@@ -50,6 +51,7 @@ pub mod task;
 pub mod toolmodel;
 
 pub use analysis::{analyze, AnalysisReport, Finding, ProblemClass};
+pub use fault::{FaultEvent, FaultKind, FaultPlan, RetryPolicy, VirtualClock};
 pub use graph::TaskGraph;
 pub use scenario::{prune, Scenario};
 pub use task::{Info, Task, TaskKind};

@@ -35,13 +35,18 @@
 //! ```
 
 use std::collections::VecDeque;
+use std::panic::{self, AssertUnwindSafe};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::Mutex;
 use std::thread;
 
-use obs::{NullRecorder, Recorder, Span};
+use interop_core::fault::{FaultKind, FaultPlan, RetryPolicy, VirtualClock};
+use obs::{AttrValue, NullRecorder, Recorder, Span};
 use schematic::design::Design;
 use schematic::dialect::DialectId;
+use schematic::parse::ParseError;
 
+use crate::checkpoint::{batch_fingerprint, Checkpoint, CheckpointError};
 use crate::pipeline::{MigrationOutcome, Migrator};
 
 /// Tuning for a batch run.
@@ -203,6 +208,462 @@ pub fn migrate_batch_recorded(
         .into_iter()
         .map(|s| s.expect("every design index was migrated exactly once"))
         .collect()
+}
+
+/// Serializes a design in the target dialect's canonical text form.
+fn write_design(design: &Design, target: DialectId) -> String {
+    match target {
+        DialectId::Cascade => schematic::cascade::write(design),
+        DialectId::Viewstar => schematic::viewstar::write(design),
+    }
+}
+
+/// Parses target-dialect text back into a design.
+fn parse_design(text: &str, target: DialectId) -> Result<Design, ParseError> {
+    match target {
+        DialectId::Cascade => schematic::cascade::parse(text),
+        DialectId::Viewstar => schematic::viewstar::parse(text),
+    }
+}
+
+/// Tuning for a fault-tolerant batch run.
+#[derive(Debug, Clone)]
+pub struct ResilientConfig {
+    /// Worker threads migrating designs concurrently (1 = sequential).
+    pub threads: usize,
+    /// Per-design retry budget with backoff on the virtual clock.
+    pub retry: RetryPolicy,
+    /// Deterministic chaos schedule (sites are design names).
+    pub fault_plan: FaultPlan,
+    /// Per-attempt latency budget in virtual ticks (`None` =
+    /// unlimited): injected latency beyond this fails the attempt.
+    pub timeout_ticks: Option<u64>,
+    /// Stop taking new designs after this many finish in this run —
+    /// the deterministic "kill the batch partway" switch used to
+    /// exercise checkpoint/resume.
+    pub abort_after: Option<usize>,
+}
+
+impl Default for ResilientConfig {
+    fn default() -> Self {
+        ResilientConfig {
+            threads: BatchConfig::default().threads,
+            retry: RetryPolicy::with_attempts(3),
+            fault_plan: FaultPlan::none(),
+            timeout_ticks: None,
+            abort_after: None,
+        }
+    }
+}
+
+impl ResilientConfig {
+    /// A config with a fixed worker count (clamped to ≥ 1).
+    pub fn with_threads(threads: usize) -> Self {
+        ResilientConfig {
+            threads: threads.max(1),
+            ..ResilientConfig::default()
+        }
+    }
+}
+
+/// Why a design landed in quarantine.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct QuarantineEntry {
+    /// Input index of the design.
+    pub index: usize,
+    /// Design name.
+    pub name: String,
+    /// Attempts consumed before giving up.
+    pub attempts: u32,
+    /// The last attempt's failure (a positioned parse error for
+    /// corrupted output, a panic message for crashes, ...).
+    pub error: String,
+}
+
+/// Per-design outcome of a resilient batch run.
+#[derive(Debug, Clone)]
+pub enum DesignResult {
+    /// Migrated in this run.
+    Migrated(MigrationOutcome),
+    /// Restored from a checkpoint — not re-run.
+    Restored(Design),
+    /// Poison design: every attempt failed; the rest of the batch
+    /// completed without it.
+    Quarantined(QuarantineEntry),
+    /// The run was aborted (see [`ResilientConfig::abort_after`])
+    /// before this design was taken.
+    Skipped,
+}
+
+impl DesignResult {
+    /// The migrated design, when this design is healthy.
+    pub fn design(&self) -> Option<&Design> {
+        match self {
+            DesignResult::Migrated(o) => Some(&o.design),
+            DesignResult::Restored(d) => Some(d),
+            DesignResult::Quarantined(_) | DesignResult::Skipped => None,
+        }
+    }
+
+    /// True for quarantined designs.
+    pub fn is_quarantined(&self) -> bool {
+        matches!(self, DesignResult::Quarantined(_))
+    }
+}
+
+/// What a resilient batch run did.
+#[derive(Debug, Clone, Default)]
+pub struct ResilientReport {
+    /// Per-design results, in input order.
+    pub results: Vec<DesignResult>,
+    /// Quarantined designs (also present in `results`).
+    pub quarantined: Vec<QuarantineEntry>,
+    /// Designs actually migrated in this run.
+    pub executed: usize,
+    /// Designs restored from the checkpoint without re-running.
+    pub restored: usize,
+    /// Designs skipped because the run aborted first.
+    pub skipped: usize,
+    /// Retry attempts beyond each design's first.
+    pub retries: u64,
+    /// Faults injected by the plan.
+    pub faults_injected: u64,
+    /// Virtual ticks of injected latency and backoff absorbed.
+    pub virtual_ticks: u64,
+}
+
+impl ResilientReport {
+    /// True when every design is either healthy or quarantined —
+    /// nothing was skipped by an abort.
+    pub fn is_settled(&self) -> bool {
+        self.skipped == 0
+    }
+}
+
+/// What one attempt at a design produced.
+enum DesignAttempt {
+    Ok(MigrationOutcome, String),
+    Failed { error: String, retryable: bool },
+}
+
+/// Runs one migration attempt under the fault plan: injected latency
+/// against the timeout budget, synthetic transient/persistent errors,
+/// panic isolation, and output corruption checked by re-parsing the
+/// serialized result (the corrupted artifact is discarded — a retry
+/// re-runs from the pristine source).
+#[allow(clippy::too_many_arguments)]
+fn attempt_design(
+    migrator: &Migrator,
+    source: &Design,
+    target: DialectId,
+    attempt: u32,
+    cfg: &ResilientConfig,
+    clock: &VirtualClock,
+    counters: &ChaosCounters,
+    recorder: &dyn Recorder,
+) -> DesignAttempt {
+    let name = source.name.as_str();
+    let fault = cfg.fault_plan.fault_for(name, attempt);
+    if fault.is_some() {
+        counters.faults.fetch_add(1, Ordering::Relaxed);
+        recorder.add_counter("migrate.batch.faults.injected", 1);
+    }
+    match fault {
+        Some(FaultKind::Latency(d)) => {
+            if let Some(budget) = cfg.timeout_ticks {
+                if d > budget {
+                    clock.advance(budget);
+                    recorder.add_counter("migrate.batch.timeouts", 1);
+                    return DesignAttempt::Failed {
+                        error: format!("timed out after {budget} virtual ticks (tool needed {d})"),
+                        retryable: true,
+                    };
+                }
+            }
+            clock.advance(d);
+        }
+        Some(FaultKind::TransientError) => {
+            return DesignAttempt::Failed {
+                error: format!("injected transient error (attempt {attempt})"),
+                retryable: true,
+            };
+        }
+        Some(FaultKind::PersistentError) => {
+            return DesignAttempt::Failed {
+                error: format!("injected persistent error (attempt {attempt})"),
+                retryable: false,
+            };
+        }
+        _ => {}
+    }
+
+    // Panic isolation: a crashing stage (or the injected crash) fails
+    // this design's attempt without poisoning the worker thread.
+    let caught = panic::catch_unwind(AssertUnwindSafe(|| {
+        if fault == Some(FaultKind::Panic) {
+            panic!("injected fault: migrator crash on `{name}` (attempt {attempt})");
+        }
+        migrator.migrate_recorded(source, target, recorder)
+    }));
+    let outcome = match caught {
+        Ok(outcome) => outcome,
+        Err(payload) => {
+            recorder.add_counter("migrate.batch.panics", 1);
+            let msg = payload
+                .downcast_ref::<String>()
+                .cloned()
+                .or_else(|| payload.downcast_ref::<&str>().map(|s| s.to_string()))
+                .unwrap_or_else(|| "non-string panic payload".to_string());
+            return DesignAttempt::Failed {
+                error: format!("panicked: {msg}"),
+                retryable: true,
+            };
+        }
+    };
+
+    let text = write_design(&outcome.design, target);
+    if let Some(kind @ (FaultKind::CorruptOutput | FaultKind::TruncateOutput)) = fault {
+        // The "tool" wrote garbage: what lands on disk is the mangled
+        // text. Re-parsing it is how the damage is detected — the
+        // resulting positioned ParseError becomes the attempt's error.
+        let mangled = cfg.fault_plan.mangle(kind, name, &text).unwrap_or_default();
+        let error = match parse_design(&mangled, target) {
+            Err(e) => e.to_string(),
+            Ok(_) => format!("injected {kind} produced undetectably corrupt output"),
+        };
+        return DesignAttempt::Failed {
+            error,
+            retryable: true,
+        };
+    }
+    DesignAttempt::Ok(outcome, text)
+}
+
+/// Shared chaos accounting across workers.
+#[derive(Default)]
+struct ChaosCounters {
+    retries: AtomicU64,
+    faults: AtomicU64,
+}
+
+/// Migrates a design until it succeeds or exhausts the retry budget.
+#[allow(clippy::too_many_arguments)]
+fn migrate_with_retry(
+    migrator: &Migrator,
+    index: usize,
+    source: &Design,
+    target: DialectId,
+    cfg: &ResilientConfig,
+    clock: &VirtualClock,
+    counters: &ChaosCounters,
+    recorder: &dyn Recorder,
+) -> (DesignResult, Option<String>) {
+    let name = source.name.clone();
+    let last_error;
+    let mut attempt = 0u32;
+    loop {
+        attempt += 1;
+        if attempt > 1 {
+            counters.retries.fetch_add(1, Ordering::Relaxed);
+            recorder.add_counter("migrate.batch.retries", 1);
+            clock.advance(cfg.retry.delay_after(attempt - 1, &name));
+        }
+        match attempt_design(
+            migrator, source, target, attempt, cfg, clock, counters, recorder,
+        ) {
+            DesignAttempt::Ok(outcome, text) => {
+                return (DesignResult::Migrated(outcome), Some(text));
+            }
+            DesignAttempt::Failed { error, retryable } => {
+                if !retryable || !cfg.retry.may_retry(attempt) {
+                    last_error = error;
+                    break;
+                }
+            }
+        }
+    }
+    recorder.add_counter("migrate.batch.quarantined", 1);
+    obs::event(
+        recorder,
+        "migrate.batch.quarantine",
+        &[
+            ("design", AttrValue::Str(name.clone())),
+            ("attempts", AttrValue::Int(attempt as i64)),
+            ("error", AttrValue::Str(last_error.clone())),
+        ],
+    );
+    (
+        DesignResult::Quarantined(QuarantineEntry {
+            index,
+            name,
+            attempts: attempt,
+            error: last_error,
+        }),
+        None,
+    )
+}
+
+/// Fault-tolerant batch migration with quarantine and
+/// checkpoint/resume.
+///
+/// Every design is migrated under panic isolation and the configured
+/// [`RetryPolicy`]; designs that exhaust their budget land on the
+/// quarantine list while the rest of the batch completes — healthy
+/// designs' outputs are byte-identical to a fault-free run. Progress is
+/// recorded into `checkpoint` as designs finish, and a batch restarted
+/// with that checkpoint resumes where it left off: finished designs
+/// are restored from their serialized outputs without re-running the
+/// pipeline.
+///
+/// Observability mirrors [`migrate_batch_recorded`], plus counters
+/// `migrate.batch.retries` / `migrate.batch.timeouts` /
+/// `migrate.batch.panics` / `migrate.batch.faults.injected` /
+/// `migrate.batch.quarantined` / `migrate.batch.restored` and a
+/// `migrate.batch.quarantine` event per poisoned design.
+///
+/// # Errors
+///
+/// Fails with [`CheckpointError::FingerprintMismatch`] when
+/// `checkpoint` was recorded for a different design set, target, or
+/// stage pipeline.
+pub fn migrate_batch_resilient(
+    migrator: &Migrator,
+    sources: &[Design],
+    target: DialectId,
+    cfg: &ResilientConfig,
+    checkpoint: &mut Checkpoint,
+    recorder: &dyn Recorder,
+) -> Result<ResilientReport, CheckpointError> {
+    let names: Vec<&str> = sources.iter().map(|d| d.name.as_str()).collect();
+    let stage_names: Vec<&str> = migrator.stage_ids().iter().map(|s| s.name()).collect();
+    let fingerprint = batch_fingerprint(&names, target, &stage_names);
+    if checkpoint.is_empty() && checkpoint.fingerprint == 0 {
+        checkpoint.fingerprint = fingerprint;
+    } else if checkpoint.fingerprint != fingerprint {
+        return Err(CheckpointError::FingerprintMismatch {
+            expected: fingerprint,
+            found: checkpoint.fingerprint,
+        });
+    }
+
+    let batch_span = Span::enter(recorder, "migrate.batch");
+    batch_span.attr("designs", sources.len());
+    batch_span.attr("threads", cfg.threads);
+    batch_span.attr("resilient", 1usize);
+    let batch_id = batch_span.id();
+    recorder.add_counter("migrate.batch.designs", sources.len() as u64);
+
+    let clock = VirtualClock::new();
+    let counters = ChaosCounters::default();
+    let mut report = ResilientReport::default();
+    let mut slots: Vec<Option<DesignResult>> = Vec::new();
+    slots.resize_with(sources.len(), || None);
+
+    // Resume: rehydrate finished designs from the checkpoint. An entry
+    // that no longer parses is dropped and its design re-migrated.
+    for (index, slot) in slots.iter_mut().enumerate() {
+        if let Some(design) = checkpoint.restore(index, target) {
+            *slot = Some(DesignResult::Restored(design));
+            report.restored += 1;
+            recorder.add_counter("migrate.batch.restored", 1);
+        }
+    }
+
+    let jobs: Vec<usize> = (0..sources.len()).filter(|&i| slots[i].is_none()).collect();
+    let workers = cfg.threads.max(1).min(jobs.len().max(1));
+    let finished_cap = cfg.abort_after.unwrap_or(usize::MAX);
+    let finished = AtomicUsize::new(0);
+
+    let done: Vec<Vec<(usize, DesignResult, Option<String>)>> = if jobs.is_empty() {
+        Vec::new()
+    } else {
+        let queues = StealQueues::new(workers, jobs.len());
+        thread::scope(|scope| {
+            let queues = &queues;
+            let jobs = &jobs;
+            let clock = &clock;
+            let counters = &counters;
+            let finished = &finished;
+            let handles: Vec<_> = (0..workers)
+                .map(|worker| {
+                    scope.spawn(move || {
+                        let _ctx = obs::attach_parent(batch_id);
+                        let worker_span = Span::enter(recorder, "migrate.batch.worker");
+                        worker_span.attr("worker", worker);
+                        let mut out = Vec::new();
+                        loop {
+                            // Simulated kill: stop taking work once the
+                            // abort budget is spent.
+                            if finished.load(Ordering::SeqCst) >= finished_cap {
+                                break;
+                            }
+                            let Some((pos, stolen)) = queues.take(worker) else {
+                                break;
+                            };
+                            if stolen {
+                                recorder.add_counter("migrate.batch.steals", 1);
+                            }
+                            let index = jobs[pos];
+                            let (result, text) = migrate_with_retry(
+                                migrator,
+                                index,
+                                &sources[index],
+                                target,
+                                cfg,
+                                clock,
+                                counters,
+                                recorder,
+                            );
+                            finished.fetch_add(1, Ordering::SeqCst);
+                            out.push((index, result, text));
+                        }
+                        worker_span.attr("jobs", out.len());
+                        out
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                // A worker can only die to a panic that escaped the
+                // per-design isolation (e.g. a poisoned internal
+                // lock). Its taken-but-unreported designs surface
+                // as Skipped rather than killing the batch.
+                .map(|h| h.join().unwrap_or_default())
+                .collect()
+        })
+    };
+
+    for (index, result, text) in done.into_iter().flatten() {
+        match &result {
+            DesignResult::Migrated(outcome) => {
+                report.executed += 1;
+                if let Some(text) = text {
+                    checkpoint.record(index, outcome.design.name.clone(), text);
+                }
+            }
+            DesignResult::Quarantined(q) => report.quarantined.push(q.clone()),
+            DesignResult::Restored(_) | DesignResult::Skipped => {}
+        }
+        slots[index] = Some(result);
+    }
+
+    report.results = slots
+        .into_iter()
+        .map(|s| s.unwrap_or(DesignResult::Skipped))
+        .collect();
+    report.skipped = report
+        .results
+        .iter()
+        .filter(|r| matches!(r, DesignResult::Skipped))
+        .count();
+    report.quarantined.sort_by_key(|q| q.index);
+    report.retries = counters.retries.load(Ordering::Relaxed);
+    report.faults_injected = counters.faults.load(Ordering::Relaxed);
+    report.virtual_ticks = clock.now();
+    batch_span.attr("quarantined", report.quarantined.len());
+    batch_span.attr("restored", report.restored);
+    batch_span.attr("skipped", report.skipped);
+    Ok(report)
 }
 
 #[cfg(test)]

@@ -1,0 +1,313 @@
+//! Batch-migration checkpoints: a serialized progress snapshot a
+//! restarted batch resumes from without redoing finished designs.
+//!
+//! The paper's Exar case study migrated ~1200 schematic pages; at that
+//! scale a crashed batch must not start over. A [`Checkpoint`] records,
+//! per finished design, the *serialized migrated output* (the target
+//! dialect's canonical text form), keyed by input index and guarded by
+//! a batch fingerprint so a snapshot is never replayed against a
+//! different design set, target, or pipeline. The format is
+//! line-oriented plain text — `to_text` / [`Checkpoint::parse`] round-
+//! trip it with no serde dependency — so a snapshot can be written to
+//! any byte sink a host system provides.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use schematic::design::Design;
+use schematic::dialect::DialectId;
+
+/// FNV-1a over a byte string.
+fn fnv1a(h: &mut u64, bytes: &[u8]) {
+    for &b in bytes {
+        *h ^= b as u64;
+        *h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+}
+
+/// Fingerprint of a batch's identity: the ordered design names, the
+/// target dialect, and the stage list. Two runs with the same
+/// fingerprint are migrating the same work with the same pipeline.
+pub fn batch_fingerprint(names: &[&str], target: DialectId, stages: &[&str]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for n in names {
+        fnv1a(&mut h, n.as_bytes());
+        fnv1a(&mut h, b"\x1f");
+    }
+    fnv1a(&mut h, b"->");
+    fnv1a(&mut h, target.to_string().as_bytes());
+    for s in stages {
+        fnv1a(&mut h, b"|");
+        fnv1a(&mut h, s.as_bytes());
+    }
+    h
+}
+
+/// One finished design in a checkpoint.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CheckpointEntry {
+    /// Design name (diagnostic; the index is the key).
+    pub name: String,
+    /// The migrated design serialized in the target dialect's text
+    /// form.
+    pub text: String,
+}
+
+/// A checkpoint load/parse problem.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CheckpointError {
+    /// The snapshot belongs to a different batch (designs, target, or
+    /// pipeline changed since it was written).
+    FingerprintMismatch {
+        /// Fingerprint of the running batch.
+        expected: u64,
+        /// Fingerprint stored in the snapshot.
+        found: u64,
+    },
+    /// The snapshot text is malformed.
+    Malformed {
+        /// 1-based line of the problem.
+        line: usize,
+        /// What went wrong.
+        message: String,
+    },
+}
+
+impl fmt::Display for CheckpointError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CheckpointError::FingerprintMismatch { expected, found } => write!(
+                f,
+                "checkpoint belongs to a different batch \
+                 (expected fingerprint {expected:016x}, found {found:016x})"
+            ),
+            CheckpointError::Malformed { line, message } => {
+                write!(f, "malformed checkpoint at line {line}: {message}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CheckpointError {}
+
+/// Serialized batch progress: which designs are finished and what
+/// their outputs were.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Checkpoint {
+    /// The batch identity this snapshot belongs to.
+    pub fingerprint: u64,
+    /// Finished designs, keyed by input index.
+    pub entries: BTreeMap<usize, CheckpointEntry>,
+}
+
+impl Checkpoint {
+    /// An empty checkpoint bound to a batch fingerprint.
+    pub fn for_batch(fingerprint: u64) -> Self {
+        Checkpoint {
+            fingerprint,
+            entries: BTreeMap::new(),
+        }
+    }
+
+    /// Finished-design count.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when nothing is recorded yet.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Records design `index` as finished with serialized output
+    /// `text`.
+    pub fn record(&mut self, index: usize, name: impl Into<String>, text: impl Into<String>) {
+        self.entries.insert(
+            index,
+            CheckpointEntry {
+                name: name.into(),
+                text: text.into(),
+            },
+        );
+    }
+
+    /// Serializes the snapshot to its text form.
+    pub fn to_text(&self) -> String {
+        let mut out = format!(
+            "migrate-checkpoint v1 fingerprint={:016x} entries={}\n",
+            self.fingerprint,
+            self.entries.len()
+        );
+        for (idx, e) in &self.entries {
+            out.push_str(&format!(
+                "entry {idx} bytes={} name={}\n",
+                e.text.len(),
+                e.name
+            ));
+            out.push_str(&e.text);
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Parses a snapshot from its text form.
+    ///
+    /// # Errors
+    ///
+    /// Returns a positioned [`CheckpointError::Malformed`] on any
+    /// structural problem — a truncated snapshot (the batch died
+    /// mid-write) loses at most its final, partial entry when parsed
+    /// with [`Checkpoint::parse_lossy`], but `parse` is strict.
+    pub fn parse(text: &str) -> Result<Checkpoint, CheckpointError> {
+        Self::parse_inner(text, false)
+    }
+
+    /// Like [`Checkpoint::parse`], but a truncated trailing entry is
+    /// dropped instead of rejecting the whole snapshot — the
+    /// crash-mid-write recovery path.
+    pub fn parse_lossy(text: &str) -> Checkpoint {
+        Self::parse_inner(text, true).unwrap_or_default()
+    }
+
+    fn parse_inner(text: &str, lossy: bool) -> Result<Checkpoint, CheckpointError> {
+        let malformed = |line: usize, message: &str| CheckpointError::Malformed {
+            line,
+            message: message.to_string(),
+        };
+        let header_end = text
+            .find('\n')
+            .ok_or_else(|| malformed(1, "empty snapshot"))?;
+        let header = &text[..header_end];
+        let mut fingerprint = None;
+        if !header.starts_with("migrate-checkpoint v1 ") {
+            return Err(malformed(1, "missing `migrate-checkpoint v1` header"));
+        }
+        for field in header.split_whitespace() {
+            if let Some(v) = field.strip_prefix("fingerprint=") {
+                fingerprint = u64::from_str_radix(v, 16).ok();
+            }
+        }
+        let fingerprint =
+            fingerprint.ok_or_else(|| malformed(1, "header lacks a valid fingerprint"))?;
+        let mut cp = Checkpoint::for_batch(fingerprint);
+
+        let mut rest = &text[header_end + 1..];
+        let mut line_no = 2usize;
+        while !rest.is_empty() {
+            let Some(eol) = rest.find('\n') else {
+                if lossy {
+                    return Ok(cp);
+                }
+                return Err(malformed(line_no, "truncated entry header"));
+            };
+            let head = &rest[..eol];
+            rest = &rest[eol + 1..];
+            let mut parts = head.split_whitespace();
+            if parts.next() != Some("entry") {
+                if lossy {
+                    return Ok(cp);
+                }
+                return Err(malformed(line_no, "expected `entry` line"));
+            }
+            let idx: usize = parts
+                .next()
+                .and_then(|v| v.parse().ok())
+                .ok_or_else(|| malformed(line_no, "bad entry index"))?;
+            let bytes: usize = parts
+                .next()
+                .and_then(|v| v.strip_prefix("bytes="))
+                .and_then(|v| v.parse().ok())
+                .ok_or_else(|| malformed(line_no, "bad bytes field"))?;
+            let name = parts
+                .next()
+                .and_then(|v| v.strip_prefix("name="))
+                .ok_or_else(|| malformed(line_no, "bad name field"))?
+                .to_string();
+            if rest.len() < bytes + 1 {
+                if lossy {
+                    return Ok(cp);
+                }
+                return Err(malformed(line_no, "truncated entry body"));
+            }
+            let body = &rest[..bytes];
+            rest = &rest[bytes + 1..];
+            line_no += 2 + body.matches('\n').count();
+            cp.record(idx, name, body);
+        }
+        Ok(cp)
+    }
+
+    /// Rehydrates entry `index` into a [`Design`] by parsing its
+    /// serialized text with the target dialect's parser. Returns `None`
+    /// when the entry is missing or its text no longer parses (the
+    /// design is then simply re-migrated).
+    pub fn restore(&self, index: usize, target: DialectId) -> Option<Design> {
+        let entry = self.entries.get(&index)?;
+        match target {
+            DialectId::Cascade => schematic::cascade::parse(&entry.text).ok(),
+            DialectId::Viewstar => schematic::viewstar::parse(&entry.text).ok(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trips_through_text() {
+        let mut cp = Checkpoint::for_batch(0xDEAD_BEEF);
+        cp.record(0, "d0", "line a\nline b\n");
+        cp.record(7, "d7", "single\n");
+        let text = cp.to_text();
+        let back = Checkpoint::parse(&text).expect("parses");
+        assert_eq!(back, cp);
+    }
+
+    #[test]
+    fn strict_parse_rejects_truncation_lossy_recovers_prefix() {
+        let mut cp = Checkpoint::for_batch(1);
+        cp.record(0, "d0", "aaaa\n");
+        cp.record(1, "d1", "bbbb\n");
+        let text = cp.to_text();
+        let cut = &text[..text.len() - 4];
+        let err = Checkpoint::parse(cut).unwrap_err();
+        assert!(matches!(err, CheckpointError::Malformed { .. }));
+        assert!(err.to_string().contains("line"));
+        let lossy = Checkpoint::parse_lossy(cut);
+        assert_eq!(lossy.fingerprint, 1);
+        assert_eq!(lossy.len(), 1, "keeps the intact first entry only");
+        assert_eq!(lossy.entries[&0].text, "aaaa\n");
+    }
+
+    #[test]
+    fn garbage_is_a_positioned_error_not_a_panic() {
+        for garbage in ["", "nonsense", "migrate-checkpoint v1 nope\nentry x"] {
+            match Checkpoint::parse(garbage) {
+                Err(CheckpointError::Malformed { line, .. }) => assert!(line >= 1),
+                other => panic!("expected Malformed, got {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn fingerprint_tracks_names_target_and_stages() {
+        let base = batch_fingerprint(&["a", "b"], DialectId::Cascade, &["scale", "text"]);
+        assert_eq!(
+            base,
+            batch_fingerprint(&["a", "b"], DialectId::Cascade, &["scale", "text"])
+        );
+        assert_ne!(
+            base,
+            batch_fingerprint(&["a", "c"], DialectId::Cascade, &["scale", "text"])
+        );
+        assert_ne!(
+            base,
+            batch_fingerprint(&["a", "b"], DialectId::Viewstar, &["scale", "text"])
+        );
+        assert_ne!(
+            base,
+            batch_fingerprint(&["a", "b"], DialectId::Cascade, &["scale"])
+        );
+    }
+}

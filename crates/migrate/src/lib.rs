@@ -38,6 +38,7 @@
 //! ```
 
 pub mod batch;
+pub mod checkpoint;
 pub mod config;
 pub mod pipeline;
 pub mod presets;
@@ -47,10 +48,17 @@ pub mod stage;
 pub mod stages;
 pub mod verify;
 
+pub use batch::{
+    migrate_batch_resilient, DesignResult, QuarantineEntry, ResilientConfig, ResilientReport,
+};
+pub use checkpoint::{batch_fingerprint, Checkpoint, CheckpointEntry, CheckpointError};
 pub use config::{
     ConfigError, MigrationConfig, MigrationConfigBuilder, PropRule, PropScope, StageId,
     SymbolMapEntry,
 };
+// Fault-injection vocabulary, re-exported so batch callers need not
+// depend on `interop-core` directly.
+pub use interop_core::fault::{FaultKind, FaultPlan, RetryPolicy, VirtualClock};
 pub use pipeline::{MigrateError, MigrationOutcome, Migrator};
 pub use replace::{replace_components, similarity, RerouteStrategy};
 pub use report::{MigrationReport, StageReport};
@@ -61,7 +69,11 @@ pub use verify::{verify, VerifyReport};
 /// `migrate::prelude::*` and everything needed to configure a pipeline,
 /// add custom stages, and run batches is in scope.
 pub mod prelude {
-    pub use crate::batch::{migrate_batch, migrate_batch_recorded, BatchConfig};
+    pub use crate::batch::{
+        migrate_batch, migrate_batch_recorded, migrate_batch_resilient, BatchConfig, DesignResult,
+        QuarantineEntry, ResilientConfig, ResilientReport,
+    };
+    pub use crate::checkpoint::{batch_fingerprint, Checkpoint, CheckpointError};
     pub use crate::config::{ConfigError, MigrationConfig, MigrationConfigBuilder, StageId};
     pub use crate::pipeline::{MigrateError, MigrationOutcome, Migrator};
     pub use crate::report::{MigrationReport, StageReport};

@@ -35,7 +35,7 @@
 //!     .with_step(StepDef::new("rtl", "write_rtl"))
 //!     .with_step(StepDef::new("synth", "synth").after("rtl"));
 //! engine.deploy(&flow, &BlockTree::leaf("chip"))?;
-//! engine.run_to_quiescence(10);
+//! engine.run_to_fixpoint();
 //! assert!(engine.is_complete());
 //! # Ok(())
 //! # }
@@ -50,7 +50,10 @@ pub mod template;
 
 pub use action::{Action, ActionCtx, ActionOutcome, StepState};
 pub use data::{DataStore, Maturity};
-pub use engine::{Engine, EngineError, Status, Trigger};
+pub use engine::{Engine, EngineError, FixpointReport, FlowStatus, Status, Trigger};
+// Fault-injection vocabulary, re-exported so flow authors need not
+// depend on `interop-core` directly.
+pub use interop_core::fault::{FaultKind, FaultPlan, RetryPolicy, VirtualClock};
 pub use template::{BlockTree, Dependency, FlowTemplate, StepDef};
 
 #[cfg(test)]
@@ -83,10 +86,10 @@ mod tests {
         let mut e = standard_engine();
         e.set_recorder(recorder.clone());
         e.deploy(&rtl2gds(), &BlockTree::leaf("chip")).unwrap();
-        let (ticks, runs) = e.run_to_quiescence(20);
+        let report = e.run_to_fixpoint();
         assert!(e.is_complete());
-        assert_eq!(recorder.span_count("workflow.tick"), ticks);
-        assert_eq!(recorder.counter("workflow.actions"), runs as u64);
+        assert_eq!(recorder.span_count("workflow.tick"), report.ticks);
+        assert_eq!(recorder.counter("workflow.actions"), report.actions as u64);
         for key in ["write_rtl", "synth", "place", "route"] {
             assert_eq!(
                 recorder.span_count(&format!("workflow.action.{key}")),
@@ -95,17 +98,17 @@ mod tests {
             );
         }
         let per_tick = recorder.histogram("workflow.tick.actions").unwrap();
-        assert_eq!(per_tick.count as usize, ticks);
+        assert_eq!(per_tick.count as usize, report.ticks);
     }
 
     #[test]
     fn linear_flow_completes_in_dependency_order() {
         let mut e = standard_engine();
         e.deploy(&rtl2gds(), &BlockTree::leaf("chip")).unwrap();
-        let (ticks, runs) = e.run_to_quiescence(20);
+        let report = e.run_to_fixpoint();
         assert!(e.is_complete());
-        assert_eq!(runs, 4);
-        assert!(ticks >= 4, "one step becomes ready per tick");
+        assert_eq!(report.actions, 4);
+        assert!(report.ticks >= 4, "one step becomes ready per tick");
         let synth = e.step("chip/synth").unwrap();
         let route = e.step("chip/route").unwrap();
         assert!(synth.completed.unwrap() < route.completed.unwrap());
@@ -119,7 +122,7 @@ mod tests {
             .with_child(BlockTree::leaf("cpu"))
             .with_child(BlockTree::leaf("mem"));
         e.deploy(&rtl2gds(), &tree).unwrap();
-        e.run_to_quiescence(30);
+        e.run_to_fixpoint();
         assert!(e.is_complete());
         assert_eq!(e.steps().len(), 12);
         assert!(e.store.exists("chip/cpu/gds.db"));
@@ -141,7 +144,7 @@ mod tests {
         );
         let tree = BlockTree::leaf("chip").with_child(BlockTree::leaf("cpu"));
         e.deploy(&flow, &tree).unwrap();
-        e.run_to_quiescence(40);
+        e.run_to_fixpoint();
         assert!(e.is_complete());
         let parent_asm = e.step("chip/assemble").unwrap().completed.unwrap();
         let child_route = e.step("chip/cpu/route").unwrap().completed.unwrap();
@@ -160,7 +163,7 @@ mod tests {
                 }),
             ));
         e.deploy(&flow, &BlockTree::leaf("chip")).unwrap();
-        e.run_to_quiescence(5);
+        e.run_to_fixpoint();
         assert_eq!(
             e.step("chip/signoff").unwrap().status,
             Status::AwaitingFinish
@@ -168,7 +171,7 @@ mod tests {
         assert!(!e.is_complete());
         // Management approves; the step may now complete.
         e.store.set_var("approved", "yes");
-        e.run_to_quiescence(5);
+        e.run_to_fixpoint();
         assert!(e.is_complete());
     }
 
@@ -178,10 +181,10 @@ mod tests {
         let flow = FlowTemplate::new("f")
             .with_step(StepDef::new("synth", "synth").needs(Maturity::Exists("rtl.v".into())));
         e.deploy(&flow, &BlockTree::leaf("chip")).unwrap();
-        e.run_to_quiescence(3);
+        e.run_to_fixpoint();
         assert_eq!(e.step("chip/synth").unwrap().status, Status::Pending);
         e.store.write("chip/rtl.v", "module chip;");
-        e.run_to_quiescence(3);
+        e.run_to_fixpoint();
         assert!(e.is_complete());
     }
 
@@ -196,7 +199,7 @@ mod tests {
                     .requires_role("synthesis"),
             );
         e.deploy(&flow, &BlockTree::leaf("chip")).unwrap();
-        e.run_to_quiescence(5);
+        e.run_to_fixpoint();
         assert_eq!(
             e.step("chip/synth").unwrap().status,
             Status::PermissionBlocked
@@ -206,7 +209,7 @@ mod tests {
         // pending via reset.
         e.grant_role("synthesis");
         e.reset("chip/synth").unwrap();
-        e.run_to_quiescence(5);
+        e.run_to_fixpoint();
         assert!(e.is_complete());
     }
 
@@ -221,7 +224,7 @@ mod tests {
             .with_step(StepDef::new("broken", "broken"))
             .with_step(StepDef::new("synth", "synth").after("broken"));
         e.deploy(&flow, &BlockTree::leaf("chip")).unwrap();
-        e.run_to_quiescence(5);
+        e.run_to_fixpoint();
         assert_eq!(e.step("chip/broken").unwrap().status, Status::Failed);
         assert_eq!(e.step("chip/synth").unwrap().status, Status::Pending);
     }
@@ -230,13 +233,13 @@ mod tests {
     fn reset_invalidates_dependents_and_reruns() {
         let mut e = standard_engine();
         e.deploy(&rtl2gds(), &BlockTree::leaf("chip")).unwrap();
-        e.run_to_quiescence(20);
+        e.run_to_fixpoint();
         assert!(e.is_complete());
         assert!(e.can_reset("chip/synth"));
         let invalidated = e.reset("chip/synth").unwrap();
         assert_eq!(invalidated, 2, "place and route go stale");
         assert_eq!(e.step("chip/route").unwrap().status, Status::Stale);
-        e.run_to_quiescence(20);
+        e.run_to_fixpoint();
         assert!(e.is_complete());
         assert_eq!(e.step("chip/synth").unwrap().runs, 2);
     }
@@ -250,14 +253,14 @@ mod tests {
             note: "RTL changed; resynthesize".into(),
         });
         e.deploy(&rtl2gds(), &BlockTree::leaf("chip")).unwrap();
-        e.run_to_quiescence(20);
+        e.run_to_fixpoint();
         assert!(e.is_complete());
         // The designer edits the RTL out-of-band.
         e.store.write("chip/rtl.v", "module chip_v2;");
         e.tick();
         assert_eq!(e.step("chip/synth").unwrap().status, Status::Stale);
         assert!(e.notifications.iter().any(|n| n.contains("resynthesize")));
-        e.run_to_quiescence(20);
+        e.run_to_fixpoint();
         assert!(e.is_complete());
         assert_eq!(e.step("chip/synth").unwrap().runs, 2);
     }
@@ -266,7 +269,7 @@ mod tests {
     fn explicit_state_api_overrides() {
         let mut e = standard_engine();
         e.deploy(&rtl2gds(), &BlockTree::leaf("chip")).unwrap();
-        e.run_to_quiescence(20);
+        e.run_to_fixpoint();
         e.set_state("chip/route", StepState::Failed).unwrap();
         assert_eq!(e.step("chip/route").unwrap().status, Status::Failed);
         assert!(e.set_state("ghost", StepState::Done).is_err());
@@ -276,9 +279,9 @@ mod tests {
     fn metrics_capture_churn() {
         let mut e = standard_engine();
         e.deploy(&rtl2gds(), &BlockTree::leaf("chip")).unwrap();
-        e.run_to_quiescence(20);
+        e.run_to_fixpoint();
         e.reset("chip/rtl").unwrap();
-        e.run_to_quiescence(20);
+        e.run_to_fixpoint();
         let m = metrics::collect(&e);
         assert_eq!(m.total_steps, 4);
         assert_eq!(m.done, 4);
@@ -325,15 +328,15 @@ mod more_tests {
 
         // Stale netlist: older than the RTL.
         e.store.write("chip/netlist.v", "old gates");
-        e.run_to_quiescence(2);
+        e.run_to_fixpoint();
         e.store.write("chip/rtl.v", "v2");
         e.store.write("chip/lint.rpt", "clean: 0 issues");
-        e.run_to_quiescence(3);
+        e.run_to_fixpoint();
         assert_eq!(e.step("chip/sta").unwrap().status, Status::Pending);
 
         // Re-synthesize: netlist now newer; the step becomes ready.
         e.store.write("chip/netlist.v", "fresh gates");
-        e.run_to_quiescence(3);
+        e.run_to_fixpoint();
         assert!(e.is_complete());
     }
 
@@ -349,7 +352,7 @@ mod more_tests {
         ));
         e.deploy(&flow, &BlockTree::leaf("chip")).unwrap();
         e.store.write("chip/lint.rpt", "3 errors");
-        e.run_to_quiescence(3);
+        e.run_to_fixpoint();
         assert_eq!(e.step("chip/sta").unwrap().status, Status::Pending);
     }
 
@@ -369,7 +372,7 @@ mod more_tests {
             );
         let tree = BlockTree::leaf("chip").with_child(BlockTree::leaf("cpu"));
         e.deploy(&flow, &tree).unwrap();
-        e.run_to_quiescence(20);
+        e.run_to_fixpoint();
         assert!(e.is_complete());
         // Resetting the child's impl invalidates the child's assemble
         // (StepDone dep); the parent re-verifies via ChildrenComplete
@@ -379,7 +382,7 @@ mod more_tests {
         assert_eq!(invalidated, 1);
         assert_eq!(e.step("chip/cpu/assemble").unwrap().status, Status::Stale);
         assert_eq!(e.step("chip/assemble").unwrap().status, Status::Done);
-        e.run_to_quiescence(20);
+        e.run_to_fixpoint();
         assert!(e.is_complete());
     }
 }

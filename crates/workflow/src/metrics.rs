@@ -30,6 +30,8 @@ pub struct MetricsReport {
     pub done: usize,
     /// Steps failed.
     pub failed: usize,
+    /// Steps degraded (retry budget exhausted).
+    pub degraded: usize,
     /// Total action runs (reruns included).
     pub total_runs: u32,
     /// Rerun count (runs beyond each step's first).
@@ -70,6 +72,7 @@ pub fn collect(engine: &Engine) -> MetricsReport {
         match s.status {
             Status::Done => report.done += 1,
             Status::Failed => report.failed += 1,
+            Status::Degraded => report.degraded += 1,
             _ => {}
         }
         let a = report.by_action.entry(s.action.clone()).or_default();
@@ -90,10 +93,11 @@ pub fn collect(engine: &Engine) -> MetricsReport {
 pub fn status_table(report: &MetricsReport) -> String {
     let mut out = String::new();
     out.push_str(&format!(
-        "steps={} done={} failed={} completion={:.0}% runs={} churn={:.2}\n",
+        "steps={} done={} failed={} degraded={} completion={:.0}% runs={} churn={:.2}\n",
         report.total_steps,
         report.done,
         report.failed,
+        report.degraded,
         report.completion() * 100.0,
         report.total_runs,
         report.churn()

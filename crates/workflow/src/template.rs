@@ -13,6 +13,8 @@
 use std::collections::BTreeSet;
 use std::fmt;
 
+use interop_core::fault::RetryPolicy;
+
 use crate::data::Maturity;
 
 /// A start or finish dependency of a step.
@@ -43,6 +45,10 @@ pub struct StepDef {
     /// Role required to execute ("Do I have the necessary permissions
     /// to execute this task?").
     pub required_role: Option<String>,
+    /// Retry policy for failed attempts (`None` = the engine default).
+    pub retry: Option<RetryPolicy>,
+    /// Per-attempt timeout in virtual ticks (`None` = unlimited).
+    pub timeout_ticks: Option<u64>,
 }
 
 impl StepDef {
@@ -54,6 +60,8 @@ impl StepDef {
             start_deps: Vec::new(),
             finish_deps: Vec::new(),
             required_role: None,
+            retry: None,
+            timeout_ticks: None,
         }
     }
 
@@ -84,6 +92,19 @@ impl StepDef {
     /// Restricts execution to a role.
     pub fn requires_role(mut self, role: impl Into<String>) -> Self {
         self.required_role = Some(role.into());
+        self
+    }
+
+    /// Overrides the engine's default retry policy for this step.
+    pub fn retries(mut self, policy: RetryPolicy) -> Self {
+        self.retry = Some(policy);
+        self
+    }
+
+    /// Caps each attempt at `ticks` virtual ticks; an attempt whose
+    /// (injected) latency exceeds the budget fails as a timeout.
+    pub fn timeout_ticks(mut self, ticks: u64) -> Self {
+        self.timeout_ticks = Some(ticks);
         self
     }
 }
@@ -187,12 +208,10 @@ impl FlowTemplate {
                 break;
             }
         }
-        if done.len() != self.steps.len() {
-            let stuck = self
-                .steps
-                .iter()
-                .find(|s| !done.contains(s.name.as_str()))
-                .expect("some step is stuck");
+        // Any step Kahn's algorithm never released sits on a cycle.
+        // Report the first one by declaration order; no panic path —
+        // library code must not crash on user-authored templates.
+        if let Some(stuck) = self.steps.iter().find(|s| !done.contains(s.name.as_str())) {
             return Err(TemplateError::Cycle(stuck.name.clone()));
         }
         Ok(())

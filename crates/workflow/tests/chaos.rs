@@ -1,0 +1,241 @@
+//! Chaos property tests: the engine must survive a misbehaving tool.
+//!
+//! Every test drives the scheduler under a seeded [`FaultPlan`] —
+//! panics, corrupted outputs, latency, transient and persistent errors
+//! — and asserts the paper-level robustness contract: the flow always
+//! reaches a fixpoint with full accounting, healthy steps complete,
+//! and the same seed reproduces the same run exactly.
+
+use proptest::prelude::*;
+use workflow::action::ToolAction;
+use workflow::engine::{Engine, FlowStatus, Status};
+use workflow::template::{BlockTree, FlowTemplate, StepDef};
+use workflow::{FaultKind, FaultPlan, RetryPolicy};
+
+/// A random DAG-shaped template: step `k` depends on a random subset of
+/// earlier steps, with matching data flow.
+fn arb_template() -> impl Strategy<Value = (FlowTemplate, Vec<Vec<usize>>)> {
+    (2usize..10).prop_flat_map(|n| {
+        let deps =
+            prop::collection::vec(prop::collection::vec(any::<prop::sample::Index>(), 0..3), n);
+        deps.prop_map(move |raw| {
+            let mut flow = FlowTemplate::new("random");
+            let mut dep_sets: Vec<Vec<usize>> = Vec::new();
+            for (k, picks) in raw.iter().enumerate() {
+                let mut set: Vec<usize> = picks
+                    .iter()
+                    .filter(|_| k > 0)
+                    .map(|ix| ix.index(k))
+                    .collect();
+                set.sort_unstable();
+                set.dedup();
+                let mut step = StepDef::new(format!("s{k}"), format!("a{k}"));
+                for &d in &set {
+                    step = step.after(format!("s{d}"));
+                }
+                dep_sets.push(set);
+                flow = flow.with_step(step);
+            }
+            (flow, dep_sets)
+        })
+    })
+}
+
+/// Builds the engine for a random DAG under a chaos schedule. Fault
+/// plan and default retry are installed *before* deploy — steps capture
+/// the engine default at deploy time.
+fn engine_for(
+    flow: &FlowTemplate,
+    dep_sets: &[Vec<usize>],
+    plan: FaultPlan,
+    retry: RetryPolicy,
+) -> Engine {
+    let mut engine = Engine::new();
+    engine.set_fault_plan(plan);
+    engine.set_default_retry(retry);
+    for (k, deps) in dep_sets.iter().enumerate() {
+        let inputs: Vec<&'static str> = deps
+            .iter()
+            .map(|d| Box::leak(format!("out{d}.dat").into_boxed_str()) as &'static str)
+            .collect();
+        let output = Box::leak(format!("out{k}.dat").into_boxed_str()) as &'static str;
+        engine.register(
+            format!("a{k}"),
+            ToolAction::new(format!("tool{k}"), inputs, [output]),
+        );
+    }
+    engine.deploy(flow, &BlockTree::leaf("b")).expect("deploys");
+    engine
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Random DAGs under seeded background chaos always reach a
+    /// fixpoint (the call returning proves termination — no magic tick
+    /// cap) and the verdict is never Stalled: every step either
+    /// completes, or is accounted for as failed/degraded with its
+    /// downstream cone left pending.
+    #[test]
+    fn chaotic_dags_always_reach_an_accounted_fixpoint(
+        (flow, dep_sets) in arb_template(),
+        seed in 0u64..1_000,
+        rate in 1u8..60,
+    ) {
+        let mut engine = engine_for(
+            &flow,
+            &dep_sets,
+            FaultPlan::seeded(seed).with_rate(rate),
+            RetryPolicy::with_attempts(3).base_delay(2).jitter(seed),
+        );
+        let report = engine.run_to_fixpoint();
+
+        prop_assert_ne!(report.status(), FlowStatus::Stalled, "{}", report);
+        // Accounting is complete: every step is Done or listed.
+        let listed = report.failed.len() + report.degraded.len() + report.waiting.len();
+        let done = engine
+            .steps()
+            .iter()
+            .filter(|s| s.status == Status::Done)
+            .count();
+        prop_assert_eq!(done + listed, dep_sets.len());
+        // A waiting step can only be blocked by a failure upstream.
+        if report.status() == FlowStatus::Complete {
+            prop_assert!(engine.is_complete());
+            prop_assert!(report.waiting.is_empty());
+        }
+        // Retries only ever come from injected faults — the tools
+        // themselves are healthy.
+        if report.retries > 0 || report.panics > 0 || report.timeouts > 0 {
+            prop_assert!(report.faults_injected > 0, "{}", report);
+        }
+    }
+
+    /// The same seed reproduces the same run, tick for tick.
+    #[test]
+    fn chaos_runs_are_deterministic(
+        (flow, dep_sets) in arb_template(),
+        seed in 0u64..1_000,
+    ) {
+        let run = |(f, d): (&FlowTemplate, &[Vec<usize>])| {
+            let mut engine = engine_for(
+                f,
+                d,
+                FaultPlan::seeded(seed).with_rate(35),
+                RetryPolicy::with_attempts(4).base_delay(3).jitter(seed),
+            );
+            let report = engine.run_to_fixpoint();
+            (format!("{report}"), engine.status_counts())
+        };
+        let a = run((&flow, &dep_sets));
+        let b = run((&flow, &dep_sets));
+        prop_assert_eq!(a, b);
+    }
+
+    /// Purely transient chaos plus a sufficient retry budget always
+    /// completes: the background mix never draws persistent poison.
+    #[test]
+    fn transient_chaos_with_retries_completes(
+        (flow, dep_sets) in arb_template(),
+        seed in 0u64..200,
+    ) {
+        // Faults only on attempt 1: every retry runs clean.
+        let mut plan = FaultPlan::seeded(seed);
+        for (k, _) in dep_sets.iter().enumerate() {
+            if k % 2 == 0 {
+                plan = plan.with_fault(format!("s{k}"), 1..=1, FaultKind::TransientError);
+            }
+        }
+        let mut engine = engine_for(
+            &flow,
+            &dep_sets,
+            plan,
+            RetryPolicy::with_attempts(2).base_delay(1),
+        );
+        let report = engine.run_to_fixpoint();
+        prop_assert_eq!(report.status(), FlowStatus::Complete, "{}", report);
+        prop_assert_eq!(report.retries as usize, dep_sets.len().div_ceil(2));
+    }
+}
+
+#[test]
+fn injected_panic_is_isolated_and_retried_to_completion() {
+    let mut e = Engine::new();
+    e.register("a", ToolAction::new("tool", [], ["out.dat"]));
+    let flow = FlowTemplate::new("f")
+        .with_step(StepDef::new("s", "a").retries(RetryPolicy::with_attempts(2).base_delay(1)));
+    e.deploy(&flow, &BlockTree::leaf("b")).unwrap();
+    e.set_fault_plan(FaultPlan::seeded(7).with_fault("s", 1..=1, FaultKind::Panic));
+    let report = e.run_to_fixpoint();
+    assert_eq!(report.status(), FlowStatus::Complete, "{report}");
+    assert_eq!(report.panics, 1);
+    assert_eq!(report.retries, 1);
+    assert!(e.is_complete());
+}
+
+#[test]
+fn slow_tool_times_out_then_succeeds_on_retry() {
+    let mut e = Engine::new();
+    e.register("a", ToolAction::new("tool", [], ["out.dat"]));
+    let flow = FlowTemplate::new("f").with_step(
+        StepDef::new("s", "a")
+            .retries(RetryPolicy::with_attempts(2).base_delay(1))
+            .timeout_ticks(10),
+    );
+    e.deploy(&flow, &BlockTree::leaf("b")).unwrap();
+    e.set_fault_plan(FaultPlan::seeded(7).with_fault("s", 1..=1, FaultKind::Latency(100)));
+    let report = e.run_to_fixpoint();
+    assert_eq!(report.status(), FlowStatus::Complete, "{report}");
+    assert_eq!(report.timeouts, 1);
+    // The virtual clock absorbed the timeout budget plus the backoff.
+    assert!(report.virtual_ticks >= 10, "{}", report.virtual_ticks);
+    assert!(e.is_complete());
+}
+
+#[test]
+fn latency_within_budget_is_not_a_timeout() {
+    let mut e = Engine::new();
+    e.register("a", ToolAction::new("tool", [], ["out.dat"]));
+    let flow = FlowTemplate::new("f").with_step(StepDef::new("s", "a").timeout_ticks(50));
+    e.deploy(&flow, &BlockTree::leaf("b")).unwrap();
+    e.set_fault_plan(FaultPlan::seeded(7).with_fault("s", 1..=1, FaultKind::Latency(20)));
+    let report = e.run_to_fixpoint();
+    assert_eq!(report.status(), FlowStatus::Complete, "{report}");
+    assert_eq!(report.timeouts, 0);
+    assert!(report.virtual_ticks >= 20);
+}
+
+#[test]
+fn persistent_fault_degrades_without_burning_the_retry_budget() {
+    let mut e = Engine::new();
+    e.register("a", ToolAction::new("tool", [], ["out.dat"]));
+    e.register("b", ToolAction::new("tool", ["out.dat"], ["next.dat"]));
+    let flow = FlowTemplate::new("f")
+        .with_step(StepDef::new("sick", "a").retries(RetryPolicy::with_attempts(5).base_delay(1)))
+        .with_step(StepDef::new("down", "b").after("sick"));
+    e.deploy(&flow, &BlockTree::leaf("b")).unwrap();
+    e.set_fault_plan(FaultPlan::seeded(7).with_fault("sick", .., FaultKind::PersistentError));
+    let report = e.run_to_fixpoint();
+    assert_eq!(report.status(), FlowStatus::Degraded, "{report}");
+    assert_eq!(report.degraded, vec!["b/sick".to_string()]);
+    assert_eq!(report.waiting, vec!["b/down".to_string()]);
+    // Persistent means hopeless: exactly one attempt, no retries.
+    assert_eq!(report.retries, 0);
+    assert_eq!(e.step("b/sick").unwrap().status, Status::Degraded);
+    assert_eq!(e.step("b/down").unwrap().status, Status::Pending);
+}
+
+#[test]
+fn degraded_steps_show_up_in_metrics() {
+    let mut e = Engine::new();
+    e.register("a", ToolAction::new("tool", [], ["out.dat"]));
+    let flow = FlowTemplate::new("f")
+        .with_step(StepDef::new("s", "a").retries(RetryPolicy::with_attempts(2).base_delay(1)));
+    e.deploy(&flow, &BlockTree::leaf("b")).unwrap();
+    e.set_fault_plan(FaultPlan::seeded(1).with_fault("s", .., FaultKind::TransientError));
+    let report = e.run_to_fixpoint();
+    assert_eq!(report.status(), FlowStatus::Degraded);
+    let m = workflow::metrics::collect(&e);
+    assert_eq!(m.degraded, 1);
+    assert!(workflow::metrics::status_table(&m).contains("degraded=1"));
+}

@@ -59,8 +59,7 @@ proptest! {
     #[test]
     fn random_dags_complete_in_topological_order((flow, dep_sets) in arb_template()) {
         let mut engine = engine_for(&flow, &dep_sets);
-        let n = dep_sets.len();
-        engine.run_to_quiescence(n * 2 + 4);
+        engine.run_to_fixpoint();
         prop_assert!(engine.is_complete(), "{:?}", engine.status_counts());
 
         // Every step ran exactly once.
@@ -88,8 +87,7 @@ proptest! {
     #[test]
     fn reset_invalidates_exactly_the_downstream_cone((flow, dep_sets) in arb_template()) {
         let mut engine = engine_for(&flow, &dep_sets);
-        let n = dep_sets.len();
-        engine.run_to_quiescence(n * 2 + 4);
+        engine.run_to_fixpoint();
         prop_assert!(engine.is_complete());
 
         // Transitive dependents of step 0, computed independently.
@@ -120,7 +118,7 @@ proptest! {
         }
 
         // The flow re-completes, rerunning exactly the cone.
-        engine.run_to_quiescence(n * 2 + 4);
+        engine.run_to_fixpoint();
         prop_assert!(engine.is_complete());
         for (k, _) in dep_sets.iter().enumerate() {
             let runs = engine.step(&format!("b/s{k}")).expect("step").runs;

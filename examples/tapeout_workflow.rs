@@ -59,15 +59,15 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     );
 
     engine.grant_role("signoff-owner");
-    engine.run_to_quiescence(50);
-    let (p, a, d, f, st, b) = engine.status_counts();
+    engine.run_to_fixpoint();
+    let (p, a, d, f, st, b, dg) = engine.status_counts();
     println!(
-        "after first run: pending={p} awaiting={a} done={d} failed={f} stale={st} blocked={b}"
+        "after first run: pending={p} awaiting={a} done={d} failed={f} stale={st} blocked={b} degraded={dg}"
     );
     println!("signoff steps await management approval (finish dependency).");
 
     engine.store.set_var("management-approval", "granted");
-    engine.run_to_quiescence(50);
+    engine.run_to_fixpoint();
     assert!(engine.is_complete());
     println!(
         "approval granted -> flow complete: {}",
@@ -76,7 +76,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // A designer edits the CPU RTL out-of-band: the trigger notices.
     engine.store.write("chip/cpu/rtl.v", "// hotfix");
-    engine.run_to_quiescence(50);
+    engine.run_to_fixpoint();
     println!("\nnotifications:");
     for n in &engine.notifications {
         println!("  {n}");

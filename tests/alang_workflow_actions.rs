@@ -111,7 +111,7 @@ fn alang_scripted_flow_completes() {
         .with_step(StepDef::new("synth", "synth").after("rtl"));
     let tree = BlockTree::leaf("chip").with_child(BlockTree::leaf("alu"));
     engine.deploy(&flow, &tree).expect("deploys");
-    engine.run_to_quiescence(20);
+    engine.run_to_fixpoint();
     assert!(engine.is_complete(), "{:?}", engine.status_counts());
     assert_eq!(
         engine.store.read("chip/alu/netlist.v"),
@@ -132,7 +132,7 @@ fn alang_script_errors_follow_the_default_status_policy() {
     engine
         .deploy(&flow, &BlockTree::leaf("chip"))
         .expect("deploys");
-    engine.run_to_quiescence(5);
+    engine.run_to_fixpoint();
     let step = engine.step("chip/synth").expect("step");
     assert_eq!(step.status, workflow::Status::Failed);
     assert!(step.log.contains("a/L"), "log: {}", step.log);

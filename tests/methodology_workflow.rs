@@ -65,8 +65,7 @@ fn pruned_methodology_executes_to_completion() {
             .write(format!("project/{}", input.name()), "seed");
     }
 
-    let budget = pruned.len() * 3 + 10;
-    engine.run_to_quiescence(budget);
+    engine.run_to_fixpoint();
     assert!(
         engine.is_complete(),
         "statuses: {:?}",
@@ -93,7 +92,7 @@ fn full_methodology_executes_too() {
     for input in graph.external_inputs() {
         engine.store.write(format!("chip/{}", input.name()), "seed");
     }
-    engine.run_to_quiescence(graph.len() * 3 + 10);
+    engine.run_to_fixpoint();
     assert!(engine.is_complete(), "{:?}", engine.status_counts());
     assert!(engine.store.exists("chip/fab-release"));
 }
