@@ -3,7 +3,7 @@
 //!
 //! ```text
 //! obsdump [--preset exar|batch|chaos|sim|pnr] [--format tree|chrome|folded|summary]
-//!         [--designs N] [--threads N] [--seed N] [--top N] [--check]
+//!         [--designs N] [--threads N] [--seed N] [--top N] [--cache] [--check]
 //! ```
 //!
 //! Presets:
@@ -26,6 +26,13 @@
 //! - `summary` — span tree + top-N self-time table + counters +
 //!   histogram percentiles.
 //!
+//! `--cache` attaches a content-addressed [`migrate::MigrationCache`]
+//! to the migration presets. The `batch` and `exar` presets then run
+//! the batch twice — cold, then warm — so `migrate.cache.hit` counters
+//! and the cache section in `--format summary` show a real warm-up;
+//! the `chaos` preset runs once and reports hit/miss/purge activity
+//! under faults.
+//!
 //! `--check` validates the Chrome JSON export and the span-tree shape
 //! (≥ 3 nesting levels) regardless of the chosen output format, and
 //! exits non-zero on failure — CI uses this as a smoke test.
@@ -38,6 +45,7 @@ use interop_bench::batch_exp;
 use migrate::batch::{
     migrate_batch_recorded, migrate_batch_resilient, BatchConfig, ResilientConfig,
 };
+use migrate::cache::MigrationCache;
 use migrate::checkpoint::Checkpoint;
 use migrate::{presets, FaultPlan, Migrator, RetryPolicy};
 use obs::export::{chrome_trace, folded_stacks, max_depth, self_time_table, span_tree};
@@ -53,6 +61,7 @@ struct Options {
     threads: usize,
     seed: u64,
     top: usize,
+    cache: bool,
     check: bool,
 }
 
@@ -65,6 +74,7 @@ impl Default for Options {
             threads: 4,
             seed: 42,
             top: 12,
+            cache: false,
             check: false,
         }
     }
@@ -99,12 +109,14 @@ fn parse_args() -> Result<Options, String> {
             "--top" => {
                 opts.top = value("--top")?.parse().map_err(|e| format!("--top: {e}"))?;
             }
+            "--cache" => opts.cache = true,
             "--check" => opts.check = true,
             "--help" | "-h" => {
                 println!(
                     "usage: obsdump [--preset exar|batch|chaos|sim|pnr] \
                      [--format tree|chrome|folded|summary]\n\
-                     \x20              [--designs N] [--threads N] [--seed N] [--top N] [--check]"
+                     \x20              [--designs N] [--threads N] [--seed N] [--top N] \
+                     [--cache] [--check]"
                 );
                 std::process::exit(0);
             }
@@ -115,25 +127,46 @@ fn parse_args() -> Result<Options, String> {
 }
 
 /// Batch-migrates `designs` generated designs with the Exar-style
-/// preset configuration.
-fn run_batch(rec: &TraceRecorder, designs: usize, threads: usize) {
+/// preset configuration. With a cache attached the batch runs twice —
+/// the first pass populates, the second demonstrates a full warm hit.
+fn run_batch(
+    rec: &TraceRecorder,
+    designs: usize,
+    threads: usize,
+    cache: Option<&Arc<MigrationCache>>,
+) {
     let sources = batch_exp::batch_designs(designs);
-    let migrator = Migrator::new(presets::exar_style_config(4, 0));
-    let outcomes = migrate_batch_recorded(
-        &migrator,
-        &sources,
-        DialectId::Cascade,
-        &BatchConfig::with_threads(threads),
-        rec,
-    );
-    assert_eq!(outcomes.len(), sources.len());
+    let mut migrator = Migrator::new(presets::exar_style_config(4, 0));
+    if let Some(cache) = cache {
+        migrator = migrator.with_cache(Arc::clone(cache));
+    }
+    let passes = if cache.is_some() { 2 } else { 1 };
+    for _ in 0..passes {
+        let outcomes = migrate_batch_recorded(
+            &migrator,
+            &sources,
+            DialectId::Cascade,
+            &BatchConfig::with_threads(threads),
+            rec,
+        );
+        assert_eq!(outcomes.len(), sources.len());
+    }
 }
 
 /// Resilient batch migration under a seeded background fault rate:
 /// chaos survivability as an observable workload.
-fn run_chaos(rec: &TraceRecorder, designs: usize, threads: usize, seed: u64) {
+fn run_chaos(
+    rec: &TraceRecorder,
+    designs: usize,
+    threads: usize,
+    seed: u64,
+    cache: Option<&Arc<MigrationCache>>,
+) {
     let sources = batch_exp::batch_designs(designs);
-    let migrator = Migrator::new(presets::exar_style_config(4, 0));
+    let mut migrator = Migrator::new(presets::exar_style_config(4, 0));
+    if let Some(cache) = cache {
+        migrator = migrator.with_cache(Arc::clone(cache));
+    }
     let cfg = ResilientConfig {
         threads,
         retry: RetryPolicy::with_attempts(5).base_delay(2).jitter(seed),
@@ -151,14 +184,24 @@ fn run_chaos(rec: &TraceRecorder, designs: usize, threads: usize, seed: u64) {
         rec,
     )
     .expect("fresh checkpoint always binds");
+    let counter = |name: &str| {
+        rec.counters()
+            .into_iter()
+            .find(|(n, _)| n == name)
+            .map_or(0, |(_, v)| v)
+    };
     eprintln!(
-        "chaos: {} designs, {} executed, {} quarantined, {} retries, {} faults, {} vticks",
+        "chaos: {} designs, {} executed, {} quarantined, {} retries, {} faults, {} vticks, \
+         cache {} hit / {} miss / {} purged",
         sources.len(),
         report.executed,
         report.quarantined.len(),
         report.retries,
         report.faults_injected,
-        report.virtual_ticks
+        report.virtual_ticks,
+        counter("migrate.cache.hit"),
+        counter("migrate.cache.miss"),
+        counter("migrate.cache.purge"),
     );
 }
 
@@ -228,24 +271,28 @@ fn run_pnr(rec: &TraceRecorder) {
     pnr::drc::check_recorded(&routed, &fp, rec);
 }
 
-fn run_preset(rec: &Arc<TraceRecorder>, opts: &Options) -> Result<(), String> {
+fn run_preset(
+    rec: &Arc<TraceRecorder>,
+    opts: &Options,
+    cache: Option<&Arc<MigrationCache>>,
+) -> Result<(), String> {
     match opts.preset.as_str() {
         "exar" => {
             let root = Span::enter(rec.as_ref() as &dyn Recorder, "obsdump.exar");
             root.attr("designs", opts.designs);
             root.attr("threads", opts.threads);
-            run_batch(rec, opts.designs, opts.threads);
+            run_batch(rec, opts.designs, opts.threads, cache);
             run_schematic(rec);
             run_sim(rec);
             run_pnr(rec);
             Ok(())
         }
         "batch" => {
-            run_batch(rec, opts.designs, opts.threads);
+            run_batch(rec, opts.designs, opts.threads, cache);
             Ok(())
         }
         "chaos" => {
-            run_chaos(rec, opts.designs, opts.threads, opts.seed);
+            run_chaos(rec, opts.designs, opts.threads, opts.seed, cache);
             Ok(())
         }
         "sim" => {
@@ -259,6 +306,22 @@ fn run_preset(rec: &Arc<TraceRecorder>, opts: &Options) -> Result<(), String> {
         other => Err(format!(
             "unknown preset `{other}` (expected exar, batch, chaos, sim, or pnr)"
         )),
+    }
+}
+
+fn print_cache_section(cache: &MigrationCache) {
+    let s = cache.stats();
+    println!("cache:");
+    println!(
+        "  hits={} prefix_hits={} misses={}",
+        s.hits, s.prefix_hits, s.misses
+    );
+    println!(
+        "  inserts={} evictions={} entries={} bytes={}",
+        s.inserts, s.evictions, s.entries, s.bytes
+    );
+    if s.disk_hits > 0 || s.disk_stores > 0 {
+        println!("  disk_hits={} disk_stores={}", s.disk_hits, s.disk_stores);
     }
 }
 
@@ -316,7 +379,8 @@ fn main() -> ExitCode {
     };
 
     let rec = Arc::new(TraceRecorder::with_capacity(1 << 16));
-    if let Err(e) = run_preset(&rec, &opts) {
+    let cache = opts.cache.then(|| Arc::new(MigrationCache::new()));
+    if let Err(e) = run_preset(&rec, &opts, cache.as_ref()) {
         eprintln!("obsdump: {e}");
         return ExitCode::FAILURE;
     }
@@ -325,7 +389,12 @@ fn main() -> ExitCode {
         "tree" => println!("{}", span_tree(&rec)),
         "chrome" => println!("{}", chrome_trace(&rec)),
         "folded" => print!("{}", folded_stacks(&rec)),
-        "summary" => print_summary(&rec, opts.top),
+        "summary" => {
+            print_summary(&rec, opts.top);
+            if let Some(cache) = &cache {
+                print_cache_section(cache);
+            }
+        }
         other => {
             eprintln!("obsdump: unknown format `{other}` (expected tree, chrome, folded, summary)");
             return ExitCode::FAILURE;

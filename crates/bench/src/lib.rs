@@ -6,6 +6,7 @@
 //! Criterion benches in `benches/` time the underlying kernels.
 
 pub mod batch_exp;
+pub mod cache_exp;
 pub mod core_exp;
 pub mod ext_exp;
 pub mod hdl_exp;
@@ -36,6 +37,7 @@ pub fn full_report() -> String {
         &mig,
         &schematic_exp::migration_ablation(12),
     ));
+    push(cache_exp::cache_table(&cache_exp::cache_rerun(8, 2), 8, 2));
 
     // Section 3.1 / 3.2 / 3.3.
     push(sim_exp::race_table(&sim_exp::race_detection(6)));

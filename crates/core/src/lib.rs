@@ -44,6 +44,8 @@ pub mod dot;
 pub mod fault;
 pub mod flow;
 pub mod graph;
+pub mod hash;
+pub mod intern;
 pub mod methodology;
 pub mod optimize;
 pub mod scenario;
@@ -53,6 +55,8 @@ pub mod toolmodel;
 pub use analysis::{analyze, AnalysisReport, Finding, ProblemClass};
 pub use fault::{FaultEvent, FaultKind, FaultPlan, RetryPolicy, VirtualClock};
 pub use graph::TaskGraph;
+pub use hash::{hash_of, StableHash, StableHasher};
+pub use intern::{intern, IStr};
 pub use scenario::{prune, Scenario};
 pub use task::{Info, Task, TaskKind};
 pub use toolmodel::{TaskToolMap, ToolModel};

@@ -211,7 +211,7 @@ pub fn migrate_batch_recorded(
 }
 
 /// Serializes a design in the target dialect's canonical text form.
-fn write_design(design: &Design, target: DialectId) -> String {
+pub(crate) fn write_design(design: &Design, target: DialectId) -> String {
     match target {
         DialectId::Cascade => schematic::cascade::write(design),
         DialectId::Viewstar => schematic::viewstar::write(design),
@@ -219,7 +219,7 @@ fn write_design(design: &Design, target: DialectId) -> String {
 }
 
 /// Parses target-dialect text back into a design.
-fn parse_design(text: &str, target: DialectId) -> Result<Design, ParseError> {
+pub(crate) fn parse_design(text: &str, target: DialectId) -> Result<Design, ParseError> {
     match target {
         DialectId::Cascade => schematic::cascade::parse(text),
         DialectId::Viewstar => schematic::viewstar::parse(text),
@@ -483,6 +483,13 @@ fn migrate_with_retry(
         }
     }
     recorder.add_counter("migrate.batch.quarantined", 1);
+    // A corrupt-output fault is detected only *after* the pipeline ran
+    // and cached its (genuinely computed, but now untrusted) result —
+    // a quarantined design must never be served warm.
+    if let Some(cache) = migrator.cache() {
+        cache.purge_design(interop_core::hash::hash_of(source));
+        recorder.add_counter("migrate.cache.purge", 1);
+    }
     obs::event(
         recorder,
         "migrate.batch.quarantine",

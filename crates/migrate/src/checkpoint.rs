@@ -14,33 +14,29 @@
 use std::collections::BTreeMap;
 use std::fmt;
 
+use interop_core::hash::{StableHash, StableHasher};
 use schematic::design::Design;
 use schematic::dialect::DialectId;
-
-/// FNV-1a over a byte string.
-fn fnv1a(h: &mut u64, bytes: &[u8]) {
-    for &b in bytes {
-        *h ^= b as u64;
-        *h = h.wrapping_mul(0x0000_0100_0000_01B3);
-    }
-}
 
 /// Fingerprint of a batch's identity: the ordered design names, the
 /// target dialect, and the stage list. Two runs with the same
 /// fingerprint are migrating the same work with the same pipeline.
+///
+/// Built on [`interop_core::hash`] (length-prefixed framing, so
+/// `["ab"]` and `["a", "b"]` cannot collide), sharing the hashing
+/// foundation with the migration cache.
 pub fn batch_fingerprint(names: &[&str], target: DialectId, stages: &[&str]) -> u64 {
-    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    let mut h = StableHasher::new();
+    h.write_usize(names.len());
     for n in names {
-        fnv1a(&mut h, n.as_bytes());
-        fnv1a(&mut h, b"\x1f");
+        h.write_str(n);
     }
-    fnv1a(&mut h, b"->");
-    fnv1a(&mut h, target.to_string().as_bytes());
+    target.stable_hash(&mut h);
+    h.write_usize(stages.len());
     for s in stages {
-        fnv1a(&mut h, b"|");
-        fnv1a(&mut h, s.as_bytes());
+        h.write_str(s);
     }
-    h
+    h.finish()
 }
 
 /// One finished design in a checkpoint.

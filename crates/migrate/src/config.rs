@@ -3,6 +3,7 @@
 
 use std::collections::BTreeMap;
 
+use interop_core::hash::{StableHash, StableHasher};
 use schematic::geom::{Orient, Point};
 use schematic::symbol::SymbolRef;
 
@@ -254,7 +255,7 @@ impl MigrationConfig {
         for e in &self.symbol_map {
             if seen_from.contains(&&e.from) {
                 return Err(ConfigError::DuplicateSymbolMapping {
-                    cell: e.from.cell.clone(),
+                    cell: e.from.cell.to_string(),
                 });
             }
             seen_from.push(&e.from);
@@ -282,6 +283,77 @@ impl MigrationConfig {
             seen_skip.push(*s);
         }
         Ok(())
+    }
+}
+
+// Stable fingerprints of the configuration slices each stage reads —
+// the invalidation keys of the migration cache. Every field that can
+// change a stage's output must be hashed; nothing else should be, so
+// an unrelated config edit leaves a stage's fingerprint (and its
+// cached results) intact.
+
+impl StableHash for SymbolMapEntry {
+    fn stable_hash(&self, h: &mut StableHasher) {
+        self.from.stable_hash(h);
+        self.to.stable_hash(h);
+        self.origin_offset.stable_hash(h);
+        self.rotation.stable_hash(h);
+        self.pin_map.stable_hash(h);
+    }
+}
+
+impl StableHash for PropRule {
+    fn stable_hash(&self, h: &mut StableHasher) {
+        match self {
+            PropRule::Add { name, value } => {
+                h.write_u8(0);
+                h.write_str(name);
+                h.write_str(value);
+            }
+            PropRule::Delete { name } => {
+                h.write_u8(1);
+                h.write_str(name);
+            }
+            PropRule::Rename { from, to } => {
+                h.write_u8(2);
+                h.write_str(from);
+                h.write_str(to);
+            }
+            PropRule::ChangeValue { name, from, to } => {
+                h.write_u8(3);
+                h.write_str(name);
+                h.write_str(from);
+                h.write_str(to);
+            }
+        }
+    }
+}
+
+impl StableHash for PropScope {
+    fn stable_hash(&self, h: &mut StableHasher) {
+        match self {
+            PropScope::AllInstances => h.write_u8(0),
+            PropScope::Cell(c) => {
+                h.write_u8(1);
+                h.write_str(c);
+            }
+        }
+    }
+}
+
+impl StableHash for Callback {
+    fn stable_hash(&self, h: &mut StableHasher) {
+        self.scope.stable_hash(h);
+        h.write_str(&self.entry);
+    }
+}
+
+impl StableHash for OffPagePlacement {
+    fn stable_hash(&self, h: &mut StableHasher) {
+        h.write_u8(match self {
+            OffPagePlacement::FloatingEndOrEdge => 0,
+            OffPagePlacement::EdgeAlways => 1,
+        });
     }
 }
 

@@ -38,6 +38,7 @@
 //! ```
 
 pub mod batch;
+pub mod cache;
 pub mod checkpoint;
 pub mod config;
 pub mod pipeline;
@@ -51,6 +52,7 @@ pub mod verify;
 pub use batch::{
     migrate_batch_resilient, DesignResult, QuarantineEntry, ResilientConfig, ResilientReport,
 };
+pub use cache::{CacheStats, CachedRun, MigrationCache, StageChain};
 pub use checkpoint::{batch_fingerprint, Checkpoint, CheckpointEntry, CheckpointError};
 pub use config::{
     ConfigError, MigrationConfig, MigrationConfigBuilder, PropRule, PropScope, StageId,
@@ -73,6 +75,7 @@ pub mod prelude {
         migrate_batch, migrate_batch_recorded, migrate_batch_resilient, BatchConfig, DesignResult,
         QuarantineEntry, ResilientConfig, ResilientReport,
     };
+    pub use crate::cache::{CacheStats, MigrationCache};
     pub use crate::checkpoint::{batch_fingerprint, Checkpoint, CheckpointError};
     pub use crate::config::{ConfigError, MigrationConfig, MigrationConfigBuilder, StageId};
     pub use crate::pipeline::{MigrateError, MigrationOutcome, Migrator};

@@ -6,15 +6,19 @@
 //! a `migrate.pipeline` span plus one `migrate.stage.<name>` span per
 //! executed stage.
 
+use std::collections::BTreeMap;
 use std::error::Error;
 use std::fmt;
+use std::sync::{Arc, Mutex};
 
+use interop_core::hash::hash_of;
 use obs::{NullRecorder, Recorder, Span};
 use schematic::design::Design;
 use schematic::dialect::{DialectId, DialectRules};
 
+use crate::cache::{CachedRun, Lookup, MigrationCache, StageChain};
 use crate::config::{ConfigError, MigrationConfig, StageId};
-use crate::report::MigrationReport;
+use crate::report::{MigrationReport, StageReport};
 use crate::stage::{builtin_stages, Stage, StageCtx};
 use crate::verify::{verify, VerifyReport};
 
@@ -73,6 +77,11 @@ pub struct Migrator {
     config: MigrationConfig,
     stages: Vec<Box<dyn Stage>>,
     parallelism: usize,
+    cache: Option<Arc<MigrationCache>>,
+    /// Chain hashes memoized per dialect pair — the stage list and
+    /// config are fixed after construction, so each pair's chain is
+    /// computed once and shared across designs and threads.
+    chains: Mutex<BTreeMap<(DialectId, DialectId), Arc<StageChain>>>,
 }
 
 impl fmt::Debug for Migrator {
@@ -99,6 +108,8 @@ impl Migrator {
             config,
             stages: builtin_stages(),
             parallelism: 1,
+            cache: None,
+            chains: Mutex::new(BTreeMap::new()),
         }
     }
 
@@ -112,7 +123,41 @@ impl Migrator {
     /// stage's [`StageId`] to disable it per run.
     pub fn with_stage(mut self, stage: Box<dyn Stage>) -> Self {
         self.stages.push(stage);
+        // The stage list is part of every chain hash.
+        self.chains.get_mut().unwrap().clear();
         self
+    }
+
+    /// Attaches a content-addressed result cache (see
+    /// [`MigrationCache`]). A warm re-run of an unchanged design skips
+    /// the pipeline entirely; after a config edit, the pipeline resumes
+    /// from the longest still-valid stage prefix. The cache may be
+    /// shared across migrators and threads.
+    pub fn with_cache(mut self, cache: Arc<MigrationCache>) -> Self {
+        self.cache = Some(cache);
+        self
+    }
+
+    /// The attached result cache, if any.
+    pub fn cache(&self) -> Option<&Arc<MigrationCache>> {
+        self.cache.as_ref()
+    }
+
+    /// The executed stage chain (with content hashes) for a dialect
+    /// pair, computed on first use and memoized.
+    pub fn stage_chain(&self, source: DialectId, target: DialectId) -> Arc<StageChain> {
+        let mut chains = self.chains.lock().unwrap();
+        chains
+            .entry((source, target))
+            .or_insert_with(|| {
+                Arc::new(StageChain::compute(
+                    &self.stages,
+                    &self.config,
+                    source,
+                    target,
+                ))
+            })
+            .clone()
     }
 
     /// Sets how many threads each stage may use for independent pages
@@ -156,8 +201,64 @@ impl Migrator {
         pipeline_span.attr("wires", stats.wires);
         let src_rules = DialectRules::for_id(source.dialect);
         let dst_rules = DialectRules::for_id(target);
-        let mut design = source.clone();
         let mut report = MigrationReport::default();
+
+        // Probe the cache first: full hit short-circuits the pipeline,
+        // a prefix memo lets it resume mid-chain.
+        let keys = self.cache.as_ref().map(|cache| {
+            let chain = self.stage_chain(source.dialect, target);
+            let design_hash = hash_of(source);
+            (cache, chain, design_hash)
+        });
+        // Executed-stage reports in pipeline order — both the memo
+        // payload and, at the end, the migration report.
+        let mut executed: Vec<(StageId, StageReport)> = Vec::new();
+        // How many leading executed stages were restored from cache.
+        let mut applied = 0usize;
+        let mut design = match &keys {
+            Some((cache, chain, design_hash)) => {
+                let lookup_span = Span::enter(recorder, "migrate.cache.lookup");
+                lookup_span.attr("design", source.name.as_str());
+                let looked = cache.lookup(*design_hash, chain);
+                drop(lookup_span);
+                match looked {
+                    Lookup::Hit(run) => {
+                        recorder.add_counter("migrate.cache.hit", 1);
+                        for stage in &self.stages {
+                            let id = stage.id();
+                            if !self.config.runs(id) {
+                                report.skipped.push(id);
+                            }
+                        }
+                        for (id, stage_report) in run.stages {
+                            report.stage_mut(id).merge(stage_report);
+                        }
+                        recorder.add_counter("migrate.designs", 1);
+                        recorder.add_counter("migrate.issues", report.issue_count() as u64);
+                        // A full hit can be served by another chain's
+                        // intermediate memo whose hash matches this
+                        // chain end-to-end (e.g. ours skips the last
+                        // stage); the content is right but the dialect
+                        // tag may still be the source's. Flip it
+                        // unconditionally, exactly like a cold run.
+                        let mut design = run.design;
+                        design.dialect = target;
+                        return MigrationOutcome { design, report };
+                    }
+                    Lookup::Prefix(idx, run) => {
+                        recorder.add_counter("migrate.cache.prefix_hit", 1);
+                        applied = idx + 1;
+                        executed = run.stages;
+                        run.design
+                    }
+                    Lookup::Miss => {
+                        recorder.add_counter("migrate.cache.miss", 1);
+                        source.clone()
+                    }
+                }
+            }
+            None => source.clone(),
+        };
 
         let ctx = StageCtx {
             config: &self.config,
@@ -167,11 +268,17 @@ impl Migrator {
             parallelism: self.parallelism,
         };
 
+        let mut exec_idx = 0usize;
         for stage in &self.stages {
             let id = stage.id();
             if !self.config.runs(id) {
                 report.skipped.push(id);
                 continue;
+            }
+            let idx = exec_idx;
+            exec_idx += 1;
+            if idx < applied {
+                continue; // restored from a cached prefix
             }
             let span = Span::enter(recorder, format!("migrate.stage.{}", id.name()));
             span.attr("design", source.name.as_str());
@@ -182,10 +289,49 @@ impl Migrator {
                 span.attr("issues", stage_report.issues.len());
             }
             drop(span);
-            report.stage_mut(id).merge(stage_report);
+            executed.push((id, stage_report));
+            if let Some((cache, chain, design_hash)) = &keys {
+                // Memoize the intermediate design under its prefix
+                // hash; the final state is inserted below, after the
+                // dialect tag flips.
+                if idx + 1 < chain.hashes.len() {
+                    let evicted = cache.insert(
+                        *design_hash,
+                        chain.hashes[idx],
+                        CachedRun {
+                            design: design.clone(),
+                            stages: executed.clone(),
+                        },
+                        false,
+                    );
+                    recorder.add_counter("migrate.cache.insert", 1);
+                    if evicted > 0 {
+                        recorder.add_counter("migrate.cache.evict", evicted);
+                    }
+                }
+            }
         }
 
         design.dialect = target;
+        if let Some((cache, chain, design_hash)) = &keys {
+            let evicted = cache.insert(
+                *design_hash,
+                chain.full_hash(),
+                CachedRun {
+                    design: design.clone(),
+                    stages: executed.clone(),
+                },
+                true,
+            );
+            recorder.add_counter("migrate.cache.insert", 1);
+            if evicted > 0 {
+                recorder.add_counter("migrate.cache.evict", evicted);
+            }
+            recorder.record_value("migrate.cache.bytes", cache.stats().bytes as u64);
+        }
+        for (id, stage_report) in executed {
+            report.stage_mut(id).merge(stage_report);
+        }
         recorder.add_counter("migrate.designs", 1);
         recorder.add_counter("migrate.issues", report.issue_count() as u64);
         MigrationOutcome { design, report }

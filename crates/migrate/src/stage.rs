@@ -30,6 +30,7 @@
 //! assert_eq!(migrator.stage_ids().last().unwrap().name(), "census");
 //! ```
 
+use interop_core::hash::{hash_of, StableHash, StableHasher};
 use obs::Recorder;
 use schematic::design::Design;
 use schematic::dialect::DialectRules;
@@ -66,6 +67,18 @@ pub trait Stage: Send + Sync {
 
     /// Runs the stage over `design`.
     fn run(&self, design: &mut Design, ctx: &StageCtx<'_>) -> StageReport;
+
+    /// Stable fingerprint of the configuration slice this stage reads.
+    ///
+    /// Two configurations with equal fingerprints must make this stage
+    /// produce identical output on identical input; the migration cache
+    /// uses the fingerprint to invalidate exactly the pipeline suffix a
+    /// config edit affects. The default covers stages whose behaviour
+    /// depends only on the dialect pair (already part of every cache
+    /// key), not on the configuration.
+    fn config_hash(&self, _config: &MigrationConfig) -> u64 {
+        0
+    }
 }
 
 /// Built-in stage: geometry scaling between vendor grids.
@@ -102,6 +115,9 @@ impl Stage for PropsStage {
         stages::props::run_standard(design, ctx.config, &mut report);
         report
     }
+    fn config_hash(&self, config: &MigrationConfig) -> u64 {
+        hash_of(&config.prop_rules)
+    }
 }
 
 /// Built-in stage: a/L callbacks for non-standard properties.
@@ -116,6 +132,12 @@ impl Stage for CallbacksStage {
         stages::props::run_callbacks(design, ctx.config, &mut report);
         report
     }
+    fn config_hash(&self, config: &MigrationConfig) -> u64 {
+        let mut h = StableHasher::new();
+        h.write_str(&config.callback_script);
+        config.callbacks.stable_hash(&mut h);
+        h.finish()
+    }
 }
 
 /// Built-in stage: symbol replacement with reroute.
@@ -129,6 +151,12 @@ impl Stage for SymbolsStage {
         let mut report = StageReport::default();
         stages::symbols::run(design, ctx.config, &mut report);
         report
+    }
+    fn config_hash(&self, config: &MigrationConfig) -> u64 {
+        let mut h = StableHasher::new();
+        config.symbol_map.stable_hash(&mut h);
+        config.target_libraries.stable_hash(&mut h);
+        h.finish()
     }
 }
 
@@ -158,6 +186,9 @@ impl Stage for ConnectorsStage {
         stages::connectors::run(design, ctx.config, ctx.dst_rules.grid, &mut report);
         report
     }
+    fn config_hash(&self, config: &MigrationConfig) -> u64 {
+        hash_of(&config.offpage_placement)
+    }
 }
 
 /// Built-in stage: global net mapping.
@@ -171,6 +202,9 @@ impl Stage for GlobalsStage {
         let mut report = StageReport::default();
         stages::globals::run(design, ctx.config, &mut report);
         report
+    }
+    fn config_hash(&self, config: &MigrationConfig) -> u64 {
+        hash_of(&config.globals_map)
     }
 }
 

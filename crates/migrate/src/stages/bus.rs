@@ -9,6 +9,7 @@
 
 use std::collections::{BTreeMap, BTreeSet};
 
+use interop_core::IStr;
 use schematic::bus::{BusSyntax, NetName};
 use schematic::design::Design;
 
@@ -32,18 +33,18 @@ fn postfix_suffix(c: char) -> &'static str {
 /// Returns `(map, renames, issues)`: the old-text → new-text map, how
 /// many names changed, and any untranslatable names.
 pub fn translation_table(
-    names: &BTreeSet<String>,
-    buses: &BTreeSet<String>,
+    names: &BTreeSet<IStr>,
+    buses: &BTreeSet<IStr>,
     src: BusSyntax,
     dst: BusSyntax,
-) -> (BTreeMap<String, String>, usize, Vec<String>) {
+) -> (BTreeMap<IStr, IStr>, usize, Vec<String>) {
     let mut map = BTreeMap::new();
     let mut taken: BTreeSet<String> = BTreeSet::new();
     let mut renames = 0usize;
     let mut issues = Vec::new();
 
     // First pass: names without postfixes claim their translations.
-    let mut postfixed: Vec<(&String, NetName)> = Vec::new();
+    let mut postfixed: Vec<(&IStr, NetName)> = Vec::new();
     for text in names {
         match src.parse(text, buses) {
             Ok(parsed) => {
@@ -52,10 +53,10 @@ pub fn translation_table(
                 } else {
                     let out = dst.format(&parsed);
                     taken.insert(out.clone());
-                    if out != *text {
+                    if *text != out {
                         renames += 1;
                     }
-                    map.insert(text.clone(), out);
+                    map.insert(text.clone(), out.into());
                 }
             }
             Err(e) => issues.push(format!("`{text}`: {e}")),
@@ -90,7 +91,7 @@ pub fn translation_table(
         };
         taken.insert(out.clone());
         renames += 1;
-        map.insert(text.clone(), out);
+        map.insert(text.clone(), out.into());
     }
 
     (map, renames, issues)
@@ -101,7 +102,7 @@ pub fn translation_table(
 pub fn run(design: &mut Design, src: BusSyntax, dst: BusSyntax, stats: &mut StageStats) {
     for cell in design.cells_mut() {
         // Gather all names used in the cell.
-        let mut names: BTreeSet<String> = BTreeSet::new();
+        let mut names: BTreeSet<IStr> = BTreeSet::new();
         for sheet in &cell.sheets {
             for w in &sheet.wires {
                 if let Some(l) = &w.label {
@@ -143,8 +144,8 @@ pub fn run(design: &mut Design, src: BusSyntax, dst: BusSyntax, stats: &mut Stag
 mod tests {
     use super::*;
 
-    fn names(list: &[&str]) -> BTreeSet<String> {
-        list.iter().map(|s| s.to_string()).collect()
+    fn names(list: &[&str]) -> BTreeSet<IStr> {
+        list.iter().map(|s| IStr::from(*s)).collect()
     }
 
     #[test]
@@ -188,7 +189,7 @@ mod tests {
         assert_eq!(map["rst"], "rst");
         assert_eq!(map["rst-"], "rst_n");
         // The table stays injective.
-        let targets: BTreeSet<&String> = map.values().collect();
+        let targets: BTreeSet<&IStr> = map.values().collect();
         assert_eq!(targets.len(), map.len());
     }
 

@@ -8,6 +8,7 @@
 
 use std::collections::BTreeSet;
 
+use interop_core::IStr;
 use schematic::design::Design;
 use schematic::geom::Point;
 use schematic::sheet::{Connector, ConnectorKind};
@@ -20,43 +21,43 @@ use crate::report::StageStats;
 /// page (the target system's explicit global access points).
 pub fn run(design: &mut Design, config: &MigrationConfig, stats: &mut StageStats) {
     // Rename the design-level global declarations.
-    let old_globals: Vec<String> = design.globals().iter().cloned().collect();
+    let old_globals: Vec<IStr> = design.globals().iter().cloned().collect();
     for g in &old_globals {
-        if let Some(new) = config.globals_map.get(g) {
+        if let Some(new) = config.globals_map.get(g.as_str()) {
             if design.rename_global(g, new.clone()) {
                 stats.renamed += 1;
             }
         }
     }
 
-    let global_names: BTreeSet<String> = design.globals().iter().cloned().collect();
+    let global_names: BTreeSet<IStr> = design.globals().iter().cloned().collect();
 
     for cell in design.cells_mut() {
         for sheet in &mut cell.sheets {
             // Rename labels.
             for w in &mut sheet.wires {
                 if let Some(l) = &mut w.label {
-                    if let Some(new) = config.globals_map.get(&l.text) {
-                        l.text = new.clone();
+                    if let Some(new) = config.globals_map.get(l.text.as_str()) {
+                        l.text = new.into();
                         stats.touched += 1;
                     }
                 }
             }
             for c in &mut sheet.connectors {
-                if let Some(new) = config.globals_map.get(&c.name) {
-                    c.name = new.clone();
+                if let Some(new) = config.globals_map.get(c.name.as_str()) {
+                    c.name = new.into();
                     stats.touched += 1;
                 }
             }
 
             // Plant one Global connector per global per page.
-            let existing: BTreeSet<String> = sheet
+            let existing: BTreeSet<IStr> = sheet
                 .connectors
                 .iter()
                 .filter(|c| c.kind == ConnectorKind::Global)
                 .map(|c| c.name.clone())
                 .collect();
-            let mut to_add: Vec<(String, Point)> = Vec::new();
+            let mut to_add: Vec<(IStr, Point)> = Vec::new();
             for w in &sheet.wires {
                 if let Some(l) = &w.label {
                     if global_names.contains(&l.text)

@@ -25,7 +25,7 @@ pub fn run(
     stats: &mut StageStats,
 ) {
     // Libraries: rebuild each symbol scaled.
-    let lib_names: Vec<String> = design.libraries().map(|l| l.name.clone()).collect();
+    let lib_names: Vec<interop_core::IStr> = design.libraries().map(|l| l.name.clone()).collect();
     for name in lib_names {
         let lib = design.library(&name).expect("library exists");
         let mut scaled = Library::new(lib.name.clone());

@@ -87,7 +87,7 @@ pub fn normalize_source(netlist: &Netlist, config: &MigrationConfig) -> Netlist 
                 let new_pin = source_cell
                     .and_then(|c| by_cell.get(c.as_str()))
                     .map(|e| e.map_pin(&pin.pin).to_string())
-                    .unwrap_or_else(|| pin.pin.clone());
+                    .unwrap_or_else(|| pin.pin.to_string());
                 new_info.pins.insert(PinRef::new(pin.inst.clone(), new_pin));
             }
             new_cn.nets.insert(net.clone(), new_info);

@@ -10,6 +10,8 @@
 use std::collections::BTreeSet;
 use std::fmt;
 
+use interop_core::intern::IStr;
+
 /// A structured net reference: a scalar, one bit of a bus, or a bus range.
 #[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub enum NetExpr {
@@ -166,11 +168,7 @@ impl BusSyntax {
     /// Returns [`ParseNetError`] for empty names, malformed ranges,
     /// identifiers containing reserved punctuation, or (Cascade only)
     /// postfix indicators.
-    pub fn parse(
-        self,
-        text: &str,
-        known_buses: &BTreeSet<String>,
-    ) -> Result<NetName, ParseNetError> {
+    pub fn parse(self, text: &str, known_buses: &BTreeSet<IStr>) -> Result<NetName, ParseNetError> {
         let text = text.trim();
         if text.is_empty() {
             return Err(ParseNetError::Empty);
@@ -273,7 +271,7 @@ impl BusSyntax {
 
     /// Viewstar condensed resolution: `A0` ≡ `A<0>` when bus `A` is in
     /// scope. The digits must form a maximal numeric suffix.
-    fn condense(body: &str, known_buses: &BTreeSet<String>) -> NetExpr {
+    fn condense(body: &str, known_buses: &BTreeSet<IStr>) -> NetExpr {
         let digits_at = body
             .char_indices()
             .rev()
@@ -298,8 +296,8 @@ impl BusSyntax {
 mod tests {
     use super::*;
 
-    fn buses(names: &[&str]) -> BTreeSet<String> {
-        names.iter().map(|s| s.to_string()).collect()
+    fn buses(names: &[&str]) -> BTreeSet<IStr> {
+        names.iter().map(|s| IStr::from(*s)).collect()
     }
 
     #[test]

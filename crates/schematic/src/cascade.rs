@@ -429,8 +429,8 @@ fn parse_inner(text: &str) -> Result<Design, ParseError> {
                 let mut lib = Library::new(items[1].as_str()?);
                 for sform in find_all(items, "symbol") {
                     let si = sform.items();
-                    let cell = si[1].as_str()?.to_string();
-                    let view = si[2].as_str()?.to_string();
+                    let cell = si[1].as_str()?;
+                    let view = si[2].as_str()?;
                     let grid = find(si, "grid")
                         .ok_or_else(|| perr("symbol missing (grid)"))?
                         .items()[1]
@@ -465,7 +465,7 @@ fn parse_inner(text: &str) -> Result<Design, ParseError> {
                 let items = form.items();
                 let mut cell = CellSchematic::new(items[1].as_str()?);
                 for b in find_all(items, "bus") {
-                    cell.buses.insert(b.items()[1].as_str()?.to_string());
+                    cell.buses.insert(b.items()[1].as_str()?.into());
                 }
                 for p in find_all(items, "port") {
                     let pi = p.items();
@@ -478,7 +478,7 @@ fn parse_inner(text: &str) -> Result<Design, ParseError> {
                     let mut sheet = Sheet::new(page);
                     for inst in find_all(pi, "inst") {
                         let ii = inst.items();
-                        let name = ii[1].as_str()?.to_string();
+                        let name = ii[1].as_str()?;
                         let of = find(ii, "of").ok_or_else(|| perr("inst missing (of)"))?;
                         let oi = of.items();
                         let sref =

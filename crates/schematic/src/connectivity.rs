@@ -9,6 +9,8 @@
 use std::collections::{BTreeMap, BTreeSet};
 use std::fmt;
 
+use interop_core::intern::IStr;
+
 use crate::bus::{BusSyntax, NetExpr};
 use crate::design::{CellSchematic, Design};
 use crate::dialect::DialectRules;
@@ -154,7 +156,7 @@ struct Cluster {
     names: BTreeSet<String>,
     /// Bus ranges labelled onto the cluster: (base, from, to, postfix).
     ranges: Vec<(String, i64, i64, Option<char>)>,
-    pins: Vec<(PinRef, String)>, // pin ref + raw pin name
+    pins: Vec<(PinRef, IStr)>, // pin ref + raw pin name
     offpage_names: BTreeSet<String>,
     port_names: BTreeSet<String>,
 }
@@ -188,13 +190,13 @@ pub fn extract_cell(design: &Design, cell: &CellSchematic, rules: &DialectRules)
         page: u32,
         node: usize,
         pin: PinRef,
-        raw_name: String,
+        raw_name: IStr,
     }
     let mut pin_sites: Vec<PinSite> = Vec::new();
     struct ConnSite {
         node: usize,
         kind: ConnectorKind,
-        name: String,
+        name: IStr,
     }
     let mut conn_sites: Vec<ConnSite> = Vec::new();
 
@@ -213,7 +215,7 @@ pub fn extract_cell(design: &Design, cell: &CellSchematic, rules: &DialectRules)
             let Some(sym) = design.resolve_symbol(&inst.symbol) else {
                 errors.push(ConnError::UnresolvedSymbol {
                     page: sheet.page,
-                    inst: inst.name.clone(),
+                    inst: inst.name.as_str().to_string(),
                 });
                 continue;
             };
@@ -306,7 +308,7 @@ pub fn extract_cell(design: &Design, cell: &CellSchematic, rules: &DialectRules)
                 }
                 Err(e) => errors.push(ConnError::UnparsedLabel {
                     page: sheet.page,
-                    text: label.text.clone(),
+                    text: label.text.as_str().to_string(),
                     reason: e.to_string(),
                 }),
             }
@@ -323,7 +325,7 @@ pub fn extract_cell(design: &Design, cell: &CellSchematic, rules: &DialectRules)
             Err(e) => {
                 errors.push(ConnError::UnparsedLabel {
                     page: cl.page,
-                    text: site.name.clone(),
+                    text: site.name.as_str().to_string(),
                     reason: e.to_string(),
                 });
                 continue;
@@ -426,7 +428,7 @@ pub fn extract_cell(design: &Design, cell: &CellSchematic, rules: &DialectRules)
                 }
             }
             // Pins must be bus-bit named with a matching base.
-            let scope: BTreeSet<String> = bases.iter().map(|s| s.to_string()).collect();
+            let scope: BTreeSet<IStr> = bases.iter().map(|s| IStr::from(*s)).collect();
             for (pin, raw) in &cl.pins {
                 match BusSyntax::Viewstar.parse(raw, &scope) {
                     Ok(p) => match p.expr {
@@ -462,7 +464,7 @@ pub fn extract_cell(design: &Design, cell: &CellSchematic, rules: &DialectRules)
                     },
                     Err(e) => errors.push(ConnError::UnparsedLabel {
                         page: cl.page,
-                        text: raw.clone(),
+                        text: raw.as_str().to_string(),
                         reason: e.to_string(),
                     }),
                 }
@@ -553,7 +555,10 @@ pub fn extract_cell(design: &Design, cell: &CellSchematic, rules: &DialectRules)
                 net.ports.insert(alias.clone());
             }
         }
-        net.is_global = net.aliases.iter().any(|n| design.globals().contains(n));
+        net.is_global = net
+            .aliases
+            .iter()
+            .any(|n| design.globals().contains(n.as_str()));
         net.name = match net.aliases.iter().next() {
             Some(n) => n.clone(),
             None => {
@@ -846,7 +851,7 @@ mod tests {
         d.library_mut("basiclib").unwrap().add(reg);
 
         let mut cell = CellSchematic::new("top");
-        cell.buses.insert("D".to_string());
+        cell.buses.insert("D".into());
         let mut s = Sheet::new(1);
         s.instances.push(Instance::new(
             "R1",
@@ -874,7 +879,7 @@ mod tests {
     fn scalar_pin_on_bundle_is_an_error() {
         let mut d = design_with_lib();
         let mut cell = CellSchematic::new("top");
-        cell.buses.insert("D".to_string());
+        cell.buses.insert("D".into());
         let mut s = Sheet::new(1);
         s.instances.push(Instance::new(
             "I1",
@@ -902,7 +907,7 @@ mod tests {
         // Viewstar: a wire labelled D2 with bus D declared joins D<2>.
         let mut d = design_with_lib();
         let mut cell = CellSchematic::new("top");
-        cell.buses.insert("D".to_string());
+        cell.buses.insert("D".into());
         let mut s = Sheet::new(1);
         s.wires.push(
             Wire::new(vec![Point::new(0, 0), Point::new(32, 0)])

@@ -2,6 +2,8 @@
 
 use std::collections::{BTreeMap, BTreeSet};
 
+use interop_core::intern::{intern, IStr};
+
 use crate::dialect::DialectId;
 use crate::sheet::Sheet;
 use crate::symbol::{SymbolDef, SymbolPin, SymbolRef};
@@ -9,14 +11,14 @@ use crate::symbol::{SymbolDef, SymbolPin, SymbolRef};
 /// A named collection of symbol definitions, keyed by `(cell, view)`.
 #[derive(Debug, Clone, Default, PartialEq)]
 pub struct Library {
-    /// Library name.
-    pub name: String,
-    symbols: BTreeMap<(String, String), SymbolDef>,
+    /// Library name (interned; shared by every symbol reference).
+    pub name: IStr,
+    symbols: BTreeMap<(IStr, IStr), SymbolDef>,
 }
 
 impl Library {
     /// Creates an empty library.
-    pub fn new(name: impl Into<String>) -> Self {
+    pub fn new(name: impl Into<IStr>) -> Self {
         Library {
             name: name.into(),
             symbols: BTreeMap::new(),
@@ -36,7 +38,7 @@ impl Library {
 
     /// Looks up a symbol by cell and view name.
     pub fn symbol(&self, cell: &str, view: &str) -> Option<&SymbolDef> {
-        self.symbols.get(&(cell.to_string(), view.to_string()))
+        self.symbols.get(&(intern(cell), intern(view)))
     }
 
     /// Iterates over all symbols in key order.
@@ -64,7 +66,7 @@ pub struct CellSchematic {
     pub sheets: Vec<Sheet>,
     /// Base names of buses declared in this cell — the scope used to
     /// resolve Viewstar's condensed bus syntax.
-    pub buses: BTreeSet<String>,
+    pub buses: BTreeSet<IStr>,
     /// The cell's interface ports (mirrors the pins of its symbol).
     pub ports: Vec<SymbolPin>,
 }
@@ -107,11 +109,11 @@ pub struct Design {
     pub name: String,
     /// Which dialect's conventions this design is drawn in.
     pub dialect: DialectId,
-    libraries: BTreeMap<String, Library>,
+    libraries: BTreeMap<IStr, Library>,
     cells: BTreeMap<String, CellSchematic>,
     /// Name of the top-level cell.
     pub top: String,
-    globals: BTreeSet<String>,
+    globals: BTreeSet<IStr>,
 }
 
 impl Design {
@@ -142,13 +144,13 @@ impl Design {
     }
 
     /// Declares a global net (e.g. `VDD`).
-    pub fn add_global(&mut self, name: impl Into<String>) {
+    pub fn add_global(&mut self, name: impl Into<IStr>) {
         self.globals.insert(name.into());
     }
 
     /// Renames a declared global. Returns `false` when `from` is not a
     /// global (the set is unchanged).
-    pub fn rename_global(&mut self, from: &str, to: impl Into<String>) -> bool {
+    pub fn rename_global(&mut self, from: &str, to: impl Into<IStr>) -> bool {
         if self.globals.remove(from) {
             self.globals.insert(to.into());
             true
@@ -198,7 +200,7 @@ impl Design {
     }
 
     /// The set of global net names.
-    pub fn globals(&self) -> &BTreeSet<String> {
+    pub fn globals(&self) -> &BTreeSet<IStr> {
         &self.globals
     }
 
@@ -210,7 +212,7 @@ impl Design {
     /// True when instances of `r` are hierarchical (the referenced cell
     /// has a schematic view in this design).
     pub fn is_hierarchical(&self, r: &SymbolRef) -> bool {
-        self.cells.contains_key(&r.cell)
+        self.cells.contains_key(r.cell.as_str())
     }
 
     /// Cells in bottom-up dependency order (leaves first, top last).

@@ -7,6 +7,8 @@
 use std::collections::{BTreeMap, BTreeSet};
 use std::fmt;
 
+use interop_core::intern::IStr;
+
 use crate::bus::BusSyntax;
 use crate::design::Design;
 use crate::property::FontMetrics;
@@ -227,9 +229,9 @@ pub fn check_conformance(design: &Design, rules: &DialectRules) -> Vec<Violation
 
     for (cell_name, cell) in design.cells() {
         // Net-name labels per page, used for page-span analysis.
-        let mut names_on_page: BTreeMap<String, BTreeSet<u32>> = BTreeMap::new();
-        let mut offpage_names: BTreeSet<String> = BTreeSet::new();
-        let mut hier_names: BTreeSet<String> = BTreeSet::new();
+        let mut names_on_page: BTreeMap<IStr, BTreeSet<u32>> = BTreeMap::new();
+        let mut offpage_names: BTreeSet<IStr> = BTreeSet::new();
+        let mut hier_names: BTreeSet<IStr> = BTreeSet::new();
 
         for sheet in &cell.sheets {
             for inst in &sheet.instances {
@@ -237,13 +239,13 @@ pub fn check_conformance(design: &Design, rules: &DialectRules) -> Vec<Violation
                     out.push(Violation::OffGridInstance {
                         cell: cell_name.to_string(),
                         page: sheet.page,
-                        inst: inst.name.clone(),
+                        inst: inst.name.as_str().to_string(),
                     });
                 }
                 if design.resolve_symbol(&inst.symbol).is_none() {
                     out.push(Violation::DanglingSymbol {
                         cell: cell_name.to_string(),
-                        inst: inst.name.clone(),
+                        inst: inst.name.as_str().to_string(),
                         symbol: inst.symbol.to_string(),
                     });
                 }
@@ -269,7 +271,7 @@ pub fn check_conformance(design: &Design, rules: &DialectRules) -> Vec<Violation
                         Err(e) => out.push(Violation::BadNetName {
                             cell: cell_name.to_string(),
                             page: sheet.page,
-                            name: label.text.clone(),
+                            name: label.text.as_str().to_string(),
                             reason: e.to_string(),
                         }),
                     }
@@ -277,7 +279,7 @@ pub fn check_conformance(design: &Design, rules: &DialectRules) -> Vec<Violation
                         out.push(Violation::WrongFont {
                             cell: cell_name.to_string(),
                             page: sheet.page,
-                            text: label.text.clone(),
+                            text: label.text.as_str().to_string(),
                         });
                     }
                 }
@@ -298,7 +300,7 @@ pub fn check_conformance(design: &Design, rules: &DialectRules) -> Vec<Violation
                     out.push(Violation::WrongFont {
                         cell: cell_name.to_string(),
                         page: sheet.page,
-                        text: ann.text.clone(),
+                        text: ann.text.as_str().to_string(),
                     });
                 }
             }
@@ -312,7 +314,7 @@ pub fn check_conformance(design: &Design, rules: &DialectRules) -> Vec<Violation
                 {
                     out.push(Violation::MissingOffPage {
                         cell: cell_name.to_string(),
-                        net: name.clone(),
+                        net: name.as_str().to_string(),
                     });
                 }
             }
@@ -322,7 +324,7 @@ pub fn check_conformance(design: &Design, rules: &DialectRules) -> Vec<Violation
                 if !hier_names.contains(&port.name) {
                     out.push(Violation::MissingHierConnector {
                         cell: cell_name.to_string(),
-                        port: port.name.clone(),
+                        port: port.name.as_str().to_string(),
                     });
                 }
             }

@@ -499,7 +499,7 @@ fn build_cell(
         // Bus + register on page 1.
         if cfg.bus_width > 0 && page == 1 {
             let w = cfg.bus_width;
-            cell.buses.insert("D".to_string());
+            cell.buses.insert("D".into());
             let reg_origin = Point::new(2 * g + cols as i64 * col_pitch + 4 * g, y_base);
             sheet.instances.push(Instance::new(
                 format!("R{page}"),

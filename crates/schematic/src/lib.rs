@@ -41,6 +41,7 @@ pub mod neutral;
 pub mod parse;
 pub mod property;
 pub mod sheet;
+pub mod stable;
 pub mod symbol;
 pub mod viewstar;
 

@@ -8,18 +8,21 @@
 use std::collections::{BTreeMap, BTreeSet};
 use std::fmt;
 
-/// A reference to one pin of one instance.
+use interop_core::intern::IStr;
+
+/// A reference to one pin of one instance. Both parts are interned —
+/// a netlist names each instance and pin many times over.
 #[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct PinRef {
     /// Instance name.
-    pub inst: String,
+    pub inst: IStr,
     /// Pin name on the instance's symbol.
-    pub pin: String,
+    pub pin: IStr,
 }
 
 impl PinRef {
     /// Creates a pin reference.
-    pub fn new(inst: impl Into<String>, pin: impl Into<String>) -> Self {
+    pub fn new(inst: impl Into<IStr>, pin: impl Into<IStr>) -> Self {
         PinRef {
             inst: inst.into(),
             pin: pin.into(),
@@ -51,7 +54,7 @@ pub struct CellNetlist {
     /// Nets by canonical name.
     pub nets: BTreeMap<String, NetInfo>,
     /// Instance name → referenced cell (symbol cell name).
-    pub instances: BTreeMap<String, String>,
+    pub instances: BTreeMap<IStr, IStr>,
 }
 
 impl CellNetlist {
@@ -233,13 +236,13 @@ pub fn compare(left: &Netlist, right: &Netlist) -> CompareReport {
                 None => report.diffs.push(NetlistDiff::InstanceOnlyIn {
                     side: "left",
                     cell: cell.clone(),
-                    inst: inst.clone(),
+                    inst: inst.as_str().to_string(),
                 }),
                 Some(rref) if rref != lref => report.diffs.push(NetlistDiff::InstanceRetargeted {
                     cell: cell.clone(),
-                    inst: inst.clone(),
-                    left: lref.clone(),
-                    right: rref.clone(),
+                    inst: inst.as_str().to_string(),
+                    left: lref.as_str().to_string(),
+                    right: rref.as_str().to_string(),
                 }),
                 Some(_) => {}
             }
@@ -249,7 +252,7 @@ pub fn compare(left: &Netlist, right: &Netlist) -> CompareReport {
                 report.diffs.push(NetlistDiff::InstanceOnlyIn {
                     side: "right",
                     cell: cell.clone(),
-                    inst: inst.clone(),
+                    inst: inst.as_str().to_string(),
                 });
             }
         }

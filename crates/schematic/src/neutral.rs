@@ -23,6 +23,8 @@
 use std::collections::BTreeSet;
 use std::fmt;
 
+use interop_core::intern::IStr;
+
 use crate::bus::{BusSyntax, NetName};
 use crate::design::{CellSchematic, Design, Library};
 use crate::dialect::{DialectId, DialectRules};
@@ -60,7 +62,7 @@ fn quote(s: &str) -> String {
 /// explicit form plus a separated postfix attribute.
 fn normalize_name(
     text: &str,
-    buses: &BTreeSet<String>,
+    buses: &BTreeSet<IStr>,
     syntax: BusSyntax,
 ) -> Result<(String, Option<char>), String> {
     let parsed: NetName = syntax.parse(text, buses).map_err(|e| e.to_string())?;
@@ -305,7 +307,7 @@ pub fn import(text: &str, target: DialectId) -> Result<Design, ParseNeutralError
                     .as_ref()
                     .ok_or_else(|| err(line, "SYMBOL outside LIBRARY".into()))?;
                 cur_sym = Some(SymbolDef::new(
-                    SymbolRef::new(lib.name.clone(), toks[1].clone(), toks[2].clone()),
+                    SymbolRef::new(lib.name.clone(), toks[1].as_str(), toks[2].as_str()),
                     int(line, &toks[4])?,
                 ));
             }
@@ -326,7 +328,7 @@ pub fn import(text: &str, target: DialectId) -> Result<Design, ParseNeutralError
                 let dir = PinDir::parse(&toks[4])
                     .ok_or_else(|| err(line, format!("bad direction `{}`", toks[4])))?;
                 sym.pins.push(SymbolPin::new(
-                    toks[1].clone(),
+                    toks[1].as_str(),
                     Point::new(int(line, &toks[2])?, int(line, &toks[3])?),
                     dir,
                 ));
@@ -347,7 +349,7 @@ pub fn import(text: &str, target: DialectId) -> Result<Design, ParseNeutralError
                     .as_mut()
                     .ok_or_else(|| err(line, "SPROP outside SYMBOL".into()))?;
                 sym.default_props
-                    .set(toks[1].clone(), PropValue::from_text(&toks[2]));
+                    .set(toks[1].as_str(), PropValue::from_text(&toks[2]));
             }
             "CELL" => {
                 need(1)?;
@@ -365,7 +367,7 @@ pub fn import(text: &str, target: DialectId) -> Result<Design, ParseNeutralError
                     .as_mut()
                     .ok_or_else(|| err(line, "BUS outside CELL".into()))?
                     .buses
-                    .insert(toks[1].clone());
+                    .insert(toks[1].as_str().into());
             }
             "PORT" => {
                 need(4)?;
@@ -375,7 +377,7 @@ pub fn import(text: &str, target: DialectId) -> Result<Design, ParseNeutralError
                 let dir = PinDir::parse(&toks[4])
                     .ok_or_else(|| err(line, format!("bad direction `{}`", toks[4])))?;
                 cell.ports.push(SymbolPin::new(
-                    toks[1].clone(),
+                    toks[1].as_str(),
                     Point::new(int(line, &toks[2])?, int(line, &toks[3])?),
                     dir,
                 ));
@@ -402,8 +404,8 @@ pub fn import(text: &str, target: DialectId) -> Result<Design, ParseNeutralError
                 let orient = crate::geom::Orient::parse(&toks[7])
                     .ok_or_else(|| err(line, format!("bad orientation `{}`", toks[7])))?;
                 sheet.instances.push(Instance::new(
-                    toks[1].clone(),
-                    SymbolRef::new(toks[2].clone(), toks[3].clone(), toks[4].clone()),
+                    toks[1].as_str(),
+                    SymbolRef::new(toks[2].as_str(), toks[3].as_str(), toks[4].as_str()),
                     Point::new(int(line, &toks[5])?, int(line, &toks[6])?),
                     orient,
                 ));
@@ -419,7 +421,7 @@ pub fn import(text: &str, target: DialectId) -> Result<Design, ParseNeutralError
                     .find(|i| i.name == toks[1])
                     .ok_or_else(|| err(line, format!("PROP for unknown instance `{}`", toks[1])))?;
                 inst.props
-                    .set(toks[2].clone(), PropValue::from_text(&toks[3]));
+                    .set(toks[2].as_str(), PropValue::from_text(&toks[3]));
             }
             "WIRE" => {
                 need(1)?;
@@ -474,7 +476,7 @@ pub fn import(text: &str, target: DialectId) -> Result<Design, ParseNeutralError
                     .ok_or_else(|| err(line, format!("bad orientation `{}`", toks[5])))?;
                 let mut conn = Connector::new(
                     kind,
-                    toks[2].clone(),
+                    toks[2].as_str(),
                     Point::new(int(line, &toks[3])?, int(line, &toks[4])?),
                 );
                 conn.orient = orient;
@@ -486,7 +488,7 @@ pub fn import(text: &str, target: DialectId) -> Result<Design, ParseNeutralError
                     .as_mut()
                     .ok_or_else(|| err(line, "NOTE outside PAGE".into()))?;
                 sheet.annotations.push(Label::new(
-                    toks[1].clone(),
+                    toks[1].as_str(),
                     Point::new(int(line, &toks[2])?, int(line, &toks[3])?),
                     rules.font,
                 ));

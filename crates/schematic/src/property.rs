@@ -7,6 +7,8 @@
 use std::collections::BTreeMap;
 use std::fmt;
 
+use interop_core::intern::IStr;
+
 use crate::geom::Point;
 
 /// The value of a schematic property.
@@ -90,10 +92,12 @@ impl From<bool> for PropValue {
 /// An ordered name → value property map.
 ///
 /// Ordered (BTreeMap) so that dialect writers emit deterministic text and
-/// netlist comparison is stable.
+/// netlist comparison is stable. Keys are interned — property names like
+/// `refdes` or `SIZE` recur on nearly every instance, and `IStr` orders by
+/// content, so iteration (and therefore emitted text) is unchanged.
 #[derive(Debug, Clone, Default, PartialEq)]
 pub struct PropMap {
-    entries: BTreeMap<String, PropValue>,
+    entries: BTreeMap<IStr, PropValue>,
 }
 
 impl PropMap {
@@ -103,11 +107,7 @@ impl PropMap {
     }
 
     /// Inserts or replaces a property, returning the previous value.
-    pub fn set(
-        &mut self,
-        name: impl Into<String>,
-        value: impl Into<PropValue>,
-    ) -> Option<PropValue> {
+    pub fn set(&mut self, name: impl Into<IStr>, value: impl Into<PropValue>) -> Option<PropValue> {
         self.entries.insert(name.into(), value.into())
     }
 
@@ -123,7 +123,7 @@ impl PropMap {
 
     /// Renames a property, preserving its value. Returns `false` when the
     /// source property does not exist (the map is unchanged).
-    pub fn rename(&mut self, from: &str, to: impl Into<String>) -> bool {
+    pub fn rename(&mut self, from: &str, to: impl Into<IStr>) -> bool {
         match self.entries.remove(from) {
             Some(v) => {
                 self.entries.insert(to.into(), v);
@@ -155,12 +155,20 @@ impl PropMap {
 
     /// Property names in order.
     pub fn names(&self) -> impl Iterator<Item = &str> {
-        self.entries.keys().map(String::as_str)
+        self.entries.keys().map(IStr::as_str)
     }
 }
 
 impl FromIterator<(String, PropValue)> for PropMap {
     fn from_iter<I: IntoIterator<Item = (String, PropValue)>>(iter: I) -> Self {
+        PropMap {
+            entries: iter.into_iter().map(|(k, v)| (IStr::from(k), v)).collect(),
+        }
+    }
+}
+
+impl FromIterator<(IStr, PropValue)> for PropMap {
+    fn from_iter<I: IntoIterator<Item = (IStr, PropValue)>>(iter: I) -> Self {
         PropMap {
             entries: iter.into_iter().collect(),
         }
@@ -169,6 +177,13 @@ impl FromIterator<(String, PropValue)> for PropMap {
 
 impl Extend<(String, PropValue)> for PropMap {
     fn extend<I: IntoIterator<Item = (String, PropValue)>>(&mut self, iter: I) {
+        self.entries
+            .extend(iter.into_iter().map(|(k, v)| (IStr::from(k), v)));
+    }
+}
+
+impl Extend<(IStr, PropValue)> for PropMap {
+    fn extend<I: IntoIterator<Item = (IStr, PropValue)>>(&mut self, iter: I) {
         self.entries.extend(iter);
     }
 }
@@ -241,8 +256,9 @@ pub enum Justify {
 /// free annotation.
 #[derive(Debug, Clone, PartialEq)]
 pub struct Label {
-    /// The text content.
-    pub text: String,
+    /// The text content. Interned: net-name labels repeat across sheets
+    /// and across every design generated from the same template.
+    pub text: IStr,
     /// Declared anchor position (interpretation depends on font metrics).
     pub at: Point,
     /// Font used to render the label.
@@ -253,7 +269,7 @@ pub struct Label {
 
 impl Label {
     /// Creates a left-justified label with the given font.
-    pub fn new(text: impl Into<String>, at: Point, font: FontMetrics) -> Self {
+    pub fn new(text: impl Into<IStr>, at: Point, font: FontMetrics) -> Self {
         Label {
             text: text.into(),
             at,

@@ -1,5 +1,7 @@
 //! Sheets: the drawing pages of a schematic cell.
 
+use interop_core::intern::IStr;
+
 use crate::geom::{BBox, Orient, Point, Transform};
 use crate::property::{Label, PropMap};
 use crate::symbol::SymbolRef;
@@ -7,8 +9,9 @@ use crate::symbol::SymbolRef;
 /// A placed component instance on a sheet.
 #[derive(Debug, Clone, PartialEq)]
 pub struct Instance {
-    /// Instance name, unique within the cell (e.g. `I7`).
-    pub name: String,
+    /// Instance name, unique within the cell (e.g. `I7`). Interned —
+    /// generated and hand-drawn designs alike reuse short `I<n>` names.
+    pub name: IStr,
     /// The symbol this instance refers to.
     pub symbol: SymbolRef,
     /// Placement transform (origin + rotation code).
@@ -19,7 +22,7 @@ pub struct Instance {
 
 impl Instance {
     /// Creates an instance placed at `origin` with orientation `orient`.
-    pub fn new(name: impl Into<String>, symbol: SymbolRef, origin: Point, orient: Orient) -> Self {
+    pub fn new(name: impl Into<IStr>, symbol: SymbolRef, origin: Point, orient: Orient) -> Self {
         Instance {
             name: name.into(),
             symbol,
@@ -156,8 +159,9 @@ impl ConnectorKind {
 pub struct Connector {
     /// Connector kind.
     pub kind: ConnectorKind,
-    /// The net (or port) name, in the owning dialect's syntax.
-    pub name: String,
+    /// The net (or port) name, in the owning dialect's syntax. Interned —
+    /// the same net name appears on every page it spans.
+    pub name: IStr,
     /// Attachment point.
     pub at: Point,
     /// Drawing orientation.
@@ -166,7 +170,7 @@ pub struct Connector {
 
 impl Connector {
     /// Creates a connector.
-    pub fn new(kind: ConnectorKind, name: impl Into<String>, at: Point) -> Self {
+    pub fn new(kind: ConnectorKind, name: impl Into<IStr>, at: Point) -> Self {
         Connector {
             kind,
             name: name.into(),

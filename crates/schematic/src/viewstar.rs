@@ -280,8 +280,8 @@ fn parse_inner(text: &str) -> Result<Design, ParseError> {
                 let lib = cur_lib
                     .as_ref()
                     .ok_or_else(|| c.err("SYMBOL outside LIBRARY"))?;
-                let cell = c.next()?.to_string();
-                let view = c.next()?.to_string();
+                let cell = c.next()?;
+                let view = c.next()?;
                 let kw = c.next()?;
                 if kw != "GRID" {
                     return Err(c.err("expected GRID"));
@@ -305,7 +305,7 @@ fn parse_inner(text: &str) -> Result<Design, ParseError> {
                 let sym = cur_sym
                     .as_mut()
                     .ok_or_else(|| c.err("PIN outside SYMBOL"))?;
-                let name = c.next()?.to_string();
+                let name = c.next()?;
                 let (x, y) = (c.int()?, c.int()?);
                 let dir = c.dir()?;
                 sym.pins.push(SymbolPin::new(name, Point::new(x, y), dir));
@@ -322,9 +322,9 @@ fn parse_inner(text: &str) -> Result<Design, ParseError> {
                 let sym = cur_sym
                     .as_mut()
                     .ok_or_else(|| c.err("SPROP outside SYMBOL"))?;
-                let k = c.next()?.to_string();
-                let v = c.next()?.to_string();
-                sym.default_props.set(k, PropValue::from_text(&v));
+                let k = c.next()?;
+                let v = c.next()?;
+                sym.default_props.set(k, PropValue::from_text(v));
             }
             "CELL" => cur_cell = Some(CellSchematic::new(c.next()?)),
             "ENDCELL" => {
@@ -338,13 +338,13 @@ fn parse_inner(text: &str) -> Result<Design, ParseError> {
                     .as_mut()
                     .ok_or_else(|| c.err("BUS outside CELL"))?
                     .buses
-                    .insert(c.next()?.to_string());
+                    .insert(c.next()?.into());
             }
             "PORT" => {
                 let cell = cur_cell
                     .as_mut()
                     .ok_or_else(|| c.err("PORT outside CELL"))?;
-                let name = c.next()?.to_string();
+                let name = c.next()?;
                 let (x, y) = (c.int()?, c.int()?);
                 let dir = c.dir()?;
                 cell.ports.push(SymbolPin::new(name, Point::new(x, y), dir));
@@ -365,10 +365,10 @@ fn parse_inner(text: &str) -> Result<Design, ParseError> {
             }
             "I" => {
                 let sheet = cur_sheet.as_mut().ok_or_else(|| c.err("I outside PAGE"))?;
-                let name = c.next()?.to_string();
-                let lib = c.next()?.to_string();
-                let cell = c.next()?.to_string();
-                let view = c.next()?.to_string();
+                let name = c.next()?;
+                let lib = c.next()?;
+                let cell = c.next()?;
+                let view = c.next()?;
                 let (x, y) = (c.int()?, c.int()?);
                 let o = c.orient()?;
                 sheet.instances.push(Instance::new(
@@ -382,15 +382,15 @@ fn parse_inner(text: &str) -> Result<Design, ParseError> {
                 let sheet = cur_sheet
                     .as_mut()
                     .ok_or_else(|| c.err("IPROP outside PAGE"))?;
-                let inst = c.next()?.to_string();
-                let k = c.next()?.to_string();
-                let v = c.next()?.to_string();
+                let inst = c.next()?;
+                let k = c.next()?;
+                let v = c.next()?;
                 let target = sheet
                     .instances
                     .iter_mut()
                     .find(|i| i.name == inst)
                     .ok_or_else(|| c.err(format!("IPROP for unknown instance `{inst}`")))?;
-                target.props.set(k, PropValue::from_text(&v));
+                target.props.set(k, PropValue::from_text(v));
             }
             "W" => {
                 let sheet = cur_sheet.as_mut().ok_or_else(|| c.err("W outside PAGE"))?;
@@ -408,7 +408,7 @@ fn parse_inner(text: &str) -> Result<Design, ParseError> {
                     if kw != "LABEL" {
                         return Err(c.err(format!("expected LABEL, got `{kw}`")));
                     }
-                    let text = c.next()?.to_string();
+                    let text = c.next()?;
                     let (x, y) = (c.int()?, c.int()?);
                     wire = wire.with_label(Label::new(text, Point::new(x, y), font));
                 }
@@ -419,7 +419,7 @@ fn parse_inner(text: &str) -> Result<Design, ParseError> {
                 let kw = c.next()?;
                 let kind = ConnectorKind::parse(kw)
                     .ok_or_else(|| c.err(format!("bad connector kind `{kw}`")))?;
-                let name = c.next()?.to_string();
+                let name = c.next()?;
                 let (x, y) = (c.int()?, c.int()?);
                 let o = c.orient()?;
                 let mut conn = Connector::new(kind, name, Point::new(x, y));
@@ -428,7 +428,7 @@ fn parse_inner(text: &str) -> Result<Design, ParseError> {
             }
             "T" => {
                 let sheet = cur_sheet.as_mut().ok_or_else(|| c.err("T outside PAGE"))?;
-                let text = c.next()?.to_string();
+                let text = c.next()?;
                 let (x, y) = (c.int()?, c.int()?);
                 sheet
                     .annotations

@@ -99,7 +99,7 @@ proptest! {
         let text = BusSyntax::Viewstar.format(&name);
         // Parse with the name's own base in scope so condensed forms
         // resolve the same way.
-        let scope: BTreeSet<String> = [name.expr.base().to_string()].into();
+        let scope: BTreeSet<interop_core::IStr> = [name.expr.base().into()].into();
         let back = BusSyntax::Viewstar.parse(&text, &scope).expect("round trip parses");
         // Condensation may canonicalize `A0` -> Bit, so compare formats.
         prop_assert_eq!(BusSyntax::Viewstar.format(&back), text);

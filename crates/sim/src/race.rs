@@ -357,7 +357,10 @@ pub fn sweep_parallel(
     let queues = StealQueues::new(workers, stims.len());
     let mut slots: Vec<Option<Result<SweepResult, SimError>>> = vec![None; stims.len()];
     std::thread::scope(|scope| {
-        let handles: Vec<_> = (0..workers)
+        // The calling thread serves as worker 0 instead of blocking in
+        // join(): only `workers - 1` threads are spawned, and on small
+        // grids the caller does real work while the spawns warm up.
+        let handles: Vec<_> = (1..workers)
             .map(|worker| {
                 let queues = &queues;
                 let circuit = Arc::clone(circuit);
@@ -370,6 +373,9 @@ pub fn sweep_parallel(
                 })
             })
             .collect();
+        while let Some(job) = queues.take(0) {
+            slots[job] = Some(sweep_one(circuit, policies, &stims[job]));
+        }
         for handle in handles {
             for (job, result) in handle.join().expect("sweep worker panicked") {
                 slots[job] = Some(result);
